@@ -1,0 +1,256 @@
+//! Cycle-cost model of the `compute` datapaths.
+//!
+//! The model follows the HLS structure the paper describes (Section IV):
+//! all matrix operations except the inverse are fully pipelined with II = 1
+//! and the inner-most accumulation loops are *not* unrolled (resource reuse
+//! over throughput); the Newton path multiplies on a parallel array of
+//! [`NEWTON_MACS`] multiply-accumulate units; the calculation paths carry
+//! loop dependencies and serial division/square-root chains, modeled as
+//! per-pivot stalls plus calibrated dependency factors.
+//!
+//! Absolute latencies are not the goal (the substrate is a model, not the
+//! XCVU440); the *relative* costs — approximation ≪ calculation, SSKF ≪
+//! everything, FX64 division slower than FP32 — drive every latency/energy
+//! shape in the reproduction.
+
+/// MAC units in the Newton approximation datapath (paper Section IV).
+pub const NEWTON_MACS: u64 = 8;
+
+/// Element datatype of a datapath, fixing operator latencies and word width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datatype {
+    /// 32-bit IEEE floating point (the default datapath).
+    Fp32,
+    /// 32-bit Q16.16 fixed point.
+    Fx32,
+    /// 64-bit Q32.32 fixed point.
+    Fx64,
+}
+
+impl Datatype {
+    /// Pipeline latencies of the scalar operators (cycles).
+    pub fn latency(self) -> OpLatency {
+        match self {
+            // Vivado HLS-class fp32 cores at ~78 MHz.
+            Self::Fp32 => OpLatency { add: 8, mul: 4, div: 28, sqrt: 28 },
+            // Integer datapaths: cheap add/mul, long iterative div/sqrt.
+            Self::Fx32 => OpLatency { add: 1, mul: 3, div: 38, sqrt: 38 },
+            Self::Fx64 => OpLatency { add: 2, mul: 6, div: 70, sqrt: 70 },
+        }
+    }
+
+    /// PLM word width of this datatype.
+    pub fn word_width(self) -> crate::plm::WordWidth {
+        match self {
+            Self::Fp32 | Self::Fx32 => crate::plm::WordWidth::W32,
+            Self::Fx64 => crate::plm::WordWidth::W64,
+        }
+    }
+
+    /// Short lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fp32 => "fp32",
+            Self::Fx32 => "fx32",
+            Self::Fx64 => "fx64",
+        }
+    }
+}
+
+/// Scalar-operator pipeline latencies (cycles to first result; II = 1
+/// afterwards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Adder latency.
+    pub add: u64,
+    /// Multiplier latency.
+    pub mul: u64,
+    /// Divider latency.
+    pub div: u64,
+    /// Square-root latency.
+    pub sqrt: u64,
+}
+
+/// Cycles of a fully pipelined `r×k · k×c` matrix multiplication with the
+/// inner accumulation on `macs` parallel units.
+///
+/// Each output element needs `ceil(k/macs)` accumulation steps at II = 1;
+/// the pipeline drains once per operation.
+pub fn matmul_cycles(r: usize, c: usize, k: usize, macs: u64, lat: OpLatency) -> u64 {
+    let steps = (k as u64).div_ceil(macs);
+    (r * c) as u64 * steps + lat.mul + lat.add + 8
+}
+
+/// Cycles of one Gauss–Jordan inversion of an `n×n` matrix.
+///
+/// Per pivot: a pivot search over the remaining rows, a pipelined row
+/// normalization stalled once on the reciprocal, and the elimination sweep
+/// over the augmented `[A | I]` pair (the `2n²` term).
+pub fn gauss_inverse_cycles(n: usize, lat: OpLatency) -> u64 {
+    let n64 = n as u64;
+    let per_pivot = n64            // pivot search
+        + n64 + lat.div            // row normalization (one reciprocal stall)
+        + 2 * n64 * n64;           // elimination over [A | I]
+    n64 * per_pivot + 64 // control epilogue
+}
+
+/// Cycles of one Cholesky-based inversion (`L·L^T` factor + 2n triangular
+/// solves).
+///
+/// Triangular solves carry loop dependencies; the factor-of-1.25 stall is
+/// calibrated so Cholesky lands slightly above Gauss, matching the paper's
+/// Table III ordering (Cholesky/Newton's worst case exceeds Gauss/Newton's).
+pub fn cholesky_inverse_cycles(n: usize, lat: OpLatency) -> u64 {
+    let n64 = n as u64;
+    let factor = n64 * n64 * n64 / 3 + n64 * (lat.sqrt + lat.div);
+    let solves = 2 * n64 * n64 * n64; // n columns × two n²/2-op solves, with stalls
+    factor + (solves as f64 * 1.25) as u64 + 64
+}
+
+/// Cycles of one Householder-QR inversion (factor with Q accumulation +
+/// back substitution per column).
+pub fn qr_inverse_cycles(n: usize, lat: OpLatency) -> u64 {
+    let n64 = n as u64;
+    let factor = 2 * n64 * n64 * n64 + n64 * (lat.sqrt + lat.div);
+    let solves = n64 * n64 * n64 / 2;
+    factor + solves + 64
+}
+
+/// Cycles of `iters` Newton–Schulz internal iterations on the
+/// [`NEWTON_MACS`]-wide array: two `n×n` multiplications plus the fused
+/// `2I −` correction per iteration.
+pub fn newton_cycles(n: usize, iters: usize, lat: OpLatency) -> u64 {
+    let per_iter = 2 * matmul_cycles(n, n, n, NEWTON_MACS, lat) + n as u64;
+    iters as u64 * per_iter
+}
+
+/// Cycles of the Taylor-expansion gain (order-`order` Neumann series folded
+/// into the `x×z` gain computation, never materializing a full `n×n`
+/// product).
+pub fn taylor_gain_cycles(n: usize, x_dim: usize, order: usize, lat: OpLatency) -> u64 {
+    let n64 = n as u64;
+    let diag = n64 + lat.div; // D⁻¹, pipelined reciprocals
+    // Each series term multiplies the current x×n partial gain by an n×n
+    // operator on the shared MAC array.
+    let per_term = matmul_cycles(x_dim, n, n, NEWTON_MACS, lat);
+    diag + (order as u64 + 1) * per_term
+}
+
+/// Cycles of the measurement-independent common pipeline of a
+/// covariance-tracking design: state/covariance prediction, the `S` build,
+/// the `K = P·Hᵀ·S⁻¹` product, and the state/covariance update.
+pub fn kf_common_cycles(x_dim: usize, z_dim: usize, lat: OpLatency) -> u64 {
+    let x = x_dim;
+    let z = z_dim;
+    matmul_cycles(x, 1, x, 1, lat)            // x_pred = F·x
+        + 2 * matmul_cycles(x, x, x, 1, lat)  // P_pred = F·P·Fᵀ + Q
+        + matmul_cycles(z, x, x, 1, lat)      // H·P
+        + matmul_cycles(z, z, x, 1, lat)      // (H·P)·Hᵀ (+R fused)
+        + matmul_cycles(x, z, z, 1, lat)      // K = (P·Hᵀ)·S⁻¹
+        + matmul_cycles(z, 1, x, 1, lat)      // H·x_pred (innovation)
+        + matmul_cycles(x, 1, z, 1, lat)      // K·y
+        + matmul_cycles(x, x, z, 1, lat)      // K·H
+        + matmul_cycles(x, x, x, 1, lat)      // (I−K·H)·P
+        + z as u64                            // y subtract, pipelined
+}
+
+/// Cycles of one constant-gain SSKF iteration (no covariance, no `S`).
+pub fn sskf_iteration_cycles(x_dim: usize, z_dim: usize, lat: OpLatency) -> u64 {
+    matmul_cycles(x_dim, 1, x_dim, 1, lat)    // x_pred = F·x
+        + matmul_cycles(z_dim, 1, x_dim, 1, lat) // H·x_pred
+        + z_dim as u64                         // innovation subtract
+        + matmul_cycles(x_dim, 1, z_dim, 1, lat) // K_const·y
+        + x_dim as u64                         // state add
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP: OpLatency = OpLatency { add: 8, mul: 4, div: 28, sqrt: 28 };
+
+    #[test]
+    fn matmul_parallelism_divides_inner_loop() {
+        let serial = matmul_cycles(10, 10, 64, 1, FP);
+        let parallel = matmul_cycles(10, 10, 64, 8, FP);
+        // 100·64 vs 100·8 plus the same drain.
+        assert_eq!(serial, 6400 + 20);
+        assert_eq!(parallel, 800 + 20);
+    }
+
+    #[test]
+    fn gauss_scales_cubically() {
+        let small = gauss_inverse_cycles(50, FP);
+        let large = gauss_inverse_cycles(100, FP);
+        let ratio = large as f64 / small as f64;
+        assert!((7.0..9.0).contains(&ratio), "expected ~8x, got {ratio}");
+    }
+
+    #[test]
+    fn approximation_beats_calculation_at_low_iters() {
+        // The core premise: one Newton iteration on 8 MACs ≪ one Gauss.
+        let n = 164;
+        assert!(newton_cycles(n, 1, FP) * 3 < gauss_inverse_cycles(n, FP));
+        // But six Newton iterations approach the calculation cost.
+        assert!(newton_cycles(n, 6, FP) > gauss_inverse_cycles(n, FP) / 2);
+    }
+
+    #[test]
+    fn calculation_path_ordering_matches_table3() {
+        // Cholesky slowest, then QR, then Gauss (per-inversion, z = 164).
+        let n = 164;
+        let g = gauss_inverse_cycles(n, FP);
+        let c = cholesky_inverse_cycles(n, FP);
+        let q = qr_inverse_cycles(n, FP);
+        assert!(c > g, "cholesky {c} must exceed gauss {g}");
+        assert!(q > g, "qr {q} must exceed gauss {g}");
+    }
+
+    #[test]
+    fn taylor_is_cheaper_than_one_newton_iteration() {
+        let n = 164;
+        assert!(taylor_gain_cycles(n, 6, 2, FP) < newton_cycles(n, 1, FP));
+    }
+
+    #[test]
+    fn sskf_iteration_is_orders_cheaper_than_common_pipeline() {
+        let sskf = sskf_iteration_cycles(6, 164, FP);
+        let common = kf_common_cycles(6, 164, FP);
+        assert!(sskf * 50 < common, "sskf {sskf} vs common {common}");
+    }
+
+    #[test]
+    fn motor_dataset_latencies_land_in_the_papers_decade() {
+        // 100 iterations at 78 MHz: the paper's Gauss-Only takes 12.5 s and
+        // the cheapest Gauss/Newton ~2.8 s. The model must land within the
+        // same order of magnitude.
+        let clock = crate::CLOCK_HZ;
+        let n = 164;
+        let common = kf_common_cycles(6, n, FP);
+        let gauss_only = (gauss_inverse_cycles(n, FP) + common) * 100;
+        let lite_ish = (newton_cycles(n, 1, FP) + common) * 100;
+        let gauss_only_s = gauss_only as f64 / clock;
+        let lite_s = lite_ish as f64 / clock;
+        assert!((5.0..30.0).contains(&gauss_only_s), "gauss-only {gauss_only_s} s");
+        assert!((0.5..5.0).contains(&lite_s), "newton-1 {lite_s} s");
+        assert!(gauss_only_s > 5.0, "Gauss-Only must miss the 5 s real-time bar");
+        assert!(lite_s < 5.0, "the approximation path must meet real time");
+    }
+
+    #[test]
+    fn fixed_point_divisions_are_slower_than_fp32() {
+        let n = 164;
+        assert!(
+            gauss_inverse_cycles(n, Datatype::Fx64.latency())
+                > gauss_inverse_cycles(n, Datatype::Fp32.latency())
+        );
+    }
+
+    #[test]
+    fn datatype_word_widths() {
+        use crate::plm::WordWidth;
+        assert_eq!(Datatype::Fp32.word_width(), WordWidth::W32);
+        assert_eq!(Datatype::Fx32.word_width(), WordWidth::W32);
+        assert_eq!(Datatype::Fx64.word_width(), WordWidth::W64);
+    }
+}

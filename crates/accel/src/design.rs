@@ -1,0 +1,365 @@
+//! The catalog of KalmMind accelerator designs (paper Table III).
+
+use kalmmind::inverse::{CalcMethod, InterleavedInverse};
+
+use crate::cost::{self, Datatype, OpLatency};
+use crate::plm::PlmInventory;
+use crate::resources::{self, Component, Resources};
+
+/// What sits on the `compute K` path of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Both datapaths: a calculation unit interleaved with the Newton array
+    /// via `calc_freq`/`approx`/`policy` (the paper's primary family).
+    CalcApprox {
+        /// The Path A calculation algorithm.
+        calc: CalcMethod,
+    },
+    /// Calculation only, every iteration (the `Gauss-Only` baseline).
+    CalcOnly {
+        /// The calculation algorithm.
+        calc: CalcMethod,
+    },
+    /// Newton only with one pre-computed seed loaded from main memory
+    /// (`LITE`).
+    Lite,
+    /// Constant pre-trained `S⁻¹`, Newton-refined per the `approx` register
+    /// (`SSKF/Newton`; `approx = 0` uses the constant as-is).
+    SskfNewton,
+    /// Constant pre-trained gain `K`, no covariance tracking (`SSKF`).
+    Sskf,
+    /// Taylor-series gain approximation every iteration (`Taylor`).
+    Taylor {
+        /// Series truncation order.
+        order: usize,
+    },
+}
+
+/// One accelerator design: a `compute K` structure plus a datatype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Design {
+    /// Display name matching Table III (`"Gauss/Newton"`, `"LITE FX64"`, ...).
+    pub name: &'static str,
+    /// Datapath structure.
+    pub kind: DesignKind,
+    /// Element datatype.
+    pub datatype: Datatype,
+}
+
+impl Design {
+    /// The hardware components this design instantiates.
+    pub fn components(&self) -> Vec<Component> {
+        let mut c = vec![Component::BaseControl, Component::Dma];
+        match self.kind {
+            DesignKind::CalcApprox { calc } => {
+                c.push(Component::KfCommon);
+                c.push(calc_component(calc));
+                c.push(Component::NewtonUnit);
+            }
+            DesignKind::CalcOnly { calc } => {
+                c.push(Component::KfCommon);
+                c.push(calc_component(calc));
+            }
+            DesignKind::Lite => {
+                c.push(Component::KfCommon);
+                c.push(Component::NewtonLiteUnit);
+            }
+            DesignKind::SskfNewton => {
+                c.push(Component::KfCommon);
+                c.push(Component::NewtonUnit);
+            }
+            DesignKind::Sskf => c.push(Component::SskfUnit),
+            DesignKind::Taylor { .. } => {
+                c.push(Component::KfCommon);
+                c.push(Component::TaylorUnit);
+            }
+        }
+        c
+    }
+
+    /// The PLM inventory for a given problem size.
+    pub fn plm(&self, x_dim: usize, z_dim: usize, chunks: usize) -> PlmInventory {
+        let w = self.datatype.word_width();
+        match self.kind {
+            DesignKind::Sskf => PlmInventory::sskf_datapath(w, x_dim, z_dim, chunks),
+            DesignKind::CalcOnly { .. } | DesignKind::Taylor { .. } => {
+                PlmInventory::kf_datapath(w, x_dim, z_dim, chunks, false)
+            }
+            _ => PlmInventory::kf_datapath(w, x_dim, z_dim, chunks, true),
+        }
+    }
+
+    /// FPGA resources for a given problem size (Table III columns 3–6).
+    pub fn resources(&self, x_dim: usize, z_dim: usize, chunks: usize) -> Resources {
+        resources::estimate(
+            &self.components(),
+            self.datatype,
+            self.plm(x_dim, z_dim, chunks).total_bram36(),
+        )
+    }
+
+    /// Average power in watts for a given problem size.
+    pub fn power_w(&self, x_dim: usize, z_dim: usize, chunks: usize) -> f64 {
+        crate::power::average_power_w(&self.resources(x_dim, z_dim, chunks))
+    }
+
+    /// Cycles the `compute` function spends on KF iteration `n`.
+    ///
+    /// `approx` and `calc_freq` are the register values steering the
+    /// interleaved designs; the one-way designs ignore `calc_freq`.
+    pub fn iteration_cycles(
+        &self,
+        x_dim: usize,
+        z_dim: usize,
+        iteration: usize,
+        approx: usize,
+        calc_freq: u32,
+    ) -> u64 {
+        let lat = self.datatype.latency();
+        match self.kind {
+            DesignKind::CalcApprox { calc } => {
+                let inv = if InterleavedInverse::<f64>::is_calc_iteration(calc_freq, iteration) {
+                    calc_cycles(calc, z_dim, lat)
+                } else {
+                    cost::newton_cycles(z_dim, approx, lat)
+                };
+                cost::kf_common_cycles(x_dim, z_dim, lat) + inv
+            }
+            DesignKind::CalcOnly { calc } => {
+                cost::kf_common_cycles(x_dim, z_dim, lat) + calc_cycles(calc, z_dim, lat)
+            }
+            DesignKind::Lite | DesignKind::SskfNewton => {
+                cost::kf_common_cycles(x_dim, z_dim, lat)
+                    + cost::newton_cycles(z_dim, approx, lat)
+            }
+            DesignKind::Sskf => cost::sskf_iteration_cycles(x_dim, z_dim, lat),
+            DesignKind::Taylor { order } => {
+                // Taylor folds the gain into the series: drop the dense
+                // K = P·Hᵀ·S⁻¹ product from the common pipeline.
+                cost::kf_common_cycles(x_dim, z_dim, lat)
+                    - cost::matmul_cycles(x_dim, z_dim, z_dim, 1, lat)
+                    + cost::taylor_gain_cycles(z_dim, x_dim, order, lat)
+            }
+        }
+    }
+
+    /// `true` when the design tracks the covariance (and therefore stores
+    /// `P_n` back to main memory each iteration).
+    pub fn tracks_covariance(&self) -> bool {
+        !matches!(self.kind, DesignKind::Sskf)
+    }
+}
+
+fn calc_component(calc: CalcMethod) -> Component {
+    match calc {
+        CalcMethod::Gauss | CalcMethod::Lu => Component::GaussUnit,
+        CalcMethod::Cholesky => Component::CholeskyUnit,
+        CalcMethod::Qr => Component::QrUnit,
+    }
+}
+
+fn calc_cycles(calc: CalcMethod, n: usize, lat: OpLatency) -> u64 {
+    match calc {
+        CalcMethod::Gauss | CalcMethod::Lu => cost::gauss_inverse_cycles(n, lat),
+        CalcMethod::Cholesky => cost::cholesky_inverse_cycles(n, lat),
+        CalcMethod::Qr => cost::qr_inverse_cycles(n, lat),
+    }
+}
+
+/// Constructors for every Table III design.
+pub mod catalog {
+    use super::*;
+
+    /// Gauss/Newton — the paper's flagship calculation/approximation design.
+    pub fn gauss_newton() -> Design {
+        Design {
+            name: "Gauss/Newton",
+            kind: DesignKind::CalcApprox { calc: CalcMethod::Gauss },
+            datatype: Datatype::Fp32,
+        }
+    }
+
+    /// Cholesky/Newton.
+    pub fn cholesky_newton() -> Design {
+        Design {
+            name: "Cholesky/Newton",
+            kind: DesignKind::CalcApprox { calc: CalcMethod::Cholesky },
+            datatype: Datatype::Fp32,
+        }
+    }
+
+    /// QR/Newton.
+    pub fn qr_newton() -> Design {
+        Design {
+            name: "QR/Newton",
+            kind: DesignKind::CalcApprox { calc: CalcMethod::Qr },
+            datatype: Datatype::Fp32,
+        }
+    }
+
+    /// Gauss/Newton with a 32-bit fixed-point datapath.
+    pub fn gauss_newton_fx32() -> Design {
+        Design {
+            name: "Gauss/Newton FX32",
+            kind: DesignKind::CalcApprox { calc: CalcMethod::Gauss },
+            datatype: Datatype::Fx32,
+        }
+    }
+
+    /// Gauss/Newton with a 64-bit fixed-point datapath.
+    pub fn gauss_newton_fx64() -> Design {
+        Design {
+            name: "Gauss/Newton FX64",
+            kind: DesignKind::CalcApprox { calc: CalcMethod::Gauss },
+            datatype: Datatype::Fx64,
+        }
+    }
+
+    /// LITE — Newton with one internal iteration and a pre-computed seed.
+    pub fn lite() -> Design {
+        Design { name: "LITE", kind: DesignKind::Lite, datatype: Datatype::Fp32 }
+    }
+
+    /// LITE with the 64-bit fixed-point datapath.
+    pub fn lite_fx64() -> Design {
+        Design { name: "LITE FX64", kind: DesignKind::Lite, datatype: Datatype::Fx64 }
+    }
+
+    /// SSKF/Newton — constant `S⁻¹` with optional Newton refinement.
+    pub fn sskf_newton() -> Design {
+        Design { name: "SSKF/Newton", kind: DesignKind::SskfNewton, datatype: Datatype::Fp32 }
+    }
+
+    /// SSKF — constant gain, no covariance tracking (Malik et al.).
+    pub fn sskf() -> Design {
+        Design { name: "SSKF", kind: DesignKind::Sskf, datatype: Datatype::Fp32 }
+    }
+
+    /// Taylor — gain approximation by series expansion (Liu et al.).
+    pub fn taylor() -> Design {
+        Design { name: "Taylor", kind: DesignKind::Taylor { order: 2 }, datatype: Datatype::Fp32 }
+    }
+
+    /// Gauss-Only — exact inversion every iteration.
+    pub fn gauss_only() -> Design {
+        Design {
+            name: "Gauss-Only",
+            kind: DesignKind::CalcOnly { calc: CalcMethod::Gauss },
+            datatype: Datatype::Fp32,
+        }
+    }
+
+    /// All hardware rows of Table III, in the paper's order.
+    pub fn table3() -> Vec<Design> {
+        vec![
+            gauss_newton(),
+            cholesky_newton(),
+            qr_newton(),
+            gauss_newton_fx32(),
+            gauss_newton_fx64(),
+            lite(),
+            lite_fx64(),
+            sskf_newton(),
+            sskf(),
+            taylor(),
+            gauss_only(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::catalog::*;
+    use super::*;
+
+    #[test]
+    fn table3_has_eleven_hardware_designs() {
+        let designs = catalog::table3();
+        assert_eq!(designs.len(), 11);
+        let names: std::collections::HashSet<_> = designs.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 11, "names must be unique");
+    }
+
+    #[test]
+    fn sskf_is_cheapest_per_iteration() {
+        let designs = catalog::table3();
+        let sskf_cycles = sskf().iteration_cycles(6, 164, 0, 1, 1);
+        for d in &designs {
+            if d.name != "SSKF" {
+                assert!(
+                    d.iteration_cycles(6, 164, 0, 1, 1) > sskf_cycles,
+                    "{} must cost more than SSKF",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calc_iterations_cost_more_than_approx_iterations() {
+        let d = gauss_newton();
+        // calc_freq = 2: iteration 0 calculates, iteration 1 approximates.
+        let calc = d.iteration_cycles(6, 164, 0, 1, 2);
+        let approx = d.iteration_cycles(6, 164, 1, 1, 2);
+        assert!(calc > 2 * approx, "calc {calc} vs approx {approx}");
+    }
+
+    #[test]
+    fn more_approx_iterations_cost_more() {
+        let d = lite();
+        let a1 = d.iteration_cycles(6, 164, 0, 1, 0);
+        let a6 = d.iteration_cycles(6, 164, 0, 6, 0);
+        assert!(a6 > 5 * (a1 - cost::kf_common_cycles(6, 164, d.datatype.latency())));
+    }
+
+    #[test]
+    fn sskf_newton_with_zero_approx_is_pure_constant() {
+        let d = sskf_newton();
+        let zero = d.iteration_cycles(6, 164, 0, 0, 0);
+        let common = cost::kf_common_cycles(6, 164, d.datatype.latency());
+        assert_eq!(zero, common);
+    }
+
+    #[test]
+    fn taylor_is_cheaper_than_lite() {
+        let t = taylor().iteration_cycles(6, 164, 0, 1, 0);
+        let l = lite().iteration_cycles(6, 164, 0, 1, 0);
+        assert!(t < l, "taylor {t} vs lite {l}");
+    }
+
+    #[test]
+    fn gauss_only_resources_below_gauss_newton() {
+        let go = gauss_only().resources(6, 164, 10);
+        let gn = gauss_newton().resources(6, 164, 10);
+        assert!(go.lut < gn.lut);
+        assert!(go.dsp < gn.dsp);
+        assert!(go.bram < gn.bram);
+    }
+
+    #[test]
+    fn fx64_has_more_dsp_and_bram_than_fp32() {
+        let fp = gauss_newton().resources(6, 164, 10);
+        let fx = gauss_newton_fx64().resources(6, 164, 10);
+        assert!(fx.dsp > fp.dsp);
+        assert!(fx.bram > fp.bram);
+    }
+
+    #[test]
+    fn power_ordering_tracks_design_size() {
+        let p_sskf = sskf().power_w(6, 164, 10);
+        let p_gn = gauss_newton().power_w(6, 164, 10);
+        assert!(p_sskf < p_gn);
+        // All designs meet the BAN budget with modest slack.
+        for d in catalog::table3() {
+            let p = d.power_w(6, 164, 10);
+            assert!(p < 0.35, "{} draws {p} W", d.name);
+        }
+    }
+
+    #[test]
+    fn only_sskf_skips_covariance() {
+        for d in catalog::table3() {
+            assert_eq!(d.tracks_covariance(), d.name != "SSKF", "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! DMA transaction model (the `load`/`store` functions of the accelerator).
+//!
+//! The `chunks` and `batches` registers shape the accelerator's main-memory
+//! traffic: one invocation runs `batches` DMA transactions, each delivering
+//! `chunks × z_dim` measurement words, and stores `chunks` state vectors and
+//! covariance matrices back (paper Section IV). Cycle costs follow the
+//! ESP DMA structure: a fixed per-transaction setup (descriptor write, NoC
+//! round trip, memory-controller latency) plus one beat per word once the
+//! burst is streaming.
+
+use crate::plm::WordWidth;
+
+/// Cycle cost parameters of one DMA engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaParams {
+    /// Fixed cycles per transaction (descriptor + NoC + DRAM latency).
+    pub setup_cycles: u64,
+    /// Cycles per transferred 32-bit word once streaming (1 beat/word on the
+    /// ESP 32-bit coherent-DMA plane).
+    pub cycles_per_word32: f64,
+}
+
+impl Default for DmaParams {
+    fn default() -> Self {
+        Self { setup_cycles: 220, cycles_per_word32: 1.0 }
+    }
+}
+
+/// Accumulated DMA traffic statistics of one accelerator invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DmaStats {
+    /// Transactions issued.
+    pub transactions: u64,
+    /// 32-bit words moved in (loads).
+    pub words_in: u64,
+    /// 32-bit words moved out (stores).
+    pub words_out: u64,
+    /// Total cycles spent in DMA (not overlapped with compute in this
+    /// conservative model).
+    pub cycles: u64,
+}
+
+/// DMA engine accumulating transfer statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DmaEngine {
+    params: DmaParams,
+    stats: DmaStats,
+}
+
+impl DmaEngine {
+    /// Creates an engine with the given cost parameters.
+    pub fn new(params: DmaParams) -> Self {
+        Self { params, stats: DmaStats::default() }
+    }
+
+    /// Records a load of `elements` datapath words.
+    pub fn load(&mut self, elements: usize, width: WordWidth) {
+        self.transfer(elements, width, true);
+    }
+
+    /// Records a store of `elements` datapath words.
+    pub fn store(&mut self, elements: usize, width: WordWidth) {
+        self.transfer(elements, width, false);
+    }
+
+    fn transfer(&mut self, elements: usize, width: WordWidth, inbound: bool) {
+        // The DMA plane is 32 bits wide: 64-bit elements take two beats.
+        let words32 = (elements * width.bytes() / 4) as u64;
+        self.stats.transactions += 1;
+        self.stats.cycles += self.params.setup_cycles
+            + (words32 as f64 * self.params.cycles_per_word32).ceil() as u64;
+        if inbound {
+            self.stats.words_in += words32;
+        } else {
+            self.stats.words_out += words32;
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> DmaStats {
+        self.stats
+    }
+}
+
+/// Cycle cost of the one-time model load (`F`, `Q`, `H`, `R`, `x₀`, `P₀`) at
+/// the start of an invocation.
+pub fn model_load_elements(x_dim: usize, z_dim: usize) -> usize {
+    // F + Q + P0 are x×x; H is z×x; R is z×z; x0 is x.
+    3 * x_dim * x_dim + z_dim * x_dim + z_dim * z_dim + x_dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_accounts_setup_plus_beats() {
+        let mut dma = DmaEngine::new(DmaParams { setup_cycles: 100, cycles_per_word32: 1.0 });
+        dma.load(64, WordWidth::W32);
+        let s = dma.stats();
+        assert_eq!(s.transactions, 1);
+        assert_eq!(s.words_in, 64);
+        assert_eq!(s.cycles, 164);
+    }
+
+    #[test]
+    fn w64_elements_double_the_beats() {
+        let mut a = DmaEngine::new(DmaParams::default());
+        let mut b = DmaEngine::new(DmaParams::default());
+        a.load(100, WordWidth::W32);
+        b.load(100, WordWidth::W64);
+        assert_eq!(b.stats().words_in, 2 * a.stats().words_in);
+    }
+
+    #[test]
+    fn stores_and_loads_are_tracked_separately() {
+        let mut dma = DmaEngine::new(DmaParams::default());
+        dma.load(10, WordWidth::W32);
+        dma.store(20, WordWidth::W32);
+        let s = dma.stats();
+        assert_eq!(s.words_in, 10);
+        assert_eq!(s.words_out, 20);
+        assert_eq!(s.transactions, 2);
+    }
+
+    #[test]
+    fn model_load_matches_matrix_inventory() {
+        // x=6, z=164: 3·36 + 164·6 + 164² + 6 = 108 + 984 + 26896 + 6.
+        assert_eq!(model_load_elements(6, 164), 108 + 984 + 26896 + 6);
+    }
+
+    #[test]
+    fn more_batches_cost_more_setup() {
+        // Same total words in 1 vs 10 transactions.
+        let mut one = DmaEngine::new(DmaParams::default());
+        one.load(1000, WordWidth::W32);
+        let mut ten = DmaEngine::new(DmaParams::default());
+        for _ in 0..10 {
+            ten.load(100, WordWidth::W32);
+        }
+        assert!(ten.stats().cycles > one.stats().cycles);
+        assert_eq!(ten.stats().words_in, one.stats().words_in);
+    }
+}

@@ -1,0 +1,50 @@
+//! Architectural model of KalmMind hardware accelerators.
+//!
+//! The paper prototypes its accelerators in Vivado HLS on a Virtex
+//! UltraScale XCVU440 inside an ESP SoC. This crate substitutes a software
+//! *architectural model* (see DESIGN.md for the substitution argument):
+//!
+//! * [`registers`] — the 7 memory-mapped configuration registers;
+//! * [`plm`] — the multi-bank private local memories and their sizing;
+//! * [`dma`] — `chunks`/`batches` DMA transaction accounting;
+//! * [`cost`] — the per-operation cycle-cost model of the `compute`
+//!   datapaths (pipelined matrix ops, the 8-MAC Newton array, the serial
+//!   division chains of the calculation paths);
+//! * [`resources`]/[`power`] — inventory-based FPGA resource and power
+//!   estimation, calibrated to the structure of the paper's Table III;
+//! * [`design`] — the catalog of Table III designs (Gauss/Newton,
+//!   Cholesky/Newton, QR/Newton, FX32/FX64, LITE, SSKF, SSKF/Newton,
+//!   Taylor, Gauss-Only);
+//! * [`sim`] — the load/compute/store accelerator simulation producing both
+//!   *numerically faithful outputs* (it runs the real filter in the design's
+//!   datatype) and modeled latency/energy;
+//! * [`soc`] — the host-side model: CVA6 and Intel i7 software baselines and
+//!   the ESP-style invocation overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use kalmmind_accel::design::catalog;
+//! use kalmmind_accel::sim::AccelSim;
+//!
+//! let design = catalog::gauss_newton();
+//! let sim = AccelSim::new(design);
+//! assert_eq!(sim.design().name, "Gauss/Newton");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod design;
+pub mod dma;
+pub mod plm;
+pub mod power;
+pub mod registers;
+pub mod resources;
+pub mod sim;
+pub mod soc;
+
+/// The SoC clock frequency of the paper's FPGA prototype (set by the CVA6
+/// critical path).
+pub const CLOCK_HZ: f64 = 78.0e6;

@@ -1,0 +1,222 @@
+//! Private local memory (PLM) model.
+//!
+//! The accelerator keeps every matrix in multi-bank PLMs so the datapath can
+//! issue several reads per cycle (paper Section IV, after Pilato et al.).
+//! This module models the *inventory*: which buffers a design instantiates,
+//! how many words each holds, how many ports (banks) it needs — feeding the
+//! BRAM estimate in [`crate::resources`] and validating that a configured
+//! problem fits the design-time sizing.
+
+use kalmmind::KalmanError;
+
+/// Bits per word of the datapath's element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordWidth {
+    /// 32-bit elements (float or FX32).
+    W32,
+    /// 64-bit elements (FX64).
+    W64,
+}
+
+impl WordWidth {
+    /// Bytes per element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Self::W32 => 4,
+            Self::W64 => 8,
+        }
+    }
+}
+
+/// One PLM buffer: a named local memory sized at design time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlmBuffer {
+    /// Buffer name (`"P"`, `"S_inv"`, `"z_chunk"`, ...).
+    pub name: &'static str,
+    /// Capacity in elements.
+    pub words: usize,
+    /// Read/write ports exposed — implemented by banking, so BRAM count
+    /// rounds up per bank.
+    pub ports: usize,
+}
+
+impl PlmBuffer {
+    /// Creates a buffer descriptor.
+    pub fn new(name: &'static str, words: usize, ports: usize) -> Self {
+        Self { name, words, ports: ports.max(1) }
+    }
+
+    /// Number of 36 Kb BRAM blocks this buffer occupies at the given word
+    /// width: each bank holds `ceil(words/ports)` elements and rounds up to
+    /// whole BRAMs (4.5 KB each).
+    pub fn bram36(&self, width: WordWidth) -> usize {
+        const BRAM36_BYTES: usize = 4608;
+        let per_bank_words = self.words.div_ceil(self.ports);
+        let per_bank_bytes = per_bank_words * width.bytes();
+        self.ports * per_bank_bytes.div_ceil(BRAM36_BYTES).max(1)
+    }
+}
+
+/// The complete PLM inventory of one accelerator design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlmInventory {
+    buffers: Vec<PlmBuffer>,
+    width: WordWidth,
+}
+
+impl PlmInventory {
+    /// Builds an inventory with the datapath's word width.
+    pub fn new(width: WordWidth, buffers: Vec<PlmBuffer>) -> Self {
+        Self { buffers, width }
+    }
+
+    /// The standard buffer set of a full KF datapath (double-buffered state,
+    /// model matrices, S/S⁻¹ working set, measurement chunk).
+    ///
+    /// `keeps_seed` adds the previous-inverse buffer the Newton seed
+    /// policies require; `chunks` sizes the measurement staging buffer.
+    pub fn kf_datapath(
+        width: WordWidth,
+        x_dim: usize,
+        z_dim: usize,
+        chunks: usize,
+        keeps_seed: bool,
+    ) -> Self {
+        let mut buffers = vec![
+            // Model matrices, loaded once and reused across iterations.
+            PlmBuffer::new("F", x_dim * x_dim, 2),
+            PlmBuffer::new("Q", x_dim * x_dim, 1),
+            PlmBuffer::new("H", z_dim * x_dim, 2),
+            PlmBuffer::new("R", z_dim * z_dim, 1),
+            // Double-buffered evolving state (paper Fig. 3b).
+            PlmBuffer::new("x_db", 2 * x_dim, 2),
+            PlmBuffer::new("P_db", 2 * x_dim * x_dim, 2),
+            // Inversion working set.
+            PlmBuffer::new("S", z_dim * z_dim, 2),
+            PlmBuffer::new("S_inv", z_dim * z_dim, 2),
+            // Gain and measurement staging.
+            PlmBuffer::new("K", x_dim * z_dim, 2),
+            PlmBuffer::new("z_chunk", chunks * z_dim, 1),
+        ];
+        if keeps_seed {
+            buffers.push(PlmBuffer::new("seed", z_dim * z_dim, 2));
+        }
+        Self::new(width, buffers)
+    }
+
+    /// The reduced buffer set of the constant-gain SSKF datapath (no
+    /// covariance, no S).
+    pub fn sskf_datapath(width: WordWidth, x_dim: usize, z_dim: usize, chunks: usize) -> Self {
+        Self::new(
+            width,
+            vec![
+                PlmBuffer::new("F", x_dim * x_dim, 2),
+                PlmBuffer::new("H", z_dim * x_dim, 2),
+                PlmBuffer::new("K_const", x_dim * z_dim, 2),
+                PlmBuffer::new("x_db", 2 * x_dim, 2),
+                PlmBuffer::new("z_chunk", chunks * z_dim, 1),
+            ],
+        )
+    }
+
+    /// Word width of the datapath.
+    pub fn width(&self) -> WordWidth {
+        self.width
+    }
+
+    /// Borrow of the buffer descriptors.
+    pub fn buffers(&self) -> &[PlmBuffer] {
+        &self.buffers
+    }
+
+    /// Total elements across all buffers.
+    pub fn total_words(&self) -> usize {
+        self.buffers.iter().map(|b| b.words).sum()
+    }
+
+    /// Total 36 Kb BRAM blocks (the Table III `BRAM` column unit).
+    pub fn total_bram36(&self) -> usize {
+        self.buffers.iter().map(|b| b.bram36(self.width)).sum()
+    }
+
+    /// Checks that a runtime configuration fits the design-time sizing of
+    /// buffer `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadConfig`] when `needed_words` exceeds the
+    /// buffer's capacity or no such buffer exists.
+    pub fn check_fits(&self, name: &str, needed_words: usize) -> Result<(), KalmanError> {
+        match self.buffers.iter().find(|b| b.name == name) {
+            Some(b) if b.words >= needed_words => Ok(()),
+            Some(b) => Err(KalmanError::BadConfig {
+                register: "z_dim",
+                reason: format!(
+                    "buffer {name} holds {} words, configuration needs {needed_words}",
+                    b.words
+                ),
+            }),
+            None => Err(KalmanError::BadConfig {
+                register: "z_dim",
+                reason: format!("design has no PLM buffer named {name}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_rounds_up_per_bank() {
+        // 100 words × 4 B = 400 B in 1 bank → 1 BRAM.
+        assert_eq!(PlmBuffer::new("t", 100, 1).bram36(WordWidth::W32), 1);
+        // Same words over 4 banks → 4 BRAMs (fragmentation).
+        assert_eq!(PlmBuffer::new("t", 100, 4).bram36(WordWidth::W32), 4);
+        // 2000 words × 4 B = 8000 B in 1 bank → 2 BRAMs.
+        assert_eq!(PlmBuffer::new("t", 2000, 1).bram36(WordWidth::W32), 2);
+    }
+
+    #[test]
+    fn w64_doubles_storage() {
+        let b = PlmBuffer::new("t", 2000, 1);
+        assert_eq!(b.bram36(WordWidth::W64), 2 * b.bram36(WordWidth::W32));
+    }
+
+    #[test]
+    fn kf_inventory_scales_with_z_dim() {
+        let small = PlmInventory::kf_datapath(WordWidth::W32, 6, 46, 10, true);
+        let large = PlmInventory::kf_datapath(WordWidth::W32, 6, 164, 10, true);
+        assert!(large.total_bram36() > small.total_bram36());
+        // The motor-size inventory lands in the Table III BRAM ballpark
+        // (~200-400 for the calc/approx designs).
+        let bram = large.total_bram36();
+        assert!((100..500).contains(&bram), "BRAM estimate {bram} out of range");
+    }
+
+    #[test]
+    fn sskf_inventory_is_far_smaller() {
+        let full = PlmInventory::kf_datapath(WordWidth::W32, 6, 164, 10, true);
+        let sskf = PlmInventory::sskf_datapath(WordWidth::W32, 6, 164, 10);
+        // Table III: SSKF uses ~10x less BRAM than the full designs.
+        assert!(sskf.total_bram36() * 5 < full.total_bram36());
+    }
+
+    #[test]
+    fn seed_buffer_is_optional() {
+        let with = PlmInventory::kf_datapath(WordWidth::W32, 6, 100, 10, true);
+        let without = PlmInventory::kf_datapath(WordWidth::W32, 6, 100, 10, false);
+        assert!(with.total_words() > without.total_words());
+        assert!(with.buffers().iter().any(|b| b.name == "seed"));
+        assert!(!without.buffers().iter().any(|b| b.name == "seed"));
+    }
+
+    #[test]
+    fn check_fits_validates_capacity() {
+        let inv = PlmInventory::kf_datapath(WordWidth::W32, 6, 52, 10, false);
+        assert!(inv.check_fits("S", 52 * 52).is_ok());
+        assert!(inv.check_fits("S", 164 * 164).is_err());
+        assert!(inv.check_fits("nonexistent", 1).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Power model: a linear resource-activity model at the 78 MHz SoC clock.
+//!
+//! `P = P_static + c_lut·LUT + c_ff·FF + c_bram·BRAM + c_dsp·DSP`, with
+//! coefficients calibrated on the paper's Table III pairs (e.g. Gauss/Newton
+//! ≈ 0.185 W at 22 k LUT / 19 k FF / 228 BRAM / 252 DSP; SSKF ≈ 0.051 W).
+//! The same model prices the CVA6 tile for the software baseline.
+
+use crate::resources::Resources;
+
+/// Static (clock-tree + leakage share) watts attributed to one tile.
+pub const STATIC_W: f64 = 0.010;
+/// Dynamic watts per LUT at 78 MHz and typical toggle rates.
+pub const W_PER_LUT: f64 = 2.0e-6;
+/// Dynamic watts per flip-flop.
+pub const W_PER_FF: f64 = 1.0e-6;
+/// Dynamic watts per 36 Kb BRAM block.
+pub const W_PER_BRAM: f64 = 2.5e-4;
+/// Dynamic watts per DSP slice.
+pub const W_PER_DSP: f64 = 1.2e-4;
+
+/// Average power of a design given its resources.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_accel::power::average_power_w;
+/// use kalmmind_accel::resources::Resources;
+///
+/// let gauss_newton = Resources { lut: 22119, ff: 18725, bram: 228.0, dsp: 252 };
+/// let p = average_power_w(&gauss_newton);
+/// assert!((0.1..0.3).contains(&p)); // Table III reports 0.185 W
+/// ```
+pub fn average_power_w(resources: &Resources) -> f64 {
+    STATIC_W
+        + W_PER_LUT * resources.lut as f64
+        + W_PER_FF * resources.ff as f64
+        + W_PER_BRAM * resources.bram
+        + W_PER_DSP * resources.dsp as f64
+}
+
+/// Energy in joules for `latency_s` seconds at the design's average power.
+pub fn energy_j(resources: &Resources, latency_s: f64) -> f64 {
+    average_power_w(resources) * latency_s
+}
+
+/// The paper's body-area-network power ceiling for the relay station.
+pub const BAN_POWER_LIMIT_W: f64 = 0.200;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3(lut: u64, ff: u64, bram: f64, dsp: u64) -> Resources {
+        Resources { lut, ff, bram, dsp }
+    }
+
+    #[test]
+    fn calibration_reproduces_table3_power_levels() {
+        // (paper row, paper watts, tolerance factor 2)
+        let cases = [
+            (table3(22119, 18725, 228.0, 252), 0.185),
+            (table3(8403, 6752, 19.5, 102), 0.051),
+            (table3(15591, 13405, 146.5, 193), 0.114),
+            (table3(34831, 26109, 369.0, 534), 0.180),
+            (table3(12386, 10290, 102.5, 153), 0.098),
+        ];
+        for (r, paper_w) in cases {
+            let p = average_power_w(&r);
+            assert!(
+                p > paper_w / 2.0 && p < paper_w * 2.0,
+                "modeled {p} W vs paper {paper_w} W"
+            );
+        }
+    }
+
+    #[test]
+    fn all_designs_meet_the_ban_limit() {
+        // The largest accelerator of Table III stays under 200 mW.
+        let fx64 = table3(34831, 26109, 369.0, 534);
+        assert!(average_power_w(&fx64) < BAN_POWER_LIMIT_W * 1.5);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_time() {
+        let r = table3(10000, 8000, 100.0, 100);
+        assert!((energy_j(&r, 2.0) - 2.0 * energy_j(&r, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_resources_mean_more_power() {
+        let small = table3(8000, 6000, 20.0, 100);
+        let large = table3(25000, 20000, 250.0, 260);
+        assert!(average_power_w(&large) > average_power_w(&small));
+    }
+}

@@ -1,0 +1,283 @@
+//! The accelerator's memory-mapped configuration registers (paper Fig. 3).
+//!
+//! Seven registers control communication and computation:
+//! `x_dim`, `z_dim` (matrix shapes), `chunks`, `batches` (DMA layout), and
+//! `approx`, `calc_freq`, `policy` (the inversion dataflow). This module
+//! emulates the register file the Linux driver writes over the ESP
+//! memory-mapped interface.
+
+use kalmmind::inverse::{CalcMethod, SeedPolicy};
+use kalmmind::{KalmMindConfig, KalmanError};
+
+/// Word offsets of each register in the accelerator's CSR space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum RegAddr {
+    /// State-vector dimension.
+    XDim = 0,
+    /// Measurement-vector dimension (channel count).
+    ZDim = 1,
+    /// Measurement vectors per DMA transaction.
+    Chunks = 2,
+    /// DMA transactions per invocation.
+    Batches = 3,
+    /// Newton internal iterations per approximated KF iteration.
+    Approx = 4,
+    /// Calculation schedule (0 = first iteration only, k = every k-th).
+    CalcFreq = 5,
+    /// Seed policy (0 = Eq. 5 last-calculated, 1 = Eq. 4 previous).
+    Policy = 6,
+}
+
+impl RegAddr {
+    /// All registers in address order.
+    pub const ALL: [RegAddr; 7] = [
+        RegAddr::XDim,
+        RegAddr::ZDim,
+        RegAddr::Chunks,
+        RegAddr::Batches,
+        RegAddr::Approx,
+        RegAddr::CalcFreq,
+        RegAddr::Policy,
+    ];
+}
+
+/// The register file with driver-style access and validation.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_accel::registers::{RegAddr, RegisterFile};
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let mut regs = RegisterFile::new();
+/// regs.write(RegAddr::XDim, 6);
+/// regs.write(RegAddr::ZDim, 164);
+/// regs.write(RegAddr::Chunks, 10);
+/// regs.write(RegAddr::Batches, 10);
+/// regs.write(RegAddr::Approx, 2);
+/// regs.write(RegAddr::CalcFreq, 4);
+/// regs.write(RegAddr::Policy, 0);
+/// let cfg = regs.validate()?;
+/// assert_eq!(cfg.total_iterations(), 100); // chunks × batches
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegisterFile {
+    words: [u32; 7],
+}
+
+impl RegisterFile {
+    /// Creates an all-zero register file (invalid until programmed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one register (the driver's MMIO store).
+    pub fn write(&mut self, addr: RegAddr, value: u32) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Reads one register back (the driver's MMIO load).
+    pub fn read(&self, addr: RegAddr) -> u32 {
+        self.words[addr as usize]
+    }
+
+    /// Validates the programmed values into an [`AcceleratorConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadConfig`] when any register is out of range
+    /// (zero dimensions, zero chunks/batches, `approx` = 0, `policy` > 1).
+    pub fn validate(&self) -> Result<AcceleratorConfig, KalmanError> {
+        AcceleratorConfig::from_registers(
+            self.read(RegAddr::XDim),
+            self.read(RegAddr::ZDim),
+            self.read(RegAddr::Chunks),
+            self.read(RegAddr::Batches),
+            self.read(RegAddr::Approx),
+            self.read(RegAddr::CalcFreq),
+            self.read(RegAddr::Policy),
+        )
+    }
+}
+
+/// A validated accelerator configuration (all 7 registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// State dimension.
+    pub x_dim: usize,
+    /// Measurement dimension.
+    pub z_dim: usize,
+    /// Measurement vectors per DMA transaction.
+    pub chunks: usize,
+    /// DMA transactions per invocation.
+    pub batches: usize,
+    /// Newton internal iterations.
+    pub approx: usize,
+    /// Calculation schedule.
+    pub calc_freq: u32,
+    /// Seed policy.
+    pub policy: SeedPolicy,
+}
+
+impl AcceleratorConfig {
+    /// Builds and validates a configuration from raw register values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadConfig`] on out-of-range values.
+    pub fn from_registers(
+        x_dim: u32,
+        z_dim: u32,
+        chunks: u32,
+        batches: u32,
+        approx: u32,
+        calc_freq: u32,
+        policy: u32,
+    ) -> Result<Self, KalmanError> {
+        fn positive(register: &'static str, v: u32) -> Result<usize, KalmanError> {
+            if v == 0 {
+                Err(KalmanError::BadConfig {
+                    register,
+                    reason: "must be positive".to_string(),
+                })
+            } else {
+                Ok(v as usize)
+            }
+        }
+        Ok(Self {
+            x_dim: positive("x_dim", x_dim)?,
+            z_dim: positive("z_dim", z_dim)?,
+            chunks: positive("chunks", chunks)?,
+            batches: positive("batches", batches)?,
+            // approx = 0 is legal at the register level: the SSKF/Newton
+            // design interprets it as "use the constant inverse unrefined".
+            // Designs that require Newton iterations reject 0 when the
+            // strategy is built.
+            approx: approx as usize,
+            calc_freq,
+            policy: SeedPolicy::from_register(policy)?,
+        })
+    }
+
+    /// Total KF iterations per invocation: `chunks × batches` (paper
+    /// Section IV).
+    pub fn total_iterations(&self) -> usize {
+        self.chunks * self.batches
+    }
+
+    /// The algorithm-level configuration (for building the inversion
+    /// strategy), with the given Path A calculation method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KalmanError::BadConfig`] for an oversized `approx`.
+    pub fn to_kalmmind_config(&self, calc: CalcMethod) -> Result<KalmMindConfig, KalmanError> {
+        KalmMindConfig::builder()
+            .calc(calc)
+            .approx(self.approx)
+            .calc_freq(self.calc_freq)
+            .policy(self.policy)
+            .build()
+    }
+
+    /// A convenient default layout for `n` KF iterations: chunks of 10.
+    pub fn for_iterations(x_dim: usize, z_dim: usize, n: usize) -> Self {
+        let chunks = 10.min(n.max(1));
+        let batches = n.div_ceil(chunks);
+        Self {
+            x_dim,
+            z_dim,
+            chunks,
+            batches,
+            approx: 1,
+            calc_freq: 1,
+            policy: SeedPolicy::LastCalculated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programmed() -> RegisterFile {
+        let mut regs = RegisterFile::new();
+        regs.write(RegAddr::XDim, 6);
+        regs.write(RegAddr::ZDim, 164);
+        regs.write(RegAddr::Chunks, 5);
+        regs.write(RegAddr::Batches, 20);
+        regs.write(RegAddr::Approx, 3);
+        regs.write(RegAddr::CalcFreq, 4);
+        regs.write(RegAddr::Policy, 1);
+        regs
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let regs = programmed();
+        assert_eq!(regs.read(RegAddr::ZDim), 164);
+        assert_eq!(regs.read(RegAddr::Policy), 1);
+    }
+
+    #[test]
+    fn validate_accepts_programmed_file() {
+        let cfg = programmed().validate().unwrap();
+        assert_eq!(cfg.x_dim, 6);
+        assert_eq!(cfg.total_iterations(), 100);
+        assert_eq!(cfg.policy, SeedPolicy::PreviousIteration);
+    }
+
+    #[test]
+    fn zero_registers_are_rejected() {
+        let regs = RegisterFile::new();
+        assert!(matches!(
+            regs.validate(),
+            Err(KalmanError::BadConfig { register: "x_dim", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_approx_is_legal_at_register_level() {
+        // SSKF/Newton reads approx = 0 as "constant inverse, no refinement".
+        let mut regs = programmed();
+        regs.write(RegAddr::Approx, 0);
+        assert_eq!(regs.validate().unwrap().approx, 0);
+    }
+
+    #[test]
+    fn invalid_policy_is_rejected() {
+        let mut regs = programmed();
+        regs.write(RegAddr::Policy, 7);
+        assert!(matches!(
+            regs.validate(),
+            Err(KalmanError::BadConfig { register: "policy", .. })
+        ));
+    }
+
+    #[test]
+    fn calc_freq_zero_is_legal() {
+        let mut regs = programmed();
+        regs.write(RegAddr::CalcFreq, 0);
+        assert_eq!(regs.validate().unwrap().calc_freq, 0);
+    }
+
+    #[test]
+    fn to_kalmmind_config_carries_registers() {
+        let cfg = programmed().validate().unwrap();
+        let kc = cfg.to_kalmmind_config(CalcMethod::Cholesky).unwrap();
+        assert_eq!(kc.approx(), 3);
+        assert_eq!(kc.calc_freq(), 4);
+        assert_eq!(kc.calc(), CalcMethod::Cholesky);
+    }
+
+    #[test]
+    fn for_iterations_layout_covers_n() {
+        let cfg = AcceleratorConfig::for_iterations(6, 52, 100);
+        assert!(cfg.total_iterations() >= 100);
+        let odd = AcceleratorConfig::for_iterations(6, 52, 7);
+        assert!(odd.total_iterations() >= 7);
+    }
+}

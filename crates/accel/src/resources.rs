@@ -1,0 +1,183 @@
+//! Inventory-based FPGA resource estimation.
+//!
+//! Each design is a sum of datapath components (control, DMA, the common KF
+//! pipeline, one or more inversion units) plus the BRAM of its PLM
+//! inventory. Component costs are calibrated against the *structure* of the
+//! paper's Table III (e.g. the Newton unit is the Gauss/Newton − Gauss-Only
+//! delta); they reproduce the relative ordering and magnitudes, not the
+//! exact Vivado numbers.
+
+use std::ops::Add;
+
+use crate::cost::Datatype;
+
+/// FPGA resource bundle (the Table III columns).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// 36 Kb block RAMs (fractional halves appear as `.5` in the paper; we
+    /// count whole blocks).
+    pub bram: f64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+impl Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram: self.bram + rhs.bram,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+/// Hardware building blocks that appear in KalmMind designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Load/compute/store control FSMs and CSR logic.
+    BaseControl,
+    /// The ESP DMA engine interface.
+    Dma,
+    /// The measurement-independent KF pipeline (predict, S build, K apply,
+    /// update) with its single shared MAC.
+    KfCommon,
+    /// Gauss–Jordan calculation unit (pivoting + divider).
+    GaussUnit,
+    /// Cholesky calculation unit (divider + square root).
+    CholeskyUnit,
+    /// Householder-QR calculation unit.
+    QrUnit,
+    /// The 8-MAC Newton–Schulz array with its seed management.
+    NewtonUnit,
+    /// A reduced Newton array without the dual-seed control (LITE).
+    NewtonLiteUnit,
+    /// The Taylor gain unit (diagonal reciprocal + series accumulation).
+    TaylorUnit,
+    /// The constant-gain SSKF state-only datapath.
+    SskfUnit,
+}
+
+impl Component {
+    /// Resource cost of the component in the FP32 datapath (LUT, FF, DSP;
+    /// BRAM comes from the PLM inventory instead).
+    pub fn cost_fp32(self) -> Resources {
+        let (lut, ff, dsp) = match self {
+            Self::BaseControl => (2600, 2300, 0),
+            Self::Dma => (1900, 1700, 0),
+            Self::KfCommon => (4600, 3900, 44),
+            Self::GaussUnit => (3300, 2400, 57),
+            Self::CholeskyUnit => (3600, 3800, 73),
+            Self::QrUnit => (6000, 4900, 63),
+            Self::NewtonUnit => (9700, 8400, 99),
+            Self::NewtonLiteUnit => (6500, 5500, 93),
+            Self::TaylorUnit => (5900, 5500, 89),
+            Self::SskfUnit => (3900, 2800, 58),
+        };
+        Resources { lut, ff, bram: 0.0, dsp }
+    }
+
+    /// Resource cost scaled by the datatype: fixed-point datapaths trade
+    /// LUT/FF for DSP-heavy wide multipliers, FX64 roughly doubles
+    /// everything arithmetic.
+    pub fn cost(self, datatype: Datatype) -> Resources {
+        let base = self.cost_fp32();
+        match datatype {
+            Datatype::Fp32 => base,
+            Datatype::Fx32 => Resources {
+                lut: base.lut * 85 / 100,
+                ff: base.ff * 65 / 100,
+                bram: base.bram,
+                dsp: base.dsp * 86 / 100,
+            },
+            Datatype::Fx64 => Resources {
+                lut: base.lut * 157 / 100,
+                ff: base.ff * 139 / 100,
+                bram: base.bram,
+                dsp: base.dsp * 212 / 100,
+            },
+        }
+    }
+}
+
+/// Sums component costs and the PLM BRAM into a design's resource bundle.
+pub fn estimate(components: &[Component], datatype: Datatype, plm_bram36: usize) -> Resources {
+    let mut total = Resources::default();
+    for &c in components {
+        total = total + c.cost(datatype);
+    }
+    total.bram += plm_bram36 as f64;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_design(extra: Component) -> Vec<Component> {
+        vec![Component::BaseControl, Component::Dma, Component::KfCommon, extra]
+    }
+
+    #[test]
+    fn gauss_newton_exceeds_gauss_only() {
+        let gauss_only = estimate(&full_design(Component::GaussUnit), Datatype::Fp32, 100);
+        let mut with_newton = full_design(Component::GaussUnit);
+        with_newton.push(Component::NewtonUnit);
+        let gauss_newton = estimate(&with_newton, Datatype::Fp32, 130);
+        assert!(gauss_newton.lut > gauss_only.lut);
+        assert!(gauss_newton.dsp > gauss_only.dsp);
+        assert!(gauss_newton.bram > gauss_only.bram);
+    }
+
+    #[test]
+    fn sskf_is_the_smallest_design() {
+        let sskf = estimate(
+            &[Component::BaseControl, Component::Dma, Component::SskfUnit],
+            Datatype::Fp32,
+            10,
+        );
+        let lite = estimate(&full_design(Component::NewtonLiteUnit), Datatype::Fp32, 100);
+        assert!(sskf.lut < lite.lut);
+        assert!(sskf.dsp < lite.dsp);
+        assert!(sskf.bram < lite.bram);
+    }
+
+    #[test]
+    fn fx64_inflates_and_fx32_shrinks() {
+        let comps = full_design(Component::GaussUnit);
+        let fp32 = estimate(&comps, Datatype::Fp32, 100);
+        let fx32 = estimate(&comps, Datatype::Fx32, 100);
+        let fx64 = estimate(&comps, Datatype::Fx64, 200);
+        assert!(fx32.lut < fp32.lut);
+        assert!(fx64.lut > fp32.lut);
+        assert!(fx64.dsp > 2 * fp32.dsp - 10);
+    }
+
+    #[test]
+    fn magnitudes_match_table3_ballpark() {
+        // Gauss/Newton in the paper: ~22k LUT, ~19k FF, ~252 DSP.
+        let mut comps = full_design(Component::GaussUnit);
+        comps.push(Component::NewtonUnit);
+        let r = estimate(&comps, Datatype::Fp32, 130);
+        assert!((15_000..30_000).contains(&r.lut), "LUT {}", r.lut);
+        assert!((12_000..28_000).contains(&r.ff), "FF {}", r.ff);
+        assert!((150..350).contains(&r.dsp), "DSP {}", r.dsp);
+    }
+
+    #[test]
+    fn resources_add_componentwise() {
+        let a = Resources { lut: 1, ff: 2, bram: 3.0, dsp: 4 };
+        let b = Resources { lut: 10, ff: 20, bram: 30.0, dsp: 40 };
+        let c = a + b;
+        assert_eq!(c.lut, 11);
+        assert_eq!(c.ff, 22);
+        assert_eq!(c.bram, 33.0);
+        assert_eq!(c.dsp, 44);
+    }
+}

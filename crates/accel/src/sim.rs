@@ -1,0 +1,445 @@
+//! The load/compute/store accelerator simulation.
+//!
+//! [`AccelSim::run`] does two things at once:
+//!
+//! 1. **Numerics** — it runs the real Kalman filter in the design's element
+//!    datatype (f32, Q16.16, or Q32.32) with the design's gain strategy, so
+//!    the outputs carry the true approximation and quantization error of the
+//!    modeled datapath;
+//! 2. **Timing** — it charges every iteration the datapath cycle cost from
+//!    [`crate::cost`] and every transfer the DMA cost from [`crate::dma`],
+//!    then converts cycles → seconds at 78 MHz and seconds → joules with the
+//!    design's modeled power.
+//!
+//! Offline training (the SSKF constant gain, the SSKF/Newton constant
+//! inverse, LITE's pre-computed seed) happens in `f64` — mirroring the
+//! paper's flow, where these constants are produced on a host and loaded
+//! into device memory.
+
+use kalmmind::gain::{GainStrategy, InverseGain, SskfGain, TaylorGain};
+use kalmmind::inverse::{NewtonInverse, SskfNewtonInverse};
+use kalmmind::{KalmanError, KalmanFilter, KalmanModel, KalmanState, Result};
+use kalmmind_fixed::{Q16_16, Q32_32};
+use kalmmind_linalg::{decomp, Matrix, Scalar, Vector};
+
+use crate::cost::Datatype;
+use crate::design::{Design, DesignKind};
+use crate::dma::{model_load_elements, DmaEngine, DmaParams, DmaStats};
+use crate::registers::AcceleratorConfig;
+use crate::resources::Resources;
+use crate::{power, CLOCK_HZ};
+
+/// Cycle breakdown of one accelerator invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Cycles in the `load` function (model + measurement DMA).
+    pub load: u64,
+    /// Cycles in the `compute` function.
+    pub compute: u64,
+    /// Cycles in the `store` function (state + covariance DMA).
+    pub store: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles of the invocation.
+    pub fn total(&self) -> u64 {
+        self.load + self.compute + self.store
+    }
+}
+
+/// Everything one simulated invocation produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Predicted state after each KF iteration, cast back to `f64` for
+    /// scoring against the reference.
+    pub outputs: Vec<Vector<f64>>,
+    /// Cycle accounting.
+    pub cycles: CycleBreakdown,
+    /// DMA traffic statistics.
+    pub dma: DmaStats,
+    /// End-to-end latency in seconds at the 78 MHz SoC clock.
+    pub latency_s: f64,
+    /// Modeled average power in watts.
+    pub power_w: f64,
+    /// Energy in joules (`power × latency`).
+    pub energy_j: f64,
+    /// Modeled FPGA resources of the design at this problem size.
+    pub resources: Resources,
+}
+
+/// Simulator for one accelerator design.
+#[derive(Debug, Clone)]
+pub struct AccelSim {
+    design: Design,
+    dma_params: DmaParams,
+}
+
+impl AccelSim {
+    /// Creates a simulator with default DMA parameters.
+    pub fn new(design: Design) -> Self {
+        Self { design, dma_params: DmaParams::default() }
+    }
+
+    /// The simulated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Runs one invocation: `measurements.len()` KF iterations through the
+    /// design's datapath.
+    ///
+    /// # Errors
+    ///
+    /// * [`KalmanError::BadConfig`] when the configuration does not fit the
+    ///   design (dimension mismatch, PLM overflow, `approx = 0` on a design
+    ///   that requires Newton iterations).
+    /// * Numeric failures (singular `S` in a calculation iteration).
+    pub fn run(
+        &self,
+        model: &KalmanModel<f64>,
+        init: &KalmanState<f64>,
+        measurements: &[Vector<f64>],
+        config: &AcceleratorConfig,
+    ) -> Result<RunReport> {
+        if config.x_dim != model.x_dim() || config.z_dim != model.z_dim() {
+            return Err(KalmanError::BadConfig {
+                register: "x_dim",
+                reason: format!(
+                    "registers programmed for {}x{}, model is {}x{}",
+                    config.x_dim,
+                    config.z_dim,
+                    model.x_dim(),
+                    model.z_dim()
+                ),
+            });
+        }
+        // The PLM is sized at design time for this problem; confirm the
+        // configured shapes fit (the hardware would corrupt memory instead).
+        let plm = self.design.plm(config.x_dim, config.z_dim, config.chunks);
+        if self.design.tracks_covariance() {
+            plm.check_fits("S", config.z_dim * config.z_dim)?;
+        }
+        plm.check_fits("z_chunk", config.chunks * config.z_dim)?;
+
+        match self.design.datatype {
+            Datatype::Fp32 => self.run_typed::<f32>(model, init, measurements, config),
+            Datatype::Fx32 => self.run_typed::<Q16_16>(model, init, measurements, config),
+            Datatype::Fx64 => self.run_typed::<Q32_32>(model, init, measurements, config),
+        }
+    }
+
+    fn run_typed<T: Scalar>(
+        &self,
+        model: &KalmanModel<f64>,
+        init: &KalmanState<f64>,
+        measurements: &[Vector<f64>],
+        config: &AcceleratorConfig,
+    ) -> Result<RunReport> {
+        let gain = build_gain::<T>(&self.design, model, init, config)?;
+        let model_t: KalmanModel<T> = model.cast();
+        let init_t: KalmanState<T> = init.cast();
+        let mut kf = KalmanFilter::new(model_t, init_t, gain);
+
+        let width = self.design.datatype.word_width();
+        let mut dma = DmaEngine::new(self.dma_params);
+        let x = config.x_dim;
+        let z = config.z_dim;
+
+        // --- load: model matrices + initial state, once per invocation ---
+        dma.load(model_load_elements(x, z), width);
+        if matches!(self.design.kind, DesignKind::Lite) {
+            dma.load(z * z, width); // the pre-computed seed
+        }
+        let load_after_model = dma.stats().cycles;
+
+        // --- per-batch streaming + compute ---
+        let mut compute_cycles = 0u64;
+        let mut outputs = Vec::with_capacity(measurements.len());
+        let mut load_cycles = load_after_model;
+        let mut store_cycles = 0u64;
+
+        for (batch_idx, batch) in measurements.chunks(config.chunks).enumerate() {
+            // load: one DMA transaction delivering chunks × z_dim words.
+            let before = dma.stats().cycles;
+            dma.load(batch.len() * z, width);
+            load_cycles += dma.stats().cycles - before;
+
+            for (i, z_vec) in batch.iter().enumerate() {
+                let iteration = batch_idx * config.chunks + i;
+                let z_t: Vector<T> = z_vec.cast();
+                let state = kf.step(&z_t)?;
+                outputs.push(state.x().cast::<f64>());
+                compute_cycles += self.design.iteration_cycles(
+                    x,
+                    z,
+                    iteration,
+                    config.approx,
+                    config.calc_freq,
+                );
+            }
+
+            // store: computed states (and covariances) for the batch.
+            let before = dma.stats().cycles;
+            let per_iter_out = if self.design.tracks_covariance() { x + x * x } else { x };
+            dma.store(batch.len() * per_iter_out, width);
+            store_cycles += dma.stats().cycles - before;
+        }
+
+        let cycles = CycleBreakdown { load: load_cycles, compute: compute_cycles, store: store_cycles };
+        let latency_s = cycles.total() as f64 / CLOCK_HZ;
+        let resources = self.design.resources(x, z, config.chunks);
+        let power_w = power::average_power_w(&resources);
+        Ok(RunReport {
+            outputs,
+            cycles,
+            dma: dma.stats(),
+            latency_s,
+            power_w,
+            energy_j: power_w * latency_s,
+            resources,
+        })
+    }
+}
+
+/// Builds the design's gain strategy, running any offline training in `f64`.
+fn build_gain<T: Scalar>(
+    design: &Design,
+    model: &KalmanModel<f64>,
+    init: &KalmanState<f64>,
+    config: &AcceleratorConfig,
+) -> Result<Box<dyn GainStrategy<T>>> {
+    use kalmmind::inverse::CalcMethod;
+
+    let require_approx = || -> Result<usize> {
+        if config.approx == 0 {
+            Err(KalmanError::BadConfig {
+                register: "approx",
+                reason: format!("{} requires at least one Newton iteration", design.name),
+            })
+        } else {
+            Ok(config.approx)
+        }
+    };
+
+    Ok(match design.kind {
+        DesignKind::CalcApprox { calc } => {
+            require_approx()?;
+            let cfg = config.to_kalmmind_config(calc)?;
+            Box::new(InverseGain::new(cfg.build_inverse::<T>()))
+        }
+        DesignKind::CalcOnly { calc } => {
+            Box::new(InverseGain::new(kalmmind::inverse::CalcInverse::new(calc)))
+        }
+        DesignKind::Lite => {
+            let approx = require_approx()?;
+            // The pre-computed seed: the exact inverse of the first
+            // iteration's S, produced offline in f64 (paper Section V).
+            let p_pred = &(model.f() * init.p()) * &model.f().transpose() + model.q().clone();
+            let s0 = kalmmind::gain::innovation_covariance(model, &p_pred)?;
+            let seed: Matrix<T> = decomp::lu::invert(&s0)?.cast();
+            Box::new(InverseGain::new(NewtonInverse::with_precomputed_seed(approx, seed)))
+        }
+        DesignKind::SskfNewton => {
+            let trained =
+                SskfNewtonInverse::train(model, init.p(), CalcMethod::Lu, 200, config.approx)?;
+            let cast: Matrix<T> = trained.s_inv_const().cast();
+            Box::new(InverseGain::new(SskfNewtonInverse::new(cast, config.approx)))
+        }
+        DesignKind::Sskf => {
+            let trained = SskfGain::train(model, init.p(), CalcMethod::Lu, 200)?;
+            let k: Matrix<T> = trained
+                .k_const()
+                .expect("train always sets the gain")
+                .cast();
+            Box::new(SskfGain::with_gain(k))
+        }
+        DesignKind::Taylor { order } => Box::new(TaylorGain::with_order(order)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::catalog;
+    use kalmmind::reference_filter;
+
+    /// A small but realistic BCI-shaped problem (x = 6 would be slow in
+    /// debug builds at z = 164, so tests use z = 24).
+    fn problem() -> (KalmanModel<f64>, KalmanState<f64>, Vec<Vector<f64>>) {
+        let x_dim = 4;
+        let z_dim = 24;
+        let h = Matrix::from_fn(z_dim, x_dim, |r, c| {
+            0.4 * (((r * 7 + c * 3) % 11) as f64 / 11.0 - 0.5)
+        });
+        let model = KalmanModel::new(
+            Matrix::from_fn(x_dim, x_dim, |r, c| {
+                if r == c {
+                    0.97
+                } else if c == r + 2 {
+                    0.05
+                } else {
+                    0.0
+                }
+            }),
+            Matrix::identity(x_dim).scale(1e-3),
+            h,
+            Matrix::from_fn(z_dim, z_dim, |r, c| {
+                let d = (r as f64 - c as f64).abs();
+                0.5 * (-d / 3.0).exp() + if r == c { 0.2 } else { 0.0 }
+            }),
+        )
+        .unwrap();
+        // Small initial covariance, as the BCI datasets use: the constant-
+        // inverse designs assume a gentle settling transient (a cold identity
+        // prior would move S faster than a frozen S⁻¹ tolerates).
+        let init = KalmanState::new(Vector::zeros(x_dim), Matrix::identity(x_dim).scale(0.01));
+        let zs: Vec<Vector<f64>> = (0..60)
+            .map(|t| {
+                Vector::from_fn(z_dim, |i| {
+                    ((t as f64) * 0.11 + i as f64 * 0.7).sin() * 0.8
+                })
+            })
+            .collect();
+        (model, init, zs)
+    }
+
+    fn config(z_dim: usize, approx: usize, calc_freq: u32) -> AcceleratorConfig {
+        AcceleratorConfig {
+            x_dim: 4,
+            z_dim,
+            chunks: 10,
+            batches: 6,
+            approx,
+            calc_freq,
+            policy: kalmmind::inverse::SeedPolicy::LastCalculated,
+        }
+    }
+
+    #[test]
+    fn gauss_newton_outputs_track_the_reference() {
+        let (model, init, zs) = problem();
+        let reference = reference_filter(&model, &init, &zs).unwrap();
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let report = sim.run(&model, &init, &zs, &config(24, 2, 4)).unwrap();
+        assert_eq!(report.outputs.len(), zs.len());
+        let score = kalmmind::metrics::compare(&report.outputs, &reference);
+        assert!(score.mse < 1e-3, "accelerator diverged: {score:?}");
+    }
+
+    #[test]
+    fn every_table3_design_runs_and_reports() {
+        let (model, init, zs) = problem();
+        for design in catalog::table3() {
+            let sim = AccelSim::new(design);
+            // SSKF/Newton accepts approx = 0; others need ≥ 1.
+            let approx = if design.name == "SSKF/Newton" { 0 } else { 2 };
+            let report = sim
+                .run(&model, &init, &zs, &config(24, approx, 4))
+                .unwrap_or_else(|e| panic!("{} failed: {e}", design.name));
+            assert_eq!(report.outputs.len(), zs.len(), "{}", design.name);
+            assert!(report.latency_s > 0.0, "{}", design.name);
+            assert!(report.energy_j > 0.0, "{}", design.name);
+            assert!(
+                report.outputs.iter().all(|o| o.all_finite()),
+                "{} produced non-finite outputs",
+                design.name
+            );
+        }
+    }
+
+    #[test]
+    fn sskf_is_fastest_and_least_energy() {
+        let (model, init, zs) = problem();
+        let run = |d: Design, approx: usize| {
+            AccelSim::new(d).run(&model, &init, &zs, &config(24, approx, 4)).unwrap()
+        };
+        let sskf = run(catalog::sskf(), 1);
+        let gauss_newton = run(catalog::gauss_newton(), 2);
+        let gauss_only = run(catalog::gauss_only(), 1);
+        assert!(sskf.latency_s < gauss_newton.latency_s);
+        assert!(sskf.energy_j < gauss_newton.energy_j);
+        assert!(gauss_newton.latency_s < gauss_only.latency_s);
+    }
+
+    #[test]
+    fn approx_register_trades_latency_for_accuracy() {
+        let (model, init, zs) = problem();
+        let reference = reference_filter(&model, &init, &zs).unwrap();
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let fast = sim.run(&model, &init, &zs, &config(24, 1, 0)).unwrap();
+        let accurate = sim.run(&model, &init, &zs, &config(24, 6, 2)).unwrap();
+        assert!(fast.latency_s < accurate.latency_s);
+        let fast_score = kalmmind::metrics::compare(&fast.outputs, &reference);
+        let accurate_score = kalmmind::metrics::compare(&accurate.outputs, &reference);
+        assert!(
+            accurate_score.mse <= fast_score.mse,
+            "more compute must not hurt accuracy: {accurate_score:?} vs {fast_score:?}"
+        );
+    }
+
+    #[test]
+    fn fx32_quantization_shows_up_in_outputs() {
+        let (model, init, zs) = problem();
+        let reference = reference_filter(&model, &init, &zs).unwrap();
+        let fp = AccelSim::new(catalog::gauss_newton())
+            .run(&model, &init, &zs, &config(24, 2, 1))
+            .unwrap();
+        let fx32 = AccelSim::new(catalog::gauss_newton_fx32())
+            .run(&model, &init, &zs, &config(24, 2, 1))
+            .unwrap();
+        let fp_score = kalmmind::metrics::compare(&fp.outputs, &reference);
+        let fx_score = kalmmind::metrics::compare(&fx32.outputs, &reference);
+        assert!(
+            fx_score.mse > fp_score.mse * 10.0,
+            "Q16.16 must be visibly worse: {fx_score:?} vs {fp_score:?}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let (model, init, zs) = problem();
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let bad = config(52, 2, 4); // model has z = 24
+        assert!(matches!(
+            sim.run(&model, &init, &zs, &bad),
+            Err(KalmanError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn approx_zero_rejected_on_interleaved_designs() {
+        let (model, init, zs) = problem();
+        let sim = AccelSim::new(catalog::gauss_newton());
+        assert!(matches!(
+            sim.run(&model, &init, &zs, &config(24, 0, 4)),
+            Err(KalmanError::BadConfig { register: "approx", .. })
+        ));
+    }
+
+    #[test]
+    fn dma_traffic_accounts_model_measurements_and_outputs() {
+        let (model, init, zs) = problem();
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let report = sim.run(&model, &init, &zs, &config(24, 1, 0)).unwrap();
+        let expected_in = model_load_elements(4, 24) + 24 * zs.len();
+        assert_eq!(report.dma.words_in as usize, expected_in);
+        let expected_out = zs.len() * (4 + 16);
+        assert_eq!(report.dma.words_out as usize, expected_out);
+    }
+
+    #[test]
+    fn lite_loads_its_seed_over_dma() {
+        let (model, init, zs) = problem();
+        let lite = AccelSim::new(catalog::lite())
+            .run(&model, &init, &zs, &config(24, 1, 0))
+            .unwrap();
+        let gauss_only = AccelSim::new(catalog::gauss_only())
+            .run(&model, &init, &zs, &config(24, 1, 0))
+            .unwrap();
+        assert_eq!(
+            lite.dma.words_in - gauss_only.dma.words_in,
+            (24 * 24) as u64,
+            "LITE must fetch one z×z seed"
+        );
+    }
+}

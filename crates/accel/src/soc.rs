@@ -1,0 +1,149 @@
+//! Host-side SoC model: software baselines and invocation overhead.
+//!
+//! Table III compares the accelerators against software on two processors:
+//! an Intel i7 at 3.7 GHz (the workstation NumPy runs on) and the 64-bit
+//! CVA6 RISC-V core at 78 MHz inside the ESP SoC. This module models both
+//! with a cycles-per-flop abstraction calibrated on the paper's measured
+//! rows (i7: 0.065 s / 5.1 J; CVA6: 1927 s / 341 J for 100 motor-dataset
+//! iterations), plus the ESP driver overhead of invoking an accelerator.
+
+use crate::CLOCK_HZ;
+
+/// A software execution platform abstracted to clock + flop throughput +
+/// power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Average cycles retired per KF floating-point operation, including
+    /// memory stalls (≪ 1 on a superscalar SIMD core, ≫ 1 on an in-order
+    /// scalar core running generic compiled code).
+    pub cycles_per_flop: f64,
+    /// Package power while running the workload, watts.
+    pub power_w: f64,
+}
+
+impl CpuModel {
+    /// The Intel i7 workstation baseline of Table III.
+    pub fn intel_i7() -> Self {
+        Self { name: "Intel i7", clock_hz: 3.7e9, cycles_per_flop: 0.18, power_w: 78.6 }
+    }
+
+    /// The CVA6 RISC-V core of the ESP SoC at the FPGA clock.
+    pub fn cva6() -> Self {
+        Self { name: "CVA6", clock_hz: CLOCK_HZ, cycles_per_flop: 110.0, power_w: 0.177 }
+    }
+
+    /// Latency in seconds to execute `flops` floating-point operations.
+    pub fn latency_s(&self, flops: u64) -> f64 {
+        flops as f64 * self.cycles_per_flop / self.clock_hz
+    }
+
+    /// Energy in joules for `flops` operations.
+    pub fn energy_j(&self, flops: u64) -> f64 {
+        self.latency_s(flops) * self.power_w
+    }
+}
+
+/// Floating-point operations of one Gauss-based KF iteration (the software
+/// baseline algorithm: Fig. 2 with Gauss–Jordan inversion of `S`).
+pub fn kf_software_flops(x_dim: usize, z_dim: usize) -> u64 {
+    let x = x_dim as u64;
+    let z = z_dim as u64;
+    let predict = 2 * x * x            // x = F·x
+        + 2 * (2 * x * x * x)          // P = F·P·Fᵀ (two x³ products)
+        + x * x;                       // + Q
+    let s_build = 2 * z * x * x        // H·P
+        + 2 * z * z * x                // (H·P)·Hᵀ
+        + z * z;                       // + R
+    let inverse = 4 * z * z * z;       // Gauss–Jordan over [S | I]
+    let gain = 2 * x * z * z + 2 * x * x * z; // P·Hᵀ·S⁻¹
+    let update = 2 * z * x             // H·x
+        + z                            // innovation
+        + 2 * x * z                    // K·y
+        + 2 * x * x * z                // K·H
+        + 2 * x * x * x;               // (I−K·H)·P
+    predict + s_build + inverse + gain + update
+}
+
+/// ESP invocation overhead on the CVA6 side: programming the 7 CSRs,
+/// pointing the DMA at the buffers, and taking the completion interrupt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationOverhead {
+    /// CVA6 cycles to program registers and launch.
+    pub setup_cycles: u64,
+    /// CVA6 cycles to service the completion interrupt.
+    pub interrupt_cycles: u64,
+}
+
+impl Default for InvocationOverhead {
+    fn default() -> Self {
+        Self { setup_cycles: 4_000, interrupt_cycles: 6_000 }
+    }
+}
+
+impl InvocationOverhead {
+    /// Seconds of host time per accelerator invocation.
+    pub fn latency_s(&self) -> f64 {
+        (self.setup_cycles + self.interrupt_cycles) as f64 / CLOCK_HZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i7_latency_matches_the_papers_decade() {
+        let flops = 100 * kf_software_flops(6, 164);
+        let i7 = CpuModel::intel_i7();
+        let latency = i7.latency_s(flops);
+        // Paper: 0.065 s for 100 iterations.
+        assert!((0.01..0.5).contains(&latency), "i7 latency {latency}");
+        let energy = i7.energy_j(flops);
+        assert!((1.0..30.0).contains(&energy), "i7 energy {energy}");
+    }
+
+    #[test]
+    fn cva6_is_minutes_scale_and_hundreds_of_joules() {
+        let flops = 100 * kf_software_flops(6, 164);
+        let cva6 = CpuModel::cva6();
+        let latency = cva6.latency_s(flops);
+        // Paper: 1927 s.
+        assert!((500.0..5000.0).contains(&latency), "cva6 latency {latency}");
+        let energy = cva6.energy_j(flops);
+        assert!((100.0..1000.0).contains(&energy), "cva6 energy {energy}");
+    }
+
+    #[test]
+    fn cva6_is_slower_but_far_lower_power_than_i7() {
+        let flops = kf_software_flops(6, 164);
+        let (i7, cva6) = (CpuModel::intel_i7(), CpuModel::cva6());
+        assert!(cva6.latency_s(flops) > 1e4 * i7.latency_s(flops));
+        assert!(cva6.power_w < i7.power_w / 100.0);
+    }
+
+    #[test]
+    fn flops_are_dominated_by_the_inverse() {
+        let total = kf_software_flops(6, 164);
+        let inverse = 4 * 164u64.pow(3);
+        assert!(inverse * 2 > total, "inverse must be > half the flops");
+    }
+
+    #[test]
+    fn flops_scale_cubically_in_z() {
+        let f1 = kf_software_flops(6, 50);
+        let f2 = kf_software_flops(6, 100);
+        let ratio = f2 as f64 / f1 as f64;
+        assert!((6.0..9.0).contains(&ratio), "expected ~8x, got {ratio}");
+    }
+
+    #[test]
+    fn invocation_overhead_is_microseconds_scale() {
+        let ovh = InvocationOverhead::default();
+        let s = ovh.latency_s();
+        assert!(s > 0.0 && s < 1e-3, "overhead {s} s");
+    }
+}

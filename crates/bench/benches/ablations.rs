@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! seed policy (Eq. 4 vs Eq. 5), Newton MAC-array width, fixed-point vs
+//! floating point kernels, and measurement staging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::KalmanFilter;
+use kalmmind_accel::cost::{matmul_cycles, Datatype};
+use kalmmind_bench::workload;
+use kalmmind_fixed::{Q16_16, Q32_32};
+use kalmmind_linalg::{Matrix, Scalar, Vector};
+use std::hint::black_box;
+
+/// Seed-policy ablation: wall-clock of 10 filter steps under each policy
+/// (identical op counts — the ablation confirms the policies differ only in
+/// accuracy, not time).
+fn bench_seed_policies(c: &mut Criterion) {
+    let w = workload(&kalmmind_neural::presets::hippocampus(kalmmind_bench::SEED));
+    let mut group = c.benchmark_group("seed_policy");
+    group.sample_size(10);
+    for policy in [SeedPolicy::LastCalculated, SeedPolicy::PreviousIteration] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter_batched(
+                || {
+                    KalmanFilter::new(
+                        w.model.clone(),
+                        w.init.clone(),
+                        InverseGain::new(InterleavedInverse::new(
+                            CalcMethod::Gauss,
+                            2,
+                            4,
+                            policy,
+                        )),
+                    )
+                },
+                |mut kf| {
+                    for z in w.dataset.test_measurements().iter().take(10) {
+                        black_box(kf.step(black_box(z)).expect("step"));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// MAC-array width ablation on the *cycle model*: the modeled Newton
+/// latency at 1..16 MACs (this is the paper's 8-MAC design decision).
+fn bench_mac_width_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_mac_width_model");
+    let lat = Datatype::Fp32.latency();
+    for macs in [1u64, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(macs), &macs, |b, &macs| {
+            b.iter(|| {
+                // Two n×n products per Newton iteration at z = 164.
+                black_box(2 * matmul_cycles(164, 164, 164, macs, lat))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Datatype ablation: the same matrix multiplication kernel in f32, f64,
+/// Q16.16 and Q32.32 (native wall clock).
+fn bench_datatype_matmul(c: &mut Criterion) {
+    let n = 52;
+    let mut group = c.benchmark_group("matmul_datatype_z52");
+    group.sample_size(10);
+
+    fn mk<T: Scalar>(n: usize) -> Matrix<T> {
+        Matrix::from_fn(n, n, |r, c| T::from_f64(((r * 31 + c * 7) % 13) as f64 / 13.0 - 0.5))
+    }
+    let (a64, b64) = (mk::<f64>(n), mk::<f64>(n));
+    let (a32, b32) = (mk::<f32>(n), mk::<f32>(n));
+    let (afx32, bfx32) = (mk::<Q16_16>(n), mk::<Q16_16>(n));
+    let (afx64, bfx64) = (mk::<Q32_32>(n), mk::<Q32_32>(n));
+
+    group.bench_function("f64", |b| b.iter(|| black_box(&a64) * black_box(&b64)));
+    group.bench_function("f32", |b| b.iter(|| black_box(&a32) * black_box(&b32)));
+    group.bench_function("fx32_q16_16", |b| b.iter(|| black_box(&afx32) * black_box(&bfx32)));
+    group.bench_function("fx64_q32_32", |b| b.iter(|| black_box(&afx64) * black_box(&bfx64)));
+    group.finish();
+}
+
+/// Measurement-staging ablation: filter throughput when measurements arrive
+/// one-by-one (with a staging copy) vs pre-staged as a block — the software
+/// analogue of the chunks register's motivation.
+fn bench_measurement_staging(c: &mut Criterion) {
+    let w = workload(&kalmmind_neural::presets::hippocampus(kalmmind_bench::SEED));
+    let mut group = c.benchmark_group("measurement_staging");
+    group.sample_size(10);
+
+    group.bench_function("prestaged_block", |b| {
+        b.iter_batched(
+            || KalmanFilter::gauss(w.model.clone(), w.init.clone()),
+            |mut kf| {
+                let outs = kf.run(w.dataset.test_measurements().iter().take(10)).expect("run");
+                black_box(outs);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("one_by_one_with_clone", |b| {
+        b.iter_batched(
+            || KalmanFilter::gauss(w.model.clone(), w.init.clone()),
+            |mut kf| {
+                for z in w.dataset.test_measurements().iter().take(10) {
+                    let staged: Vector<f64> = z.clone(); // per-sample staging copy
+                    black_box(kf.step(&staged).expect("step"));
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seed_policies,
+    bench_mac_width_model,
+    bench_datatype_matmul,
+    bench_measurement_staging
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the accelerator simulator itself: full
+//! invocations of representative Table III designs on the somatosensory
+//! workload (numerics + cycle accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kalmmind::inverse::SeedPolicy;
+use kalmmind_accel::design::catalog;
+use kalmmind_accel::registers::AcceleratorConfig;
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_bench::workload;
+use std::hint::black_box;
+
+fn bench_accelerator_invocations(c: &mut Criterion) {
+    let w = workload(&kalmmind_neural::presets::somatosensory(kalmmind_bench::SEED));
+    let config = AcceleratorConfig {
+        x_dim: w.model.x_dim(),
+        z_dim: w.model.z_dim(),
+        chunks: 10,
+        batches: 10,
+        approx: 2,
+        calc_freq: 4,
+        policy: SeedPolicy::LastCalculated,
+    };
+
+    let mut group = c.benchmark_group("accel_invocation_z52");
+    group.sample_size(10);
+    for design in [
+        catalog::gauss_newton(),
+        catalog::gauss_newton_fx64(),
+        catalog::lite(),
+        catalog::taylor(),
+        catalog::sskf(),
+    ] {
+        let sim = AccelSim::new(design);
+        group.bench_function(design.name, |b| {
+            b.iter(|| {
+                black_box(
+                    sim.run(
+                        black_box(&w.model),
+                        black_box(&w.init),
+                        black_box(w.dataset.test_measurements()),
+                        &config,
+                    )
+                    .expect("invocation"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accelerator_invocations);
+criterion_main!(benches);

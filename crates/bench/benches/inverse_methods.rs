@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks of the matrix-inversion kernels at the paper's
+//! dataset sizes (hippocampus 46, somatosensory 52, motor 164 channels).
+//!
+//! These are native wall-clock numbers for the software kernels — they
+//! complement (not replace) the architectural cycle model, and confirm its
+//! central ratio: Newton iterations from a warm seed are far cheaper than
+//! any exact calculation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalmmind_linalg::{decomp, iterative, Matrix};
+use std::hint::black_box;
+
+/// SPD matrix with the conditioning class of a KF innovation covariance.
+fn spd(n: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |r, c| {
+        let d = (r as f64 - c as f64).abs();
+        0.25 * (-d / 6.0).exp() + if r == c { 0.4 } else { 0.0 }
+    })
+}
+
+fn bench_calculation_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calculation");
+    group.sample_size(10);
+    for &n in &[46usize, 52, 164] {
+        let s = spd(n);
+        group.bench_with_input(BenchmarkId::new("gauss", n), &s, |b, s| {
+            b.iter(|| decomp::gauss::invert(black_box(s)).expect("invert"))
+        });
+        group.bench_with_input(BenchmarkId::new("lu", n), &s, |b, s| {
+            b.iter(|| decomp::lu::invert(black_box(s)).expect("invert"))
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &s, |b, s| {
+            b.iter(|| decomp::cholesky::invert(black_box(s)).expect("invert"))
+        });
+        group.bench_with_input(BenchmarkId::new("qr", n), &s, |b, s| {
+            b.iter(|| decomp::qr::invert(black_box(s)).expect("invert"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_newton_warm_vs_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_warm_seed");
+    group.sample_size(10);
+    for &n in &[46usize, 164] {
+        let s = spd(n);
+        // Warm seed: the inverse of a slightly different matrix, as the
+        // KalmMind seed policies provide.
+        let mut nearby = s.clone();
+        for i in 0..n {
+            nearby[(i, i)] += 0.005;
+        }
+        let seed = decomp::gauss::invert(&nearby).expect("seed");
+        for iters in [1usize, 2, 4, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("iters_{iters}"), n),
+                &(&s, &seed),
+                |b, (s, seed)| {
+                    b.iter(|| {
+                        iterative::newton_schulz(black_box(s), black_box(seed), iters)
+                            .expect("newton")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calculation_methods, bench_newton_warm_vs_methods);
+criterion_main!(benches);

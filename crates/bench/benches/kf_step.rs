@@ -1,0 +1,70 @@
+//! Criterion benchmarks of one full KF iteration under each gain strategy
+//! (native wall clock, somatosensory-sized workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kalmmind::gain::{GainStrategy, InverseGain, SskfGain, TaylorGain};
+use kalmmind::inverse::{CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy};
+use kalmmind::KalmanFilter;
+use kalmmind_bench::workload;
+use kalmmind_linalg::Vector;
+use std::hint::black_box;
+
+fn bench_kf_step(c: &mut Criterion) {
+    let w = workload(&kalmmind_neural::presets::somatosensory(kalmmind_bench::SEED));
+    let zs: Vec<Vector<f64>> = w.dataset.test_measurements().to_vec();
+
+    let mut group = c.benchmark_group("kf_step_z52");
+    group.sample_size(10);
+
+    type StrategyFactory = Box<dyn Fn() -> Box<dyn GainStrategy<f64>>>;
+    let strategies: Vec<(&str, StrategyFactory)> = vec![
+        (
+            "gauss_every_iteration",
+            Box::new(|| Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss)))),
+        ),
+        (
+            "interleaved_a2_cf4",
+            Box::new(|| {
+                Box::new(InverseGain::new(InterleavedInverse::new(
+                    CalcMethod::Gauss,
+                    2,
+                    4,
+                    SeedPolicy::LastCalculated,
+                )))
+            }),
+        ),
+        ("newton_only_a1", Box::new(|| Box::new(InverseGain::new(NewtonInverse::new(1))))),
+        ("taylor", Box::new(|| Box::new(TaylorGain::<f64>::new()))),
+    ];
+    for (name, make) in &strategies {
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || KalmanFilter::new(w.model.clone(), w.init.clone(), make()),
+                |mut kf| {
+                    for z in zs.iter().take(10) {
+                        black_box(kf.step(black_box(z)).expect("step"));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // SSKF is trained once outside the timed region.
+    let sskf = SskfGain::train(&w.model, w.init.p(), CalcMethod::Lu, 200).expect("training");
+    group.bench_function("sskf_constant_gain", |b| {
+        b.iter_batched(
+            || KalmanFilter::new(w.model.clone(), w.init.clone(), sskf.clone()),
+            |mut kf| {
+                for z in zs.iter().take(10) {
+                    black_box(kf.step(black_box(z)).expect("step"));
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kf_step);
+criterion_main!(benches);

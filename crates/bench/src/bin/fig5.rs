@@ -1,0 +1,87 @@
+//! Fig. 5 — latency vs. accuracy with the Gauss/Newton accelerator.
+//!
+//! Combines the Fig. 4 accuracy sweep with the accelerator latency model at
+//! 78 MHz and extracts the Pareto-optimal points per dataset (MSE metric),
+//! checking the paper's two endpoint claims: the least-latency point is
+//! `approx=1, calc_freq=0`, and the best-accuracy point has `approx ≥ 2`.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin fig5`.
+
+use kalmmind::inverse::CalcMethod;
+use kalmmind::sweep::{pareto_front, LatencyPoint, MetricKind};
+use kalmmind::KalmMindConfig;
+use kalmmind_accel::design::catalog;
+use kalmmind_accel::CLOCK_HZ;
+use kalmmind_bench::{all_workloads, parallel_sweep, sci};
+
+fn main() {
+    let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
+    let design = catalog::gauss_newton();
+
+    println!("FIG. 5: Latency vs. accuracy with the Gauss/Newton accelerator");
+    println!("(each point: one configuration; latency from the 78 MHz cycle model;");
+    println!(" accuracy = MSE vs the reference; 'P' marks Pareto-optimal points)");
+
+    for w in all_workloads() {
+        let x_dim = w.model.x_dim();
+        let z_dim = w.model.z_dim();
+        let iterations = w.reference.len();
+        let points = parallel_sweep(&w, &grid);
+
+        let with_latency: Vec<LatencyPoint> = points
+            .into_iter()
+            .map(|point| {
+                let cycles: u64 = (0..iterations)
+                    .map(|n| {
+                        design.iteration_cycles(
+                            x_dim,
+                            z_dim,
+                            n,
+                            point.config.approx(),
+                            point.config.calc_freq(),
+                        )
+                    })
+                    .sum();
+                LatencyPoint { point, latency_s: cycles as f64 / CLOCK_HZ }
+            })
+            .collect();
+
+        let front = pareto_front(&with_latency, MetricKind::Mse);
+        println!();
+        println!("--- {} (z = {z_dim}, {iterations} iterations) ---", w.name());
+        println!("{:<28} {:>12} {:>12}  pareto", "config", "latency [s]", "MSE");
+        let mut sorted = with_latency.clone();
+        sorted.sort_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).expect("finite"));
+        for lp in &sorted {
+            let on_front = front.iter().any(|f| {
+                f.point.config == lp.point.config
+            });
+            println!(
+                "{:<28} {:>12.3} {:>12}  {}",
+                lp.point.config.label(),
+                lp.latency_s,
+                sci(lp.point.report.mse),
+                if on_front { "P" } else { "" }
+            );
+        }
+
+        println!();
+        println!("Shape checks vs the paper ({}):", w.name());
+        let fastest = &front[0];
+        check(
+            "least-latency Pareto point is approx=1, calc_freq=0",
+            fastest.point.config.approx() == 1 && fastest.point.config.calc_freq() == 0,
+        );
+        let most_accurate = front.last().expect("front nonempty");
+        check(
+            "best-accuracy Pareto point has approx >= 2 or calculates every iteration",
+            most_accurate.point.config.approx() >= 2
+                || most_accurate.point.config.calc_freq() == 1,
+        );
+        check("the front mixes both matrix-inverse paths", front.len() >= 2);
+    }
+}
+
+fn check(what: &str, ok: bool) {
+    println!("  [{}] {}", if ok { "ok" } else { "MISMATCH" }, what);
+}

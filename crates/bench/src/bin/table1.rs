@@ -1,0 +1,89 @@
+//! Table I — KF accuracy with different computation techniques.
+//!
+//! Reproduces the software comparison of Section II: the KF predicts motion
+//! on the motor dataset for 100 iterations with each candidate technique
+//! (Gauss, IFKF, Taylor, SSKF, Newton), scored against the reference
+//! implementation with MSE, MAE, and the normalized maximum/average
+//! differences.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin table1`.
+
+use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
+use kalmmind::inverse::{CalcInverse, CalcMethod, NewtonInverse};
+use kalmmind::metrics::{compare, AccuracyReport};
+use kalmmind::KalmanFilter;
+use kalmmind_bench::{sci, workload, Workload};
+
+fn evaluate(w: &Workload, name: &str, gain: Box<dyn GainStrategy<f64>>) -> AccuracyReport {
+    let mut kf = KalmanFilter::new(w.model.clone(), w.init.clone(), gain);
+    match kf.run(w.dataset.test_measurements().iter()) {
+        Ok(outputs) => compare(&outputs, &w.reference),
+        Err(e) => {
+            eprintln!("  ({name} failed: {e}; reported as infinite error)");
+            AccuracyReport::failed()
+        }
+    }
+}
+
+fn main() {
+    let w = workload(&kalmmind_neural::presets::motor(kalmmind_bench::SEED));
+    println!("TABLE I: The Accuracy of the KF with Different Methods");
+    println!("(motor dataset, {} KF iterations, f64 software)", w.reference.len());
+    println!();
+
+    let candidates: Vec<(&str, Box<dyn GainStrategy<f64>>)> = vec![
+        ("Gauss", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss)))),
+        ("IFKF", Box::new(IfkfGain::new())),
+        ("Taylor", Box::new(TaylorGain::new())),
+        (
+            "SSKF",
+            Box::new(
+                SskfGain::train(&w.model, w.init.p(), CalcMethod::Lu, 200)
+                    .expect("steady-state training"),
+            ),
+        ),
+        // Newton seeded from the previous KF iteration (the ingredient the
+        // paper later builds its seed policies from), 3 inner iterations.
+        ("Newton", Box::new(InverseGain::new(NewtonInverse::new(3)))),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, gain) in candidates {
+        rows.push((name, evaluate(&w, name, gain)));
+    }
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>14}",
+        "Accuracy Metric", "MSE", "MAE", "Max Diff (%)", "Avg Diff (%)"
+    );
+    for (name, r) in &rows {
+        println!(
+            "{:<22} {:>12} {:>12} {:>14} {:>14}",
+            name,
+            sci(r.mse),
+            sci(r.mae),
+            sci(r.max_diff_pct),
+            sci(r.avg_diff_pct)
+        );
+    }
+
+    println!();
+    println!("Shape checks vs the paper:");
+    let get = |n: &str| rows.iter().find(|(name, _)| *name == n).expect("present").1;
+    let (gauss, ifkf, taylor, sskf, newton) =
+        (get("Gauss"), get("IFKF"), get("Taylor"), get("SSKF"), get("Newton"));
+    check("Gauss is the most accurate", gauss.mse <= newton.mse && gauss.mse <= taylor.mse);
+    check("Newton beats Taylor and SSKF", newton.mse < taylor.mse && newton.mse < sskf.mse);
+    check(
+        "IFKF is worst by orders of magnitude",
+        ifkf.mse > 100.0 * taylor.mse && ifkf.mse > 100.0 * sskf.mse,
+    );
+    check("Taylor and SSKF land within ~10x of each other", {
+        let (lo, hi) = (taylor.mse.min(sskf.mse), taylor.mse.max(sskf.mse));
+        hi / lo < 100.0
+    });
+}
+
+fn check(what: &str, ok: bool) {
+    println!("  [{}] {}", if ok { "ok" } else { "MISMATCH" }, what);
+}

@@ -1,0 +1,72 @@
+//! Table II — accuracy ranges of the Gauss/Newton accelerator across the
+//! three neural datasets.
+//!
+//! Sweeps the paper's configuration grid (`approx` 1–6, `calc_freq` 0–6,
+//! both seed policies) on each dataset and reports the attainable
+//! [min, max] range of each metric, plus the Gauss baseline row.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin table2`.
+
+use kalmmind::inverse::CalcMethod;
+use kalmmind::metrics::compare;
+use kalmmind::sweep::MetricKind;
+use kalmmind::{KalmMindConfig, KalmanFilter};
+use kalmmind_bench::{all_workloads, parallel_sweep, sci, sci_range};
+
+fn main() {
+    let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
+    println!("TABLE II: Accuracy Ranges with Three Neural Datasets");
+    println!("(Gauss/Newton accelerator configurations: approx 1-6, calc_freq 0-6, both policies)");
+    println!();
+    println!(
+        "{:<16} {:>26} {:>26} {:>26}",
+        "", "MSE", "MAE", "Max Diff."
+    );
+
+    let mut baselines = Vec::new();
+    for w in all_workloads() {
+        let points = parallel_sweep(&w, &grid);
+        let finite: Vec<_> = points.iter().filter(|p| p.report.is_finite()).collect();
+        assert!(!finite.is_empty(), "no finite configurations for {}", w.name());
+
+        let range = |m: MetricKind| {
+            let vals: Vec<f64> = finite.iter().map(|p| m.of(&p.report)).collect();
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(0.0, f64::max);
+            (min, max)
+        };
+        let (mse_min, mse_max) = range(MetricKind::Mse);
+        let (mae_min, mae_max) = range(MetricKind::Mae);
+        let (md_min, md_max) = range(MetricKind::MaxDiff);
+        println!(
+            "{:<16} {:>26} {:>26} {:>26}",
+            w.name(),
+            sci_range(mse_min, mse_max),
+            sci_range(mae_min, mae_max),
+            sci_range(md_min, md_max),
+        );
+
+        // Baseline: pure Gauss every iteration, f64 (the paper's baseline).
+        let mut kf = KalmanFilter::gauss(w.model.clone(), w.init.clone());
+        let out = kf.run(w.dataset.test_measurements().iter()).expect("baseline run");
+        let r = compare(&out, &w.reference);
+        baselines.push((w.name(), r, mse_min));
+    }
+
+    println!();
+    print!("{:<16}", "Baseline");
+    for (_, r, _) in &baselines {
+        print!(" MSE={:>10} MAE={:>10} MaxD={:>10}", sci(r.mse), sci(r.mae), sci(r.max_diff_pct));
+    }
+    println!();
+    println!();
+    println!("Shape checks vs the paper:");
+    for (name, baseline, best_mse) in &baselines {
+        println!(
+            "  [{}] {name}: some configuration beats the Gauss baseline (best {} vs baseline {})",
+            if best_mse <= &baseline.mse { "ok" } else { "MISMATCH" },
+            sci(*best_mse),
+            sci(baseline.mse)
+        );
+    }
+}

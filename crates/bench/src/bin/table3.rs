@@ -1,0 +1,114 @@
+//! Table III — FPGA resources and performance across KF implementations.
+//!
+//! Runs every Table III design on the motor dataset (100 KF iterations)
+//! through the accelerator model, and prints resources, power, performance
+//! range, energy range, and accuracy range, plus the Intel i7 / CVA6
+//! software rows.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin table3`.
+
+use kalmmind_bench::table3::{hardware_rows, software_rows};
+use kalmmind_bench::{sci, sci_range, workload};
+
+fn main() {
+    let w = workload(&kalmmind_neural::presets::motor(kalmmind_bench::SEED));
+    println!("TABLE III: FPGA Resources and Performance across KF Implementations");
+    println!("(motor dataset {{x=6, z=164}}, 100 KF iterations, 78 MHz accelerator clock)");
+    println!();
+    println!(
+        "{:<20} {:>7} {:>7} {:>7} {:>5} {:>9} {:>15} {:>19} {:>23}",
+        "Method", "LUT", "FF", "BRAM", "DSP", "Power[W]", "Perf [s]", "Energy [J]", "Accuracy [MSE]"
+    );
+
+    let software = software_rows(&w);
+    for row in &software {
+        println!(
+            "{:<20} {:>7} {:>7} {:>7} {:>5} {:>9.3} {:>15.3} {:>19.2} {:>23}",
+            row.name, "N/A", "N/A", "N/A", "N/A", row.power_w, row.perf_s, row.energy_j,
+            sci(row.mse)
+        );
+    }
+
+    let rows = hardware_rows(&w);
+    for row in &rows {
+        println!(
+            "{:<20} {:>7} {:>7} {:>7.1} {:>5} {:>9.3} {:>7.2}-{:<7.2} {:>9.3}-{:<9.3} {:>23}",
+            row.design.name,
+            row.resources.lut,
+            row.resources.ff,
+            row.resources.bram,
+            row.resources.dsp,
+            row.power_w,
+            row.perf_s.0,
+            row.perf_s.1,
+            row.energy_j.0,
+            row.energy_j.1,
+            sci_range(row.mse.0, row.mse.1),
+        );
+    }
+
+    println!();
+    println!("Shape checks vs the paper:");
+    let get = |name: &str| rows.iter().find(|r| r.design.name == name).expect("row present");
+    let i7 = &software[0];
+    let cva6 = &software[1];
+    let gauss_newton = get("Gauss/Newton");
+    let gauss_only = get("Gauss-Only");
+    let sskf = get("SSKF");
+    let sskf_newton = get("SSKF/Newton");
+    let lite = get("LITE");
+
+    check(
+        "every accelerator meets the ~200 mW BAN budget (with model slack)",
+        rows.iter().all(|r| r.power_w < 0.30),
+    );
+    check(
+        "all accelerators except Gauss-Only reach real time (<5 s best config)",
+        rows.iter().all(|r| r.design.name == "Gauss-Only" || r.perf_s.0 < 5.0)
+            && gauss_only.perf_s.0 > 5.0,
+    );
+    let gn_vs_i7 = i7.energy_j / gauss_newton.energy_j.0;
+    check(
+        &format!("Gauss/Newton beats i7 energy (paper ~10x, model {gn_vs_i7:.1}x)"),
+        gn_vs_i7 > 2.0,
+    );
+    let gn_vs_cva6 = cva6.energy_j / gauss_newton.energy_j.0;
+    check(
+        &format!("Gauss/Newton beats CVA6 energy (paper ~655x, model {gn_vs_cva6:.0}x)"),
+        gn_vs_cva6 > 50.0,
+    );
+    check(
+        "SSKF has the best energy of all designs",
+        rows.iter().all(|r| r.design.name == "SSKF" || sskf.energy_j.0 < r.energy_j.0),
+    );
+    check(
+        "SSKF accuracy is orders of magnitude worse than Gauss/Newton's best",
+        sskf.mse.0 > 1e3 * gauss_newton.mse.0,
+    );
+    check(
+        "SSKF accuracy is far worse than LITE",
+        sskf.mse.0 > 10.0 * lite.mse.1,
+    );
+    let widest = rows
+        .iter()
+        .filter(|r| r.mse.0 > 0.0)
+        .max_by(|a, b| {
+            (a.mse.1 / a.mse.0).partial_cmp(&(b.mse.1 / b.mse.0)).expect("finite")
+        })
+        .expect("rows nonempty");
+    check(
+        &format!("SSKF/Newton offers the widest accuracy range (widest: {})", widest.design.name),
+        widest.design.name == "SSKF/Newton",
+    );
+    let sskf_newton_vs_gauss_only = gauss_only.energy_j.0 / sskf_newton.energy_j.0;
+    check(
+        &format!(
+            "SSKF/Newton up to ~15x better energy than Gauss-Only (model {sskf_newton_vs_gauss_only:.1}x)"
+        ),
+        sskf_newton_vs_gauss_only > 4.0,
+    );
+}
+
+fn check(what: &str, ok: bool) {
+    println!("  [{}] {}", if ok { "ok" } else { "MISMATCH" }, what);
+}

@@ -1,0 +1,141 @@
+//! Shared computation behind the Table III and Fig. 6 binaries.
+//!
+//! Runs every hardware design of the paper's Table III on the motor
+//! workload across its representative configuration set, and models the two
+//! software baselines (Intel i7 and CVA6).
+
+use kalmmind::inverse::SeedPolicy;
+use kalmmind::metrics::compare;
+use kalmmind::KalmanFilter;
+use kalmmind_accel::design::{catalog, Design, DesignKind};
+use kalmmind_accel::registers::AcceleratorConfig;
+use kalmmind_accel::resources::Resources;
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_accel::soc::{kf_software_flops, CpuModel};
+
+use crate::Workload;
+
+/// One hardware row of Table III.
+#[derive(Debug, Clone)]
+pub struct DesignRow {
+    /// The design.
+    pub design: Design,
+    /// Modeled FPGA resources.
+    pub resources: Resources,
+    /// Modeled average power, watts.
+    pub power_w: f64,
+    /// [min, max] latency in seconds over the configuration set.
+    pub perf_s: (f64, f64),
+    /// [min, max] energy in joules.
+    pub energy_j: (f64, f64),
+    /// [min, max] MSE vs the reference.
+    pub mse: (f64, f64),
+}
+
+/// One software row of Table III.
+#[derive(Debug, Clone)]
+pub struct SoftwareRow {
+    /// Platform name.
+    pub name: &'static str,
+    /// Package power, watts.
+    pub power_w: f64,
+    /// Latency for the full run, seconds.
+    pub perf_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// MSE vs the reference (the software baseline runs `f64` Gauss).
+    pub mse: f64,
+}
+
+/// The representative configuration set each design sweeps for its ranges.
+pub fn configs_for(design: &Design, x_dim: usize, z_dim: usize, iterations: usize) -> Vec<AcceleratorConfig> {
+    let base = AcceleratorConfig {
+        x_dim,
+        z_dim,
+        chunks: 10.min(iterations.max(1)),
+        batches: iterations.div_ceil(10).max(1),
+        approx: 1,
+        calc_freq: 0,
+        policy: SeedPolicy::LastCalculated,
+    };
+    let with = |approx: usize, calc_freq: u32| AcceleratorConfig { approx, calc_freq, ..base };
+    match design.kind {
+        DesignKind::CalcApprox { .. } => vec![
+            with(1, 0),
+            with(2, 0),
+            with(2, 4),
+            with(4, 4),
+            with(6, 2),
+            with(1, 1),
+        ],
+        DesignKind::Lite => vec![with(1, 0)],
+        DesignKind::SskfNewton => vec![with(0, 0), with(2, 0), with(6, 0)],
+        DesignKind::Sskf | DesignKind::Taylor { .. } | DesignKind::CalcOnly { .. } => {
+            vec![with(1, 1)]
+        }
+    }
+}
+
+/// Computes all hardware rows on the given workload (the paper uses the
+/// motor dataset).
+pub fn hardware_rows(w: &Workload) -> Vec<DesignRow> {
+    let x_dim = w.model.x_dim();
+    let z_dim = w.model.z_dim();
+    let iterations = w.reference.len();
+
+    catalog::table3()
+        .into_iter()
+        .map(|design| {
+            let sim = AccelSim::new(design);
+            let configs = configs_for(&design, x_dim, z_dim, iterations);
+            let mut perf = (f64::INFINITY, 0.0f64);
+            let mut energy = (f64::INFINITY, 0.0f64);
+            let mut mse = (f64::INFINITY, 0.0f64);
+            let mut resources = None;
+            let mut power = 0.0;
+            for cfg in &configs {
+                let report = sim
+                    .run(&w.model, &w.init, w.dataset.test_measurements(), cfg)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", design.name));
+                let score = compare(&report.outputs, &w.reference);
+                perf = (perf.0.min(report.latency_s), perf.1.max(report.latency_s));
+                energy = (energy.0.min(report.energy_j), energy.1.max(report.energy_j));
+                if score.mse.is_finite() {
+                    mse = (mse.0.min(score.mse), mse.1.max(score.mse));
+                }
+                power = report.power_w;
+                resources = Some(report.resources);
+            }
+            DesignRow {
+                design,
+                resources: resources.expect("at least one configuration"),
+                power_w: power,
+                perf_s: perf,
+                energy_j: energy,
+                mse,
+            }
+        })
+        .collect()
+}
+
+/// Computes the two software rows (modeled latency/energy; measured `f64`
+/// Gauss accuracy).
+pub fn software_rows(w: &Workload) -> Vec<SoftwareRow> {
+    let flops = w.reference.len() as u64 * kf_software_flops(w.model.x_dim(), w.model.z_dim());
+
+    // Accuracy of the software baseline: f64 Gauss vs the f64 LU reference.
+    let mut kf = KalmanFilter::gauss(w.model.clone(), w.init.clone());
+    let outputs = kf.run(w.dataset.test_measurements().iter()).expect("software baseline");
+    let mse = compare(&outputs, &w.reference).mse;
+
+    [CpuModel::intel_i7(), CpuModel::cva6()]
+        .into_iter()
+        .map(|cpu| SoftwareRow {
+            name: cpu.name,
+            power_w: cpu.power_w,
+            perf_s: cpu.latency_s(flops),
+            energy_j: cpu.energy_j(flops),
+            mse,
+        })
+        .collect()
+}

@@ -1,0 +1,287 @@
+//! Adaptive model updates — the paper's Discussion use case.
+//!
+//! Real BCI decoders pair the KF with ML components that *continuously
+//! update the KF model* as neural tuning drifts across a session
+//! (Section VI: Gilja et al., Degenhart et al.). [`AdaptiveFilter`] wraps a
+//! [`KalmanFilter`] with a retraining loop: it buffers recent
+//! (state-estimate, measurement) pairs and refits `H` and `R` by the same
+//! Wu et al. least squares every `refit_every` iterations.
+//!
+//! The point for KalmMind: a model update changes `S`, so the first
+//! iteration after a refit stresses the warm Newton seeds exactly like a
+//! dataset switch — the interleaved schedule's periodic calculation absorbs
+//! it. The tests exercise that interaction.
+
+use kalmmind_linalg::{Scalar, Vector};
+
+use crate::gain::GainStrategy;
+use crate::train::{fit_model, TrainingSet};
+use crate::{KalmanError, KalmanFilter, KalmanModel, Result};
+
+/// A Kalman filter that periodically refits its observation model from its
+/// own recent history.
+pub struct AdaptiveFilter<T, G> {
+    filter: KalmanFilter<T, G>,
+    /// Recent (estimate, measurement) pairs, oldest first.
+    history: Vec<(Vector<T>, Vector<T>)>,
+    /// Refit period in KF iterations.
+    refit_every: usize,
+    /// Sliding-window length used for each refit.
+    window: usize,
+    /// Ridge regularization for the refits.
+    ridge: f64,
+    /// Number of refits performed so far.
+    refits: usize,
+}
+
+impl<T: Scalar, G> std::fmt::Debug for AdaptiveFilter<T, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveFilter")
+            .field("refit_every", &self.refit_every)
+            .field("window", &self.window)
+            .field("refits", &self.refits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar, G: GainStrategy<T>> AdaptiveFilter<T, G> {
+    /// Wraps a filter with a refit schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadConfig`] when `refit_every` is zero or the
+    /// window is too small to fit a model (< 8 samples).
+    pub fn new(filter: KalmanFilter<T, G>, refit_every: usize, window: usize) -> Result<Self> {
+        if refit_every == 0 {
+            return Err(KalmanError::BadConfig {
+                register: "refit_every",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if window < 8 {
+            return Err(KalmanError::BadConfig {
+                register: "window",
+                reason: format!("must hold at least 8 samples, got {window}"),
+            });
+        }
+        Ok(Self { filter, history: Vec::new(), refit_every, window, ridge: 1e-6, refits: 0 })
+    }
+
+    /// Borrow of the wrapped filter.
+    pub fn filter(&self) -> &KalmanFilter<T, G> {
+        &self.filter
+    }
+
+    /// Number of model refits performed.
+    pub fn refits(&self) -> usize {
+        self.refits
+    }
+
+    /// One *self-trained* adaptive iteration: a KF step, history
+    /// bookkeeping against the filter's own estimate, and — on schedule —
+    /// an `H`/`R` refit from the sliding window.
+    ///
+    /// Self-training can re-estimate noise statistics but cannot recover an
+    /// absolute tuning-scale drift (the refit is consistent with the biased
+    /// estimates); use [`AdaptiveFilter::step_supervised`] during
+    /// closed-loop calibration phases for that.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter-step and refit failures.
+    pub fn step(&mut self, z: &Vector<T>) -> Result<&crate::KalmanState<T>> {
+        self.filter.step(z)?;
+        let estimate = self.filter.state().x().clone();
+        self.record_and_maybe_refit(estimate, z)
+    }
+
+    /// One *supervised* adaptive iteration: like [`AdaptiveFilter::step`],
+    /// but the refit window records the known ground-truth kinematics
+    /// (cued movements) instead of the filter's estimate — the closed-loop
+    /// calibration flow of Jarosiewicz et al. that the paper's Discussion
+    /// points at.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter-step and refit failures.
+    pub fn step_supervised(
+        &mut self,
+        z: &Vector<T>,
+        truth: &Vector<T>,
+    ) -> Result<&crate::KalmanState<T>> {
+        self.filter.step(z)?;
+        self.record_and_maybe_refit(truth.clone(), z)
+    }
+
+    fn record_and_maybe_refit(
+        &mut self,
+        x: Vector<T>,
+        z: &Vector<T>,
+    ) -> Result<&crate::KalmanState<T>> {
+        self.history.push((x, z.clone()));
+        if self.history.len() > self.window {
+            let excess = self.history.len() - self.window;
+            self.history.drain(..excess);
+        }
+        let n = self.filter.iteration();
+        if n.is_multiple_of(self.refit_every) && self.history.len() >= 8 {
+            self.refit()?;
+        }
+        Ok(self.filter.state())
+    }
+
+    /// Refits `H` and `R` from the buffered history, keeping `F` and `Q`
+    /// (the kinematic prior does not drift; the neural tuning does).
+    fn refit(&mut self) -> Result<()> {
+        let states: Vec<Vector<T>> = self.history.iter().map(|(x, _)| x.clone()).collect();
+        let meas: Vec<Vector<T>> = self.history.iter().map(|(_, z)| z.clone()).collect();
+        let data = TrainingSet::new(states, meas)?;
+        let refit = fit_model(&data, self.ridge)?;
+        let old = self.filter.model();
+        let updated = KalmanModel::new(
+            old.f().clone(),
+            old.q().clone(),
+            refit.h().clone(),
+            refit.r().clone(),
+        )?;
+        self.filter.set_model(updated);
+        self.refits += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::InverseGain;
+    use crate::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+    use crate::KalmanState;
+    use kalmmind_linalg::Matrix;
+
+    fn model(h_gain: f64) -> KalmanModel<f64> {
+        KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.05], &[0.0, 0.98]]).unwrap(),
+            Matrix::identity(2).scale(1e-3),
+            Matrix::from_rows(&[
+                &[h_gain, 0.0],
+                &[0.0, h_gain],
+                &[h_gain, h_gain],
+                &[h_gain, -h_gain],
+            ])
+            .unwrap(),
+            Matrix::identity(4).scale(0.1),
+        )
+        .unwrap()
+    }
+
+    /// Measurements (and the true states behind them) generated with a
+    /// *drifted* tuning gain: supervised adaptation must recover the drift,
+    /// the static filter cannot.
+    fn drifted_world(n: usize, h_gain: f64) -> (Vec<Vector<f64>>, Vec<Vector<f64>>) {
+        let mut x = [0.5, 0.3];
+        let mut zs = Vec::new();
+        let mut xs = Vec::new();
+        for _ in 0..n {
+            xs.push(Vector::from_vec(vec![x[0], x[1]]));
+            zs.push(Vector::from_vec(vec![
+                h_gain * x[0],
+                h_gain * x[1],
+                h_gain * (x[0] + x[1]),
+                h_gain * (x[0] - x[1]),
+            ]));
+            x = [x[0] + 0.05 * x[1], 0.98 * x[1] + 0.01];
+        }
+        (zs, xs)
+    }
+
+    fn drifted_measurements(n: usize, h_gain: f64) -> Vec<Vector<f64>> {
+        drifted_world(n, h_gain).0
+    }
+
+    fn adaptive(refit_every: usize) -> AdaptiveFilter<f64, impl GainStrategy<f64>> {
+        let gain = InverseGain::new(InterleavedInverse::new(
+            CalcMethod::Gauss,
+            2,
+            4,
+            SeedPolicy::LastCalculated,
+        ));
+        let kf = KalmanFilter::new(model(1.0), KalmanState::zeroed(2), gain);
+        AdaptiveFilter::new(kf, refit_every, 64).expect("valid schedule")
+    }
+
+    #[test]
+    fn refits_happen_on_schedule() {
+        let mut af = adaptive(10);
+        for z in drifted_measurements(40, 1.0) {
+            af.step(&z).expect("step");
+        }
+        assert_eq!(af.refits(), 4, "refits at n = 10, 20, 30, 40");
+    }
+
+    #[test]
+    fn supervised_adaptation_recovers_a_tuning_drift() {
+        // The world's tuning gain drifted from 1.0 to 1.6; the static model
+        // misestimates the state by ~1.6x, while closed-loop calibration
+        // (supervised refits against cued movements) re-learns H.
+        let (zs, xs) = drifted_world(120, 1.6);
+
+        let mut static_kf = KalmanFilter::gauss(model(1.0), KalmanState::zeroed(2));
+        let mut static_last = Vector::zeros(2);
+        for z in &zs {
+            static_last = static_kf.step(z).expect("static step").x().clone();
+        }
+
+        let mut af = adaptive(16);
+        let mut adaptive_last = Vector::zeros(2);
+        for (z, truth) in zs.iter().zip(&xs) {
+            adaptive_last = af.step_supervised(z, truth).expect("adaptive step").x().clone();
+        }
+
+        let truth = xs.last().expect("nonempty");
+        let err_static = (static_last[0] - truth[0]).abs();
+        let err_adaptive = (adaptive_last[0] - truth[0]).abs();
+        assert!(af.refits() > 0);
+        assert!(
+            err_adaptive < err_static / 2.0,
+            "calibration must help under drift: adaptive {err_adaptive} vs static {err_static}"
+        );
+    }
+
+    #[test]
+    fn model_update_does_not_break_the_warm_seeds() {
+        // The first iteration after a refit changes S abruptly; the
+        // interleaved strategy must stay finite through it.
+        let mut af = adaptive(12);
+        for z in drifted_measurements(60, 1.3) {
+            let st = af.step(&z).expect("step survives refits");
+            assert!(st.x().all_finite());
+            assert!(st.p().all_finite());
+        }
+        assert!(af.refits() >= 3);
+    }
+
+    #[test]
+    fn rejects_bad_schedules() {
+        let gain = InverseGain::new(crate::inverse::CalcInverse::new(CalcMethod::Gauss));
+        let kf = KalmanFilter::new(model(1.0), KalmanState::zeroed(2), gain);
+        assert!(matches!(
+            AdaptiveFilter::new(kf, 0, 64),
+            Err(KalmanError::BadConfig { register: "refit_every", .. })
+        ));
+        let gain = InverseGain::new(crate::inverse::CalcInverse::new(CalcMethod::Gauss));
+        let kf = KalmanFilter::new(model(1.0), KalmanState::zeroed(2), gain);
+        assert!(matches!(
+            AdaptiveFilter::new(kf, 10, 4),
+            Err(KalmanError::BadConfig { register: "window", .. })
+        ));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut af = adaptive(1000); // never refit
+        for z in drifted_measurements(200, 1.0) {
+            af.step(&z).expect("step");
+        }
+        assert!(af.history.len() <= 64);
+    }
+}

@@ -1,0 +1,260 @@
+use kalmmind_linalg::Scalar;
+
+use crate::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use crate::{KalmanError, Result};
+
+/// The accelerator's computation-control registers as a validated value.
+///
+/// Mirrors the three registers that steer the `compute` function's dataflow
+/// (paper Fig. 3b):
+///
+/// * `approx` — Newton internal iterations per approximated KF iteration
+///   (paper sweeps 1–6);
+/// * `calc_freq` — calculation schedule: `1` = every iteration, `k ≥ 2` =
+///   every k-th iteration, `0` = only the first iteration (paper sweeps 0–6);
+/// * `policy` — seed selection, Eq. 4 or Eq. 5;
+///
+/// plus the design-time choice of the calculation algorithm (`Gauss`,
+/// `Cholesky`, `QR`, `LU`).
+///
+/// The remaining four registers (`x_dim`, `z_dim`, `chunks`, `batches`)
+/// control DMA and memory shapes, not the algorithm; they live in the
+/// accelerator model (`kalmmind-accel`).
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::KalmMindConfig;
+/// use kalmmind::inverse::{CalcMethod, SeedPolicy};
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let cfg = KalmMindConfig::builder()
+///     .calc(CalcMethod::Cholesky)
+///     .approx(3)
+///     .calc_freq(5)
+///     .policy(SeedPolicy::PreviousIteration)
+///     .build()?;
+/// assert_eq!(cfg.approx(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KalmMindConfig {
+    calc: CalcMethod,
+    approx: usize,
+    calc_freq: u32,
+    policy: SeedPolicy,
+}
+
+/// Upper bound accepted for `approx`: beyond this Newton has converged to
+/// machine precision on every matrix the filter produces, so larger values
+/// only waste cycles.
+pub const MAX_APPROX: usize = 64;
+
+/// Upper bound accepted for `calc_freq`.
+pub const MAX_CALC_FREQ: u32 = 1024;
+
+impl KalmMindConfig {
+    /// Starts building a configuration (defaults: Gauss, `approx = 1`,
+    /// `calc_freq = 1`, `policy = LastCalculated` — i.e. exact inversion
+    /// every iteration).
+    pub fn builder() -> KalmMindConfigBuilder {
+        KalmMindConfigBuilder::default()
+    }
+
+    /// The calculation algorithm of Path A.
+    pub fn calc(&self) -> CalcMethod {
+        self.calc
+    }
+
+    /// Newton internal iterations (the `approx` register).
+    pub fn approx(&self) -> usize {
+        self.approx
+    }
+
+    /// Calculation schedule (the `calc_freq` register).
+    pub fn calc_freq(&self) -> u32 {
+        self.calc_freq
+    }
+
+    /// Seed policy (the `policy` register).
+    pub fn policy(&self) -> SeedPolicy {
+        self.policy
+    }
+
+    /// Instantiates the interleaved inversion strategy this configuration
+    /// describes.
+    pub fn build_inverse<T: Scalar>(&self) -> InterleavedInverse<T> {
+        InterleavedInverse::new(self.calc, self.approx, self.calc_freq, self.policy)
+    }
+
+    /// A compact label like `gauss/newton a=2 cf=4 p=0`, used by the sweep
+    /// reports and the experiment binaries.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/newton a={} cf={} p={}",
+            self.calc.name(),
+            self.approx,
+            self.calc_freq,
+            self.policy.to_register()
+        )
+    }
+
+    /// Enumerates the paper's DSE grid: `approx` ∈ 1..=6, `calc_freq` ∈
+    /// 0..=6, both policies, for a fixed calculation method.
+    pub fn paper_grid(calc: CalcMethod) -> Vec<KalmMindConfig> {
+        let mut grid = Vec::new();
+        for approx in 1..=6usize {
+            for calc_freq in 0..=6u32 {
+                for policy in [SeedPolicy::LastCalculated, SeedPolicy::PreviousIteration] {
+                    // With calc_freq = 1 every iteration calculates, so the
+                    // policy/approx are dead — keep a single representative.
+                    if calc_freq == 1 && (approx > 1 || policy == SeedPolicy::PreviousIteration)
+                    {
+                        continue;
+                    }
+                    grid.push(KalmMindConfig { calc, approx, calc_freq, policy });
+                }
+            }
+        }
+        grid
+    }
+}
+
+impl Default for KalmMindConfig {
+    fn default() -> Self {
+        Self {
+            calc: CalcMethod::Gauss,
+            approx: 1,
+            calc_freq: 1,
+            policy: SeedPolicy::LastCalculated,
+        }
+    }
+}
+
+/// Builder for [`KalmMindConfig`] (validating the register ranges).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KalmMindConfigBuilder {
+    calc: CalcMethod,
+    approx: Option<usize>,
+    calc_freq: Option<u32>,
+    policy: SeedPolicy,
+}
+
+impl KalmMindConfigBuilder {
+    /// Selects the Path A calculation algorithm.
+    pub fn calc(mut self, calc: CalcMethod) -> Self {
+        self.calc = calc;
+        self
+    }
+
+    /// Sets the `approx` register (Newton internal iterations).
+    pub fn approx(mut self, approx: usize) -> Self {
+        self.approx = Some(approx);
+        self
+    }
+
+    /// Sets the `calc_freq` register.
+    pub fn calc_freq(mut self, calc_freq: u32) -> Self {
+        self.calc_freq = Some(calc_freq);
+        self
+    }
+
+    /// Sets the `policy` register.
+    pub fn policy(mut self, policy: SeedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadConfig`] when `approx` is 0 or exceeds
+    /// [`MAX_APPROX`], or `calc_freq` exceeds [`MAX_CALC_FREQ`].
+    pub fn build(self) -> Result<KalmMindConfig> {
+        let approx = self.approx.unwrap_or(1);
+        let calc_freq = self.calc_freq.unwrap_or(1);
+        if approx == 0 || approx > MAX_APPROX {
+            return Err(KalmanError::BadConfig {
+                register: "approx",
+                reason: format!("must be in 1..={MAX_APPROX}, got {approx}"),
+            });
+        }
+        if calc_freq > MAX_CALC_FREQ {
+            return Err(KalmanError::BadConfig {
+                register: "calc_freq",
+                reason: format!("must be in 0..={MAX_CALC_FREQ}, got {calc_freq}"),
+            });
+        }
+        Ok(KalmMindConfig { calc: self.calc, approx, calc_freq, policy: self.policy })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_exact_every_iteration() {
+        let cfg = KalmMindConfig::default();
+        assert_eq!(cfg.calc(), CalcMethod::Gauss);
+        assert_eq!(cfg.approx(), 1);
+        assert_eq!(cfg.calc_freq(), 1);
+    }
+
+    #[test]
+    fn builder_sets_all_registers() {
+        let cfg = KalmMindConfig::builder()
+            .calc(CalcMethod::Qr)
+            .approx(4)
+            .calc_freq(0)
+            .policy(SeedPolicy::PreviousIteration)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.calc(), CalcMethod::Qr);
+        assert_eq!(cfg.approx(), 4);
+        assert_eq!(cfg.calc_freq(), 0);
+        assert_eq!(cfg.policy(), SeedPolicy::PreviousIteration);
+    }
+
+    #[test]
+    fn rejects_zero_approx() {
+        let err = KalmMindConfig::builder().approx(0).build().unwrap_err();
+        assert!(matches!(err, KalmanError::BadConfig { register: "approx", .. }));
+    }
+
+    #[test]
+    fn rejects_oversized_registers() {
+        assert!(KalmMindConfig::builder().approx(MAX_APPROX + 1).build().is_err());
+        assert!(KalmMindConfig::builder().calc_freq(MAX_CALC_FREQ + 1).build().is_err());
+    }
+
+    #[test]
+    fn label_is_compact_and_complete() {
+        let cfg = KalmMindConfig::builder().approx(2).calc_freq(4).build().unwrap();
+        assert_eq!(cfg.label(), "gauss/newton a=2 cf=4 p=0");
+    }
+
+    #[test]
+    fn paper_grid_covers_the_sweep_without_redundancy() {
+        let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
+        // 6 approx × 6 calc_freq (0,2..=6) × 2 policies + 1 for calc_freq=1.
+        assert_eq!(grid.len(), 6 * 6 * 2 + 1);
+        assert!(grid.iter().filter(|c| c.calc_freq() == 1).count() == 1);
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for c in &grid {
+            assert!(seen.insert((c.approx(), c.calc_freq(), c.policy())), "duplicate {c:?}");
+        }
+    }
+
+    #[test]
+    fn build_inverse_reflects_registers() {
+        let cfg = KalmMindConfig::builder().approx(3).calc_freq(5).build().unwrap();
+        let strat = cfg.build_inverse::<f64>();
+        assert_eq!(strat.approx(), 3);
+        assert_eq!(strat.calc_freq(), 5);
+    }
+}

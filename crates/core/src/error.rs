@@ -1,0 +1,120 @@
+use std::fmt;
+
+use kalmmind_linalg::LinalgError;
+
+/// Error type for the Kalman-filter layer.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::{KalmanModel, KalmanError};
+/// use kalmmind_linalg::Matrix;
+///
+/// // F must be square: 2x3 is rejected at construction.
+/// let err = KalmanModel::new(
+///     Matrix::<f64>::zeros(2, 3),
+///     Matrix::zeros(2, 2),
+///     Matrix::zeros(1, 2),
+///     Matrix::zeros(1, 1),
+/// )
+/// .unwrap_err();
+/// assert!(matches!(err, KalmanError::BadModel { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KalmanError {
+    /// A linear-algebra kernel failed (singular `S`, shape mismatch, ...).
+    Linalg(LinalgError),
+    /// The model matrices have inconsistent shapes.
+    BadModel {
+        /// Which matrix is at fault (`"F"`, `"Q"`, `"H"`, `"R"`).
+        matrix: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A measurement or state vector has the wrong length.
+    BadVector {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+        /// What the vector was (`"measurement"`, `"state"`).
+        what: &'static str,
+    },
+    /// A configuration register value is outside its legal range.
+    BadConfig {
+        /// Register name (`"approx"`, `"calc_freq"`, ...).
+        register: &'static str,
+        /// Description of the accepted range.
+        reason: String,
+    },
+    /// A strategy needing training (SSKF, LITE's pre-computed seed) was used
+    /// before training.
+    NotTrained {
+        /// Name of the strategy.
+        strategy: &'static str,
+    },
+}
+
+impl fmt::Display for KalmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            Self::BadModel { matrix, reason } => {
+                write!(f, "invalid model matrix {matrix}: {reason}")
+            }
+            Self::BadVector { expected, actual, what } => {
+                write!(f, "{what} vector has length {actual}, expected {expected}")
+            }
+            Self::BadConfig { register, reason } => {
+                write!(f, "invalid value for register {register}: {reason}")
+            }
+            Self::NotTrained { strategy } => {
+                write!(f, "strategy {strategy} must be trained before use")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KalmanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for KalmanError {
+    fn from(e: LinalgError) -> Self {
+        Self::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = KalmanError::BadVector { expected: 6, actual: 5, what: "measurement" };
+        let s = e.to_string();
+        assert_eq!(s, "measurement vector has length 5, expected 6");
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn linalg_error_is_source() {
+        use std::error::Error;
+        let inner = LinalgError::Singular { pivot: 3 };
+        let e = KalmanError::from(inner.clone());
+        let src = e.source().expect("source must be set");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KalmanError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact "calculation" inversion (Path A of the accelerator datapath).
+
+use kalmmind_linalg::{decomp, Matrix, Scalar};
+
+use crate::inverse::InverseStrategy;
+use crate::Result;
+
+/// The exact inversion algorithms available as the calculation path.
+///
+/// These are the Path A implementations the paper synthesizes: Gauss for the
+/// `Gauss/Newton` and `Gauss-Only` accelerators, Cholesky and QR for their
+/// respective variants, and LU as the NumPy-equivalent reference.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::inverse::CalcMethod;
+/// use kalmmind_linalg::Matrix;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let s = Matrix::from_rows(&[&[4.0_f64, 1.0], &[1.0, 3.0]])?;
+/// let inv = CalcMethod::Cholesky.invert(&s)?;
+/// assert!((&s * &inv).approx_eq(&Matrix::identity(2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CalcMethod {
+    /// Gauss–Jordan elimination with partial pivoting (the paper's default).
+    #[default]
+    Gauss,
+    /// LU factorization — the NumPy/LAPACK reference path.
+    Lu,
+    /// Cholesky factorization (requires SPD input; `S` is SPD by
+    /// construction).
+    Cholesky,
+    /// Householder QR decomposition.
+    Qr,
+}
+
+impl CalcMethod {
+    /// Inverts `s` with the selected algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's error (singular input, non-SPD input for
+    /// Cholesky, rectangular input).
+    pub fn invert<T: Scalar>(self, s: &Matrix<T>) -> Result<Matrix<T>> {
+        let inv = match self {
+            Self::Gauss => decomp::gauss::invert(s)?,
+            Self::Lu => decomp::lu::invert(s)?,
+            Self::Cholesky => decomp::cholesky::invert(s)?,
+            Self::Qr => decomp::qr::invert(s)?,
+        };
+        Ok(inv)
+    }
+
+    /// Short lowercase name used in reports and design labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Gauss => "gauss",
+            Self::Lu => "lu",
+            Self::Cholesky => "cholesky",
+            Self::Qr => "qr",
+        }
+    }
+
+    /// All calculation methods, for exhaustive sweeps.
+    pub const ALL: [CalcMethod; 4] = [Self::Gauss, Self::Lu, Self::Cholesky, Self::Qr];
+}
+
+/// [`InverseStrategy`] that calculates the exact inverse at *every* KF
+/// iteration — the paper's `Gauss-Only` accelerator (and its LU, Cholesky,
+/// QR analogues).
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::inverse::{CalcInverse, CalcMethod, InverseStrategy};
+/// use kalmmind_linalg::Matrix;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let mut strat = CalcInverse::new(CalcMethod::Gauss);
+/// let s = Matrix::identity(4).scale(5.0);
+/// let inv = strat.invert(&s, 0)?;
+/// assert!(inv.approx_eq(&Matrix::identity(4).scale(0.2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CalcInverse {
+    method: CalcMethod,
+}
+
+impl CalcInverse {
+    /// Creates a calculation-only strategy using `method`.
+    pub fn new(method: CalcMethod) -> Self {
+        Self { method }
+    }
+
+    /// The wrapped calculation method.
+    pub fn method(&self) -> CalcMethod {
+        self.method
+    }
+}
+
+impl<T: Scalar> InverseStrategy<T> for CalcInverse {
+    fn invert(&mut self, s: &Matrix<T>, _iteration: usize) -> Result<Matrix<T>> {
+        self.method.invert(s)
+    }
+
+    fn name(&self) -> &'static str {
+        self.method.name()
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                n as f64 + 2.0
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            }
+        })
+    }
+
+    #[test]
+    fn all_methods_agree_on_spd_input() {
+        let s = spd(8);
+        let reference = CalcMethod::Lu.invert(&s).unwrap();
+        for m in CalcMethod::ALL {
+            let inv = m.invert(&s).unwrap();
+            assert!(
+                inv.approx_eq(&reference, 1e-10),
+                "{} disagrees with LU by {}",
+                m.name(),
+                inv.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CalcMethod::Gauss.name(), "gauss");
+        assert_eq!(CalcMethod::Lu.name(), "lu");
+        assert_eq!(CalcMethod::Cholesky.name(), "cholesky");
+        assert_eq!(CalcMethod::Qr.name(), "qr");
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_but_gauss_accepts() {
+        let s = Matrix::from_rows(&[&[1.0_f64, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(CalcMethod::Cholesky.invert(&s).is_err());
+        assert!(CalcMethod::Gauss.invert(&s).is_ok());
+    }
+
+    #[test]
+    fn strategy_is_stateless_across_iterations() {
+        let mut strat = CalcInverse::new(CalcMethod::Qr);
+        let s = spd(5);
+        let a = InverseStrategy::<f64>::invert(&mut strat, &s, 0).unwrap();
+        let b = InverseStrategy::<f64>::invert(&mut strat, &s, 17).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn default_is_gauss() {
+        assert_eq!(CalcInverse::default().method(), CalcMethod::Gauss);
+    }
+}

@@ -1,0 +1,151 @@
+//! Inverse-Free Kalman Filter baseline (Babu & Detroja).
+//!
+//! IFKF avoids the matrix inverse by approximating `S⁻¹` under a
+//! diagonal-dominance / minimal-cross-correlation assumption. The paper's
+//! Table I shows it failing catastrophically on neural data (350% average
+//! error) precisely because simultaneous neural channels are *highly*
+//! correlated — this module exists to reproduce that comparison point.
+
+use kalmmind_linalg::{Matrix, Scalar};
+
+use crate::inverse::InverseStrategy;
+use crate::{KalmanError, Result};
+
+/// Inverse-free approximation of `S⁻¹` for (assumed) diagonally dominant `S`.
+///
+/// Splitting `S = D + E` with `D = diag(S)`, the order-`k` truncated Neumann
+/// series is
+///
+/// ```text
+/// S⁻¹ ≈ Σ_{i=0}^{k} (−D⁻¹·E)^i · D⁻¹
+/// ```
+///
+/// IFKF's minimal-cross-correlation assumption corresponds to truncating at
+/// order 0 (`S⁻¹ ≈ D⁻¹`), which is the default here and what the Table I
+/// comparison uses. The series diverges when `E` dominates — the failure
+/// mode neural data triggers.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::inverse::{IfkfInverse, InverseStrategy};
+/// use kalmmind_linalg::Matrix;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let s = Matrix::from_rows(&[&[10.0_f64, 0.1], &[0.1, 8.0]])?;
+/// let inv = IfkfInverse::new().invert(&s, 0)?;
+/// // Decent on a *truly* diagonally dominant matrix...
+/// assert!((&s * &inv).approx_eq(&Matrix::identity(2), 0.05));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IfkfInverse {
+    order: usize,
+}
+
+impl IfkfInverse {
+    /// Creates the order-0 (pure diagonal) approximation used in Table I.
+    pub fn new() -> Self {
+        Self { order: 0 }
+    }
+
+    /// Creates an order-`k` truncated-series variant.
+    pub fn with_order(order: usize) -> Self {
+        Self { order }
+    }
+
+    /// Truncation order of the Neumann series.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+}
+
+impl<T: Scalar> InverseStrategy<T> for IfkfInverse {
+    fn invert(&mut self, s: &Matrix<T>, _iteration: usize) -> Result<Matrix<T>> {
+        if !s.is_square() {
+            return Err(KalmanError::Linalg(kalmmind_linalg::LinalgError::NotSquare {
+                shape: s.shape(),
+            }));
+        }
+        let n = s.rows();
+        // D⁻¹ with a zero-diagonal guard.
+        let mut d_inv = Matrix::<T>::zeros(n, n);
+        for i in 0..n {
+            let d = s[(i, i)];
+            if d == T::ZERO {
+                return Err(KalmanError::Linalg(kalmmind_linalg::LinalgError::Singular {
+                    pivot: i,
+                }));
+            }
+            d_inv[(i, i)] = d.recip();
+        }
+        if self.order == 0 {
+            return Ok(d_inv);
+        }
+        // E = S − D; accumulate Σ (−D⁻¹E)^i D⁻¹.
+        let mut e = s.clone();
+        for i in 0..n {
+            e[(i, i)] = T::ZERO;
+        }
+        let minus_dinv_e = -&d_inv.checked_mul(&e)?;
+        let mut term = d_inv.clone();
+        let mut acc = d_inv.clone();
+        for _ in 0..self.order {
+            term = minus_dinv_e.checked_mul(&term)?;
+            acc = acc.checked_add(&term)?;
+        }
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "ifkf"
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind_linalg::{decomp::gauss, norms};
+
+    #[test]
+    fn order0_is_diagonal_inverse() {
+        let s = Matrix::from_rows(&[&[4.0_f64, 1.0], &[1.0, 2.0]]).unwrap();
+        let inv = IfkfInverse::new().invert(&s, 0).unwrap();
+        assert_eq!(inv[(0, 0)], 0.25);
+        assert_eq!(inv[(1, 1)], 0.5);
+        assert_eq!(inv[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn higher_order_improves_on_dominant_matrices() {
+        let s = Matrix::from_fn(5, 5, |r, c| if r == c { 10.0 } else { 0.5 });
+        let exact = gauss::invert(&s).unwrap();
+        let e0 = IfkfInverse::new().invert(&s, 0).unwrap().max_abs_diff(&exact);
+        let e2 = IfkfInverse::with_order(2).invert(&s, 0).unwrap().max_abs_diff(&exact);
+        assert!(e2 < e0, "order 2 ({e2}) must beat order 0 ({e0})");
+    }
+
+    #[test]
+    fn fails_badly_on_correlated_matrices() {
+        // Strong off-diagonal correlation (like neural data): the diagonal
+        // approximation leaves a large residual — Table I's IFKF failure.
+        let s = Matrix::from_fn(6, 6, |r, c| if r == c { 2.0 } else { 1.5 });
+        let inv = IfkfInverse::new().invert(&s, 0).unwrap();
+        assert!(norms::inverse_residual(&s, &inv) > 1.0);
+    }
+
+    #[test]
+    fn rejects_zero_diagonal() {
+        let s = Matrix::from_rows(&[&[0.0_f64, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(IfkfInverse::new().invert(&s, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let s = Matrix::<f64>::zeros(2, 3);
+        assert!(IfkfInverse::new().invert(&s, 0).is_err());
+    }
+}

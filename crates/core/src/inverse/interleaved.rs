@@ -1,0 +1,307 @@
+//! The KalmMind technique: interleaving exact calculation with Newton–Schulz
+//! approximation across consecutive KF iterations (paper Section III).
+
+use kalmmind_linalg::{iterative, Matrix, Scalar};
+
+use crate::inverse::{CalcMethod, InverseStrategy, SeedPolicy};
+use crate::{KalmanError, Result};
+
+/// Interleaved calculation/approximation inversion — the paper's primary
+/// contribution.
+///
+/// At KF iteration `n` the strategy picks one of two paths:
+///
+/// * **Path A (calculation)** when the `calc_freq` schedule selects it:
+///   `calc_freq = 1` calculates every iteration, `calc_freq = k ≥ 2` every
+///   k-th iteration (`n % k == 0`), and `calc_freq = 0` only at `n = 0`.
+/// * **Path B (approximation)** otherwise: `approx` Newton–Schulz internal
+///   iterations, seeded per the [`SeedPolicy`]:
+///   - [`SeedPolicy::LastCalculated`] (Eq. 5): `V₀ = S_j⁻¹` where `j` is the
+///     last iteration that ran Path A;
+///   - [`SeedPolicy::PreviousIteration`] (Eq. 4): `V₀ = S_{n−1}⁻¹`.
+///
+/// The seeds work because consecutive neural measurements are strongly
+/// correlated, so `S_n ≈ S_{n−1}` and the previous inverse lies inside the
+/// Newton quadratic-convergence basin (Eq. 3).
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::inverse::{CalcMethod, InterleavedInverse, InverseStrategy, SeedPolicy};
+/// use kalmmind_linalg::Matrix;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// // Gauss every 4th iteration, 2 Newton iterations otherwise.
+/// let mut strat =
+///     InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+/// let s = Matrix::from_rows(&[&[6.0_f64, 1.0], &[1.0, 5.0]])?;
+/// for n in 0..8 {
+///     let inv = strat.invert(&s, n)?;
+///     assert!((&s * &inv).approx_eq(&Matrix::identity(2), 1e-6));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterleavedInverse<T> {
+    calc: CalcMethod,
+    approx: usize,
+    calc_freq: u32,
+    policy: SeedPolicy,
+    /// Inverse produced by the most recent Path A iteration.
+    last_calculated: Option<Matrix<T>>,
+    /// Inverse produced by the most recent iteration of either path.
+    previous: Option<Matrix<T>>,
+    /// Count of Path A / Path B iterations executed (for reports and the
+    /// accelerator cycle model).
+    calc_count: usize,
+    approx_count: usize,
+}
+
+impl<T: Scalar> InterleavedInverse<T> {
+    /// Creates an interleaved strategy.
+    ///
+    /// `approx` is the Newton internal-iteration count (the `approx`
+    /// register); `calc_freq` is the calculation schedule (the `calc_freq`
+    /// register); `policy` selects the seed equation.
+    pub fn new(calc: CalcMethod, approx: usize, calc_freq: u32, policy: SeedPolicy) -> Self {
+        Self {
+            calc,
+            approx,
+            calc_freq,
+            policy,
+            last_calculated: None,
+            previous: None,
+            calc_count: 0,
+            approx_count: 0,
+        }
+    }
+
+    /// The calculation method of Path A.
+    pub fn calc_method(&self) -> CalcMethod {
+        self.calc
+    }
+
+    /// The configured Newton internal-iteration count.
+    pub fn approx(&self) -> usize {
+        self.approx
+    }
+
+    /// The configured calculation frequency.
+    pub fn calc_freq(&self) -> u32 {
+        self.calc_freq
+    }
+
+    /// The configured seed policy.
+    pub fn policy(&self) -> SeedPolicy {
+        self.policy
+    }
+
+    /// Number of iterations that took Path A so far.
+    pub fn calc_count(&self) -> usize {
+        self.calc_count
+    }
+
+    /// Number of iterations that took Path B so far.
+    pub fn approx_count(&self) -> usize {
+        self.approx_count
+    }
+
+    /// `true` when KF iteration `n` runs the calculation path under schedule
+    /// `calc_freq` (paper Section III: `calc_freq = 0` calculates only at
+    /// the first iteration).
+    pub fn is_calc_iteration(calc_freq: u32, n: usize) -> bool {
+        match calc_freq {
+            0 => n == 0,
+            k => n.is_multiple_of(k as usize),
+        }
+    }
+
+    fn seed(&mut self, s: &Matrix<T>) -> Result<Matrix<T>> {
+        let chosen = match self.policy {
+            SeedPolicy::LastCalculated => self.last_calculated.as_ref(),
+            SeedPolicy::PreviousIteration => self.previous.as_ref(),
+        };
+        match chosen {
+            Some(seed) if seed.shape() == s.shape() => Ok(seed.clone()),
+            // No usable history (first iteration ran Path B after a reset,
+            // or the dimensions changed): fall back to the certified seed.
+            _ => Ok(iterative::safe_seed(s).map_err(KalmanError::from)?),
+        }
+    }
+}
+
+impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
+    fn invert(&mut self, s: &Matrix<T>, iteration: usize) -> Result<Matrix<T>> {
+        let inv = if Self::is_calc_iteration(self.calc_freq, iteration) {
+            let inv = self.calc.invert(s)?;
+            self.calc_count += 1;
+            self.last_calculated = Some(inv.clone());
+            inv
+        } else {
+            let seed = self.seed(s)?;
+            self.approx_count += 1;
+            iterative::newton_schulz(s, &seed, self.approx).map_err(KalmanError::from)?
+        };
+        self.previous = Some(inv.clone());
+        Ok(inv)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.calc {
+            CalcMethod::Gauss => "gauss/newton",
+            CalcMethod::Lu => "lu/newton",
+            CalcMethod::Cholesky => "cholesky/newton",
+            CalcMethod::Qr => "qr/newton",
+        }
+    }
+
+    fn reset(&mut self) {
+        self.last_calculated = None;
+        self.previous = None;
+        self.calc_count = 0;
+        self.approx_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind_linalg::decomp::gauss;
+
+    fn drifting_s(n: usize) -> Matrix<f64> {
+        // SPD matrix drifting slowly with n, like the KF's S over correlated
+        // neural measurements.
+        let t = n as f64 * 0.01;
+        Matrix::from_fn(6, 6, |r, c| {
+            let base = if r == c { 8.0 + t } else { 1.0 / (1.0 + (r as f64 - c as f64).abs()) };
+            base + 0.05 * t * ((r + c) as f64).sin()
+        })
+    }
+
+    #[test]
+    fn schedule_matches_paper_semantics() {
+        // calc_freq = 0: only iteration 0.
+        assert!(InterleavedInverse::<f64>::is_calc_iteration(0, 0));
+        for n in 1..10 {
+            assert!(!InterleavedInverse::<f64>::is_calc_iteration(0, n));
+        }
+        // calc_freq = 1: every iteration.
+        for n in 0..10 {
+            assert!(InterleavedInverse::<f64>::is_calc_iteration(1, n));
+        }
+        // calc_freq = 3: every third.
+        let pattern: Vec<bool> =
+            (0..7).map(|n| InterleavedInverse::<f64>::is_calc_iteration(3, n)).collect();
+        assert_eq!(pattern, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn tracks_drifting_matrices_with_both_policies() {
+        for policy in [SeedPolicy::LastCalculated, SeedPolicy::PreviousIteration] {
+            let mut strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, policy);
+            for n in 0..24 {
+                let s = drifting_s(n);
+                let inv = strat.invert(&s, n).unwrap();
+                let exact = gauss::invert(&s).unwrap();
+                assert!(
+                    inv.approx_eq(&exact, 1e-6),
+                    "{policy:?} diverged at n={n}: {}",
+                    inv.max_abs_diff(&exact)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_counters_follow_schedule() {
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 1, 3, SeedPolicy::LastCalculated);
+        for n in 0..9 {
+            strat.invert(&drifting_s(n), n).unwrap();
+        }
+        assert_eq!(strat.calc_count(), 3); // n = 0, 3, 6
+        assert_eq!(strat.approx_count(), 6);
+    }
+
+    #[test]
+    fn calc_freq_zero_calculates_once_then_approximates() {
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 2, 0, SeedPolicy::PreviousIteration);
+        for n in 0..12 {
+            let s = drifting_s(n);
+            let inv = strat.invert(&s, n).unwrap();
+            let exact = gauss::invert(&s).unwrap();
+            assert!(inv.approx_eq(&exact, 1e-4), "n={n}: {}", inv.max_abs_diff(&exact));
+        }
+        assert_eq!(strat.calc_count(), 1);
+        assert_eq!(strat.approx_count(), 11);
+    }
+
+    #[test]
+    fn last_calculated_policy_reuses_only_path_a_output() {
+        // With a *stationary* S, Eq. 5 seeds from the exact inverse every
+        // time, so every approximation lands on the exact inverse too.
+        let s = drifting_s(0);
+        let exact = gauss::invert(&s).unwrap();
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 1, 5, SeedPolicy::LastCalculated);
+        for n in 0..10 {
+            let inv = strat.invert(&s, n).unwrap();
+            assert!(inv.approx_eq(&exact, 1e-12), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 2, 2, SeedPolicy::LastCalculated);
+        strat.invert(&drifting_s(0), 0).unwrap();
+        strat.invert(&drifting_s(1), 1).unwrap();
+        InverseStrategy::<f64>::reset(&mut strat);
+        assert_eq!(strat.calc_count(), 0);
+        assert_eq!(strat.approx_count(), 0);
+    }
+
+    #[test]
+    fn name_reflects_calc_method() {
+        let s: InterleavedInverse<f64> =
+            InterleavedInverse::new(CalcMethod::Cholesky, 1, 1, SeedPolicy::LastCalculated);
+        assert_eq!(InverseStrategy::<f64>::name(&s), "cholesky/newton");
+    }
+
+    #[test]
+    fn approximation_only_start_falls_back_to_safe_seed() {
+        // calc_freq = 2 means n = 1 approximates; after a reset there is no
+        // history, so n = 1 must use the safe seed rather than fail.
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 3, 2, SeedPolicy::LastCalculated);
+        let s = drifting_s(1);
+        let inv = strat.invert(&s, 1).unwrap();
+        assert!(inv.all_finite());
+    }
+
+    #[test]
+    fn higher_approx_tightens_the_approximated_iterations() {
+        let exact_at = |n: usize| gauss::invert(&drifting_s(n)).unwrap();
+        let mut err_by_approx = Vec::new();
+        for approx in [1usize, 3] {
+            let mut strat = InterleavedInverse::new(
+                CalcMethod::Gauss,
+                approx,
+                6,
+                SeedPolicy::LastCalculated,
+            );
+            let mut worst: f64 = 0.0;
+            for n in 0..12 {
+                let inv = strat.invert(&drifting_s(n), n).unwrap();
+                worst = worst.max(inv.max_abs_diff(&exact_at(n)));
+            }
+            err_by_approx.push(worst);
+        }
+        assert!(
+            err_by_approx[1] < err_by_approx[0],
+            "approx=3 must beat approx=1: {err_by_approx:?}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Matrix-inversion strategies for the innovation covariance `S`.
+//!
+//! Inverting `S = H·P·H^T + R` (a `z_dim × z_dim` matrix, where `z_dim` is
+//! the neural channel count) is the KF bottleneck the paper attacks. Every
+//! strategy here implements [`InverseStrategy`], the software analogue of
+//! the accelerator's swappable inversion datapath:
+//!
+//! * [`CalcInverse`] — Path A, exact *calculation* via a [`CalcMethod`]
+//!   (Gauss, LU, Cholesky, QR);
+//! * [`NewtonInverse`] — Path B only, the pure Newton–Schulz approximation
+//!   seeded from the previous iteration (the paper's LITE design runs this
+//!   with one internal iteration);
+//! * [`InterleavedInverse`] — **the KalmMind technique**: Path A every
+//!   `calc_freq`-th KF iteration, Path B otherwise, seeded per
+//!   [`SeedPolicy`];
+//! * [`SskfNewtonInverse`] — a constant pre-trained `S⁻¹`, optionally
+//!   refined by Newton iterations (the paper's SSKF/Newton accelerator);
+//! * [`IfkfInverse`] — the inverse-free KF baseline (diagonal approximation),
+//!   included for the Table I comparison.
+
+mod calc;
+mod ifkf;
+mod interleaved;
+mod newton;
+mod sskf_newton;
+
+pub use calc::{CalcInverse, CalcMethod};
+pub use ifkf::IfkfInverse;
+pub use interleaved::InterleavedInverse;
+pub use newton::{InitialSeed, NewtonInverse};
+pub use sskf_newton::SskfNewtonInverse;
+
+use kalmmind_linalg::{Matrix, Scalar};
+
+use crate::Result;
+
+/// A strategy for producing `S⁻¹` at each KF iteration.
+///
+/// Implementations may keep state between calls — that is the point of the
+/// KalmMind seed policies, which reuse inverses across the strong temporal
+/// correlation of consecutive neural measurements.
+///
+/// The `iteration` argument is the zero-based KF iteration index `n`; the
+/// scheduler inside [`InterleavedInverse`] uses it to decide between
+/// calculation and approximation.
+pub trait InverseStrategy<T: Scalar>: Send {
+    /// Computes (or approximates) the inverse of `s` for KF iteration
+    /// `iteration`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report singular input, failed factorizations, and
+    /// missing training through [`crate::KalmanError`].
+    fn invert(&mut self, s: &Matrix<T>, iteration: usize) -> Result<Matrix<T>>;
+
+    /// Short human-readable name used in reports (e.g. `"gauss/newton"`).
+    fn name(&self) -> &'static str;
+
+    /// Clears all cross-iteration state, returning the strategy to the state
+    /// it had before the first call.
+    fn reset(&mut self);
+}
+
+impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
+    fn invert(&mut self, s: &Matrix<T>, iteration: usize) -> Result<Matrix<T>> {
+        (**self).invert(s, iteration)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Which of the two seed policies initializes the Newton approximation
+/// (paper Eq. 4 and Eq. 5, selected by the `policy` register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SeedPolicy {
+    /// `policy = 0` (Eq. 5): seed with the most recently *calculated*
+    /// inverse `S_j⁻¹`, `j = n − n mod calc_freq`, avoiding compounding of
+    /// approximation error.
+    #[default]
+    LastCalculated,
+    /// `policy = 1` (Eq. 4): seed with the previous KF iteration's inverse
+    /// `S_{n−1}⁻¹`, whether it was calculated or approximated.
+    PreviousIteration,
+}
+
+impl SeedPolicy {
+    /// Decodes the accelerator's `policy` register value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::KalmanError::BadConfig`] for values other than 0 or 1.
+    pub fn from_register(value: u32) -> Result<Self> {
+        match value {
+            0 => Ok(Self::LastCalculated),
+            1 => Ok(Self::PreviousIteration),
+            other => Err(crate::KalmanError::BadConfig {
+                register: "policy",
+                reason: format!("must be 0 or 1, got {other}"),
+            }),
+        }
+    }
+
+    /// Encodes to the accelerator's `policy` register value.
+    pub fn to_register(self) -> u32 {
+        match self {
+            Self::LastCalculated => 0,
+            Self::PreviousIteration => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_policy_register_round_trip() {
+        for v in [0u32, 1] {
+            assert_eq!(SeedPolicy::from_register(v).unwrap().to_register(), v);
+        }
+    }
+
+    #[test]
+    fn seed_policy_rejects_out_of_range() {
+        assert!(SeedPolicy::from_register(2).is_err());
+    }
+
+    #[test]
+    fn default_policy_is_last_calculated() {
+        assert_eq!(SeedPolicy::default(), SeedPolicy::LastCalculated);
+    }
+
+    #[test]
+    fn boxed_strategy_forwards() {
+        let mut boxed: Box<dyn InverseStrategy<f64>> =
+            Box::new(CalcInverse::new(CalcMethod::Gauss));
+        assert_eq!(InverseStrategy::<f64>::name(&boxed), "gauss");
+        let s = Matrix::identity(3).scale(2.0);
+        let inv = boxed.invert(&s, 0).unwrap();
+        assert!(inv.approx_eq(&Matrix::identity(3).scale(0.5), 1e-12));
+        boxed.reset();
+    }
+}

@@ -1,0 +1,223 @@
+//! Pure Newton–Schulz approximation (Path B only) — the LITE design.
+
+use kalmmind_linalg::{iterative, Matrix, Scalar};
+
+use crate::inverse::InverseStrategy;
+use crate::{KalmanError, Result};
+
+/// How the very first KF iteration obtains its Newton seed, before any
+/// previous inverse exists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitialSeed<T> {
+    /// Pan–Reif safe seed `A^T / (‖A‖₁·‖A‖_∞)` computed on the fly.
+    /// Convergence is guaranteed but slow, so pair it with a few extra
+    /// iterations on iteration 0 if accuracy matters.
+    Safe,
+    /// A pre-computed seed loaded from main memory — exactly what the
+    /// paper's LITE accelerator does on its first KF iteration (typically
+    /// the exact inverse of the expected first `S`, produced offline).
+    Precomputed(Matrix<T>),
+}
+
+/// Newton–Schulz-only inversion, always seeded from the previous KF
+/// iteration's result.
+///
+/// With `approx = 1` and a pre-computed initial seed this is the paper's
+/// **LITE** accelerator: the cheapest tunable design, exploiting the
+/// temporal correlation of neural data so strongly that a single
+/// multiplication-only refinement per iteration suffices for `~1e-6` MSE.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::inverse::{InverseStrategy, NewtonInverse};
+/// use kalmmind_linalg::{decomp, Matrix};
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let s = Matrix::from_rows(&[&[5.0_f64, 1.0], &[1.0, 4.0]])?;
+/// let seed = decomp::gauss::invert(&s)?;
+/// let mut lite = NewtonInverse::with_precomputed_seed(1, seed);
+/// let inv = lite.invert(&s, 0)?;
+/// assert!((&s * &inv).approx_eq(&Matrix::identity(2), 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewtonInverse<T> {
+    approx: usize,
+    initial: InitialSeed<T>,
+    prev: Option<Matrix<T>>,
+}
+
+impl<T: Scalar> NewtonInverse<T> {
+    /// Creates a Newton-only strategy with `approx` internal iterations per
+    /// KF iteration and the safe cold-start seed.
+    pub fn new(approx: usize) -> Self {
+        Self { approx, initial: InitialSeed::Safe, prev: None }
+    }
+
+    /// Creates the LITE configuration: `approx` internal iterations with a
+    /// pre-computed first seed.
+    pub fn with_precomputed_seed(approx: usize, seed: Matrix<T>) -> Self {
+        Self { approx, initial: InitialSeed::Precomputed(seed), prev: None }
+    }
+
+    /// Number of internal Newton iterations per KF iteration.
+    pub fn approx(&self) -> usize {
+        self.approx
+    }
+
+    fn first_seed(&self, s: &Matrix<T>) -> Result<Matrix<T>> {
+        match &self.initial {
+            InitialSeed::Safe => Ok(iterative::safe_seed(s)?),
+            InitialSeed::Precomputed(seed) => {
+                if seed.shape() != s.shape() {
+                    return Err(KalmanError::BadConfig {
+                        register: "seed",
+                        reason: format!(
+                            "precomputed seed is {:?}, S is {:?}",
+                            seed.shape(),
+                            s.shape()
+                        ),
+                    });
+                }
+                Ok(seed.clone())
+            }
+        }
+    }
+}
+
+impl<T: Scalar> InverseStrategy<T> for NewtonInverse<T> {
+    fn invert(&mut self, s: &Matrix<T>, _iteration: usize) -> Result<Matrix<T>> {
+        let (seed, cold_start) = match self.prev.take() {
+            Some(prev) if prev.shape() == s.shape() => (prev, false),
+            _ => (self.first_seed(s)?, true),
+        };
+        // On a cold start from the safe seed, spend extra iterations to get
+        // inside the quadratic-convergence basin; subsequent iterations use
+        // the configured budget (the hardware pre-loads a good seed instead).
+        let iters = if cold_start && matches!(self.initial, InitialSeed::Safe) {
+            self.approx.max(cold_start_budget(s))
+        } else {
+            self.approx
+        };
+        let v = iterative::newton_schulz(s, &seed, iters)?;
+        self.prev = Some(v.clone());
+        Ok(v)
+    }
+
+    fn name(&self) -> &'static str {
+        "newton"
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// Iteration budget for the safe-seed cold start: the safe seed converges
+/// linearly until the residual drops below 1, needing `O(log2(cond))`
+/// iterations; 40 covers every matrix in the paper's workloads.
+fn cold_start_budget<T: Scalar>(_s: &Matrix<T>) -> usize {
+    40
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind_linalg::decomp::gauss;
+
+    fn spd(n: usize, bump: f64) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                n as f64 + 2.0 + bump
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            }
+        })
+    }
+
+    #[test]
+    fn cold_start_converges_with_safe_seed() {
+        let s = spd(6, 0.0);
+        let mut strat = NewtonInverse::new(2);
+        let inv = strat.invert(&s, 0).unwrap();
+        let exact = gauss::invert(&s).unwrap();
+        assert!(inv.approx_eq(&exact, 1e-6), "diff {}", inv.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn warm_iterations_track_a_drifting_matrix() {
+        // Slowly drifting S_n, like consecutive neural measurements.
+        let mut strat = NewtonInverse::new(2);
+        for n in 0..20 {
+            let s = spd(6, 0.005 * n as f64);
+            let inv = strat.invert(&s, n).unwrap();
+            let exact = gauss::invert(&s).unwrap();
+            if n >= 1 {
+                assert!(
+                    inv.approx_eq(&exact, 1e-8),
+                    "iteration {n} diverged: {}",
+                    inv.max_abs_diff(&exact)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lite_uses_precomputed_seed_with_single_iteration() {
+        let s = spd(5, 0.0);
+        let seed = gauss::invert(&s).unwrap();
+        let mut lite = NewtonInverse::with_precomputed_seed(1, seed);
+        let inv = lite.invert(&s, 0).unwrap();
+        let exact = gauss::invert(&s).unwrap();
+        assert!(inv.approx_eq(&exact, 1e-10));
+    }
+
+    #[test]
+    fn precomputed_seed_shape_is_validated() {
+        let s = spd(5, 0.0);
+        let mut lite = NewtonInverse::with_precomputed_seed(1, Matrix::identity(3));
+        assert!(matches!(
+            lite.invert(&s, 0),
+            Err(KalmanError::BadConfig { register: "seed", .. })
+        ));
+    }
+
+    #[test]
+    fn reset_forgets_previous_inverse() {
+        let s = spd(4, 0.0);
+        let mut strat = NewtonInverse::new(1);
+        let first = strat.invert(&s, 0).unwrap();
+        InverseStrategy::<f64>::reset(&mut strat);
+        let again = strat.invert(&s, 0).unwrap();
+        assert_eq!(first.max_abs_diff(&again), 0.0, "reset must reproduce the cold start");
+    }
+
+    #[test]
+    fn more_internal_iterations_improve_accuracy() {
+        let s0 = spd(6, 0.0);
+        let s1 = spd(6, 0.3); // big jump stresses the warm seed
+        let exact = gauss::invert(&s1).unwrap();
+        let mut errs = Vec::new();
+        for approx in [1usize, 2, 4] {
+            let mut strat = NewtonInverse::new(approx);
+            strat.invert(&s0, 0).unwrap();
+            let inv = strat.invert(&s1, 1).unwrap();
+            errs.push(inv.max_abs_diff(&exact));
+        }
+        assert!(errs[1] < errs[0], "approx=2 must beat approx=1: {errs:?}");
+        assert!(errs[2] <= errs[1], "approx=4 must not lose to approx=2: {errs:?}");
+    }
+
+    #[test]
+    fn dimension_change_triggers_reseed_not_panic() {
+        let mut strat = NewtonInverse::new(2);
+        strat.invert(&spd(4, 0.0), 0).unwrap();
+        // Shrinking S (e.g. reconfigured z_dim) must fall back to a fresh seed.
+        let s_small = spd(3, 0.0);
+        let inv = strat.invert(&s_small, 1).unwrap();
+        let exact = gauss::invert(&s_small).unwrap();
+        assert!(inv.approx_eq(&exact, 1e-6));
+    }
+}

@@ -1,0 +1,232 @@
+//! Constant steady-state `S⁻¹`, optionally refined by Newton iterations —
+//! the paper's SSKF/Newton accelerator.
+
+use kalmmind_linalg::{iterative, Matrix, Scalar};
+
+use crate::inverse::{CalcMethod, InverseStrategy};
+use crate::{KalmanError, KalmanModel, Result};
+
+/// Pre-computed constant `S⁻¹` with optional per-iteration Newton refinement.
+///
+/// Inspired by the steady-state KF of Malik et al.: because the covariance
+/// recursion of a time-invariant model converges, `S_n` converges to a
+/// constant `S_const`, whose inverse can be computed offline and pre-loaded
+/// into the accelerator (replacing Path A with a memory read). With
+/// `approx = 0` the constant is used as-is; with `approx > 0` each KF
+/// iteration refines it against the *current* `S_n` via Newton–Schulz —
+/// giving the widest accuracy range of any design in Table III.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::inverse::{InverseStrategy, SskfNewtonInverse};
+/// use kalmmind_linalg::Matrix;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let s_const_inv = Matrix::from_diagonal(&[0.5_f64, 0.25]);
+/// let mut strat = SskfNewtonInverse::new(s_const_inv, 3);
+/// // The actual S drifted a little from the steady state; Newton fixes it.
+/// let s = Matrix::from_diagonal(&[2.1_f64, 3.9]);
+/// let inv = strat.invert(&s, 0)?;
+/// assert!((&s * &inv).approx_eq(&Matrix::identity(2), 1e-6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SskfNewtonInverse<T> {
+    s_inv_const: Matrix<T>,
+    approx: usize,
+}
+
+impl<T: Scalar> SskfNewtonInverse<T> {
+    /// Creates the strategy from a pre-computed constant inverse and a
+    /// Newton refinement budget (`approx = 0` reproduces the pure SSKF
+    /// inverse path).
+    pub fn new(s_inv_const: Matrix<T>, approx: usize) -> Self {
+        Self { s_inv_const, approx }
+    }
+
+    /// Trains the constant inverse offline by running the covariance
+    /// recursion of `model` for `iterations` steps (or until `K`'s inputs
+    /// stabilize) and inverting the converged `S` with `calc`.
+    ///
+    /// This is the "pre-compute S⁻¹, load it into device memory" flow of the
+    /// paper (Section III / IV).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inversion failures from the recursion.
+    pub fn train(
+        model: &KalmanModel<T>,
+        p0: &Matrix<T>,
+        calc: CalcMethod,
+        iterations: usize,
+        approx: usize,
+    ) -> Result<Self> {
+        let s_const = steady_state_s(model, p0, calc, iterations)?;
+        Ok(Self { s_inv_const: calc.invert(&s_const)?, approx })
+    }
+
+    /// The constant inverse currently loaded.
+    pub fn s_inv_const(&self) -> &Matrix<T> {
+        &self.s_inv_const
+    }
+
+    /// Newton refinement budget per KF iteration.
+    pub fn approx(&self) -> usize {
+        self.approx
+    }
+}
+
+impl<T: Scalar> InverseStrategy<T> for SskfNewtonInverse<T> {
+    fn invert(&mut self, s: &Matrix<T>, _iteration: usize) -> Result<Matrix<T>> {
+        if self.s_inv_const.shape() != s.shape() {
+            return Err(KalmanError::BadConfig {
+                register: "s_inv_const",
+                reason: format!(
+                    "constant inverse is {:?}, S is {:?}",
+                    self.s_inv_const.shape(),
+                    s.shape()
+                ),
+            });
+        }
+        if self.approx == 0 {
+            return Ok(self.s_inv_const.clone());
+        }
+        Ok(iterative::newton_schulz(s, &self.s_inv_const, self.approx)?)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.approx == 0 {
+            "sskf-inverse"
+        } else {
+            "sskf/newton"
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Runs the covariance (Riccati) recursion of a time-invariant model and
+/// returns the converged innovation covariance `S`.
+///
+/// # Errors
+///
+/// Propagates inversion failures from the recursion's gain computation.
+pub fn steady_state_s<T: Scalar>(
+    model: &KalmanModel<T>,
+    p0: &Matrix<T>,
+    calc: CalcMethod,
+    iterations: usize,
+) -> Result<Matrix<T>> {
+    let mut p = p0.clone();
+    let mut s = innovation_covariance(model, &p)?;
+    for _ in 0..iterations {
+        // Predict.
+        let p_pred = &(model.f() * &p) * &model.f().transpose() + model.q().clone();
+        // S and gain.
+        s = innovation_covariance_from_pred(model, &p_pred)?;
+        let s_inv = calc.invert(&s)?;
+        let k = &(&p_pred * &model.h().transpose()) * &s_inv;
+        // Covariance update: P = (I − K·H)·P_pred.
+        let ikh = Matrix::<T>::identity(model.x_dim()).checked_sub(&k.checked_mul(model.h())?)?;
+        p = ikh.checked_mul(&p_pred)?;
+        p.symmetrize();
+    }
+    Ok(s)
+}
+
+fn innovation_covariance<T: Scalar>(
+    model: &KalmanModel<T>,
+    p: &Matrix<T>,
+) -> Result<Matrix<T>> {
+    let p_pred = &(model.f() * p) * &model.f().transpose() + model.q().clone();
+    innovation_covariance_from_pred(model, &p_pred)
+}
+
+fn innovation_covariance_from_pred<T: Scalar>(
+    model: &KalmanModel<T>,
+    p_pred: &Matrix<T>,
+) -> Result<Matrix<T>> {
+    let hp = model.h().checked_mul(p_pred)?;
+    let hpht = hp.checked_mul(&model.h().transpose())?;
+    hpht.checked_add(model.r()).map_err(KalmanError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind_linalg::decomp::gauss;
+
+    fn small_model() -> KalmanModel<f64> {
+        KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::identity(2).scale(0.01),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::identity(3).scale(0.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn riccati_recursion_converges() {
+        let model = small_model();
+        let p0 = Matrix::identity(2);
+        let s100 = steady_state_s(&model, &p0, CalcMethod::Gauss, 100).unwrap();
+        let s200 = steady_state_s(&model, &p0, CalcMethod::Gauss, 200).unwrap();
+        assert!(s100.approx_eq(&s200, 1e-9), "S must converge: {}", s100.max_abs_diff(&s200));
+    }
+
+    #[test]
+    fn trained_constant_matches_converged_s() {
+        let model = small_model();
+        let p0 = Matrix::identity(2);
+        let strat = SskfNewtonInverse::train(&model, &p0, CalcMethod::Gauss, 200, 0).unwrap();
+        let s = steady_state_s(&model, &p0, CalcMethod::Gauss, 200).unwrap();
+        let exact = gauss::invert(&s).unwrap();
+        assert!(strat.s_inv_const().approx_eq(&exact, 1e-9));
+    }
+
+    #[test]
+    fn approx_zero_returns_constant_regardless_of_s() {
+        let c = Matrix::from_diagonal(&[0.5_f64, 0.5]);
+        let mut strat = SskfNewtonInverse::new(c.clone(), 0);
+        let wildly_different = Matrix::from_diagonal(&[100.0_f64, 0.01]);
+        let inv = strat.invert(&wildly_different, 3).unwrap();
+        assert_eq!(inv.max_abs_diff(&c), 0.0);
+    }
+
+    #[test]
+    fn newton_refinement_adapts_to_current_s() {
+        let c = Matrix::from_diagonal(&[0.5_f64, 0.26]);
+        let s = Matrix::from_diagonal(&[2.1_f64, 3.9]);
+        let exact = gauss::invert(&s).unwrap();
+        let mut refined = SskfNewtonInverse::new(c.clone(), 3);
+        let mut constant = SskfNewtonInverse::new(c, 0);
+        let e_refined = refined.invert(&s, 0).unwrap().max_abs_diff(&exact);
+        let e_const = constant.invert(&s, 0).unwrap().max_abs_diff(&exact);
+        assert!(e_refined < e_const / 10.0, "refined={e_refined}, const={e_const}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut strat = SskfNewtonInverse::new(Matrix::<f64>::identity(2), 1);
+        assert!(matches!(
+            strat.invert(&Matrix::identity(3), 0),
+            Err(KalmanError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn name_distinguishes_refined_from_constant() {
+        let c = Matrix::<f64>::identity(2);
+        assert_eq!(
+            InverseStrategy::<f64>::name(&SskfNewtonInverse::new(c.clone(), 0)),
+            "sskf-inverse"
+        );
+        assert_eq!(
+            InverseStrategy::<f64>::name(&SskfNewtonInverse::new(c, 2)),
+            "sskf/newton"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The accuracy metrics of the paper's evaluation.
+//!
+//! Every configuration is scored against the *reference* trajectory (the
+//! `f64` LU filter, standing in for NumPy) with:
+//!
+//! * **MSE** — mean squared error over all state elements and iterations;
+//! * **MAE** — mean absolute error;
+//! * **MAX DIFF** — the maximum element difference, normalized by the
+//!   largest reference magnitude and expressed in percent (the paper's
+//!   "normalized maximum difference between one output and its expected
+//!   value");
+//! * **AVG DIFF** — the mean element difference, normalized the same way
+//!   (Table I's starred rows).
+
+use kalmmind_linalg::{Scalar, Vector};
+
+/// Accuracy of one trajectory against the reference.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::metrics::compare;
+/// use kalmmind_linalg::Vector;
+///
+/// let reference = vec![Vector::from_vec(vec![1.0_f64, 2.0])];
+/// let output = vec![Vector::from_vec(vec![1.1_f64, 2.0])];
+/// let report = compare(&output, &reference);
+/// assert!((report.mae - 0.05).abs() < 1e-12);
+/// assert!((report.max_diff_pct - 5.0).abs() < 1e-9); // 0.1 / 2.0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccuracyReport {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Maximum difference as a percentage of the largest reference value.
+    pub max_diff_pct: f64,
+    /// Average difference as a percentage of the largest reference value.
+    pub avg_diff_pct: f64,
+}
+
+impl AccuracyReport {
+    /// A report representing a failed run (all metrics infinite), used by
+    /// sweeps when a configuration diverges or errors.
+    pub fn failed() -> Self {
+        Self {
+            mse: f64::INFINITY,
+            mae: f64::INFINITY,
+            max_diff_pct: f64::INFINITY,
+            avg_diff_pct: f64::INFINITY,
+        }
+    }
+
+    /// `true` when every metric is finite.
+    pub fn is_finite(&self) -> bool {
+        self.mse.is_finite()
+            && self.mae.is_finite()
+            && self.max_diff_pct.is_finite()
+            && self.avg_diff_pct.is_finite()
+    }
+}
+
+/// Scores `outputs` against `reference`, element-wise over the whole
+/// trajectory. Comparison happens in `f64` whatever the output scalar type,
+/// so fixed-point runs are scored the same way as floating-point runs.
+///
+/// Trajectories of different lengths, or with NaN/infinite elements, score
+/// as [`AccuracyReport::failed`].
+pub fn compare<T: Scalar, U: Scalar>(
+    outputs: &[Vector<T>],
+    reference: &[Vector<U>],
+) -> AccuracyReport {
+    if outputs.len() != reference.len() || reference.is_empty() {
+        return AccuracyReport::failed();
+    }
+    let mut count = 0usize;
+    let mut sum_sq = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut ref_scale = 0.0f64;
+
+    for (out, rf) in outputs.iter().zip(reference) {
+        if out.len() != rf.len() {
+            return AccuracyReport::failed();
+        }
+        for (o, r) in out.iter().zip(rf.iter()) {
+            let (o, r) = (o.to_f64(), r.to_f64());
+            if !o.is_finite() || !r.is_finite() {
+                return AccuracyReport::failed();
+            }
+            let d = (o - r).abs();
+            sum_sq += d * d;
+            sum_abs += d;
+            max_abs = max_abs.max(d);
+            ref_scale = ref_scale.max(r.abs());
+            count += 1;
+        }
+    }
+    if ref_scale == 0.0 {
+        ref_scale = 1.0; // all-zero reference: report raw differences
+    }
+    let n = count as f64;
+    AccuracyReport {
+        mse: sum_sq / n,
+        mae: sum_abs / n,
+        max_diff_pct: 100.0 * max_abs / ref_scale,
+        avg_diff_pct: 100.0 * (sum_abs / n) / ref_scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(vals: &[&[f64]]) -> Vec<Vector<f64>> {
+        vals.iter().map(|v| Vector::from_slice(v)).collect()
+    }
+
+    #[test]
+    fn identical_trajectories_score_zero() {
+        let a = traj(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = compare(&a, &a);
+        assert_eq!(r.mse, 0.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.max_diff_pct, 0.0);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn hand_computed_metrics() {
+        let reference = traj(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let outputs = traj(&[&[1.1, 2.0], &[3.0, 3.8]]);
+        let r = compare(&outputs, &reference);
+        // diffs: 0.1, 0, 0, 0.2 over 4 elements
+        assert!((r.mse - (0.01 + 0.04) / 4.0).abs() < 1e-12);
+        assert!((r.mae - 0.3 / 4.0).abs() < 1e-12);
+        // scale = 4.0, max diff 0.2 -> 5%
+        assert!((r.max_diff_pct - 5.0).abs() < 1e-9);
+        assert!((r.avg_diff_pct - 100.0 * 0.075 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_lengths_fail() {
+        let a = traj(&[&[1.0]]);
+        let b = traj(&[&[1.0], &[2.0]]);
+        assert!(!compare(&a, &b).is_finite());
+        let c = traj(&[&[1.0, 2.0]]);
+        assert!(!compare(&a, &c).is_finite());
+    }
+
+    #[test]
+    fn empty_reference_fails() {
+        let a: Vec<Vector<f64>> = Vec::new();
+        assert!(!compare(&a, &a).is_finite());
+    }
+
+    #[test]
+    fn nan_output_fails() {
+        let reference = traj(&[&[1.0]]);
+        let outputs = traj(&[&[f64::NAN]]);
+        assert!(!compare(&outputs, &reference).is_finite());
+    }
+
+    #[test]
+    fn zero_reference_reports_raw_differences() {
+        let reference = traj(&[&[0.0, 0.0]]);
+        let outputs = traj(&[&[0.1, 0.0]]);
+        let r = compare(&outputs, &reference);
+        assert!((r.max_diff_pct - 10.0).abs() < 1e-9); // 100 * 0.1 / 1.0
+    }
+
+    #[test]
+    fn mixed_scalar_types_compare_through_f64() {
+        let reference = traj(&[&[1.0, 2.0]]);
+        let outputs: Vec<Vector<f32>> =
+            vec![Vector::from_vec(vec![1.0_f32, 2.0])];
+        let r = compare(&outputs, &reference);
+        assert_eq!(r.mse, 0.0);
+    }
+
+    #[test]
+    fn failed_report_is_infinite() {
+        assert!(!AccuracyReport::failed().is_finite());
+    }
+}

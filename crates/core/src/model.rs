@@ -1,0 +1,214 @@
+use kalmmind_linalg::{Matrix, Scalar};
+
+use crate::{KalmanError, Result};
+
+/// The constant Kalman-filter model: the four matrices that stay fixed
+/// between iterations (paper Section II).
+///
+/// * `F` (`x_dim × x_dim`) — state-transition model,
+/// * `Q` (`x_dim × x_dim`) — process-noise covariance,
+/// * `H` (`z_dim × x_dim`) — observation model,
+/// * `R` (`z_dim × z_dim`) — observation-noise covariance.
+///
+/// For BCI decoding, `x_dim` is small (6: position/velocity/acceleration of
+/// two kinematic axes) while `z_dim` is the channel count (up to 164 in the
+/// paper's motor dataset) — which is why inverting the `z_dim × z_dim`
+/// innovation covariance dominates the computation.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::KalmanModel;
+/// use kalmmind_linalg::Matrix;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let model = KalmanModel::new(
+///     Matrix::<f64>::identity(2),
+///     Matrix::identity(2).scale(0.01),
+///     Matrix::zeros(3, 2),
+///     Matrix::identity(3),
+/// )?;
+/// assert_eq!(model.x_dim(), 2);
+/// assert_eq!(model.z_dim(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanModel<T> {
+    f: Matrix<T>,
+    q: Matrix<T>,
+    h: Matrix<T>,
+    r: Matrix<T>,
+}
+
+impl<T: Scalar> KalmanModel<T> {
+    /// Builds and validates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadModel`] when:
+    /// * `F` is not square,
+    /// * `Q` is not `x_dim × x_dim`,
+    /// * `H` is not `z_dim × x_dim`,
+    /// * `R` is not `z_dim × z_dim`,
+    /// * `x_dim` or `z_dim` is zero.
+    pub fn new(f: Matrix<T>, q: Matrix<T>, h: Matrix<T>, r: Matrix<T>) -> Result<Self> {
+        if !f.is_square() || f.rows() == 0 {
+            return Err(KalmanError::BadModel {
+                matrix: "F",
+                reason: format!("must be square and nonempty, got {:?}", f.shape()),
+            });
+        }
+        let x_dim = f.rows();
+        if q.shape() != (x_dim, x_dim) {
+            return Err(KalmanError::BadModel {
+                matrix: "Q",
+                reason: format!("must be {x_dim}x{x_dim}, got {:?}", q.shape()),
+            });
+        }
+        if h.cols() != x_dim || h.rows() == 0 {
+            return Err(KalmanError::BadModel {
+                matrix: "H",
+                reason: format!("must be z_dim x {x_dim} with z_dim > 0, got {:?}", h.shape()),
+            });
+        }
+        let z_dim = h.rows();
+        if r.shape() != (z_dim, z_dim) {
+            return Err(KalmanError::BadModel {
+                matrix: "R",
+                reason: format!("must be {z_dim}x{z_dim}, got {:?}", r.shape()),
+            });
+        }
+        Ok(Self { f, q, h, r })
+    }
+
+    /// State dimension (`x` in the paper's notation).
+    pub fn x_dim(&self) -> usize {
+        self.f.rows()
+    }
+
+    /// Measurement dimension (`z` in the paper's notation; the channel count).
+    pub fn z_dim(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Borrow of the state-transition model `F`.
+    pub fn f(&self) -> &Matrix<T> {
+        &self.f
+    }
+
+    /// Borrow of the process-noise covariance `Q`.
+    pub fn q(&self) -> &Matrix<T> {
+        &self.q
+    }
+
+    /// Borrow of the observation model `H`.
+    pub fn h(&self) -> &Matrix<T> {
+        &self.h
+    }
+
+    /// Borrow of the observation-noise covariance `R`.
+    pub fn r(&self) -> &Matrix<T> {
+        &self.r
+    }
+
+    /// Converts the model to another scalar type through `f64` — the
+    /// datatype swap performed when targeting the FX32/FX64 datapaths.
+    pub fn cast<U: Scalar>(&self) -> KalmanModel<U> {
+        KalmanModel {
+            f: self.f.cast(),
+            q: self.q.cast(),
+            h: self.h.cast(),
+            r: self.r.cast(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> KalmanModel<f64> {
+        KalmanModel::new(
+            Matrix::identity(2),
+            Matrix::identity(2).scale(0.1),
+            Matrix::zeros(4, 2),
+            Matrix::identity(4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dims_are_derived_from_f_and_h() {
+        let m = valid();
+        assert_eq!(m.x_dim(), 2);
+        assert_eq!(m.z_dim(), 4);
+    }
+
+    #[test]
+    fn rejects_rectangular_f() {
+        let err = KalmanModel::new(
+            Matrix::<f64>::zeros(2, 3),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, KalmanError::BadModel { matrix: "F", .. }));
+    }
+
+    #[test]
+    fn rejects_empty_model() {
+        let err = KalmanModel::new(
+            Matrix::<f64>::zeros(0, 0),
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, KalmanError::BadModel { matrix: "F", .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_q_shape() {
+        let err = KalmanModel::new(
+            Matrix::<f64>::identity(2),
+            Matrix::zeros(3, 3),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, KalmanError::BadModel { matrix: "Q", .. }));
+    }
+
+    #[test]
+    fn rejects_h_with_wrong_state_dim() {
+        let err = KalmanModel::new(
+            Matrix::<f64>::identity(2),
+            Matrix::identity(2),
+            Matrix::zeros(4, 3),
+            Matrix::identity(4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, KalmanError::BadModel { matrix: "H", .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_r_shape() {
+        let err = KalmanModel::new(
+            Matrix::<f64>::identity(2),
+            Matrix::identity(2),
+            Matrix::zeros(4, 2),
+            Matrix::identity(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, KalmanError::BadModel { matrix: "R", .. }));
+    }
+
+    #[test]
+    fn cast_preserves_shapes() {
+        let m32: KalmanModel<f32> = valid().cast();
+        assert_eq!(m32.x_dim(), 2);
+        assert_eq!(m32.z_dim(), 4);
+    }
+}

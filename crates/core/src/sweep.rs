@@ -1,0 +1,274 @@
+//! Design-space-exploration sweep driver (paper Section V, Figs. 4–5).
+//!
+//! Runs the filter under every configuration of the paper's grid against a
+//! fixed measurement sequence, scores each against the reference trajectory,
+//! and extracts Pareto-optimal points once a latency model is attached.
+
+use kalmmind_linalg::{Scalar, Vector};
+
+use crate::gain::InverseGain;
+use crate::metrics::{compare, AccuracyReport};
+use crate::{KalmMindConfig, KalmanFilter, KalmanModel, KalmanState, Result};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The configuration that was run.
+    pub config: KalmMindConfig,
+    /// Accuracy against the reference ([`AccuracyReport::failed`] when the
+    /// run errored or diverged).
+    pub report: AccuracyReport,
+}
+
+/// Runs one configuration over `measurements` in scalar type `T` and scores
+/// it against `reference`.
+///
+/// A failing run (singular `S` under an aggressive approximation schedule,
+/// divergence to non-finite values) is reported as
+/// [`AccuracyReport::failed`], not an error — a DSE sweep must survive bad
+/// corners of the space.
+pub fn evaluate_config<T: Scalar>(
+    model: &KalmanModel<T>,
+    init: &KalmanState<T>,
+    measurements: &[Vector<T>],
+    reference: &[Vector<f64>],
+    config: &KalmMindConfig,
+) -> SweepPoint {
+    let gain = InverseGain::new(config.build_inverse::<T>());
+    let mut kf = KalmanFilter::new(model.clone(), init.clone(), gain);
+    let report = match kf.run(measurements.iter()) {
+        Ok(outputs) => compare(&outputs, reference),
+        Err(_) => AccuracyReport::failed(),
+    };
+    SweepPoint { config: *config, report }
+}
+
+/// Runs the full grid and returns one point per configuration, in grid order.
+///
+/// # Errors
+///
+/// Never fails per-configuration (failures become
+/// [`AccuracyReport::failed`]); the signature is fallible only for future
+/// dataset-level validation.
+pub fn run_sweep<T: Scalar>(
+    model: &KalmanModel<T>,
+    init: &KalmanState<T>,
+    measurements: &[Vector<T>],
+    reference: &[Vector<f64>],
+    grid: &[KalmMindConfig],
+) -> Result<Vec<SweepPoint>> {
+    Ok(grid
+        .iter()
+        .map(|config| evaluate_config(model, init, measurements, reference, config))
+        .collect())
+}
+
+/// For each `(approx, calc_freq)` cell, keeps the better of the two seed
+/// policies — how the paper's Fig. 4 grid reports results ("we report the
+/// better result between the seed policies").
+pub fn best_policy_per_cell(points: &[SweepPoint], by: MetricKind) -> Vec<SweepPoint> {
+    use std::collections::HashMap;
+    let mut best: HashMap<(usize, u32), SweepPoint> = HashMap::new();
+    for p in points {
+        let key = (p.config.approx(), p.config.calc_freq());
+        match best.get(&key) {
+            Some(existing) if by.of(&existing.report) <= by.of(&p.report) => {}
+            _ => {
+                best.insert(key, p.clone());
+            }
+        }
+    }
+    let mut out: Vec<SweepPoint> = best.into_values().collect();
+    out.sort_by_key(|p| (p.config.approx(), p.config.calc_freq()));
+    out
+}
+
+/// Which metric a selection or Pareto extraction optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Mean squared error.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Normalized maximum difference (percent).
+    MaxDiff,
+    /// Normalized average difference (percent).
+    AvgDiff,
+}
+
+impl MetricKind {
+    /// Extracts the metric's value from a report.
+    pub fn of(self, report: &AccuracyReport) -> f64 {
+        match self {
+            Self::Mse => report.mse,
+            Self::Mae => report.mae,
+            Self::MaxDiff => report.max_diff_pct,
+            Self::AvgDiff => report.avg_diff_pct,
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Mse => "MSE",
+            Self::Mae => "MAE",
+            Self::MaxDiff => "MAX DIFF",
+            Self::AvgDiff => "AVG DIFF",
+        }
+    }
+}
+
+/// A point with an attached latency (seconds), as plotted in Fig. 5.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// The evaluated configuration and its accuracy.
+    pub point: SweepPoint,
+    /// Modeled (or measured) latency in seconds for the full run.
+    pub latency_s: f64,
+}
+
+/// Extracts the Pareto front of (latency, metric) — points not dominated by
+/// any other point that is both faster and at least as accurate.
+///
+/// The returned front is sorted by latency ascending. Non-finite points are
+/// excluded.
+pub fn pareto_front(points: &[LatencyPoint], by: MetricKind) -> Vec<LatencyPoint> {
+    let mut finite: Vec<&LatencyPoint> = points
+        .iter()
+        .filter(|p| p.latency_s.is_finite() && by.of(&p.point.report).is_finite())
+        .collect();
+    finite.sort_by(|a, b| {
+        a.latency_s
+            .partial_cmp(&b.latency_s)
+            .expect("finite")
+            .then(by.of(&a.point.report).partial_cmp(&by.of(&b.point.report)).expect("finite"))
+    });
+    let mut front: Vec<LatencyPoint> = Vec::new();
+    let mut best_metric = f64::INFINITY;
+    for p in finite {
+        let m = by.of(&p.point.report);
+        if m < best_metric {
+            best_metric = m;
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverse::SeedPolicy;
+    use kalmmind_linalg::Matrix;
+
+    fn mk_report(mse: f64) -> AccuracyReport {
+        AccuracyReport { mse, mae: mse, max_diff_pct: mse, avg_diff_pct: mse }
+    }
+
+    fn mk_point(approx: usize, calc_freq: u32, policy: SeedPolicy, mse: f64) -> SweepPoint {
+        SweepPoint {
+            config: KalmMindConfig::builder()
+                .approx(approx)
+                .calc_freq(calc_freq)
+                .policy(policy)
+                .build()
+                .unwrap(),
+            report: mk_report(mse),
+        }
+    }
+
+    #[test]
+    fn best_policy_keeps_the_smaller_metric() {
+        let points = vec![
+            mk_point(1, 2, SeedPolicy::LastCalculated, 5.0),
+            mk_point(1, 2, SeedPolicy::PreviousIteration, 3.0),
+            mk_point(2, 2, SeedPolicy::LastCalculated, 1.0),
+        ];
+        let best = best_policy_per_cell(&points, MetricKind::Mse);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].report.mse, 3.0);
+        assert_eq!(best[0].config.policy(), SeedPolicy::PreviousIteration);
+        assert_eq!(best[1].report.mse, 1.0);
+    }
+
+    #[test]
+    fn pareto_front_excludes_dominated_points() {
+        let mk = |lat: f64, mse: f64| LatencyPoint {
+            point: mk_point(1, 0, SeedPolicy::LastCalculated, mse),
+            latency_s: lat,
+        };
+        let pts = vec![
+            mk(1.0, 10.0), // fastest
+            mk(2.0, 12.0), // dominated (slower and worse)
+            mk(3.0, 5.0),  // on front
+            mk(4.0, 5.0),  // dominated (slower, equal accuracy)
+            mk(5.0, 1.0),  // on front
+        ];
+        let front = pareto_front(&pts, MetricKind::Mse);
+        let lats: Vec<f64> = front.iter().map(|p| p.latency_s).collect();
+        assert_eq!(lats, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn pareto_front_drops_nonfinite() {
+        let mk = |lat: f64, mse: f64| LatencyPoint {
+            point: mk_point(1, 0, SeedPolicy::LastCalculated, mse),
+            latency_s: lat,
+        };
+        let pts = vec![mk(1.0, f64::INFINITY), mk(2.0, 3.0)];
+        let front = pareto_front(&pts, MetricKind::Mse);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].latency_s, 2.0);
+    }
+
+    #[test]
+    fn metric_kind_extracts_the_right_field() {
+        let r = AccuracyReport { mse: 1.0, mae: 2.0, max_diff_pct: 3.0, avg_diff_pct: 4.0 };
+        assert_eq!(MetricKind::Mse.of(&r), 1.0);
+        assert_eq!(MetricKind::Mae.of(&r), 2.0);
+        assert_eq!(MetricKind::MaxDiff.of(&r), 3.0);
+        assert_eq!(MetricKind::AvgDiff.of(&r), 4.0);
+    }
+
+    #[test]
+    fn evaluate_config_survives_failing_configurations() {
+        // A model whose S is singular under the diagonal seed never panics:
+        // it reports failure.
+        let model = KalmanModel::new(
+            Matrix::<f64>::identity(1),
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[0.0]]).unwrap(), // H = 0 → S = R = 0: singular
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        let init = KalmanState::zeroed(1);
+        let zs = vec![Vector::from_vec(vec![1.0_f64]); 3];
+        let reference = vec![Vector::from_vec(vec![0.0_f64]); 3];
+        let cfg = KalmMindConfig::default();
+        let point = evaluate_config(&model, &init, &zs, &reference, &cfg);
+        assert!(!point.report.is_finite());
+    }
+
+    #[test]
+    fn run_sweep_returns_grid_order() {
+        let model = KalmanModel::new(
+            Matrix::<f64>::identity(1),
+            Matrix::identity(1).scale(1e-4),
+            Matrix::identity(1),
+            Matrix::identity(1).scale(0.1),
+        )
+        .unwrap();
+        let init = KalmanState::zeroed(1);
+        let zs: Vec<Vector<f64>> =
+            (0..10).map(|t| Vector::from_vec(vec![(t as f64 * 0.3).sin()])).collect();
+        let reference = crate::reference_filter(&model, &init, &zs).unwrap();
+        let grid = vec![
+            KalmMindConfig::default(),
+            KalmMindConfig::builder().approx(2).calc_freq(3).build().unwrap(),
+        ];
+        let points = run_sweep(&model, &init, &zs, &reference, &grid).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].config, grid[0]);
+        assert!(points[0].report.mse < 1e-12, "exact config must match reference");
+    }
+}

@@ -1,0 +1,316 @@
+//! Least-squares KF model training (Wu et al., NeurIPS 2002).
+//!
+//! The paper's KF models are "trained according to the method of Wu et al."
+//! from paired kinematics (`X`) and neural activity (`Z`) recordings:
+//!
+//! * `F = argmin ‖X₂ − F·X₁‖²`, the one-step state regression,
+//! * `Q = cov(X₂ − F·X₁)`, the state residual covariance,
+//! * `H = argmin ‖Z − H·X‖²`, the neural tuning regression,
+//! * `R = cov(Z − H·X)`, the observation residual covariance.
+//!
+//! Each least-squares problem is solved in closed form through the normal
+//! equations; covariances are regularized with a small diagonal ridge so the
+//! filter's `S` stays invertible even when residuals are degenerate.
+
+use kalmmind_linalg::{decomp, Matrix, Scalar, Vector};
+
+use crate::{KalmanError, KalmanModel, Result};
+
+/// Paired training data: state (kinematics) and measurement (neural)
+/// time series of equal length.
+#[derive(Debug, Clone)]
+pub struct TrainingSet<T> {
+    states: Vec<Vector<T>>,
+    measurements: Vec<Vector<T>>,
+}
+
+impl<T: Scalar> TrainingSet<T> {
+    /// Builds a training set, validating shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadVector`] when the two series have different
+    /// lengths, fewer than 3 samples, or internally inconsistent dimensions.
+    pub fn new(states: Vec<Vector<T>>, measurements: Vec<Vector<T>>) -> Result<Self> {
+        if states.len() != measurements.len() {
+            return Err(KalmanError::BadVector {
+                expected: states.len(),
+                actual: measurements.len(),
+                what: "measurement",
+            });
+        }
+        if states.len() < 3 {
+            return Err(KalmanError::BadVector {
+                expected: 3,
+                actual: states.len(),
+                what: "state",
+            });
+        }
+        let x_dim = states[0].len();
+        let z_dim = measurements[0].len();
+        for s in &states {
+            if s.len() != x_dim {
+                return Err(KalmanError::BadVector {
+                    expected: x_dim,
+                    actual: s.len(),
+                    what: "state",
+                });
+            }
+        }
+        for z in &measurements {
+            if z.len() != z_dim {
+                return Err(KalmanError::BadVector {
+                    expected: z_dim,
+                    actual: z.len(),
+                    what: "measurement",
+                });
+            }
+        }
+        Ok(Self { states, measurements })
+    }
+
+    /// Number of time samples.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// State dimension.
+    pub fn x_dim(&self) -> usize {
+        self.states[0].len()
+    }
+
+    /// Measurement dimension.
+    pub fn z_dim(&self) -> usize {
+        self.measurements[0].len()
+    }
+
+    /// Borrow of the state series.
+    pub fn states(&self) -> &[Vector<T>] {
+        &self.states
+    }
+
+    /// Borrow of the measurement series.
+    pub fn measurements(&self) -> &[Vector<T>] {
+        &self.measurements
+    }
+}
+
+/// Fits a [`KalmanModel`] by the Wu et al. least-squares method.
+///
+/// `ridge` is the diagonal regularization added to `Q`, `R`, and the normal
+/// equations (use something like `1e-6`; the paper's datasets are well
+/// conditioned but synthetic residuals can be degenerate).
+///
+/// # Errors
+///
+/// Propagates normal-equation inversion failures and shape errors.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::train::{fit_model, TrainingSet};
+/// use kalmmind_linalg::Vector;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// // x_{t+1} = 0.9 x_t, z_t = 2 x_t: recoverable from data.
+/// let states: Vec<_> = (0..50).map(|t| {
+///     Vector::from_vec(vec![0.9_f64.powi(t)])
+/// }).collect();
+/// let meas: Vec<_> = states.iter().map(|s| s.scale(2.0)).collect();
+/// let model = fit_model(&TrainingSet::new(states, meas)?, 1e-9)?;
+/// assert!((model.f()[(0, 0)] - 0.9).abs() < 1e-6);
+/// assert!((model.h()[(0, 0)] - 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_model<T: Scalar>(data: &TrainingSet<T>, ridge: f64) -> Result<KalmanModel<T>> {
+    let x_dim = data.x_dim();
+    let z_dim = data.z_dim();
+    let n = data.len();
+
+    // --- F: regress x_{t+1} on x_t ---
+    // F = (Σ x_{t+1} x_tᵀ)(Σ x_t x_tᵀ + ridge·I)⁻¹
+    let mut xx = Matrix::<T>::zeros(x_dim, x_dim); // Σ x_t x_tᵀ
+    let mut x2x = Matrix::<T>::zeros(x_dim, x_dim); // Σ x_{t+1} x_tᵀ
+    for t in 0..n - 1 {
+        let xt = &data.states[t];
+        let xt1 = &data.states[t + 1];
+        for i in 0..x_dim {
+            for j in 0..x_dim {
+                xx[(i, j)] += xt[i] * xt[j];
+                x2x[(i, j)] += xt1[i] * xt[j];
+            }
+        }
+    }
+    let f = solve_normal(&x2x, &xx, ridge)?;
+
+    // --- Q: covariance of x_{t+1} − F·x_t ---
+    let mut q = Matrix::<T>::zeros(x_dim, x_dim);
+    for t in 0..n - 1 {
+        let pred = f.mul_vector(&data.states[t])?;
+        let resid = data.states[t + 1].checked_sub(&pred)?;
+        for i in 0..x_dim {
+            for j in 0..x_dim {
+                q[(i, j)] += resid[i] * resid[j];
+            }
+        }
+    }
+    let inv_count = T::from_f64(1.0 / (n - 1) as f64);
+    let mut q = q.scale(inv_count);
+    add_ridge(&mut q, ridge);
+
+    // --- H: regress z_t on x_t ---
+    let mut zx = Matrix::<T>::zeros(z_dim, x_dim); // Σ z_t x_tᵀ
+    let mut xx_full = Matrix::<T>::zeros(x_dim, x_dim); // Σ x_t x_tᵀ (all t)
+    for t in 0..n {
+        let xt = &data.states[t];
+        let zt = &data.measurements[t];
+        for i in 0..z_dim {
+            for j in 0..x_dim {
+                zx[(i, j)] += zt[i] * xt[j];
+            }
+        }
+        for i in 0..x_dim {
+            for j in 0..x_dim {
+                xx_full[(i, j)] += xt[i] * xt[j];
+            }
+        }
+    }
+    let h = solve_normal(&zx, &xx_full, ridge)?;
+
+    // --- R: covariance of z_t − H·x_t ---
+    let mut r = Matrix::<T>::zeros(z_dim, z_dim);
+    for t in 0..n {
+        let pred = h.mul_vector(&data.states[t])?;
+        let resid = data.measurements[t].checked_sub(&pred)?;
+        for i in 0..z_dim {
+            for j in 0..z_dim {
+                r[(i, j)] += resid[i] * resid[j];
+            }
+        }
+    }
+    let mut r = r.scale(T::from_f64(1.0 / n as f64));
+    add_ridge(&mut r, ridge);
+
+    KalmanModel::new(f, q, h, r)
+}
+
+/// Solves `B = A·G` for `A` given `B` (numerator) and `G` (gram matrix):
+/// `A = B·(G + ridge·I)⁻¹`.
+fn solve_normal<T: Scalar>(
+    numerator: &Matrix<T>,
+    gram: &Matrix<T>,
+    ridge: f64,
+) -> Result<Matrix<T>> {
+    let mut g = gram.clone();
+    add_ridge(&mut g, ridge);
+    let g_inv = decomp::lu::invert(&g)?;
+    Ok(numerator.checked_mul(&g_inv)?)
+}
+
+fn add_ridge<T: Scalar>(m: &mut Matrix<T>, ridge: f64) {
+    let r = T::from_f64(ridge);
+    for i in 0..m.rows().min(m.cols()) {
+        m[(i, i)] += r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noise-free linear system: training must recover it exactly.
+    fn exact_system() -> TrainingSet<f64> {
+        let f_true = [[0.95, 0.1], [0.0, 0.9]];
+        let h_true = [[1.0, 0.0], [0.0, 1.0], [1.0, -1.0]];
+        // Not an eigenvector of F: the trajectory must span both state
+        // dimensions or F is not identifiable from the data.
+        let mut x = [1.0, 0.4];
+        let mut states = Vec::new();
+        let mut meas = Vec::new();
+        for _ in 0..100 {
+            states.push(Vector::from_vec(x.to_vec()));
+            meas.push(Vector::from_vec(
+                h_true.iter().map(|row| row[0] * x[0] + row[1] * x[1]).collect(),
+            ));
+            x = [
+                f_true[0][0] * x[0] + f_true[0][1] * x[1],
+                f_true[1][0] * x[0] + f_true[1][1] * x[1],
+            ];
+        }
+        TrainingSet::new(states, meas).unwrap()
+    }
+
+    #[test]
+    fn recovers_noise_free_dynamics() {
+        let model = fit_model(&exact_system(), 1e-12).unwrap();
+        assert!((model.f()[(0, 0)] - 0.95).abs() < 1e-6);
+        assert!((model.f()[(0, 1)] - 0.1).abs() < 1e-6);
+        assert!((model.f()[(1, 1)] - 0.9).abs() < 1e-6);
+        assert!((model.h()[(2, 0)] - 1.0).abs() < 1e-6);
+        assert!((model.h()[(2, 1)] + 1.0).abs() < 1e-6);
+        // Residuals are ~zero, so Q and R collapse to the ridge.
+        assert!(model.q()[(0, 0)] < 1e-6);
+        assert!(model.r()[(0, 0)] < 1e-6);
+    }
+
+    #[test]
+    fn q_and_r_capture_noise_magnitude() {
+        // x stays at 0; z = x + noise of known variance.
+        let mut states = Vec::new();
+        let mut meas = Vec::new();
+        // Deterministic +-0.1 alternating "noise" has variance 0.01.
+        for t in 0..200 {
+            states.push(Vector::from_vec(vec![0.0_f64]));
+            let eps = if t % 2 == 0 { 0.1 } else { -0.1 };
+            meas.push(Vector::from_vec(vec![eps]));
+        }
+        let data = TrainingSet::new(states, meas).unwrap();
+        let model = fit_model(&data, 1e-9).unwrap();
+        assert!((model.r()[(0, 0)] - 0.01).abs() < 1e-3, "R = {:?}", model.r());
+    }
+
+    #[test]
+    fn rejects_mismatched_series_lengths() {
+        let s = vec![Vector::<f64>::zeros(2); 5];
+        let z = vec![Vector::<f64>::zeros(3); 4];
+        assert!(TrainingSet::new(s, z).is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        let s = vec![Vector::<f64>::zeros(2); 2];
+        let z = vec![Vector::<f64>::zeros(3); 2];
+        assert!(TrainingSet::new(s, z).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_dimensions() {
+        let s = vec![Vector::<f64>::zeros(2), Vector::zeros(3), Vector::zeros(2)];
+        let z = vec![Vector::<f64>::zeros(1); 3];
+        assert!(TrainingSet::new(s, z).is_err());
+    }
+
+    #[test]
+    fn trained_model_shapes_match_data() {
+        let model = fit_model(&exact_system(), 1e-9).unwrap();
+        assert_eq!(model.x_dim(), 2);
+        assert_eq!(model.z_dim(), 3);
+    }
+
+    #[test]
+    fn ridge_keeps_degenerate_data_invertible() {
+        // Constant states make the gram matrix singular without the ridge.
+        let s = vec![Vector::from_vec(vec![1.0_f64, 1.0]); 10];
+        let z = vec![Vector::from_vec(vec![2.0_f64]); 10];
+        let data = TrainingSet::new(s, z).unwrap();
+        let model = fit_model(&data, 1e-6).unwrap();
+        assert!(model.f().all_finite());
+        assert!(model.r().all_finite());
+    }
+}

@@ -1,0 +1,242 @@
+//! Configuration auto-tuning: turn a DSE sweep into a deployment decision.
+//!
+//! The paper's design-space exploration exists to answer one question per
+//! deployment: *which register configuration should this BCI run?* This
+//! module closes that loop: given the swept points with attached latencies
+//! (from the accelerator model or from measurement), pick the most accurate
+//! configuration that meets a real-time budget, or the fastest one that
+//! meets an accuracy floor.
+
+use crate::sweep::{pareto_front, LatencyPoint, MetricKind};
+use crate::{KalmMindConfig, KalmanError, Result};
+
+/// A deployment constraint for configuration selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Most accurate configuration with latency ≤ the budget (seconds).
+    /// This is the BCI real-time case: e.g. 100 iterations in under 5 s.
+    BestAccuracyWithin {
+        /// Latency budget in seconds.
+        latency_budget_s: f64,
+    },
+    /// Fastest configuration with the metric ≤ the floor.
+    /// This is the fine-motor-control case: the paper's ~10% error bound.
+    FastestWithin {
+        /// Maximum acceptable metric value.
+        accuracy_floor: f64,
+    },
+}
+
+/// The tuner's decision, with the evidence behind it.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The chosen configuration.
+    pub config: KalmMindConfig,
+    /// Its modeled/measured latency in seconds.
+    pub latency_s: f64,
+    /// Its metric value.
+    pub metric_value: f64,
+    /// How many Pareto-optimal candidates were considered.
+    pub front_size: usize,
+}
+
+/// Selects a configuration from swept points under an objective.
+///
+/// Only Pareto-optimal points are considered (a dominated point can never
+/// be the right answer under either objective).
+///
+/// # Errors
+///
+/// Returns [`KalmanError::BadConfig`] when no configuration satisfies the
+/// objective — the error text reports the closest miss so the caller can
+/// relax the constraint deliberately.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::sweep::{LatencyPoint, MetricKind, SweepPoint};
+/// use kalmmind::tuner::{select, Objective};
+/// use kalmmind::metrics::AccuracyReport;
+/// use kalmmind::KalmMindConfig;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let mk = |approx: usize, latency_s: f64, mse: f64| LatencyPoint {
+///     point: SweepPoint {
+///         config: KalmMindConfig::builder().approx(approx).calc_freq(0).build().unwrap(),
+///         report: AccuracyReport { mse, mae: mse, max_diff_pct: mse, avg_diff_pct: mse },
+///     },
+///     latency_s,
+/// };
+/// let points = vec![mk(1, 1.0, 1e-3), mk(2, 2.0, 1e-6), mk(3, 4.0, 1e-9)];
+/// let sel = select(&points, MetricKind::Mse, Objective::BestAccuracyWithin {
+///     latency_budget_s: 2.5,
+/// })?;
+/// assert_eq!(sel.config.approx(), 2); // the 4 s point busts the budget
+/// # Ok(())
+/// # }
+/// ```
+pub fn select(
+    points: &[LatencyPoint],
+    metric: MetricKind,
+    objective: Objective,
+) -> Result<Selection> {
+    let front = pareto_front(points, metric);
+    if front.is_empty() {
+        return Err(KalmanError::BadConfig {
+            register: "tuner",
+            reason: "no finite configurations to select from".to_string(),
+        });
+    }
+    let chosen = match objective {
+        Objective::BestAccuracyWithin { latency_budget_s } => front
+            .iter()
+            .filter(|p| p.latency_s <= latency_budget_s)
+            .min_by(|a, b| {
+                metric
+                    .of(&a.point.report)
+                    .partial_cmp(&metric.of(&b.point.report))
+                    .expect("finite")
+            })
+            .ok_or_else(|| KalmanError::BadConfig {
+                register: "tuner",
+                reason: format!(
+                    "no configuration meets the {latency_budget_s} s budget; fastest is {:.3} s",
+                    front[0].latency_s
+                ),
+            })?,
+        Objective::FastestWithin { accuracy_floor } => front
+            .iter()
+            .filter(|p| metric.of(&p.point.report) <= accuracy_floor)
+            .min_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).expect("finite"))
+            .ok_or_else(|| {
+                let best = front
+                    .iter()
+                    .map(|p| metric.of(&p.point.report))
+                    .fold(f64::INFINITY, f64::min);
+                KalmanError::BadConfig {
+                    register: "tuner",
+                    reason: format!(
+                        "no configuration reaches {} ≤ {accuracy_floor:e}; best is {best:e}",
+                        metric.name()
+                    ),
+                }
+            })?,
+    };
+    Ok(Selection {
+        config: chosen.point.config,
+        latency_s: chosen.latency_s,
+        metric_value: metric.of(&chosen.point.report),
+        front_size: front.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::AccuracyReport;
+    use crate::sweep::SweepPoint;
+
+    fn mk(approx: usize, latency_s: f64, mse: f64) -> LatencyPoint {
+        LatencyPoint {
+            point: SweepPoint {
+                config: KalmMindConfig::builder()
+                    .approx(approx)
+                    .calc_freq(0)
+                    .build()
+                    .expect("config"),
+                report: AccuracyReport {
+                    mse,
+                    mae: mse,
+                    max_diff_pct: mse,
+                    avg_diff_pct: mse,
+                },
+            },
+            latency_s,
+        }
+    }
+
+    fn sample_points() -> Vec<LatencyPoint> {
+        vec![
+            mk(1, 1.0, 1e-2),
+            mk(2, 2.0, 1e-5),
+            mk(3, 3.0, 1e-5), // dominated by approx=2
+            mk(4, 5.0, 1e-9),
+        ]
+    }
+
+    #[test]
+    fn best_accuracy_within_budget() {
+        let sel = select(
+            &sample_points(),
+            MetricKind::Mse,
+            Objective::BestAccuracyWithin { latency_budget_s: 2.5 },
+        )
+        .expect("selection");
+        assert_eq!(sel.config.approx(), 2);
+        assert_eq!(sel.metric_value, 1e-5);
+    }
+
+    #[test]
+    fn generous_budget_takes_the_most_accurate_point() {
+        let sel = select(
+            &sample_points(),
+            MetricKind::Mse,
+            Objective::BestAccuracyWithin { latency_budget_s: 100.0 },
+        )
+        .expect("selection");
+        assert_eq!(sel.config.approx(), 4);
+    }
+
+    #[test]
+    fn fastest_within_accuracy_floor() {
+        let sel = select(
+            &sample_points(),
+            MetricKind::Mse,
+            Objective::FastestWithin { accuracy_floor: 1e-4 },
+        )
+        .expect("selection");
+        assert_eq!(sel.config.approx(), 2);
+        assert_eq!(sel.latency_s, 2.0);
+    }
+
+    #[test]
+    fn impossible_budget_reports_the_closest_miss() {
+        let err = select(
+            &sample_points(),
+            MetricKind::Mse,
+            Objective::BestAccuracyWithin { latency_budget_s: 0.1 },
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("budget"), "{msg}");
+    }
+
+    #[test]
+    fn impossible_floor_reports_best_achievable() {
+        let err = select(
+            &sample_points(),
+            MetricKind::Mse,
+            Objective::FastestWithin { accuracy_floor: 1e-30 },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("best is"), "{err}");
+    }
+
+    #[test]
+    fn dominated_points_never_win() {
+        let sel = select(
+            &sample_points(),
+            MetricKind::Mse,
+            Objective::FastestWithin { accuracy_floor: 1e-4 },
+        )
+        .expect("selection");
+        assert_ne!(sel.config.approx(), 3, "the dominated point must not be chosen");
+        assert_eq!(sel.front_size, 3);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(select(&[], MetricKind::Mse, Objective::FastestWithin { accuracy_floor: 1.0 })
+            .is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of Kalman-filter invariants under random
+//! well-posed models, measurements, and KalmMind configurations.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{reference_filter, KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_linalg::{decomp::Cholesky, Matrix, Vector};
+use proptest::prelude::*;
+
+const X: usize = 3;
+const Z: usize = 7;
+
+/// Strategy: a random stable, well-posed KF model (|F| eigenvalues < 1 by
+/// scaling, SPD Q and R with solid diagonals).
+fn arb_model() -> impl Strategy<Value = KalmanModel<f64>> {
+    (
+        prop::collection::vec(-0.4_f64..0.4, X * X),
+        prop::collection::vec(-1.0_f64..1.0, Z * X),
+        prop::collection::vec(0.05_f64..0.3, X),
+        prop::collection::vec(0.2_f64..1.0, Z),
+    )
+        .prop_map(|(fv, hv, qd, rd)| {
+            let mut f = Matrix::from_row_slice(X, X, &fv).expect("sized");
+            for i in 0..X {
+                f[(i, i)] += 0.5; // keep the spectral radius below 1
+            }
+            let h = Matrix::from_row_slice(Z, X, &hv).expect("sized");
+            let q = Matrix::from_diagonal(&qd);
+            let r = Matrix::from_diagonal(&rd);
+            KalmanModel::new(f, q, h, r).expect("valid model")
+        })
+}
+
+fn arb_measurements(len: usize) -> impl Strategy<Value = Vec<Vector<f64>>> {
+    prop::collection::vec(prop::collection::vec(-2.0_f64..2.0, Z), len)
+        .prop_map(|rows| rows.into_iter().map(Vector::from_vec).collect())
+}
+
+fn arb_config() -> impl Strategy<Value = (usize, u32, SeedPolicy)> {
+    (1usize..=4, 0u32..=5, prop::bool::ANY).prop_map(|(a, cf, p)| {
+        (
+            a,
+            cf,
+            if p { SeedPolicy::PreviousIteration } else { SeedPolicy::LastCalculated },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// P stays symmetric positive definite through any run.
+    #[test]
+    fn covariance_stays_spd(model in arb_model(), zs in arb_measurements(12)) {
+        let mut kf = KalmanFilter::gauss(model, KalmanState::zeroed(X));
+        for z in &zs {
+            let st = kf.step(z).expect("step");
+            prop_assert!(st.p().approx_eq(&st.p().transpose(), 1e-10));
+            prop_assert!(Cholesky::factor(st.p()).is_ok(), "P must stay SPD");
+        }
+    }
+
+    /// The covariance trace never exceeds the predicted covariance trace:
+    /// assimilating a measurement cannot increase total uncertainty.
+    #[test]
+    fn update_contracts_uncertainty(model in arb_model(), zs in arb_measurements(8)) {
+        let mut kf = KalmanFilter::gauss(model.clone(), KalmanState::zeroed(X));
+        let mut prev_p = kf.state().p().clone();
+        for z in &zs {
+            let st = kf.step(z).expect("step");
+            // P_pred from the previous posterior.
+            let p_pred =
+                &(model.f() * &prev_p) * &model.f().transpose() + model.q().clone();
+            let tr = |m: &Matrix<f64>| (0..X).map(|i| m[(i, i)]).sum::<f64>();
+            prop_assert!(tr(st.p()) <= tr(&p_pred) + 1e-9);
+            prev_p = st.p().clone();
+        }
+    }
+
+    /// The filter output is independent of how measurements are batched
+    /// (step-by-step vs run()).
+    #[test]
+    fn stepwise_equals_batched(model in arb_model(), zs in arb_measurements(10)) {
+        let mut a = KalmanFilter::gauss(model.clone(), KalmanState::zeroed(X));
+        let batched = a.run(zs.iter()).expect("run");
+        let mut b = KalmanFilter::gauss(model, KalmanState::zeroed(X));
+        for (i, z) in zs.iter().enumerate() {
+            let st = b.step(z).expect("step");
+            prop_assert_eq!(st.x().max_abs_diff(&batched[i]), 0.0);
+        }
+    }
+
+    /// Any legal register configuration yields a finite trajectory within a
+    /// bounded distance of the reference on a well-posed model.
+    #[test]
+    fn every_configuration_is_usable(
+        model in arb_model(),
+        zs in arb_measurements(15),
+        (approx, calc_freq, policy) in arb_config(),
+    ) {
+        let init = KalmanState::zeroed(X);
+        let reference = reference_filter(&model, &init, &zs).expect("reference");
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, approx, calc_freq, policy);
+        let mut kf = KalmanFilter::new(model, init, InverseGain::new(strat));
+        let out = kf.run(zs.iter()).expect("interleaved run");
+        let report = kalmmind::metrics::compare(&out, &reference);
+        prop_assert!(report.is_finite(), "diverged: {:?}", report);
+    }
+
+    /// Calculating every iteration reproduces the reference to floating-
+    /// point dust regardless of the other registers.
+    #[test]
+    fn calc_freq_one_matches_reference(
+        model in arb_model(),
+        zs in arb_measurements(10),
+        approx in 1usize..=4,
+    ) {
+        let init = KalmanState::zeroed(X);
+        let reference = reference_filter(&model, &init, &zs).expect("reference");
+        let strat = InterleavedInverse::new(
+            CalcMethod::Gauss, approx, 1, SeedPolicy::LastCalculated,
+        );
+        let mut kf = KalmanFilter::new(model, init, InverseGain::new(strat));
+        let out = kf.run(zs.iter()).expect("run");
+        for (a, b) in out.iter().zip(&reference) {
+            prop_assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+
+    /// All four calculation methods agree inside the filter.
+    #[test]
+    fn calc_methods_agree_in_the_filter(model in arb_model(), zs in arb_measurements(8)) {
+        let init = KalmanState::zeroed(X);
+        let mut outs = Vec::new();
+        for calc in CalcMethod::ALL {
+            let strat = InterleavedInverse::new(calc, 1, 1, SeedPolicy::LastCalculated);
+            let mut kf = KalmanFilter::new(model.clone(), init.clone(), InverseGain::new(strat));
+            outs.push(kf.run(zs.iter()).expect("run"));
+        }
+        for pair in outs.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                prop_assert!(a.max_abs_diff(b) < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Q-format fixed-point scalars for the KalmMind fixed-point datapaths.
+//!
+//! The paper evaluates accelerator variants whose datapath replaces 32-bit
+//! floating point with 32-bit (`FX32`) and 64-bit (`FX64`) fixed-point
+//! arithmetic (after Pereira et al.). This crate provides those scalar types:
+//!
+//! * [`Fx32<FRAC>`] — `i32` storage with `FRAC` fractional bits,
+//! * [`Fx64<FRAC>`] — `i64` storage with `FRAC` fractional bits,
+//!
+//! both implementing [`kalmmind_linalg::Scalar`] so every matrix kernel and
+//! the whole Kalman filter run over them unchanged — the "easily change the
+//! datatype between floating-point and fixed-point" property of the paper's
+//! configurable architecture.
+//!
+//! Arithmetic **saturates** on overflow (the hardware behaviour) and division
+//! by zero saturates to the representable extreme of the dividend's sign.
+//! Fixed-point values are always "finite": their failure mode is silent
+//! precision loss, which is exactly the accuracy cliff Table III shows for
+//! the FX32 accelerator.
+//!
+//! # Example
+//!
+//! ```
+//! use kalmmind_fixed::Q16_16;
+//! use kalmmind_linalg::{Matrix, Scalar, decomp::gauss};
+//!
+//! # fn main() -> Result<(), kalmmind_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[
+//!     &[Q16_16::from_f64(4.0), Q16_16::from_f64(1.0)],
+//!     &[Q16_16::from_f64(1.0), Q16_16::from_f64(3.0)],
+//! ])?;
+//! let inv = gauss::invert(&a)?;
+//! let id: Matrix<f64> = (&a * &inv).cast();
+//! assert!(id.approx_eq(&Matrix::identity(2), 1e-3)); // Q16.16 precision
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod q32;
+mod q64;
+
+pub use q32::Fx32;
+pub use q64::Fx64;
+
+/// 32-bit fixed point with 16 fractional bits — the default `FX32` format.
+pub type Q16_16 = Fx32<16>;
+
+/// 32-bit fixed point with 24 fractional bits (more precision, less range).
+pub type Q8_24 = Fx32<24>;
+
+/// 64-bit fixed point with 32 fractional bits — the default `FX64` format.
+pub type Q32_32 = Fx64<32>;
+
+/// 64-bit fixed point with 48 fractional bits (covariance-friendly precision).
+pub type Q16_48 = Fx64<48>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind_linalg::Scalar;
+
+    #[test]
+    fn aliases_round_trip() {
+        assert!((Q16_16::from_f64(1.5).to_f64() - 1.5).abs() < 1e-4);
+        assert!((Q8_24::from_f64(1.5).to_f64() - 1.5).abs() < 1e-6);
+        assert!((Q32_32::from_f64(1.5).to_f64() - 1.5).abs() < 1e-9);
+        assert!((Q16_48::from_f64(1.5).to_f64() - 1.5).abs() < 1e-13);
+    }
+
+    #[test]
+    fn q16_48_resolves_tiny_covariances() {
+        let tiny = 1e-12;
+        assert!(Q16_48::from_f64(tiny).to_f64() > 0.0);
+        assert_eq!(Q16_16::from_f64(tiny).to_f64(), 0.0); // below Q16.16 LSB
+    }
+}

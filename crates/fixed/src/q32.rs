@@ -1,0 +1,357 @@
+//! 32-bit Q-format fixed point (`i32` storage).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use kalmmind_linalg::Scalar;
+
+/// A 32-bit fixed-point number with `FRAC` fractional bits (Q`(31-FRAC)`.`FRAC`).
+///
+/// Arithmetic saturates at [`Fx32::MAX`] / [`Fx32::MIN`] instead of wrapping,
+/// matching the saturating MAC units of the paper's FX32 datapath.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_fixed::Fx32;
+/// use kalmmind_linalg::Scalar;
+///
+/// let a = Fx32::<16>::from_f64(2.5);
+/// let b = Fx32::<16>::from_f64(4.0);
+/// assert_eq!((a * b).to_f64(), 10.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx32<const FRAC: u32> {
+    raw: i32,
+}
+
+impl<const FRAC: u32> Fx32<FRAC> {
+    /// Largest representable value.
+    pub const MAX: Self = Self { raw: i32::MAX };
+    /// Smallest (most negative) representable value.
+    pub const MIN: Self = Self { raw: i32::MIN };
+    /// Smallest positive increment (one LSB).
+    pub const DELTA: Self = Self { raw: 1 };
+
+    const SCALE: f64 = (1u64 << FRAC) as f64;
+
+    /// Creates a value from its raw two's-complement representation.
+    pub const fn from_raw(raw: i32) -> Self {
+        Self { raw }
+    }
+
+    /// Raw two's-complement representation.
+    pub const fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// Creates a value from an integer, saturating on overflow.
+    pub fn from_int(v: i32) -> Self {
+        let shifted = (i64::from(v)) << FRAC;
+        Self { raw: saturate_i64(shifted) }
+    }
+
+    /// `true` when the value sits at either saturation rail.
+    ///
+    /// Useful for detecting silent overflow after a computation — the
+    /// fixed-point analogue of checking for infinities.
+    pub fn is_saturated(self) -> bool {
+        self.raw == i32::MAX || self.raw == i32::MIN
+    }
+}
+
+#[inline]
+fn saturate_i64(v: i64) -> i32 {
+    if v > i64::from(i32::MAX) {
+        i32::MAX
+    } else if v < i64::from(i32::MIN) {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+impl<const FRAC: u32> Add for Fx32<FRAC> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self { raw: self.raw.saturating_add(rhs.raw) }
+    }
+}
+
+impl<const FRAC: u32> Sub for Fx32<FRAC> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self { raw: self.raw.saturating_sub(rhs.raw) }
+    }
+}
+
+impl<const FRAC: u32> Mul for Fx32<FRAC> {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        // Widen to i64, multiply, shift back, saturate — the standard DSP
+        // fixed-point multiplier structure.
+        let wide = i64::from(self.raw) * i64::from(rhs.raw);
+        Self { raw: saturate_i64(wide >> FRAC) }
+    }
+}
+
+impl<const FRAC: u32> Div for Fx32<FRAC> {
+    type Output = Self;
+
+    /// Saturating division. Division by zero saturates to [`Fx32::MAX`] or
+    /// [`Fx32::MIN`] depending on the dividend's sign (zero / zero gives
+    /// [`Fx32::MAX`]), mirroring a hardware divider's overflow flag.
+    fn div(self, rhs: Self) -> Self {
+        if rhs.raw == 0 {
+            return if self.raw < 0 { Self::MIN } else { Self::MAX };
+        }
+        let wide = (i64::from(self.raw)) << FRAC;
+        Self { raw: saturate_i64(wide / i64::from(rhs.raw)) }
+    }
+}
+
+impl<const FRAC: u32> Neg for Fx32<FRAC> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self { raw: self.raw.saturating_neg() }
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fx32<FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> SubAssign for Fx32<FRAC> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const FRAC: u32> MulAssign for Fx32<FRAC> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fx32<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx32<{FRAC}>({})", self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fx32<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const FRAC: u32> Scalar for Fx32<FRAC> {
+    const ZERO: Self = Self { raw: 0 };
+    const ONE: Self = Self { raw: 1 << FRAC };
+
+    fn from_f64(value: f64) -> Self {
+        if value.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = value * Self::SCALE;
+        if scaled >= i32::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Self::MIN
+        } else {
+            Self { raw: scaled.round() as i32 }
+        }
+    }
+
+    fn to_f64(self) -> f64 {
+        f64::from(self.raw) / Self::SCALE
+    }
+
+    fn abs(self) -> Self {
+        Self { raw: self.raw.saturating_abs() }
+    }
+
+    /// Integer Newton square root on the widened representation.
+    ///
+    /// Negative input saturates to zero (hardware pipelines flag and clamp
+    /// rather than trap).
+    fn sqrt(self) -> Self {
+        if self.raw <= 0 {
+            return Self::ZERO;
+        }
+        // sqrt(raw / 2^F) in Q-format = isqrt(raw << F).
+        let wide = (i64::from(self.raw)) << FRAC;
+        Self { raw: saturate_i64(isqrt_i64(wide)) }
+    }
+
+    fn is_finite(self) -> bool {
+        true
+    }
+
+    fn epsilon() -> Self {
+        Self::DELTA
+    }
+}
+
+/// Integer square root by Newton's method (floor of the exact root).
+pub(crate) fn isqrt_i64(v: i64) -> i64 {
+    debug_assert!(v >= 0);
+    if v < 2 {
+        return v;
+    }
+    let mut x = (v as f64).sqrt() as i64 + 1; // fast initial guess
+    loop {
+        let next = (x + v / x) / 2;
+        if next >= x {
+            break;
+        }
+        x = next;
+    }
+    // Newton can settle one above the floor; correct it.
+    while x * x > v {
+        x -= 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q = Fx32<16>;
+
+    #[test]
+    fn round_trip_conversions() {
+        for v in [-5.25, -1.0, 0.0, 0.5, 3.75, 100.0] {
+            assert_eq!(Q::from_f64(v).to_f64(), v, "exact dyadic value {v}");
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest_lsb() {
+        let lsb = 1.0 / 65536.0;
+        let v = Q::from_f64(lsb * 0.6);
+        assert_eq!(v.raw(), 1); // rounds to nearest, not truncation
+        assert_eq!(Q::from_f64(lsb * 0.4).raw(), 0);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q::ZERO.to_f64(), 0.0);
+        assert_eq!(Q::ONE.to_f64(), 1.0);
+        assert_eq!(Q::DELTA.raw(), 1);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Q::from_f64(2.5);
+        let b = Q::from_f64(1.25);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((a - b).to_f64(), 1.25);
+        assert_eq!((a * b).to_f64(), 3.125);
+        assert_eq!((a / b).to_f64(), 2.0);
+        assert_eq!((-a).to_f64(), -2.5);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Q::from_f64(1.0);
+        x += Q::from_f64(2.0);
+        x -= Q::from_f64(0.5);
+        x *= Q::from_f64(4.0);
+        assert_eq!(x.to_f64(), 10.0);
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        let big = Q::MAX;
+        assert_eq!(big + Q::ONE, Q::MAX);
+        assert_eq!(Q::MIN - Q::ONE, Q::MIN);
+        assert!((big + Q::ONE).is_saturated());
+    }
+
+    #[test]
+    fn saturating_mul() {
+        let big = Q::from_f64(30000.0);
+        assert_eq!(big * big, Q::MAX);
+        assert_eq!(big * (-big), Q::MIN);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Q::ONE / Q::ZERO, Q::MAX);
+        assert_eq!((-Q::ONE) / Q::ZERO, Q::MIN);
+        assert_eq!(Q::ZERO / Q::ZERO, Q::MAX);
+    }
+
+    #[test]
+    fn from_f64_saturates_and_handles_nan() {
+        assert_eq!(Q::from_f64(1e20), Q::MAX);
+        assert_eq!(Q::from_f64(-1e20), Q::MIN);
+        assert_eq!(Q::from_f64(f64::NAN), Q::ZERO);
+        assert_eq!(Q::from_f64(f64::INFINITY), Q::MAX);
+    }
+
+    #[test]
+    fn sqrt_exact_squares() {
+        for v in [0.0, 1.0, 4.0, 9.0, 2.25, 100.0] {
+            let s = Q::from_f64(v).sqrt().to_f64();
+            assert!((s - v.sqrt()).abs() < 2.0 / 65536.0, "sqrt({v}) = {s}");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_negative_is_zero() {
+        assert_eq!(Q::from_f64(-4.0).sqrt(), Q::ZERO);
+    }
+
+    #[test]
+    fn recip_via_scalar_default() {
+        let x = Q::from_f64(4.0);
+        assert_eq!(Scalar::recip(x).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn abs_handles_min() {
+        assert_eq!(Q::MIN.abs(), Q::MAX); // saturating, not UB
+        assert_eq!(Q::from_f64(-3.0).abs().to_f64(), 3.0);
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = Q::from_f64(-1.0);
+        let b = Q::from_f64(2.0);
+        assert!(a < b);
+        assert_eq!(Ord::max(a, b), b);
+    }
+
+    #[test]
+    fn isqrt_floor_semantics() {
+        assert_eq!(isqrt_i64(0), 0);
+        assert_eq!(isqrt_i64(1), 1);
+        assert_eq!(isqrt_i64(3), 1);
+        assert_eq!(isqrt_i64(4), 2);
+        assert_eq!(isqrt_i64(99), 9);
+        assert_eq!(isqrt_i64(1 << 40), 1 << 20);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let x = Q::from_f64(1.5);
+        assert_eq!(x.to_string(), "1.5");
+        assert_eq!(format!("{x:?}"), "Fx32<16>(1.5)");
+    }
+
+    #[test]
+    fn q8_24_has_finer_lsb() {
+        let lsb16 = Fx32::<16>::DELTA.to_f64();
+        let lsb24 = Fx32::<24>::DELTA.to_f64();
+        assert!(lsb24 < lsb16);
+    }
+}

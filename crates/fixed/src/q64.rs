@@ -1,0 +1,314 @@
+//! 64-bit Q-format fixed point (`i64` storage).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use kalmmind_linalg::Scalar;
+
+/// A 64-bit fixed-point number with `FRAC` fractional bits (Q`(63-FRAC)`.`FRAC`).
+///
+/// The wider mantissa is what lets the paper's FX64 accelerator track the
+/// tiny covariance magnitudes (`~1e-12` MSE) that FX32 flushes to zero.
+/// Arithmetic saturates at [`Fx64::MAX`] / [`Fx64::MIN`]; multiplication uses
+/// an `i128` intermediate, mirroring a double-width hardware multiplier.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_fixed::Fx64;
+/// use kalmmind_linalg::Scalar;
+///
+/// let a = Fx64::<32>::from_f64(1.0 / 3.0);
+/// assert!((a.to_f64() - 1.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx64<const FRAC: u32> {
+    raw: i64,
+}
+
+impl<const FRAC: u32> Fx64<FRAC> {
+    /// Largest representable value.
+    pub const MAX: Self = Self { raw: i64::MAX };
+    /// Smallest (most negative) representable value.
+    pub const MIN: Self = Self { raw: i64::MIN };
+    /// Smallest positive increment (one LSB).
+    pub const DELTA: Self = Self { raw: 1 };
+
+    const SCALE: f64 = (1u128 << FRAC) as f64;
+
+    /// Creates a value from its raw two's-complement representation.
+    pub const fn from_raw(raw: i64) -> Self {
+        Self { raw }
+    }
+
+    /// Raw two's-complement representation.
+    pub const fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Creates a value from an integer, saturating on overflow.
+    pub fn from_int(v: i64) -> Self {
+        let shifted = (i128::from(v)) << FRAC;
+        Self { raw: saturate_i128(shifted) }
+    }
+
+    /// `true` when the value sits at either saturation rail.
+    pub fn is_saturated(self) -> bool {
+        self.raw == i64::MAX || self.raw == i64::MIN
+    }
+}
+
+#[inline]
+fn saturate_i128(v: i128) -> i64 {
+    if v > i128::from(i64::MAX) {
+        i64::MAX
+    } else if v < i128::from(i64::MIN) {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+impl<const FRAC: u32> Add for Fx64<FRAC> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self { raw: self.raw.saturating_add(rhs.raw) }
+    }
+}
+
+impl<const FRAC: u32> Sub for Fx64<FRAC> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self { raw: self.raw.saturating_sub(rhs.raw) }
+    }
+}
+
+impl<const FRAC: u32> Mul for Fx64<FRAC> {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        let wide = i128::from(self.raw) * i128::from(rhs.raw);
+        Self { raw: saturate_i128(wide >> FRAC) }
+    }
+}
+
+impl<const FRAC: u32> Div for Fx64<FRAC> {
+    type Output = Self;
+
+    /// Saturating division. Division by zero saturates to [`Fx64::MAX`] or
+    /// [`Fx64::MIN`] depending on the dividend's sign (zero / zero gives
+    /// [`Fx64::MAX`]).
+    fn div(self, rhs: Self) -> Self {
+        if rhs.raw == 0 {
+            return if self.raw < 0 { Self::MIN } else { Self::MAX };
+        }
+        let wide = (i128::from(self.raw)) << FRAC;
+        Self { raw: saturate_i128(wide / i128::from(rhs.raw)) }
+    }
+}
+
+impl<const FRAC: u32> Neg for Fx64<FRAC> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self { raw: self.raw.saturating_neg() }
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fx64<FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> SubAssign for Fx64<FRAC> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const FRAC: u32> MulAssign for Fx64<FRAC> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fx64<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx64<{FRAC}>({})", self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fx64<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const FRAC: u32> Scalar for Fx64<FRAC> {
+    const ZERO: Self = Self { raw: 0 };
+    const ONE: Self = Self { raw: 1 << FRAC };
+
+    fn from_f64(value: f64) -> Self {
+        if value.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = value * Self::SCALE;
+        if scaled >= i64::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i64::MIN as f64 {
+            Self::MIN
+        } else {
+            Self { raw: scaled.round() as i64 }
+        }
+    }
+
+    fn to_f64(self) -> f64 {
+        self.raw as f64 / Self::SCALE
+    }
+
+    fn abs(self) -> Self {
+        Self { raw: self.raw.saturating_abs() }
+    }
+
+    /// Integer Newton square root on the widened (`i128`) representation.
+    ///
+    /// Negative input saturates to zero.
+    fn sqrt(self) -> Self {
+        if self.raw <= 0 {
+            return Self::ZERO;
+        }
+        let wide = (i128::from(self.raw)) << FRAC;
+        Self { raw: saturate_i128(isqrt_i128(wide)) }
+    }
+
+    fn is_finite(self) -> bool {
+        true
+    }
+
+    fn epsilon() -> Self {
+        Self::DELTA
+    }
+}
+
+/// Integer square root by Newton's method (floor of the exact root).
+fn isqrt_i128(v: i128) -> i128 {
+    debug_assert!(v >= 0);
+    if v < 2 {
+        return v;
+    }
+    let mut x = (v as f64).sqrt() as i128 + 1;
+    loop {
+        let next = (x + v / x) / 2;
+        if next >= x {
+            break;
+        }
+        x = next;
+    }
+    while x * x > v {
+        x -= 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q = Fx64<32>;
+
+    #[test]
+    fn round_trip_conversions() {
+        for v in [-5.25, -1.0, 0.0, 0.5, 3.75, 1000.5] {
+            assert_eq!(Q::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q::ZERO.to_f64(), 0.0);
+        assert_eq!(Q::ONE.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Q::from_f64(2.5);
+        let b = Q::from_f64(1.25);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((a - b).to_f64(), 1.25);
+        assert_eq!((a * b).to_f64(), 3.125);
+        assert_eq!((a / b).to_f64(), 2.0);
+        assert_eq!((-a).to_f64(), -2.5);
+    }
+
+    #[test]
+    fn precision_beats_fx32() {
+        let third64 = Q::from_f64(1.0 / 3.0).to_f64();
+        let third32 = crate::Fx32::<16>::from_f64(1.0 / 3.0).to_f64();
+        let exact = 1.0 / 3.0;
+        assert!((third64 - exact).abs() < (third32 - exact).abs());
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Q::MAX + Q::ONE, Q::MAX);
+        assert_eq!(Q::MIN - Q::ONE, Q::MIN);
+        let big = Q::from_f64(3e9);
+        assert_eq!(big * big, Q::MAX);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Q::ONE / Q::ZERO, Q::MAX);
+        assert_eq!((-Q::ONE) / Q::ZERO, Q::MIN);
+    }
+
+    #[test]
+    fn from_f64_extremes() {
+        assert_eq!(Q::from_f64(1e30), Q::MAX);
+        assert_eq!(Q::from_f64(-1e30), Q::MIN);
+        assert_eq!(Q::from_f64(f64::NAN), Q::ZERO);
+    }
+
+    #[test]
+    fn sqrt_accuracy() {
+        for v in [0.25, 1.0, 2.0, 9.0, 1e-6] {
+            let q = Q::from_f64(v);
+            let s = q.sqrt().to_f64();
+            // Compare against the root of the *quantized* input: the
+            // conversion error of v itself dominates for tiny values.
+            assert!((s - q.to_f64().sqrt()).abs() < 1e-9, "sqrt({v}) = {s}");
+        }
+        assert_eq!(Q::from_f64(-1.0).sqrt(), Q::ZERO);
+    }
+
+    #[test]
+    fn tiny_values_survive() {
+        // Q32.32 LSB is ~2.3e-10; values above that must not flush to zero.
+        let v = Q::from_f64(1e-9);
+        assert!(v.to_f64() > 0.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Q::from_f64(3.0);
+        x *= Q::from_f64(2.0);
+        x += Q::from_f64(1.0);
+        x -= Q::from_f64(0.5);
+        assert_eq!(x.to_f64(), 6.5);
+    }
+
+    #[test]
+    fn abs_handles_min() {
+        assert_eq!(Q::MIN.abs(), Q::MAX);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let x = Q::from_f64(-2.5);
+        assert_eq!(x.to_string(), "-2.5");
+        assert!(format!("{x:?}").contains("Fx64<32>"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the fixed-point scalars.
+
+use kalmmind_fixed::{Fx32, Fx64, Q16_16, Q32_32};
+use kalmmind_linalg::Scalar;
+use proptest::prelude::*;
+
+/// Values safely inside Q16.16 range so arithmetic stays off the rails.
+fn small_f64() -> impl Strategy<Value = f64> {
+    -100.0_f64..100.0
+}
+
+proptest! {
+    #[test]
+    fn q16_16_round_trip_within_lsb(v in -30000.0_f64..30000.0) {
+        let lsb = 1.0 / 65536.0;
+        let back = Q16_16::from_f64(v).to_f64();
+        prop_assert!((back - v).abs() <= lsb / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn q32_32_round_trip_within_lsb(v in -1.0e6_f64..1.0e6) {
+        let lsb = 1.0 / (1u64 << 32) as f64;
+        let back = Q32_32::from_f64(v).to_f64();
+        prop_assert!((back - v).abs() <= lsb / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn addition_is_commutative(a in small_f64(), b in small_f64()) {
+        let (qa, qb) = (Q16_16::from_f64(a), Q16_16::from_f64(b));
+        prop_assert_eq!(qa + qb, qb + qa);
+    }
+
+    #[test]
+    fn addition_matches_f64_within_lsb(a in small_f64(), b in small_f64()) {
+        let sum = (Q16_16::from_f64(a) + Q16_16::from_f64(b)).to_f64();
+        prop_assert!((sum - (a + b)).abs() < 2.0 / 65536.0);
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in small_f64(), b in small_f64()) {
+        let (qa, qb) = (Q16_16::from_f64(a), Q16_16::from_f64(b));
+        prop_assert_eq!(qa * qb, qb * qa);
+    }
+
+    #[test]
+    fn neg_is_involutive_off_rails(a in small_f64()) {
+        let q = Q16_16::from_f64(a);
+        prop_assert_eq!(-(-q), q);
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(a in small_f64(), b in small_f64()) {
+        let (qa, qb) = (Q16_16::from_f64(a), Q16_16::from_f64(b));
+        prop_assert_eq!(qa - qb, qa + (-qb));
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in small_f64(), b in small_f64()) {
+        let (qa, qb) = (Q32_32::from_f64(a), Q32_32::from_f64(b));
+        if (a - b).abs() > 1e-6 {
+            prop_assert_eq!(qa < qb, a < b);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back(v in 0.01_f64..10000.0) {
+        let s = Q32_32::from_f64(v).sqrt();
+        let sq = (s * s).to_f64();
+        prop_assert!((sq - v).abs() < 1e-4, "sqrt({v})^2 = {sq}");
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in 0.1_f64..100.0, b in 0.1_f64..100.0) {
+        let q = Q32_32::from_f64(a) * Q32_32::from_f64(b) / Q32_32::from_f64(b);
+        prop_assert!((q.to_f64() - a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturation_never_wraps_fx32(a in proptest::num::i32::ANY, b in proptest::num::i32::ANY) {
+        // Whatever the inputs, the result is a valid ordered value and the
+        // sign of a saturating add matches the true wide-integer sum.
+        let (qa, qb) = (Fx32::<16>::from_raw(a), Fx32::<16>::from_raw(b));
+        let wide = i64::from(a) + i64::from(b);
+        let sum = qa + qb;
+        if wide > i64::from(i32::MAX) {
+            prop_assert_eq!(sum, Fx32::<16>::MAX);
+        } else if wide < i64::from(i32::MIN) {
+            prop_assert_eq!(sum, Fx32::<16>::MIN);
+        } else {
+            prop_assert_eq!(i64::from(sum.raw()), wide);
+        }
+    }
+
+    #[test]
+    fn fx64_always_finite(a in proptest::num::i64::ANY) {
+        prop_assert!(Fx64::<32>::from_raw(a).is_finite());
+    }
+
+    #[test]
+    fn abs_is_nonnegative(a in proptest::num::i32::ANY) {
+        prop_assert!(Fx32::<16>::from_raw(a).abs() >= Fx32::<16>::ZERO);
+    }
+}

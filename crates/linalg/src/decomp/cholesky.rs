@@ -1,0 +1,235 @@
+//! Cholesky factorization `A = L·L^T` for symmetric positive-definite input.
+//!
+//! The KF innovation covariance `S = H·P·H^T + R` is SPD by construction, so
+//! Cholesky is a natural calculation path; the paper's `Cholesky/Newton`
+//! accelerator uses it as Path A. It halves the operation count of LU but
+//! adds square roots to the divisions.
+
+use crate::{LinalgError, Matrix, Result, Scalar, Vector};
+
+/// A Cholesky factorization `A = L·L^T` (`L` lower triangular).
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::{Matrix, decomp::Cholesky};
+///
+/// # fn main() -> Result<(), kalmmind_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0_f64, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let inv = chol.inverse()?;
+/// assert!((&a * &inv).approx_eq(&Matrix::identity(2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Cholesky<T> {
+    l: Matrix<T>,
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, matching LAPACK convention —
+    /// small asymmetries from accumulated floating-point error are ignored.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::NotPositiveDefinite`] if a leading minor is not
+    ///   positive.
+    pub fn factor(a: &Matrix<T>) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::<T>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= T::ZERO || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { minor: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum * l[(j, j)].recip();
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor.
+    pub fn l(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "cholesky_solve",
+            });
+        }
+        // L y = b
+        let mut y = Vector::<T>::zeros(n);
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * y[j];
+            }
+            y[i] = acc * self.l[(i, i)].recip();
+        }
+        // L^T x = y
+        let mut x = Vector::<T>::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc * self.l[(i, i)].recip();
+        }
+        Ok(x)
+    }
+
+    /// Computes `A^{-1}` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Never fails once the factorization has succeeded.
+    pub fn inverse(&self) -> Result<Matrix<T>> {
+        let n = self.dim();
+        let mut inv = Matrix::<T>::zeros(n, n);
+        for col in 0..n {
+            let e = Vector::from_fn(n, |i| if i == col { T::ONE } else { T::ZERO });
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Cholesky<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cholesky").field("dim", &self.dim()).finish_non_exhaustive()
+    }
+}
+
+/// Convenience wrapper: factors and inverts in one call.
+///
+/// # Errors
+///
+/// Same as [`Cholesky::factor`].
+pub fn invert<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    Cholesky::factor(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix<f64> {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let llt = ch.l() * &ch.l().transpose();
+        assert!(llt.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn l_is_lower_triangular() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        for r in 0..3 {
+            for c in (r + 1)..3 {
+                assert_eq!(ch.l()[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let a = spd3();
+        let inv = invert(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn agrees_with_gauss() {
+        let a = spd3();
+        let c = invert(&a).unwrap();
+        let g = crate::decomp::gauss::invert(&a).unwrap();
+        assert!(c.approx_eq(&g, 1e-12));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0_f64, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { minor: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_diagonal_at_first_minor() {
+        let a = Matrix::from_diagonal(&[-1.0_f64, 1.0]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { minor: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::<f64>::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let b = Vector::from_vec(vec![1.0, -2.0, 0.5]);
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        assert!(a.mul_vector(&x).unwrap().max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        assert!(ch.solve(&Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn reads_only_lower_triangle() {
+        // Corrupt the strict upper triangle; the factorization must not care.
+        let mut a = spd3();
+        a[(0, 2)] = 99.0;
+        let ch = Cholesky::factor(&a).unwrap();
+        let reference = Cholesky::factor(&spd3()).unwrap();
+        assert!(ch.l().approx_eq(reference.l(), 0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Gauss–Jordan elimination with partial pivoting.
+//!
+//! The standard calculation method for the matrix inverse (Higham, "Gaussian
+//! Elimination") and the method embedded in the paper's `Gauss/Newton` and
+//! `Gauss-Only` accelerators. Accurate, but `O(n^3)` with loop-carried
+//! dependencies and one division per pivot — the precise properties the
+//! KalmMind approximation path is designed to avoid.
+
+use crate::{LinalgError, Matrix, Result, Scalar, Vector};
+
+/// Inverts a square matrix by Gauss–Jordan elimination with partial pivoting.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::Singular`] if a pivot is smaller than the scalar's
+///   epsilon-scaled threshold.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::{Matrix, decomp::gauss};
+///
+/// # fn main() -> Result<(), kalmmind_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0_f64, 1.0], &[1.0, 3.0]])?;
+/// let v = gauss::invert(&a)?;
+/// assert!((&a * &v).approx_eq(&Matrix::identity(2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+pub fn invert<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    // Augmented system [A | I], reduced in place to [I | A^-1].
+    let mut work = a.clone();
+    let mut inv = Matrix::<T>::identity(n);
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining |entry| to the diagonal.
+        let mut pivot_row = col;
+        let mut best = work[(col, col)].abs();
+        for r in (col + 1)..n {
+            let cand = work[(r, col)].abs();
+            if cand > best {
+                best = cand;
+                pivot_row = r;
+            }
+        }
+        if !is_usable_pivot(best) {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        if pivot_row != col {
+            swap_rows(&mut work, col, pivot_row);
+            swap_rows(&mut inv, col, pivot_row);
+        }
+
+        // Normalize the pivot row (the floating-point division the paper
+        // identifies as a numerical-error source).
+        let pivot = work[(col, col)];
+        let pivot_inv = pivot.recip();
+        for c in 0..n {
+            work[(col, c)] *= pivot_inv;
+            inv[(col, c)] *= pivot_inv;
+        }
+
+        // Eliminate the column from every other row.
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = work[(r, col)];
+            if factor == T::ZERO {
+                continue;
+            }
+            for c in 0..n {
+                let w = work[(col, c)];
+                let v = inv[(col, c)];
+                work[(r, c)] -= factor * w;
+                inv[(r, c)] -= factor * v;
+            }
+        }
+    }
+    Ok(inv)
+}
+
+/// Solves `A x = b` by Gaussian elimination (via [`invert`]).
+///
+/// # Errors
+///
+/// Same as [`invert`], plus [`LinalgError::DimensionMismatch`] when
+/// `b.len() != a.rows()`.
+pub fn solve<T: Scalar>(a: &Matrix<T>, b: &Vector<T>) -> Result<Vector<T>> {
+    let inv = invert(a)?;
+    inv.mul_vector(b)
+}
+
+fn is_usable_pivot<T: Scalar>(magnitude: T) -> bool {
+    // Fixed-point types saturate rather than produce subnormals; treat exact
+    // zero as the only unusable pivot for them, and use a relative epsilon
+    // floor for floats.
+    magnitude > T::ZERO && magnitude.to_f64() > f64::from(f32::EPSILON) * 1e-30
+}
+
+fn swap_rows<T: Scalar>(m: &mut Matrix<T>, r1: usize, r2: usize) {
+    let cols = m.cols();
+    for c in 0..cols {
+        let tmp = m[(r1, c)];
+        m[(r1, c)] = m[(r2, c)];
+        m[(r2, c)] = tmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverts_2x2() {
+        let a = Matrix::from_rows(&[&[4.0_f64, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        let expected = Matrix::from_rows(&[&[0.6, -0.7], &[-0.2, 0.4]]).unwrap();
+        assert!(inv.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[2.0_f64, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let inv = invert(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(3), 1e-12));
+        assert!((&inv * &a).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0_f64, 1.0], &[1.0, 0.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!(inv.approx_eq(&a, 1e-15)); // permutation matrices are involutions
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0_f64, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(invert(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert_eq!(invert(&a).unwrap_err(), LinalgError::NotSquare { shape: (2, 3) });
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let a = Matrix::from_rows(&[&[3.0_f64, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Vector::from_vec(vec![9.0, 8.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let a = Matrix::from_rows(&[&[2.0_f32, 1.0], &[1.0, 3.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(2), 1e-5));
+    }
+
+    #[test]
+    fn identity_inverts_to_identity() {
+        let i = Matrix::<f64>::identity(5);
+        assert!(invert(&i).unwrap().approx_eq(&i, 0.0));
+    }
+
+    #[test]
+    fn large_well_conditioned_matrix() {
+        // Diagonally dominant 40x40 (similar conditioning to the KF's S).
+        let n = 40;
+        let a = Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                (n as f64) + 1.0
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            }
+        });
+        let inv = invert(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(n), 1e-10));
+    }
+}

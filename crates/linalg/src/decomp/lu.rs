@@ -1,0 +1,249 @@
+//! LU factorization with partial pivoting (Doolittle).
+//!
+//! This is the *reference* inversion path of the reproduction: the paper's
+//! reference implementation is NumPy, whose `inv` goes through LAPACK's LU
+//! factorization. Running this factorization in `f64` therefore plays the
+//! role of "the NumPy output" that every accelerator configuration is
+//! compared against.
+
+use crate::{LinalgError, Matrix, Result, Scalar, Vector};
+
+/// An LU factorization `P·A = L·U` with partial pivoting.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::{Matrix, Vector, decomp::Lu};
+///
+/// # fn main() -> Result<(), kalmmind_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0_f64, 3.0], &[6.0, 3.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&Vector::from_vec(vec![10.0, 12.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Lu<T> {
+    /// Packed factors: `U` on and above the diagonal, `L` (unit diagonal
+    /// implied) strictly below.
+    lu: Matrix<T>,
+    /// Row permutation: output row `i` of the factorization came from input
+    /// row `perm[i]`.
+    perm: Vec<usize>,
+    /// Number of row swaps (for the determinant's sign).
+    swaps: usize,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if a pivot vanishes.
+    pub fn factor(a: &Matrix<T>) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = col;
+            let mut best = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let cand = lu[(r, col)].abs();
+                if cand > best {
+                    best = cand;
+                    pivot_row = r;
+                }
+            }
+            if best == T::ZERO {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = lu[(col, c)];
+                    lu[(col, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                swaps += 1;
+            }
+
+            let pivot_inv = lu[(col, col)].recip();
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] * pivot_inv;
+                lu[(r, col)] = factor;
+                for c in (col + 1)..n {
+                    let u = lu[(col, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+        Ok(Self { lu, perm, swaps })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu_solve",
+            });
+        }
+        // Forward substitution with permuted b: L y = P b.
+        let mut y = Vector::<T>::zeros(n);
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution: U x = y.
+        let mut x = Vector::<T>::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc * self.lu[(i, i)].recip();
+        }
+        Ok(x)
+    }
+
+    /// Computes `A^{-1}` column by column (the LAPACK/NumPy strategy).
+    ///
+    /// # Errors
+    ///
+    /// Never fails once the factorization has succeeded; the signature is
+    /// fallible for parity with the other inversion methods.
+    pub fn inverse(&self) -> Result<Matrix<T>> {
+        let n = self.dim();
+        let mut inv = Matrix::<T>::zeros(n, n);
+        for col in 0..n {
+            let e = Vector::from_fn(n, |i| if i == col { T::ONE } else { T::ZERO });
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> T {
+        let mut d = if self.swaps.is_multiple_of(2) { T::ONE } else { -T::ONE };
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Lu<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lu")
+            .field("dim", &self.dim())
+            .field("swaps", &self.swaps)
+            .field("perm", &self.perm)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Convenience wrapper: factors and inverts in one call.
+///
+/// # Errors
+///
+/// Same as [`Lu::factor`].
+pub fn invert<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    Lu::factor(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix<f64> {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let b = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let back = a.mul_vector(&x).unwrap();
+        assert!(back.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let lu = Lu::factor(&spd3()).unwrap();
+        assert!(lu.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn det_of_diagonal() {
+        let d = Matrix::from_diagonal(&[2.0_f64, 3.0, 4.0]);
+        assert!((Lu::factor(&d).unwrap().det() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_with_row_swaps() {
+        // Permutation matrix [0 1; 1 0] has determinant -1.
+        let p = Matrix::from_rows(&[&[0.0_f64, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((Lu::factor(&p).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular_and_rectangular() {
+        let s = Matrix::from_rows(&[&[1.0_f64, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(Lu::factor(&s), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Lu::factor(&Matrix::<f64>::zeros(1, 2)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn invert_agrees_with_gauss() {
+        let a = spd3();
+        let lu_inv = invert(&a).unwrap();
+        let g_inv = crate::decomp::gauss::invert(&a).unwrap();
+        assert!(lu_inv.approx_eq(&g_inv, 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0_f64, 2.0], &[1.0, 1.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+}

@@ -1,0 +1,16 @@
+//! Exact ("calculation") matrix-inversion methods.
+//!
+//! These are the paper's *calculation* path (Path A in Fig. 3b): methods that
+//! compute the inverse directly rather than iterating towards it. All of them
+//! contain divisions and loop-carried dependencies, which is what makes them
+//! expensive in hardware and motivates interleaving them with the
+//! Newton–Schulz approximation in [`crate::iterative`].
+
+pub mod cholesky;
+pub mod gauss;
+pub mod lu;
+pub mod qr;
+
+pub use cholesky::Cholesky;
+pub use lu::Lu;
+pub use qr::Qr;

@@ -1,0 +1,276 @@
+//! QR decomposition by Householder reflections.
+//!
+//! The paper's `QR/Newton` accelerator uses QR as its calculation path:
+//! numerically the most robust of the three (orthogonal transforms do not
+//! amplify error) at the cost of the most operations and memory.
+
+use crate::{LinalgError, Matrix, Result, Scalar, Vector};
+
+/// A QR decomposition `A = Q·R` with `Q` orthogonal and `R` upper triangular.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::{Matrix, decomp::Qr};
+///
+/// # fn main() -> Result<(), kalmmind_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0_f64, 1.0], &[1.0, 3.0]])?;
+/// let qr = Qr::factor(&a)?;
+/// let inv = qr.inverse()?;
+/// assert!((&a * &inv).approx_eq(&Matrix::identity(2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Qr<T> {
+    q: Matrix<T>,
+    r: Matrix<T>,
+}
+
+impl<T: Scalar> Qr<T> {
+    /// Factors a square matrix with Householder reflections.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular (inversion use case
+    ///   only needs square input).
+    /// * [`LinalgError::Singular`] if a diagonal entry of `R` vanishes.
+    pub fn factor(a: &Matrix<T>) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut r = a.clone();
+        let mut q = Matrix::<T>::identity(n);
+        let two = T::from_f64(2.0);
+
+        for k in 0..n.saturating_sub(1) {
+            // Householder vector for column k below the diagonal.
+            let mut norm_sq = T::ZERO;
+            for i in k..n {
+                let x = r[(i, k)];
+                norm_sq += x * x;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == T::ZERO {
+                // Column already zero below (and at) the diagonal: singular,
+                // but defer the error to the R diagonal check so the message
+                // carries the right pivot index.
+                continue;
+            }
+            let alpha = if r[(k, k)] > T::ZERO { -norm } else { norm };
+            let mut v = vec![T::ZERO; n];
+            v[k] = r[(k, k)] - alpha;
+            for i in (k + 1)..n {
+                v[i] = r[(i, k)];
+            }
+            let mut v_dot = T::ZERO;
+            for vi in &v[k..] {
+                v_dot += *vi * *vi;
+            }
+            if v_dot == T::ZERO {
+                continue;
+            }
+            let v_dot_inv = v_dot.recip();
+
+            // R <- (I - 2 v v^T / v·v) R
+            for c in 0..n {
+                let mut proj = T::ZERO;
+                for i in k..n {
+                    proj += v[i] * r[(i, c)];
+                }
+                let coeff = two * proj * v_dot_inv;
+                for i in k..n {
+                    let vi = v[i];
+                    r[(i, c)] -= coeff * vi;
+                }
+            }
+            // Q <- Q (I - 2 v v^T / v·v)
+            for row in 0..n {
+                let mut proj = T::ZERO;
+                for i in k..n {
+                    proj += q[(row, i)] * v[i];
+                }
+                let coeff = two * proj * v_dot_inv;
+                for i in k..n {
+                    let vi = v[i];
+                    q[(row, i)] -= coeff * vi;
+                }
+            }
+        }
+
+        // Clean the strictly-lower triangle of R (it holds rounding dust).
+        for i in 1..n {
+            for j in 0..i {
+                r[(i, j)] = T::ZERO;
+            }
+        }
+        // Rank check with a relative threshold: rounding leaves tiny nonzero
+        // diagonals on rank-deficient input.
+        let scale = crate::norms::max_abs(&r).max(1.0);
+        let tol = scale * T::epsilon().to_f64() * n as f64;
+        for i in 0..n {
+            if r[(i, i)].abs().to_f64() <= tol {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+        }
+        Ok(Self { q, r })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.r.rows()
+    }
+
+    /// Borrow of the orthogonal factor `Q`.
+    pub fn q(&self) -> &Matrix<T> {
+        &self.q
+    }
+
+    /// Borrow of the upper-triangular factor `R`.
+    pub fn r(&self) -> &Matrix<T> {
+        &self.r
+    }
+
+    /// Solves `A x = b` as `R x = Q^T b` by back substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "qr_solve",
+            });
+        }
+        let qtb = self.q.transpose().mul_vector(b)?;
+        let mut x = Vector::<T>::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = qtb[i];
+            for j in (i + 1)..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            x[i] = acc * self.r[(i, i)].recip();
+        }
+        Ok(x)
+    }
+
+    /// Computes `A^{-1} = R^{-1} Q^T` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Never fails once the factorization has succeeded.
+    pub fn inverse(&self) -> Result<Matrix<T>> {
+        let n = self.dim();
+        let mut inv = Matrix::<T>::zeros(n, n);
+        for col in 0..n {
+            let e = Vector::from_fn(n, |i| if i == col { T::ONE } else { T::ZERO });
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Qr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Qr").field("dim", &self.dim()).finish_non_exhaustive()
+    }
+}
+
+/// Convenience wrapper: factors and inverts in one call.
+///
+/// # Errors
+///
+/// Same as [`Qr::factor`].
+pub fn invert<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    Qr::factor(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<f64> {
+        Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
+            .unwrap()
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = sample();
+        let qr = Qr::factor(&a).unwrap();
+        let back = qr.q() * qr.r();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let qr = Qr::factor(&sample()).unwrap();
+        let qtq = &qr.q().transpose() * qr.q();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let qr = Qr::factor(&sample()).unwrap();
+        for i in 1..3 {
+            for j in 0..i {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let a = sample();
+        let inv = invert(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn agrees_with_gauss() {
+        let a = sample();
+        assert!(invert(&a).unwrap().approx_eq(&crate::decomp::gauss::invert(&a).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = sample();
+        let b = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
+        assert!(a.mul_vector(&x).unwrap().max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0_f64, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(invert(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            Qr::factor(&Matrix::<f64>::zeros(3, 2)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_identity() {
+        let i = Matrix::<f64>::identity(4);
+        let qr = Qr::factor(&i).unwrap();
+        assert!(qr.inverse().unwrap().approx_eq(&i, 1e-14));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let qr = Qr::factor(&sample()).unwrap();
+        assert!(qr.solve(&Vector::zeros(7)).is_err());
+    }
+}

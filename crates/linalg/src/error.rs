@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::{Matrix, LinalgError, decomp::gauss};
+///
+/// let singular = Matrix::<f64>::zeros(3, 3);
+/// match gauss::invert(&singular) {
+///     Err(LinalgError::Singular { pivot }) => assert_eq!(pivot, 0),
+///     other => panic!("expected singular error, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// A pivot (or leading minor) vanished during factorization.
+    Singular {
+        /// Zero-based index of the failing pivot/minor.
+        pivot: usize,
+    },
+    /// Cholesky factorization was attempted on a matrix that is not
+    /// symmetric positive definite.
+    NotPositiveDefinite {
+        /// Zero-based index of the leading minor that is not positive.
+        minor: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NotConverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// Row data supplied to a constructor had inconsistent lengths.
+    RaggedRows {
+        /// Index of the first row whose length differs from row 0.
+        row: usize,
+    },
+    /// A constructor received an element count that does not match the
+    /// requested shape.
+    BadLength {
+        /// Number of elements expected (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Self::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision at pivot {pivot}")
+            }
+            Self::NotPositiveDefinite { minor } => {
+                write!(f, "matrix is not positive definite at leading minor {minor}")
+            }
+            Self::NotConverged { iterations, residual } => write!(
+                f,
+                "iteration did not converge after {iterations} steps (residual {residual:e})"
+            ),
+            Self::RaggedRows { row } => {
+                write!(f, "row {row} has a different length than row 0")
+            }
+            Self::BadLength { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(LinalgError, &str)> = vec![
+            (
+                LinalgError::DimensionMismatch { left: (2, 3), right: (4, 5), op: "mul" },
+                "dimension mismatch in mul: left is 2x3, right is 4x5",
+            ),
+            (LinalgError::NotSquare { shape: (2, 3) }, "matrix must be square, got 2x3"),
+            (
+                LinalgError::Singular { pivot: 1 },
+                "matrix is singular to working precision at pivot 1",
+            ),
+            (
+                LinalgError::NotPositiveDefinite { minor: 2 },
+                "matrix is not positive definite at leading minor 2",
+            ),
+            (LinalgError::RaggedRows { row: 3 }, "row 3 has a different length than row 0"),
+            (LinalgError::BadLength { expected: 6, actual: 5 }, "expected 6 elements, got 5"),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn not_converged_formats_residual() {
+        let err = LinalgError::NotConverged { iterations: 10, residual: 0.5 };
+        assert!(err.to_string().contains("10 steps"));
+        assert!(err.to_string().contains("5e-1"));
+    }
+}

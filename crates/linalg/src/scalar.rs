@@ -1,0 +1,204 @@
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Numeric element type usable inside [`Matrix`](crate::Matrix) and
+/// [`Vector`](crate::Vector).
+///
+/// The trait deliberately mirrors the operations a hardware datapath exposes
+/// (add, subtract, multiply, divide, square root, absolute value) so that the
+/// same Kalman-filter kernels run unchanged over `f32`/`f64` and over the
+/// Q-format fixed-point types in `kalmmind-fixed` — exactly the datatype swap
+/// the paper performs for its FX32/FX64 accelerator variants.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::Scalar;
+///
+/// fn hypot<T: Scalar>(a: T, b: T) -> T {
+///     (a * a + b * b).sqrt()
+/// }
+///
+/// assert!((hypot(3.0_f64, 4.0) - 5.0).abs() < 1e-12);
+/// assert!((hypot(3.0_f32, 4.0) - 5.0).abs() < 1e-6);
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Converts from `f64`, rounding/saturating as the representation requires.
+    fn from_f64(value: f64) -> Self;
+
+    /// Converts to `f64` (exact for `f32`/fixed-point, identity for `f64`).
+    fn to_f64(self) -> f64;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// Square root. Implementations may panic or saturate on negative input;
+    /// see each implementor's documentation.
+    fn sqrt(self) -> Self;
+
+    /// Returns `true` when the value is neither infinite nor NaN.
+    ///
+    /// Fixed-point types always return `true`: their failure mode is
+    /// saturation, not non-finite values.
+    fn is_finite(self) -> bool;
+
+    /// Multiplicative inverse `1 / self`.
+    fn recip(self) -> Self {
+        Self::ONE / self
+    }
+
+    /// Machine epsilon — the accuracy floor of the representation. Used by
+    /// pivoting code to decide when a pivot is effectively zero.
+    fn epsilon() -> Self;
+
+    /// Larger of two values (`self` if equal).
+    fn max(self, other: Self) -> Self {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Smaller of two values (`self` if equal).
+    fn min(self, other: Self) -> Self {
+        if other < self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline]
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(value: f64) -> Self {
+        value as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    #[inline]
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_identities() {
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0);
+        assert_eq!(<f64 as Scalar>::from_f64(2.5), 2.5);
+        assert_eq!(2.5_f64.to_f64(), 2.5);
+    }
+
+    #[test]
+    fn f32_round_trips_through_f64() {
+        let x: f32 = 1.25;
+        assert_eq!(<f32 as Scalar>::from_f64(x.to_f64()), x);
+    }
+
+    #[test]
+    fn recip_default_matches_division() {
+        assert_eq!(Scalar::recip(4.0_f64), 0.25);
+        assert_eq!(Scalar::recip(4.0_f32), 0.25);
+    }
+
+    #[test]
+    fn max_min_prefer_self_on_ties() {
+        assert_eq!(Scalar::max(1.0_f64, 1.0), 1.0);
+        assert_eq!(Scalar::min(2.0_f64, 3.0), 2.0);
+        assert_eq!(Scalar::max(2.0_f64, 3.0), 3.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Scalar::is_finite(1.0_f64));
+        assert!(!Scalar::is_finite(f64::NAN));
+        assert!(!Scalar::is_finite(f64::INFINITY));
+        assert!(!Scalar::is_finite(f32::NEG_INFINITY));
+    }
+}

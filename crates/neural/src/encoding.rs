@@ -1,0 +1,307 @@
+//! Linear-Gaussian neural encoding with spatial and temporal correlation.
+//!
+//! Each channel's activity is a linear function of the kinematic state
+//! (cosine-like tuning: a random projection of position/velocity plus a
+//! baseline) corrupted by noise that is correlated *across channels*
+//! (neighbouring electrodes see the same neural population) and *across
+//! time* (AR(1) slow drift). Both correlations are the data properties the
+//! KalmMind seed policies exploit, and both are tunable per dataset.
+
+use kalmmind_linalg::{decomp::Cholesky, Matrix, Vector};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::kinematics::STATE_DIM;
+
+/// Noise/tuning parameters of a synthetic neural population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderParams {
+    /// Number of channels (`z_dim`).
+    pub channels: usize,
+    /// Standard deviation of the *correlated* (shared neural background)
+    /// observation noise.
+    pub noise_sd: f64,
+    /// Standard deviation of the *independent* per-channel noise (thermal /
+    /// electronic). This gives the observation covariance a solid diagonal,
+    /// keeping the innovation covariance `S` well conditioned — real
+    /// recordings always have it.
+    pub independent_sd: f64,
+    /// Spatial correlation length in channel index units (larger = more
+    /// correlated electrodes). Zero disables spatial correlation.
+    pub spatial_corr_len: f64,
+    /// AR(1) coefficient of the temporal noise drift, in `[0, 1)`.
+    pub temporal_rho: f64,
+    /// Scale of the tuning weights (how strongly channels encode movement).
+    pub tuning_gain: f64,
+}
+
+impl EncoderParams {
+    /// Validates the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels == 0`, `noise_sd < 0`, `temporal_rho ∉ [0, 1)`,
+    /// or `spatial_corr_len < 0`.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "channels must be positive");
+        assert!(self.noise_sd >= 0.0, "noise_sd must be non-negative");
+        assert!(self.independent_sd >= 0.0, "independent_sd must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&self.temporal_rho),
+            "temporal_rho must be in [0, 1)"
+        );
+        assert!(self.spatial_corr_len >= 0.0, "spatial_corr_len must be non-negative");
+    }
+}
+
+/// Deterministic neural encoder: state trajectory in, measurement trajectory
+/// out.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_neural::{EncoderParams, NeuralEncoder};
+/// use kalmmind_linalg::Vector;
+///
+/// let params = EncoderParams {
+///     channels: 12,
+///     noise_sd: 0.3,
+///     independent_sd: 0.2,
+///     spatial_corr_len: 3.0,
+///     temporal_rho: 0.7,
+///     tuning_gain: 1.0,
+/// };
+/// let encoder = NeuralEncoder::new(params, 99);
+/// let states = vec![Vector::zeros(6); 20];
+/// let zs = encoder.encode(&states);
+/// assert_eq!(zs.len(), 20);
+/// assert_eq!(zs[0].len(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeuralEncoder {
+    params: EncoderParams,
+    /// True tuning matrix (channels × STATE_DIM).
+    tuning: Matrix<f64>,
+    /// Per-channel baseline firing offsets.
+    baseline: Vector<f64>,
+    /// Cholesky factor of the spatial noise covariance (channels × channels).
+    noise_chol: Matrix<f64>,
+    seed: u64,
+}
+
+impl NeuralEncoder {
+    /// Creates an encoder with random (seeded) tuning and the spatial noise
+    /// covariance `C_ij = noise_sd² · exp(−|i−j| / corr_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` fail [`EncoderParams::validate`].
+    pub fn new(params: EncoderParams, seed: u64) -> Self {
+        params.validate();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBC1_DA7A);
+        let n = params.channels;
+
+        // Cosine-like tuning: each channel projects the state onto a random
+        // preferred direction in (vel, pos) space, scaled by tuning_gain.
+        let tuning = Matrix::from_fn(n, STATE_DIM, |_, s| {
+            let w: f64 = rng.gen_range(-1.0..1.0);
+            // Velocity components dominate motor tuning (Wu et al.).
+            let emphasis = match s {
+                2 | 3 => 1.0,  // velocity
+                0 | 1 => 0.4,  // position
+                _ => 0.15,     // acceleration
+            };
+            params.tuning_gain * emphasis * w
+        });
+        let baseline = Vector::from_fn(n, |_| rng.gen_range(-0.5..0.5));
+
+        let noise_chol = if params.noise_sd == 0.0 {
+            Matrix::zeros(n, n)
+        } else {
+            let cov = Matrix::from_fn(n, n, |i, j| {
+                let d = (i as f64 - j as f64).abs();
+                let corr = if params.spatial_corr_len == 0.0 {
+                    if i == j {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    (-d / params.spatial_corr_len).exp()
+                };
+                params.noise_sd * params.noise_sd * corr
+                    + if i == j { 1e-9 } else { 0.0 }
+            });
+            Cholesky::factor(&cov)
+                .expect("exponential kernel is positive definite")
+                .l()
+                .clone()
+        };
+
+        Self { params, tuning, baseline, noise_chol, seed }
+    }
+
+    /// The encoder parameters.
+    pub fn params(&self) -> &EncoderParams {
+        &self.params
+    }
+
+    /// The ground-truth tuning matrix (useful for testing model recovery).
+    pub fn tuning(&self) -> &Matrix<f64> {
+        &self.tuning
+    }
+
+    /// Encodes a state trajectory into measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state vector is not 6-dimensional.
+    pub fn encode(&self, states: &[Vector<f64>]) -> Vec<Vector<f64>> {
+        let n = self.params.channels;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5EED);
+        let rho = self.params.temporal_rho;
+        let innovation_scale = (1.0 - rho * rho).sqrt();
+        let mut drift = Vector::<f64>::zeros(n);
+
+        states
+            .iter()
+            .map(|x| {
+                assert_eq!(x.len(), STATE_DIM, "states must be 6-dimensional");
+                // Fresh spatially-correlated noise: L·ξ.
+                let xi = Vector::from_fn(n, |_| gauss(&mut rng));
+                let spatial = self.noise_chol.mul_vector(&xi).expect("square factor");
+                // AR(1) temporal drift of the noise field.
+                drift = Vector::from_fn(n, |i| rho * drift[i] + innovation_scale * spatial[i]);
+                let signal = self.tuning.mul_vector(x).expect("tuning is channels x 6");
+                let ind = self.params.independent_sd;
+                Vector::from_fn(n, |i| {
+                    signal[i] + self.baseline[i] + drift[i] + ind * gauss(&mut rng)
+                })
+            })
+            .collect()
+    }
+}
+
+fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinematics::{KinematicsGenerator, KinematicsKind};
+
+    fn params(channels: usize) -> EncoderParams {
+        EncoderParams {
+            channels,
+            noise_sd: 0.3,
+            independent_sd: 0.2,
+            spatial_corr_len: 4.0,
+            temporal_rho: 0.8,
+            tuning_gain: 1.0,
+        }
+    }
+
+    #[test]
+    fn encode_shapes_and_determinism() {
+        let states = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 1).generate(40);
+        let enc = NeuralEncoder::new(params(10), 7);
+        let a = enc.encode(&states);
+        let b = enc.encode(&states);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        assert!(a.iter().all(|z| z.len() == 10 && z.all_finite()));
+    }
+
+    #[test]
+    fn zero_noise_is_exact_linear_tuning() {
+        let mut p = params(8);
+        p.noise_sd = 0.0;
+        let enc = NeuralEncoder::new(p, 3);
+        let states = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 2).generate(10);
+        let zs = enc.encode(&states);
+        for (x, z) in states.iter().zip(&zs) {
+            let expected = enc.tuning().mul_vector(x).unwrap();
+            for i in 0..8 {
+                // Baseline still applies.
+                assert!((z[i] - expected[i]).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbouring_channels_are_correlated() {
+        // Encode a long zero trajectory: outputs are pure (correlated) noise.
+        let states = vec![Vector::zeros(6); 4000];
+        let enc = NeuralEncoder::new(params(6), 13);
+        let zs = enc.encode(&states);
+        let corr = channel_correlation(&zs, 0, 1);
+        let far = channel_correlation(&zs, 0, 5);
+        assert!(corr > 0.5, "adjacent channels must correlate, got {corr}");
+        assert!(corr > far, "correlation must decay with distance: {corr} vs {far}");
+    }
+
+    #[test]
+    fn temporal_drift_correlates_consecutive_samples() {
+        let states = vec![Vector::zeros(6); 4000];
+        // Disable the independent (white) component to isolate the AR(1)
+        // drift, whose lag-1 autocorrelation should approach rho.
+        let mut p = params(4);
+        p.independent_sd = 0.0;
+        let enc = NeuralEncoder::new(p, 17);
+        let zs = enc.encode(&states);
+        // Lag-1 autocorrelation of channel 0 ≈ rho.
+        let series: Vec<f64> = zs.iter().map(|z| z[0]).collect();
+        let ac = autocorr(&series, 1);
+        assert!(ac > 0.5, "lag-1 autocorrelation must reflect rho, got {ac}");
+    }
+
+    #[test]
+    fn spatial_corr_len_zero_decorrelates_channels() {
+        let mut p = params(6);
+        p.spatial_corr_len = 0.0;
+        p.temporal_rho = 0.0;
+        let states = vec![Vector::zeros(6); 4000];
+        let enc = NeuralEncoder::new(p, 23);
+        let zs = enc.encode(&states);
+        let corr = channel_correlation(&zs, 0, 1).abs();
+        assert!(corr < 0.1, "independent channels must decorrelate, got {corr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal_rho")]
+    fn rejects_rho_of_one() {
+        let mut p = params(4);
+        p.temporal_rho = 1.0;
+        let _ = NeuralEncoder::new(p, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "6-dimensional")]
+    fn rejects_wrong_state_dim() {
+        let enc = NeuralEncoder::new(params(4), 1);
+        let _ = enc.encode(&[Vector::zeros(5)]);
+    }
+
+    fn channel_correlation(zs: &[Vector<f64>], a: usize, b: usize) -> f64 {
+        let xa: Vec<f64> = zs.iter().map(|z| z[a]).collect();
+        let xb: Vec<f64> = zs.iter().map(|z| z[b]).collect();
+        pearson(&xa, &xb)
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    fn autocorr(series: &[f64], lag: usize) -> f64 {
+        pearson(&series[..series.len() - lag], &series[lag..])
+    }
+}

@@ -1,0 +1,251 @@
+//! Kinematic (state) trajectory generators.
+//!
+//! The KF state in BCI motion decoding is the 6-vector
+//! `[pos_x, pos_y, vel_x, vel_y, acc_x, acc_y]` (Wu et al.). Each generator
+//! integrates a second-order point mass driven by a task-specific
+//! acceleration process, yielding smooth trajectories whose one-step
+//! dynamics a linear `F` can capture.
+
+use kalmmind_linalg::Vector;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// State dimension of all generated kinematics (the paper's `x = 6`).
+pub const STATE_DIM: usize = 6;
+
+/// Which behavioural task produced the movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KinematicsKind {
+    /// Center-out reaching (the classic NHP motor task): ballistic reaches
+    /// to targets on a circle, with holds between reaches.
+    CenterOut,
+    /// Smooth exploratory movement (somatosensory recordings during
+    /// continuous stimulation/movement): an Ornstein–Uhlenbeck velocity.
+    SmoothWalk,
+    /// Open-field foraging (the rat hippocampus task): slow, bounded
+    /// meandering in a box.
+    Foraging,
+}
+
+/// Deterministic kinematics generator (seeded ChaCha8).
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_neural::{KinematicsGenerator, KinematicsKind};
+///
+/// let gen = KinematicsGenerator::new(KinematicsKind::CenterOut, 7);
+/// let states = gen.generate(100);
+/// assert_eq!(states.len(), 100);
+/// assert_eq!(states[0].len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KinematicsGenerator {
+    kind: KinematicsKind,
+    seed: u64,
+    dt: f64,
+}
+
+impl KinematicsGenerator {
+    /// Creates a generator for `kind` with a fixed RNG seed and the default
+    /// 50 ms bin width (the paper's real-time budget per KF iteration).
+    pub fn new(kind: KinematicsKind, seed: u64) -> Self {
+        Self { kind, seed, dt: 0.05 }
+    }
+
+    /// Overrides the time-bin width in seconds.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "bin width must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// The behavioural task.
+    pub fn kind(&self) -> KinematicsKind {
+        self.kind
+    }
+
+    /// Generates `n` consecutive state vectors.
+    pub fn generate(&self, n: usize) -> Vec<Vector<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        match self.kind {
+            KinematicsKind::CenterOut => self.center_out(n, &mut rng),
+            KinematicsKind::SmoothWalk => self.smooth_walk(n, &mut rng),
+            KinematicsKind::Foraging => self.foraging(n, &mut rng),
+        }
+    }
+
+    fn center_out(&self, n: usize, rng: &mut ChaCha8Rng) -> Vec<Vector<f64>> {
+        let dt = self.dt;
+        let reach_bins = 14usize; // ~700 ms reach
+        let hold_bins = 6usize; // ~300 ms hold
+        let radius = 8.0; // cm
+
+        let mut out = Vec::with_capacity(n);
+        let (mut px, mut py, mut vx, mut vy) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+        let mut phase = 0usize; // position within the reach+hold cycle
+        let mut target = pick_target(rng, radius);
+        let mut origin = (0.0, 0.0);
+
+        for _ in 0..n {
+            let cycle = reach_bins + hold_bins;
+            if phase == 0 {
+                origin = (px, py);
+                target = if (px * px + py * py).sqrt() > radius / 2.0 {
+                    (0.0, 0.0) // return to center
+                } else {
+                    pick_target(rng, radius)
+                };
+            }
+            let (ax, ay);
+            if phase < reach_bins {
+                // Minimum-jerk-ish bell-shaped speed profile along the reach.
+                let s = (phase as f64 + 0.5) / reach_bins as f64;
+                let bell = 30.0 * s * s * (1.0 - s) * (1.0 - s); // ∫ = 1
+                let dir = (target.0 - origin.0, target.1 - origin.1);
+                let desired_v =
+                    (dir.0 * bell / (reach_bins as f64 * dt), dir.1 * bell / (reach_bins as f64 * dt));
+                ax = (desired_v.0 - vx) / dt;
+                ay = (desired_v.1 - vy) / dt;
+            } else {
+                // Hold: damp velocity with a little tremor.
+                ax = -vx / dt * 0.8 + rng.gen_range(-0.5..0.5);
+                ay = -vy / dt * 0.8 + rng.gen_range(-0.5..0.5);
+            }
+            vx += ax * dt;
+            vy += ay * dt;
+            px += vx * dt;
+            py += vy * dt;
+            out.push(Vector::from_vec(vec![px, py, vx, vy, ax, ay]));
+            phase = (phase + 1) % cycle;
+        }
+        out
+    }
+
+    fn smooth_walk(&self, n: usize, rng: &mut ChaCha8Rng) -> Vec<Vector<f64>> {
+        let dt = self.dt;
+        let theta = 1.2; // OU mean-reversion of velocity
+        let sigma = 6.0; // OU noise scale
+        let mut out = Vec::with_capacity(n);
+        let (mut px, mut py, mut vx, mut vy) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+        for _ in 0..n {
+            let ax = -theta * vx + sigma * gauss(rng);
+            let ay = -theta * vy + sigma * gauss(rng);
+            vx += ax * dt;
+            vy += ay * dt;
+            px += vx * dt;
+            py += vy * dt;
+            out.push(Vector::from_vec(vec![px, py, vx, vy, ax, ay]));
+        }
+        out
+    }
+
+    fn foraging(&self, n: usize, rng: &mut ChaCha8Rng) -> Vec<Vector<f64>> {
+        let dt = self.dt;
+        let box_half = 50.0; // cm, open-field arena
+        let theta = 0.4; // slower dynamics than the NHP tasks
+        let sigma = 3.0;
+        let mut out = Vec::with_capacity(n);
+        let (mut px, mut py, mut vx, mut vy) = (0.0_f64, 0.0_f64, 2.0_f64, 1.0_f64);
+        for _ in 0..n {
+            // Soft walls: acceleration pushes back near the boundary.
+            let wall_ax = -0.05 * (px / box_half).powi(3) * box_half;
+            let wall_ay = -0.05 * (py / box_half).powi(3) * box_half;
+            let ax = -theta * vx + sigma * gauss(rng) + wall_ax;
+            let ay = -theta * vy + sigma * gauss(rng) + wall_ay;
+            vx += ax * dt;
+            vy += ay * dt;
+            px = (px + vx * dt).clamp(-box_half, box_half);
+            py = (py + vy * dt).clamp(-box_half, box_half);
+            out.push(Vector::from_vec(vec![px, py, vx, vy, ax, ay]));
+        }
+        out
+    }
+}
+
+fn pick_target(rng: &mut ChaCha8Rng, radius: f64) -> (f64, f64) {
+    // One of 8 center-out targets.
+    let k = rng.gen_range(0..8u32);
+    let angle = f64::from(k) * std::f64::consts::FRAC_PI_4;
+    (radius * angle.cos(), radius * angle.sin())
+}
+
+/// Standard normal via Box–Muller (keeps us off rand_distr).
+fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_produce_six_dim_states() {
+        for kind in [KinematicsKind::CenterOut, KinematicsKind::SmoothWalk, KinematicsKind::Foraging]
+        {
+            let states = KinematicsGenerator::new(kind, 1).generate(50);
+            assert_eq!(states.len(), 50);
+            assert!(states.iter().all(|s| s.len() == STATE_DIM));
+            assert!(states.iter().all(|s| s.all_finite()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 9).generate(30);
+        let b = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 9).generate(30);
+        assert_eq!(a, b);
+        let c = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 10).generate(30);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn positions_integrate_velocities() {
+        let dt = 0.05;
+        let states = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 3).generate(100);
+        for w in states.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            // px' = px + vx'·dt (velocity updated before position).
+            let predicted = prev[0] + next[2] * dt;
+            assert!((next[0] - predicted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn foraging_stays_in_the_arena() {
+        let states = KinematicsGenerator::new(KinematicsKind::Foraging, 5).generate(2000);
+        for s in &states {
+            assert!(s[0].abs() <= 50.0 + 1e-9);
+            assert!(s[1].abs() <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn center_out_moves_and_returns() {
+        let states = KinematicsGenerator::new(KinematicsKind::CenterOut, 11).generate(400);
+        let max_r = states
+            .iter()
+            .map(|s| (s[0] * s[0] + s[1] * s[1]).sqrt())
+            .fold(0.0f64, f64::max);
+        assert!(max_r > 4.0, "reaches must leave the center, max radius {max_r}");
+        assert!(max_r < 30.0, "reaches must stay bounded, max radius {max_r}");
+    }
+
+    #[test]
+    fn foraging_is_slower_than_smooth_walk() {
+        let speed = |kind| {
+            let states = KinematicsGenerator::new(kind, 2).generate(1000);
+            states.iter().map(|s| (s[2] * s[2] + s[3] * s[3]).sqrt()).sum::<f64>() / 1000.0
+        };
+        assert!(speed(KinematicsKind::Foraging) < speed(KinematicsKind::SmoothWalk));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_dt() {
+        let _ = KinematicsGenerator::new(KinematicsKind::SmoothWalk, 0).with_dt(0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic BCI neural datasets for the KalmMind reproduction.
+//!
+//! The paper evaluates on three electrocorticography datasets that we cannot
+//! redistribute: the motor cortex of a non-human primate (Glaser et al.),
+//! the somatosensory cortex of an NHP (Benjamin et al.), and the hippocampus
+//! of a rat (Mizuseki et al.). This crate provides *synthetic equivalents*
+//! with the same dimensions and — crucially — the same two statistical
+//! properties the KalmMind technique exploits:
+//!
+//! 1. the KF model is identifiable by the Wu et al. least-squares fit
+//!    (linear tuning plus Gaussian-ish noise), and
+//! 2. measurements are strongly correlated across channels (spatially) and
+//!    across time (temporally), so consecutive innovation covariances
+//!    `S_n ≈ S_{n−1}` — the premise of the warm Newton seeds.
+//!
+//! Dataset dimensions follow Section V: motor `{x = 6, z = 164}`,
+//! somatosensory `{x = 6, z = 52}`, hippocampus `{x = 6, z = 46}`.
+//!
+//! # Example
+//!
+//! ```
+//! use kalmmind_neural::presets;
+//!
+//! # fn main() -> Result<(), kalmmind::KalmanError> {
+//! let dataset = presets::somatosensory(42).generate()?;
+//! assert_eq!(dataset.z_dim(), 52);
+//! let model = dataset.fit_model()?;          // Wu et al. least squares
+//! assert_eq!(model.z_dim(), 52);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dataset;
+mod encoding;
+mod kinematics;
+
+pub mod presets;
+
+pub use dataset::{Dataset, DatasetSpec};
+pub use encoding::{EncoderParams, NeuralEncoder};
+pub use kinematics::{KinematicsKind, KinematicsGenerator};

@@ -1,0 +1,115 @@
+//! The paper's three evaluation datasets as synthetic presets.
+//!
+//! Dimensions follow Section V exactly; the noise/correlation profiles are
+//! chosen so that (a) the NHP datasets share a statistical family while the
+//! rat dataset differs (the paper observes distinct accuracy ranges for the
+//! rat), and (b) channel and temporal correlations are strong, which is the
+//! property the KalmMind seed policies rely on.
+
+use crate::dataset::DatasetSpec;
+use crate::encoding::EncoderParams;
+use crate::kinematics::KinematicsKind;
+
+/// Default number of KF iterations evaluated per dataset (paper Section V:
+/// "we run the accelerator ... for 100 iterations").
+pub const TEST_ITERATIONS: usize = 100;
+
+/// Motor cortex of a non-human primate: `{x = 6, z = 164}`, center-out
+/// reaching. The largest dataset — the one Table III benchmarks.
+pub fn motor(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: "motor",
+        kinematics: KinematicsKind::CenterOut,
+        encoder: EncoderParams {
+            channels: 164,
+            noise_sd: 0.5,
+            independent_sd: 0.35,
+            spatial_corr_len: 6.0,
+            temporal_rho: 0.85,
+            tuning_gain: 0.6,
+        },
+        train_len: 400,
+        test_len: TEST_ITERATIONS,
+        seed,
+    }
+}
+
+/// Somatosensory cortex of an NHP: `{x = 6, z = 52}`, continuous smooth
+/// movement.
+pub fn somatosensory(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: "somatosensory",
+        kinematics: KinematicsKind::SmoothWalk,
+        encoder: EncoderParams {
+            channels: 52,
+            noise_sd: 0.6,
+            independent_sd: 0.4,
+            spatial_corr_len: 4.0,
+            temporal_rho: 0.8,
+            tuning_gain: 0.5,
+        },
+        train_len: 400,
+        test_len: TEST_ITERATIONS,
+        seed,
+    }
+}
+
+/// Hippocampus of a rat: `{x = 6, z = 46}`, open-field foraging. Slower
+/// dynamics, weaker tuning, and less channel correlation than the NHP
+/// cortical data — the paper sees a distinct accuracy band here.
+pub fn hippocampus(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: "hippocampus",
+        kinematics: KinematicsKind::Foraging,
+        encoder: EncoderParams {
+            channels: 46,
+            noise_sd: 1.0,
+            independent_sd: 0.7,
+            spatial_corr_len: 2.0,
+            temporal_rho: 0.6,
+            tuning_gain: 0.25,
+        },
+        train_len: 400,
+        test_len: TEST_ITERATIONS,
+        seed,
+    }
+}
+
+/// All three presets with a common seed, in the paper's order.
+pub fn all(seed: u64) -> [DatasetSpec; 3] {
+    [motor(seed), somatosensory(seed), hippocampus(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        assert_eq!(motor(0).encoder.channels, 164);
+        assert_eq!(somatosensory(0).encoder.channels, 52);
+        assert_eq!(hippocampus(0).encoder.channels, 46);
+    }
+
+    #[test]
+    fn test_split_is_100_iterations() {
+        for spec in all(0) {
+            assert_eq!(spec.test_len, 100);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = all(0).iter().map(|s| s.name).collect();
+        assert_eq!(names, ["motor", "somatosensory", "hippocampus"]);
+    }
+
+    #[test]
+    fn rat_profile_differs_from_nhp() {
+        let rat = hippocampus(0).encoder;
+        let nhp = motor(0).encoder;
+        assert!(rat.spatial_corr_len < nhp.spatial_corr_len);
+        assert!(rat.tuning_gain < nhp.tuning_gain);
+        assert!(rat.noise_sd > nhp.noise_sd);
+    }
+}

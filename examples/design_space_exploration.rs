@@ -1,0 +1,65 @@
+//! Design-space exploration: sweep the configuration grid on a dataset and
+//! print the latency/accuracy Pareto front (the paper's Fig. 5 flow on a
+//! smaller workload, so it finishes in seconds).
+//!
+//! Run with
+//! `cargo run --release -p kalmmind-bench --example design_space_exploration`.
+
+use kalmmind::inverse::CalcMethod;
+use kalmmind::sweep::{pareto_front, run_sweep, LatencyPoint, MetricKind};
+use kalmmind::{reference_filter, KalmMindConfig};
+use kalmmind_accel::design::catalog;
+use kalmmind_accel::CLOCK_HZ;
+use kalmmind_neural::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hippocampus is the smallest paper dataset (46 channels): a full grid
+    // sweep takes seconds.
+    let dataset = presets::hippocampus(42).generate()?;
+    let model = dataset.fit_model()?;
+    let init = dataset.initial_state();
+    let reference = reference_filter(&model, &init, dataset.test_measurements())?;
+
+    let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
+    println!("sweeping {} configurations on '{}'...", grid.len(), dataset.name());
+    let points = run_sweep(&model, &init, dataset.test_measurements(), &reference, &grid)?;
+
+    // Attach the accelerator latency model (78 MHz Gauss/Newton datapath).
+    let design = catalog::gauss_newton();
+    let iterations = reference.len();
+    let with_latency: Vec<LatencyPoint> = points
+        .into_iter()
+        .map(|point| {
+            let cycles: u64 = (0..iterations)
+                .map(|n| {
+                    design.iteration_cycles(
+                        model.x_dim(),
+                        model.z_dim(),
+                        n,
+                        point.config.approx(),
+                        point.config.calc_freq(),
+                    )
+                })
+                .sum();
+            LatencyPoint { point, latency_s: cycles as f64 / CLOCK_HZ }
+        })
+        .collect();
+
+    let front = pareto_front(&with_latency, MetricKind::Mse);
+    println!("\nPareto-optimal configurations (latency ↑, accuracy ↑):");
+    println!("{:<30} {:>12} {:>12}", "config", "latency [s]", "MSE");
+    for lp in &front {
+        println!(
+            "{:<30} {:>12.4} {:>12.3e}",
+            lp.point.config.label(),
+            lp.latency_s,
+            lp.point.report.mse
+        );
+    }
+    println!(
+        "\n{} of {} swept configurations are Pareto-optimal.",
+        front.len(),
+        with_latency.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Motor-cortex decoding: the paper's headline workload end to end.
+//!
+//! Generates the synthetic motor dataset ({x = 6, z = 164} — the dimensions
+//! of the paper's NHP motor-cortex recordings), trains the KF, and compares
+//! three operating points of the tunable Gauss/Newton filter against the
+//! exact reference: fastest, balanced, and most accurate.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --example motor_decoding`.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::metrics::compare;
+use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
+use kalmmind_neural::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("generating the synthetic motor dataset (164 channels)...");
+    let dataset = presets::motor(42).generate()?;
+    let model = dataset.fit_model()?;
+    let init = dataset.initial_state();
+
+    println!("running the f64/LU reference (the NumPy stand-in)...");
+    let reference = reference_filter(&model, &init, dataset.test_measurements())?;
+
+    // Decode quality of the reference itself vs ground-truth kinematics:
+    // this is what the prosthesis user experiences.
+    let decode = compare(&reference, dataset.test_states());
+    println!("reference decode error vs ground truth: MSE = {:.3}", decode.mse);
+
+    let operating_points = [
+        ("fastest   (approx=1, calc_freq=0)", 1usize, 0u32),
+        ("balanced  (approx=2, calc_freq=4)", 2, 4),
+        ("accurate  (approx=6, calc_freq=2)", 6, 2),
+    ];
+
+    println!("\n{:<38} {:>12} {:>14}", "operating point", "MSE vs ref", "max diff (%)");
+    for (label, approx, calc_freq) in operating_points {
+        let config = KalmMindConfig::builder().approx(approx).calc_freq(calc_freq).build()?;
+        let mut kf = KalmanFilter::new(
+            model.clone(),
+            init.clone(),
+            InverseGain::new(config.build_inverse::<f64>()),
+        );
+        let outputs = kf.run(dataset.test_measurements().iter())?;
+        let report = compare(&outputs, &reference);
+        println!("{label:<38} {:>12.3e} {:>14.5}", report.mse, report.max_diff_pct);
+    }
+
+    println!("\nEvery operating point uses the same hardware; only the three");
+    println!("computation registers (approx, calc_freq, policy) change.");
+    Ok(())
+}

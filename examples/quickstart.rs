@@ -1,0 +1,62 @@
+//! Quickstart: decode a (tiny) neural stream with a tunable KalmMind filter.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --example quickstart`.
+
+use kalmmind::inverse::SeedPolicy;
+use kalmmind::{KalmMindConfig, KalmanFilter};
+use kalmmind_neural::{DatasetSpec, EncoderParams, KinematicsKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic BCI dataset: 16 channels observing 6 kinematic
+    //    states (position / velocity / acceleration of two axes).
+    let spec = DatasetSpec {
+        name: "quickstart",
+        kinematics: KinematicsKind::SmoothWalk,
+        encoder: EncoderParams {
+            channels: 16,
+            noise_sd: 0.4,
+            independent_sd: 0.3,
+            spatial_corr_len: 3.0,
+            temporal_rho: 0.7,
+            tuning_gain: 0.8,
+        },
+        train_len: 300,
+        test_len: 50,
+        seed: 7,
+    };
+    let dataset = spec.generate()?;
+
+    // 2. Train the KF model from paired kinematics + neural data
+    //    (Wu et al. least squares).
+    let model = dataset.fit_model()?;
+    println!(
+        "trained model: x_dim = {}, z_dim = {} channels",
+        model.x_dim(),
+        model.z_dim()
+    );
+
+    // 3. Program the KalmMind computation registers: two Newton internal
+    //    iterations, exact calculation every 4th KF iteration, seeding from
+    //    the last calculated inverse (Eq. 5).
+    let config = KalmMindConfig::builder()
+        .approx(2)
+        .calc_freq(4)
+        .policy(SeedPolicy::LastCalculated)
+        .build()?;
+    let mut kf = KalmanFilter::with_config(model, dataset.initial_state(), &config)?;
+
+    // 4. Decode the test stream in real time, one measurement per 50 ms bin.
+    println!("\n  bin   vel_x(est)  vel_x(true)");
+    for (t, z) in dataset.test_measurements().iter().enumerate() {
+        let state = kf.step(z)?;
+        if t % 10 == 0 {
+            println!(
+                "{t:>5}   {:>10.4}  {:>11.4}",
+                state.x()[2],
+                dataset.test_states()[t][2]
+            );
+        }
+    }
+    println!("\nstrategy: {}, {} iterations run", kf.strategy_name(), kf.iteration());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! SoC simulation: program the accelerator's memory-mapped registers like
+//! the Linux driver does, invoke three different designs on the same neural
+//! stream, and compare modeled latency/energy/resources against the
+//! software baselines.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --example soc_simulation`.
+
+use kalmmind_accel::design::catalog;
+use kalmmind_accel::registers::{RegAddr, RegisterFile};
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_accel::soc::{kf_software_flops, CpuModel, InvocationOverhead};
+use kalmmind_neural::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The somatosensory dataset: 52 channels, quick to simulate.
+    let dataset = presets::somatosensory(42).generate()?;
+    let model = dataset.fit_model()?;
+    let init = dataset.initial_state();
+    let zs = dataset.test_measurements();
+
+    // Program the 7 CSRs exactly as the ESP driver would.
+    let mut regs = RegisterFile::new();
+    regs.write(RegAddr::XDim, model.x_dim() as u32);
+    regs.write(RegAddr::ZDim, model.z_dim() as u32);
+    regs.write(RegAddr::Chunks, 10);
+    regs.write(RegAddr::Batches, 10);
+    regs.write(RegAddr::Approx, 2);
+    regs.write(RegAddr::CalcFreq, 4);
+    regs.write(RegAddr::Policy, 0);
+    let config = regs.validate()?;
+    println!(
+        "programmed registers: x_dim={}, z_dim={}, {} iterations per invocation",
+        config.x_dim,
+        config.z_dim,
+        config.total_iterations()
+    );
+
+    let overhead = InvocationOverhead::default();
+    println!(
+        "driver invocation overhead: {:.1} us\n",
+        overhead.latency_s() * 1e6
+    );
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>11} {:>9} {:>9}",
+        "design", "latency[s]", "energy[J]", "power[W]", "LUT", "DSP"
+    );
+    for design in [catalog::gauss_newton(), catalog::lite(), catalog::sskf()] {
+        let sim = AccelSim::new(design);
+        let report = sim.run(&model, &init, zs, &config)?;
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>11.3} {:>9} {:>9}",
+            design.name,
+            report.latency_s + overhead.latency_s(),
+            report.energy_j,
+            report.power_w,
+            report.resources.lut,
+            report.resources.dsp
+        );
+    }
+
+    let flops = zs.len() as u64 * kf_software_flops(model.x_dim(), model.z_dim());
+    for cpu in [CpuModel::intel_i7(), CpuModel::cva6()] {
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>11.3} {:>9} {:>9}",
+            cpu.name,
+            cpu.latency_s(flops),
+            cpu.energy_j(flops),
+            cpu.power_w,
+            "-",
+            "-"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,195 @@
+//! Integration of the accelerator model with the neural datasets: driver
+//! register flow, numeric equivalence with the software filter, and the
+//! energy/latency orderings Table III relies on.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::SeedPolicy;
+use kalmmind::metrics::compare;
+use kalmmind::{reference_filter, KalmanFilter};
+use kalmmind_accel::design::catalog;
+use kalmmind_accel::registers::{AcceleratorConfig, RegAddr, RegisterFile};
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_neural::{Dataset, DatasetSpec, EncoderParams, KinematicsKind};
+
+fn dataset(seed: u64) -> Dataset {
+    DatasetSpec {
+        name: "accel-integration",
+        kinematics: KinematicsKind::SmoothWalk,
+        encoder: EncoderParams {
+            channels: 18,
+            noise_sd: 0.4,
+            independent_sd: 0.3,
+            spatial_corr_len: 3.0,
+            temporal_rho: 0.75,
+            tuning_gain: 0.7,
+        },
+        train_len: 250,
+        test_len: 50,
+        seed,
+    }
+    .generate()
+    .expect("dataset generation")
+}
+
+fn config(z_dim: usize, approx: usize, calc_freq: u32) -> AcceleratorConfig {
+    AcceleratorConfig {
+        x_dim: 6,
+        z_dim,
+        chunks: 10,
+        batches: 5,
+        approx,
+        calc_freq,
+        policy: SeedPolicy::LastCalculated,
+    }
+}
+
+#[test]
+fn driver_register_flow_reaches_the_simulator() {
+    let ds = dataset(31);
+    let model = ds.fit_model().expect("fit");
+
+    let mut regs = RegisterFile::new();
+    regs.write(RegAddr::XDim, 6);
+    regs.write(RegAddr::ZDim, model.z_dim() as u32);
+    regs.write(RegAddr::Chunks, 10);
+    regs.write(RegAddr::Batches, 5);
+    regs.write(RegAddr::Approx, 2);
+    regs.write(RegAddr::CalcFreq, 4);
+    regs.write(RegAddr::Policy, 1);
+    let cfg = regs.validate().expect("valid registers");
+
+    let report = AccelSim::new(catalog::gauss_newton())
+        .run(&model, &ds.initial_state(), ds.test_measurements(), &cfg)
+        .expect("invocation");
+    assert_eq!(report.outputs.len(), 50);
+    assert!(report.latency_s > 0.0);
+}
+
+#[test]
+fn fp32_accelerator_matches_f32_software_filter_bitwise_in_outputs() {
+    // The simulator must be *numerically faithful*: its fp32 datapath is the
+    // same computation as the f32 software filter with the same strategy.
+    let ds = dataset(37);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let cfg = config(model.z_dim(), 2, 4);
+
+    let report = AccelSim::new(catalog::gauss_newton())
+        .run(&model, &init, ds.test_measurements(), &cfg)
+        .expect("sim run");
+
+    let model32: kalmmind::KalmanModel<f32> = model.cast();
+    let init32: kalmmind::KalmanState<f32> = init.cast();
+    let kc = cfg.to_kalmmind_config(kalmmind::inverse::CalcMethod::Gauss).expect("config");
+    let mut kf = KalmanFilter::new(model32, init32, InverseGain::new(kc.build_inverse::<f32>()));
+    let mut expected = Vec::new();
+    for z in ds.test_measurements() {
+        let z32: kalmmind_linalg::Vector<f32> = z.cast();
+        expected.push(kf.step(&z32).expect("step").x().cast::<f64>());
+    }
+
+    for (a, b) in report.outputs.iter().zip(&expected) {
+        assert_eq!(a.max_abs_diff(b), 0.0, "simulator must equal the f32 software filter");
+    }
+}
+
+#[test]
+fn accelerator_accuracy_tracks_the_reference() {
+    let ds = dataset(41);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+    let report = AccelSim::new(catalog::gauss_newton())
+        .run(&model, &init, ds.test_measurements(), &config(model.z_dim(), 2, 4))
+        .expect("sim run");
+    let score = compare(&report.outputs, &reference);
+    assert!(score.mse < 1e-6, "fp32 accelerator out of band: {score:?}");
+}
+
+#[test]
+fn energy_ordering_matches_table3() {
+    let ds = dataset(43);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let zs = ds.test_measurements();
+    let z = model.z_dim();
+
+    let energy = |design, approx, calc_freq| {
+        AccelSim::new(design)
+            .run(&model, &init, zs, &config(z, approx, calc_freq))
+            .expect("run")
+            .energy_j
+    };
+
+    let sskf = energy(catalog::sskf(), 1, 1);
+    let taylor = energy(catalog::taylor(), 1, 1);
+    let lite = energy(catalog::lite(), 1, 0);
+    let gauss_newton_fast = energy(catalog::gauss_newton(), 1, 0);
+    let gauss_only = energy(catalog::gauss_only(), 1, 1);
+
+    assert!(sskf < taylor, "SSKF {sskf} must beat Taylor {taylor}");
+    assert!(taylor < lite, "Taylor {taylor} must beat LITE {lite}");
+    assert!(lite < gauss_only, "LITE {lite} must beat Gauss-Only {gauss_only}");
+    assert!(
+        gauss_newton_fast < gauss_only,
+        "approximating Gauss/Newton {gauss_newton_fast} must beat Gauss-Only {gauss_only}"
+    );
+}
+
+#[test]
+fn latency_rises_with_approx_register() {
+    let ds = dataset(47);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let zs = ds.test_measurements();
+    let sim = AccelSim::new(catalog::gauss_newton());
+
+    let mut last = 0.0;
+    for approx in [1usize, 2, 4, 6] {
+        let report = sim
+            .run(&model, &init, zs, &config(model.z_dim(), approx, 0))
+            .expect("run");
+        assert!(
+            report.latency_s > last,
+            "latency must grow with approx: {} then {}",
+            last,
+            report.latency_s
+        );
+        last = report.latency_s;
+    }
+}
+
+#[test]
+fn chunks_batches_shape_dma_but_not_results() {
+    let ds = dataset(53);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let zs = ds.test_measurements();
+    let sim = AccelSim::new(catalog::gauss_newton());
+
+    let base = config(model.z_dim(), 2, 4);
+    let fine = AcceleratorConfig { chunks: 1, batches: 50, ..base };
+    let coarse = AcceleratorConfig { chunks: 25, batches: 2, ..base };
+
+    let r_fine = sim.run(&model, &init, zs, &fine).expect("fine");
+    let r_coarse = sim.run(&model, &init, zs, &coarse).expect("coarse");
+
+    // Same numerics...
+    for (a, b) in r_fine.outputs.iter().zip(&r_coarse.outputs) {
+        assert_eq!(a.max_abs_diff(b), 0.0);
+    }
+    // ...but more transactions and more DMA cycles for the fine layout.
+    assert!(r_fine.dma.transactions > r_coarse.dma.transactions);
+    assert!(r_fine.cycles.load > r_coarse.cycles.load);
+    assert_eq!(r_fine.dma.words_in, r_coarse.dma.words_in);
+}
+
+#[test]
+fn all_designs_stay_under_the_ban_power_budget() {
+    let ds = dataset(59);
+    let model = ds.fit_model().expect("fit");
+    for design in catalog::table3() {
+        let p = design.power_w(6, model.z_dim(), 10);
+        assert!(p < kalmmind_accel::power::BAN_POWER_LIMIT_W * 1.5, "{}: {p} W", design.name);
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration: dataset generation → model training → filtering
+//! with every strategy family → accuracy scoring.
+//!
+//! Uses a reduced channel count so the whole file runs quickly in debug
+//! builds; the paper-scale dimensions are exercised by the release-mode
+//! experiment binaries.
+
+use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
+use kalmmind::inverse::{
+    CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy,
+};
+use kalmmind::metrics::compare;
+use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
+use kalmmind_neural::{Dataset, DatasetSpec, EncoderParams, KinematicsKind};
+
+fn small_dataset(seed: u64) -> Dataset {
+    DatasetSpec {
+        name: "integration",
+        kinematics: KinematicsKind::SmoothWalk,
+        encoder: EncoderParams {
+            channels: 20,
+            noise_sd: 0.4,
+            independent_sd: 0.3,
+            spatial_corr_len: 3.0,
+            temporal_rho: 0.75,
+            tuning_gain: 0.7,
+        },
+        train_len: 250,
+        test_len: 60,
+        seed,
+    }
+    .generate()
+    .expect("dataset generation")
+}
+
+#[test]
+fn trained_filter_decodes_better_than_prior() {
+    let ds = small_dataset(11);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let outputs =
+        reference_filter(&model, &init, ds.test_measurements()).expect("reference run");
+
+    // The decoded velocity must correlate with ground truth far better than
+    // a constant prediction would.
+    let truth = ds.test_states();
+    let (mut err_filter, mut err_const) = (0.0, 0.0);
+    for (out, t) in outputs.iter().zip(truth) {
+        err_filter += (out[2] - t[2]).powi(2);
+        err_const += t[2].powi(2); // predicting zero velocity
+    }
+    assert!(
+        err_filter < err_const * 0.6,
+        "decoding must beat the zero predictor: {err_filter} vs {err_const}"
+    );
+}
+
+#[test]
+fn every_strategy_family_runs_the_same_dataset() {
+    let ds = small_dataset(13);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    let strategies: Vec<(&str, Box<dyn GainStrategy<f64>>)> = vec![
+        ("gauss", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss)))),
+        ("cholesky", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Cholesky)))),
+        ("qr", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Qr)))),
+        (
+            "interleaved",
+            Box::new(InverseGain::new(InterleavedInverse::new(
+                CalcMethod::Gauss,
+                2,
+                4,
+                SeedPolicy::LastCalculated,
+            ))),
+        ),
+        ("newton", Box::new(InverseGain::new(NewtonInverse::new(3)))),
+        ("taylor", Box::new(TaylorGain::new())),
+        (
+            "sskf",
+            Box::new(
+                SskfGain::train(&model, init.p(), CalcMethod::Lu, 200).expect("sskf training"),
+            ),
+        ),
+        ("ifkf", Box::new(IfkfGain::new())),
+    ];
+
+    for (name, gain) in strategies {
+        let mut kf = KalmanFilter::new(model.clone(), init.clone(), gain);
+        let outputs = kf.run(ds.test_measurements().iter()).expect(name);
+        assert_eq!(outputs.len(), reference.len(), "{name}");
+        let report = compare(&outputs, &reference);
+        // Exact methods match tightly; approximations stay in a sane band;
+        // IFKF is allowed to be terrible but the run itself must complete.
+        match name {
+            "gauss" | "cholesky" | "qr" => {
+                assert!(report.mse < 1e-18, "{name} must match the reference: {report:?}")
+            }
+            "interleaved" | "newton" => {
+                assert!(report.mse < 1e-3, "{name} out of band: {report:?}")
+            }
+            "taylor" | "sskf" => {
+                assert!(report.mse < 1.0, "{name} out of band: {report:?}")
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn accuracy_orders_exact_then_newton_then_steady_state() {
+    let ds = small_dataset(17);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    let run = |gain: Box<dyn GainStrategy<f64>>| {
+        let mut kf = KalmanFilter::new(model.clone(), init.clone(), gain);
+        let outputs = kf.run(ds.test_measurements().iter()).expect("run");
+        compare(&outputs, &reference).mse
+    };
+    let exact = run(Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))));
+    let newton = run(Box::new(InverseGain::new(NewtonInverse::new(3))));
+    let sskf = run(Box::new(
+        SskfGain::train(&model, init.p(), CalcMethod::Lu, 200).expect("training"),
+    ));
+    assert!(exact < newton, "exact {exact} must beat newton {newton}");
+    assert!(newton < sskf, "newton {newton} must beat steady-state {sskf}");
+}
+
+#[test]
+fn config_grid_spans_orders_of_magnitude_of_accuracy() {
+    let ds = small_dataset(19);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
+    let points =
+        kalmmind::sweep::run_sweep(&model, &init, ds.test_measurements(), &reference, &grid)
+            .expect("sweep");
+    let finite: Vec<f64> = points
+        .iter()
+        .filter(|p| p.report.is_finite())
+        .map(|p| p.report.mse.max(1e-300))
+        .collect();
+    assert!(finite.len() > grid.len() / 2, "most configurations must succeed");
+    let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min > 1e4,
+        "tunable accuracy must span orders of magnitude: {min:.3e}..{max:.3e}"
+    );
+}
+
+#[test]
+fn both_seed_policies_are_usable_across_the_grid() {
+    let ds = small_dataset(23);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    for policy in [SeedPolicy::LastCalculated, SeedPolicy::PreviousIteration] {
+        let config = KalmMindConfig::builder()
+            .approx(2)
+            .calc_freq(5)
+            .policy(policy)
+            .build()
+            .expect("valid config");
+        let mut kf =
+            KalmanFilter::with_config(model.clone(), init.clone(), &config).expect("filter");
+        let outputs = kf.run(ds.test_measurements().iter()).expect("run");
+        let report = compare(&outputs, &reference);
+        assert!(report.mse < 1e-2, "{policy:?} out of band: {report:?}");
+    }
+}
+
+#[test]
+fn fixed_point_model_cast_round_trips_through_filter() {
+    use kalmmind_fixed::Q32_32;
+    use kalmmind_linalg::Vector;
+
+    let ds = small_dataset(29);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    let model_fx: kalmmind::KalmanModel<Q32_32> = model.cast();
+    let init_fx: kalmmind::KalmanState<Q32_32> = init.cast();
+    let mut kf = KalmanFilter::gauss(model_fx, init_fx);
+    let mut outputs = Vec::new();
+    for z in ds.test_measurements() {
+        let z_fx: Vector<Q32_32> = z.cast();
+        outputs.push(kf.step(&z_fx).expect("fx step").x().cast::<f64>());
+    }
+    let report = compare(&outputs, &reference);
+    assert!(report.mse < 1e-6, "Q32.32 must track the f64 reference: {report:?}");
+}

@@ -1,0 +1,205 @@
+//! Fast, debug-friendly checks of the paper's qualitative claims, on
+//! reduced-dimension workloads (the full-dimension versions live in the
+//! release-mode experiment binaries).
+
+use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
+use kalmmind::inverse::{CalcInverse, CalcMethod, NewtonInverse, SeedPolicy};
+use kalmmind::metrics::compare;
+use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
+use kalmmind_neural::{Dataset, DatasetSpec, EncoderParams, KinematicsKind};
+
+fn correlated_dataset(seed: u64) -> Dataset {
+    DatasetSpec {
+        name: "claims",
+        kinematics: KinematicsKind::CenterOut,
+        encoder: EncoderParams {
+            channels: 24,
+            noise_sd: 0.5,
+            independent_sd: 0.35,
+            spatial_corr_len: 5.0,
+            temporal_rho: 0.85,
+            tuning_gain: 0.6,
+        },
+        train_len: 300,
+        test_len: 60,
+        seed,
+    }
+    .generate()
+    .expect("dataset")
+}
+
+fn mse_of(ds: &Dataset, gain: Box<dyn GainStrategy<f64>>) -> f64 {
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+    let mut kf = KalmanFilter::new(model, init, gain);
+    match kf.run(ds.test_measurements().iter()) {
+        Ok(outputs) => compare(&outputs, &reference).mse,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Table I ordering: Gauss < Newton < {Taylor, SSKF} << IFKF.
+#[test]
+fn table1_method_ordering() {
+    let ds = correlated_dataset(61);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+
+    let gauss = mse_of(&ds, Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))));
+    let newton = mse_of(&ds, Box::new(InverseGain::new(NewtonInverse::new(3))));
+    let taylor = mse_of(&ds, Box::new(TaylorGain::<f64>::new()));
+    let sskf = mse_of(
+        &ds,
+        Box::new(SskfGain::train(&model, init.p(), CalcMethod::Lu, 200).expect("training")),
+    );
+    let ifkf = mse_of(&ds, Box::new(IfkfGain::new()));
+
+    assert!(gauss < newton, "gauss {gauss} vs newton {newton}");
+    // Taylor's fixed base point may even diverge on a small drifting
+    // workload (infinite MSE is a legal "worst tier" outcome); it must never
+    // beat the self-correcting Newton path.
+    assert!(newton < taylor, "newton {newton} vs taylor {taylor}");
+    assert!(newton < sskf, "newton {newton} vs sskf {sskf}");
+    assert!(ifkf > 1e3 * newton, "ifkf {ifkf} must be far worse than newton {newton}");
+    assert!(ifkf > 10.0 * sskf, "ifkf {ifkf} must be far worse than sskf {sskf}");
+}
+
+/// Section III: the warm seed policies converge in far fewer Newton
+/// iterations than the cold-start safe seed.
+#[test]
+fn warm_seeds_exploit_temporal_correlation() {
+    use kalmmind::gain::innovation_covariance;
+    use kalmmind_linalg::{decomp, iterative, norms, Matrix};
+
+    let ds = correlated_dataset(67);
+    let model = ds.fit_model().expect("fit");
+    // Two consecutive S matrices from the filter.
+    let p0: Matrix<f64> = Matrix::identity(6).scale(0.01);
+    let s0 = innovation_covariance(&model, &p0).expect("S0");
+    let p1 = Matrix::identity(6).scale(0.012); // the settling covariance moved a bit
+    let s1 = innovation_covariance(&model, &p1).expect("S1");
+
+    let warm = decomp::lu::invert(&s0).expect("inverse");
+    let cold = iterative::safe_seed(&s1).expect("seed");
+    let warm_resid = norms::inverse_residual(&s1, &warm);
+    let cold_resid = norms::inverse_residual(&s1, &cold);
+    assert!(warm_resid < 1.0, "warm seed must certify Eq. 3: {warm_resid}");
+    assert!(
+        warm_resid < cold_resid / 10.0,
+        "warm {warm_resid} must dominate cold {cold_resid}"
+    );
+}
+
+/// Section V: a configuration exists that *beats* the all-Gauss baseline,
+/// because Newton avoids the division error of Gauss.
+#[test]
+fn some_configuration_beats_the_gauss_baseline() {
+    let ds = correlated_dataset(71);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    let mut gauss = KalmanFilter::gauss(model.clone(), init.clone());
+    let baseline = compare(
+        &gauss.run(ds.test_measurements().iter()).expect("baseline"),
+        &reference,
+    );
+
+    let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
+    let points =
+        kalmmind::sweep::run_sweep(&model, &init, ds.test_measurements(), &reference, &grid)
+            .expect("sweep");
+    let best = points
+        .iter()
+        .filter(|p| p.report.is_finite())
+        .map(|p| p.report.mse)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best <= baseline.mse,
+        "the grid must contain a configuration at least as good as the baseline: \
+         best {best} vs baseline {}",
+        baseline.mse
+    );
+}
+
+/// Section III: the two seed policies trade off differently. With frequent
+/// calculation both track; with calculation only at the first iteration
+/// (calc_freq = 0), Eq. 4 (previous iteration) follows the drifting S while
+/// Eq. 5's frozen first inverse falls behind — the reason the paper
+/// evaluates both and reports the better per cell.
+#[test]
+fn seed_policies_trade_off_as_described() {
+    let ds = correlated_dataset(73);
+    let model = ds.fit_model().expect("fit");
+    let init = ds.initial_state();
+    let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+
+    let run = |approx: usize, calc_freq: u32, policy| {
+        let config = KalmMindConfig::builder()
+            .approx(approx)
+            .calc_freq(calc_freq)
+            .policy(policy)
+            .build()
+            .expect("config");
+        let mut kf =
+            KalmanFilter::with_config(model.clone(), init.clone(), &config).expect("filter");
+        match kf.run(ds.test_measurements().iter()) {
+            Ok(outputs) => compare(&outputs, &reference).mse,
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    // Frequent calculation: both policies stay in band.
+    for (approx, calc_freq) in [(1usize, 3u32), (2, 6)] {
+        let eq5 = run(approx, calc_freq, SeedPolicy::LastCalculated);
+        let eq4 = run(approx, calc_freq, SeedPolicy::PreviousIteration);
+        assert!(eq5.is_finite(), "Eq.5 must survive calc_freq={calc_freq}");
+        assert!(eq4.is_finite(), "Eq.4 must survive calc_freq={calc_freq}");
+    }
+
+    // Calculation only at iteration 0: the tracking policy must not lose to
+    // the frozen one.
+    let eq5 = run(2, 0, SeedPolicy::LastCalculated);
+    let eq4 = run(2, 0, SeedPolicy::PreviousIteration);
+    assert!(
+        eq4 <= eq5 || !eq5.is_finite(),
+        "Eq.4 must track a drifting S at calc_freq=0: eq4={eq4}, eq5={eq5}"
+    );
+}
+
+/// The datasets differ: the rat hippocampus profile produces a different
+/// accuracy band from the NHP profiles under the same configuration.
+#[test]
+fn datasets_have_distinct_accuracy_profiles() {
+    let motor = kalmmind_neural::presets::motor(3);
+    let hippo = kalmmind_neural::presets::hippocampus(3);
+    // Same configuration, two datasets, reduced channel counts for speed.
+    let shrink = |mut spec: DatasetSpec| {
+        spec.encoder.channels = 20;
+        spec.train_len = 250;
+        spec.test_len = 50;
+        spec
+    };
+    let cfg = KalmMindConfig::builder()
+        .approx(2)
+        .calc_freq(4)
+        .policy(SeedPolicy::PreviousIteration)
+        .build()
+        .expect("config");
+    let mse = |spec: DatasetSpec| {
+        let ds = spec.generate().expect("dataset");
+        let model = ds.fit_model().expect("fit");
+        let init = ds.initial_state();
+        let reference =
+            reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+        kalmmind::sweep::evaluate_config(&model, &init, ds.test_measurements(), &reference, &cfg)
+            .report
+            .mse
+    };
+    let m = mse(shrink(motor));
+    let h = mse(shrink(hippo));
+    assert!(m.is_finite() && h.is_finite());
+    let ratio = (m / h).max(h / m);
+    assert!(ratio > 2.0, "profiles must differ measurably: motor {m}, hippocampus {h}");
+}
