@@ -32,10 +32,25 @@ impl Datatype {
     pub fn latency(self) -> OpLatency {
         match self {
             // Vivado HLS-class fp32 cores at ~78 MHz.
-            Self::Fp32 => OpLatency { add: 8, mul: 4, div: 28, sqrt: 28 },
+            Self::Fp32 => OpLatency {
+                add: 8,
+                mul: 4,
+                div: 28,
+                sqrt: 28,
+            },
             // Integer datapaths: cheap add/mul, long iterative div/sqrt.
-            Self::Fx32 => OpLatency { add: 1, mul: 3, div: 38, sqrt: 38 },
-            Self::Fx64 => OpLatency { add: 2, mul: 6, div: 70, sqrt: 70 },
+            Self::Fx32 => OpLatency {
+                add: 1,
+                mul: 3,
+                div: 38,
+                sqrt: 38,
+            },
+            Self::Fx64 => OpLatency {
+                add: 2,
+                mul: 6,
+                div: 70,
+                sqrt: 70,
+            },
         }
     }
 
@@ -90,7 +105,7 @@ pub fn gauss_inverse_cycles(n: usize, lat: OpLatency) -> u64 {
     let n64 = n as u64;
     let per_pivot = n64            // pivot search
         + n64 + lat.div            // row normalization (one reciprocal stall)
-        + 2 * n64 * n64;           // elimination over [A | I]
+        + 2 * n64 * n64; // elimination over [A | I]
     n64 * per_pivot + 64 // control epilogue
 }
 
@@ -130,8 +145,8 @@ pub fn newton_cycles(n: usize, iters: usize, lat: OpLatency) -> u64 {
 pub fn taylor_gain_cycles(n: usize, x_dim: usize, order: usize, lat: OpLatency) -> u64 {
     let n64 = n as u64;
     let diag = n64 + lat.div; // D⁻¹, pipelined reciprocals
-    // Each series term multiplies the current x×n partial gain by an n×n
-    // operator on the shared MAC array.
+                              // Each series term multiplies the current x×n partial gain by an n×n
+                              // operator on the shared MAC array.
     let per_term = matmul_cycles(x_dim, n, n, NEWTON_MACS, lat);
     diag + (order as u64 + 1) * per_term
 }
@@ -151,7 +166,7 @@ pub fn kf_common_cycles(x_dim: usize, z_dim: usize, lat: OpLatency) -> u64 {
         + matmul_cycles(x, 1, z, 1, lat)      // K·y
         + matmul_cycles(x, x, z, 1, lat)      // K·H
         + matmul_cycles(x, x, x, 1, lat)      // (I−K·H)·P
-        + z as u64                            // y subtract, pipelined
+        + z as u64 // y subtract, pipelined
 }
 
 /// Cycles of one constant-gain SSKF iteration (no covariance, no `S`).
@@ -160,14 +175,19 @@ pub fn sskf_iteration_cycles(x_dim: usize, z_dim: usize, lat: OpLatency) -> u64 
         + matmul_cycles(z_dim, 1, x_dim, 1, lat) // H·x_pred
         + z_dim as u64                         // innovation subtract
         + matmul_cycles(x_dim, 1, z_dim, 1, lat) // K_const·y
-        + x_dim as u64                         // state add
+        + x_dim as u64 // state add
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const FP: OpLatency = OpLatency { add: 8, mul: 4, div: 28, sqrt: 28 };
+    const FP: OpLatency = OpLatency {
+        add: 8,
+        mul: 4,
+        div: 28,
+        sqrt: 28,
+    };
 
     #[test]
     fn matmul_parallelism_divides_inner_loop() {
@@ -231,9 +251,15 @@ mod tests {
         let lite_ish = (newton_cycles(n, 1, FP) + common) * 100;
         let gauss_only_s = gauss_only as f64 / clock;
         let lite_s = lite_ish as f64 / clock;
-        assert!((5.0..30.0).contains(&gauss_only_s), "gauss-only {gauss_only_s} s");
+        assert!(
+            (5.0..30.0).contains(&gauss_only_s),
+            "gauss-only {gauss_only_s} s"
+        );
         assert!((0.5..5.0).contains(&lite_s), "newton-1 {lite_s} s");
-        assert!(gauss_only_s > 5.0, "Gauss-Only must miss the 5 s real-time bar");
+        assert!(
+            gauss_only_s > 5.0,
+            "Gauss-Only must miss the 5 s real-time bar"
+        );
         assert!(lite_s < 5.0, "the approximation path must meet real time");
     }
 

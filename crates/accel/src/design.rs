@@ -129,8 +129,7 @@ impl Design {
                 cost::kf_common_cycles(x_dim, z_dim, lat) + calc_cycles(calc, z_dim, lat)
             }
             DesignKind::Lite | DesignKind::SskfNewton => {
-                cost::kf_common_cycles(x_dim, z_dim, lat)
-                    + cost::newton_cycles(z_dim, approx, lat)
+                cost::kf_common_cycles(x_dim, z_dim, lat) + cost::newton_cycles(z_dim, approx, lat)
             }
             DesignKind::Sskf => cost::sskf_iteration_cycles(x_dim, z_dim, lat),
             DesignKind::Taylor { order } => {
@@ -174,7 +173,9 @@ pub mod catalog {
     pub fn gauss_newton() -> Design {
         Design {
             name: "Gauss/Newton",
-            kind: DesignKind::CalcApprox { calc: CalcMethod::Gauss },
+            kind: DesignKind::CalcApprox {
+                calc: CalcMethod::Gauss,
+            },
             datatype: Datatype::Fp32,
         }
     }
@@ -183,7 +184,9 @@ pub mod catalog {
     pub fn cholesky_newton() -> Design {
         Design {
             name: "Cholesky/Newton",
-            kind: DesignKind::CalcApprox { calc: CalcMethod::Cholesky },
+            kind: DesignKind::CalcApprox {
+                calc: CalcMethod::Cholesky,
+            },
             datatype: Datatype::Fp32,
         }
     }
@@ -192,7 +195,9 @@ pub mod catalog {
     pub fn qr_newton() -> Design {
         Design {
             name: "QR/Newton",
-            kind: DesignKind::CalcApprox { calc: CalcMethod::Qr },
+            kind: DesignKind::CalcApprox {
+                calc: CalcMethod::Qr,
+            },
             datatype: Datatype::Fp32,
         }
     }
@@ -201,7 +206,9 @@ pub mod catalog {
     pub fn gauss_newton_fx32() -> Design {
         Design {
             name: "Gauss/Newton FX32",
-            kind: DesignKind::CalcApprox { calc: CalcMethod::Gauss },
+            kind: DesignKind::CalcApprox {
+                calc: CalcMethod::Gauss,
+            },
             datatype: Datatype::Fx32,
         }
     }
@@ -210,41 +217,65 @@ pub mod catalog {
     pub fn gauss_newton_fx64() -> Design {
         Design {
             name: "Gauss/Newton FX64",
-            kind: DesignKind::CalcApprox { calc: CalcMethod::Gauss },
+            kind: DesignKind::CalcApprox {
+                calc: CalcMethod::Gauss,
+            },
             datatype: Datatype::Fx64,
         }
     }
 
     /// LITE — Newton with one internal iteration and a pre-computed seed.
     pub fn lite() -> Design {
-        Design { name: "LITE", kind: DesignKind::Lite, datatype: Datatype::Fp32 }
+        Design {
+            name: "LITE",
+            kind: DesignKind::Lite,
+            datatype: Datatype::Fp32,
+        }
     }
 
     /// LITE with the 64-bit fixed-point datapath.
     pub fn lite_fx64() -> Design {
-        Design { name: "LITE FX64", kind: DesignKind::Lite, datatype: Datatype::Fx64 }
+        Design {
+            name: "LITE FX64",
+            kind: DesignKind::Lite,
+            datatype: Datatype::Fx64,
+        }
     }
 
     /// SSKF/Newton — constant `S⁻¹` with optional Newton refinement.
     pub fn sskf_newton() -> Design {
-        Design { name: "SSKF/Newton", kind: DesignKind::SskfNewton, datatype: Datatype::Fp32 }
+        Design {
+            name: "SSKF/Newton",
+            kind: DesignKind::SskfNewton,
+            datatype: Datatype::Fp32,
+        }
     }
 
     /// SSKF — constant gain, no covariance tracking (Malik et al.).
     pub fn sskf() -> Design {
-        Design { name: "SSKF", kind: DesignKind::Sskf, datatype: Datatype::Fp32 }
+        Design {
+            name: "SSKF",
+            kind: DesignKind::Sskf,
+            datatype: Datatype::Fp32,
+        }
     }
 
     /// Taylor — gain approximation by series expansion (Liu et al.).
     pub fn taylor() -> Design {
-        Design { name: "Taylor", kind: DesignKind::Taylor { order: 2 }, datatype: Datatype::Fp32 }
+        Design {
+            name: "Taylor",
+            kind: DesignKind::Taylor { order: 2 },
+            datatype: Datatype::Fp32,
+        }
     }
 
     /// Gauss-Only — exact inversion every iteration.
     pub fn gauss_only() -> Design {
         Design {
             name: "Gauss-Only",
-            kind: DesignKind::CalcOnly { calc: CalcMethod::Gauss },
+            kind: DesignKind::CalcOnly {
+                calc: CalcMethod::Gauss,
+            },
             datatype: Datatype::Fp32,
         }
     }

@@ -22,7 +22,10 @@ pub struct DmaParams {
 
 impl Default for DmaParams {
     fn default() -> Self {
-        Self { setup_cycles: 220, cycles_per_word32: 1.0 }
+        Self {
+            setup_cycles: 220,
+            cycles_per_word32: 1.0,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ pub struct DmaEngine {
 impl DmaEngine {
     /// Creates an engine with the given cost parameters.
     pub fn new(params: DmaParams) -> Self {
-        Self { params, stats: DmaStats::default() }
+        Self {
+            params,
+            stats: DmaStats::default(),
+        }
     }
 
     /// Records a load of `elements` datapath words.
@@ -95,7 +101,10 @@ mod tests {
 
     #[test]
     fn load_accounts_setup_plus_beats() {
-        let mut dma = DmaEngine::new(DmaParams { setup_cycles: 100, cycles_per_word32: 1.0 });
+        let mut dma = DmaEngine::new(DmaParams {
+            setup_cycles: 100,
+            cycles_per_word32: 1.0,
+        });
         dma.load(64, WordWidth::W32);
         let s = dma.stats();
         assert_eq!(s.transactions, 1);

@@ -43,7 +43,11 @@ pub struct PlmBuffer {
 impl PlmBuffer {
     /// Creates a buffer descriptor.
     pub fn new(name: &'static str, words: usize, ports: usize) -> Self {
-        Self { name, words, ports: ports.max(1) }
+        Self {
+            name,
+            words,
+            ports: ports.max(1),
+        }
     }
 
     /// Number of 36 Kb BRAM blocks this buffer occupies at the given word
@@ -192,7 +196,10 @@ mod tests {
         // The motor-size inventory lands in the Table III BRAM ballpark
         // (~200-400 for the calc/approx designs).
         let bram = large.total_bram36();
-        assert!((100..500).contains(&bram), "BRAM estimate {bram} out of range");
+        assert!(
+            (100..500).contains(&bram),
+            "BRAM estimate {bram} out of range"
+        );
     }
 
     #[test]

@@ -235,7 +235,10 @@ mod tests {
         let regs = RegisterFile::new();
         assert!(matches!(
             regs.validate(),
-            Err(KalmanError::BadConfig { register: "x_dim", .. })
+            Err(KalmanError::BadConfig {
+                register: "x_dim",
+                ..
+            })
         ));
     }
 
@@ -253,7 +256,10 @@ mod tests {
         regs.write(RegAddr::Policy, 7);
         assert!(matches!(
             regs.validate(),
-            Err(KalmanError::BadConfig { register: "policy", .. })
+            Err(KalmanError::BadConfig {
+                register: "policy",
+                ..
+            })
         ));
     }
 

@@ -80,7 +80,12 @@ impl Component {
             Self::TaylorUnit => (5900, 5500, 89),
             Self::SskfUnit => (3900, 2800, 58),
         };
-        Resources { lut, ff, bram: 0.0, dsp }
+        Resources {
+            lut,
+            ff,
+            bram: 0.0,
+            dsp,
+        }
     }
 
     /// Resource cost scaled by the datatype: fixed-point datapaths trade
@@ -121,7 +126,12 @@ mod tests {
     use super::*;
 
     fn full_design(extra: Component) -> Vec<Component> {
-        vec![Component::BaseControl, Component::Dma, Component::KfCommon, extra]
+        vec![
+            Component::BaseControl,
+            Component::Dma,
+            Component::KfCommon,
+            extra,
+        ]
     }
 
     #[test]
@@ -172,8 +182,18 @@ mod tests {
 
     #[test]
     fn resources_add_componentwise() {
-        let a = Resources { lut: 1, ff: 2, bram: 3.0, dsp: 4 };
-        let b = Resources { lut: 10, ff: 20, bram: 30.0, dsp: 40 };
+        let a = Resources {
+            lut: 1,
+            ff: 2,
+            bram: 3.0,
+            dsp: 4,
+        };
+        let b = Resources {
+            lut: 10,
+            ff: 20,
+            bram: 30.0,
+            dsp: 40,
+        };
         let c = a + b;
         assert_eq!(c.lut, 11);
         assert_eq!(c.ff, 22);

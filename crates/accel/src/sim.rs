@@ -77,7 +77,10 @@ pub struct AccelSim {
 impl AccelSim {
     /// Creates a simulator with default DMA parameters.
     pub fn new(design: Design) -> Self {
-        Self { design, dma_params: DmaParams::default() }
+        Self {
+            design,
+            dma_params: DmaParams::default(),
+        }
     }
 
     /// The simulated design.
@@ -169,23 +172,27 @@ impl AccelSim {
                 let z_t: Vector<T> = z_vec.cast();
                 let state = kf.step(&z_t)?;
                 outputs.push(state.x().cast::<f64>());
-                compute_cycles += self.design.iteration_cycles(
-                    x,
-                    z,
-                    iteration,
-                    config.approx,
-                    config.calc_freq,
-                );
+                compute_cycles +=
+                    self.design
+                        .iteration_cycles(x, z, iteration, config.approx, config.calc_freq);
             }
 
             // store: computed states (and covariances) for the batch.
             let before = dma.stats().cycles;
-            let per_iter_out = if self.design.tracks_covariance() { x + x * x } else { x };
+            let per_iter_out = if self.design.tracks_covariance() {
+                x + x * x
+            } else {
+                x
+            };
             dma.store(batch.len() * per_iter_out, width);
             store_cycles += dma.stats().cycles - before;
         }
 
-        let cycles = CycleBreakdown { load: load_cycles, compute: compute_cycles, store: store_cycles };
+        let cycles = CycleBreakdown {
+            load: load_cycles,
+            compute: compute_cycles,
+            store: store_cycles,
+        };
         let latency_s = cycles.total() as f64 / CLOCK_HZ;
         let resources = self.design.resources(x, z, config.chunks);
         let power_w = power::average_power_w(&resources);
@@ -237,13 +244,18 @@ fn build_gain<T: Scalar>(
             let p_pred = &(model.f() * init.p()) * &model.f().transpose() + model.q().clone();
             let s0 = kalmmind::gain::innovation_covariance(model, &p_pred)?;
             let seed: Matrix<T> = decomp::lu::invert(&s0)?.cast();
-            Box::new(InverseGain::new(NewtonInverse::with_precomputed_seed(approx, seed)))
+            Box::new(InverseGain::new(NewtonInverse::with_precomputed_seed(
+                approx, seed,
+            )))
         }
         DesignKind::SskfNewton => {
             let trained =
                 SskfNewtonInverse::train(model, init.p(), CalcMethod::Lu, 200, config.approx)?;
             let cast: Matrix<T> = trained.s_inv_const().cast();
-            Box::new(InverseGain::new(SskfNewtonInverse::new(cast, config.approx)))
+            Box::new(InverseGain::new(SskfNewtonInverse::new(
+                cast,
+                config.approx,
+            )))
         }
         DesignKind::Sskf => {
             let trained = SskfGain::train(model, init.p(), CalcMethod::Lu, 200)?;
@@ -294,11 +306,7 @@ mod tests {
         // prior would move S faster than a frozen S⁻¹ tolerates).
         let init = KalmanState::new(Vector::zeros(x_dim), Matrix::identity(x_dim).scale(0.01));
         let zs: Vec<Vector<f64>> = (0..60)
-            .map(|t| {
-                Vector::from_fn(z_dim, |i| {
-                    ((t as f64) * 0.11 + i as f64 * 0.7).sin() * 0.8
-                })
-            })
+            .map(|t| Vector::from_fn(z_dim, |i| ((t as f64) * 0.11 + i as f64 * 0.7).sin() * 0.8))
             .collect();
         (model, init, zs)
     }
@@ -351,7 +359,9 @@ mod tests {
     fn sskf_is_fastest_and_least_energy() {
         let (model, init, zs) = problem();
         let run = |d: Design, approx: usize| {
-            AccelSim::new(d).run(&model, &init, &zs, &config(24, approx, 4)).unwrap()
+            AccelSim::new(d)
+                .run(&model, &init, &zs, &config(24, approx, 4))
+                .unwrap()
         };
         let sskf = run(catalog::sskf(), 1);
         let gauss_newton = run(catalog::gauss_newton(), 2);
@@ -412,7 +422,10 @@ mod tests {
         let sim = AccelSim::new(catalog::gauss_newton());
         assert!(matches!(
             sim.run(&model, &init, &zs, &config(24, 0, 4)),
-            Err(KalmanError::BadConfig { register: "approx", .. })
+            Err(KalmanError::BadConfig {
+                register: "approx",
+                ..
+            })
         ));
     }
 

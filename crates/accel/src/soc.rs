@@ -28,12 +28,22 @@ pub struct CpuModel {
 impl CpuModel {
     /// The Intel i7 workstation baseline of Table III.
     pub fn intel_i7() -> Self {
-        Self { name: "Intel i7", clock_hz: 3.7e9, cycles_per_flop: 0.18, power_w: 78.6 }
+        Self {
+            name: "Intel i7",
+            clock_hz: 3.7e9,
+            cycles_per_flop: 0.18,
+            power_w: 78.6,
+        }
     }
 
     /// The CVA6 RISC-V core of the ESP SoC at the FPGA clock.
     pub fn cva6() -> Self {
-        Self { name: "CVA6", clock_hz: CLOCK_HZ, cycles_per_flop: 110.0, power_w: 0.177 }
+        Self {
+            name: "CVA6",
+            clock_hz: CLOCK_HZ,
+            cycles_per_flop: 110.0,
+            power_w: 0.177,
+        }
     }
 
     /// Latency in seconds to execute `flops` floating-point operations.
@@ -54,17 +64,17 @@ pub fn kf_software_flops(x_dim: usize, z_dim: usize) -> u64 {
     let z = z_dim as u64;
     let predict = 2 * x * x            // x = F·x
         + 2 * (2 * x * x * x)          // P = F·P·Fᵀ (two x³ products)
-        + x * x;                       // + Q
+        + x * x; // + Q
     let s_build = 2 * z * x * x        // H·P
         + 2 * z * z * x                // (H·P)·Hᵀ
-        + z * z;                       // + R
-    let inverse = 4 * z * z * z;       // Gauss–Jordan over [S | I]
+        + z * z; // + R
+    let inverse = 4 * z * z * z; // Gauss–Jordan over [S | I]
     let gain = 2 * x * z * z + 2 * x * x * z; // P·Hᵀ·S⁻¹
     let update = 2 * z * x             // H·x
         + z                            // innovation
         + 2 * x * z                    // K·y
         + 2 * x * x * z                // K·H
-        + 2 * x * x * x;               // (I−K·H)·P
+        + 2 * x * x * x; // (I−K·H)·P
     predict + s_build + inverse + gain + update
 }
 
@@ -80,7 +90,10 @@ pub struct InvocationOverhead {
 
 impl Default for InvocationOverhead {
     fn default() -> Self {
-        Self { setup_cycles: 4_000, interrupt_cycles: 6_000 }
+        Self {
+            setup_cycles: 4_000,
+            interrupt_cycles: 6_000,
+        }
     }
 }
 

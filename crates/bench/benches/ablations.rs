@@ -26,12 +26,7 @@ fn bench_seed_policies(c: &mut Criterion) {
                     KalmanFilter::new(
                         w.model.clone(),
                         w.init.clone(),
-                        InverseGain::new(InterleavedInverse::new(
-                            CalcMethod::Gauss,
-                            2,
-                            4,
-                            policy,
-                        )),
+                        InverseGain::new(InterleavedInverse::new(CalcMethod::Gauss, 2, 4, policy)),
                     )
                 },
                 |mut kf| {
@@ -70,7 +65,9 @@ fn bench_datatype_matmul(c: &mut Criterion) {
     group.sample_size(10);
 
     fn mk<T: Scalar>(n: usize) -> Matrix<T> {
-        Matrix::from_fn(n, n, |r, c| T::from_f64(((r * 31 + c * 7) % 13) as f64 / 13.0 - 0.5))
+        Matrix::from_fn(n, n, |r, c| {
+            T::from_f64(((r * 31 + c * 7) % 13) as f64 / 13.0 - 0.5)
+        })
     }
     let (a64, b64) = (mk::<f64>(n), mk::<f64>(n));
     let (a32, b32) = (mk::<f32>(n), mk::<f32>(n));
@@ -79,8 +76,12 @@ fn bench_datatype_matmul(c: &mut Criterion) {
 
     group.bench_function("f64", |b| b.iter(|| black_box(&a64) * black_box(&b64)));
     group.bench_function("f32", |b| b.iter(|| black_box(&a32) * black_box(&b32)));
-    group.bench_function("fx32_q16_16", |b| b.iter(|| black_box(&afx32) * black_box(&bfx32)));
-    group.bench_function("fx64_q32_32", |b| b.iter(|| black_box(&afx64) * black_box(&bfx64)));
+    group.bench_function("fx32_q16_16", |b| {
+        b.iter(|| black_box(&afx32) * black_box(&bfx32))
+    });
+    group.bench_function("fx64_q32_32", |b| {
+        b.iter(|| black_box(&afx64) * black_box(&bfx64))
+    });
     group.finish();
 }
 
@@ -96,7 +97,9 @@ fn bench_measurement_staging(c: &mut Criterion) {
         b.iter_batched(
             || KalmanFilter::gauss(w.model.clone(), w.init.clone()),
             |mut kf| {
-                let outs = kf.run(w.dataset.test_measurements().iter().take(10)).expect("run");
+                let outs = kf
+                    .run(w.dataset.test_measurements().iter().take(10))
+                    .expect("run");
                 black_box(outs);
             },
             criterion::BatchSize::LargeInput,

@@ -11,7 +11,9 @@ use kalmmind_bench::workload;
 use std::hint::black_box;
 
 fn bench_accelerator_invocations(c: &mut Criterion) {
-    let w = workload(&kalmmind_neural::presets::somatosensory(kalmmind_bench::SEED));
+    let w = workload(&kalmmind_neural::presets::somatosensory(
+        kalmmind_bench::SEED,
+    ));
     let config = AcceleratorConfig {
         x_dim: w.model.x_dim(),
         z_dim: w.model.z_dim(),

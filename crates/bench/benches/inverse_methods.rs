@@ -67,5 +67,9 @@ fn bench_newton_warm_vs_methods(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_calculation_methods, bench_newton_warm_vs_methods);
+criterion_group!(
+    benches,
+    bench_calculation_methods,
+    bench_newton_warm_vs_methods
+);
 criterion_main!(benches);

@@ -1,16 +1,117 @@
 //! Criterion benchmarks of one full KF iteration under each gain strategy
 //! (native wall clock, somatosensory-sized workload).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kalmmind::gain::{GainStrategy, InverseGain, SskfGain, TaylorGain};
 use kalmmind::inverse::{CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy};
-use kalmmind::KalmanFilter;
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
 use kalmmind_bench::workload;
-use kalmmind_linalg::Vector;
+use kalmmind_linalg::{Matrix, Vector};
+use kalmmind_runtime::FilterBank;
 use std::hint::black_box;
 
+/// The paper's small motor-decoding shape: 2 states, 3 channels.
+fn small_model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).expect("F"),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).expect("H"),
+        Matrix::identity(3).scale(0.2),
+    )
+    .expect("model")
+}
+
+fn small_measurements(n: usize) -> Vec<Vector<f64>> {
+    (0..n)
+        .map(|t| {
+            let pos = 0.1 * t as f64;
+            Vector::from_vec(vec![pos, 1.0, pos + 1.0])
+        })
+        .collect()
+}
+
+fn small_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        small_model(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+/// Allocating `step()` vs workspace `step_with()` on the 2-state/3-channel
+/// model — the in-place-kernel speedup the workspace refactor targets.
+fn bench_step_workspace(c: &mut Criterion) {
+    let zs = small_measurements(100);
+
+    let mut group = c.benchmark_group("kf_step_2s3c");
+    group.sample_size(30);
+
+    group.bench_function("allocating", |b| {
+        b.iter_batched(
+            small_filter,
+            |mut kf| {
+                for z in &zs {
+                    black_box(kf.step(black_box(z)).expect("step"));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("workspace", |b| {
+        b.iter_batched(
+            || {
+                let kf = small_filter();
+                let ws = kf.workspace();
+                (kf, ws)
+            },
+            |(mut kf, mut ws)| {
+                for z in &zs {
+                    black_box(kf.step_with(black_box(z), &mut ws).expect("step"));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// FilterBank batched stepping at growing session counts. Per-session cost
+/// should stay flat (aggregate throughput near-linear in the bank size).
+fn bench_filterbank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filterbank_2s3c");
+    group.sample_size(20);
+
+    for sessions in [1usize, 2, 4, 8] {
+        let sequences: Vec<Vec<Vector<f64>>> =
+            (0..sessions).map(|_| small_measurements(100)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions),
+            &sequences,
+            |b, sequences| {
+                b.iter_batched(
+                    || {
+                        FilterBank::from_filters(
+                            (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
+                        )
+                    },
+                    |mut bank| {
+                        let report = bank.run(black_box(sequences)).expect("run");
+                        assert_eq!(report.failed_sessions, 0);
+                        black_box(report);
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_kf_step(c: &mut Criterion) {
-    let w = workload(&kalmmind_neural::presets::somatosensory(kalmmind_bench::SEED));
+    let w = workload(&kalmmind_neural::presets::somatosensory(
+        kalmmind_bench::SEED,
+    ));
     let zs: Vec<Vector<f64>> = w.dataset.test_measurements().to_vec();
 
     let mut group = c.benchmark_group("kf_step_z52");
@@ -33,7 +134,10 @@ fn bench_kf_step(c: &mut Criterion) {
                 )))
             }),
         ),
-        ("newton_only_a1", Box::new(|| Box::new(InverseGain::new(NewtonInverse::new(1))))),
+        (
+            "newton_only_a1",
+            Box::new(|| Box::new(InverseGain::new(NewtonInverse::new(1)))),
+        ),
         ("taylor", Box::new(|| Box::new(TaylorGain::<f64>::new()))),
     ];
     for (name, make) in &strategies {
@@ -66,5 +170,10 @@ fn bench_kf_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kf_step);
+criterion_group!(
+    benches,
+    bench_kf_step,
+    bench_step_workspace,
+    bench_filterbank_scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! FilterBank scaling and workspace-speedup measurement.
+//!
+//! Measures (1) the allocating `step()` vs workspace `step_with()` cost on
+//! the 2-state/3-channel motor model, and (2) aggregate FilterBank
+//! throughput at 1/2/4/8 sessions. Writes `BENCH_filterbank.json` in the
+//! working directory alongside a human-readable table.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin bench_filterbank`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_linalg::{Matrix, Vector};
+use kalmmind_runtime::FilterBank;
+use std::hint::black_box;
+
+const STEPS: usize = 20_000;
+const REPEATS: usize = 5;
+
+fn small_model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).expect("F"),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).expect("H"),
+        Matrix::identity(3).scale(0.2),
+    )
+    .expect("model")
+}
+
+fn small_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        small_model(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+fn measurements(n: usize) -> Vec<Vector<f64>> {
+    (0..n)
+        .map(|t| {
+            let pos = 0.1 * t as f64;
+            Vector::from_vec(vec![pos, 1.0, pos + 1.0])
+        })
+        .collect()
+}
+
+/// Best-of-`REPEATS` nanoseconds per step for one full pass over `zs`.
+fn time_pass(mut pass: impl FnMut(&[Vector<f64>]), zs: &[Vector<f64>]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        pass(zs);
+        let ns = start.elapsed().as_nanos() as f64 / zs.len() as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let zs = measurements(STEPS);
+
+    // Part 1: allocating vs workspace single-filter stepping.
+    let allocating_ns = time_pass(
+        |zs| {
+            let mut kf = small_filter();
+            for z in zs {
+                black_box(kf.step(black_box(z)).expect("step"));
+            }
+        },
+        &zs,
+    );
+    let workspace_ns = time_pass(
+        |zs| {
+            let mut kf = small_filter();
+            let mut ws = kf.workspace();
+            for z in zs {
+                black_box(kf.step_with(black_box(z), &mut ws).expect("step"));
+            }
+        },
+        &zs,
+    );
+    let speedup = allocating_ns / workspace_ns;
+
+    println!("kf step, 2-state/3-channel model, {STEPS} steps (best of {REPEATS}):");
+    println!("  allocating step():      {allocating_ns:>9.1} ns/step");
+    println!("  workspace  step_with(): {workspace_ns:>9.1} ns/step");
+    println!("  speedup:                {speedup:>9.2}x");
+    println!();
+
+    // Part 2: FilterBank aggregate throughput at growing session counts.
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("FilterBank scaling ({threads} hardware threads):");
+    println!(
+        "  {:>8} {:>14} {:>18} {:>12}",
+        "sessions", "ns/step", "steps/s (bank)", "vs 1 session"
+    );
+
+    let mut scaling = Vec::new();
+    let mut base_throughput = 0.0_f64;
+    for sessions in [1usize, 2, 4, 8] {
+        let sequences: Vec<Vec<Vector<f64>>> = (0..sessions).map(|_| zs.clone()).collect();
+        let mut best_throughput = 0.0_f64;
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let mut bank =
+                FilterBank::from_filters((0..sessions).map(|_| small_filter()).collect::<Vec<_>>());
+            let report = bank.run(&sequences).expect("bank run");
+            assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
+            best_throughput = best_throughput.max(report.throughput());
+            best_ns = best_ns.min(report.elapsed.as_nanos() as f64 / report.steps as f64);
+        }
+        if sessions == 1 {
+            base_throughput = best_throughput;
+        }
+        let ratio = best_throughput / base_throughput;
+        println!("  {sessions:>8} {best_ns:>14.1} {best_throughput:>18.0} {ratio:>11.2}x");
+        scaling.push((sessions, best_ns, best_throughput, ratio));
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"model\": \"2-state/3-channel motor\",");
+    let _ = writeln!(json, "  \"steps_per_session\": {STEPS},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    let _ = writeln!(json, "  \"hardware_threads\": {threads},");
+    let _ = writeln!(json, "  \"step\": {{");
+    let _ = writeln!(json, "    \"allocating_ns_per_step\": {allocating_ns:.1},");
+    let _ = writeln!(json, "    \"workspace_ns_per_step\": {workspace_ns:.1},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"filterbank\": [");
+    for (i, (sessions, ns, throughput, ratio)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"sessions\": {sessions}, \"ns_per_step\": {ns:.1}, \
+             \"throughput_steps_per_s\": {throughput:.0}, \"vs_one_session\": {ratio:.3} }}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_filterbank.json", &json).expect("write BENCH_filterbank.json");
+    println!();
+    println!("wrote BENCH_filterbank.json");
+}

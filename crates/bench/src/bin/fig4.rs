@@ -86,11 +86,18 @@ fn main() {
     println!("Shape checks vs the paper:");
     // Each dataset's best configuration differs (the paper's key DSE point).
     for (name, config, mse) in &best_configs {
-        println!("  best MSE config for {name:<14}: {} (mse {mse:.2e})", config.label());
+        println!(
+            "  best MSE config for {name:<14}: {} (mse {mse:.2e})",
+            config.label()
+        );
     }
     let all_same = best_configs.windows(2).all(|w| w[0].1 == w[1].1);
     println!(
         "  [{}] datasets prefer different configurations",
-        if all_same { "note: identical this seed" } else { "ok" }
+        if all_same {
+            "note: identical this seed"
+        } else {
+            "ok"
+        }
     );
 }

@@ -42,20 +42,27 @@ fn main() {
                         )
                     })
                     .sum();
-                LatencyPoint { point, latency_s: cycles as f64 / CLOCK_HZ }
+                LatencyPoint {
+                    point,
+                    latency_s: cycles as f64 / CLOCK_HZ,
+                }
             })
             .collect();
 
         let front = pareto_front(&with_latency, MetricKind::Mse);
         println!();
-        println!("--- {} (z = {z_dim}, {iterations} iterations) ---", w.name());
-        println!("{:<28} {:>12} {:>12}  pareto", "config", "latency [s]", "MSE");
+        println!(
+            "--- {} (z = {z_dim}, {iterations} iterations) ---",
+            w.name()
+        );
+        println!(
+            "{:<28} {:>12} {:>12}  pareto",
+            "config", "latency [s]", "MSE"
+        );
         let mut sorted = with_latency.clone();
         sorted.sort_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).expect("finite"));
         for lp in &sorted {
-            let on_front = front.iter().any(|f| {
-                f.point.config == lp.point.config
-            });
+            let on_front = front.iter().any(|f| f.point.config == lp.point.config);
             println!(
                 "{:<28} {:>12.3} {:>12}  {}",
                 lp.point.config.label(),
@@ -75,10 +82,12 @@ fn main() {
         let most_accurate = front.last().expect("front nonempty");
         check(
             "best-accuracy Pareto point has approx >= 2 or calculates every iteration",
-            most_accurate.point.config.approx() >= 2
-                || most_accurate.point.config.calc_freq() == 1,
+            most_accurate.point.config.approx() >= 2 || most_accurate.point.config.calc_freq() == 1,
         );
-        check("the front mixes both matrix-inverse paths", front.len() >= 2);
+        check(
+            "the front mixes both matrix-inverse paths",
+            front.len() >= 2,
+        );
     }
 }
 

@@ -81,18 +81,28 @@ fn main() {
             .map(|r| 1.0 / r.energy_j.0)
             .fold(0.0f64, f64::max)
     };
-    let (t1, t2, t3) = (best_eff_in_tier(1), best_eff_in_tier(2), best_eff_in_tier(3));
+    let (t1, t2, t3) = (
+        best_eff_in_tier(1),
+        best_eff_in_tier(2),
+        best_eff_in_tier(3),
+    );
     check(
         &format!("energy efficiency rises across tiers ({t1:.1} -> {t2:.1} -> {t3:.1} 1/J)"),
         (t2 == 0.0 || t2 >= t1) && (t3 == 0.0 || t3 >= t2.max(t1)),
     );
-    let sskf = rows.iter().find(|r| r.design.name == "SSKF").expect("SSKF row");
+    let sskf = rows
+        .iter()
+        .find(|r| r.design.name == "SSKF")
+        .expect("SSKF row");
     check(
         "SSKF is the most energy-efficient design overall",
         rows.iter().all(|r| r.energy_j.0 >= sskf.energy_j.0),
     );
     let i7_eff = 1.0 / software[0].energy_j;
-    let gn = rows.iter().find(|r| r.design.name == "Gauss/Newton").expect("GN row");
+    let gn = rows
+        .iter()
+        .find(|r| r.design.name == "Gauss/Newton")
+        .expect("GN row");
     check(
         "Gauss/Newton is more energy-efficient than the Intel i7",
         1.0 / gn.energy_j.0 > i7_eff,

@@ -28,11 +28,17 @@ fn evaluate(w: &Workload, name: &str, gain: Box<dyn GainStrategy<f64>>) -> Accur
 fn main() {
     let w = workload(&kalmmind_neural::presets::motor(kalmmind_bench::SEED));
     println!("TABLE I: The Accuracy of the KF with Different Methods");
-    println!("(motor dataset, {} KF iterations, f64 software)", w.reference.len());
+    println!(
+        "(motor dataset, {} KF iterations, f64 software)",
+        w.reference.len()
+    );
     println!();
 
     let candidates: Vec<(&str, Box<dyn GainStrategy<f64>>)> = vec![
-        ("Gauss", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss)))),
+        (
+            "Gauss",
+            Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))),
+        ),
         ("IFKF", Box::new(IfkfGain::new())),
         ("Taylor", Box::new(TaylorGain::new())),
         (
@@ -70,10 +76,21 @@ fn main() {
     println!();
     println!("Shape checks vs the paper:");
     let get = |n: &str| rows.iter().find(|(name, _)| *name == n).expect("present").1;
-    let (gauss, ifkf, taylor, sskf, newton) =
-        (get("Gauss"), get("IFKF"), get("Taylor"), get("SSKF"), get("Newton"));
-    check("Gauss is the most accurate", gauss.mse <= newton.mse && gauss.mse <= taylor.mse);
-    check("Newton beats Taylor and SSKF", newton.mse < taylor.mse && newton.mse < sskf.mse);
+    let (gauss, ifkf, taylor, sskf, newton) = (
+        get("Gauss"),
+        get("IFKF"),
+        get("Taylor"),
+        get("SSKF"),
+        get("Newton"),
+    );
+    check(
+        "Gauss is the most accurate",
+        gauss.mse <= newton.mse && gauss.mse <= taylor.mse,
+    );
+    check(
+        "Newton beats Taylor and SSKF",
+        newton.mse < taylor.mse && newton.mse < sskf.mse,
+    );
     check(
         "IFKF is worst by orders of magnitude",
         ifkf.mse > 100.0 * taylor.mse && ifkf.mse > 100.0 * sskf.mse,

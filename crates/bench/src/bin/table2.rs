@@ -18,16 +18,17 @@ fn main() {
     println!("TABLE II: Accuracy Ranges with Three Neural Datasets");
     println!("(Gauss/Newton accelerator configurations: approx 1-6, calc_freq 0-6, both policies)");
     println!();
-    println!(
-        "{:<16} {:>26} {:>26} {:>26}",
-        "", "MSE", "MAE", "Max Diff."
-    );
+    println!("{:<16} {:>26} {:>26} {:>26}", "", "MSE", "MAE", "Max Diff.");
 
     let mut baselines = Vec::new();
     for w in all_workloads() {
         let points = parallel_sweep(&w, &grid);
         let finite: Vec<_> = points.iter().filter(|p| p.report.is_finite()).collect();
-        assert!(!finite.is_empty(), "no finite configurations for {}", w.name());
+        assert!(
+            !finite.is_empty(),
+            "no finite configurations for {}",
+            w.name()
+        );
 
         let range = |m: MetricKind| {
             let vals: Vec<f64> = finite.iter().map(|p| m.of(&p.report)).collect();
@@ -48,7 +49,9 @@ fn main() {
 
         // Baseline: pure Gauss every iteration, f64 (the paper's baseline).
         let mut kf = KalmanFilter::gauss(w.model.clone(), w.init.clone());
-        let out = kf.run(w.dataset.test_measurements().iter()).expect("baseline run");
+        let out = kf
+            .run(w.dataset.test_measurements().iter())
+            .expect("baseline run");
         let r = compare(&out, &w.reference);
         baselines.push((w.name(), r, mse_min));
     }
@@ -56,7 +59,12 @@ fn main() {
     println!();
     print!("{:<16}", "Baseline");
     for (_, r, _) in &baselines {
-        print!(" MSE={:>10} MAE={:>10} MaxD={:>10}", sci(r.mse), sci(r.mae), sci(r.max_diff_pct));
+        print!(
+            " MSE={:>10} MAE={:>10} MaxD={:>10}",
+            sci(r.mse),
+            sci(r.mae),
+            sci(r.max_diff_pct)
+        );
     }
     println!();
     println!();
@@ -64,7 +72,11 @@ fn main() {
     for (name, baseline, best_mse) in &baselines {
         println!(
             "  [{}] {name}: some configuration beats the Gauss baseline (best {} vs baseline {})",
-            if best_mse <= &baseline.mse { "ok" } else { "MISMATCH" },
+            if best_mse <= &baseline.mse {
+                "ok"
+            } else {
+                "MISMATCH"
+            },
             sci(*best_mse),
             sci(baseline.mse)
         );

@@ -17,14 +17,29 @@ fn main() {
     println!();
     println!(
         "{:<20} {:>7} {:>7} {:>7} {:>5} {:>9} {:>15} {:>19} {:>23}",
-        "Method", "LUT", "FF", "BRAM", "DSP", "Power[W]", "Perf [s]", "Energy [J]", "Accuracy [MSE]"
+        "Method",
+        "LUT",
+        "FF",
+        "BRAM",
+        "DSP",
+        "Power[W]",
+        "Perf [s]",
+        "Energy [J]",
+        "Accuracy [MSE]"
     );
 
     let software = software_rows(&w);
     for row in &software {
         println!(
             "{:<20} {:>7} {:>7} {:>7} {:>5} {:>9.3} {:>15.3} {:>19.2} {:>23}",
-            row.name, "N/A", "N/A", "N/A", "N/A", row.power_w, row.perf_s, row.energy_j,
+            row.name,
+            "N/A",
+            "N/A",
+            "N/A",
+            "N/A",
+            row.power_w,
+            row.perf_s,
+            row.energy_j,
             sci(row.mse)
         );
     }
@@ -49,7 +64,11 @@ fn main() {
 
     println!();
     println!("Shape checks vs the paper:");
-    let get = |name: &str| rows.iter().find(|r| r.design.name == name).expect("row present");
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.design.name == name)
+            .expect("row present")
+    };
     let i7 = &software[0];
     let cva6 = &software[1];
     let gauss_newton = get("Gauss/Newton");
@@ -64,7 +83,8 @@ fn main() {
     );
     check(
         "all accelerators except Gauss-Only reach real time (<5 s best config)",
-        rows.iter().all(|r| r.design.name == "Gauss-Only" || r.perf_s.0 < 5.0)
+        rows.iter()
+            .all(|r| r.design.name == "Gauss-Only" || r.perf_s.0 < 5.0)
             && gauss_only.perf_s.0 > 5.0,
     );
     let gn_vs_i7 = i7.energy_j / gauss_newton.energy_j.0;
@@ -79,7 +99,8 @@ fn main() {
     );
     check(
         "SSKF has the best energy of all designs",
-        rows.iter().all(|r| r.design.name == "SSKF" || sskf.energy_j.0 < r.energy_j.0),
+        rows.iter()
+            .all(|r| r.design.name == "SSKF" || sskf.energy_j.0 < r.energy_j.0),
     );
     check(
         "SSKF accuracy is orders of magnitude worse than Gauss/Newton's best",
@@ -93,11 +114,16 @@ fn main() {
         .iter()
         .filter(|r| r.mse.0 > 0.0)
         .max_by(|a, b| {
-            (a.mse.1 / a.mse.0).partial_cmp(&(b.mse.1 / b.mse.0)).expect("finite")
+            (a.mse.1 / a.mse.0)
+                .partial_cmp(&(b.mse.1 / b.mse.0))
+                .expect("finite")
         })
         .expect("rows nonempty");
     check(
-        &format!("SSKF/Newton offers the widest accuracy range (widest: {})", widest.design.name),
+        &format!(
+            "SSKF/Newton offers the widest accuracy range (widest: {})",
+            widest.design.name
+        ),
         widest.design.name == "SSKF/Newton",
     );
     let sskf_newton_vs_gauss_only = gauss_only.energy_j.0 / sskf_newton.energy_j.0;

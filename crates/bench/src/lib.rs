@@ -44,7 +44,12 @@ impl Workload {
         let model = dataset.fit_model()?;
         let init = dataset.initial_state();
         let reference = reference_filter(&model, &init, dataset.test_measurements())?;
-        Ok(Self { dataset, model, init, reference })
+        Ok(Self {
+            dataset,
+            model,
+            init,
+            reference,
+        })
     }
 
     /// Dataset name.
@@ -64,13 +69,18 @@ pub fn workload(spec: &DatasetSpec) -> Workload {
 
 /// Prepares all three paper datasets.
 pub fn all_workloads() -> Vec<Workload> {
-    kalmmind_neural::presets::all(SEED).iter().map(workload).collect()
+    kalmmind_neural::presets::all(SEED)
+        .iter()
+        .map(workload)
+        .collect()
 }
 
 /// Evaluates a configuration grid in parallel (one OS thread per chunk of
 /// configurations; the sweep is embarrassingly parallel).
 pub fn parallel_sweep(workload: &Workload, grid: &[KalmMindConfig]) -> Vec<SweepPoint> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(grid.len().max(1));
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(grid.len().max(1));
     let chunk = grid.len().div_ceil(threads);
     let mut out: Vec<Option<SweepPoint>> = vec![None; grid.len()];
     std::thread::scope(|scope| {
@@ -99,7 +109,9 @@ pub fn parallel_sweep(workload: &Workload, grid: &[KalmMindConfig]) -> Vec<Sweep
             h.join().expect("sweep worker panicked");
         }
     });
-    out.into_iter().map(|p| p.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|p| p.expect("all slots filled"))
+        .collect()
 }
 
 /// Formats a number in compact scientific notation (`1.3e-12`), matching
@@ -175,8 +187,16 @@ mod tests {
         let w = workload(&spec);
         let grid: Vec<KalmMindConfig> = vec![
             KalmMindConfig::default(),
-            KalmMindConfig::builder().approx(2).calc_freq(3).build().unwrap(),
-            KalmMindConfig::builder().approx(1).calc_freq(0).build().unwrap(),
+            KalmMindConfig::builder()
+                .approx(2)
+                .calc_freq(3)
+                .build()
+                .unwrap(),
+            KalmMindConfig::builder()
+                .approx(1)
+                .calc_freq(0)
+                .build()
+                .unwrap(),
         ];
         let par = parallel_sweep(&w, &grid);
         let ser = kalmmind::sweep::run_sweep(

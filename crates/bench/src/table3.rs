@@ -48,7 +48,12 @@ pub struct SoftwareRow {
 }
 
 /// The representative configuration set each design sweeps for its ranges.
-pub fn configs_for(design: &Design, x_dim: usize, z_dim: usize, iterations: usize) -> Vec<AcceleratorConfig> {
+pub fn configs_for(
+    design: &Design,
+    x_dim: usize,
+    z_dim: usize,
+    iterations: usize,
+) -> Vec<AcceleratorConfig> {
     let base = AcceleratorConfig {
         x_dim,
         z_dim,
@@ -58,7 +63,11 @@ pub fn configs_for(design: &Design, x_dim: usize, z_dim: usize, iterations: usiz
         calc_freq: 0,
         policy: SeedPolicy::LastCalculated,
     };
-    let with = |approx: usize, calc_freq: u32| AcceleratorConfig { approx, calc_freq, ..base };
+    let with = |approx: usize, calc_freq: u32| AcceleratorConfig {
+        approx,
+        calc_freq,
+        ..base
+    };
     match design.kind {
         DesignKind::CalcApprox { .. } => vec![
             with(1, 0),
@@ -125,7 +134,9 @@ pub fn software_rows(w: &Workload) -> Vec<SoftwareRow> {
 
     // Accuracy of the software baseline: f64 Gauss vs the f64 LU reference.
     let mut kf = KalmanFilter::gauss(w.model.clone(), w.init.clone());
-    let outputs = kf.run(w.dataset.test_measurements().iter()).expect("software baseline");
+    let outputs = kf
+        .run(w.dataset.test_measurements().iter())
+        .expect("software baseline");
     let mse = compare(&outputs, &w.reference).mse;
 
     [CpuModel::intel_i7(), CpuModel::cva6()]

@@ -64,7 +64,14 @@ impl<T: Scalar, G: GainStrategy<T>> AdaptiveFilter<T, G> {
                 reason: format!("must hold at least 8 samples, got {window}"),
             });
         }
-        Ok(Self { filter, history: Vec::new(), refit_every, window, ridge: 1e-6, refits: 0 })
+        Ok(Self {
+            filter,
+            history: Vec::new(),
+            refit_every,
+            window,
+            ridge: 1e-6,
+            refits: 0,
+        })
     }
 
     /// Borrow of the wrapped filter.
@@ -234,7 +241,11 @@ mod tests {
         let mut af = adaptive(16);
         let mut adaptive_last = Vector::zeros(2);
         for (z, truth) in zs.iter().zip(&xs) {
-            adaptive_last = af.step_supervised(z, truth).expect("adaptive step").x().clone();
+            adaptive_last = af
+                .step_supervised(z, truth)
+                .expect("adaptive step")
+                .x()
+                .clone();
         }
 
         let truth = xs.last().expect("nonempty");
@@ -266,13 +277,19 @@ mod tests {
         let kf = KalmanFilter::new(model(1.0), KalmanState::zeroed(2), gain);
         assert!(matches!(
             AdaptiveFilter::new(kf, 0, 64),
-            Err(KalmanError::BadConfig { register: "refit_every", .. })
+            Err(KalmanError::BadConfig {
+                register: "refit_every",
+                ..
+            })
         ));
         let gain = InverseGain::new(crate::inverse::CalcInverse::new(CalcMethod::Gauss));
         let kf = KalmanFilter::new(model(1.0), KalmanState::zeroed(2), gain);
         assert!(matches!(
             AdaptiveFilter::new(kf, 10, 4),
-            Err(KalmanError::BadConfig { register: "window", .. })
+            Err(KalmanError::BadConfig {
+                register: "window",
+                ..
+            })
         ));
     }
 

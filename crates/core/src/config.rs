@@ -39,7 +39,6 @@ use crate::{KalmanError, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KalmMindConfig {
     calc: CalcMethod,
     approx: usize,
@@ -110,11 +109,15 @@ impl KalmMindConfig {
                 for policy in [SeedPolicy::LastCalculated, SeedPolicy::PreviousIteration] {
                     // With calc_freq = 1 every iteration calculates, so the
                     // policy/approx are dead — keep a single representative.
-                    if calc_freq == 1 && (approx > 1 || policy == SeedPolicy::PreviousIteration)
-                    {
+                    if calc_freq == 1 && (approx > 1 || policy == SeedPolicy::PreviousIteration) {
                         continue;
                     }
-                    grid.push(KalmMindConfig { calc, approx, calc_freq, policy });
+                    grid.push(KalmMindConfig {
+                        calc,
+                        approx,
+                        calc_freq,
+                        policy,
+                    });
                 }
             }
         }
@@ -188,7 +191,12 @@ impl KalmMindConfigBuilder {
                 reason: format!("must be in 0..={MAX_CALC_FREQ}, got {calc_freq}"),
             });
         }
-        Ok(KalmMindConfig { calc: self.calc, approx, calc_freq, policy: self.policy })
+        Ok(KalmMindConfig {
+            calc: self.calc,
+            approx,
+            calc_freq,
+            policy: self.policy,
+        })
     }
 }
 
@@ -222,18 +230,34 @@ mod tests {
     #[test]
     fn rejects_zero_approx() {
         let err = KalmMindConfig::builder().approx(0).build().unwrap_err();
-        assert!(matches!(err, KalmanError::BadConfig { register: "approx", .. }));
+        assert!(matches!(
+            err,
+            KalmanError::BadConfig {
+                register: "approx",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn rejects_oversized_registers() {
-        assert!(KalmMindConfig::builder().approx(MAX_APPROX + 1).build().is_err());
-        assert!(KalmMindConfig::builder().calc_freq(MAX_CALC_FREQ + 1).build().is_err());
+        assert!(KalmMindConfig::builder()
+            .approx(MAX_APPROX + 1)
+            .build()
+            .is_err());
+        assert!(KalmMindConfig::builder()
+            .calc_freq(MAX_CALC_FREQ + 1)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn label_is_compact_and_complete() {
-        let cfg = KalmMindConfig::builder().approx(2).calc_freq(4).build().unwrap();
+        let cfg = KalmMindConfig::builder()
+            .approx(2)
+            .calc_freq(4)
+            .build()
+            .unwrap();
         assert_eq!(cfg.label(), "gauss/newton a=2 cf=4 p=0");
     }
 
@@ -246,13 +270,20 @@ mod tests {
         // No duplicates.
         let mut seen = std::collections::HashSet::new();
         for c in &grid {
-            assert!(seen.insert((c.approx(), c.calc_freq(), c.policy())), "duplicate {c:?}");
+            assert!(
+                seen.insert((c.approx(), c.calc_freq(), c.policy())),
+                "duplicate {c:?}"
+            );
         }
     }
 
     #[test]
     fn build_inverse_reflects_registers() {
-        let cfg = KalmMindConfig::builder().approx(3).calc_freq(5).build().unwrap();
+        let cfg = KalmMindConfig::builder()
+            .approx(3)
+            .calc_freq(5)
+            .build()
+            .unwrap();
         let strat = cfg.build_inverse::<f64>();
         assert_eq!(strat.approx(), 3);
         assert_eq!(strat.calc_freq(), 5);

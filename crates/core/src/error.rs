@@ -63,7 +63,11 @@ impl fmt::Display for KalmanError {
             Self::BadModel { matrix, reason } => {
                 write!(f, "invalid model matrix {matrix}: {reason}")
             }
-            Self::BadVector { expected, actual, what } => {
+            Self::BadVector {
+                expected,
+                actual,
+                what,
+            } => {
                 write!(f, "{what} vector has length {actual}, expected {expected}")
             }
             Self::BadConfig { register, reason } => {
@@ -97,7 +101,11 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_without_trailing_punctuation() {
-        let e = KalmanError::BadVector { expected: 6, actual: 5, what: "measurement" };
+        let e = KalmanError::BadVector {
+            expected: 6,
+            actual: 5,
+            what: "measurement",
+        };
         let s = e.to_string();
         assert_eq!(s, "measurement vector has length 5, expected 6");
         assert!(!s.ends_with('.'));

@@ -4,6 +4,7 @@ use kalmmind_linalg::{Matrix, Scalar, Vector};
 
 use crate::gain::{GainContext, GainStrategy, InverseGain};
 use crate::inverse::{CalcInverse, CalcMethod};
+use crate::workspace::StepWorkspace;
 use crate::{KalmMindConfig, KalmanError, KalmanModel, KalmanState, Result};
 
 /// A Kalman filter with a pluggable Kalman-gain strategy.
@@ -55,7 +56,11 @@ impl<T: Scalar> KalmanFilter<T, InverseGain<CalcInverse>> {
     /// Creates the baseline filter: exact Gauss inversion every iteration
     /// (the paper's *baseline*).
     pub fn gauss(model: KalmanModel<T>, init: KalmanState<T>) -> Self {
-        Self::new(model, init, InverseGain::new(CalcInverse::new(CalcMethod::Gauss)))
+        Self::new(
+            model,
+            init,
+            InverseGain::new(CalcInverse::new(CalcMethod::Gauss)),
+        )
     }
 }
 
@@ -98,7 +103,12 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
             model.x_dim(),
             "initial state dimension must match the model"
         );
-        Self { model, state: init, gain, iteration: 0 }
+        Self {
+            model,
+            state: init,
+            gain,
+            iteration: 0,
+        }
     }
 
     /// Borrow of the model.
@@ -163,6 +173,92 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
         Ok(&self.state)
     }
 
+    /// Creates a [`StepWorkspace`] sized for this filter's model.
+    ///
+    /// Allocate it once and pass it to every [`KalmanFilter::step_with`]
+    /// call; the same workspace may be reused across filters sharing the
+    /// model dimensions.
+    pub fn workspace(&self) -> StepWorkspace<T> {
+        StepWorkspace::for_model(&self.model)
+    }
+
+    /// Runs one KF iteration on measurement `z` using pre-allocated scratch
+    /// buffers — the allocation-free twin of [`KalmanFilter::step`].
+    ///
+    /// Every arithmetic operation happens in the same order as in `step`,
+    /// so the two produce bit-identical states; the difference is purely
+    /// that all intermediates live in `ws` (the software analogue of the
+    /// accelerator's PLM banks). With a warmed-up [`InterleavedInverse`]
+    /// (`calc_freq = 0`) or [`NewtonInverse`] strategy, steady-state calls
+    /// perform zero heap allocations.
+    ///
+    /// [`InterleavedInverse`]: crate::inverse::InterleavedInverse
+    /// [`NewtonInverse`]: crate::inverse::NewtonInverse
+    ///
+    /// # Errors
+    ///
+    /// * [`KalmanError::BadVector`] if `z.len() != z_dim`.
+    /// * Dimension errors if `ws` was sized for a different model.
+    /// * Gain/inversion failures from the configured strategy.
+    pub fn step_with(
+        &mut self,
+        z: &Vector<T>,
+        ws: &mut StepWorkspace<T>,
+    ) -> Result<&KalmanState<T>> {
+        if z.len() != self.model.z_dim() {
+            return Err(KalmanError::BadVector {
+                expected: self.model.z_dim(),
+                actual: z.len(),
+                what: "measurement",
+            });
+        }
+        let f = self.model.f();
+        let h = self.model.h();
+
+        // --- Predict (measurement-independent) ---
+        f.mul_vector_into(self.state.x(), &mut ws.x_pred)?;
+        f.mul_into(self.state.p(), &mut ws.fp)?;
+        f.transpose_into(&mut ws.ft)?;
+        ws.fp.mul_into(&ws.ft, &mut ws.p_pred)?;
+        ws.p_pred.add_assign(self.model.q())?;
+        ws.p_pred.symmetrize();
+
+        // --- Compute K (measurement-independent: the reorganized module) ---
+        self.gain.gain_into(
+            GainContext {
+                p_pred: &ws.p_pred,
+                model: &self.model,
+                iteration: self.iteration,
+            },
+            &mut ws.k,
+            &mut ws.gain,
+        )?;
+
+        // --- Update (needs the measurement) ---
+        h.mul_vector_into(&ws.x_pred, &mut ws.hx)?;
+        ws.y.copy_from(z)?;
+        ws.y.sub_assign(&ws.hx)?; // innovation
+        ws.k.mul_vector_into(&ws.y, &mut ws.ky)?;
+        ws.x_pred.add_assign(&ws.ky)?; // x_pred now holds x_new
+        ws.k.mul_into(h, &mut ws.kh)?;
+        // kh <- I − K·H, element-for-element the subtraction
+        // `identity.checked_sub(&kh)` performs in `step`.
+        let x_dim = self.model.x_dim();
+        for i in 0..x_dim {
+            for j in 0..x_dim {
+                let v = ws.kh[(i, j)];
+                ws.kh[(i, j)] = if i == j { T::ONE - v } else { T::ZERO - v };
+            }
+        }
+        ws.kh.mul_into(&ws.p_pred, &mut ws.p_new)?;
+        ws.p_new.symmetrize();
+
+        // Double-buffer swap, by copy instead of by move.
+        self.state.assign(&ws.x_pred, &ws.p_new);
+        self.iteration += 1;
+        Ok(&self.state)
+    }
+
     /// Runs the filter over a sequence of measurements, returning the
     /// predicted state vector after each iteration.
     ///
@@ -192,8 +288,16 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
     ///
     /// Panics if the new model's dimensions differ from the old one's.
     pub fn set_model(&mut self, model: KalmanModel<T>) {
-        assert_eq!(model.x_dim(), self.model.x_dim(), "x_dim cannot change at runtime");
-        assert_eq!(model.z_dim(), self.model.z_dim(), "z_dim cannot change at runtime");
+        assert_eq!(
+            model.x_dim(),
+            self.model.x_dim(),
+            "x_dim cannot change at runtime"
+        );
+        assert_eq!(
+            model.z_dim(),
+            self.model.z_dim(),
+            "z_dim cannot change at runtime"
+        );
         self.model = model;
     }
 
@@ -267,7 +371,14 @@ mod tests {
     fn rejects_wrong_measurement_length() {
         let mut kf = KalmanFilter::gauss(model(), KalmanState::zeroed(2));
         let err = kf.step(&Vector::zeros(2)).unwrap_err();
-        assert!(matches!(err, KalmanError::BadVector { expected: 3, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            KalmanError::BadVector {
+                expected: 3,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -304,8 +415,7 @@ mod tests {
         let reference = reference_filter(&model(), &KalmanState::zeroed(2), &zs).unwrap();
 
         let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
-        let mut kf =
-            KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat));
+        let mut kf = KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat));
         let out = kf.run(zs.iter()).unwrap();
 
         // The early transient is the hard part for the warm seeds: S moves
@@ -314,7 +424,10 @@ mod tests {
         // rate. Trajectory-level accuracy must stay high and the tail must
         // reconverge to the reference.
         let report = crate::metrics::compare(&out, &reference);
-        assert!(report.mse < 1e-4, "trajectory-level MSE too high: {report:?}");
+        assert!(
+            report.mse < 1e-4,
+            "trajectory-level MSE too high: {report:?}"
+        );
         let tail_err = out.last().unwrap().max_abs_diff(reference.last().unwrap());
         assert!(tail_err < 1e-8, "filter did not reconverge: {tail_err}");
     }
@@ -337,8 +450,7 @@ mod tests {
     #[test]
     fn with_config_rejects_bad_state_dim() {
         let cfg = KalmMindConfig::builder().build().unwrap();
-        let err =
-            KalmanFilter::with_config(model(), KalmanState::zeroed(5), &cfg).unwrap_err();
+        let err = KalmanFilter::with_config(model(), KalmanState::zeroed(5), &cfg).unwrap_err();
         assert!(matches!(err, KalmanError::BadVector { what: "state", .. }));
     }
 
@@ -362,6 +474,58 @@ mod tests {
         for (a, b) in out.iter().zip(&reference) {
             assert!(a.max_abs_diff(b) < 1e-10);
         }
+    }
+
+    #[test]
+    fn step_with_matches_step_bit_for_bit() {
+        // Two identical filters, one stepped through the workspace path:
+        // every intermediate op is the same, so states must be *equal*, not
+        // merely approximately equal.
+        let strat = || InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+        let mut alloc =
+            KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat()));
+        let mut inplace =
+            KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat()));
+        let mut ws = inplace.workspace();
+        for z in &measurements(40) {
+            let a = alloc.step(z).unwrap().clone();
+            let b = inplace.step_with(z, &mut ws).unwrap();
+            assert_eq!(a.x(), b.x());
+            assert_eq!(a.p(), b.p());
+        }
+    }
+
+    #[test]
+    fn step_with_matches_step_for_boxed_strategies() {
+        let cfg = KalmMindConfig::builder()
+            .approx(1)
+            .calc_freq(0)
+            .build()
+            .unwrap();
+        let mut alloc = KalmanFilter::with_config(model(), KalmanState::zeroed(2), &cfg).unwrap();
+        let mut inplace = KalmanFilter::with_config(model(), KalmanState::zeroed(2), &cfg).unwrap();
+        let mut ws = inplace.workspace();
+        for z in &measurements(25) {
+            let a = alloc.step(z).unwrap().clone();
+            let b = inplace.step_with(z, &mut ws).unwrap();
+            assert_eq!(a.x(), b.x());
+            assert_eq!(a.p(), b.p());
+        }
+    }
+
+    #[test]
+    fn step_with_rejects_wrong_measurement_length() {
+        let mut kf = KalmanFilter::gauss(model(), KalmanState::zeroed(2));
+        let mut ws = kf.workspace();
+        let err = kf.step_with(&Vector::zeros(2), &mut ws).unwrap_err();
+        assert!(matches!(
+            err,
+            KalmanError::BadVector {
+                expected: 3,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use kalmmind_linalg::{Matrix, Scalar};
 
 use crate::inverse::{CalcMethod, InverseStrategy};
+use crate::workspace::GainWorkspace;
 use crate::{KalmanError, KalmanModel, Result};
 
 /// Inputs available to a gain computation at KF iteration `iteration`.
@@ -37,6 +38,30 @@ pub trait GainStrategy<T: Scalar>: Send {
     /// through [`KalmanError`].
     fn gain(&mut self, ctx: GainContext<'_, T>) -> Result<Matrix<T>>;
 
+    /// Computes the gain into a pre-allocated `k` (`x_dim × z_dim`), using
+    /// `ws` for scratch space.
+    ///
+    /// The default implementation delegates to [`GainStrategy::gain`] and
+    /// copies — correct for every strategy but still allocating.
+    /// [`InverseGain`] overrides it to run allocation-free in steady state;
+    /// results are bit-identical to the allocating method either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GainStrategy::gain`], plus a dimension error when `k` is
+    /// mis-sized.
+    fn gain_into(
+        &mut self,
+        ctx: GainContext<'_, T>,
+        k: &mut Matrix<T>,
+        ws: &mut GainWorkspace<T>,
+    ) -> Result<()> {
+        let _ = ws;
+        let gain = self.gain(ctx)?;
+        k.copy_from(&gain)?;
+        Ok(())
+    }
+
     /// Short human-readable name used in reports.
     fn name(&self) -> &'static str;
 
@@ -47,6 +72,15 @@ pub trait GainStrategy<T: Scalar>: Send {
 impl<T: Scalar> GainStrategy<T> for Box<dyn GainStrategy<T>> {
     fn gain(&mut self, ctx: GainContext<'_, T>) -> Result<Matrix<T>> {
         (**self).gain(ctx)
+    }
+
+    fn gain_into(
+        &mut self,
+        ctx: GainContext<'_, T>,
+        k: &mut Matrix<T>,
+        ws: &mut GainWorkspace<T>,
+    ) -> Result<()> {
+        (**self).gain_into(ctx, k, ws)
     }
 
     fn name(&self) -> &'static str {
@@ -109,6 +143,26 @@ impl<T: Scalar, I: InverseStrategy<T>> GainStrategy<T> for InverseGain<I> {
         Ok(pht.checked_mul(&s_inv)?)
     }
 
+    fn gain_into(
+        &mut self,
+        ctx: GainContext<'_, T>,
+        k: &mut Matrix<T>,
+        ws: &mut GainWorkspace<T>,
+    ) -> Result<()> {
+        let h = ctx.model.h();
+        // S = (H·P)·Hᵀ + R, operation-for-operation the same as
+        // `innovation_covariance` so the results are bit-identical.
+        h.mul_into(ctx.p_pred, &mut ws.hp)?;
+        h.transpose_into(&mut ws.ht)?;
+        ws.hp.mul_into(&ws.ht, &mut ws.s)?;
+        ws.s.add_assign(ctx.model.r())?;
+        self.inverse
+            .invert_into(&ws.s, ctx.iteration, &mut ws.s_inv, &mut ws.inv)?;
+        ctx.p_pred.mul_into(&ws.ht, &mut ws.pht)?;
+        ws.pht.mul_into(&ws.s_inv, k)?;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         self.inverse.name()
     }
@@ -144,7 +198,10 @@ impl<T: Scalar> TaylorGain<T> {
     /// Creates the default first-order expansion used in the paper
     /// comparison.
     pub fn new() -> Self {
-        Self { order: 1, base: None }
+        Self {
+            order: 1,
+            base: None,
+        }
     }
 
     /// Creates an expansion truncated at `order`.
@@ -154,7 +211,10 @@ impl<T: Scalar> TaylorGain<T> {
 
     /// Creates an expansion with a pre-computed base point (the FPGA flow).
     pub fn with_base(order: usize, s0: Matrix<T>, s0_inv: Matrix<T>) -> Self {
-        Self { order, base: Some((s0, s0_inv)) }
+        Self {
+            order,
+            base: Some((s0, s0_inv)),
+        }
     }
 
     /// Truncation order.
@@ -278,9 +338,9 @@ impl<T: Scalar> GainStrategy<T> for IfkfGain {
         for i in 0..m {
             let d = s_red[(i, i)];
             if d == T::ZERO {
-                return Err(KalmanError::Linalg(kalmmind_linalg::LinalgError::Singular {
-                    pivot: i,
-                }));
+                return Err(KalmanError::Linalg(
+                    kalmmind_linalg::LinalgError::Singular { pivot: i },
+                ));
             }
             d_inv[(i, i)] = d.recip();
         }
@@ -319,8 +379,7 @@ pub fn settled_covariance<T: Scalar>(
         let s = innovation_covariance(model, &p_pred)?;
         let s_inv = CalcMethod::Lu.invert(&s)?;
         let k = &(&p_pred * &model.h().transpose()) * &s_inv;
-        let ikh =
-            Matrix::<T>::identity(model.x_dim()).checked_sub(&k.checked_mul(model.h())?)?;
+        let ikh = Matrix::<T>::identity(model.x_dim()).checked_sub(&k.checked_mul(model.h())?)?;
         p = ikh.checked_mul(&p_pred)?;
         p.symmetrize();
     }
@@ -391,7 +450,9 @@ impl<T: Scalar> Default for SskfGain<T> {
 
 impl<T: Scalar> GainStrategy<T> for SskfGain<T> {
     fn gain(&mut self, _ctx: GainContext<'_, T>) -> Result<Matrix<T>> {
-        self.k_const.clone().ok_or(KalmanError::NotTrained { strategy: "sskf" })
+        self.k_const
+            .clone()
+            .ok_or(KalmanError::NotTrained { strategy: "sskf" })
     }
 
     fn name(&self) -> &'static str {
@@ -421,7 +482,13 @@ mod tests {
         let m = model();
         let p = Matrix::identity(2).scale(0.5);
         let mut g = InverseGain::new(CalcInverse::new(CalcMethod::Gauss));
-        let k = g.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
+        let k = g
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
 
         let s = innovation_covariance(&m, &p).unwrap();
         let s_inv = CalcMethod::Lu.invert(&s).unwrap();
@@ -445,11 +512,22 @@ mod tests {
         let m = model();
         let p = Matrix::identity(2).scale(0.5);
         let mut exact = InverseGain::new(CalcInverse::new(CalcMethod::Gauss));
-        let k_exact =
-            exact.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
+        let k_exact = exact
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         // First call sets the base from this very S: the expansion is exact.
         let mut t = TaylorGain::new();
-        let k = t.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
+        let k = t
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         assert!(k.approx_eq(&k_exact, 1e-10));
     }
 
@@ -460,15 +538,28 @@ mod tests {
         let p_drifted = Matrix::identity(2).scale(0.65); // S moves away from S0
         let mut exact = InverseGain::new(CalcInverse::new(CalcMethod::Gauss));
         let k_exact = exact
-            .gain(GainContext { p_pred: &p_drifted, model: &m, iteration: 1 })
+            .gain(GainContext {
+                p_pred: &p_drifted,
+                model: &m,
+                iteration: 1,
+            })
             .unwrap();
         let mut errs = Vec::new();
         for order in [0usize, 1, 3] {
             let mut t = TaylorGain::with_order(order);
             // Base the expansion at p0's S, then query the drifted S.
-            t.gain(GainContext { p_pred: &p0, model: &m, iteration: 0 }).unwrap();
+            t.gain(GainContext {
+                p_pred: &p0,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
             let k = t
-                .gain(GainContext { p_pred: &p_drifted, model: &m, iteration: 1 })
+                .gain(GainContext {
+                    p_pred: &p_drifted,
+                    model: &m,
+                    iteration: 1,
+                })
                 .unwrap();
             errs.push(k.max_abs_diff(&k_exact));
         }
@@ -483,13 +574,29 @@ mod tests {
         let p0 = Matrix::identity(2).scale(0.5);
         let p1 = Matrix::identity(2).scale(2.0);
         let mut t = TaylorGain::<f64>::new();
-        t.gain(GainContext { p_pred: &p0, model: &m, iteration: 0 }).unwrap();
+        t.gain(GainContext {
+            p_pred: &p0,
+            model: &m,
+            iteration: 0,
+        })
+        .unwrap();
         GainStrategy::<f64>::reset(&mut t);
         // After the reset the next call re-bases at p1 and is exact there.
-        let k = t.gain(GainContext { p_pred: &p1, model: &m, iteration: 0 }).unwrap();
+        let k = t
+            .gain(GainContext {
+                p_pred: &p1,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         let mut exact = InverseGain::new(CalcInverse::new(CalcMethod::Gauss));
-        let k_exact =
-            exact.gain(GainContext { p_pred: &p1, model: &m, iteration: 0 }).unwrap();
+        let k_exact = exact
+            .gain(GainContext {
+                p_pred: &p1,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         assert!(k.approx_eq(&k_exact, 1e-10));
     }
 
@@ -498,8 +605,20 @@ mod tests {
         let m = model();
         let p = Matrix::identity(2).scale(0.5);
         let mut g = IfkfGain::with_reduction(2);
-        let k1 = g.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
-        let k2 = g.gain(GainContext { p_pred: &p, model: &m, iteration: 5 }).unwrap();
+        let k1 = g
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
+        let k2 = g
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 5,
+            })
+            .unwrap();
         assert_eq!(k1.shape(), (2, 3));
         assert_eq!(k1.max_abs_diff(&k2), 0.0);
     }
@@ -508,24 +627,33 @@ mod tests {
     fn ifkf_gain_is_far_from_exact_on_correlated_channels() {
         // A model whose channels are strongly correlated (shared tuning):
         // IFKF's reduction + diagonal assumption must lose badly.
-        let h = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.1], &[1.0, -0.1], &[1.0, 0.05]])
-            .unwrap();
+        let h = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.1], &[1.0, -0.1], &[1.0, 0.05]]).unwrap();
         let r = Matrix::from_fn(4, 4, |i, j| if i == j { 0.5 } else { 0.4 });
-        let m = KalmanModel::new(
-            Matrix::identity(2),
-            Matrix::identity(2).scale(0.01),
-            h,
-            r,
-        )
-        .unwrap();
+        let m =
+            KalmanModel::new(Matrix::identity(2), Matrix::identity(2).scale(0.01), h, r).unwrap();
         let p = Matrix::identity(2).scale(0.5);
         let mut exact = InverseGain::new(CalcInverse::new(CalcMethod::Gauss));
-        let k_exact = exact.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
+        let k_exact = exact
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         let mut ifkf = IfkfGain::with_reduction(2);
-        let k = ifkf.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
+        let k = ifkf
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         let scale = k_exact.iter().map(|x| x.abs()).fold(0.0f64, f64::max);
         let rel = k.max_abs_diff(&k_exact) / scale;
-        assert!(rel > 0.2, "IFKF must be >20% off on correlated data, got {rel}");
+        assert!(
+            rel > 0.2,
+            "IFKF must be >20% off on correlated data, got {rel}"
+        );
     }
 
     #[test]
@@ -540,7 +668,11 @@ mod tests {
         let p = Matrix::identity(2);
         let mut g = SskfGain::<f64>::new();
         assert!(matches!(
-            g.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }),
+            g.gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0
+            }),
             Err(KalmanError::NotTrained { strategy: "sskf" })
         ));
     }
@@ -554,12 +686,24 @@ mod tests {
         // Converged exact gain from an independent longer run.
         let converged = SskfGain::train(&m, &p0, CalcMethod::Gauss, 600).unwrap();
         let k1 = sskf
-            .gain(GainContext { p_pred: &p0, model: &m, iteration: 0 })
+            .gain(GainContext {
+                p_pred: &p0,
+                model: &m,
+                iteration: 0,
+            })
             .unwrap();
         let k2 = sskf
-            .gain(GainContext { p_pred: &Matrix::identity(2).scale(9.0), model: &m, iteration: 5 })
+            .gain(GainContext {
+                p_pred: &Matrix::identity(2).scale(9.0),
+                model: &m,
+                iteration: 5,
+            })
             .unwrap();
-        assert_eq!(k1.max_abs_diff(&k2), 0.0, "SSKF gain must ignore the context");
+        assert_eq!(
+            k1.max_abs_diff(&k2),
+            0.0,
+            "SSKF gain must ignore the context"
+        );
         assert!(k1.approx_eq(converged.k_const().unwrap(), 1e-9));
     }
 
@@ -570,7 +714,13 @@ mod tests {
         let mut boxed: Box<dyn GainStrategy<f64>> =
             Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Lu)));
         assert_eq!(GainStrategy::<f64>::name(&boxed), "lu");
-        let k = boxed.gain(GainContext { p_pred: &p, model: &m, iteration: 0 }).unwrap();
+        let k = boxed
+            .gain(GainContext {
+                p_pred: &p,
+                model: &m,
+                iteration: 0,
+            })
+            .unwrap();
         assert_eq!(k.shape(), (2, 3));
         boxed.reset();
     }

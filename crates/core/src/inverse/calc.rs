@@ -25,7 +25,6 @@ use crate::Result;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CalcMethod {
     /// Gauss–Jordan elimination with partial pivoting (the paper's default).
     #[default]

@@ -64,9 +64,9 @@ impl IfkfInverse {
 impl<T: Scalar> InverseStrategy<T> for IfkfInverse {
     fn invert(&mut self, s: &Matrix<T>, _iteration: usize) -> Result<Matrix<T>> {
         if !s.is_square() {
-            return Err(KalmanError::Linalg(kalmmind_linalg::LinalgError::NotSquare {
-                shape: s.shape(),
-            }));
+            return Err(KalmanError::Linalg(
+                kalmmind_linalg::LinalgError::NotSquare { shape: s.shape() },
+            ));
         }
         let n = s.rows();
         // D⁻¹ with a zero-diagonal guard.
@@ -74,9 +74,9 @@ impl<T: Scalar> InverseStrategy<T> for IfkfInverse {
         for i in 0..n {
             let d = s[(i, i)];
             if d == T::ZERO {
-                return Err(KalmanError::Linalg(kalmmind_linalg::LinalgError::Singular {
-                    pivot: i,
-                }));
+                return Err(KalmanError::Linalg(
+                    kalmmind_linalg::LinalgError::Singular { pivot: i },
+                ));
             }
             d_inv[(i, i)] = d.recip();
         }
@@ -123,8 +123,14 @@ mod tests {
     fn higher_order_improves_on_dominant_matrices() {
         let s = Matrix::from_fn(5, 5, |r, c| if r == c { 10.0 } else { 0.5 });
         let exact = gauss::invert(&s).unwrap();
-        let e0 = IfkfInverse::new().invert(&s, 0).unwrap().max_abs_diff(&exact);
-        let e2 = IfkfInverse::with_order(2).invert(&s, 0).unwrap().max_abs_diff(&exact);
+        let e0 = IfkfInverse::new()
+            .invert(&s, 0)
+            .unwrap()
+            .max_abs_diff(&exact);
+        let e2 = IfkfInverse::with_order(2)
+            .invert(&s, 0)
+            .unwrap()
+            .max_abs_diff(&exact);
         assert!(e2 < e0, "order 2 ({e2}) must beat order 0 ({e0})");
     }
 

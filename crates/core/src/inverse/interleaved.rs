@@ -3,7 +3,8 @@
 
 use kalmmind_linalg::{iterative, Matrix, Scalar};
 
-use crate::inverse::{CalcMethod, InverseStrategy, SeedPolicy};
+use crate::inverse::{store_history, CalcMethod, InverseStrategy, SeedPolicy};
+use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
 
 /// Interleaved calculation/approximation inversion — the paper's primary
@@ -56,6 +57,9 @@ pub struct InterleavedInverse<T> {
     /// accelerator cycle model).
     calc_count: usize,
     approx_count: usize,
+    /// Count of Path B iterations whose Newton output was non-finite and had
+    /// to be recomputed on the calculation path.
+    fallback_count: usize,
 }
 
 impl<T: Scalar> InterleavedInverse<T> {
@@ -74,6 +78,7 @@ impl<T: Scalar> InterleavedInverse<T> {
             previous: None,
             calc_count: 0,
             approx_count: 0,
+            fallback_count: 0,
         }
     }
 
@@ -107,6 +112,16 @@ impl<T: Scalar> InterleavedInverse<T> {
         self.approx_count
     }
 
+    /// Number of Path B iterations that produced a non-finite Newton result
+    /// and were recomputed exactly on the calculation path.
+    ///
+    /// A non-zero count means some seed violated the convergence condition
+    /// (paper Eq. 3) — typically after an abrupt jump in `S` broke the
+    /// temporal-correlation assumption behind the seed policies.
+    pub fn fallback_count(&self) -> usize {
+        self.fallback_count
+    }
+
     /// `true` when KF iteration `n` runs the calculation path under schedule
     /// `calc_freq` (paper Section III: `calc_freq = 0` calculates only at
     /// the first iteration).
@@ -129,6 +144,23 @@ impl<T: Scalar> InterleavedInverse<T> {
             _ => Ok(iterative::safe_seed(s).map_err(KalmanError::from)?),
         }
     }
+
+    /// Allocation-free variant of [`InterleavedInverse::seed`]: copies the
+    /// policy-chosen history into `out`, allocating only for the cold-start
+    /// safe seed.
+    fn seed_into(&mut self, s: &Matrix<T>, out: &mut Matrix<T>) -> Result<()> {
+        let chosen = match self.policy {
+            SeedPolicy::LastCalculated => self.last_calculated.as_ref(),
+            SeedPolicy::PreviousIteration => self.previous.as_ref(),
+        };
+        match chosen {
+            Some(seed) if seed.shape() == s.shape() => Ok(out.copy_from(seed)?),
+            _ => {
+                *out = iterative::safe_seed(s).map_err(KalmanError::from)?;
+                Ok(())
+            }
+        }
+    }
 }
 
 impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
@@ -141,10 +173,64 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
         } else {
             let seed = self.seed(s)?;
             self.approx_count += 1;
-            iterative::newton_schulz(s, &seed, self.approx).map_err(KalmanError::from)?
+            let approx =
+                iterative::newton_schulz(s, &seed, self.approx).map_err(KalmanError::from)?;
+            if approx.all_finite() {
+                approx
+            } else {
+                // The seed violated Eq. 3 and Newton diverged to NaN/∞.
+                // Installing that as `previous` would poison every later
+                // PreviousIteration seed, so recompute exactly and refresh
+                // the history with a certified inverse instead.
+                let inv = self.calc.invert(s)?;
+                self.fallback_count += 1;
+                self.last_calculated = Some(inv.clone());
+                inv
+            }
         };
         self.previous = Some(inv.clone());
         Ok(inv)
+    }
+
+    fn invert_into(
+        &mut self,
+        s: &Matrix<T>,
+        iteration: usize,
+        out: &mut Matrix<T>,
+        ws: &mut InverseWorkspace<T>,
+    ) -> Result<()> {
+        if Self::is_calc_iteration(self.calc_freq, iteration) {
+            // Path A allocates inside the factorization; it runs every
+            // calc_freq-th iteration (or only once for calc_freq = 0), so the
+            // steady-state hot path is unaffected.
+            let inv = self.calc.invert(s)?;
+            self.calc_count += 1;
+            store_history(&mut self.last_calculated, &inv);
+            out.copy_from(&inv)?;
+        } else {
+            ws.fit(s.rows());
+            self.seed_into(s, &mut ws.seed)?;
+            self.approx_count += 1;
+            iterative::newton_schulz_into(
+                s,
+                &ws.seed,
+                self.approx,
+                &mut ws.scratch,
+                &mut ws.tmp,
+                out,
+            )
+            .map_err(KalmanError::from)?;
+            if !out.all_finite() {
+                // Same recovery as `invert`: recompute exactly rather than
+                // poisoning the seed history with NaN/∞.
+                let inv = self.calc.invert(s)?;
+                self.fallback_count += 1;
+                store_history(&mut self.last_calculated, &inv);
+                out.copy_from(&inv)?;
+            }
+        }
+        store_history(&mut self.previous, out);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -161,6 +247,7 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
         self.previous = None;
         self.calc_count = 0;
         self.approx_count = 0;
+        self.fallback_count = 0;
     }
 }
 
@@ -174,7 +261,11 @@ mod tests {
         // neural measurements.
         let t = n as f64 * 0.01;
         Matrix::from_fn(6, 6, |r, c| {
-            let base = if r == c { 8.0 + t } else { 1.0 / (1.0 + (r as f64 - c as f64).abs()) };
+            let base = if r == c {
+                8.0 + t
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            };
             base + 0.05 * t * ((r + c) as f64).sin()
         })
     }
@@ -191,8 +282,9 @@ mod tests {
             assert!(InterleavedInverse::<f64>::is_calc_iteration(1, n));
         }
         // calc_freq = 3: every third.
-        let pattern: Vec<bool> =
-            (0..7).map(|n| InterleavedInverse::<f64>::is_calc_iteration(3, n)).collect();
+        let pattern: Vec<bool> = (0..7)
+            .map(|n| InterleavedInverse::<f64>::is_calc_iteration(3, n))
+            .collect();
         assert_eq!(pattern, [true, false, false, true, false, false, true]);
     }
 
@@ -232,7 +324,11 @@ mod tests {
             let s = drifting_s(n);
             let inv = strat.invert(&s, n).unwrap();
             let exact = gauss::invert(&s).unwrap();
-            assert!(inv.approx_eq(&exact, 1e-4), "n={n}: {}", inv.max_abs_diff(&exact));
+            assert!(
+                inv.approx_eq(&exact, 1e-4),
+                "n={n}: {}",
+                inv.max_abs_diff(&exact)
+            );
         }
         assert_eq!(strat.calc_count(), 1);
         assert_eq!(strat.approx_count(), 11);
@@ -282,16 +378,67 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_newton_output_falls_back_to_calculation() {
+        // Warm up on a well-scaled S, then jump its magnitude by ~1e8. The
+        // stale PreviousIteration seed now massively violates Eq. 3, so the
+        // Newton output is non-finite and the strategy must recompute it on
+        // the calculation path instead of handing back NaNs.
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 8, 0, SeedPolicy::PreviousIteration);
+        strat.invert(&drifting_s(0), 0).unwrap();
+        assert_eq!(strat.fallback_count(), 0);
+
+        let jumped = drifting_s(1).scale(1e8);
+        let inv = strat.invert(&jumped, 1).unwrap();
+        assert!(inv.all_finite(), "fallback must return a finite inverse");
+        let exact = gauss::invert(&jumped).unwrap();
+        assert!(
+            inv.approx_eq(&exact, 1e-12),
+            "fallback must be the exact inverse"
+        );
+        assert_eq!(strat.fallback_count(), 1);
+    }
+
+    #[test]
+    fn history_recovers_after_fallback() {
+        // After the fallback, `previous` holds the certified inverse, so the
+        // next approximated iteration must be back inside the quadratic
+        // convergence basin (no second fallback, accurate result).
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 8, 0, SeedPolicy::PreviousIteration);
+        strat.invert(&drifting_s(0), 0).unwrap();
+        strat.invert(&drifting_s(1).scale(1e8), 1).unwrap();
+        assert_eq!(strat.fallback_count(), 1);
+
+        let s2 = drifting_s(2).scale(1e8);
+        let inv = strat.invert(&s2, 2).unwrap();
+        assert_eq!(
+            strat.fallback_count(),
+            1,
+            "recovered seed must not fall back again"
+        );
+        let exact = gauss::invert(&s2).unwrap();
+        assert!(inv.approx_eq(&exact, 1e-6), "{}", inv.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn reset_clears_fallback_count() {
+        let mut strat =
+            InterleavedInverse::new(CalcMethod::Gauss, 8, 0, SeedPolicy::PreviousIteration);
+        strat.invert(&drifting_s(0), 0).unwrap();
+        strat.invert(&drifting_s(1).scale(1e8), 1).unwrap();
+        assert_eq!(strat.fallback_count(), 1);
+        InverseStrategy::<f64>::reset(&mut strat);
+        assert_eq!(strat.fallback_count(), 0);
+    }
+
+    #[test]
     fn higher_approx_tightens_the_approximated_iterations() {
         let exact_at = |n: usize| gauss::invert(&drifting_s(n)).unwrap();
         let mut err_by_approx = Vec::new();
         for approx in [1usize, 3] {
-            let mut strat = InterleavedInverse::new(
-                CalcMethod::Gauss,
-                approx,
-                6,
-                SeedPolicy::LastCalculated,
-            );
+            let mut strat =
+                InterleavedInverse::new(CalcMethod::Gauss, approx, 6, SeedPolicy::LastCalculated);
             let mut worst: f64 = 0.0;
             for n in 0..12 {
                 let inv = strat.invert(&drifting_s(n), n).unwrap();

@@ -32,6 +32,7 @@ pub use sskf_newton::SskfNewtonInverse;
 
 use kalmmind_linalg::{Matrix, Scalar};
 
+use crate::workspace::InverseWorkspace;
 use crate::Result;
 
 /// A strategy for producing `S⁻¹` at each KF iteration.
@@ -53,6 +54,32 @@ pub trait InverseStrategy<T: Scalar>: Send {
     /// missing training through [`crate::KalmanError`].
     fn invert(&mut self, s: &Matrix<T>, iteration: usize) -> Result<Matrix<T>>;
 
+    /// Computes the inverse into a pre-allocated `out`, using `ws` for
+    /// scratch space.
+    ///
+    /// The default implementation delegates to [`InverseStrategy::invert`]
+    /// and copies — correct for every strategy but still allocating.
+    /// Strategies on the hot path ([`NewtonInverse`], [`InterleavedInverse`])
+    /// override it to run allocation-free in steady state; results are
+    /// bit-identical to the allocating method either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InverseStrategy::invert`], plus a dimension error when
+    /// `out` is not shaped like `s`.
+    fn invert_into(
+        &mut self,
+        s: &Matrix<T>,
+        iteration: usize,
+        out: &mut Matrix<T>,
+        ws: &mut InverseWorkspace<T>,
+    ) -> Result<()> {
+        let _ = ws;
+        let inv = self.invert(s, iteration)?;
+        out.copy_from(&inv)?;
+        Ok(())
+    }
+
     /// Short human-readable name used in reports (e.g. `"gauss/newton"`).
     fn name(&self) -> &'static str;
 
@@ -66,6 +93,16 @@ impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
         (**self).invert(s, iteration)
     }
 
+    fn invert_into(
+        &mut self,
+        s: &Matrix<T>,
+        iteration: usize,
+        out: &mut Matrix<T>,
+        ws: &mut InverseWorkspace<T>,
+    ) -> Result<()> {
+        (**self).invert_into(s, iteration, out, ws)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -75,10 +112,21 @@ impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
     }
 }
 
+/// Copies `value` into an optional history slot, reusing the existing buffer
+/// when shapes match (the allocation-free steady-state path) and cloning
+/// only on first use or after a dimension change.
+pub(crate) fn store_history<T: Scalar>(slot: &mut Option<Matrix<T>>, value: &Matrix<T>) {
+    match slot {
+        Some(existing) if existing.shape() == value.shape() => {
+            existing.copy_from(value).expect("shapes were just checked");
+        }
+        _ => *slot = Some(value.clone()),
+    }
+}
+
 /// Which of the two seed policies initializes the Newton approximation
 /// (paper Eq. 4 and Eq. 5, selected by the `policy` register).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SeedPolicy {
     /// `policy = 0` (Eq. 5): seed with the most recently *calculated*
     /// inverse `S_j⁻¹`, `j = n − n mod calc_freq`, avoiding compounding of

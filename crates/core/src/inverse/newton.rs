@@ -2,7 +2,8 @@
 
 use kalmmind_linalg::{iterative, Matrix, Scalar};
 
-use crate::inverse::InverseStrategy;
+use crate::inverse::{store_history, InverseStrategy};
+use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
 
 /// How the very first KF iteration obtains its Newton seed, before any
@@ -53,13 +54,21 @@ impl<T: Scalar> NewtonInverse<T> {
     /// Creates a Newton-only strategy with `approx` internal iterations per
     /// KF iteration and the safe cold-start seed.
     pub fn new(approx: usize) -> Self {
-        Self { approx, initial: InitialSeed::Safe, prev: None }
+        Self {
+            approx,
+            initial: InitialSeed::Safe,
+            prev: None,
+        }
     }
 
     /// Creates the LITE configuration: `approx` internal iterations with a
     /// pre-computed first seed.
     pub fn with_precomputed_seed(approx: usize, seed: Matrix<T>) -> Self {
-        Self { approx, initial: InitialSeed::Precomputed(seed), prev: None }
+        Self {
+            approx,
+            initial: InitialSeed::Precomputed(seed),
+            prev: None,
+        }
     }
 
     /// Number of internal Newton iterations per KF iteration.
@@ -106,6 +115,35 @@ impl<T: Scalar> InverseStrategy<T> for NewtonInverse<T> {
         Ok(v)
     }
 
+    fn invert_into(
+        &mut self,
+        s: &Matrix<T>,
+        _iteration: usize,
+        out: &mut Matrix<T>,
+        ws: &mut InverseWorkspace<T>,
+    ) -> Result<()> {
+        ws.fit(s.rows());
+        let cold_start = match &self.prev {
+            Some(prev) if prev.shape() == s.shape() => {
+                ws.seed.copy_from(prev)?;
+                false
+            }
+            _ => {
+                ws.seed = self.first_seed(s)?;
+                true
+            }
+        };
+        // Mirror `invert`'s cold-start budget so both paths are bit-identical.
+        let iters = if cold_start && matches!(self.initial, InitialSeed::Safe) {
+            self.approx.max(cold_start_budget(s))
+        } else {
+            self.approx
+        };
+        iterative::newton_schulz_into(s, &ws.seed, iters, &mut ws.scratch, &mut ws.tmp, out)?;
+        store_history(&mut self.prev, out);
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "newton"
     }
@@ -143,7 +181,11 @@ mod tests {
         let mut strat = NewtonInverse::new(2);
         let inv = strat.invert(&s, 0).unwrap();
         let exact = gauss::invert(&s).unwrap();
-        assert!(inv.approx_eq(&exact, 1e-6), "diff {}", inv.max_abs_diff(&exact));
+        assert!(
+            inv.approx_eq(&exact, 1e-6),
+            "diff {}",
+            inv.max_abs_diff(&exact)
+        );
     }
 
     #[test]
@@ -180,7 +222,10 @@ mod tests {
         let mut lite = NewtonInverse::with_precomputed_seed(1, Matrix::identity(3));
         assert!(matches!(
             lite.invert(&s, 0),
-            Err(KalmanError::BadConfig { register: "seed", .. })
+            Err(KalmanError::BadConfig {
+                register: "seed",
+                ..
+            })
         ));
     }
 
@@ -191,7 +236,11 @@ mod tests {
         let first = strat.invert(&s, 0).unwrap();
         InverseStrategy::<f64>::reset(&mut strat);
         let again = strat.invert(&s, 0).unwrap();
-        assert_eq!(first.max_abs_diff(&again), 0.0, "reset must reproduce the cold start");
+        assert_eq!(
+            first.max_abs_diff(&again),
+            0.0,
+            "reset must reproduce the cold start"
+        );
     }
 
     #[test]
@@ -207,7 +256,10 @@ mod tests {
             errs.push(inv.max_abs_diff(&exact));
         }
         assert!(errs[1] < errs[0], "approx=2 must beat approx=1: {errs:?}");
-        assert!(errs[2] <= errs[1], "approx=4 must not lose to approx=2: {errs:?}");
+        assert!(
+            errs[2] <= errs[1],
+            "approx=4 must not lose to approx=2: {errs:?}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl<T: Scalar> SskfNewtonInverse<T> {
     /// Newton refinement budget (`approx = 0` reproduces the pure SSKF
     /// inverse path).
     pub fn new(s_inv_const: Matrix<T>, approx: usize) -> Self {
-        Self { s_inv_const, approx }
+        Self {
+            s_inv_const,
+            approx,
+        }
     }
 
     /// Trains the constant inverse offline by running the covariance
@@ -64,7 +67,10 @@ impl<T: Scalar> SskfNewtonInverse<T> {
         approx: usize,
     ) -> Result<Self> {
         let s_const = steady_state_s(model, p0, calc, iterations)?;
-        Ok(Self { s_inv_const: calc.invert(&s_const)?, approx })
+        Ok(Self {
+            s_inv_const: calc.invert(&s_const)?,
+            approx,
+        })
     }
 
     /// The constant inverse currently loaded.
@@ -136,10 +142,7 @@ pub fn steady_state_s<T: Scalar>(
     Ok(s)
 }
 
-fn innovation_covariance<T: Scalar>(
-    model: &KalmanModel<T>,
-    p: &Matrix<T>,
-) -> Result<Matrix<T>> {
+fn innovation_covariance<T: Scalar>(model: &KalmanModel<T>, p: &Matrix<T>) -> Result<Matrix<T>> {
     let p_pred = &(model.f() * p) * &model.f().transpose() + model.q().clone();
     innovation_covariance_from_pred(model, &p_pred)
 }
@@ -174,7 +177,11 @@ mod tests {
         let p0 = Matrix::identity(2);
         let s100 = steady_state_s(&model, &p0, CalcMethod::Gauss, 100).unwrap();
         let s200 = steady_state_s(&model, &p0, CalcMethod::Gauss, 200).unwrap();
-        assert!(s100.approx_eq(&s200, 1e-9), "S must converge: {}", s100.max_abs_diff(&s200));
+        assert!(
+            s100.approx_eq(&s200, 1e-9),
+            "S must converge: {}",
+            s100.max_abs_diff(&s200)
+        );
     }
 
     #[test]
@@ -205,7 +212,10 @@ mod tests {
         let mut constant = SskfNewtonInverse::new(c, 0);
         let e_refined = refined.invert(&s, 0).unwrap().max_abs_diff(&exact);
         let e_const = constant.invert(&s, 0).unwrap().max_abs_diff(&exact);
-        assert!(e_refined < e_const / 10.0, "refined={e_refined}, const={e_const}");
+        assert!(
+            e_refined < e_const / 10.0,
+            "refined={e_refined}, const={e_const}"
+        );
     }
 
     #[test]

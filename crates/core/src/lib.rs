@@ -54,6 +54,7 @@ mod error;
 mod filter;
 mod model;
 mod state;
+mod workspace;
 
 pub mod adaptive;
 pub mod gain;
@@ -68,6 +69,7 @@ pub use error::KalmanError;
 pub use filter::{reference_filter, KalmanFilter};
 pub use model::KalmanModel;
 pub use state::KalmanState;
+pub use workspace::{GainWorkspace, InverseWorkspace, StepWorkspace};
 
 /// Convenience result alias used across the crate.
 pub type Result<T, E = KalmanError> = std::result::Result<T, E>;

@@ -29,7 +29,6 @@ use kalmmind_linalg::{Scalar, Vector};
 /// assert!((report.max_diff_pct - 5.0).abs() < 1e-9); // 0.1 / 2.0
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccuracyReport {
     /// Mean squared error.
     pub mse: f64,
@@ -174,8 +173,7 @@ mod tests {
     #[test]
     fn mixed_scalar_types_compare_through_f64() {
         let reference = traj(&[&[1.0, 2.0]]);
-        let outputs: Vec<Vector<f32>> =
-            vec![Vector::from_vec(vec![1.0_f32, 2.0])];
+        let outputs: Vec<Vector<f32>> = vec![Vector::from_vec(vec![1.0_f32, 2.0])];
         let r = compare(&outputs, &reference);
         assert_eq!(r.mse, 0.0);
     }

@@ -69,7 +69,10 @@ impl<T: Scalar> KalmanModel<T> {
         if h.cols() != x_dim || h.rows() == 0 {
             return Err(KalmanError::BadModel {
                 matrix: "H",
-                reason: format!("must be z_dim x {x_dim} with z_dim > 0, got {:?}", h.shape()),
+                reason: format!(
+                    "must be z_dim x {x_dim} with z_dim > 0, got {:?}",
+                    h.shape()
+                ),
             });
         }
         let z_dim = h.rows();

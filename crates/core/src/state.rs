@@ -40,7 +40,10 @@ impl<T: Scalar> KalmanState<T> {
 
     /// The customary cold start: zero estimate, identity covariance.
     pub fn zeroed(x_dim: usize) -> Self {
-        Self { x: Vector::zeros(x_dim), p: Matrix::identity(x_dim) }
+        Self {
+            x: Vector::zeros(x_dim),
+            p: Matrix::identity(x_dim),
+        }
     }
 
     /// Borrow of the state estimate `x_n`.
@@ -65,9 +68,28 @@ impl<T: Scalar> KalmanState<T> {
         self.p = p;
     }
 
+    /// Copies both halves from workspace buffers without reallocating —
+    /// the allocation-free analogue of [`KalmanState::replace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (via the copy kernels) only if the source dimensions disagree
+    /// with this state's, which the filter's shape checks rule out.
+    pub(crate) fn assign(&mut self, x: &Vector<T>, p: &Matrix<T>) {
+        self.x
+            .copy_from(x)
+            .expect("state dimension is fixed at construction");
+        self.p
+            .copy_from(p)
+            .expect("covariance dimension is fixed at construction");
+    }
+
     /// Converts the state to another scalar type through `f64`.
     pub fn cast<U: Scalar>(&self) -> KalmanState<U> {
-        KalmanState { x: self.x.cast(), p: self.p.cast() }
+        KalmanState {
+            x: self.x.cast(),
+            p: self.p.cast(),
+        }
     }
 }
 
@@ -92,7 +114,10 @@ mod tests {
     #[test]
     fn replace_swaps_both_halves() {
         let mut s = KalmanState::<f64>::zeroed(2);
-        s.replace(Vector::from_vec(vec![1.0, 2.0]), Matrix::identity(2).scale(3.0));
+        s.replace(
+            Vector::from_vec(vec![1.0, 2.0]),
+            Matrix::identity(2).scale(3.0),
+        );
         assert_eq!(s.x()[1], 2.0);
         assert_eq!(s.p()[(0, 0)], 3.0);
     }

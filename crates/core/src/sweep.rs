@@ -40,7 +40,10 @@ pub fn evaluate_config<T: Scalar>(
         Ok(outputs) => compare(&outputs, reference),
         Err(_) => AccuracyReport::failed(),
     };
-    SweepPoint { config: *config, report }
+    SweepPoint {
+        config: *config,
+        report,
+    }
 }
 
 /// Runs the full grid and returns one point per configuration, in grid order.
@@ -138,10 +141,11 @@ pub fn pareto_front(points: &[LatencyPoint], by: MetricKind) -> Vec<LatencyPoint
         .filter(|p| p.latency_s.is_finite() && by.of(&p.point.report).is_finite())
         .collect();
     finite.sort_by(|a, b| {
-        a.latency_s
-            .partial_cmp(&b.latency_s)
-            .expect("finite")
-            .then(by.of(&a.point.report).partial_cmp(&by.of(&b.point.report)).expect("finite"))
+        a.latency_s.partial_cmp(&b.latency_s).expect("finite").then(
+            by.of(&a.point.report)
+                .partial_cmp(&by.of(&b.point.report))
+                .expect("finite"),
+        )
     });
     let mut front: Vec<LatencyPoint> = Vec::new();
     let mut best_metric = f64::INFINITY;
@@ -162,7 +166,12 @@ mod tests {
     use kalmmind_linalg::Matrix;
 
     fn mk_report(mse: f64) -> AccuracyReport {
-        AccuracyReport { mse, mae: mse, max_diff_pct: mse, avg_diff_pct: mse }
+        AccuracyReport {
+            mse,
+            mae: mse,
+            max_diff_pct: mse,
+            avg_diff_pct: mse,
+        }
     }
 
     fn mk_point(approx: usize, calc_freq: u32, policy: SeedPolicy, mse: f64) -> SweepPoint {
@@ -223,7 +232,12 @@ mod tests {
 
     #[test]
     fn metric_kind_extracts_the_right_field() {
-        let r = AccuracyReport { mse: 1.0, mae: 2.0, max_diff_pct: 3.0, avg_diff_pct: 4.0 };
+        let r = AccuracyReport {
+            mse: 1.0,
+            mae: 2.0,
+            max_diff_pct: 3.0,
+            avg_diff_pct: 4.0,
+        };
         assert_eq!(MetricKind::Mse.of(&r), 1.0);
         assert_eq!(MetricKind::Mae.of(&r), 2.0);
         assert_eq!(MetricKind::MaxDiff.of(&r), 3.0);
@@ -259,16 +273,24 @@ mod tests {
         )
         .unwrap();
         let init = KalmanState::zeroed(1);
-        let zs: Vec<Vector<f64>> =
-            (0..10).map(|t| Vector::from_vec(vec![(t as f64 * 0.3).sin()])).collect();
+        let zs: Vec<Vector<f64>> = (0..10)
+            .map(|t| Vector::from_vec(vec![(t as f64 * 0.3).sin()]))
+            .collect();
         let reference = crate::reference_filter(&model, &init, &zs).unwrap();
         let grid = vec![
             KalmMindConfig::default(),
-            KalmMindConfig::builder().approx(2).calc_freq(3).build().unwrap(),
+            KalmMindConfig::builder()
+                .approx(2)
+                .calc_freq(3)
+                .build()
+                .unwrap(),
         ];
         let points = run_sweep(&model, &init, &zs, &reference, &grid).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].config, grid[0]);
-        assert!(points[0].report.mse < 1e-12, "exact config must match reference");
+        assert!(
+            points[0].report.mse < 1e-12,
+            "exact config must match reference"
+        );
     }
 }

@@ -66,7 +66,10 @@ impl<T: Scalar> TrainingSet<T> {
                 });
             }
         }
-        Ok(Self { states, measurements })
+        Ok(Self {
+            states,
+            measurements,
+        })
     }
 
     /// Number of time samples.
@@ -236,7 +239,10 @@ mod tests {
         for _ in 0..100 {
             states.push(Vector::from_vec(x.to_vec()));
             meas.push(Vector::from_vec(
-                h_true.iter().map(|row| row[0] * x[0] + row[1] * x[1]).collect(),
+                h_true
+                    .iter()
+                    .map(|row| row[0] * x[0] + row[1] * x[1])
+                    .collect(),
             ));
             x = [
                 f_true[0][0] * x[0] + f_true[0][1] * x[1],
@@ -272,7 +278,11 @@ mod tests {
         }
         let data = TrainingSet::new(states, meas).unwrap();
         let model = fit_model(&data, 1e-9).unwrap();
-        assert!((model.r()[(0, 0)] - 0.01).abs() < 1e-3, "R = {:?}", model.r());
+        assert!(
+            (model.r()[(0, 0)] - 0.01).abs() < 1e-3,
+            "R = {:?}",
+            model.r()
+        );
     }
 
     #[test]

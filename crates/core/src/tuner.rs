@@ -169,7 +169,9 @@ mod tests {
         let sel = select(
             &sample_points(),
             MetricKind::Mse,
-            Objective::BestAccuracyWithin { latency_budget_s: 2.5 },
+            Objective::BestAccuracyWithin {
+                latency_budget_s: 2.5,
+            },
         )
         .expect("selection");
         assert_eq!(sel.config.approx(), 2);
@@ -181,7 +183,9 @@ mod tests {
         let sel = select(
             &sample_points(),
             MetricKind::Mse,
-            Objective::BestAccuracyWithin { latency_budget_s: 100.0 },
+            Objective::BestAccuracyWithin {
+                latency_budget_s: 100.0,
+            },
         )
         .expect("selection");
         assert_eq!(sel.config.approx(), 4);
@@ -192,7 +196,9 @@ mod tests {
         let sel = select(
             &sample_points(),
             MetricKind::Mse,
-            Objective::FastestWithin { accuracy_floor: 1e-4 },
+            Objective::FastestWithin {
+                accuracy_floor: 1e-4,
+            },
         )
         .expect("selection");
         assert_eq!(sel.config.approx(), 2);
@@ -204,7 +210,9 @@ mod tests {
         let err = select(
             &sample_points(),
             MetricKind::Mse,
-            Objective::BestAccuracyWithin { latency_budget_s: 0.1 },
+            Objective::BestAccuracyWithin {
+                latency_budget_s: 0.1,
+            },
         )
         .unwrap_err();
         let msg = err.to_string();
@@ -216,7 +224,9 @@ mod tests {
         let err = select(
             &sample_points(),
             MetricKind::Mse,
-            Objective::FastestWithin { accuracy_floor: 1e-30 },
+            Objective::FastestWithin {
+                accuracy_floor: 1e-30,
+            },
         )
         .unwrap_err();
         assert!(err.to_string().contains("best is"), "{err}");
@@ -227,16 +237,28 @@ mod tests {
         let sel = select(
             &sample_points(),
             MetricKind::Mse,
-            Objective::FastestWithin { accuracy_floor: 1e-4 },
+            Objective::FastestWithin {
+                accuracy_floor: 1e-4,
+            },
         )
         .expect("selection");
-        assert_ne!(sel.config.approx(), 3, "the dominated point must not be chosen");
+        assert_ne!(
+            sel.config.approx(),
+            3,
+            "the dominated point must not be chosen"
+        );
         assert_eq!(sel.front_size, 3);
     }
 
     #[test]
     fn empty_input_is_an_error() {
-        assert!(select(&[], MetricKind::Mse, Objective::FastestWithin { accuracy_floor: 1.0 })
-            .is_err());
+        assert!(select(
+            &[],
+            MetricKind::Mse,
+            Objective::FastestWithin {
+                accuracy_floor: 1.0
+            }
+        )
+        .is_err());
     }
 }

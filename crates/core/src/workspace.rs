@@ -1,0 +1,204 @@
+//! Pre-allocated scratch buffers for the allocation-free KF hot path.
+//!
+//! The accelerator keeps every matrix of the recursion resident in its
+//! private local memory (PLM) and never allocates at runtime; the software
+//! filter mirrors that with a [`StepWorkspace`] sized once from the model and
+//! threaded through [`KalmanFilter::step_with`](crate::KalmanFilter::step_with).
+//! Every buffer is reused across iterations, so steady-state stepping
+//! performs zero heap allocations (pinned by `tests/alloc_free.rs`).
+//!
+//! The workspace nests per layer: [`StepWorkspace`] owns the filter-level
+//! buffers, [`GainWorkspace`] the `compute K` intermediates, and
+//! [`InverseWorkspace`] the Newton–Schulz scratch space, matching the
+//! filter → gain strategy → inverse strategy call chain.
+
+use kalmmind_linalg::{Matrix, Scalar, Vector};
+
+use crate::KalmanModel;
+
+/// Scratch buffers for an [`InverseStrategy`](crate::inverse::InverseStrategy)
+/// `invert_into` call — all `z_dim × z_dim`.
+#[derive(Debug, Clone)]
+pub struct InverseWorkspace<T> {
+    /// Newton-step intermediate `2I − A·V`.
+    pub scratch: Matrix<T>,
+    /// Ping-pong buffer for the Newton iterate.
+    pub tmp: Matrix<T>,
+    /// The seed `V₀` copied from strategy history.
+    pub seed: Matrix<T>,
+}
+
+impl<T: Scalar> InverseWorkspace<T> {
+    /// Creates buffers for `z_dim × z_dim` innovation covariances.
+    pub fn new(z_dim: usize) -> Self {
+        Self {
+            scratch: Matrix::zeros(z_dim, z_dim),
+            tmp: Matrix::zeros(z_dim, z_dim),
+            seed: Matrix::zeros(z_dim, z_dim),
+        }
+    }
+
+    /// Resizes the buffers to `n × n` if they do not already match.
+    ///
+    /// A no-op (and allocation-free) when already correctly sized; inverse
+    /// strategies call this defensively so a workspace built for one model
+    /// cannot corrupt a differently-shaped `S`.
+    pub fn fit(&mut self, n: usize) {
+        if self.scratch.shape() != (n, n) {
+            self.scratch = Matrix::zeros(n, n);
+        }
+        if self.tmp.shape() != (n, n) {
+            self.tmp = Matrix::zeros(n, n);
+        }
+        if self.seed.shape() != (n, n) {
+            self.seed = Matrix::zeros(n, n);
+        }
+    }
+}
+
+/// Scratch buffers for a [`GainStrategy`](crate::gain::GainStrategy)
+/// `gain_into` call.
+#[derive(Debug, Clone)]
+pub struct GainWorkspace<T> {
+    /// `Hᵀ` (`x_dim × z_dim`).
+    pub ht: Matrix<T>,
+    /// `H·P` (`z_dim × x_dim`).
+    pub hp: Matrix<T>,
+    /// Innovation covariance `S = H·P·Hᵀ + R` (`z_dim × z_dim`).
+    pub s: Matrix<T>,
+    /// `P·Hᵀ` (`x_dim × z_dim`).
+    pub pht: Matrix<T>,
+    /// `S⁻¹` (`z_dim × z_dim`).
+    pub s_inv: Matrix<T>,
+    /// Nested scratch space for the inversion strategy.
+    pub inv: InverseWorkspace<T>,
+}
+
+impl<T: Scalar> GainWorkspace<T> {
+    /// Creates buffers for an `x_dim`-state, `z_dim`-channel model.
+    pub fn new(x_dim: usize, z_dim: usize) -> Self {
+        Self {
+            ht: Matrix::zeros(x_dim, z_dim),
+            hp: Matrix::zeros(z_dim, x_dim),
+            s: Matrix::zeros(z_dim, z_dim),
+            pht: Matrix::zeros(x_dim, z_dim),
+            s_inv: Matrix::zeros(z_dim, z_dim),
+            inv: InverseWorkspace::new(z_dim),
+        }
+    }
+}
+
+/// All scratch buffers one [`KalmanFilter`](crate::KalmanFilter) iteration
+/// needs — the software analogue of the accelerator's PLM banks.
+///
+/// Build one with [`StepWorkspace::for_model`] (or
+/// [`KalmanFilter::workspace`](crate::KalmanFilter::workspace)) and pass it
+/// to every `step_with` call. A workspace may be reused across filters that
+/// share the same dimensions, but not concurrently.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+/// use kalmmind_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let model = KalmanModel::new(
+///     Matrix::<f64>::identity(1),
+///     Matrix::identity(1).scale(1e-4),
+///     Matrix::identity(1),
+///     Matrix::identity(1).scale(0.5),
+/// )?;
+/// let mut kf = KalmanFilter::gauss(model, KalmanState::zeroed(1));
+/// let mut ws = kf.workspace();
+/// for z in [1.0_f64, 1.1, 0.9] {
+///     kf.step_with(&Vector::from_vec(vec![z]), &mut ws)?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepWorkspace<T> {
+    /// Predicted estimate `x̂_n = F·x_{n−1}` (`x_dim`).
+    pub x_pred: Vector<T>,
+    /// `F·P` (`x_dim × x_dim`).
+    pub fp: Matrix<T>,
+    /// `Fᵀ` (`x_dim × x_dim`).
+    pub ft: Matrix<T>,
+    /// Predicted covariance `P_n = F·P·Fᵀ + Q` (`x_dim × x_dim`).
+    pub p_pred: Matrix<T>,
+    /// `H·x̂_n` (`z_dim`).
+    pub hx: Vector<T>,
+    /// Innovation `y = z − H·x̂_n` (`z_dim`).
+    pub y: Vector<T>,
+    /// Kalman gain `K` (`x_dim × z_dim`).
+    pub k: Matrix<T>,
+    /// `K·y` (`x_dim`).
+    pub ky: Vector<T>,
+    /// `K·H`, overwritten in place with `I − K·H` (`x_dim × x_dim`).
+    pub kh: Matrix<T>,
+    /// Updated covariance (`x_dim × x_dim`).
+    pub p_new: Matrix<T>,
+    /// Nested scratch space for the gain strategy.
+    pub gain: GainWorkspace<T>,
+}
+
+impl<T: Scalar> StepWorkspace<T> {
+    /// Creates a workspace sized for `model`.
+    pub fn for_model(model: &KalmanModel<T>) -> Self {
+        Self::new(model.x_dim(), model.z_dim())
+    }
+
+    /// Creates a workspace for an `x_dim`-state, `z_dim`-channel filter.
+    pub fn new(x_dim: usize, z_dim: usize) -> Self {
+        Self {
+            x_pred: Vector::zeros(x_dim),
+            fp: Matrix::zeros(x_dim, x_dim),
+            ft: Matrix::zeros(x_dim, x_dim),
+            p_pred: Matrix::zeros(x_dim, x_dim),
+            hx: Vector::zeros(z_dim),
+            y: Vector::zeros(z_dim),
+            k: Matrix::zeros(x_dim, z_dim),
+            ky: Vector::zeros(x_dim),
+            kh: Matrix::zeros(x_dim, x_dim),
+            p_new: Matrix::zeros(x_dim, x_dim),
+            gain: GainWorkspace::new(x_dim, z_dim),
+        }
+    }
+
+    /// The `(x_dim, z_dim)` pair this workspace was sized for.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.x_pred.len(), self.y.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_sized_from_the_model() {
+        let model = KalmanModel::new(
+            Matrix::<f64>::identity(2),
+            Matrix::identity(2),
+            Matrix::zeros(3, 2),
+            Matrix::identity(3),
+        )
+        .unwrap();
+        let ws = StepWorkspace::for_model(&model);
+        assert_eq!(ws.dims(), (2, 3));
+        assert_eq!(ws.k.shape(), (2, 3));
+        assert_eq!(ws.gain.hp.shape(), (3, 2));
+        assert_eq!(ws.gain.inv.seed.shape(), (3, 3));
+    }
+
+    #[test]
+    fn fit_is_a_noop_when_sized_and_resizes_otherwise() {
+        let mut inv = InverseWorkspace::<f64>::new(3);
+        inv.fit(3);
+        assert_eq!(inv.tmp.shape(), (3, 3));
+        inv.fit(5);
+        assert_eq!(inv.scratch.shape(), (5, 5));
+        assert_eq!(inv.seed.shape(), (5, 5));
+    }
+}

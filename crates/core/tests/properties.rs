@@ -41,7 +41,11 @@ fn arb_config() -> impl Strategy<Value = (usize, u32, SeedPolicy)> {
         (
             a,
             cf,
-            if p { SeedPolicy::PreviousIteration } else { SeedPolicy::LastCalculated },
+            if p {
+                SeedPolicy::PreviousIteration
+            } else {
+                SeedPolicy::LastCalculated
+            },
         )
     })
 }
@@ -124,6 +128,28 @@ proptest! {
         let out = kf.run(zs.iter()).expect("run");
         for (a, b) in out.iter().zip(&reference) {
             prop_assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+
+    /// The workspace fast path is bit-for-bit identical to the allocating
+    /// step under every register configuration — not merely approximately
+    /// equal: both paths must execute the same arithmetic in the same order.
+    #[test]
+    fn step_with_equals_step_bit_for_bit(
+        model in arb_model(),
+        zs in arb_measurements(12),
+        (approx, calc_freq, policy) in arb_config(),
+    ) {
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, approx, calc_freq, policy);
+        let mut alloc =
+            KalmanFilter::new(model.clone(), KalmanState::zeroed(X), InverseGain::new(strat.clone()));
+        let mut fast = KalmanFilter::new(model, KalmanState::zeroed(X), InverseGain::new(strat));
+        let mut ws = fast.workspace();
+        for z in &zs {
+            let a = alloc.step(z).expect("allocating step").clone();
+            let b = fast.step_with(z, &mut ws).expect("workspace step");
+            prop_assert_eq!(a.x(), b.x());
+            prop_assert_eq!(a.p(), b.p());
         }
     }
 

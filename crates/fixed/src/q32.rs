@@ -48,7 +48,9 @@ impl<const FRAC: u32> Fx32<FRAC> {
     /// Creates a value from an integer, saturating on overflow.
     pub fn from_int(v: i32) -> Self {
         let shifted = (i64::from(v)) << FRAC;
-        Self { raw: saturate_i64(shifted) }
+        Self {
+            raw: saturate_i64(shifted),
+        }
     }
 
     /// `true` when the value sits at either saturation rail.
@@ -75,7 +77,9 @@ impl<const FRAC: u32> Add for Fx32<FRAC> {
     type Output = Self;
 
     fn add(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_add(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_add(rhs.raw),
+        }
     }
 }
 
@@ -83,7 +87,9 @@ impl<const FRAC: u32> Sub for Fx32<FRAC> {
     type Output = Self;
 
     fn sub(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_sub(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_sub(rhs.raw),
+        }
     }
 }
 
@@ -91,10 +97,22 @@ impl<const FRAC: u32> Mul for Fx32<FRAC> {
     type Output = Self;
 
     fn mul(self, rhs: Self) -> Self {
-        // Widen to i64, multiply, shift back, saturate — the standard DSP
-        // fixed-point multiplier structure.
+        // Widen to i64, multiply, round to nearest (ties away from zero),
+        // saturate — the standard DSP fixed-point multiplier structure. A
+        // plain arithmetic shift would truncate toward −∞, giving every
+        // product a −½ LSB bias that accumulates across the KF's long MAC
+        // chains; truncating *division* with a half-LSB offset rounds.
         let wide = i64::from(self.raw) * i64::from(rhs.raw);
-        Self { raw: saturate_i64(wide >> FRAC) }
+        let div = 1i64 << FRAC;
+        let half = div >> 1;
+        let rounded = if wide >= 0 {
+            (wide + half) / div
+        } else {
+            (wide - half) / div
+        };
+        Self {
+            raw: saturate_i64(rounded),
+        }
     }
 }
 
@@ -109,7 +127,9 @@ impl<const FRAC: u32> Div for Fx32<FRAC> {
             return if self.raw < 0 { Self::MIN } else { Self::MAX };
         }
         let wide = (i64::from(self.raw)) << FRAC;
-        Self { raw: saturate_i64(wide / i64::from(rhs.raw)) }
+        Self {
+            raw: saturate_i64(wide / i64::from(rhs.raw)),
+        }
     }
 }
 
@@ -117,7 +137,9 @@ impl<const FRAC: u32> Neg for Fx32<FRAC> {
     type Output = Self;
 
     fn neg(self) -> Self {
-        Self { raw: self.raw.saturating_neg() }
+        Self {
+            raw: self.raw.saturating_neg(),
+        }
     }
 }
 
@@ -165,7 +187,9 @@ impl<const FRAC: u32> Scalar for Fx32<FRAC> {
         } else if scaled <= i32::MIN as f64 {
             Self::MIN
         } else {
-            Self { raw: scaled.round() as i32 }
+            Self {
+                raw: scaled.round() as i32,
+            }
         }
     }
 
@@ -174,7 +198,9 @@ impl<const FRAC: u32> Scalar for Fx32<FRAC> {
     }
 
     fn abs(self) -> Self {
-        Self { raw: self.raw.saturating_abs() }
+        Self {
+            raw: self.raw.saturating_abs(),
+        }
     }
 
     /// Integer Newton square root on the widened representation.
@@ -187,7 +213,9 @@ impl<const FRAC: u32> Scalar for Fx32<FRAC> {
         }
         // sqrt(raw / 2^F) in Q-format = isqrt(raw << F).
         let wide = (i64::from(self.raw)) << FRAC;
-        Self { raw: saturate_i64(isqrt_i64(wide)) }
+        Self {
+            raw: saturate_i64(isqrt_i64(wide)),
+        }
     }
 
     fn is_finite(self) -> bool {

@@ -49,7 +49,9 @@ impl<const FRAC: u32> Fx64<FRAC> {
     /// Creates a value from an integer, saturating on overflow.
     pub fn from_int(v: i64) -> Self {
         let shifted = (i128::from(v)) << FRAC;
-        Self { raw: saturate_i128(shifted) }
+        Self {
+            raw: saturate_i128(shifted),
+        }
     }
 
     /// `true` when the value sits at either saturation rail.
@@ -73,7 +75,9 @@ impl<const FRAC: u32> Add for Fx64<FRAC> {
     type Output = Self;
 
     fn add(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_add(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_add(rhs.raw),
+        }
     }
 }
 
@@ -81,7 +85,9 @@ impl<const FRAC: u32> Sub for Fx64<FRAC> {
     type Output = Self;
 
     fn sub(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_sub(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_sub(rhs.raw),
+        }
     }
 }
 
@@ -89,8 +95,19 @@ impl<const FRAC: u32> Mul for Fx64<FRAC> {
     type Output = Self;
 
     fn mul(self, rhs: Self) -> Self {
+        // Round to nearest (ties away from zero) before narrowing; a plain
+        // `>> FRAC` truncates toward −∞ and biases every product by −½ LSB.
         let wide = i128::from(self.raw) * i128::from(rhs.raw);
-        Self { raw: saturate_i128(wide >> FRAC) }
+        let div = 1i128 << FRAC;
+        let half = div >> 1;
+        let rounded = if wide >= 0 {
+            (wide + half) / div
+        } else {
+            (wide - half) / div
+        };
+        Self {
+            raw: saturate_i128(rounded),
+        }
     }
 }
 
@@ -105,7 +122,9 @@ impl<const FRAC: u32> Div for Fx64<FRAC> {
             return if self.raw < 0 { Self::MIN } else { Self::MAX };
         }
         let wide = (i128::from(self.raw)) << FRAC;
-        Self { raw: saturate_i128(wide / i128::from(rhs.raw)) }
+        Self {
+            raw: saturate_i128(wide / i128::from(rhs.raw)),
+        }
     }
 }
 
@@ -113,7 +132,9 @@ impl<const FRAC: u32> Neg for Fx64<FRAC> {
     type Output = Self;
 
     fn neg(self) -> Self {
-        Self { raw: self.raw.saturating_neg() }
+        Self {
+            raw: self.raw.saturating_neg(),
+        }
     }
 }
 
@@ -161,7 +182,9 @@ impl<const FRAC: u32> Scalar for Fx64<FRAC> {
         } else if scaled <= i64::MIN as f64 {
             Self::MIN
         } else {
-            Self { raw: scaled.round() as i64 }
+            Self {
+                raw: scaled.round() as i64,
+            }
         }
     }
 
@@ -170,7 +193,9 @@ impl<const FRAC: u32> Scalar for Fx64<FRAC> {
     }
 
     fn abs(self) -> Self {
-        Self { raw: self.raw.saturating_abs() }
+        Self {
+            raw: self.raw.saturating_abs(),
+        }
     }
 
     /// Integer Newton square root on the widened (`i128`) representation.
@@ -181,7 +206,9 @@ impl<const FRAC: u32> Scalar for Fx64<FRAC> {
             return Self::ZERO;
         }
         let wide = (i128::from(self.raw)) << FRAC;
-        Self { raw: saturate_i128(isqrt_i128(wide)) }
+        Self {
+            raw: saturate_i128(isqrt_i128(wide)),
+        }
     }
 
     fn is_finite(self) -> bool {

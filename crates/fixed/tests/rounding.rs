@@ -1,0 +1,153 @@
+//! Regression tests for round-to-nearest fixed-point multiplication.
+//!
+//! The original multiplier narrowed with a plain arithmetic shift
+//! (`wide >> FRAC`), which truncates toward −∞ and biases every product by
+//! −½ LSB on average. These tests measure the signed quantization bias of
+//! the shipped multiplier against the `f64` reference on a deterministic
+//! grid of products and pin it to less than half the truncating
+//! multiplier's bias (in practice it is close to zero).
+
+use kalmmind_fixed::{Fx32, Fx64, Q16_16, Q32_32};
+use kalmmind_linalg::Scalar;
+
+/// The old truncating narrowing, kept here as the regression baseline.
+fn trunc_mul_q16(a: Q16_16, b: Q16_16) -> f64 {
+    let wide = i64::from(a.raw()) * i64::from(b.raw());
+    (wide >> 16) as f64 / 65536.0
+}
+
+fn trunc_mul_q32(a: Q32_32, b: Q32_32) -> f64 {
+    let wide = i128::from(a.raw()) * i128::from(b.raw());
+    ((wide >> 32) as i64) as f64 / (1u64 << 32) as f64
+}
+
+/// Deterministic grid of factor pairs exercising both signs and a range of
+/// magnitudes without saturating Q16.16.
+fn factor_grid() -> Vec<(f64, f64)> {
+    let mut pairs = Vec::new();
+    let mut v = -9.973_f64;
+    while v < 10.0 {
+        let mut w = -7.613_f64;
+        while w < 8.0 {
+            pairs.push((v, w));
+            w += 0.589;
+        }
+        v += 0.771;
+    }
+    pairs
+}
+
+/// Mean signed error (product − exact) in LSB units over the grid.
+fn mean_bias_lsb(mul: impl Fn(f64, f64) -> f64, lsb: f64) -> f64 {
+    let grid = factor_grid();
+    let total: f64 = grid
+        .iter()
+        .map(|&(a, b)| {
+            // Compare against the product of the *quantized* inputs so the
+            // measured error isolates the multiplier's narrowing step.
+            let qa = (a / lsb).round() * lsb;
+            let qb = (b / lsb).round() * lsb;
+            (mul(a, b) - qa * qb) / lsb
+        })
+        .sum();
+    total / grid.len() as f64
+}
+
+#[test]
+fn q16_16_mul_bias_is_at_most_half_of_truncation() {
+    let lsb = 1.0 / 65536.0;
+    let rounded = mean_bias_lsb(
+        |a, b| (Q16_16::from_f64(a) * Q16_16::from_f64(b)).to_f64(),
+        lsb,
+    );
+    let truncated = mean_bias_lsb(
+        |a, b| trunc_mul_q16(Q16_16::from_f64(a), Q16_16::from_f64(b)),
+        lsb,
+    );
+    // Truncation sits near −0.5 LSB; round-to-nearest must erase the bias.
+    assert!(
+        truncated < -0.3,
+        "baseline lost its bias — the regression fixture is broken: {truncated}"
+    );
+    assert!(
+        rounded.abs() < truncated.abs() / 2.0,
+        "rounded bias {rounded} must be under half of truncating bias {truncated}"
+    );
+    assert!(
+        rounded.abs() < 0.05,
+        "rounded bias should be near zero: {rounded}"
+    );
+}
+
+#[test]
+fn q32_32_mul_bias_is_at_most_half_of_truncation() {
+    let lsb = 1.0 / (1u64 << 32) as f64;
+    let rounded = mean_bias_lsb(
+        |a, b| (Q32_32::from_f64(a) * Q32_32::from_f64(b)).to_f64(),
+        lsb,
+    );
+    let truncated = mean_bias_lsb(
+        |a, b| trunc_mul_q32(Q32_32::from_f64(a), Q32_32::from_f64(b)),
+        lsb,
+    );
+    assert!(
+        truncated < -0.3,
+        "baseline lost its bias — the regression fixture is broken: {truncated}"
+    );
+    assert!(
+        rounded.abs() < truncated.abs() / 2.0,
+        "rounded bias {rounded} must be under half of truncating bias {truncated}"
+    );
+    assert!(
+        rounded.abs() < 0.05,
+        "rounded bias should be near zero: {rounded}"
+    );
+}
+
+#[test]
+fn rounding_is_symmetric_in_sign() {
+    // Ties away from zero: negating both factors preserves the product,
+    // negating one factor exactly negates it.
+    for (a, b) in [
+        (1.000007, 3.1459),
+        (2.5, 1.25),
+        (0.3, 0.7),
+        (123.456, 0.001),
+    ] {
+        let pp = Q16_16::from_f64(a) * Q16_16::from_f64(b);
+        let nn = Q16_16::from_f64(-a) * Q16_16::from_f64(-b);
+        let pn = Q16_16::from_f64(a) * Q16_16::from_f64(-b);
+        assert_eq!(pp, nn, "({a} * {b})");
+        assert_eq!(pn, -pp, "({a} * -{b})");
+    }
+}
+
+#[test]
+fn exact_products_stay_exact() {
+    // Dyadic products representable in Q16.16 must not be perturbed by the
+    // rounding offset.
+    let a = Fx32::<16>::from_f64(2.5);
+    let b = Fx32::<16>::from_f64(1.25);
+    assert_eq!((a * b).to_f64(), 3.125);
+    let c = Fx64::<32>::from_f64(2.5);
+    let d = Fx64::<32>::from_f64(1.25);
+    assert_eq!((c * d).to_f64(), 3.125);
+}
+
+#[test]
+fn saturation_still_engages_after_rounding() {
+    let big32 = Fx32::<16>::from_f64(30000.0);
+    assert_eq!(big32 * big32, Fx32::<16>::MAX);
+    assert_eq!(big32 * -big32, Fx32::<16>::MIN);
+    let big64 = Fx64::<32>::from_f64(3e9);
+    assert_eq!(big64 * big64, Fx64::<32>::MAX);
+    assert_eq!(big64 * -big64, Fx64::<32>::MIN);
+}
+
+#[test]
+fn frac_zero_multiplication_is_plain_integer_mul() {
+    // FRAC = 0 must not apply any half-LSB offset (div = 1, half = 0).
+    let a = Fx32::<0>::from_int(7);
+    let b = Fx32::<0>::from_int(-6);
+    assert_eq!((a * b).to_f64(), -42.0);
+}

@@ -129,7 +129,9 @@ impl<T: Scalar> Cholesky<T> {
 
 impl<T: Scalar> std::fmt::Debug for Cholesky<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cholesky").field("dim", &self.dim()).finish_non_exhaustive()
+        f.debug_struct("Cholesky")
+            .field("dim", &self.dim())
+            .finish_non_exhaustive()
     }
 }
 

@@ -126,12 +126,8 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[2.0_f64, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[2.0_f64, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .unwrap();
         let inv = invert(&a).unwrap();
         assert!((&a * &inv).approx_eq(&Matrix::identity(3), 1e-12));
         assert!((&inv * &a).approx_eq(&Matrix::identity(3), 1e-12));
@@ -154,7 +150,10 @@ mod tests {
     #[test]
     fn rejects_rectangular() {
         let a = Matrix::<f64>::zeros(2, 3);
-        assert_eq!(invert(&a).unwrap_err(), LinalgError::NotSquare { shape: (2, 3) });
+        assert_eq!(
+            invert(&a).unwrap_err(),
+            LinalgError::NotSquare { shape: (2, 3) }
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl<T: Scalar> Lu<T> {
 
     /// Determinant of the original matrix.
     pub fn det(&self) -> T {
-        let mut d = if self.swaps.is_multiple_of(2) { T::ONE } else { -T::ONE };
+        let mut d = if self.swaps.is_multiple_of(2) {
+            T::ONE
+        } else {
+            -T::ONE
+        };
         for i in 0..self.dim() {
             d *= self.lu[(i, i)];
         }

@@ -179,7 +179,9 @@ impl<T: Scalar> Qr<T> {
 
 impl<T: Scalar> std::fmt::Debug for Qr<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Qr").field("dim", &self.dim()).finish_non_exhaustive()
+        f.debug_struct("Qr")
+            .field("dim", &self.dim())
+            .finish_non_exhaustive()
     }
 }
 
@@ -197,8 +199,12 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix<f64> {
-        Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
-            .unwrap()
+        Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -236,7 +242,9 @@ mod tests {
     #[test]
     fn agrees_with_gauss() {
         let a = sample();
-        assert!(invert(&a).unwrap().approx_eq(&crate::decomp::gauss::invert(&a).unwrap(), 1e-9));
+        assert!(invert(&a)
+            .unwrap()
+            .approx_eq(&crate::decomp::gauss::invert(&a).unwrap(), 1e-9));
     }
 
     #[test]

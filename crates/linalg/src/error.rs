@@ -75,12 +75,21 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
             }
             Self::Singular { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
             }
             Self::NotPositiveDefinite { minor } => {
-                write!(f, "matrix is not positive definite at leading minor {minor}")
+                write!(
+                    f,
+                    "matrix is not positive definite at leading minor {minor}"
+                )
             }
-            Self::NotConverged { iterations, residual } => write!(
+            Self::NotConverged {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "iteration did not converge after {iterations} steps (residual {residual:e})"
             ),
@@ -104,10 +113,17 @@ mod tests {
     fn display_messages_are_lowercase_and_specific() {
         let cases: Vec<(LinalgError, &str)> = vec![
             (
-                LinalgError::DimensionMismatch { left: (2, 3), right: (4, 5), op: "mul" },
+                LinalgError::DimensionMismatch {
+                    left: (2, 3),
+                    right: (4, 5),
+                    op: "mul",
+                },
                 "dimension mismatch in mul: left is 2x3, right is 4x5",
             ),
-            (LinalgError::NotSquare { shape: (2, 3) }, "matrix must be square, got 2x3"),
+            (
+                LinalgError::NotSquare { shape: (2, 3) },
+                "matrix must be square, got 2x3",
+            ),
             (
                 LinalgError::Singular { pivot: 1 },
                 "matrix is singular to working precision at pivot 1",
@@ -116,8 +132,17 @@ mod tests {
                 LinalgError::NotPositiveDefinite { minor: 2 },
                 "matrix is not positive definite at leading minor 2",
             ),
-            (LinalgError::RaggedRows { row: 3 }, "row 3 has a different length than row 0"),
-            (LinalgError::BadLength { expected: 6, actual: 5 }, "expected 6 elements, got 5"),
+            (
+                LinalgError::RaggedRows { row: 3 },
+                "row 3 has a different length than row 0",
+            ),
+            (
+                LinalgError::BadLength {
+                    expected: 6,
+                    actual: 5,
+                },
+                "expected 6 elements, got 5",
+            ),
         ];
         for (err, msg) in cases {
             assert_eq!(err.to_string(), msg);
@@ -132,7 +157,10 @@ mod tests {
 
     #[test]
     fn not_converged_formats_residual() {
-        let err = LinalgError::NotConverged { iterations: 10, residual: 0.5 };
+        let err = LinalgError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(err.to_string().contains("10 steps"));
         assert!(err.to_string().contains("5e-1"));
     }

@@ -70,16 +70,79 @@ pub fn newton_step<T: Scalar>(a: &Matrix<T>, v: &Matrix<T>) -> Result<Matrix<T>>
 /// # Errors
 ///
 /// Same as [`newton_step`].
-pub fn newton_schulz<T: Scalar>(
-    a: &Matrix<T>,
-    v0: &Matrix<T>,
-    iters: usize,
-) -> Result<Matrix<T>> {
+pub fn newton_schulz<T: Scalar>(a: &Matrix<T>, v0: &Matrix<T>, iters: usize) -> Result<Matrix<T>> {
     let mut v = v0.clone();
     for _ in 0..iters {
         v = newton_step(a, &v)?;
     }
     Ok(v)
+}
+
+/// One Newton–Schulz step written into pre-allocated buffers:
+/// `out = V · (2I − A·V)`.
+///
+/// Produces bit-identical results to [`newton_step`] with zero heap
+/// allocations. `scratch` holds the intermediate `2I − A·V` and must be the
+/// same shape as `a`; `out` receives the updated iterate.
+///
+/// # Errors
+///
+/// Same as [`newton_step`], plus [`LinalgError::DimensionMismatch`] when
+/// `scratch` or `out` is mis-sized.
+pub fn newton_step_into<T: Scalar>(
+    a: &Matrix<T>,
+    v: &Matrix<T>,
+    scratch: &mut Matrix<T>,
+    out: &mut Matrix<T>,
+) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if a.shape() != v.shape() {
+        return Err(LinalgError::DimensionMismatch {
+            left: a.shape(),
+            right: v.shape(),
+            op: "newton_step",
+        });
+    }
+    let n = a.rows();
+    a.mul_into(v, scratch)?;
+    // 2I − A·V, negating in place exactly as `-&av` does element-wise.
+    for x in scratch.as_mut_slice() {
+        *x = -*x;
+    }
+    let two = T::from_f64(2.0);
+    for i in 0..n {
+        scratch[(i, i)] += two;
+    }
+    v.mul_into(scratch, out)
+}
+
+/// Runs `iters` Newton–Schulz steps from seed `v0` into pre-allocated
+/// buffers, leaving the final iterate in `out`.
+///
+/// Bit-identical to [`newton_schulz`] with zero heap allocations. `scratch`
+/// and `tmp` are working buffers the same shape as `a`; their contents on
+/// return are unspecified. The iterate ping-pongs between `out` and `tmp`
+/// via `std::mem::swap`, so `out` always holds the newest value.
+///
+/// # Errors
+///
+/// Same as [`newton_step_into`].
+pub fn newton_schulz_into<T: Scalar>(
+    a: &Matrix<T>,
+    v0: &Matrix<T>,
+    iters: usize,
+    scratch: &mut Matrix<T>,
+    tmp: &mut Matrix<T>,
+    out: &mut Matrix<T>,
+) -> Result<()> {
+    out.copy_from(v0)?;
+    for _ in 0..iters {
+        newton_step_into(a, out, scratch, tmp)?;
+        std::mem::swap(out, tmp);
+    }
+    Ok(())
 }
 
 /// The classical safe seed `V_0 = A^T / (‖A‖_1 · ‖A‖_∞)`.
@@ -113,11 +176,7 @@ pub fn safe_seed<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
 /// * Seed errors from [`safe_seed`].
 /// * [`LinalgError::NotConverged`] when the residual is still above `tol`
 ///   after `max_iters` steps.
-pub fn invert_adaptive<T: Scalar>(
-    a: &Matrix<T>,
-    tol: f64,
-    max_iters: usize,
-) -> Result<Matrix<T>> {
+pub fn invert_adaptive<T: Scalar>(a: &Matrix<T>, tol: f64, max_iters: usize) -> Result<Matrix<T>> {
     let mut v = safe_seed(a)?;
     let mut residual = norms::inverse_residual(a, &v);
     for i in 0..max_iters {
@@ -127,14 +186,20 @@ pub fn invert_adaptive<T: Scalar>(
         v = newton_step(a, &v)?;
         let next = norms::inverse_residual(a, &v);
         if !next.is_finite() {
-            return Err(LinalgError::NotConverged { iterations: i + 1, residual: next });
+            return Err(LinalgError::NotConverged {
+                iterations: i + 1,
+                residual: next,
+            });
         }
         residual = next;
     }
     if residual <= tol {
         Ok(v)
     } else {
-        Err(LinalgError::NotConverged { iterations: max_iters, residual })
+        Err(LinalgError::NotConverged {
+            iterations: max_iters,
+            residual,
+        })
     }
 }
 
@@ -238,10 +303,19 @@ mod tests {
     fn shape_errors() {
         let a = spd(3);
         let v = Matrix::<f64>::identity(4);
-        assert!(matches!(newton_step(&a, &v), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            newton_step(&a, &v),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
         let rect = Matrix::<f64>::zeros(2, 3);
-        assert!(matches!(newton_step(&rect, &rect), Err(LinalgError::NotSquare { .. })));
-        assert!(matches!(safe_seed(&rect), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            newton_step(&rect, &rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            safe_seed(&rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -257,6 +331,33 @@ mod tests {
             Err(LinalgError::NotConverged { iterations, .. }) => assert_eq!(iterations, 2),
             other => panic!("expected NotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bit_for_bit() {
+        let a = spd(5);
+        let v0 = safe_seed(&a).unwrap();
+        let mut scratch = Matrix::zeros(5, 5);
+        let mut tmp = Matrix::zeros(5, 5);
+        let mut out = Matrix::zeros(5, 5);
+        newton_step_into(&a, &v0, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, newton_step(&a, &v0).unwrap());
+        for iters in [0_usize, 1, 3, 9] {
+            newton_schulz_into(&a, &v0, iters, &mut scratch, &mut tmp, &mut out).unwrap();
+            assert_eq!(out, newton_schulz(&a, &v0, iters).unwrap(), "iters={iters}");
+        }
+    }
+
+    #[test]
+    fn into_variants_validate_shapes() {
+        let a = spd(3);
+        let v = Matrix::<f64>::identity(3);
+        let mut wrong = Matrix::<f64>::zeros(2, 2);
+        let mut ok = Matrix::<f64>::zeros(3, 3);
+        assert!(newton_step_into(&a, &v, &mut wrong, &mut ok.clone()).is_err());
+        assert!(newton_step_into(&a, &v, &mut ok.clone(), &mut wrong).is_err());
+        let mut scratch = Matrix::<f64>::zeros(3, 3);
+        assert!(newton_schulz_into(&a, &v, 1, &mut scratch, &mut ok, &mut wrong).is_err());
     }
 
     #[test]

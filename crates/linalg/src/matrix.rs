@@ -23,7 +23,6 @@ use crate::{LinalgError, Result, Scalar, Vector};
 /// # }
 /// ```
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix<T> {
     rows: usize,
     cols: usize,
@@ -42,7 +41,11 @@ impl<T: Scalar> Matrix<T> {
     /// assert_eq!(m[(1, 2)], 0.0);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -107,7 +110,11 @@ impl<T: Scalar> Matrix<T> {
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { rows: rows.len(), cols: ncols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
     }
 
     /// Creates a matrix from a flat row-major slice.
@@ -117,9 +124,16 @@ impl<T: Scalar> Matrix<T> {
     /// Returns [`LinalgError::BadLength`] if `data.len() != rows * cols`.
     pub fn from_row_slice(rows: usize, cols: usize, data: &[T]) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(LinalgError::BadLength { expected: rows * cols, actual: data.len() });
+            return Err(LinalgError::BadLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
-        Ok(Self { rows, cols, data: data.to_vec() })
+        Ok(Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        })
     }
 
     /// Creates a square matrix with `diag` on the diagonal and zeros elsewhere.
@@ -177,7 +191,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row(&self, row: usize) -> &[T] {
-        assert!(row < self.rows, "row {row} out of bounds for {} rows", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -187,7 +205,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if `col >= self.cols()`.
     pub fn col(&self, col: usize) -> Vector<T> {
-        assert!(col < self.cols, "column {col} out of bounds for {} columns", self.cols);
+        assert!(
+            col < self.cols,
+            "column {col} out of bounds for {} columns",
+            self.cols
+        );
         Vector::from_fn(self.rows, |r| self[(r, col)])
     }
 
@@ -216,7 +238,11 @@ impl<T: Scalar> Matrix<T> {
     /// assert_eq!(m32[(0, 0)], 1.0_f32);
     /// ```
     pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Converts every element through `f64` into another scalar type.
@@ -312,8 +338,174 @@ impl<T: Scalar> Matrix<T> {
         Ok(Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         })
+    }
+
+    /// Copies every element of `src` into `self` without reallocating.
+    ///
+    /// This is the workhorse of the allocation-free hot path: workspace
+    /// buffers are sized once and refilled with `copy_from` every iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn copy_from(&mut self, src: &Self) -> Result<()> {
+        if self.shape() != src.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: src.shape(),
+                op: "copy_from",
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
+    /// Matrix product `self * rhs` written into a pre-allocated `out`.
+    ///
+    /// Produces bit-identical results to [`Matrix::checked_mul`] (same loop
+    /// order, same zero-skip) with zero heap allocations. `out` must not
+    /// alias either operand (the borrow checker enforces this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() !=
+    /// rhs.rows()` or `out` is not `self.rows() × rhs.cols()`.
+    pub fn mul_into(&self, rhs: &Self, out: &mut Self) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+                op: "mul",
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+                op: "mul_into",
+            });
+        }
+        out.data.fill(T::ZERO);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == T::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Element-wise in-place sum `self += rhs`.
+    ///
+    /// Bit-identical to [`Matrix::checked_add`], without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add_assign(&mut self, rhs: &Self) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "add",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise in-place difference `self -= rhs`.
+    ///
+    /// Bit-identical to [`Matrix::checked_sub`], without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub_assign(&mut self, rhs: &Self) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "sub",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// Transpose written into a pre-allocated `out`.
+    ///
+    /// Bit-identical to [`Matrix::transpose`], without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `out` is not
+    /// `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Self) -> Result<()> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.cols, self.rows),
+                right: out.shape(),
+                op: "transpose_into",
+            });
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix-vector product `self * v` written into a pre-allocated `out`.
+    ///
+    /// Bit-identical to [`Matrix::mul_vector`], without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() !=
+    /// self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vector_into(&self, v: &Vector<T>, out: &mut Vector<T>) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+                op: "mul_vector",
+            });
+        }
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, 1),
+                right: (out.len(), 1),
+                op: "mul_vector_into",
+            });
+        }
+        for r in 0..self.rows {
+            let mut acc = T::ZERO;
+            for c in 0..self.cols {
+                acc += self[(r, c)] * v[c];
+            }
+            out[r] = acc;
+        }
+        Ok(())
     }
 
     /// Symmetrizes a square matrix in place: `A <- (A + A^T) / 2`.
@@ -495,7 +687,13 @@ mod tests {
     #[test]
     fn from_row_slice_validates_length() {
         let err = Matrix::from_row_slice(2, 2, &[1.0_f64, 2.0, 3.0]).unwrap_err();
-        assert_eq!(err, LinalgError::BadLength { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            LinalgError::BadLength {
+                expected: 4,
+                actual: 3
+            }
+        );
         let ok = Matrix::from_row_slice(2, 2, &[1.0_f64, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(ok[(1, 0)], 3.0);
     }
@@ -537,7 +735,10 @@ mod tests {
     fn checked_mul_rejects_mismatch() {
         let a = Matrix::<f64>::zeros(2, 3);
         let b = Matrix::<f64>::zeros(2, 3);
-        assert!(matches!(a.checked_mul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.checked_mul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -620,6 +821,49 @@ mod tests {
         let a = Matrix::<f64>::identity(2);
         assert_eq!(a.get(1, 1), Some(&1.0));
         assert_eq!(a.get(2, 0), None);
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_twins() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 - 5.0);
+        let b = Matrix::from_fn(4, 2, |r, c| 0.5 * (r as f64) - c as f64);
+        let mut out = Matrix::zeros(3, 2);
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.checked_mul(&b).unwrap());
+
+        let mut t = Matrix::zeros(4, 3);
+        a.transpose_into(&mut t).unwrap();
+        assert_eq!(t, a.transpose());
+
+        let c = Matrix::from_fn(3, 4, |r, c| (r + c) as f64);
+        let mut acc = a.clone();
+        acc.add_assign(&c).unwrap();
+        assert_eq!(acc, a.checked_add(&c).unwrap());
+        acc.copy_from(&a).unwrap();
+        assert_eq!(acc, a);
+        acc.sub_assign(&c).unwrap();
+        assert_eq!(acc, a.checked_sub(&c).unwrap());
+
+        let v = Vector::from_fn(4, |i| 1.0 - i as f64);
+        let mut mv = Vector::zeros(3);
+        a.mul_vector_into(&v, &mut mv).unwrap();
+        assert_eq!(mv, a.mul_vector(&v).unwrap());
+    }
+
+    #[test]
+    fn in_place_kernels_validate_shapes() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(3, 2);
+        let mut wrong = Matrix::<f64>::zeros(2, 3);
+        assert!(a.mul_into(&b, &mut wrong).is_err());
+        assert!(a.transpose_into(&mut wrong).is_err());
+        assert!(wrong.copy_from(&b).is_err());
+        assert!(wrong.add_assign(&b).is_err());
+        assert!(wrong.sub_assign(&b).is_err());
+        let v = Vector::<f64>::zeros(3);
+        let mut short = Vector::<f64>::zeros(1);
+        assert!(a.mul_vector_into(&v, &mut short).is_err());
+        assert!(a.mul_vector_into(&short, &mut Vector::zeros(2)).is_err());
     }
 
     #[test]

@@ -17,7 +17,10 @@ use crate::{Matrix, Scalar};
 /// assert!((norms::frobenius(&a) - 5.0).abs() < 1e-12);
 /// ```
 pub fn frobenius<T: Scalar>(a: &Matrix<T>) -> f64 {
-    a.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    a.iter()
+        .map(|x| x.to_f64() * x.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Infinity norm (maximum absolute row sum), computed in `f64`.

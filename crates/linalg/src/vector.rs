@@ -17,7 +17,6 @@ use crate::{LinalgError, Result, Scalar};
 /// assert_eq!(a.dot(&b).unwrap(), 32.0);
 /// ```
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vector<T> {
     data: Vec<T>,
 }
@@ -25,7 +24,9 @@ pub struct Vector<T> {
 impl<T: Scalar> Vector<T> {
     /// Creates a zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        Self { data: vec![T::ZERO; n] }
+        Self {
+            data: vec![T::ZERO; n],
+        }
     }
 
     /// Wraps an owned `Vec` as a vector.
@@ -35,12 +36,16 @@ impl<T: Scalar> Vector<T> {
 
     /// Creates a vector by evaluating `f(i)` at every index.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> T) -> Self {
-        Self { data: (0..n).map(&mut f).collect() }
+        Self {
+            data: (0..n).map(&mut f).collect(),
+        }
     }
 
     /// Copies a slice into a new vector.
     pub fn from_slice(data: &[T]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
     }
 
     /// Number of elements.
@@ -75,7 +80,9 @@ impl<T: Scalar> Vector<T> {
 
     /// Element-wise map to a (possibly different) scalar type.
     pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Vector<U> {
-        Vector { data: self.data.iter().map(|&x| f(x)).collect() }
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Converts every element through `f64` into another scalar type.
@@ -134,17 +141,92 @@ impl<T: Scalar> Vector<T> {
                 op,
             });
         }
-        Ok(Self { data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect() })
+        Ok(Self {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Copies every element of `src` into `self` without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when lengths differ.
+    pub fn copy_from(&mut self, src: &Self) -> Result<()> {
+        if self.len() != src.len() {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.len(), 1),
+                right: (src.len(), 1),
+                op: "copy_from",
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
+    /// Element-wise in-place sum `self += other`.
+    ///
+    /// Bit-identical to [`Vector::checked_add`], without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when lengths differ.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+                op: "add",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise in-place difference `self -= other`.
+    ///
+    /// Bit-identical to [`Vector::checked_sub`], without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when lengths differ.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub_assign(&mut self, other: &Self) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+                op: "sub",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        Ok(())
     }
 
     /// Euclidean norm, computed in `f64`.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|x| x.to_f64() * x.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Largest absolute element, computed in `f64`.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().map(|x| x.to_f64().abs()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|x| x.to_f64().abs())
+            .fold(0.0, f64::max)
     }
 
     /// Largest absolute element difference against `other`.
@@ -233,7 +315,9 @@ impl<T: Scalar> Neg for &Vector<T> {
 
 impl<T: Scalar> FromIterator<T> for Vector<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        Self { data: iter.into_iter().collect() }
+        Self {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -306,6 +390,24 @@ mod tests {
         assert!(v.all_finite());
         v[0] = f64::NAN;
         assert!(!v.all_finite());
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_twins() {
+        let a = Vector::from_vec(vec![1.0_f64, -2.0, 3.5]);
+        let b = Vector::from_vec(vec![0.5_f64, 4.0, -1.0]);
+        let mut acc = a.clone();
+        acc.add_assign(&b).unwrap();
+        assert_eq!(acc, a.checked_add(&b).unwrap());
+        acc.copy_from(&a).unwrap();
+        assert_eq!(acc, a);
+        acc.sub_assign(&b).unwrap();
+        assert_eq!(acc, a.checked_sub(&b).unwrap());
+
+        let mut short = Vector::<f64>::zeros(2);
+        assert!(short.copy_from(&a).is_err());
+        assert!(short.add_assign(&a).is_err());
+        assert!(short.sub_assign(&a).is_err());
     }
 
     #[test]

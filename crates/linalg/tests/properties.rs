@@ -36,6 +36,27 @@ fn vector(n: usize) -> impl Strategy<Value = Vector<f64>> {
     prop::collection::vec(-10.0_f64..10.0, n).prop_map(Vector::from_vec)
 }
 
+/// Strategy: rectangular matrix of the given shape with entries in [-10, 10].
+fn rect(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    prop::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |vals| Matrix::from_row_slice(rows, cols, &vals).expect("sized vec"))
+}
+
+/// Strategy: a random-shaped `(m×k, k×n)` pair of multiplicable matrices.
+fn mul_pair() -> impl Strategy<Value = (Matrix<f64>, Matrix<f64>)> {
+    (1usize..=5, 1usize..=5, 1usize..=5).prop_flat_map(|(m, k, n)| (rect(m, k), rect(k, n)))
+}
+
+/// Strategy: a random-shaped matrix/vector pair with matching inner dim.
+fn mul_vector_pair() -> impl Strategy<Value = (Matrix<f64>, Vector<f64>)> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(m, n)| (rect(m, n), vector(n)))
+}
+
+/// Strategy: two same-shaped random matrices.
+fn same_shape_pair() -> impl Strategy<Value = (Matrix<f64>, Matrix<f64>)> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(m, n)| (rect(m, n), rect(m, n)))
+}
+
 proptest! {
     #[test]
     fn gauss_inverse_satisfies_identity(a in diag_dominant(5)) {
@@ -165,5 +186,58 @@ proptest! {
     fn norm_triangle_inequality(a in diag_dominant(4), b in diag_dominant(4)) {
         let sum = &a + &b;
         prop_assert!(norms::frobenius(&sum) <= norms::frobenius(&a) + norms::frobenius(&b) + 1e-9);
+    }
+
+    // In-place kernels must be bit-for-bit identical to their allocating
+    // twins — the workspace refactor trades no accuracy for speed.
+
+    #[test]
+    fn mul_into_matches_mul_bit_for_bit((a, b) in mul_pair()) {
+        let expected = a.checked_mul(&b).unwrap();
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        // Pre-poison the output to prove it is fully overwritten.
+        for x in out.as_mut_slice() { *x = f64::NAN; }
+        a.mul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose_bit_for_bit(a in rect(4, 3)) {
+        let expected = a.transpose();
+        let mut out = Matrix::zeros(3, 4);
+        a.transpose_into(&mut out).unwrap();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn add_sub_assign_match_operators_bit_for_bit((a, b) in same_shape_pair()) {
+        let mut added = a.clone();
+        added.add_assign(&b).unwrap();
+        prop_assert_eq!(&added, &(&a + &b));
+        let mut subbed = a.clone();
+        subbed.sub_assign(&b).unwrap();
+        prop_assert_eq!(&subbed, &(&a - &b));
+    }
+
+    #[test]
+    fn mul_vector_into_matches_mul_vector_bit_for_bit((a, v) in mul_vector_pair()) {
+        let expected = a.mul_vector(&v).unwrap();
+        let mut out = Vector::zeros(a.rows());
+        a.mul_vector_into(&v, &mut out).unwrap();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn newton_schulz_into_matches_allocating_bit_for_bit(
+        a in diag_dominant(4),
+        iters in 0usize..=8,
+    ) {
+        let v0 = iterative::safe_seed(&a).unwrap();
+        let expected = iterative::newton_schulz(&a, &v0, iters).unwrap();
+        let mut scratch = Matrix::zeros(4, 4);
+        let mut tmp = Matrix::zeros(4, 4);
+        let mut out = Matrix::zeros(4, 4);
+        iterative::newton_schulz_into(&a, &v0, iters, &mut scratch, &mut tmp, &mut out).unwrap();
+        prop_assert_eq!(out, expected);
     }
 }

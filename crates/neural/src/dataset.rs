@@ -116,7 +116,12 @@ impl Dataset {
             states[..train_len].to_vec(),
             measurements[..train_len].to_vec(),
         )?;
-        Ok(Self { name, train, test_states, test_measurements })
+        Ok(Self {
+            name,
+            train,
+            test_states,
+            test_measurements,
+        })
     }
 
     /// Dataset name.

@@ -46,12 +46,18 @@ impl EncoderParams {
     pub fn validate(&self) {
         assert!(self.channels > 0, "channels must be positive");
         assert!(self.noise_sd >= 0.0, "noise_sd must be non-negative");
-        assert!(self.independent_sd >= 0.0, "independent_sd must be non-negative");
+        assert!(
+            self.independent_sd >= 0.0,
+            "independent_sd must be non-negative"
+        );
         assert!(
             (0.0..1.0).contains(&self.temporal_rho),
             "temporal_rho must be in [0, 1)"
         );
-        assert!(self.spatial_corr_len >= 0.0, "spatial_corr_len must be non-negative");
+        assert!(
+            self.spatial_corr_len >= 0.0,
+            "spatial_corr_len must be non-negative"
+        );
     }
 }
 
@@ -108,9 +114,9 @@ impl NeuralEncoder {
             let w: f64 = rng.gen_range(-1.0..1.0);
             // Velocity components dominate motor tuning (Wu et al.).
             let emphasis = match s {
-                2 | 3 => 1.0,  // velocity
-                0 | 1 => 0.4,  // position
-                _ => 0.15,     // acceleration
+                2 | 3 => 1.0, // velocity
+                0 | 1 => 0.4, // position
+                _ => 0.15,    // acceleration
             };
             params.tuning_gain * emphasis * w
         });
@@ -130,8 +136,7 @@ impl NeuralEncoder {
                 } else {
                     (-d / params.spatial_corr_len).exp()
                 };
-                params.noise_sd * params.noise_sd * corr
-                    + if i == j { 1e-9 } else { 0.0 }
+                params.noise_sd * params.noise_sd * corr + if i == j { 1e-9 } else { 0.0 }
             });
             Cholesky::factor(&cov)
                 .expect("exponential kernel is positive definite")
@@ -139,7 +144,13 @@ impl NeuralEncoder {
                 .clone()
         };
 
-        Self { params, tuning, baseline, noise_chol, seed }
+        Self {
+            params,
+            tuning,
+            baseline,
+            noise_chol,
+            seed,
+        }
     }
 
     /// The encoder parameters.
@@ -241,7 +252,10 @@ mod tests {
         let corr = channel_correlation(&zs, 0, 1);
         let far = channel_correlation(&zs, 0, 5);
         assert!(corr > 0.5, "adjacent channels must correlate, got {corr}");
-        assert!(corr > far, "correlation must decay with distance: {corr} vs {far}");
+        assert!(
+            corr > far,
+            "correlation must decay with distance: {corr} vs {far}"
+        );
     }
 
     #[test]
@@ -268,7 +282,10 @@ mod tests {
         let enc = NeuralEncoder::new(p, 23);
         let zs = enc.encode(&states);
         let corr = channel_correlation(&zs, 0, 1).abs();
-        assert!(corr < 0.1, "independent channels must decorrelate, got {corr}");
+        assert!(
+            corr < 0.1,
+            "independent channels must decorrelate, got {corr}"
+        );
     }
 
     #[test]
@@ -295,7 +312,12 @@ mod tests {
     fn pearson(a: &[f64], b: &[f64]) -> f64 {
         let n = a.len() as f64;
         let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
-        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
         let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
         let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
         cov / (va.sqrt() * vb.sqrt())

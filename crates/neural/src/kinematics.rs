@@ -51,7 +51,11 @@ impl KinematicsGenerator {
     /// Creates a generator for `kind` with a fixed RNG seed and the default
     /// 50 ms bin width (the paper's real-time budget per KF iteration).
     pub fn new(kind: KinematicsKind, seed: u64) -> Self {
-        Self { kind, seed, dt: 0.05 }
+        Self {
+            kind,
+            seed,
+            dt: 0.05,
+        }
     }
 
     /// Overrides the time-bin width in seconds.
@@ -104,8 +108,10 @@ impl KinematicsGenerator {
                 let s = (phase as f64 + 0.5) / reach_bins as f64;
                 let bell = 30.0 * s * s * (1.0 - s) * (1.0 - s); // ∫ = 1
                 let dir = (target.0 - origin.0, target.1 - origin.1);
-                let desired_v =
-                    (dir.0 * bell / (reach_bins as f64 * dt), dir.1 * bell / (reach_bins as f64 * dt));
+                let desired_v = (
+                    dir.0 * bell / (reach_bins as f64 * dt),
+                    dir.1 * bell / (reach_bins as f64 * dt),
+                );
                 ax = (desired_v.0 - vx) / dt;
                 ay = (desired_v.1 - vy) / dt;
             } else {
@@ -184,8 +190,11 @@ mod tests {
 
     #[test]
     fn all_kinds_produce_six_dim_states() {
-        for kind in [KinematicsKind::CenterOut, KinematicsKind::SmoothWalk, KinematicsKind::Foraging]
-        {
+        for kind in [
+            KinematicsKind::CenterOut,
+            KinematicsKind::SmoothWalk,
+            KinematicsKind::Foraging,
+        ] {
             let states = KinematicsGenerator::new(kind, 1).generate(50);
             assert_eq!(states.len(), 50);
             assert!(states.iter().all(|s| s.len() == STATE_DIM));
@@ -230,15 +239,25 @@ mod tests {
             .iter()
             .map(|s| (s[0] * s[0] + s[1] * s[1]).sqrt())
             .fold(0.0f64, f64::max);
-        assert!(max_r > 4.0, "reaches must leave the center, max radius {max_r}");
-        assert!(max_r < 30.0, "reaches must stay bounded, max radius {max_r}");
+        assert!(
+            max_r > 4.0,
+            "reaches must leave the center, max radius {max_r}"
+        );
+        assert!(
+            max_r < 30.0,
+            "reaches must stay bounded, max radius {max_r}"
+        );
     }
 
     #[test]
     fn foraging_is_slower_than_smooth_walk() {
         let speed = |kind| {
             let states = KinematicsGenerator::new(kind, 2).generate(1000);
-            states.iter().map(|s| (s[2] * s[2] + s[3] * s[3]).sqrt()).sum::<f64>() / 1000.0
+            states
+                .iter()
+                .map(|s| (s[2] * s[2] + s[3] * s[3]).sqrt())
+                .sum::<f64>()
+                / 1000.0
         };
         assert!(speed(KinematicsKind::Foraging) < speed(KinematicsKind::SmoothWalk));
     }

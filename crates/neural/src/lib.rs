@@ -41,4 +41,4 @@ pub mod presets;
 
 pub use dataset::{Dataset, DatasetSpec};
 pub use encoding::{EncoderParams, NeuralEncoder};
-pub use kinematics::{KinematicsKind, KinematicsGenerator};
+pub use kinematics::{KinematicsGenerator, KinematicsKind};

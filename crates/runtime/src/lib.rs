@@ -1,0 +1,502 @@
+//! Batched multi-session Kalman-filter execution.
+//!
+//! A deployed BCI decoder stack rarely runs a single filter: a lab replays
+//! many recorded sessions against one configuration, a closed-loop rig runs
+//! one filter per decoded effector, and a design-space sweep evaluates many
+//! configurations over the same data. [`FilterBank`] packages that pattern:
+//! it owns N independent filter sessions — each with its own
+//! [`StepWorkspace`] so every session steps allocation-free — and steps them
+//! over measurement batches across OS threads.
+//!
+//! Error isolation is the load-bearing guarantee: one session hitting a
+//! singular `S` or diverging to a non-finite state is marked
+//! [`SessionStatus::Failed`] and parked, while every other session keeps
+//! stepping. A batch is never poisoned by its worst member.
+//!
+//! # Example
+//!
+//! ```
+//! use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+//! use kalmmind_linalg::{Matrix, Vector};
+//! use kalmmind_runtime::FilterBank;
+//!
+//! # fn main() -> Result<(), kalmmind::KalmanError> {
+//! let model = KalmanModel::new(
+//!     Matrix::<f64>::identity(1),
+//!     Matrix::identity(1).scale(1e-4),
+//!     Matrix::identity(1),
+//!     Matrix::identity(1).scale(0.5),
+//! )?;
+//! let mut bank = FilterBank::new();
+//! for _ in 0..4 {
+//!     bank.push(KalmanFilter::gauss(model.clone(), KalmanState::zeroed(1)));
+//! }
+//! let zs: Vec<Vector<f64>> = (0..4).map(|_| Vector::from_vec(vec![1.0])).collect();
+//! bank.step_all(&zs)?;
+//! assert_eq!(bank.active_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+use kalmmind::gain::GainStrategy;
+use kalmmind::{KalmanError, KalmanFilter, KalmanState, StepWorkspace};
+use kalmmind_linalg::{Scalar, Vector};
+
+/// Lifecycle of one session inside a [`FilterBank`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session is healthy and will be stepped by the next batch call.
+    Active,
+    /// The session failed and is parked; its state is frozen as of the
+    /// failing step (for a divergence failure that state is non-finite —
+    /// the `iteration` field records the last healthy step count).
+    Failed {
+        /// Zero-based KF iteration at which the failure occurred.
+        iteration: usize,
+        /// Human-readable failure cause (error display or divergence note).
+        reason: String,
+    },
+}
+
+impl SessionStatus {
+    /// `true` for [`SessionStatus::Active`].
+    pub fn is_active(&self) -> bool {
+        matches!(self, Self::Active)
+    }
+}
+
+/// One filter plus its private workspace and status.
+#[derive(Debug)]
+struct Session<T: Scalar, G> {
+    filter: KalmanFilter<T, G>,
+    ws: StepWorkspace<T>,
+    status: SessionStatus,
+    steps_ok: usize,
+}
+
+impl<T: Scalar, G: GainStrategy<T>> Session<T, G> {
+    fn new(filter: KalmanFilter<T, G>) -> Self {
+        let ws = filter.workspace();
+        Self {
+            filter,
+            ws,
+            status: SessionStatus::Active,
+            steps_ok: 0,
+        }
+    }
+
+    /// Steps once, demoting the session to `Failed` on any error or on a
+    /// non-finite state. A failed session is left untouched.
+    fn step(&mut self, z: &Vector<T>) {
+        if !self.status.is_active() {
+            return;
+        }
+        let iteration = self.filter.iteration();
+        match self.filter.step_with(z, &mut self.ws) {
+            Ok(state) => {
+                if state.x().all_finite() && state.p().all_finite() {
+                    self.steps_ok += 1;
+                } else {
+                    self.status = SessionStatus::Failed {
+                        iteration,
+                        reason: "state diverged to a non-finite value".to_string(),
+                    };
+                }
+            }
+            Err(err) => {
+                self.status = SessionStatus::Failed {
+                    iteration,
+                    reason: err.to_string(),
+                };
+            }
+        }
+    }
+}
+
+/// Aggregate outcome of a [`FilterBank::run`] batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankReport {
+    /// Number of sessions in the bank when the batch ran.
+    pub sessions: usize,
+    /// Sessions still active after the batch.
+    pub active_sessions: usize,
+    /// Sessions in the failed state after the batch.
+    pub failed_sessions: usize,
+    /// Successful steps executed across all sessions during this batch.
+    pub steps: usize,
+    /// Wall-clock duration of the batch.
+    pub elapsed: Duration,
+}
+
+impl BankReport {
+    /// Aggregate throughput in successful steps per second across the bank.
+    ///
+    /// This is the multi-session scaling figure of merit: on a machine with
+    /// `c` cores it should grow near-linearly with the session count up to
+    /// `c`, and stay flat (not degrade) beyond.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// N independent Kalman-filter sessions stepped together over measurement
+/// batches, with per-session error isolation.
+///
+/// All sessions share the scalar type `T` and gain-strategy type `G`; use
+/// `G = Box<dyn GainStrategy<T>>` (as built by
+/// [`KalmanFilter::with_config`]) to mix strategies inside one bank.
+#[derive(Debug)]
+pub struct FilterBank<T: Scalar, G> {
+    sessions: Vec<Session<T, G>>,
+}
+
+impl<T: Scalar, G: GainStrategy<T>> Default for FilterBank<T, G> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self {
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Creates a bank owning `filters`, one session per filter.
+    pub fn from_filters(filters: Vec<KalmanFilter<T, G>>) -> Self {
+        Self {
+            sessions: filters.into_iter().map(Session::new).collect(),
+        }
+    }
+
+    /// Adds a session for `filter` (with a freshly sized workspace).
+    pub fn push(&mut self, filter: KalmanFilter<T, G>) {
+        self.sessions.push(Session::new(filter));
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when the bank has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Number of sessions still active.
+    pub fn active_count(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.status.is_active())
+            .count()
+    }
+
+    /// Status of session `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn status(&self, i: usize) -> &SessionStatus {
+        &self.sessions[i].status
+    }
+
+    /// Current state of session `i` (frozen as of the failing step for a
+    /// failed session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn state(&self, i: usize) -> &KalmanState<T> {
+        self.sessions[i].filter.state()
+    }
+
+    /// Successful step count of session `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn steps_ok(&self, i: usize) -> usize {
+        self.sessions[i].steps_ok
+    }
+
+    /// Steps every active session once; `zs[i]` is session `i`'s
+    /// measurement. Sessions that fail are parked, not propagated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadVector`] when `zs.len()` differs from the
+    /// session count (the only whole-batch error; per-session failures are
+    /// recorded in each session's status).
+    pub fn step_all(&mut self, zs: &[Vector<T>]) -> Result<(), KalmanError> {
+        if zs.len() != self.sessions.len() {
+            return Err(KalmanError::BadVector {
+                expected: self.sessions.len(),
+                actual: zs.len(),
+                what: "bank measurement batch",
+            });
+        }
+        self.parallel_for_each(|session, i| session.step(&zs[i]));
+        Ok(())
+    }
+
+    /// Runs session `i` over the whole measurement sequence `sequences[i]`,
+    /// all sessions in parallel, and reports aggregate throughput.
+    ///
+    /// Sequences may have different lengths; a session that fails mid-way
+    /// skips the rest of its sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalmanError::BadVector`] when `sequences.len()` differs
+    /// from the session count.
+    pub fn run(&mut self, sequences: &[Vec<Vector<T>>]) -> Result<BankReport, KalmanError> {
+        if sequences.len() != self.sessions.len() {
+            return Err(KalmanError::BadVector {
+                expected: self.sessions.len(),
+                actual: sequences.len(),
+                what: "bank measurement sequences",
+            });
+        }
+        let before: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
+        let start = Instant::now();
+        self.parallel_for_each(|session, i| {
+            for z in &sequences[i] {
+                if !session.status.is_active() {
+                    break;
+                }
+                session.step(z);
+            }
+        });
+        let elapsed = start.elapsed();
+        let after: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
+        let failed = self.sessions.len() - self.active_count();
+        Ok(BankReport {
+            sessions: self.sessions.len(),
+            active_sessions: self.active_count(),
+            failed_sessions: failed,
+            steps: after - before,
+            elapsed,
+        })
+    }
+
+    /// Applies `f` to every session, chunked over `available_parallelism`
+    /// OS threads via `std::thread::scope`. `f` receives the session and
+    /// its bank index.
+    fn parallel_for_each(&mut self, f: impl Fn(&mut Session<T, G>, usize) + Sync) {
+        let n = self.sessions.len();
+        if n == 0 {
+            return;
+        }
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n);
+        if threads <= 1 {
+            for (i, session) in self.sessions.iter_mut().enumerate() {
+                f(session, i);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut slots = self.sessions.as_mut_slice();
+            let mut offset = 0;
+            let mut handles = Vec::new();
+            while !slots.is_empty() {
+                let take = chunk.min(slots.len());
+                let (head, rest) = slots.split_at_mut(take);
+                slots = rest;
+                let base = offset;
+                offset += take;
+                handles.push(scope.spawn(move || {
+                    for (j, session) in head.iter_mut().enumerate() {
+                        f(session, base + j);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("filter-bank worker panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind::gain::InverseGain;
+    use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+    use kalmmind::{KalmMindConfig, KalmanModel};
+    use kalmmind_linalg::Matrix;
+
+    /// The 2-state / 3-channel constant-velocity fixture used across the
+    /// workspace.
+    fn model() -> KalmanModel<f64> {
+        KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::identity(2).scale(1e-3),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::identity(3).scale(0.2),
+        )
+        .unwrap()
+    }
+
+    fn measurement(t: usize, speed: f64) -> Vector<f64> {
+        let pos = 0.1 * speed * t as f64;
+        Vector::from_vec(vec![pos, speed, pos + speed])
+    }
+
+    fn interleaved_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+        KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
+    }
+
+    #[test]
+    fn bank_sessions_match_standalone_filters() {
+        // Four sessions tracking different speeds must evolve exactly like
+        // four standalone filters stepped serially.
+        let speeds = [0.5, 1.0, 1.5, 2.0];
+        let mut bank = FilterBank::from_filters(speeds.map(|_| interleaved_filter()).into());
+        let mut solos: Vec<_> = speeds.iter().map(|_| interleaved_filter()).collect();
+        for t in 0..30 {
+            let zs: Vec<_> = speeds.iter().map(|&v| measurement(t, v)).collect();
+            bank.step_all(&zs).unwrap();
+            for (solo, z) in solos.iter_mut().zip(&zs) {
+                solo.step(z).unwrap();
+            }
+        }
+        for (i, solo) in solos.iter().enumerate() {
+            assert_eq!(bank.state(i).x(), solo.state().x(), "session {i}");
+            assert_eq!(bank.state(i).p(), solo.state().p(), "session {i}");
+            assert_eq!(bank.steps_ok(i), 30);
+        }
+    }
+
+    #[test]
+    fn diverged_session_does_not_poison_the_batch() {
+        let mut bank = FilterBank::from_filters(vec![
+            interleaved_filter(),
+            interleaved_filter(),
+            interleaved_filter(),
+        ]);
+        // Warm up, then hit session 1 with a NaN measurement.
+        for t in 0..5 {
+            let zs = vec![measurement(t, 1.0); 3];
+            bank.step_all(&zs).unwrap();
+        }
+        let poison = Vector::from_vec(vec![f64::NAN, 1.0, 1.0]);
+        bank.step_all(&[measurement(5, 1.0), poison, measurement(5, 1.0)])
+            .unwrap();
+        assert_eq!(bank.active_count(), 2);
+        match bank.status(1) {
+            SessionStatus::Failed { iteration, reason } => {
+                assert_eq!(*iteration, 5);
+                assert!(reason.contains("non-finite"), "reason: {reason}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // The survivors keep stepping; the failed session is frozen.
+        for t in 6..10 {
+            let zs = vec![measurement(t, 1.0); 3];
+            bank.step_all(&zs).unwrap();
+        }
+        assert_eq!(bank.steps_ok(0), 10);
+        assert_eq!(bank.steps_ok(1), 5);
+        assert_eq!(bank.steps_ok(2), 10);
+        assert!(bank.state(0).x().all_finite());
+    }
+
+    #[test]
+    fn erroring_strategy_is_isolated_too() {
+        // An untrained SSKF gain errors on its first step; the boxed-strategy
+        // bank must park it and keep the healthy sessions running.
+        let healthy = || {
+            let cfg = KalmMindConfig::builder()
+                .approx(2)
+                .calc_freq(4)
+                .build()
+                .unwrap();
+            KalmanFilter::with_config(model(), KalmanState::zeroed(2), &cfg).unwrap()
+        };
+        let broken: KalmanFilter<f64, Box<dyn GainStrategy<f64>>> = KalmanFilter::new(
+            model(),
+            KalmanState::zeroed(2),
+            Box::new(kalmmind::gain::SskfGain::new()) as Box<dyn GainStrategy<f64>>,
+        );
+        let mut bank = FilterBank::from_filters(vec![healthy(), broken, healthy()]);
+        let zs = vec![measurement(0, 1.0); 3];
+        bank.step_all(&zs).unwrap();
+        assert_eq!(bank.active_count(), 2);
+        match bank.status(1) {
+            SessionStatus::Failed {
+                iteration: 0,
+                reason,
+            } => {
+                assert!(reason.contains("sskf"), "reason: {reason}");
+            }
+            other => panic!("expected failure at iteration 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_reports_aggregate_throughput() {
+        let mut bank =
+            FilterBank::from_filters((0..4).map(|_| interleaved_filter()).collect::<Vec<_>>());
+        let sequences: Vec<Vec<Vector<f64>>> = (0..4)
+            .map(|_| (0..50).map(|t| measurement(t, 1.0)).collect())
+            .collect();
+        let report = bank.run(&sequences).unwrap();
+        assert_eq!(report.sessions, 4);
+        assert_eq!(report.active_sessions, 4);
+        assert_eq!(report.failed_sessions, 0);
+        assert_eq!(report.steps, 200);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn batch_shape_mismatch_is_a_whole_batch_error() {
+        let mut bank = FilterBank::from_filters(vec![interleaved_filter()]);
+        let err = bank.step_all(&[]).unwrap_err();
+        assert!(matches!(
+            err,
+            KalmanError::BadVector {
+                expected: 1,
+                actual: 0,
+                ..
+            }
+        ));
+        let err = bank.run(&[]).unwrap_err();
+        assert!(matches!(
+            err,
+            KalmanError::BadVector {
+                expected: 1,
+                actual: 0,
+                ..
+            }
+        ));
+        assert!(!bank.is_empty());
+        assert_eq!(bank.len(), 1);
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let mut bank: FilterBank<f64, Box<dyn GainStrategy<f64>>> = FilterBank::new();
+        assert!(bank.is_empty());
+        bank.step_all(&[]).unwrap();
+        let report = bank.run(&[]).unwrap();
+        assert_eq!(report.steps, 0);
+    }
+}

@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Static decoder: trained once, never updated.
-    let mut static_kf =
-        KalmanFilter::new(model.clone(), dataset.initial_state(), strat());
+    let mut static_kf = KalmanFilter::new(model.clone(), dataset.initial_state(), strat());
     // Adaptive decoder: supervised recalibration every 20 bins from cues.
     let inner = KalmanFilter::new(model, dataset.initial_state(), strat());
     let mut adaptive = AdaptiveFilter::new(inner, 20, 80)?;
@@ -64,9 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = dataset.test_states();
     for (t, z) in drifted_measurements.iter().enumerate() {
         let s = static_kf.step(z)?;
-        let vel_err = |x: &Vector<f64>| {
-            ((x[2] - truth[t][2]).powi(2) + (x[3] - truth[t][3]).powi(2)).sqrt()
-        };
+        let vel_err =
+            |x: &Vector<f64>| ((x[2] - truth[t][2]).powi(2) + (x[3] - truth[t][3]).powi(2)).sqrt();
         static_err += vel_err(s.x());
         let a = adaptive.step_supervised(z, &truth[t])?;
         adaptive_err += vel_err(a.x());

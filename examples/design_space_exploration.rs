@@ -21,8 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = reference_filter(&model, &init, dataset.test_measurements())?;
 
     let grid = KalmMindConfig::paper_grid(CalcMethod::Gauss);
-    println!("sweeping {} configurations on '{}'...", grid.len(), dataset.name());
-    let points = run_sweep(&model, &init, dataset.test_measurements(), &reference, &grid)?;
+    println!(
+        "sweeping {} configurations on '{}'...",
+        grid.len(),
+        dataset.name()
+    );
+    let points = run_sweep(
+        &model,
+        &init,
+        dataset.test_measurements(),
+        &reference,
+        &grid,
+    )?;
 
     // Attach the accelerator latency model (78 MHz Gauss/Newton datapath).
     let design = catalog::gauss_newton();
@@ -41,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     )
                 })
                 .sum();
-            LatencyPoint { point, latency_s: cycles as f64 / CLOCK_HZ }
+            LatencyPoint {
+                point,
+                latency_s: cycles as f64 / CLOCK_HZ,
+            }
         })
         .collect();
 

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Decode quality of the reference itself vs ground-truth kinematics:
     // this is what the prosthesis user experiences.
     let decode = compare(&reference, dataset.test_states());
-    println!("reference decode error vs ground truth: MSE = {:.3}", decode.mse);
+    println!(
+        "reference decode error vs ground truth: MSE = {:.3}",
+        decode.mse
+    );
 
     let operating_points = [
         ("fastest   (approx=1, calc_freq=0)", 1usize, 0u32),
@@ -32,9 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("accurate  (approx=6, calc_freq=2)", 6, 2),
     ];
 
-    println!("\n{:<38} {:>12} {:>14}", "operating point", "MSE vs ref", "max diff (%)");
+    println!(
+        "\n{:<38} {:>12} {:>14}",
+        "operating point", "MSE vs ref", "max diff (%)"
+    );
     for (label, approx, calc_freq) in operating_points {
-        let config = KalmMindConfig::builder().approx(approx).calc_freq(calc_freq).build()?;
+        let config = KalmMindConfig::builder()
+            .approx(approx)
+            .calc_freq(calc_freq)
+            .build()?;
         let mut kf = KalmanFilter::new(
             model.clone(),
             init.clone(),
@@ -42,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let outputs = kf.run(dataset.test_measurements().iter())?;
         let report = compare(&outputs, &reference);
-        println!("{label:<38} {:>12.3e} {:>14.5}", report.mse, report.max_diff_pct);
+        println!(
+            "{label:<38} {:>12.3e} {:>14.5}",
+            report.mse, report.max_diff_pct
+        );
     }
 
     println!("\nEvery operating point uses the same hardware; only the three");

@@ -57,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\nstrategy: {}, {} iterations run", kf.strategy_name(), kf.iteration());
+    println!(
+        "\nstrategy: {}, {} iterations run",
+        kf.strategy_name(),
+        kf.iteration()
+    );
     Ok(())
 }

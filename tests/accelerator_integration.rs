@@ -80,7 +80,9 @@ fn fp32_accelerator_matches_f32_software_filter_bitwise_in_outputs() {
 
     let model32: kalmmind::KalmanModel<f32> = model.cast();
     let init32: kalmmind::KalmanState<f32> = init.cast();
-    let kc = cfg.to_kalmmind_config(kalmmind::inverse::CalcMethod::Gauss).expect("config");
+    let kc = cfg
+        .to_kalmmind_config(kalmmind::inverse::CalcMethod::Gauss)
+        .expect("config");
     let mut kf = KalmanFilter::new(model32, init32, InverseGain::new(kc.build_inverse::<f32>()));
     let mut expected = Vec::new();
     for z in ds.test_measurements() {
@@ -89,7 +91,11 @@ fn fp32_accelerator_matches_f32_software_filter_bitwise_in_outputs() {
     }
 
     for (a, b) in report.outputs.iter().zip(&expected) {
-        assert_eq!(a.max_abs_diff(b), 0.0, "simulator must equal the f32 software filter");
+        assert_eq!(
+            a.max_abs_diff(b),
+            0.0,
+            "simulator must equal the f32 software filter"
+        );
     }
 }
 
@@ -100,7 +106,12 @@ fn accelerator_accuracy_tracks_the_reference() {
     let init = ds.initial_state();
     let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
     let report = AccelSim::new(catalog::gauss_newton())
-        .run(&model, &init, ds.test_measurements(), &config(model.z_dim(), 2, 4))
+        .run(
+            &model,
+            &init,
+            ds.test_measurements(),
+            &config(model.z_dim(), 2, 4),
+        )
         .expect("sim run");
     let score = compare(&report.outputs, &reference);
     assert!(score.mse < 1e-6, "fp32 accelerator out of band: {score:?}");
@@ -129,7 +140,10 @@ fn energy_ordering_matches_table3() {
 
     assert!(sskf < taylor, "SSKF {sskf} must beat Taylor {taylor}");
     assert!(taylor < lite, "Taylor {taylor} must beat LITE {lite}");
-    assert!(lite < gauss_only, "LITE {lite} must beat Gauss-Only {gauss_only}");
+    assert!(
+        lite < gauss_only,
+        "LITE {lite} must beat Gauss-Only {gauss_only}"
+    );
     assert!(
         gauss_newton_fast < gauss_only,
         "approximating Gauss/Newton {gauss_newton_fast} must beat Gauss-Only {gauss_only}"
@@ -168,8 +182,16 @@ fn chunks_batches_shape_dma_but_not_results() {
     let sim = AccelSim::new(catalog::gauss_newton());
 
     let base = config(model.z_dim(), 2, 4);
-    let fine = AcceleratorConfig { chunks: 1, batches: 50, ..base };
-    let coarse = AcceleratorConfig { chunks: 25, batches: 2, ..base };
+    let fine = AcceleratorConfig {
+        chunks: 1,
+        batches: 50,
+        ..base
+    };
+    let coarse = AcceleratorConfig {
+        chunks: 25,
+        batches: 2,
+        ..base
+    };
 
     let r_fine = sim.run(&model, &init, zs, &fine).expect("fine");
     let r_coarse = sim.run(&model, &init, zs, &coarse).expect("coarse");
@@ -190,6 +212,10 @@ fn all_designs_stay_under_the_ban_power_budget() {
     let model = ds.fit_model().expect("fit");
     for design in catalog::table3() {
         let p = design.power_w(6, model.z_dim(), 10);
-        assert!(p < kalmmind_accel::power::BAN_POWER_LIMIT_W * 1.5, "{}: {p} W", design.name);
+        assert!(
+            p < kalmmind_accel::power::BAN_POWER_LIMIT_W * 1.5,
+            "{}: {p} W",
+            design.name
+        );
     }
 }

@@ -6,9 +6,7 @@
 //! experiment binaries.
 
 use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
-use kalmmind::inverse::{
-    CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy,
-};
+use kalmmind::inverse::{CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy};
 use kalmmind::metrics::compare;
 use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
 use kalmmind_neural::{Dataset, DatasetSpec, EncoderParams, KinematicsKind};
@@ -38,8 +36,7 @@ fn trained_filter_decodes_better_than_prior() {
     let ds = small_dataset(11);
     let model = ds.fit_model().expect("fit");
     let init = ds.initial_state();
-    let outputs =
-        reference_filter(&model, &init, ds.test_measurements()).expect("reference run");
+    let outputs = reference_filter(&model, &init, ds.test_measurements()).expect("reference run");
 
     // The decoded velocity must correlate with ground truth far better than
     // a constant prediction would.
@@ -63,9 +60,18 @@ fn every_strategy_family_runs_the_same_dataset() {
     let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
 
     let strategies: Vec<(&str, Box<dyn GainStrategy<f64>>)> = vec![
-        ("gauss", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss)))),
-        ("cholesky", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Cholesky)))),
-        ("qr", Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Qr)))),
+        (
+            "gauss",
+            Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))),
+        ),
+        (
+            "cholesky",
+            Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Cholesky))),
+        ),
+        (
+            "qr",
+            Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Qr))),
+        ),
         (
             "interleaved",
             Box::new(InverseGain::new(InterleavedInverse::new(
@@ -95,7 +101,10 @@ fn every_strategy_family_runs_the_same_dataset() {
         // IFKF is allowed to be terrible but the run itself must complete.
         match name {
             "gauss" | "cholesky" | "qr" => {
-                assert!(report.mse < 1e-18, "{name} must match the reference: {report:?}")
+                assert!(
+                    report.mse < 1e-18,
+                    "{name} must match the reference: {report:?}"
+                )
             }
             "interleaved" | "newton" => {
                 assert!(report.mse < 1e-3, "{name} out of band: {report:?}")
@@ -120,13 +129,18 @@ fn accuracy_orders_exact_then_newton_then_steady_state() {
         let outputs = kf.run(ds.test_measurements().iter()).expect("run");
         compare(&outputs, &reference).mse
     };
-    let exact = run(Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))));
+    let exact = run(Box::new(InverseGain::new(CalcInverse::new(
+        CalcMethod::Gauss,
+    ))));
     let newton = run(Box::new(InverseGain::new(NewtonInverse::new(3))));
     let sskf = run(Box::new(
         SskfGain::train(&model, init.p(), CalcMethod::Lu, 200).expect("training"),
     ));
     assert!(exact < newton, "exact {exact} must beat newton {newton}");
-    assert!(newton < sskf, "newton {newton} must beat steady-state {sskf}");
+    assert!(
+        newton < sskf,
+        "newton {newton} must beat steady-state {sskf}"
+    );
 }
 
 #[test]
@@ -145,7 +159,10 @@ fn config_grid_spans_orders_of_magnitude_of_accuracy() {
         .filter(|p| p.report.is_finite())
         .map(|p| p.report.mse.max(1e-300))
         .collect();
-    assert!(finite.len() > grid.len() / 2, "most configurations must succeed");
+    assert!(
+        finite.len() > grid.len() / 2,
+        "most configurations must succeed"
+    );
     let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = finite.iter().cloned().fold(0.0, f64::max);
     assert!(
@@ -195,5 +212,8 @@ fn fixed_point_model_cast_round_trips_through_filter() {
         outputs.push(kf.step(&z_fx).expect("fx step").x().cast::<f64>());
     }
     let report = compare(&outputs, &reference);
-    assert!(report.mse < 1e-6, "Q32.32 must track the f64 reference: {report:?}");
+    assert!(
+        report.mse < 1e-6,
+        "Q32.32 must track the f64 reference: {report:?}"
+    );
 }

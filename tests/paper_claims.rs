@@ -46,7 +46,10 @@ fn table1_method_ordering() {
     let model = ds.fit_model().expect("fit");
     let init = ds.initial_state();
 
-    let gauss = mse_of(&ds, Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))));
+    let gauss = mse_of(
+        &ds,
+        Box::new(InverseGain::new(CalcInverse::new(CalcMethod::Gauss))),
+    );
     let newton = mse_of(&ds, Box::new(InverseGain::new(NewtonInverse::new(3))));
     let taylor = mse_of(&ds, Box::new(TaylorGain::<f64>::new()));
     let sskf = mse_of(
@@ -61,8 +64,14 @@ fn table1_method_ordering() {
     // beat the self-correcting Newton path.
     assert!(newton < taylor, "newton {newton} vs taylor {taylor}");
     assert!(newton < sskf, "newton {newton} vs sskf {sskf}");
-    assert!(ifkf > 1e3 * newton, "ifkf {ifkf} must be far worse than newton {newton}");
-    assert!(ifkf > 10.0 * sskf, "ifkf {ifkf} must be far worse than sskf {sskf}");
+    assert!(
+        ifkf > 1e3 * newton,
+        "ifkf {ifkf} must be far worse than newton {newton}"
+    );
+    assert!(
+        ifkf > 10.0 * sskf,
+        "ifkf {ifkf} must be far worse than sskf {sskf}"
+    );
 }
 
 /// Section III: the warm seed policies converge in far fewer Newton
@@ -84,7 +93,10 @@ fn warm_seeds_exploit_temporal_correlation() {
     let cold = iterative::safe_seed(&s1).expect("seed");
     let warm_resid = norms::inverse_residual(&s1, &warm);
     let cold_resid = norms::inverse_residual(&s1, &cold);
-    assert!(warm_resid < 1.0, "warm seed must certify Eq. 3: {warm_resid}");
+    assert!(
+        warm_resid < 1.0,
+        "warm seed must certify Eq. 3: {warm_resid}"
+    );
     assert!(
         warm_resid < cold_resid / 10.0,
         "warm {warm_resid} must dominate cold {cold_resid}"
@@ -191,8 +203,7 @@ fn datasets_have_distinct_accuracy_profiles() {
         let ds = spec.generate().expect("dataset");
         let model = ds.fit_model().expect("fit");
         let init = ds.initial_state();
-        let reference =
-            reference_filter(&model, &init, ds.test_measurements()).expect("reference");
+        let reference = reference_filter(&model, &init, ds.test_measurements()).expect("reference");
         kalmmind::sweep::evaluate_config(&model, &init, ds.test_measurements(), &reference, &cfg)
             .report
             .mse
@@ -201,5 +212,8 @@ fn datasets_have_distinct_accuracy_profiles() {
     let h = mse(shrink(hippo));
     assert!(m.is_finite() && h.is_finite());
     let ratio = (m / h).max(h / m);
-    assert!(ratio > 2.0, "profiles must differ measurably: motor {m}, hippocampus {h}");
+    assert!(
+        ratio > 2.0,
+        "profiles must differ measurably: motor {m}, hippocampus {h}"
+    );
 }

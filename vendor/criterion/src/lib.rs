@@ -1,0 +1,250 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The workspace builds without crates.io access, so this crate provides the
+//! slice of criterion the benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple wall-clock harness (warmup, then a time-budgeted
+//! loop reporting the mean), not criterion's statistical machinery — good
+//! enough for the relative comparisons the benches make, with results
+//! printed as `group/name  <mean> ns/iter (<n> iters)`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// How `iter_batched` amortizes its setup — accepted for API compatibility;
+/// the stub treats every variant the same way (setup outside the timed
+/// region, once per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales the measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into());
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+    }
+
+    /// Ends the group (reporting already happened per bench).
+    pub fn finish(self) {}
+}
+
+/// Times a routine under a fixed wall-clock budget.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            // Scale the budget with the requested sample size so heavy
+            // benches (sample_size(10)) stay quick.
+            budget: Duration::from_millis(20 * sample_size.min(10) as u64),
+            max_iters: 100_000 * sample_size as u64,
+            measured: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.max_iters || start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.measured = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` with a fresh untimed `setup` before every call.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+            if iters >= self.max_iters || wall.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.measured = timed;
+        self.iters = iters;
+    }
+
+    /// Mean time per iteration of the last measurement.
+    pub fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.measured / self.iters as u32
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        let ns = self.mean().as_nanos();
+        println!("bench {label:<48} {ns:>12} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(1);
+        let mut ran = 0u64;
+        group.bench_function("iter", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

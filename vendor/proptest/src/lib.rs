@@ -1,0 +1,387 @@
+//! Offline drop-in subset of the `proptest` property-testing API.
+//!
+//! This workspace builds without crates.io access, so the pieces of
+//! proptest the test suites use are vendored here: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, `num::{i32,i64}::ANY`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs printed by the assertion itself), and generation is
+//! deterministic per test (seeded from the test's module path and name), so
+//! failures reproduce exactly under `cargo test`.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from an arbitrary label (the macro passes the
+    /// test's module path + name so each property gets a stable stream).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of random values — the subset of proptest's `Strategy` the
+/// workspace relies on: direct generation plus `prop_map`/`prop_flat_map`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.source.generate(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.source.generate(runner)).generate(runner)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        self.start + (self.end - self.start) * runner.next_unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, runner: &mut TestRunner) -> f32 {
+        self.start + (self.end - self.start) * runner.next_unit_f64() as f32
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (runner.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (runner.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategy producing a full-range primitive (the `ANY` constants).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any {
+    ($mod_name:ident, $t:ty, $from:expr) => {
+        /// `ANY` strategy namespace for this primitive.
+        pub mod $mod_name {
+            /// Uniform over the whole value range.
+            pub const ANY: crate::Any<$t> = crate::Any(std::marker::PhantomData);
+
+            impl crate::Strategy for crate::Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut crate::TestRunner) -> $t {
+                    let raw = runner.next_u64();
+                    $from(raw)
+                }
+            }
+        }
+    };
+}
+
+/// Numeric `ANY` strategies (`proptest::num::i32::ANY`, ...).
+pub mod num {
+    impl_any!(i32, i32, |raw: u64| raw as i32);
+    impl_any!(i64, i64, |raw: u64| raw as i64);
+    impl_any!(u32, u32, |raw: u64| raw as u32);
+    impl_any!(u64, u64, |raw: u64| raw);
+}
+
+/// The `prop` namespace (`prop::collection`, `prop::bool`, `prop::num`).
+pub mod prop {
+    pub use crate::num;
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRunner};
+
+        /// Strategy for a `Vec` of `count` elements drawn from `element`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            count: usize,
+        }
+
+        /// Generates `Vec`s of exactly `count` elements.
+        pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+            VecStrategy { element, count }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                (0..self.count)
+                    .map(|_| self.element.generate(runner))
+                    .collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRunner};
+
+        /// Strategy for a fair coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Uniform over `{false, true}`.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+
+            fn generate(&self, runner: &mut TestRunner) -> bool {
+                runner.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __runner = $crate::TestRunner::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __runner);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, printing the formatted context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic_per_label() {
+        let mut a = crate::TestRunner::deterministic("x");
+        let mut b = crate::TestRunner::deterministic("x");
+        let mut c = crate::TestRunner::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0_f64..3.0, n in 1usize..=4, b in prop::bool::ANY) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec(0.0_f64..1.0, 5).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 5);
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_shapes(
+            v in (1usize..=6).prop_flat_map(|n| prop::collection::vec(0.0_f64..1.0, n))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 6);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of `rand` items the code actually uses ([`RngCore`],
+//! [`SeedableRng`], [`Rng::gen_range`]) are vendored here as a local path
+//! dependency. The distributions are honest uniform draws, but the streams
+//! are **not** bit-compatible with upstream `rand` — all golden values in
+//! this repository are produced against this implementation.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (upstream expands the seed
+    /// with SplitMix64; so does this implementation).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods for random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can produce uniform samples of `T` — the subset of
+/// `rand::distributions::uniform::SampleRange` this workspace needs.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `f64`/`f32` in `[lo, hi)` via the top 53/24 bits of a word.
+macro_rules! impl_float_range {
+    ($t:ty, $word:ident, $shift:expr, $denom:expr) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.$word() >> $shift) as $t / $denom;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    };
+}
+
+impl_float_range!(f64, next_u64, 11, (1u64 << 53) as f64);
+impl_float_range!(f32, next_u32, 8, (1u32 << 24) as f32);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// SplitMix64 seed expander (same recurrence upstream `rand` uses to expand
+/// `seed_from_u64` seeds).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Expands a 64-bit seed into `N` bytes with SplitMix64.
+pub fn expand_seed<const N: usize>(seed: u64) -> [u8; N] {
+    let mut out = [0u8; N];
+    let mut state = seed;
+    for chunk in out.chunks_mut(8) {
+        let word = splitmix64(&mut state).to_le_bytes();
+        chunk.copy_from_slice(&word[..chunk.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let a = rng.gen_range(0..8u32);
+            assert!(a < 8);
+            let b = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn expand_seed_is_deterministic() {
+        let a: [u8; 32] = expand_seed(42);
+        let b: [u8; 32] = expand_seed(42);
+        let c: [u8; 32] = expand_seed(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
