@@ -2,6 +2,7 @@
 //! (native wall clock, somatosensory-sized workload).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalmmind::exec::WorkerPool;
 use kalmmind::gain::{GainStrategy, InverseGain, SskfGain, TaylorGain};
 use kalmmind::inverse::{CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy};
 use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
@@ -9,6 +10,7 @@ use kalmmind_bench::workload;
 use kalmmind_linalg::{Matrix, Vector};
 use kalmmind_runtime::FilterBank;
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// The paper's small motor-decoding shape: 2 states, 3 channels.
 fn small_model() -> KalmanModel<f64> {
@@ -108,6 +110,68 @@ fn bench_filterbank_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Persistent pool vs spawn-per-batch scoped threads at 4/16/64 sessions.
+///
+/// Both sides step identical sessions over identical 20-measurement batch
+/// trains; "scoped" spawns one scoped OS thread per session per batch (the
+/// per-batch spawn tax the pool retires — deliberately not the old chunked
+/// loop, which no longer exists), "pooled" dispatches `step_all` onto one
+/// shared persistent `WorkerPool`.
+fn bench_pool_vs_scoped(c: &mut Criterion) {
+    const BATCHES: usize = 20;
+    let pool = Arc::new(WorkerPool::from_env());
+    let mut group = c.benchmark_group("pool_vs_scoped_2s3c");
+    group.sample_size(10);
+
+    for sessions in [4usize, 16, 64] {
+        let zs = small_measurements(BATCHES);
+        group.bench_with_input(BenchmarkId::new("pooled", sessions), &zs, |b, zs| {
+            b.iter_batched(
+                || {
+                    FilterBank::from_filters_with_pool(
+                        (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
+                        Arc::clone(&pool),
+                    )
+                },
+                |mut bank| {
+                    for z in zs {
+                        let batch = vec![z.clone(); sessions];
+                        let report = bank.step_all(black_box(&batch)).expect("step_all");
+                        assert_eq!(report.failed_sessions, 0);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("scoped", sessions), &zs, |b, zs| {
+            b.iter_batched(
+                || {
+                    (0..sessions)
+                        .map(|_| {
+                            let kf = small_filter();
+                            let ws = kf.workspace();
+                            (kf, ws)
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |mut solos| {
+                    for z in zs {
+                        std::thread::scope(|scope| {
+                            for (kf, ws) in solos.iter_mut() {
+                                scope.spawn(move || {
+                                    kf.step_with(black_box(z), ws).expect("step");
+                                });
+                            }
+                        });
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_kf_step(c: &mut Criterion) {
     let w = workload(&kalmmind_neural::presets::somatosensory(
         kalmmind_bench::SEED,
@@ -174,6 +238,7 @@ criterion_group!(
     benches,
     bench_kf_step,
     bench_step_workspace,
-    bench_filterbank_scaling
+    bench_filterbank_scaling,
+    bench_pool_vs_scoped
 );
 criterion_main!(benches);

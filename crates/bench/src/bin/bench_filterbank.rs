@@ -10,12 +10,14 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use kalmmind::exec::{total_spawned_threads, WorkerPool};
 use kalmmind::gain::InverseGain;
 use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
 use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
 use kalmmind_linalg::{Matrix, Vector};
 use kalmmind_runtime::FilterBank;
 use std::hint::black_box;
+use std::sync::Arc;
 
 const STEPS: usize = 20_000;
 const REPEATS: usize = 5;
@@ -91,13 +93,27 @@ fn main() {
     println!("  speedup:                {speedup:>9.2}x");
     println!();
 
-    // Part 2: FilterBank aggregate throughput at growing session counts.
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    println!("FilterBank scaling ({threads} hardware threads):");
+    // Part 2: FilterBank aggregate throughput at growing session counts,
+    // all banks sharing one persistent pool. Workers are spawned exactly
+    // once (pool construction below); the timed region must not spawn.
+    let pool = Arc::new(WorkerPool::from_env());
+    let threads = pool.threads();
+    println!(
+        "FilterBank scaling ({} pool threads, {} spawned workers):",
+        threads,
+        pool.spawned_threads()
+    );
     println!(
         "  {:>8} {:>14} {:>18} {:>12}",
         "sessions", "ns/step", "steps/s (bank)", "vs 1 session"
     );
+
+    // Warm-up dispatch, then freeze the process-wide spawn counter: the
+    // steady-state measurement below must leave it untouched.
+    FilterBank::from_filters_with_pool(vec![small_filter()], Arc::clone(&pool))
+        .run(&[zs[..64].to_vec()])
+        .expect("warm-up run");
+    let spawns_before = total_spawned_threads();
 
     let mut scaling = Vec::new();
     let mut base_throughput = 0.0_f64;
@@ -106,8 +122,10 @@ fn main() {
         let mut best_throughput = 0.0_f64;
         let mut best_ns = f64::INFINITY;
         for _ in 0..REPEATS {
-            let mut bank =
-                FilterBank::from_filters((0..sessions).map(|_| small_filter()).collect::<Vec<_>>());
+            let mut bank = FilterBank::from_filters_with_pool(
+                (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
+                Arc::clone(&pool),
+            );
             let report = bank.run(&sequences).expect("bank run");
             assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
             best_throughput = best_throughput.max(report.throughput());
@@ -121,6 +139,20 @@ fn main() {
         scaling.push((sessions, best_ns, best_throughput, ratio));
     }
 
+    let steady_state_spawns = total_spawned_threads() - spawns_before;
+    assert_eq!(
+        steady_state_spawns, 0,
+        "steady-state FilterBank batches must not spawn threads"
+    );
+    println!();
+    println!(
+        "steady-state thread spawns across all timed batches: {steady_state_spawns} \
+         (pool utilization: {} dispatches, {} worker / {} inline sessions)",
+        pool.counters().dispatches,
+        pool.counters().worker_items,
+        pool.counters().inline_items
+    );
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -128,6 +160,22 @@ fn main() {
     let _ = writeln!(json, "  \"steps_per_session\": {STEPS},");
     let _ = writeln!(json, "  \"repeats\": {REPEATS},");
     let _ = writeln!(json, "  \"hardware_threads\": {threads},");
+    let _ = writeln!(json, "  \"pool\": {{");
+    let _ = writeln!(json, "    \"threads\": {},", pool.threads());
+    let _ = writeln!(json, "    \"spawned_threads\": {},", pool.spawned_threads());
+    let _ = writeln!(json, "    \"steady_state_spawns\": {steady_state_spawns},");
+    let _ = writeln!(json, "    \"dispatches\": {},", pool.counters().dispatches);
+    let _ = writeln!(
+        json,
+        "    \"worker_sessions\": {},",
+        pool.counters().worker_items
+    );
+    let _ = writeln!(
+        json,
+        "    \"inline_sessions\": {}",
+        pool.counters().inline_items
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"step\": {{");
     let _ = writeln!(json, "    \"allocating_ns_per_step\": {allocating_ns:.1},");
     let _ = writeln!(json, "    \"workspace_ns_per_step\": {workspace_ns:.1},");

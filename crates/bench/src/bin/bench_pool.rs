@@ -1,0 +1,172 @@
+//! Pooled-vs-scoped execution-layer comparison.
+//!
+//! Measures the cost the persistent worker pool removes: the pre-refactor
+//! execution layer re-spawned OS threads through `std::thread::scope` on
+//! every batch, so per-batch latency carried a spawn+join tax that grows
+//! with the session count. Here both paths step identical filter sessions
+//! over identical measurement batches:
+//!
+//! * **scoped** — one freshly spawned scoped thread per session per batch
+//!   (the spawn-per-batch baseline the pool retires);
+//! * **pooled** — `FilterBank::step_all` on a shared persistent
+//!   [`WorkerPool`] (zero spawns after warm-up, dynamic session claiming).
+//!
+//! Writes `BENCH_pool.json` in the working directory alongside a
+//! human-readable table.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin bench_pool`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kalmmind::exec::{total_spawned_threads, WorkerPool};
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState, StepWorkspace};
+use kalmmind_linalg::{Matrix, Vector};
+use kalmmind_runtime::FilterBank;
+
+const BATCHES: usize = 200;
+const REPEATS: usize = 5;
+const SESSION_COUNTS: [usize; 3] = [4, 16, 64];
+
+fn small_model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).expect("F"),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).expect("H"),
+        Matrix::identity(3).scale(0.2),
+    )
+    .expect("model")
+}
+
+fn small_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        small_model(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+fn measurement(t: usize) -> Vector<f64> {
+    let pos = 0.1 * t as f64;
+    Vector::from_vec(vec![pos, 1.0, pos + 1.0])
+}
+
+type SoloSession = (
+    KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>>,
+    StepWorkspace<f64>,
+);
+
+fn solo_sessions(n: usize) -> Vec<SoloSession> {
+    (0..n)
+        .map(|_| {
+            let kf = small_filter();
+            let ws = kf.workspace();
+            (kf, ws)
+        })
+        .collect()
+}
+
+/// Spawn-per-batch baseline: one scoped OS thread per session per batch.
+/// This is deliberately *not* the retired chunked loop — it isolates the
+/// per-batch spawn+join cost itself, the quantity the pool eliminates.
+fn scoped_batches(sessions: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let mut solos = solo_sessions(sessions);
+        let start = Instant::now();
+        for t in 0..BATCHES {
+            let z = measurement(t);
+            std::thread::scope(|scope| {
+                for (kf, ws) in solos.iter_mut() {
+                    let z = &z;
+                    scope.spawn(move || {
+                        kf.step_with(z, ws).expect("step");
+                    });
+                }
+            });
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (BATCHES * sessions) as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Persistent-pool path: `FilterBank::step_all` batches on a shared pool.
+fn pooled_batches(sessions: usize, pool: &Arc<WorkerPool>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let mut bank = FilterBank::from_filters_with_pool(
+            (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
+            Arc::clone(pool),
+        );
+        let start = Instant::now();
+        for t in 0..BATCHES {
+            let zs = vec![measurement(t); sessions];
+            let report = bank.step_all(&zs).expect("step_all");
+            assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (BATCHES * sessions) as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let pool = Arc::new(WorkerPool::from_env());
+    println!(
+        "pooled vs scoped execution, {BATCHES} single-measurement batches, \
+         best of {REPEATS} (pool: {} threads, {} spawned workers):",
+        pool.threads(),
+        pool.spawned_threads()
+    );
+    println!(
+        "  {:>8} {:>16} {:>16} {:>10}",
+        "sessions", "scoped ns/step", "pooled ns/step", "speedup"
+    );
+
+    // Warm-up dispatch so lazily touched state is off the timed path, then
+    // freeze the spawn counter: the pooled measurements must not move it.
+    FilterBank::from_filters_with_pool(vec![small_filter()], Arc::clone(&pool))
+        .step_all(&[measurement(0)])
+        .expect("warm-up");
+    let spawns_before = total_spawned_threads();
+
+    let mut rows = Vec::new();
+    for sessions in SESSION_COUNTS {
+        let pooled_ns = pooled_batches(sessions, &pool);
+        let pooled_spawns = total_spawned_threads() - spawns_before;
+        assert_eq!(pooled_spawns, 0, "pooled steady state must not spawn");
+        let scoped_ns = scoped_batches(sessions);
+        let speedup = scoped_ns / pooled_ns;
+        println!("  {sessions:>8} {scoped_ns:>16.1} {pooled_ns:>16.1} {speedup:>9.2}x");
+        rows.push((sessions, scoped_ns, pooled_ns, speedup));
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"model\": \"2-state/3-channel motor\",");
+    let _ = writeln!(json, "  \"batches\": {BATCHES},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    let _ = writeln!(json, "  \"pool_threads\": {},", pool.threads());
+    let _ = writeln!(json, "  \"spawned_workers\": {},", pool.spawned_threads());
+    let _ = writeln!(json, "  \"pooled_steady_state_spawns\": 0,");
+    let _ = writeln!(json, "  \"comparison\": [");
+    for (i, (sessions, scoped_ns, pooled_ns, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"sessions\": {sessions}, \"scoped_ns_per_step\": {scoped_ns:.1}, \
+             \"pooled_ns_per_step\": {pooled_ns:.1}, \"speedup\": {speedup:.3} }}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pool.json", &json).expect("write BENCH_pool.json");
+    println!();
+    println!("wrote BENCH_pool.json");
+}

@@ -75,43 +75,23 @@ pub fn all_workloads() -> Vec<Workload> {
         .collect()
 }
 
-/// Evaluates a configuration grid in parallel (one OS thread per chunk of
-/// configurations; the sweep is embarrassingly parallel).
+/// Evaluates a configuration grid in parallel on the process-wide
+/// [`WorkerPool`](kalmmind::exec::WorkerPool): configurations are claimed
+/// dynamically one at a time by long-lived workers, so repeated sweeps
+/// (one per dataset per experiment binary) spawn no threads and a slow
+/// corner of the design space stalls nobody. Pool sizing honors
+/// `KALMMIND_THREADS`. Output is bit-identical to the serial
+/// [`run_sweep_serial`](kalmmind::sweep::run_sweep_serial) path, in grid
+/// order.
 pub fn parallel_sweep(workload: &Workload, grid: &[KalmMindConfig]) -> Vec<SweepPoint> {
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(grid.len().max(1));
-    let chunk = grid.len().div_ceil(threads);
-    let mut out: Vec<Option<SweepPoint>> = vec![None; grid.len()];
-    std::thread::scope(|scope| {
-        let mut slots = out.as_mut_slice();
-        let mut offset = 0;
-        let mut handles = Vec::new();
-        while !slots.is_empty() {
-            let take = chunk.min(slots.len());
-            let (head, rest) = slots.split_at_mut(take);
-            slots = rest;
-            let configs = &grid[offset..offset + take];
-            offset += take;
-            handles.push(scope.spawn(move || {
-                for (slot, config) in head.iter_mut().zip(configs) {
-                    *slot = Some(kalmmind::sweep::evaluate_config(
-                        &workload.model,
-                        &workload.init,
-                        workload.dataset.test_measurements(),
-                        &workload.reference,
-                        config,
-                    ));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("sweep worker panicked");
-        }
-    });
-    out.into_iter()
-        .map(|p| p.expect("all slots filled"))
-        .collect()
+    kalmmind::sweep::run_sweep(
+        &workload.model,
+        &workload.init,
+        workload.dataset.test_measurements(),
+        &workload.reference,
+        grid,
+    )
+    .expect("sweep is infallible per-configuration")
 }
 
 /// Formats a number in compact scientific notation (`1.3e-12`), matching
@@ -199,7 +179,7 @@ mod tests {
                 .unwrap(),
         ];
         let par = parallel_sweep(&w, &grid);
-        let ser = kalmmind::sweep::run_sweep(
+        let ser = kalmmind::sweep::run_sweep_serial(
             &w.model,
             &w.init,
             w.dataset.test_measurements(),
@@ -209,6 +189,7 @@ mod tests {
         .unwrap();
         assert_eq!(par.len(), ser.len());
         for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.config, b.config, "grid order preserved");
             assert_eq!(MetricKind::Mse.of(&a.report), MetricKind::Mse.of(&b.report));
         }
     }

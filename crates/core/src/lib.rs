@@ -67,6 +67,10 @@ pub mod tuner;
 pub use config::{KalmMindConfig, KalmMindConfigBuilder, MAX_APPROX, MAX_CALC_FREQ};
 pub use error::KalmanError;
 pub use filter::{reference_filter, KalmanFilter};
+/// Re-export of the persistent worker-pool execution layer, so downstream
+/// users can size or share the pool the sweep dispatches onto without
+/// depending on `kalmmind-exec` directly.
+pub use kalmmind_exec as exec;
 pub use model::KalmanModel;
 pub use state::KalmanState;
 pub use workspace::{GainWorkspace, InverseWorkspace, StepWorkspace};

@@ -3,7 +3,14 @@
 //! Runs the filter under every configuration of the paper's grid against a
 //! fixed measurement sequence, scores each against the reference trajectory,
 //! and extracts Pareto-optimal points once a latency model is attached.
+//!
+//! The grid is embarrassingly parallel, so [`run_sweep`] dispatches it over
+//! the process-wide [`WorkerPool`] (dynamic per-configuration claiming —
+//! one slow corner of the space no longer stalls a static chunk, and no
+//! threads are spawned per sweep). [`run_sweep_serial`] is the
+//! single-threaded reference path; both produce bit-identical points.
 
+use kalmmind_exec::WorkerPool;
 use kalmmind_linalg::{Scalar, Vector};
 
 use crate::gain::InverseGain;
@@ -46,7 +53,13 @@ pub fn evaluate_config<T: Scalar>(
     }
 }
 
-/// Runs the full grid and returns one point per configuration, in grid order.
+/// Runs the full grid and returns one point per configuration, in grid
+/// order, dispatching configurations over the process-wide
+/// [`WorkerPool::global`] pool.
+///
+/// Output is element-for-element identical to [`run_sweep_serial`]:
+/// configurations are independent and each point is written to its own
+/// grid slot, so scheduling order cannot affect the result.
 ///
 /// # Errors
 ///
@@ -54,6 +67,71 @@ pub fn evaluate_config<T: Scalar>(
 /// [`AccuracyReport::failed`]); the signature is fallible only for future
 /// dataset-level validation.
 pub fn run_sweep<T: Scalar>(
+    model: &KalmanModel<T>,
+    init: &KalmanState<T>,
+    measurements: &[Vector<T>],
+    reference: &[Vector<f64>],
+    grid: &[KalmMindConfig],
+) -> Result<Vec<SweepPoint>> {
+    run_sweep_on(
+        WorkerPool::global(),
+        model,
+        init,
+        measurements,
+        reference,
+        grid,
+    )
+}
+
+/// [`run_sweep`] on an explicit pool (for callers that size or share their
+/// own, e.g. a `FilterBank` wanting one pool across stepping and sweeping).
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`].
+///
+/// # Panics
+///
+/// Propagates a panic raised inside an `evaluate_config` call (the pool
+/// isolates it from other configurations first, so the rest of the grid
+/// still completes before the panic resurfaces here).
+pub fn run_sweep_on<T: Scalar>(
+    pool: &WorkerPool,
+    model: &KalmanModel<T>,
+    init: &KalmanState<T>,
+    measurements: &[Vector<T>],
+    reference: &[Vector<f64>],
+    grid: &[KalmMindConfig],
+) -> Result<Vec<SweepPoint>> {
+    let mut out: Vec<Option<SweepPoint>> = vec![None; grid.len()];
+    let report = pool.for_each_mut(&mut out, |slot, i| {
+        *slot = Some(evaluate_config(
+            model,
+            init,
+            measurements,
+            reference,
+            &grid[i],
+        ));
+    });
+    if let Some(p) = report.panics.first() {
+        panic!(
+            "sweep worker panicked at grid index {}: {}",
+            p.index, p.message
+        );
+    }
+    Ok(out
+        .into_iter()
+        .map(|p| p.expect("pool visits every slot"))
+        .collect())
+}
+
+/// Single-threaded reference sweep — the pre-pool execution path, kept as
+/// the equivalence baseline for the pooled [`run_sweep`].
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`].
+pub fn run_sweep_serial<T: Scalar>(
     model: &KalmanModel<T>,
     init: &KalmanState<T>,
     measurements: &[Vector<T>],
@@ -292,5 +370,52 @@ mod tests {
             points[0].report.mse < 1e-12,
             "exact config must match reference"
         );
+    }
+
+    #[test]
+    fn pooled_sweep_is_bit_identical_to_serial() {
+        let model = KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::identity(2).scale(1e-3),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::identity(3).scale(0.2),
+        )
+        .unwrap();
+        let init = KalmanState::zeroed(2);
+        let zs: Vec<Vector<f64>> = (0..40)
+            .map(|t| {
+                let x = (t as f64 * 0.2).sin();
+                Vector::from_vec(vec![x, 0.2, x + 0.2])
+            })
+            .collect();
+        let reference = crate::reference_filter(&model, &init, &zs).unwrap();
+        let mut grid = Vec::new();
+        for approx in 1..=3usize {
+            for calc_freq in 0..=4u32 {
+                grid.push(
+                    KalmMindConfig::builder()
+                        .approx(approx)
+                        .calc_freq(calc_freq)
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        let pooled = run_sweep(&model, &init, &zs, &reference, &grid).unwrap();
+        let serial = run_sweep_serial(&model, &init, &zs, &reference, &grid).unwrap();
+        assert_eq!(pooled.len(), serial.len());
+        for (a, b) in pooled.iter().zip(&serial) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.report.mse.to_bits(), b.report.mse.to_bits());
+            assert_eq!(a.report.mae.to_bits(), b.report.mae.to_bits());
+            assert_eq!(
+                a.report.max_diff_pct.to_bits(),
+                b.report.max_diff_pct.to_bits()
+            );
+            assert_eq!(
+                a.report.avg_diff_pct.to_bits(),
+                b.report.avg_diff_pct.to_bits()
+            );
+        }
     }
 }

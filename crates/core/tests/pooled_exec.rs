@@ -1,0 +1,104 @@
+//! Property test: the pooled DSE sweep is element-for-element identical to
+//! the serial reference path, under random well-posed models, measurement
+//! sequences, and configuration grids.
+//!
+//! This is the bit-identity guarantee the execution-layer refactor rides
+//! on: dynamic work claiming may run configurations in any order on any
+//! thread, but every `SweepPoint` lands in its own grid slot, so the output
+//! must match `run_sweep_serial` exactly — not approximately.
+
+use kalmmind::exec::WorkerPool;
+use kalmmind::inverse::SeedPolicy;
+use kalmmind::sweep::{run_sweep, run_sweep_on, run_sweep_serial};
+use kalmmind::{reference_filter, KalmMindConfig, KalmanModel, KalmanState};
+use kalmmind_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+const X: usize = 2;
+const Z: usize = 3;
+
+/// Strategy: a random stable, well-posed KF model (spectral radius of `F`
+/// kept below 1, diagonal SPD `Q` and `R`).
+fn arb_model() -> impl Strategy<Value = KalmanModel<f64>> {
+    (
+        prop::collection::vec(-0.3_f64..0.3, X * X),
+        prop::collection::vec(-1.0_f64..1.0, Z * X),
+        prop::collection::vec(0.05_f64..0.3, X),
+        prop::collection::vec(0.2_f64..1.0, Z),
+    )
+        .prop_map(|(fv, hv, qd, rd)| {
+            let mut f = Matrix::from_row_slice(X, X, &fv).expect("sized");
+            for i in 0..X {
+                f[(i, i)] += 0.5;
+            }
+            let h = Matrix::from_row_slice(Z, X, &hv).expect("sized");
+            let q = Matrix::from_diagonal(&qd);
+            let r = Matrix::from_diagonal(&rd);
+            KalmanModel::new(f, q, h, r).expect("valid model")
+        })
+}
+
+fn arb_measurements(len: usize) -> impl Strategy<Value = Vec<Vector<f64>>> {
+    prop::collection::vec(prop::collection::vec(-2.0_f64..2.0, Z), len)
+        .prop_map(|rows| rows.into_iter().map(Vector::from_vec).collect())
+}
+
+/// Strategy: a random configuration grid (3–12 cells) spanning both seed
+/// policies and the approximation / calculation-frequency ranges the
+/// paper's grids use.
+fn arb_grid() -> impl Strategy<Value = Vec<KalmMindConfig>> {
+    (3usize..=12)
+        .prop_flat_map(|n| prop::collection::vec((1usize..=4, 0u32..=5, prop::bool::ANY), n))
+        .prop_map(|cells| {
+            cells
+                .into_iter()
+                .map(|(approx, calc_freq, last)| {
+                    let policy = if last {
+                        SeedPolicy::LastCalculated
+                    } else {
+                        SeedPolicy::PreviousIteration
+                    };
+                    KalmMindConfig::builder()
+                        .approx(approx)
+                        .calc_freq(calc_freq)
+                        .policy(policy)
+                        .build()
+                        .expect("in-range config")
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pooled `run_sweep` (global pool) and an explicitly sized pool both
+    /// reproduce the serial reference bit-for-bit, in grid order.
+    #[test]
+    fn pooled_sweep_matches_serial_exactly(
+        model in arb_model(),
+        zs in arb_measurements(15),
+        grid in arb_grid(),
+    ) {
+        let init = KalmanState::zeroed(X);
+        let reference = reference_filter(&model, &init, &zs).expect("reference");
+
+        let serial = run_sweep_serial(&model, &init, &zs, &reference, &grid).unwrap();
+        let pooled = run_sweep(&model, &init, &zs, &reference, &grid).unwrap();
+        let private_pool = WorkerPool::new(3);
+        let on_private = run_sweep_on(&private_pool, &model, &init, &zs, &reference, &grid).unwrap();
+
+        prop_assert_eq!(serial.len(), grid.len());
+        for points in [&pooled, &on_private] {
+            prop_assert_eq!(points.len(), serial.len());
+            for (a, b) in points.iter().zip(&serial) {
+                prop_assert_eq!(a.config, b.config);
+                // Bit-level equality, so NaN/inf failure markers compare too.
+                prop_assert_eq!(a.report.mse.to_bits(), b.report.mse.to_bits());
+                prop_assert_eq!(a.report.mae.to_bits(), b.report.mae.to_bits());
+                prop_assert_eq!(a.report.max_diff_pct.to_bits(), b.report.max_diff_pct.to_bits());
+                prop_assert_eq!(a.report.avg_diff_pct.to_bits(), b.report.avg_diff_pct.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Persistent worker-pool execution layer.
+//!
+//! The paper's throughput argument — gain computation overlapped with
+//! measurement processing so one KF iteration costs tens of microseconds —
+//! only survives at fleet scale if the software runtime stops paying
+//! thread-spawn and static-chunking costs on every batch. Before this crate
+//! existed, `FilterBank::step_all` and the DSE sweep each re-spawned OS
+//! threads through `std::thread::scope` on *every* call and split work into
+//! `div_ceil` static chunks, so one slow item stalled its whole chunk.
+//!
+//! [`WorkerPool`] replaces both patterns with the batching discipline the
+//! hardware side already follows:
+//!
+//! * **Long-lived threads.** Workers are spawned once (pool construction)
+//!   and parked on a channel; steady-state dispatch spawns nothing. The
+//!   process-wide spawn counter ([`total_spawned_threads`]) makes that
+//!   property testable.
+//! * **Dynamic work distribution.** Items are claimed one index at a time
+//!   from a shared atomic counter, so a slow item delays only itself — no
+//!   static chunk to stall.
+//! * **Panic isolation per item.** A panicking item is caught, recorded in
+//!   the [`ScopeReport`], and neither kills the worker nor poisons the
+//!   batch's other items.
+//! * **Scoped borrowing.** [`WorkerPool::for_each_mut`] hands each worker a
+//!   disjoint `&mut` into the caller's slice and blocks until every claimed
+//!   index has finished, so non-`'static` borrows stay sound — a drop-in
+//!   replacement for the `thread::scope` loops it retires.
+//! * **Graceful shutdown.** Dropping the pool closes the submission
+//!   channels; workers drain and exit, and `Drop` joins them.
+//!
+//! Pool sizing honors the `KALMMIND_THREADS` environment variable (see
+//! [`WorkerPool::from_env`]); `KALMMIND_THREADS=1` degrades to a pure
+//! serial inline path with zero spawned threads.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Environment variable overriding the pool's parallelism degree.
+pub const THREADS_ENV: &str = "KALMMIND_THREADS";
+
+/// Process-wide count of OS threads ever spawned by this crate.
+static SPAWNED_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Total OS threads ever spawned by any [`WorkerPool`] in this process.
+///
+/// The zero-spawn steady-state guarantee is phrased against this counter:
+/// after a pool is warm, repeated dispatches must leave it unchanged.
+pub fn total_spawned_threads() -> u64 {
+    SPAWNED_THREADS.load(Ordering::Relaxed)
+}
+
+/// One caught panic from a pooled item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the item whose closure invocation panicked.
+    pub index: usize,
+    /// Stringified panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+/// Outcome of one scoped dispatch ([`WorkerPool::for_each_mut`] /
+/// [`WorkerPool::for_each_index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeReport {
+    /// Number of items in the dispatch.
+    pub items: usize,
+    /// Items executed on pool worker threads.
+    pub worker_items: u64,
+    /// Items executed inline on the submitting thread (the caller always
+    /// participates in claiming, so a busy pool never blocks a dispatch).
+    pub inline_items: u64,
+    /// Panics caught during the dispatch, in claim order. Empty on a clean
+    /// run; the corresponding items are left however the closure left them
+    /// at the unwind point.
+    pub panics: Vec<TaskPanic>,
+}
+
+impl ScopeReport {
+    fn empty() -> Self {
+        Self {
+            items: 0,
+            worker_items: 0,
+            inline_items: 0,
+            panics: Vec::new(),
+        }
+    }
+}
+
+/// Cumulative counters of a pool since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Scoped dispatches submitted.
+    pub dispatches: u64,
+    /// Items executed across all dispatches.
+    pub items: u64,
+    /// Items that ran on pool worker threads.
+    pub worker_items: u64,
+    /// Items that ran inline on submitting threads.
+    pub inline_items: u64,
+}
+
+/// Lifetime-erased pointer to the dispatch closure.
+///
+/// Soundness contract: the pointee outlives every dereference because the
+/// submitting thread does not return from `run_task` until the task's
+/// `pending` count reaches zero, and workers only dereference after
+/// claiming an index `< len` (each of which is accounted in `pending`).
+struct ErasedFn(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the lifetime
+// contract above guarantees validity for as long as any worker can reach it.
+unsafe impl Send for ErasedFn {}
+unsafe impl Sync for ErasedFn {}
+
+/// One in-flight scoped dispatch, shared by the caller and every worker.
+struct Task {
+    func: ErasedFn,
+    len: usize,
+    /// Next unclaimed index — the dynamic-distribution counter.
+    next: AtomicUsize,
+    /// Indices claimed but not yet finished, initialized to `len`.
+    pending: AtomicUsize,
+    worker_items: AtomicU64,
+    panics: Mutex<Vec<TaskPanic>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Task {
+    /// Claims and executes indices until the counter runs out. Each item is
+    /// wrapped in `catch_unwind`, so a panic is recorded and the loop (and
+    /// the worker thread running it) continues.
+    fn execute(&self, on_worker: bool) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // SAFETY: see `ErasedFn` — the submitter blocks until
+            // `pending == 0`, which cannot happen before this call returns.
+            let func = unsafe { &*self.func.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(i))) {
+                let message = panic_message(payload.as_ref());
+                self.panics
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(TaskPanic { index: i, message });
+            }
+            if on_worker {
+                self.worker_items.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A persistent pool of worker threads with dynamic work claiming.
+///
+/// Construct once (or share the process-wide [`WorkerPool::global`]), then
+/// dispatch scoped batches through [`WorkerPool::for_each_mut`]. The
+/// submitting thread always participates in execution, so a pool of degree
+/// `n` uses `n - 1` spawned workers plus the caller, and degree 1 is a
+/// fully inline serial path.
+pub struct WorkerPool {
+    senders: Vec<Sender<Arc<Task>>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    dispatches: AtomicU64,
+    items: AtomicU64,
+    worker_items: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("spawned_threads", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of parallelism degree `threads` (clamped to at least
+    /// 1), spawning `threads - 1` long-lived workers now and never again.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx): (Sender<Arc<Task>>, Receiver<Arc<Task>>) = mpsc::channel();
+            senders.push(tx);
+            SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("kalmmind-exec-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task.execute(true);
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        Self {
+            senders,
+            handles,
+            threads,
+            dispatches: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            worker_items: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a pool sized from the environment: `KALMMIND_THREADS` when
+    /// set to a positive integer, otherwise
+    /// `std::thread::available_parallelism()`.
+    pub fn from_env() -> Self {
+        Self::new(Self::threads_from_env())
+    }
+
+    /// The parallelism degree [`WorkerPool::from_env`] would use.
+    pub fn threads_from_env() -> usize {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+    }
+
+    /// The process-wide shared pool, lazily constructed via
+    /// [`WorkerPool::from_env`] on first use. Every execution site that does
+    /// not need private sizing (the DSE sweep, default [`FilterBank`]
+    /// construction) routes through this instance, so the whole process
+    /// holds one set of worker threads.
+    ///
+    /// [`FilterBank`]: https://docs.rs/kalmmind-runtime
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(WorkerPool::from_env()))
+    }
+
+    /// Parallelism degree: spawned workers plus the participating caller.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Long-lived worker threads this pool spawned at construction. Constant
+    /// for the pool's whole lifetime — the pool never spawns after `new`.
+    pub fn spawned_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Snapshot of the pool's cumulative dispatch counters.
+    pub fn counters(&self) -> PoolCounters {
+        let items = self.items.load(Ordering::Relaxed);
+        let worker_items = self.worker_items.load(Ordering::Relaxed);
+        PoolCounters {
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            items,
+            worker_items,
+            inline_items: items - worker_items,
+        }
+    }
+
+    /// Applies `f` to every element of `items` (receiving the element and
+    /// its index), distributing elements dynamically over the pool. Blocks
+    /// until every element has been processed; panics inside `f` are caught
+    /// per element and returned in the report instead of propagating.
+    ///
+    /// This is the drop-in replacement for the retired
+    /// `std::thread::scope` chunk loops: borrows in `f` and `items` need
+    /// not be `'static` because the call does not return while any worker
+    /// can still touch them.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F) -> ScopeReport
+    where
+        T: Send,
+        F: Fn(&mut T, usize) + Sync,
+    {
+        let base = items.as_mut_ptr() as usize;
+        self.for_each_index(items.len(), move |i| {
+            // SAFETY: `for_each_index` claims each index exactly once, so
+            // every invocation gets a disjoint element, and the slice
+            // outlives the dispatch because `for_each_index` blocks until
+            // all indices are done.
+            let item = unsafe { &mut *(base as *mut T).add(i) };
+            f(item, i);
+        })
+    }
+
+    /// Index-space variant of [`WorkerPool::for_each_mut`]: applies `f` to
+    /// every index in `0..len` with the same distribution, blocking, and
+    /// panic-isolation semantics.
+    pub fn for_each_index<F>(&self, len: usize, f: F) -> ScopeReport
+    where
+        F: Fn(usize) + Sync,
+    {
+        if len == 0 {
+            return ScopeReport::empty();
+        }
+        // SAFETY: lifetime erasure only — layout is unchanged. The erased
+        // reference is never dereferenced after this function returns (see
+        // the `ErasedFn` contract), so the shortened borrow is respected.
+        let func: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&f)
+        };
+        let task = Arc::new(Task {
+            func: ErasedFn(func),
+            len,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(len),
+            worker_items: AtomicU64::new(0),
+            panics: Mutex::new(Vec::new()),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        // Only wake as many workers as there are items beyond the caller's
+        // own share; a dispatch of 1 item never leaves the calling thread.
+        let fan = self.senders.len().min(len.saturating_sub(1));
+        for tx in &self.senders[..fan] {
+            // A send can only fail if the worker exited, which only happens
+            // during pool drop; the caller then completes the task inline.
+            let _ = tx.send(Arc::clone(&task));
+        }
+        task.execute(false);
+        task.wait();
+
+        let worker_items = task.worker_items.load(Ordering::Relaxed);
+        let panics = std::mem::take(&mut *task.panics.lock().unwrap_or_else(|e| e.into_inner()));
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(len as u64, Ordering::Relaxed);
+        self.worker_items.fetch_add(worker_items, Ordering::Relaxed);
+        ScopeReport {
+            items: len,
+            worker_items,
+            inline_items: len as u64 - worker_items,
+            panics,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Graceful shutdown: closing the submission channels lets each worker
+    /// drain its queue and exit; the drop then joins every worker so no
+    /// thread outlives the pool.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn processes_every_item_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let mut items = vec![0u32; 1000];
+        let report = pool.for_each_mut(&mut items, |item, i| *item = i as u32 + 1);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        assert_eq!(report.items, 1000);
+        assert_eq!(report.worker_items + report.inline_items, 1000);
+        assert!(report.panics.is_empty());
+    }
+
+    #[test]
+    fn degree_one_pool_is_fully_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.spawned_threads(), 0);
+        let mut items = vec![0u8; 64];
+        let report = pool.for_each_mut(&mut items, |item, _| *item = 1);
+        assert_eq!(report.inline_items, 64);
+        assert_eq!(report.worker_items, 0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.for_each_index(3, |_| {}).items, 3);
+    }
+
+    #[test]
+    fn empty_dispatch_is_a_no_op() {
+        let pool = WorkerPool::new(4);
+        let before = pool.counters();
+        let report = pool.for_each_mut::<u8, _>(&mut [], |_, _| unreachable!());
+        assert_eq!(report.items, 0);
+        assert_eq!(pool.counters(), before);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_item() {
+        let pool = WorkerPool::new(4);
+        let mut items: Vec<u32> = (0..100).collect();
+        let report = pool.for_each_mut(&mut items, |item, i| {
+            if i == 17 || i == 63 {
+                panic!("boom at {i}");
+            }
+            *item += 1;
+        });
+        let mut panicked: Vec<usize> = report.panics.iter().map(|p| p.index).collect();
+        panicked.sort_unstable();
+        assert_eq!(panicked, vec![17, 63]);
+        assert!(report.panics.iter().any(|p| p.message.contains("boom at")));
+        // Every other item was still processed.
+        for (i, &v) in items.iter().enumerate() {
+            if i != 17 && i != 63 {
+                assert_eq!(v, i as u32 + 1, "item {i}");
+            }
+        }
+        // The pool survives and the next dispatch is clean.
+        let report = pool.for_each_mut(&mut items, |item, _| *item = 0);
+        assert!(report.panics.is_empty());
+        assert_eq!(report.items, 100);
+    }
+
+    #[test]
+    fn steady_state_dispatches_spawn_no_threads() {
+        let pool = WorkerPool::new(4);
+        let spawned = total_spawned_threads();
+        let mut items = vec![0u64; 256];
+        for round in 0..50 {
+            pool.for_each_mut(&mut items, |item, _| *item += round);
+        }
+        assert_eq!(
+            total_spawned_threads(),
+            spawned,
+            "steady state must not spawn"
+        );
+        assert_eq!(pool.counters().dispatches, 50);
+        assert_eq!(pool.counters().items, 50 * 256);
+    }
+
+    #[test]
+    fn workers_actually_participate() {
+        let pool = WorkerPool::new(4);
+        // Enough slow-ish items that the three workers must claim some.
+        let counter = AtomicU32::new(0);
+        let report = pool.for_each_index(64, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert!(
+            report.worker_items > 0,
+            "expected workers to claim items: {report:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_dispatches_from_many_threads_complete() {
+        let pool = Arc::new(WorkerPool::new(4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let mut items = vec![0u32; 200];
+                    for _ in 0..20 {
+                        let report = pool.for_each_mut(&mut items, |item, _| *item += 1);
+                        assert!(report.panics.is_empty());
+                    }
+                    assert!(items.iter().all(|&v| v == 20));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let spawned = total_spawned_threads();
+        {
+            let pool = WorkerPool::new(3);
+            pool.for_each_index(10, |_| {});
+        } // Drop: channels close, workers drain and join.
+        assert_eq!(total_spawned_threads(), spawned + 2);
+    }
+
+    #[test]
+    fn env_sizing_parses_positive_integers_only() {
+        // Avoid mutating the process environment (other tests run in
+        // parallel); exercise the parse contract via the public fallback.
+        let n = WorkerPool::threads_from_env();
+        assert!(n >= 1);
+    }
+}

@@ -6,12 +6,20 @@
 //! configurations over the same data. [`FilterBank`] packages that pattern:
 //! it owns N independent filter sessions — each with its own
 //! [`StepWorkspace`] so every session steps allocation-free — and steps them
-//! over measurement batches across OS threads.
+//! over measurement batches on a persistent [`WorkerPool`].
+//!
+//! The pool is the scaling substrate: workers are spawned once (at pool
+//! construction), so steady-state [`FilterBank::step_all`] and
+//! [`FilterBank::run`] spawn **zero** OS threads, and sessions are claimed
+//! dynamically one at a time, so one slow session delays only itself rather
+//! than a static chunk. Banks share the process-wide
+//! [`WorkerPool::global`] pool by default, or accept a privately sized
+//! handle via [`FilterBank::with_pool`] / [`FilterBank::from_filters_with_pool`].
 //!
 //! Error isolation is the load-bearing guarantee: one session hitting a
-//! singular `S` or diverging to a non-finite state is marked
-//! [`SessionStatus::Failed`] and parked, while every other session keeps
-//! stepping. A batch is never poisoned by its worst member.
+//! singular `S`, diverging to a non-finite state, or even *panicking* is
+//! marked [`SessionStatus::Failed`] and parked, while every other session
+//! keeps stepping. A batch is never poisoned by its worst member.
 //!
 //! # Example
 //!
@@ -32,8 +40,9 @@
 //!     bank.push(KalmanFilter::gauss(model.clone(), KalmanState::zeroed(1)));
 //! }
 //! let zs: Vec<Vector<f64>> = (0..4).map(|_| Vector::from_vec(vec![1.0])).collect();
-//! bank.step_all(&zs)?;
+//! let report = bank.step_all(&zs)?;
 //! assert_eq!(bank.active_count(), 4);
+//! assert_eq!(report.steps, 4);
 //! # Ok(())
 //! # }
 //! ```
@@ -41,10 +50,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kalmmind::gain::GainStrategy;
 use kalmmind::{KalmanError, KalmanFilter, KalmanState, StepWorkspace};
+use kalmmind_exec::WorkerPool;
 use kalmmind_linalg::{Scalar, Vector};
 
 /// Lifecycle of one session inside a [`FilterBank`].
@@ -58,7 +69,8 @@ pub enum SessionStatus {
     Failed {
         /// Zero-based KF iteration at which the failure occurred.
         iteration: usize,
-        /// Human-readable failure cause (error display or divergence note).
+        /// Human-readable failure cause (error display, divergence note, or
+        /// `panicked: …` for a caught panic).
         reason: String,
     },
 }
@@ -118,7 +130,27 @@ impl<T: Scalar, G: GainStrategy<T>> Session<T, G> {
     }
 }
 
-/// Aggregate outcome of a [`FilterBank::run`] batch.
+/// How the pool executed one [`FilterBank`] batch.
+///
+/// `spawned_threads` is the pool's lifetime spawn count: it is fixed at
+/// pool construction, so comparing it across batches demonstrates the
+/// zero-spawn steady state. `worker_sessions`/`inline_sessions` split the
+/// batch's sessions by where they ran (pool workers vs the calling thread),
+/// the utilization signal for sizing `KALMMIND_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolUtilization {
+    /// Parallelism degree of the pool (spawned workers + calling thread).
+    pub threads: usize,
+    /// Long-lived workers the pool spawned at construction (constant).
+    pub spawned_threads: usize,
+    /// Sessions of this batch executed on pool worker threads.
+    pub worker_sessions: u64,
+    /// Sessions of this batch executed inline on the calling thread.
+    pub inline_sessions: u64,
+}
+
+/// Aggregate outcome of a [`FilterBank::step_all`] or [`FilterBank::run`]
+/// batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BankReport {
     /// Number of sessions in the bank when the batch ran.
@@ -129,8 +161,11 @@ pub struct BankReport {
     pub failed_sessions: usize,
     /// Successful steps executed across all sessions during this batch.
     pub steps: usize,
-    /// Wall-clock duration of the batch.
+    /// Wall-clock duration of this batch (one `step_all` call or one whole
+    /// `run`).
     pub elapsed: Duration,
+    /// Pool-side execution counters for this batch.
+    pub pool: PoolUtilization,
 }
 
 impl BankReport {
@@ -150,14 +185,50 @@ impl BankReport {
 }
 
 /// N independent Kalman-filter sessions stepped together over measurement
-/// batches, with per-session error isolation.
+/// batches on a persistent worker pool, with per-session error isolation.
 ///
-/// All sessions share the scalar type `T` and gain-strategy type `G`; use
-/// `G = Box<dyn GainStrategy<T>>` (as built by
-/// [`KalmanFilter::with_config`]) to mix strategies inside one bank.
+/// All sessions share the scalar type `T` and gain-strategy type `G`. For a
+/// *homogeneous* bank, `G` can be a concrete strategy type and the whole
+/// bank is monomorphized. For a *heterogeneous* bank — different gain
+/// strategies (or the same strategy differently configured) side by side —
+/// use `G = Box<dyn GainStrategy<T>>`: both
+/// [`KalmanFilter::with_config`] (which always builds a boxed-strategy
+/// filter from a [`KalmMindConfig`](kalmmind::KalmMindConfig)) and a
+/// manually boxed strategy produce compatible filters, so they can share
+/// one bank:
+///
+/// ```
+/// use kalmmind::gain::{GainStrategy, InverseGain, TaylorGain};
+/// use kalmmind::{KalmMindConfig, KalmanFilter, KalmanModel, KalmanState};
+/// use kalmmind_linalg::{Matrix, Vector};
+/// use kalmmind_runtime::FilterBank;
+///
+/// # fn main() -> Result<(), kalmmind::KalmanError> {
+/// let model = KalmanModel::new(
+///     Matrix::<f64>::identity(1),
+///     Matrix::identity(1).scale(1e-4),
+///     Matrix::identity(1),
+///     Matrix::identity(1).scale(0.5),
+/// )?;
+/// // One session from the paper's config surface…
+/// let cfg = KalmMindConfig::builder().approx(2).calc_freq(4).build()?;
+/// let configured = KalmanFilter::with_config(model.clone(), KalmanState::zeroed(1), &cfg)?;
+/// // …and one with a hand-boxed strategy, in the same bank.
+/// let taylor: Box<dyn GainStrategy<f64>> = Box::new(TaylorGain::new());
+/// let handmade = KalmanFilter::new(model.clone(), KalmanState::zeroed(1), taylor);
+/// let mut bank = FilterBank::from_filters(vec![configured, handmade]);
+/// bank.step_all(&[Vector::from_vec(vec![1.0]), Vector::from_vec(vec![1.0])])?;
+/// assert_eq!(bank.active_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The indirection cost of the boxed call is one dynamic dispatch per gain
+/// computation — negligible next to the matrix work behind it.
 #[derive(Debug)]
 pub struct FilterBank<T: Scalar, G> {
     sessions: Vec<Session<T, G>>,
+    pool: Arc<WorkerPool>,
 }
 
 impl<T: Scalar, G: GainStrategy<T>> Default for FilterBank<T, G> {
@@ -167,18 +238,40 @@ impl<T: Scalar, G: GainStrategy<T>> Default for FilterBank<T, G> {
 }
 
 impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
-    /// Creates an empty bank.
+    /// Creates an empty bank on the process-wide [`WorkerPool::global`]
+    /// pool (sized by `KALMMIND_THREADS`, falling back to
+    /// `available_parallelism`).
     pub fn new() -> Self {
+        Self::with_pool(Arc::clone(WorkerPool::global()))
+    }
+
+    /// Creates an empty bank on an explicit pool handle. Use this to size
+    /// the pool privately or to share one pool across several banks without
+    /// touching the global instance.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
         Self {
             sessions: Vec::new(),
+            pool,
         }
     }
 
-    /// Creates a bank owning `filters`, one session per filter.
+    /// Creates a bank owning `filters`, one session per filter, on the
+    /// process-wide pool.
     pub fn from_filters(filters: Vec<KalmanFilter<T, G>>) -> Self {
+        Self::from_filters_with_pool(filters, Arc::clone(WorkerPool::global()))
+    }
+
+    /// Creates a bank owning `filters` on an explicit pool handle.
+    pub fn from_filters_with_pool(filters: Vec<KalmanFilter<T, G>>, pool: Arc<WorkerPool>) -> Self {
         Self {
             sessions: filters.into_iter().map(Session::new).collect(),
+            pool,
         }
+    }
+
+    /// The pool this bank dispatches batches onto.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Adds a session for `filter` (with a freshly sized workspace).
@@ -233,14 +326,16 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
     }
 
     /// Steps every active session once; `zs[i]` is session `i`'s
-    /// measurement. Sessions that fail are parked, not propagated.
+    /// measurement. Sessions that fail — or panic — are parked, not
+    /// propagated, and the returned report carries the batch wall time and
+    /// pool-utilization counters.
     ///
     /// # Errors
     ///
     /// Returns [`KalmanError::BadVector`] when `zs.len()` differs from the
     /// session count (the only whole-batch error; per-session failures are
     /// recorded in each session's status).
-    pub fn step_all(&mut self, zs: &[Vector<T>]) -> Result<(), KalmanError> {
+    pub fn step_all(&mut self, zs: &[Vector<T>]) -> Result<BankReport, KalmanError> {
         if zs.len() != self.sessions.len() {
             return Err(KalmanError::BadVector {
                 expected: self.sessions.len(),
@@ -248,8 +343,7 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
                 what: "bank measurement batch",
             });
         }
-        self.parallel_for_each(|session, i| session.step(&zs[i]));
-        Ok(())
+        Ok(self.dispatch(|session, i| session.step(&zs[i])))
     }
 
     /// Runs session `i` over the whole measurement sequence `sequences[i]`,
@@ -270,74 +364,55 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
                 what: "bank measurement sequences",
             });
         }
-        let before: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
-        let start = Instant::now();
-        self.parallel_for_each(|session, i| {
+        Ok(self.dispatch(|session, i| {
             for z in &sequences[i] {
                 if !session.status.is_active() {
                     break;
                 }
                 session.step(z);
             }
-        });
-        let elapsed = start.elapsed();
-        let after: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
-        let failed = self.sessions.len() - self.active_count();
-        Ok(BankReport {
-            sessions: self.sessions.len(),
-            active_sessions: self.active_count(),
-            failed_sessions: failed,
-            steps: after - before,
-            elapsed,
-        })
+        }))
     }
 
-    /// Applies `f` to every session, chunked over `available_parallelism`
-    /// OS threads via `std::thread::scope`. `f` receives the session and
-    /// its bank index.
-    fn parallel_for_each(&mut self, f: impl Fn(&mut Session<T, G>, usize) + Sync) {
-        let n = self.sessions.len();
-        if n == 0 {
-            return;
+    /// Dispatches `f` over every session on the pool (dynamic one-session
+    /// claiming, zero thread spawns), converts caught panics into parked
+    /// [`SessionStatus::Failed`] sessions, and assembles the batch report.
+    fn dispatch(&mut self, f: impl Fn(&mut Session<T, G>, usize) + Sync) -> BankReport {
+        let before: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
+        let start = Instant::now();
+        let scope = self.pool.for_each_mut(&mut self.sessions, f);
+        let elapsed = start.elapsed();
+        for p in &scope.panics {
+            let session = &mut self.sessions[p.index];
+            if session.status.is_active() {
+                session.status = SessionStatus::Failed {
+                    iteration: session.filter.iteration(),
+                    reason: format!("panicked: {}", p.message),
+                };
+            }
         }
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |p| p.get())
-            .min(n);
-        if threads <= 1 {
-            for (i, session) in self.sessions.iter_mut().enumerate() {
-                f(session, i);
-            }
-            return;
+        let after: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
+        let active = self.active_count();
+        BankReport {
+            sessions: self.sessions.len(),
+            active_sessions: active,
+            failed_sessions: self.sessions.len() - active,
+            steps: after - before,
+            elapsed,
+            pool: PoolUtilization {
+                threads: self.pool.threads(),
+                spawned_threads: self.pool.spawned_threads(),
+                worker_sessions: scope.worker_items,
+                inline_sessions: scope.inline_items,
+            },
         }
-        let chunk = n.div_ceil(threads);
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut slots = self.sessions.as_mut_slice();
-            let mut offset = 0;
-            let mut handles = Vec::new();
-            while !slots.is_empty() {
-                let take = chunk.min(slots.len());
-                let (head, rest) = slots.split_at_mut(take);
-                slots = rest;
-                let base = offset;
-                offset += take;
-                handles.push(scope.spawn(move || {
-                    for (j, session) in head.iter_mut().enumerate() {
-                        f(session, base + j);
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("filter-bank worker panicked");
-            }
-        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kalmmind::gain::InverseGain;
+    use kalmmind::gain::{GainContext, InverseGain};
     use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
     use kalmmind::{KalmMindConfig, KalmanModel};
     use kalmmind_linalg::Matrix;
@@ -367,7 +442,8 @@ mod tests {
     #[test]
     fn bank_sessions_match_standalone_filters() {
         // Four sessions tracking different speeds must evolve exactly like
-        // four standalone filters stepped serially.
+        // four standalone filters stepped serially — the pooled path is
+        // bit-identical to the serial reference.
         let speeds = [0.5, 1.0, 1.5, 2.0];
         let mut bank = FilterBank::from_filters(speeds.map(|_| interleaved_filter()).into());
         let mut solos: Vec<_> = speeds.iter().map(|_| interleaved_filter()).collect();
@@ -451,6 +527,100 @@ mod tests {
         }
     }
 
+    /// A gain strategy that panics after a configurable number of calls —
+    /// the failure mode the pool's per-item `catch_unwind` must contain.
+    #[derive(Debug)]
+    struct PanickingGain {
+        calls_before_panic: usize,
+        calls: usize,
+    }
+
+    impl GainStrategy<f64> for PanickingGain {
+        fn gain(&mut self, _ctx: GainContext<'_, f64>) -> kalmmind::Result<Matrix<f64>> {
+            self.calls += 1;
+            if self.calls > self.calls_before_panic {
+                panic!("synthetic gain panic on call {}", self.calls);
+            }
+            Ok(Matrix::zeros(2, 3))
+        }
+
+        fn name(&self) -> &'static str {
+            "panicking-test-gain"
+        }
+
+        fn reset(&mut self) {
+            self.calls = 0;
+        }
+    }
+
+    #[test]
+    fn panicking_session_is_parked_and_the_rest_stay_active() {
+        let healthy = || {
+            let cfg = KalmMindConfig::builder()
+                .approx(2)
+                .calc_freq(4)
+                .build()
+                .unwrap();
+            KalmanFilter::with_config(model(), KalmanState::zeroed(2), &cfg).unwrap()
+        };
+        let ticking: KalmanFilter<f64, Box<dyn GainStrategy<f64>>> = KalmanFilter::new(
+            model(),
+            KalmanState::zeroed(2),
+            Box::new(PanickingGain {
+                calls_before_panic: 2,
+                calls: 0,
+            }) as Box<dyn GainStrategy<f64>>,
+        );
+        let mut bank = FilterBank::from_filters(vec![healthy(), ticking, healthy(), healthy()]);
+        // Two clean batches, then the panic fires inside the pool.
+        for t in 0..5 {
+            let zs = vec![measurement(t, 1.0); 4];
+            let report = bank.step_all(&zs).unwrap();
+            assert_eq!(report.sessions, 4);
+        }
+        assert_eq!(bank.active_count(), 3, "only the panicking session parks");
+        match bank.status(1) {
+            SessionStatus::Failed { iteration, reason } => {
+                assert_eq!(*iteration, 2);
+                assert!(reason.contains("panicked"), "reason: {reason}");
+                assert!(reason.contains("synthetic gain panic"), "reason: {reason}");
+            }
+            other => panic!("expected parked panic, got {other:?}"),
+        }
+        for (i, expected) in [(0usize, 5usize), (1, 2), (2, 5), (3, 5)] {
+            assert_eq!(bank.steps_ok(i), expected, "session {i}");
+        }
+        for i in [0usize, 2, 3] {
+            assert!(bank.status(i).is_active(), "session {i} must stay Active");
+        }
+    }
+
+    #[test]
+    fn steady_state_stepping_spawns_zero_threads() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let mut bank = FilterBank::from_filters_with_pool(
+            (0..8).map(|_| interleaved_filter()).collect::<Vec<_>>(),
+            Arc::clone(&pool),
+        );
+        // Warm-up batch, then measure: the process-wide spawn counter must
+        // not move across 100 steady-state batches.
+        bank.step_all(&vec![measurement(0, 1.0); 8]).unwrap();
+        let spawned = kalmmind_exec::total_spawned_threads();
+        let dispatches = pool.counters().dispatches;
+        for t in 1..=100 {
+            let report = bank.step_all(&vec![measurement(t, 1.0); 8]).unwrap();
+            assert_eq!(report.pool.spawned_threads, 3);
+            assert_eq!(report.pool.worker_sessions + report.pool.inline_sessions, 8);
+        }
+        assert_eq!(
+            kalmmind_exec::total_spawned_threads(),
+            spawned,
+            "steady-state step_all must not spawn threads"
+        );
+        assert_eq!(pool.counters().dispatches, dispatches + 100);
+        assert_eq!(bank.active_count(), 8);
+    }
+
     #[test]
     fn run_reports_aggregate_throughput() {
         let mut bank =
@@ -464,6 +634,12 @@ mod tests {
         assert_eq!(report.failed_sessions, 0);
         assert_eq!(report.steps, 200);
         assert!(report.throughput() > 0.0);
+        assert!(report.pool.threads >= 1);
+        assert_eq!(
+            report.pool.worker_sessions + report.pool.inline_sessions,
+            4,
+            "each session is one pool item in a run dispatch"
+        );
     }
 
     #[test]
