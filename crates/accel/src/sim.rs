@@ -330,7 +330,7 @@ mod tests {
         let sim = AccelSim::new(catalog::gauss_newton());
         let report = sim.run(&model, &init, &zs, &config(24, 2, 4)).unwrap();
         assert_eq!(report.outputs.len(), zs.len());
-        let score = kalmmind::metrics::compare(&report.outputs, &reference);
+        let score = kalmmind::accuracy::compare(&report.outputs, &reference);
         assert!(score.mse < 1e-3, "accelerator diverged: {score:?}");
     }
 
@@ -379,8 +379,8 @@ mod tests {
         let fast = sim.run(&model, &init, &zs, &config(24, 1, 0)).unwrap();
         let accurate = sim.run(&model, &init, &zs, &config(24, 6, 2)).unwrap();
         assert!(fast.latency_s < accurate.latency_s);
-        let fast_score = kalmmind::metrics::compare(&fast.outputs, &reference);
-        let accurate_score = kalmmind::metrics::compare(&accurate.outputs, &reference);
+        let fast_score = kalmmind::accuracy::compare(&fast.outputs, &reference);
+        let accurate_score = kalmmind::accuracy::compare(&accurate.outputs, &reference);
         assert!(
             accurate_score.mse <= fast_score.mse,
             "more compute must not hurt accuracy: {accurate_score:?} vs {fast_score:?}"
@@ -397,8 +397,8 @@ mod tests {
         let fx32 = AccelSim::new(catalog::gauss_newton_fx32())
             .run(&model, &init, &zs, &config(24, 2, 1))
             .unwrap();
-        let fp_score = kalmmind::metrics::compare(&fp.outputs, &reference);
-        let fx_score = kalmmind::metrics::compare(&fx32.outputs, &reference);
+        let fp_score = kalmmind::accuracy::compare(&fp.outputs, &reference);
+        let fx_score = kalmmind::accuracy::compare(&fx32.outputs, &reference);
         assert!(
             fx_score.mse > fp_score.mse * 10.0,
             "Q16.16 must be visibly worse: {fx_score:?} vs {fp_score:?}"

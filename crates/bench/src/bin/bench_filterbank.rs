@@ -6,6 +6,11 @@
 //! working directory alongside a human-readable table.
 //!
 //! Run with `cargo run --release -p kalmmind-bench --bin bench_filterbank`.
+//! Set `KALMMIND_BENCH_QUICK=1` for a fast low-fidelity pass (used by the
+//! CI bench guard); the JSON then carries `"quick": true` so quick numbers
+//! are never compared against full-fidelity baselines. With the default
+//! `obs` feature the JSON also embeds the process metrics snapshot
+//! (inverse-path, Newton-iteration, and pool-utilization counters).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -19,8 +24,12 @@ use kalmmind_runtime::FilterBank;
 use std::hint::black_box;
 use std::sync::Arc;
 
-const STEPS: usize = 20_000;
-const REPEATS: usize = 5;
+/// Environment variable selecting the fast low-fidelity mode.
+const QUICK_ENV: &str = "KALMMIND_BENCH_QUICK";
+
+fn quick_mode() -> bool {
+    std::env::var(QUICK_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn small_model() -> KalmanModel<f64> {
     KalmanModel::new(
@@ -50,10 +59,10 @@ fn measurements(n: usize) -> Vec<Vector<f64>> {
         .collect()
 }
 
-/// Best-of-`REPEATS` nanoseconds per step for one full pass over `zs`.
-fn time_pass(mut pass: impl FnMut(&[Vector<f64>]), zs: &[Vector<f64>]) -> f64 {
+/// Best-of-`repeats` nanoseconds per step for one full pass over `zs`.
+fn time_pass(mut pass: impl FnMut(&[Vector<f64>]), zs: &[Vector<f64>], repeats: usize) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPEATS {
+    for _ in 0..repeats {
         let start = Instant::now();
         pass(zs);
         let ns = start.elapsed().as_nanos() as f64 / zs.len() as f64;
@@ -63,7 +72,9 @@ fn time_pass(mut pass: impl FnMut(&[Vector<f64>]), zs: &[Vector<f64>]) -> f64 {
 }
 
 fn main() {
-    let zs = measurements(STEPS);
+    let quick = quick_mode();
+    let (steps, repeats) = if quick { (2_000, 2) } else { (20_000, 5) };
+    let zs = measurements(steps);
 
     // Part 1: allocating vs workspace single-filter stepping.
     let allocating_ns = time_pass(
@@ -74,6 +85,7 @@ fn main() {
             }
         },
         &zs,
+        repeats,
     );
     let workspace_ns = time_pass(
         |zs| {
@@ -84,10 +96,11 @@ fn main() {
             }
         },
         &zs,
+        repeats,
     );
     let speedup = allocating_ns / workspace_ns;
 
-    println!("kf step, 2-state/3-channel model, {STEPS} steps (best of {REPEATS}):");
+    println!("kf step, 2-state/3-channel model, {steps} steps (best of {repeats}):");
     println!("  allocating step():      {allocating_ns:>9.1} ns/step");
     println!("  workspace  step_with(): {workspace_ns:>9.1} ns/step");
     println!("  speedup:                {speedup:>9.2}x");
@@ -121,7 +134,7 @@ fn main() {
         let sequences: Vec<Vec<Vector<f64>>> = (0..sessions).map(|_| zs.clone()).collect();
         let mut best_throughput = 0.0_f64;
         let mut best_ns = f64::INFINITY;
-        for _ in 0..REPEATS {
+        for _ in 0..repeats {
             let mut bank = FilterBank::from_filters_with_pool(
                 (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
                 Arc::clone(&pool),
@@ -157,8 +170,8 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"model\": \"2-state/3-channel motor\",");
-    let _ = writeln!(json, "  \"steps_per_session\": {STEPS},");
-    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    let _ = writeln!(json, "  \"steps_per_session\": {steps},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
     let _ = writeln!(json, "  \"hardware_threads\": {threads},");
     let _ = writeln!(json, "  \"pool\": {{");
     let _ = writeln!(json, "    \"threads\": {},", pool.threads());
@@ -190,7 +203,10 @@ fn main() {
              \"throughput_steps_per_s\": {throughput:.0}, \"vs_one_session\": {ratio:.3} }}{comma}"
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());
+    json.push_str("}\n");
 
     std::fs::write("BENCH_filterbank.json", &json).expect("write BENCH_filterbank.json");
     println!();

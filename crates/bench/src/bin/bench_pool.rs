@@ -15,6 +15,10 @@
 //! human-readable table.
 //!
 //! Run with `cargo run --release -p kalmmind-bench --bin bench_pool`.
+//! Set `KALMMIND_BENCH_QUICK=1` for a fast low-fidelity pass (used by the
+//! CI bench guard); the JSON then carries `"quick": true` so quick numbers
+//! are never compared against full-fidelity baselines. With the default
+//! `obs` feature the JSON also embeds the process metrics snapshot.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -27,9 +31,14 @@ use kalmmind::{KalmanFilter, KalmanModel, KalmanState, StepWorkspace};
 use kalmmind_linalg::{Matrix, Vector};
 use kalmmind_runtime::FilterBank;
 
-const BATCHES: usize = 200;
-const REPEATS: usize = 5;
 const SESSION_COUNTS: [usize; 3] = [4, 16, 64];
+
+/// Environment variable selecting the fast low-fidelity mode.
+const QUICK_ENV: &str = "KALMMIND_BENCH_QUICK";
+
+fn quick_mode() -> bool {
+    std::env::var(QUICK_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn small_model() -> KalmanModel<f64> {
     KalmanModel::new(
@@ -73,12 +82,12 @@ fn solo_sessions(n: usize) -> Vec<SoloSession> {
 /// Spawn-per-batch baseline: one scoped OS thread per session per batch.
 /// This is deliberately *not* the retired chunked loop — it isolates the
 /// per-batch spawn+join cost itself, the quantity the pool eliminates.
-fn scoped_batches(sessions: usize) -> f64 {
+fn scoped_batches(sessions: usize, batches: usize, repeats: usize) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPEATS {
+    for _ in 0..repeats {
         let mut solos = solo_sessions(sessions);
         let start = Instant::now();
-        for t in 0..BATCHES {
+        for t in 0..batches {
             let z = measurement(t);
             std::thread::scope(|scope| {
                 for (kf, ws) in solos.iter_mut() {
@@ -89,37 +98,39 @@ fn scoped_batches(sessions: usize) -> f64 {
                 }
             });
         }
-        let ns = start.elapsed().as_nanos() as f64 / (BATCHES * sessions) as f64;
+        let ns = start.elapsed().as_nanos() as f64 / (batches * sessions) as f64;
         best = best.min(ns);
     }
     best
 }
 
 /// Persistent-pool path: `FilterBank::step_all` batches on a shared pool.
-fn pooled_batches(sessions: usize, pool: &Arc<WorkerPool>) -> f64 {
+fn pooled_batches(sessions: usize, pool: &Arc<WorkerPool>, batches: usize, repeats: usize) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPEATS {
+    for _ in 0..repeats {
         let mut bank = FilterBank::from_filters_with_pool(
             (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
             Arc::clone(pool),
         );
         let start = Instant::now();
-        for t in 0..BATCHES {
+        for t in 0..batches {
             let zs = vec![measurement(t); sessions];
             let report = bank.step_all(&zs).expect("step_all");
             assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
         }
-        let ns = start.elapsed().as_nanos() as f64 / (BATCHES * sessions) as f64;
+        let ns = start.elapsed().as_nanos() as f64 / (batches * sessions) as f64;
         best = best.min(ns);
     }
     best
 }
 
 fn main() {
+    let quick = quick_mode();
+    let (batches, repeats) = if quick { (50, 2) } else { (200, 5) };
     let pool = Arc::new(WorkerPool::from_env());
     println!(
-        "pooled vs scoped execution, {BATCHES} single-measurement batches, \
-         best of {REPEATS} (pool: {} threads, {} spawned workers):",
+        "pooled vs scoped execution, {batches} single-measurement batches, \
+         best of {repeats} (pool: {} threads, {} spawned workers):",
         pool.threads(),
         pool.spawned_threads()
     );
@@ -137,10 +148,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for sessions in SESSION_COUNTS {
-        let pooled_ns = pooled_batches(sessions, &pool);
+        let pooled_ns = pooled_batches(sessions, &pool, batches, repeats);
         let pooled_spawns = total_spawned_threads() - spawns_before;
         assert_eq!(pooled_spawns, 0, "pooled steady state must not spawn");
-        let scoped_ns = scoped_batches(sessions);
+        let scoped_ns = scoped_batches(sessions, batches, repeats);
         let speedup = scoped_ns / pooled_ns;
         println!("  {sessions:>8} {scoped_ns:>16.1} {pooled_ns:>16.1} {speedup:>9.2}x");
         rows.push((sessions, scoped_ns, pooled_ns, speedup));
@@ -150,8 +161,8 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"model\": \"2-state/3-channel motor\",");
-    let _ = writeln!(json, "  \"batches\": {BATCHES},");
-    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
     let _ = writeln!(json, "  \"pool_threads\": {},", pool.threads());
     let _ = writeln!(json, "  \"spawned_workers\": {},", pool.spawned_threads());
     let _ = writeln!(json, "  \"pooled_steady_state_spawns\": 0,");
@@ -164,7 +175,10 @@ fn main() {
              \"pooled_ns_per_step\": {pooled_ns:.1}, \"speedup\": {speedup:.3} }}{comma}"
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());
+    json.push_str("}\n");
 
     std::fs::write("BENCH_pool.json", &json).expect("write BENCH_pool.json");
     println!();

@@ -8,9 +8,9 @@
 //!
 //! Run with `cargo run --release -p kalmmind-bench --bin table1`.
 
+use kalmmind::accuracy::{compare, AccuracyReport};
 use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
 use kalmmind::inverse::{CalcInverse, CalcMethod, NewtonInverse};
-use kalmmind::metrics::{compare, AccuracyReport};
 use kalmmind::KalmanFilter;
 use kalmmind_bench::{sci, workload, Workload};
 

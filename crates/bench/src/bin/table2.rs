@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo run --release -p kalmmind-bench --bin table2`.
 
+use kalmmind::accuracy::compare;
 use kalmmind::inverse::CalcMethod;
-use kalmmind::metrics::compare;
 use kalmmind::sweep::MetricKind;
 use kalmmind::{KalmMindConfig, KalmanFilter};
 use kalmmind_bench::{all_workloads, parallel_sweep, sci, sci_range};

@@ -4,8 +4,8 @@
 //! workload across its representative configuration set, and models the two
 //! software baselines (Intel i7 and CVA6).
 
+use kalmmind::accuracy::compare;
 use kalmmind::inverse::SeedPolicy;
-use kalmmind::metrics::compare;
 use kalmmind::KalmanFilter;
 use kalmmind_accel::design::{catalog, Design, DesignKind};
 use kalmmind_accel::registers::AcceleratorConfig;

@@ -19,7 +19,7 @@ use kalmmind_linalg::{Scalar, Vector};
 /// # Example
 ///
 /// ```
-/// use kalmmind::metrics::compare;
+/// use kalmmind::accuracy::compare;
 /// use kalmmind_linalg::Vector;
 ///
 /// let reference = vec![Vector::from_vec(vec![1.0_f64, 2.0])];

@@ -1,11 +1,33 @@
 //! The Kalman-filter recursion, reorganized as in the paper.
 
 use kalmmind_linalg::{Matrix, Scalar, Vector};
+use kalmmind_obs as obs;
 
 use crate::gain::{GainContext, GainStrategy, InverseGain};
 use crate::inverse::{CalcInverse, CalcMethod};
 use crate::workspace::StepWorkspace;
 use crate::{KalmMindConfig, KalmanError, KalmanModel, KalmanState, Result};
+
+// Phase timers for the reorganized step (no-ops unless `obs` is enabled).
+// Separate histogram families rather than one labeled family because the
+// exporter keys histograms by name; the `kf_` prefix groups them.
+static OBS_STEPS: obs::LazyCounter =
+    obs::LazyCounter::new("kf_steps_total", "Workspace KF iterations completed");
+static OBS_PREDICT: obs::LazyHistogram = obs::LazyHistogram::new(
+    "kf_predict_seconds",
+    "Wall time of the measurement-independent predict phase",
+    obs::LATENCY_SECONDS_BUCKETS,
+);
+static OBS_GAIN: obs::LazyHistogram = obs::LazyHistogram::new(
+    "kf_gain_seconds",
+    "Wall time of the gain (compute-K) phase, including the S inversion",
+    obs::LATENCY_SECONDS_BUCKETS,
+);
+static OBS_UPDATE: obs::LazyHistogram = obs::LazyHistogram::new(
+    "kf_update_seconds",
+    "Wall time of the measurement update phase",
+    obs::LATENCY_SECONDS_BUCKETS,
+);
 
 /// A Kalman filter with a pluggable Kalman-gain strategy.
 ///
@@ -216,46 +238,56 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
         let h = self.model.h();
 
         // --- Predict (measurement-independent) ---
-        f.mul_vector_into(self.state.x(), &mut ws.x_pred)?;
-        f.mul_into(self.state.p(), &mut ws.fp)?;
-        f.transpose_into(&mut ws.ft)?;
-        ws.fp.mul_into(&ws.ft, &mut ws.p_pred)?;
-        ws.p_pred.add_assign(self.model.q())?;
-        ws.p_pred.symmetrize();
+        {
+            let _t = OBS_PREDICT.start_timer();
+            f.mul_vector_into(self.state.x(), &mut ws.x_pred)?;
+            f.mul_into(self.state.p(), &mut ws.fp)?;
+            f.transpose_into(&mut ws.ft)?;
+            ws.fp.mul_into(&ws.ft, &mut ws.p_pred)?;
+            ws.p_pred.add_assign(self.model.q())?;
+            ws.p_pred.symmetrize();
+        }
 
         // --- Compute K (measurement-independent: the reorganized module) ---
-        self.gain.gain_into(
-            GainContext {
-                p_pred: &ws.p_pred,
-                model: &self.model,
-                iteration: self.iteration,
-            },
-            &mut ws.k,
-            &mut ws.gain,
-        )?;
+        {
+            let _t = OBS_GAIN.start_timer();
+            self.gain.gain_into(
+                GainContext {
+                    p_pred: &ws.p_pred,
+                    model: &self.model,
+                    iteration: self.iteration,
+                },
+                &mut ws.k,
+                &mut ws.gain,
+            )?;
+        }
 
         // --- Update (needs the measurement) ---
-        h.mul_vector_into(&ws.x_pred, &mut ws.hx)?;
-        ws.y.copy_from(z)?;
-        ws.y.sub_assign(&ws.hx)?; // innovation
-        ws.k.mul_vector_into(&ws.y, &mut ws.ky)?;
-        ws.x_pred.add_assign(&ws.ky)?; // x_pred now holds x_new
-        ws.k.mul_into(h, &mut ws.kh)?;
-        // kh <- I − K·H, element-for-element the subtraction
-        // `identity.checked_sub(&kh)` performs in `step`.
-        let x_dim = self.model.x_dim();
-        for i in 0..x_dim {
-            for j in 0..x_dim {
-                let v = ws.kh[(i, j)];
-                ws.kh[(i, j)] = if i == j { T::ONE - v } else { T::ZERO - v };
+        {
+            let _t = OBS_UPDATE.start_timer();
+            h.mul_vector_into(&ws.x_pred, &mut ws.hx)?;
+            ws.y.copy_from(z)?;
+            ws.y.sub_assign(&ws.hx)?; // innovation
+            ws.k.mul_vector_into(&ws.y, &mut ws.ky)?;
+            ws.x_pred.add_assign(&ws.ky)?; // x_pred now holds x_new
+            ws.k.mul_into(h, &mut ws.kh)?;
+            // kh <- I − K·H, element-for-element the subtraction
+            // `identity.checked_sub(&kh)` performs in `step`.
+            let x_dim = self.model.x_dim();
+            for i in 0..x_dim {
+                for j in 0..x_dim {
+                    let v = ws.kh[(i, j)];
+                    ws.kh[(i, j)] = if i == j { T::ONE - v } else { T::ZERO - v };
+                }
             }
+            ws.kh.mul_into(&ws.p_pred, &mut ws.p_new)?;
+            ws.p_new.symmetrize();
         }
-        ws.kh.mul_into(&ws.p_pred, &mut ws.p_new)?;
-        ws.p_new.symmetrize();
 
         // Double-buffer swap, by copy instead of by move.
         self.state.assign(&ws.x_pred, &ws.p_new);
         self.iteration += 1;
+        OBS_STEPS.inc();
         Ok(&self.state)
     }
 
@@ -423,7 +455,7 @@ mod tests {
         // one-time state error that then decays at the filter's closed-loop
         // rate. Trajectory-level accuracy must stay high and the tail must
         // reconverge to the reference.
-        let report = crate::metrics::compare(&out, &reference);
+        let report = crate::accuracy::compare(&out, &reference);
         assert!(
             report.mse < 1e-4,
             "trajectory-level MSE too high: {report:?}"

@@ -2,10 +2,35 @@
 //! approximation across consecutive KF iterations (paper Section III).
 
 use kalmmind_linalg::{iterative, Matrix, Scalar};
+use kalmmind_obs as obs;
 
 use crate::inverse::{store_history, CalcMethod, InverseStrategy, SeedPolicy};
 use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
+
+// Path counters (no-ops unless `obs` is enabled). These aggregate across
+// every filter in the process; the per-strategy `calc_count`/`approx_count`/
+// `fallback_count` fields below stay per-instance.
+static OBS_PATH_CALC: obs::LazyCounter = obs::LazyCounter::labeled(
+    "kf_inverse_path_total",
+    "S-matrix inversions by path taken (paper Path A = calc, Path B = approx)",
+    "path",
+    "calc",
+);
+static OBS_PATH_APPROX: obs::LazyCounter = obs::LazyCounter::labeled(
+    "kf_inverse_path_total",
+    "S-matrix inversions by path taken (paper Path A = calc, Path B = approx)",
+    "path",
+    "approx",
+);
+static OBS_FALLBACKS: obs::LazyCounter = obs::LazyCounter::new(
+    "kf_inverse_fallback_total",
+    "Approximation-path inversions whose Newton output was non-finite and were recomputed exactly",
+);
+static OBS_NEWTON_ITERS: obs::LazyCounter = obs::LazyCounter::new(
+    "kf_newton_iterations_total",
+    "Newton-Schulz internal iterations executed across all strategies",
+);
 
 /// Interleaved calculation/approximation inversion — the paper's primary
 /// contribution.
@@ -168,11 +193,14 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
         let inv = if Self::is_calc_iteration(self.calc_freq, iteration) {
             let inv = self.calc.invert(s)?;
             self.calc_count += 1;
+            OBS_PATH_CALC.inc();
             self.last_calculated = Some(inv.clone());
             inv
         } else {
             let seed = self.seed(s)?;
             self.approx_count += 1;
+            OBS_PATH_APPROX.inc();
+            OBS_NEWTON_ITERS.add(self.approx as u64);
             let approx =
                 iterative::newton_schulz(s, &seed, self.approx).map_err(KalmanError::from)?;
             if approx.all_finite() {
@@ -184,6 +212,7 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
                 // the history with a certified inverse instead.
                 let inv = self.calc.invert(s)?;
                 self.fallback_count += 1;
+                OBS_FALLBACKS.inc();
                 self.last_calculated = Some(inv.clone());
                 inv
             }
@@ -205,12 +234,15 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
             // steady-state hot path is unaffected.
             let inv = self.calc.invert(s)?;
             self.calc_count += 1;
+            OBS_PATH_CALC.inc();
             store_history(&mut self.last_calculated, &inv);
             out.copy_from(&inv)?;
         } else {
             ws.fit(s.rows());
             self.seed_into(s, &mut ws.seed)?;
             self.approx_count += 1;
+            OBS_PATH_APPROX.inc();
+            OBS_NEWTON_ITERS.add(self.approx as u64);
             iterative::newton_schulz_into(
                 s,
                 &ws.seed,
@@ -225,6 +257,7 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
                 // poisoning the seed history with NaN/∞.
                 let inv = self.calc.invert(s)?;
                 self.fallback_count += 1;
+                OBS_FALLBACKS.inc();
                 store_history(&mut self.last_calculated, &inv);
                 out.copy_from(&inv)?;
             }

@@ -1,10 +1,19 @@
 //! Pure Newton–Schulz approximation (Path B only) — the LITE design.
 
 use kalmmind_linalg::{iterative, Matrix, Scalar};
+use kalmmind_obs as obs;
 
 use crate::inverse::{store_history, InverseStrategy};
 use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
+
+// Shares the family declared in `interleaved.rs` (same name + help): the
+// registry keys by name, so Newton-only and interleaved strategies feed one
+// process-wide iteration counter.
+static OBS_NEWTON_ITERS: obs::LazyCounter = obs::LazyCounter::new(
+    "kf_newton_iterations_total",
+    "Newton-Schulz internal iterations executed across all strategies",
+);
 
 /// How the very first KF iteration obtains its Newton seed, before any
 /// previous inverse exists.
@@ -110,6 +119,7 @@ impl<T: Scalar> InverseStrategy<T> for NewtonInverse<T> {
         } else {
             self.approx
         };
+        OBS_NEWTON_ITERS.add(iters as u64);
         let v = iterative::newton_schulz(s, &seed, iters)?;
         self.prev = Some(v.clone());
         Ok(v)
@@ -139,6 +149,7 @@ impl<T: Scalar> InverseStrategy<T> for NewtonInverse<T> {
         } else {
             self.approx
         };
+        OBS_NEWTON_ITERS.add(iters as u64);
         iterative::newton_schulz_into(s, &ws.seed, iters, &mut ws.scratch, &mut ws.tmp, out)?;
         store_history(&mut self.prev, out);
         Ok(())

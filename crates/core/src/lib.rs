@@ -18,7 +18,7 @@
 //!   ([`gain::SskfGain`]), Taylor-expansion gain ([`gain::TaylorGain`]), and
 //!   the inverse-free KF ([`inverse::IfkfInverse`]);
 //! * model training by the least-squares method of Wu et al. ([`train`]);
-//! * the accuracy metrics of the evaluation ([`metrics`]) and a
+//! * the accuracy metrics of the evaluation ([`accuracy`]) and a
 //!   design-space-exploration sweep driver ([`sweep`]).
 //!
 //! # Quickstart
@@ -56,13 +56,23 @@ mod model;
 mod state;
 mod workspace;
 
+pub mod accuracy;
 pub mod adaptive;
 pub mod gain;
 pub mod inverse;
-pub mod metrics;
 pub mod sweep;
 pub mod train;
 pub mod tuner;
+
+/// Deprecated alias of [`accuracy`].
+///
+/// The module was renamed to avoid colliding with the *runtime* metrics of
+/// the `kalmmind-obs` observability layer: `metrics` now unambiguously means
+/// counters/histograms, `accuracy` means the paper's MSE/MAE/DIFF scores.
+#[deprecated(since = "0.1.0", note = "renamed to `accuracy`")]
+pub mod metrics {
+    pub use crate::accuracy::*;
+}
 
 pub use config::{KalmMindConfig, KalmMindConfigBuilder, MAX_APPROX, MAX_CALC_FREQ};
 pub use error::KalmanError;

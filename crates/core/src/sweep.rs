@@ -13,8 +13,8 @@
 use kalmmind_exec::WorkerPool;
 use kalmmind_linalg::{Scalar, Vector};
 
+use crate::accuracy::{compare, AccuracyReport};
 use crate::gain::InverseGain;
-use crate::metrics::{compare, AccuracyReport};
 use crate::{KalmMindConfig, KalmanFilter, KalmanModel, KalmanState, Result};
 
 /// One evaluated configuration.

@@ -56,7 +56,7 @@ pub struct Selection {
 /// ```
 /// use kalmmind::sweep::{LatencyPoint, MetricKind, SweepPoint};
 /// use kalmmind::tuner::{select, Objective};
-/// use kalmmind::metrics::AccuracyReport;
+/// use kalmmind::accuracy::AccuracyReport;
 /// use kalmmind::KalmMindConfig;
 ///
 /// # fn main() -> Result<(), kalmmind::KalmanError> {
@@ -133,7 +133,7 @@ pub fn select(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::AccuracyReport;
+    use crate::accuracy::AccuracyReport;
     use crate::sweep::SweepPoint;
 
     fn mk(approx: usize, latency_s: f64, mse: f64) -> LatencyPoint {

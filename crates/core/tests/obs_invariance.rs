@@ -1,0 +1,175 @@
+//! Proof that observability instrumentation never changes filter output.
+//!
+//! "Zero cost" has two halves. The allocation half lives in
+//! `tests/alloc_free.rs`; this file proves the *numerical* half: the state
+//! trajectory is bit-for-bit identical whether the `obs` feature is on or
+//! off. A single binary can only be compiled one way, so the comparison is
+//! made through golden bit patterns: the constants below were recorded from
+//! the uninstrumented filter (pre-obs `main`), and CI runs this same test
+//! under `--no-default-features`, default, and `--features obs` — every leg
+//! must land on the same bits. Timers and counters wrap the arithmetic;
+//! they must never reorder or perturb it.
+//!
+//! The proptest at the bottom extends the guarantee across random models:
+//! the allocating `step` and the instrumented workspace `step_with` agree
+//! exactly, which means the phase-timer blocks inserted into `step_with`
+//! did not move any operation across a phase boundary.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace (identical to `tests/alloc_free.rs`).
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn measurement(t: usize) -> Vector<f64> {
+    let pos = 0.1 * t as f64;
+    Vector::from_vec(vec![pos, 1.0, pos + 1.0])
+}
+
+/// Steps 64 iterations through the workspace path and returns the final
+/// state as raw IEEE-754 bits.
+fn run_golden<G: kalmmind::gain::GainStrategy<f64>>(
+    mut kf: KalmanFilter<f64, G>,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut ws = kf.workspace();
+    for t in 0..64 {
+        kf.step_with(&measurement(t), &mut ws).expect("step");
+    }
+    let x = (0..2).map(|i| kf.state().x()[i].to_bits()).collect();
+    let p = (0..2)
+        .flat_map(|i| (0..2).map(move |j| (i, j)))
+        .map(|(i, j)| kf.state().p()[(i, j)].to_bits())
+        .collect();
+    (x, p)
+}
+
+// Recorded from the uninstrumented filter. The filter path uses only
+// +, -, *, / on f64 (no libm, no FMA contraction), so these bits are
+// deterministic across optimization levels and IEEE-754 platforms.
+const GOLDEN_INTERLEAVED_X: [u64; 2] = [0x4019332e570fce35, 0x3ff0000baab7c516];
+const GOLDEN_INTERLEAVED_P: [u64; 4] = [
+    0x3f8485ec7efae7d2,
+    0x3f56e985fab9d774,
+    0x3f56e985fab9d774,
+    0x3f816616a51d7e93,
+];
+const GOLDEN_NEWTON_X: [u64; 2] = [0x4019332ea1716b6e, 0x3ff0000b30795624];
+const GOLDEN_NEWTON_P: [u64; 4] = [
+    0x3f8485eb97ce0b8c,
+    0x3f56e97e7efded80,
+    0x3f56e97e7efded80,
+    0x3f816614ca62bffa,
+];
+
+#[test]
+fn interleaved_trajectory_matches_preinstrumentation_bits() {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    let kf = KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat));
+    let (x, p) = run_golden(kf);
+    assert_eq!(x, GOLDEN_INTERLEAVED_X, "state bits drifted");
+    assert_eq!(p, GOLDEN_INTERLEAVED_P, "covariance bits drifted");
+}
+
+#[test]
+fn newton_trajectory_matches_preinstrumentation_bits() {
+    let kf = KalmanFilter::new(
+        model(),
+        KalmanState::zeroed(2),
+        InverseGain::new(NewtonInverse::new(2)),
+    );
+    let (x, p) = run_golden(kf);
+    assert_eq!(x, GOLDEN_NEWTON_X, "state bits drifted");
+    assert_eq!(p, GOLDEN_NEWTON_P, "covariance bits drifted");
+}
+
+#[test]
+fn allocating_step_lands_on_the_same_golden_bits() {
+    // `step` has no phase timers at all, so its agreement with the golden
+    // constants pins the instrumented `step_with` to the uninstrumented
+    // arithmetic from a second, independently compiled path.
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    let mut kf = KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat));
+    for t in 0..64 {
+        kf.step(&measurement(t)).expect("step");
+    }
+    let x: Vec<u64> = (0..2).map(|i| kf.state().x()[i].to_bits()).collect();
+    assert_eq!(x, GOLDEN_INTERLEAVED_X);
+}
+
+const X: usize = 3;
+const Z: usize = 4;
+
+fn arb_model() -> impl Strategy<Value = KalmanModel<f64>> {
+    (
+        prop::collection::vec(-0.4_f64..0.4, X * X),
+        prop::collection::vec(-1.0_f64..1.0, Z * X),
+        prop::collection::vec(0.05_f64..0.3, X),
+        prop::collection::vec(0.2_f64..1.0, Z),
+    )
+        .prop_map(|(fv, hv, qd, rd)| {
+            let mut f = Matrix::from_row_slice(X, X, &fv).expect("sized");
+            for i in 0..X {
+                f[(i, i)] += 0.5;
+            }
+            let h = Matrix::from_row_slice(Z, X, &hv).expect("sized");
+            let q = Matrix::from_diagonal(&qd);
+            let r = Matrix::from_diagonal(&rd);
+            KalmanModel::new(f, q, h, r).expect("valid model")
+        })
+}
+
+fn arb_measurements(len: usize) -> impl Strategy<Value = Vec<Vector<f64>>> {
+    prop::collection::vec(prop::collection::vec(-2.0_f64..2.0, Z), len)
+        .prop_map(|rows| rows.into_iter().map(Vector::from_vec).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The instrumented workspace path and the uninstrumented allocating
+    /// path stay bit-identical on random models and configurations.
+    #[test]
+    fn instrumented_step_with_equals_plain_step(
+        m in arb_model(),
+        zs in arb_measurements(12),
+        approx in 1usize..=3,
+        calc_freq in 0u32..=4,
+    ) {
+        let strat = || InterleavedInverse::new(
+            CalcMethod::Gauss, approx, calc_freq, SeedPolicy::LastCalculated,
+        );
+        let mut plain =
+            KalmanFilter::new(m.clone(), KalmanState::zeroed(X), InverseGain::new(strat()));
+        let mut inst =
+            KalmanFilter::new(m, KalmanState::zeroed(X), InverseGain::new(strat()));
+        let mut ws = inst.workspace();
+        for z in &zs {
+            let a = plain.step(z).expect("step");
+            let ax: Vec<u64> = (0..X).map(|i| a.x()[i].to_bits()).collect();
+            let b = inst.step_with(z, &mut ws).expect("step_with");
+            let bx: Vec<u64> = (0..X).map(|i| b.x()[i].to_bits()).collect();
+            prop_assert_eq!(ax, bx, "state bits diverged");
+            for i in 0..X {
+                for j in 0..X {
+                    prop_assert_eq!(
+                        a.p()[(i, j)].to_bits(),
+                        b.p()[(i, j)].to_bits(),
+                        "P bits diverged at ({}, {})", i, j
+                    );
+                }
+            }
+        }
+    }
+}

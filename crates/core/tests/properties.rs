@@ -107,7 +107,7 @@ proptest! {
         let strat = InterleavedInverse::new(CalcMethod::Gauss, approx, calc_freq, policy);
         let mut kf = KalmanFilter::new(model, init, InverseGain::new(strat));
         let out = kf.run(zs.iter()).expect("interleaved run");
-        let report = kalmmind::metrics::compare(&out, &reference);
+        let report = kalmmind::accuracy::compare(&out, &reference);
         prop_assert!(report.is_finite(), "diverged: {:?}", report);
     }
 

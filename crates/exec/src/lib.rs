@@ -41,8 +41,48 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use kalmmind_obs as obs;
+
 /// Environment variable overriding the pool's parallelism degree.
 pub const THREADS_ENV: &str = "KALMMIND_THREADS";
+
+// Observability handles — zero-sized no-ops unless the `obs` feature is on.
+static OBS_DISPATCHES: obs::LazyCounter = obs::LazyCounter::new(
+    "exec_dispatches_total",
+    "Scoped dispatches submitted to worker pools",
+);
+static OBS_ITEMS_WORKER: obs::LazyCounter = obs::LazyCounter::labeled(
+    "exec_items_total",
+    "Items executed by pooled dispatches, by executing thread kind",
+    "site",
+    "worker",
+);
+static OBS_ITEMS_INLINE: obs::LazyCounter = obs::LazyCounter::labeled(
+    "exec_items_total",
+    "Items executed by pooled dispatches, by executing thread kind",
+    "site",
+    "inline",
+);
+static OBS_ITEM_PANICS: obs::LazyCounter = obs::LazyCounter::new(
+    "exec_item_panics_total",
+    "Items whose closure panicked during a pooled dispatch",
+);
+static OBS_ACTIVE_DISPATCHES: obs::LazyGauge = obs::LazyGauge::new(
+    "exec_active_dispatches",
+    "Scoped dispatches currently executing",
+);
+static OBS_POOL_THREADS: obs::LazyGauge = obs::LazyGauge::new(
+    "exec_pool_threads",
+    "Parallelism degree of the most recently constructed pool",
+);
+static OBS_SPAWNED_THREADS: obs::LazyCounter = obs::LazyCounter::new(
+    "exec_spawned_threads_total",
+    "OS threads spawned by worker pools since process start",
+);
+static OBS_ENV_INVALID: obs::LazyCounter = obs::LazyCounter::new(
+    "exec_threads_env_invalid_total",
+    "Times KALMMIND_THREADS was set but unusable and sizing fell back to available_parallelism",
+);
 
 /// Process-wide count of OS threads ever spawned by this crate.
 static SPAWNED_THREADS: AtomicU64 = AtomicU64::new(0);
@@ -218,6 +258,7 @@ impl WorkerPool {
             let (tx, rx): (Sender<Arc<Task>>, Receiver<Arc<Task>>) = mpsc::channel();
             senders.push(tx);
             SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+            OBS_SPAWNED_THREADS.inc();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("kalmmind-exec-{i}"))
@@ -229,6 +270,7 @@ impl WorkerPool {
                     .expect("spawn worker thread"),
             );
         }
+        OBS_POOL_THREADS.set(threads as i64);
         Self {
             senders,
             handles,
@@ -242,17 +284,57 @@ impl WorkerPool {
     /// Creates a pool sized from the environment: `KALMMIND_THREADS` when
     /// set to a positive integer, otherwise
     /// `std::thread::available_parallelism()`.
+    ///
+    /// A set-but-unusable override (`0`, negative, or non-numeric) is *not*
+    /// silently ignored: it falls back like an unset variable but also
+    /// prints a stderr warning and increments the
+    /// `exec_threads_env_invalid_total` obs counter, so a fleet operator
+    /// who fat-fingers a deployment variable finds out.
     pub fn from_env() -> Self {
         Self::new(Self::threads_from_env())
     }
 
     /// The parallelism degree [`WorkerPool::from_env`] would use.
     pub fn threads_from_env() -> usize {
-        std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        match std::env::var(THREADS_ENV) {
+            Ok(raw) => match Self::parse_threads_override(&raw) {
+                Ok(n) => n,
+                Err(reason) => {
+                    OBS_ENV_INVALID.inc();
+                    eprintln!(
+                        "warning: {THREADS_ENV}={raw:?} is {reason}; \
+                         falling back to available_parallelism"
+                    );
+                    Self::default_parallelism()
+                }
+            },
+            Err(_) => Self::default_parallelism(),
+        }
+    }
+
+    /// Parses a `KALMMIND_THREADS` override. Returns the degree for a
+    /// positive integer (surrounding whitespace tolerated), or a
+    /// human-readable reason why the value is unusable.
+    ///
+    /// Exposed so the parse contract is unit-testable without mutating the
+    /// process environment (tests run in parallel threads).
+    pub fn parse_threads_override(raw: &str) -> Result<usize, &'static str> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Err("empty");
+        }
+        match trimmed.parse::<usize>() {
+            Ok(0) => Err("zero"),
+            Ok(n) => Ok(n),
+            Err(_) if trimmed.starts_with('-') && trimmed[1..].parse::<u64>().is_ok() => {
+                Err("negative")
+            }
+            Err(_) => Err("not an integer"),
+        }
+    }
+
+    fn default_parallelism() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
     }
 
     /// The process-wide shared pool, lazily constructed via
@@ -325,6 +407,7 @@ impl WorkerPool {
         if len == 0 {
             return ScopeReport::empty();
         }
+        OBS_ACTIVE_DISPATCHES.inc();
         // SAFETY: lifetime erasure only — layout is unchanged. The erased
         // reference is never dereferenced after this function returns (see
         // the `ErasedFn` contract), so the shortened borrow is respected.
@@ -357,6 +440,11 @@ impl WorkerPool {
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         self.items.fetch_add(len as u64, Ordering::Relaxed);
         self.worker_items.fetch_add(worker_items, Ordering::Relaxed);
+        OBS_ACTIVE_DISPATCHES.dec();
+        OBS_DISPATCHES.inc();
+        OBS_ITEMS_WORKER.add(worker_items);
+        OBS_ITEMS_INLINE.add(len as u64 - worker_items);
+        OBS_ITEM_PANICS.add(panics.len() as u64);
         ScopeReport {
             items: len,
             worker_items,
@@ -513,5 +601,37 @@ mod tests {
         // parallel); exercise the parse contract via the public fallback.
         let n = WorkerPool::threads_from_env();
         assert!(n >= 1);
+    }
+
+    #[test]
+    fn threads_override_accepts_positive_integers() {
+        assert_eq!(WorkerPool::parse_threads_override("1"), Ok(1));
+        assert_eq!(WorkerPool::parse_threads_override("8"), Ok(8));
+        assert_eq!(WorkerPool::parse_threads_override("  16  "), Ok(16));
+        assert_eq!(WorkerPool::parse_threads_override("\t4\n"), Ok(4));
+    }
+
+    #[test]
+    fn threads_override_rejects_zero() {
+        assert_eq!(WorkerPool::parse_threads_override("0"), Err("zero"));
+        assert_eq!(WorkerPool::parse_threads_override(" 0 "), Err("zero"));
+    }
+
+    #[test]
+    fn threads_override_rejects_negative() {
+        assert_eq!(WorkerPool::parse_threads_override("-1"), Err("negative"));
+        assert_eq!(WorkerPool::parse_threads_override("-32"), Err("negative"));
+    }
+
+    #[test]
+    fn threads_override_rejects_garbage() {
+        for garbage in ["", "   ", "four", "4.0", "0x8", "8 threads", "-"] {
+            let err = WorkerPool::parse_threads_override(garbage)
+                .expect_err(&format!("{garbage:?} must be rejected"));
+            assert!(
+                matches!(err, "empty" | "not an integer"),
+                "{garbage:?} -> {err}"
+            );
+        }
     }
 }

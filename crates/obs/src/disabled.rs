@@ -1,0 +1,197 @@
+//! No-op implementation used when the `obs` feature is disabled.
+//!
+//! Every type is a zero-sized unit struct and every method an empty
+//! `#[inline(always)]` body, so instrumented call sites in dependent crates
+//! compile to nothing — no atomics, no clock reads, no branches. The API
+//! mirrors `enabled.rs` exactly; a call site that compiles with `obs` on
+//! must compile with it off.
+
+use std::time::Duration;
+
+use crate::SpanRecord;
+
+/// A monotonically increasing counter (no-op: `obs` feature disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct Counter;
+
+/// A gauge (no-op: `obs` feature disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge;
+
+/// A fixed-bucket histogram (no-op: `obs` feature disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram;
+
+/// A `const`-constructible counter handle (no-op: `obs` feature disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct LazyCounter;
+
+impl LazyCounter {
+    /// Creates a handle for the counter `name`.
+    #[inline(always)]
+    pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+        Self
+    }
+
+    /// Creates a handle carrying one static `key="value"` label.
+    #[inline(always)]
+    pub const fn labeled(
+        _name: &'static str,
+        _help: &'static str,
+        _key: &'static str,
+        _value: &'static str,
+    ) -> Self {
+        Self
+    }
+
+    /// Adds 1 (no-op).
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Adds `n` (no-op).
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Current value (always 0).
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// A `const`-constructible gauge handle (no-op: `obs` feature disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct LazyGauge;
+
+impl LazyGauge {
+    /// Creates a handle for the gauge `name`.
+    #[inline(always)]
+    pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+        Self
+    }
+
+    /// Sets the gauge (no-op).
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+
+    /// Adds `n` (no-op).
+    #[inline(always)]
+    pub fn add(&self, _n: i64) {}
+
+    /// Adds 1 (no-op).
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Subtracts 1 (no-op).
+    #[inline(always)]
+    pub fn dec(&self) {}
+
+    /// Current value (always 0).
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// A `const`-constructible histogram handle (no-op: `obs` feature disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct LazyHistogram;
+
+impl LazyHistogram {
+    /// Creates a handle for the histogram `name` with fixed `bounds`.
+    #[inline(always)]
+    pub const fn new(_name: &'static str, _help: &'static str, _bounds: &'static [f64]) -> Self {
+        Self
+    }
+
+    /// Records one observation (no-op).
+    #[inline(always)]
+    pub fn observe(&self, _v: f64) {}
+
+    /// Records a duration in seconds (no-op).
+    #[inline(always)]
+    pub fn observe_duration(&self, _d: Duration) {}
+
+    /// Number of observations (always 0).
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Sum of all observations (always 0).
+    #[inline(always)]
+    pub fn sum(&self) -> f64 {
+        0.0
+    }
+
+    /// Starts an RAII timer that does nothing on drop.
+    #[inline(always)]
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer(std::marker::PhantomData)
+    }
+}
+
+/// RAII timer from [`LazyHistogram::start_timer`] (no-op).
+#[derive(Debug)]
+pub struct HistogramTimer<'a>(std::marker::PhantomData<&'a ()>);
+
+/// Starts a named RAII span that does nothing on drop.
+#[inline(always)]
+pub fn span(_label: &'static str) -> Span {
+    Span
+}
+
+/// RAII guard from [`span`] (no-op).
+#[derive(Debug)]
+pub struct Span;
+
+/// Drains the calling thread's recorded spans — always empty with `obs`
+/// disabled.
+#[inline(always)]
+pub fn take_spans() -> Vec<SpanRecord> {
+    Vec::new()
+}
+
+/// Number of registered time series — always 0 with `obs` disabled.
+#[inline(always)]
+pub fn metric_count() -> usize {
+    0
+}
+
+/// Prometheus text exposition — always empty with `obs` disabled.
+#[inline(always)]
+pub fn prometheus() -> String {
+    String::new()
+}
+
+/// JSON snapshot — `{"enabled":false}` with `obs` disabled, so consumers
+/// (e.g. the bench JSON files) can tell "no metrics" from "zero activity".
+#[inline(always)]
+pub fn json_snapshot() -> String {
+    "{\"enabled\":false}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<LazyCounter>(), 0);
+        assert_eq!(std::mem::size_of::<LazyGauge>(), 0);
+        assert_eq!(std::mem::size_of::<LazyHistogram>(), 0);
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+        assert_eq!(std::mem::size_of::<HistogramTimer<'_>>(), 0);
+    }
+
+    #[test]
+    fn exporters_report_disabled() {
+        static C: LazyCounter = LazyCounter::new("x_total", "x");
+        C.inc();
+        assert_eq!(C.get(), 0);
+        assert_eq!(metric_count(), 0);
+        assert!(prometheus().is_empty());
+        assert_eq!(json_snapshot(), "{\"enabled\":false}");
+        assert!(take_spans().is_empty());
+    }
+}

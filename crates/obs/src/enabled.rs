@@ -1,0 +1,792 @@
+//! Live implementation of the observability layer (`obs` feature on).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::{SpanRecord, SPAN_RING_CAPACITY};
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram (Prometheus semantics: cumulative `le` buckets
+/// plus `_sum` and `_count`).
+///
+/// Buckets are fixed at registration, so `observe` is a short linear scan
+/// plus three atomic ops — no allocation, ever.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    /// Per-bucket (non-cumulative) counts; the last slot is the overflow
+    /// (`+Inf`) bucket.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Self {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, count)` pairs; the final
+    /// pair is the implicit `+Inf` bucket and equals [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, &'static str)>,
+    metric: Metric,
+}
+
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+fn with_registry<R>(f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
+    f(&mut REGISTRY.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// Looks up `(name, label)` or inserts a metric built by `make`. Two statics
+/// registering the same name+label share one underlying metric, so counters
+/// declared in different modules can feed one time series.
+fn register(
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, &'static str)>,
+    make: impl FnOnce() -> Metric,
+) -> Metric {
+    with_registry(|reg| {
+        if let Some(e) = reg.iter().find(|e| e.name == name && e.label == label) {
+            return e.metric;
+        }
+        let metric = make();
+        if let Some(clash) = reg.iter().find(|e| e.name == name) {
+            assert_eq!(
+                kind_name(&clash.metric),
+                kind_name(&metric),
+                "metric {name} registered with two different kinds"
+            );
+        }
+        reg.push(Entry {
+            name,
+            help,
+            label,
+            metric,
+        });
+        metric
+    })
+}
+
+/// Number of registered time series (for tests and reports).
+pub fn metric_count() -> usize {
+    with_registry(|reg| reg.len())
+}
+
+// ---------------------------------------------------------------------------
+// Lazy static handles
+// ---------------------------------------------------------------------------
+
+/// A `const`-constructible handle to a registered [`Counter`].
+///
+/// Declare as a `static` next to the instrumented code; the counter is
+/// registered on first use and every later update is one atomic add.
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, &'static str)>,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Creates a handle for the counter `name`.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label: None,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Creates a handle carrying one static `key="value"` label — used for
+    /// enumerated dimensions such as `path="calc"` vs `path="approx"`.
+    pub const fn labeled(
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+    ) -> Self {
+        Self {
+            name,
+            help,
+            label: Some((key, value)),
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn metric(&self) -> &'static Counter {
+        self.cell.get_or_init(|| {
+            match register(self.name, self.help, self.label, || {
+                Metric::Counter(Box::leak(Box::new(Counter::new())))
+            }) {
+                Metric::Counter(c) => c,
+                _ => unreachable!("registry kind checked at registration"),
+            }
+        })
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.metric().inc();
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.metric().add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.metric().get()
+    }
+}
+
+/// A `const`-constructible handle to a registered [`Gauge`].
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, &'static str)>,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// Creates a handle for the gauge `name`.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label: None,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn metric(&self) -> &'static Gauge {
+        self.cell.get_or_init(|| {
+            match register(self.name, self.help, self.label, || {
+                Metric::Gauge(Box::leak(Box::new(Gauge::new())))
+            }) {
+                Metric::Gauge(g) => g,
+                _ => unreachable!("registry kind checked at registration"),
+            }
+        })
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.metric().set(v);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.metric().add(n);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.metric().inc();
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.metric().dec();
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.metric().get()
+    }
+}
+
+/// A `const`-constructible handle to a registered [`Histogram`].
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    help: &'static str,
+    bounds: &'static [f64],
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Creates a handle for the histogram `name` with fixed `bounds`
+    /// (strictly increasing, finite; `+Inf` is implicit).
+    pub const fn new(name: &'static str, help: &'static str, bounds: &'static [f64]) -> Self {
+        Self {
+            name,
+            help,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn metric(&self) -> &'static Histogram {
+        self.cell.get_or_init(|| {
+            match register(self.name, self.help, None, || {
+                Metric::Histogram(Box::leak(Box::new(Histogram::new(self.bounds))))
+            }) {
+                Metric::Histogram(h) => h,
+                _ => unreachable!("registry kind checked at registration"),
+            }
+        })
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.metric().observe(v);
+    }
+
+    /// Records a duration in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.metric().observe_duration(d);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.metric().count()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.metric().sum()
+    }
+
+    /// Starts an RAII timer; on drop it observes the elapsed seconds *and*
+    /// pushes a [`SpanRecord`] labelled with the histogram name into the
+    /// per-thread span ring.
+    #[inline]
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// RAII timer from [`LazyHistogram::start_timer`].
+#[derive(Debug)]
+pub struct HistogramTimer<'a> {
+    hist: &'a LazyHistogram,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.hist.observe_duration(elapsed);
+        record_span(self.hist.name, elapsed.as_nanos() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans: per-thread ring buffer
+// ---------------------------------------------------------------------------
+
+struct SpanRing {
+    buf: Vec<SpanRecord>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+}
+
+impl SpanRing {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() < SPAN_RING_CAPACITY {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % SPAN_RING_CAPACITY;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<SpanRecord> {
+        let head = self.head;
+        self.head = 0;
+        let mut out = std::mem::take(&mut self.buf);
+        out.rotate_left(head);
+        out
+    }
+}
+
+thread_local! {
+    static SPANS: RefCell<SpanRing> = RefCell::new(SpanRing {
+        // One up-front allocation per thread; steady-state pushes are
+        // in-place writes.
+        buf: Vec::with_capacity(SPAN_RING_CAPACITY),
+        head: 0,
+    });
+}
+
+#[inline]
+fn record_span(label: &'static str, nanos: u64) {
+    // Ignore recording during thread teardown rather than panicking.
+    let _ = SPANS.try_with(|s| s.borrow_mut().push(SpanRecord { label, nanos }));
+}
+
+/// Starts a named RAII span; its duration is recorded into the calling
+/// thread's ring buffer when the guard drops.
+#[inline]
+pub fn span(label: &'static str) -> Span {
+    Span {
+        label,
+        start: Instant::now(),
+    }
+}
+
+/// RAII guard from [`span`].
+#[derive(Debug)]
+pub struct Span {
+    label: &'static str,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        record_span(self.label, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Drains and returns the calling thread's recorded spans, oldest first.
+/// Spans recorded on other threads stay in their own rings.
+pub fn take_spans() -> Vec<SpanRecord> {
+    SPANS
+        .try_with(|s| s.borrow_mut().drain())
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+fn sample_key(name: &str, label: Option<(&str, &str)>) -> String {
+    match label {
+        Some((k, v)) => format!("{name}{{{k}={v}}}"),
+        None => name.to_string(),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One registry row: `(name, help, label, metric)`.
+type EntryRow = (
+    &'static str,
+    &'static str,
+    Option<(&'static str, &'static str)>,
+    Metric,
+);
+
+/// Sorted snapshot of the registry for deterministic exporter output.
+fn sorted_entries() -> Vec<EntryRow> {
+    let mut entries = with_registry(|reg| -> Vec<_> {
+        reg.iter()
+            .map(|e| (e.name, e.help, e.label, e.metric))
+            .collect()
+    });
+    entries.sort_by_key(|(name, _, label, _)| (*name, *label));
+    entries
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` headers per family, then one
+/// sample line per series; histograms expand to cumulative `_bucket`
+/// series plus `_sum` and `_count`.
+pub fn prometheus() -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for (name, help, label, metric) in sorted_entries() {
+        if last_family != Some(name) {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} {}\n", kind_name(&metric)));
+            last_family = Some(name);
+        }
+        match metric {
+            Metric::Counter(c) => {
+                let series = match label {
+                    Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
+                    None => name.to_string(),
+                };
+                out.push_str(&format!("{series} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                let series = match label {
+                    Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
+                    None => name.to_string(),
+                };
+                out.push_str(&format!("{series} {}\n", g.get()));
+            }
+            Metric::Histogram(h) => {
+                for (bound, cum) in h.cumulative_buckets() {
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                        fmt_f64(bound)
+                    ));
+                }
+                out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
+                out.push_str(&format!("{name}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// Renders every registered metric as one compact JSON object:
+///
+/// ```json
+/// {"enabled":true,
+///  "counters":{"name{label=value}":1},
+///  "gauges":{"name":0},
+///  "histograms":{"name":{"count":2,"sum":0.5,"buckets":[{"le":"0.1","count":1}]}}}
+/// ```
+///
+/// Hand-rolled (no serde in the offline workspace); metric names are static
+/// identifiers, so no string escaping is required.
+pub fn json_snapshot() -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, _, label, metric) in sorted_entries() {
+        match metric {
+            Metric::Counter(c) => {
+                counters.push(format!("\"{}\":{}", sample_key(name, label), c.get()));
+            }
+            Metric::Gauge(g) => {
+                gauges.push(format!("\"{}\":{}", sample_key(name, label), g.get()));
+            }
+            Metric::Histogram(h) => {
+                let buckets: Vec<String> = h
+                    .cumulative_buckets()
+                    .iter()
+                    .map(|(bound, cum)| {
+                        format!("{{\"le\":\"{}\",\"count\":{cum}}}", fmt_f64(*bound))
+                    })
+                    .collect();
+                let sum = h.sum();
+                let sum = if sum.is_finite() { sum } else { 0.0 };
+                histograms.push(format!(
+                    "\"{name}\":{{\"count\":{},\"sum\":{sum},\"buckets\":[{}]}}",
+                    h.count(),
+                    buckets.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"enabled\":true,\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{validate_prometheus, MetricKind};
+
+    // The registry is process-global and tests share one process, so every
+    // test uses metric names unique to it.
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        static HITS: LazyCounter = LazyCounter::new("t1_hits_total", "hits");
+        static DEPTH: LazyGauge = LazyGauge::new("t1_depth", "depth");
+        HITS.inc();
+        HITS.add(4);
+        DEPTH.set(7);
+        DEPTH.add(-2);
+        assert_eq!(HITS.get(), 5);
+        assert_eq!(DEPTH.get(), 5);
+
+        let text = prometheus();
+        let summary = validate_prometheus(&text).expect("exporter output must validate");
+        assert_eq!(summary.kind_of("t1_hits_total"), Some(MetricKind::Counter));
+        assert_eq!(summary.kind_of("t1_depth"), Some(MetricKind::Gauge));
+        assert!(text.contains("t1_hits_total 5"));
+    }
+
+    #[test]
+    fn labeled_counters_share_a_family() {
+        static CALC: LazyCounter = LazyCounter::labeled("t2_path_total", "path", "path", "calc");
+        static APPROX: LazyCounter =
+            LazyCounter::labeled("t2_path_total", "path", "path", "approx");
+        CALC.add(3);
+        APPROX.add(9);
+
+        let text = prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("t2_path_total{path=\"calc\"} 3"));
+        assert!(text.contains("t2_path_total{path=\"approx\"} 9"));
+        // One HELP/TYPE header for the family, not one per series.
+        assert_eq!(text.matches("# TYPE t2_path_total").count(), 1);
+    }
+
+    #[test]
+    fn same_name_and_label_shares_one_series() {
+        static A: LazyCounter = LazyCounter::new("t3_shared_total", "shared");
+        static B: LazyCounter = LazyCounter::new("t3_shared_total", "shared");
+        A.inc();
+        B.inc();
+        assert_eq!(A.get(), 2);
+        assert_eq!(B.get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_validate() {
+        static H: LazyHistogram =
+            LazyHistogram::new("t4_latency_seconds", "latency", &[0.001, 0.01, 0.1]);
+        H.observe(0.0005);
+        H.observe(0.05);
+        H.observe(5.0); // overflow bucket
+        assert_eq!(H.count(), 3);
+        assert!((H.sum() - 5.0505).abs() < 1e-12);
+
+        let text = prometheus();
+        let summary = validate_prometheus(&text).unwrap();
+        assert_eq!(
+            summary.kind_of("t4_latency_seconds"),
+            Some(MetricKind::Histogram)
+        );
+        assert!(text.contains("t4_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("t4_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn timer_records_into_histogram_and_span_ring() {
+        static H: LazyHistogram =
+            LazyHistogram::new("t5_timed_seconds", "timed", crate::LATENCY_SECONDS_BUCKETS);
+        let before = H.count();
+        drop(H.start_timer());
+        assert_eq!(H.count(), before + 1);
+        let spans = take_spans();
+        assert!(spans.iter().any(|s| s.label == "t5_timed_seconds"));
+    }
+
+    #[test]
+    fn span_ring_overwrites_oldest() {
+        let _ = take_spans(); // empty this thread's ring
+        for _ in 0..crate::SPAN_RING_CAPACITY + 10 {
+            drop(span("t6_span"));
+        }
+        let spans = take_spans();
+        assert_eq!(spans.len(), crate::SPAN_RING_CAPACITY);
+        // Drained ring starts over.
+        drop(span("t6_span_b"));
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "t6_span_b");
+    }
+
+    #[test]
+    fn json_snapshot_is_marked_enabled() {
+        static C: LazyCounter = LazyCounter::new("t7_json_total", "json");
+        C.add(11);
+        let json = json_snapshot();
+        assert!(json.starts_with("{\"enabled\":true,"));
+        assert!(json.contains("\"t7_json_total\":11"));
+    }
+
+    #[test]
+    fn counters_update_across_threads() {
+        static PAR: LazyCounter = LazyCounter::new("t8_par_total", "parallel");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        PAR.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(PAR.get(), 4000);
+    }
+}

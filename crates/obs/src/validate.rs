@@ -1,0 +1,386 @@
+//! A small, dependency-free validator for the Prometheus text exposition
+//! format (version 0.0.4).
+//!
+//! This is *not* a full client-library parser — it checks exactly the
+//! invariants a scrape endpoint must hold so the [`crate::prometheus`]
+//! exporter can be round-trip tested without a network or a vendored
+//! Prometheus crate:
+//!
+//! * every sample line parses as `name[{labels}] value`
+//! * metric and label names match the Prometheus grammar
+//! * every sample belongs to a family announced by a `# TYPE` line
+//!   (histograms may emit `_bucket` / `_sum` / `_count` suffixes)
+//! * histogram buckets are cumulative (non-decreasing in `le` order), end
+//!   with `le="+Inf"`, and the `+Inf` bucket equals `_count`
+//!
+//! Compiled regardless of the `obs` feature so the disabled build's empty
+//! exporter output also validates (an empty exposition is legal).
+
+use std::collections::BTreeMap;
+
+/// Metric kinds understood by the validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// `# TYPE name counter`
+    Counter,
+    /// `# TYPE name gauge`
+    Gauge,
+    /// `# TYPE name histogram`
+    Histogram,
+}
+
+/// Summary of a successfully validated exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Families announced by `# TYPE` lines, in declaration order.
+    pub families: Vec<(String, MetricKind)>,
+    /// Total number of sample lines.
+    pub samples: usize,
+}
+
+impl Summary {
+    /// Kind of the family `name`, if announced.
+    pub fn kind_of(&self, name: &str) -> Option<MetricKind> {
+        self.families
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, k)| *k)
+    }
+}
+
+fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {s:?}")),
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{k="v",...} value`, rejecting malformed label blocks and
+/// unescaped quotes. Timestamps (a trailing integer) are accepted.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let err = |msg: &str| format!("{msg} in sample line {line:?}");
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or_else(|| err("unclosed label block"))?;
+            if close < open {
+                return Err(err("mismatched braces"));
+            }
+            (
+                &line[..open],
+                Some((&line[open + 1..close], &line[close + 1..])),
+            )
+        }
+        None => {
+            let sp = line.find(' ').ok_or_else(|| err("missing value"))?;
+            (&line[..sp], None)
+        }
+    };
+    if !is_valid_name(name_part) {
+        return Err(err("invalid metric name"));
+    }
+
+    let (labels, value_part) = match rest {
+        Some((label_block, tail)) => {
+            let mut labels = Vec::new();
+            let block = label_block.trim_end_matches(',');
+            if !block.is_empty() {
+                for pair in split_label_pairs(block).map_err(|m| err(&m))? {
+                    let eq = pair.find('=').ok_or_else(|| err("label without '='"))?;
+                    let (k, v) = (&pair[..eq], &pair[eq + 1..]);
+                    if !is_valid_label_name(k) {
+                        return Err(err("invalid label name"));
+                    }
+                    if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+                        return Err(err("label value not quoted"));
+                    }
+                    labels.push((k.to_string(), v[1..v.len() - 1].to_string()));
+                }
+            }
+            (labels, tail.trim())
+        }
+        None => {
+            let sp = line.find(' ').unwrap();
+            (Vec::new(), line[sp..].trim())
+        }
+    };
+
+    // `value [timestamp]`
+    let mut parts = value_part.split_whitespace();
+    let value = parse_value(parts.next().ok_or_else(|| err("missing value"))?)?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>().map_err(|_| err("invalid timestamp"))?;
+    }
+    if parts.next().is_some() {
+        return Err(err("trailing tokens after timestamp"));
+    }
+    Ok(Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Splits `k1="v1",k2="v2"` on commas that are outside quoted values.
+fn split_label_pairs(block: &str) -> Result<Vec<&str>, String> {
+    let mut pairs = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in block.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&block[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if in_quotes {
+        return Err("unterminated label value quote".to_string());
+    }
+    pairs.push(&block[start..]);
+    Ok(pairs)
+}
+
+/// Maps a sample name to the family it belongs to, honouring histogram
+/// suffixes.
+fn family_of<'a>(
+    sample: &'a str,
+    families: &'a [(String, MetricKind)],
+) -> Option<&'a (String, MetricKind)> {
+    families.iter().find(|(name, kind)| {
+        if name == sample {
+            return true;
+        }
+        if *kind == MetricKind::Histogram {
+            return sample
+                .strip_prefix(name.as_str())
+                .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count"));
+        }
+        false
+    })
+}
+
+/// Validates `text` as Prometheus exposition output, returning a
+/// [`Summary`] or a human-readable error. Empty input is valid.
+pub fn validate_prometheus(text: &str) -> Result<Summary, String> {
+    let mut summary = Summary::default();
+    // Per-histogram bookkeeping: ordered le -> cumulative count, plus _count.
+    let mut hist_buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<String, f64> = BTreeMap::new();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or_default();
+                let kind = match it.next().map(str::trim) {
+                    Some("counter") => MetricKind::Counter,
+                    Some("gauge") => MetricKind::Gauge,
+                    Some("histogram") => MetricKind::Histogram,
+                    other => return Err(format!("unsupported TYPE {other:?} for {name}")),
+                };
+                if !is_valid_name(name) {
+                    return Err(format!("invalid family name in TYPE line: {name:?}"));
+                }
+                if summary.kind_of(name).is_some() {
+                    return Err(format!("duplicate TYPE line for {name}"));
+                }
+                summary.families.push((name.to_string(), kind));
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or_default();
+                if !is_valid_name(name) {
+                    return Err(format!("invalid family name in HELP line: {name:?}"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        let sample = parse_sample(line)?;
+        summary.samples += 1;
+        let (family, kind) = family_of(&sample.name, &summary.families)
+            .ok_or_else(|| format!("sample {} has no TYPE line", sample.name))?;
+        match kind {
+            MetricKind::Counter => {
+                if sample.value.is_sign_negative() {
+                    return Err(format!("counter {} has negative value", sample.name));
+                }
+            }
+            MetricKind::Gauge => {}
+            MetricKind::Histogram => {
+                if sample.name.ends_with("_bucket") {
+                    let le = sample
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| format!("{family} bucket missing le label"))?;
+                    let bound = parse_value(le)
+                        .map_err(|_| format!("{family} bucket has invalid le={le:?}"))?;
+                    hist_buckets
+                        .entry(family.clone())
+                        .or_default()
+                        .push((bound, sample.value));
+                } else if sample.name.ends_with("_count") {
+                    hist_counts.insert(family.clone(), sample.value);
+                }
+            }
+        }
+    }
+
+    for (family, buckets) in &hist_buckets {
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_count = 0.0;
+        for (bound, count) in buckets {
+            if *bound <= prev_bound {
+                return Err(format!("{family} buckets not in increasing le order"));
+            }
+            if *count < prev_count {
+                return Err(format!("{family} bucket counts not cumulative"));
+            }
+            prev_bound = *bound;
+            prev_count = *count;
+        }
+        match buckets.last() {
+            Some((bound, count)) if bound.is_infinite() => {
+                if let Some(total) = hist_counts.get(family) {
+                    if count != total {
+                        return Err(format!(
+                            "{family} +Inf bucket ({count}) != _count ({total})"
+                        ));
+                    }
+                }
+            }
+            _ => return Err(format!("{family} missing le=\"+Inf\" bucket")),
+        }
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_exposition_is_valid() {
+        let s = validate_prometheus("").unwrap();
+        assert_eq!(s.samples, 0);
+        assert!(s.families.is_empty());
+    }
+
+    #[test]
+    fn counter_and_gauge_parse() {
+        let text = "\
+# HELP kf_steps_total Steps taken
+# TYPE kf_steps_total counter
+kf_steps_total 42
+# HELP pool_workers Pool size
+# TYPE pool_workers gauge
+pool_workers 8
+";
+        let s = validate_prometheus(text).unwrap();
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.kind_of("kf_steps_total"), Some(MetricKind::Counter));
+        assert_eq!(s.kind_of("pool_workers"), Some(MetricKind::Gauge));
+    }
+
+    #[test]
+    fn labeled_samples_parse() {
+        let text = "\
+# TYPE kf_inverse_path_total counter
+kf_inverse_path_total{path=\"calc\"} 3
+kf_inverse_path_total{path=\"approx\"} 9
+";
+        let s = validate_prometheus(text).unwrap();
+        assert_eq!(s.samples, 2);
+    }
+
+    #[test]
+    fn histogram_must_be_cumulative() {
+        let ok = "\
+# TYPE kf_step_seconds histogram
+kf_step_seconds_bucket{le=\"0.1\"} 1
+kf_step_seconds_bucket{le=\"+Inf\"} 2
+kf_step_seconds_sum 0.15
+kf_step_seconds_count 2
+";
+        validate_prometheus(ok).unwrap();
+
+        let bad = ok.replace("le=\"+Inf\"} 2", "le=\"+Inf\"} 0");
+        assert!(validate_prometheus(&bad)
+            .unwrap_err()
+            .contains("cumulative"));
+    }
+
+    #[test]
+    fn histogram_inf_bucket_must_match_count() {
+        let bad = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 2
+h_sum 1
+h_count 3
+";
+        assert!(validate_prometheus(bad).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn sample_without_type_line_is_rejected() {
+        assert!(validate_prometheus("orphan_total 1\n")
+            .unwrap_err()
+            .contains("no TYPE line"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(validate_prometheus("# TYPE x counter\nx{oops} 1\n").is_err());
+        assert!(validate_prometheus("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(validate_prometheus("# TYPE 9bad counter\n").is_err());
+        assert!(validate_prometheus("# TYPE x widget\n").is_err());
+    }
+
+    #[test]
+    fn negative_counter_is_rejected() {
+        assert!(validate_prometheus("# TYPE x counter\nx -1\n")
+            .unwrap_err()
+            .contains("negative"));
+    }
+}

@@ -57,6 +57,40 @@ use kalmmind::gain::GainStrategy;
 use kalmmind::{KalmanError, KalmanFilter, KalmanState, StepWorkspace};
 use kalmmind_exec::WorkerPool;
 use kalmmind_linalg::{Scalar, Vector};
+use kalmmind_obs as obs;
+
+// Bank-level observability (no-ops unless `obs` is enabled).
+static OBS_BATCHES: obs::LazyCounter = obs::LazyCounter::new(
+    "bank_batches_total",
+    "FilterBank batch dispatches (step_all or run calls)",
+);
+static OBS_BATCH_SECONDS: obs::LazyHistogram = obs::LazyHistogram::new(
+    "bank_batch_seconds",
+    "Wall time of one FilterBank batch dispatch",
+    obs::LATENCY_SECONDS_BUCKETS,
+);
+static OBS_BANK_STEPS: obs::LazyCounter = obs::LazyCounter::new(
+    "bank_steps_total",
+    "Successful session steps executed across all FilterBank batches",
+);
+static OBS_FAIL_DIVERGED: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_session_failures_total",
+    "Session transitions to the Failed state, by cause",
+    "cause",
+    "diverged",
+);
+static OBS_FAIL_ERROR: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_session_failures_total",
+    "Session transitions to the Failed state, by cause",
+    "cause",
+    "error",
+);
+static OBS_FAIL_PANIC: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_session_failures_total",
+    "Session transitions to the Failed state, by cause",
+    "cause",
+    "panic",
+);
 
 /// Lifecycle of one session inside a [`FilterBank`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +148,7 @@ impl<T: Scalar, G: GainStrategy<T>> Session<T, G> {
                 if state.x().all_finite() && state.p().all_finite() {
                     self.steps_ok += 1;
                 } else {
+                    OBS_FAIL_DIVERGED.inc();
                     self.status = SessionStatus::Failed {
                         iteration,
                         reason: "state diverged to a non-finite value".to_string(),
@@ -121,6 +156,7 @@ impl<T: Scalar, G: GainStrategy<T>> Session<T, G> {
                 }
             }
             Err(err) => {
+                OBS_FAIL_ERROR.inc();
                 self.status = SessionStatus::Failed {
                     iteration,
                     reason: err.to_string(),
@@ -385,6 +421,7 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
         for p in &scope.panics {
             let session = &mut self.sessions[p.index];
             if session.status.is_active() {
+                OBS_FAIL_PANIC.inc();
                 session.status = SessionStatus::Failed {
                     iteration: session.filter.iteration(),
                     reason: format!("panicked: {}", p.message),
@@ -392,6 +429,9 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
             }
         }
         let after: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
+        OBS_BATCHES.inc();
+        OBS_BATCH_SECONDS.observe_duration(elapsed);
+        OBS_BANK_STEPS.add((after - before) as u64);
         let active = self.active_count();
         BankReport {
             sessions: self.sessions.len(),

@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo run --release -p kalmmind-bench --example motor_decoding`.
 
+use kalmmind::accuracy::compare;
 use kalmmind::gain::InverseGain;
-use kalmmind::metrics::compare;
 use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
 use kalmmind_neural::presets;
 

@@ -2,9 +2,9 @@
 //! register flow, numeric equivalence with the software filter, and the
 //! energy/latency orderings Table III relies on.
 
+use kalmmind::accuracy::compare;
 use kalmmind::gain::InverseGain;
 use kalmmind::inverse::SeedPolicy;
-use kalmmind::metrics::compare;
 use kalmmind::{reference_filter, KalmanFilter};
 use kalmmind_accel::design::catalog;
 use kalmmind_accel::registers::{AcceleratorConfig, RegAddr, RegisterFile};

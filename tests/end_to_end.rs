@@ -5,9 +5,9 @@
 //! builds; the paper-scale dimensions are exercised by the release-mode
 //! experiment binaries.
 
+use kalmmind::accuracy::compare;
 use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
 use kalmmind::inverse::{CalcInverse, CalcMethod, InterleavedInverse, NewtonInverse, SeedPolicy};
-use kalmmind::metrics::compare;
 use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
 use kalmmind_neural::{Dataset, DatasetSpec, EncoderParams, KinematicsKind};
 

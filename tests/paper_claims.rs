@@ -2,9 +2,9 @@
 //! reduced-dimension workloads (the full-dimension versions live in the
 //! release-mode experiment binaries).
 
+use kalmmind::accuracy::compare;
 use kalmmind::gain::{GainStrategy, IfkfGain, InverseGain, SskfGain, TaylorGain};
 use kalmmind::inverse::{CalcInverse, CalcMethod, NewtonInverse, SeedPolicy};
-use kalmmind::metrics::compare;
 use kalmmind::{reference_filter, KalmMindConfig, KalmanFilter};
 use kalmmind_neural::{Dataset, DatasetSpec, EncoderParams, KinematicsKind};
 
