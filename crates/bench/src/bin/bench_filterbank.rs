@@ -71,6 +71,29 @@ fn time_pass(mut pass: impl FnMut(&[Vector<f64>]), zs: &[Vector<f64>], repeats: 
     best
 }
 
+/// Minimal blocking HTTP GET against the bank's own endpoint; returns the
+/// status code and body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
+
 fn main() {
     let quick = quick_mode();
     let (steps, repeats) = if quick { (2_000, 2) } else { (20_000, 5) };
@@ -166,6 +189,38 @@ fn main() {
         pool.counters().inline_items
     );
 
+    // Part 3: live endpoint self-probe. Serve a fresh bank on an ephemeral
+    // port, hit all three routes over plain TCP, and validate the payloads,
+    // so the CI bench-smoke can assert the endpoint works end to end from
+    // the emitted JSON. Runs after the spawn freeze: the one service thread
+    // serve_on spawns is deliberate, not steady-state noise.
+    let mut probe_bank =
+        FilterBank::from_filters_with_pool(vec![small_filter()], Arc::clone(&pool));
+    probe_bank
+        .run(&[zs[..64].to_vec()])
+        .expect("endpoint probe run");
+    let mut server = probe_bank
+        .serve_on("127.0.0.1:0")
+        .expect("bind metrics endpoint");
+    let addr = server.addr();
+    let (healthz_code, healthz_body) = http_get(addr, "/healthz");
+    assert_eq!(healthz_code, 200, "healthy bench bank: {healthz_body}");
+    kalmmind_obs::validate::validate_json(&healthz_body).expect("healthz must be valid JSON");
+    let (metrics_code, metrics_body) = http_get(addr, "/metrics");
+    assert_eq!(metrics_code, 200, "GET /metrics");
+    let metrics_families = kalmmind_obs::validate::validate_prometheus(&metrics_body)
+        .expect("exposition must validate")
+        .families
+        .len();
+    let (mj_code, mj_body) = http_get(addr, "/metrics.json");
+    assert_eq!(mj_code, 200, "GET /metrics.json");
+    kalmmind_obs::validate::validate_json(&mj_body).expect("metrics.json must be valid JSON");
+    server.stop();
+    println!(
+        "metrics endpoint self-probe on {addr}: /healthz 200, \
+         /metrics 200 ({metrics_families} families), /metrics.json 200"
+    );
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -204,6 +259,12 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"endpoint\": {{");
+    let _ = writeln!(json, "    \"healthz_code\": {healthz_code},");
+    let _ = writeln!(json, "    \"metrics_code\": {metrics_code},");
+    let _ = writeln!(json, "    \"metrics_families\": {metrics_families},");
+    let _ = writeln!(json, "    \"metrics_json_code\": {mj_code}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());
     json.push_str("}\n");

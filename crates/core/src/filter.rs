@@ -291,6 +291,34 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
         Ok(&self.state)
     }
 
+    /// Runs one KF iteration and feeds its diagnostics to a
+    /// [`HealthMonitor`] — [`KalmanFilter::step_with`] followed by a
+    /// read-only probe of the workspace the step just filled.
+    ///
+    /// The probe happens strictly *after* the step completes and only reads
+    /// `ws`/`state`, so the state trajectory is bit-identical to an
+    /// unmonitored `step_with` run (pinned by `tests/obs_invariance.rs`).
+    ///
+    /// [`HealthMonitor`]: crate::health::HealthMonitor
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KalmanFilter::step_with`]. On error the monitor is *not*
+    /// fed (the workspace holds stale data); callers typically
+    /// [`HealthMonitor::mark_diverged`](crate::health::HealthMonitor::mark_diverged)
+    /// instead.
+    pub fn step_monitored(
+        &mut self,
+        z: &Vector<T>,
+        ws: &mut StepWorkspace<T>,
+        monitor: &mut crate::health::HealthMonitor,
+    ) -> Result<crate::health::StepDiagnostics> {
+        self.step_with(z, ws)?;
+        let diag = crate::health::StepDiagnostics::from_step(ws, &self.state, self.iteration - 1);
+        monitor.observe(&diag);
+        Ok(diag)
+    }
+
     /// Runs the filter over a sequence of measurements, returning the
     /// predicted state vector after each iteration.
     ///

@@ -56,7 +56,7 @@ pub trait GainStrategy<T: Scalar>: Send {
         k: &mut Matrix<T>,
         ws: &mut GainWorkspace<T>,
     ) -> Result<()> {
-        let _ = ws;
+        ws.s_filled = false;
         let gain = self.gain(ctx)?;
         k.copy_from(&gain)?;
         Ok(())
@@ -156,8 +156,10 @@ impl<T: Scalar, I: InverseStrategy<T>> GainStrategy<T> for InverseGain<I> {
         h.transpose_into(&mut ws.ht)?;
         ws.hp.mul_into(&ws.ht, &mut ws.s)?;
         ws.s.add_assign(ctx.model.r())?;
+        ws.s_filled = false;
         self.inverse
             .invert_into(&ws.s, ctx.iteration, &mut ws.s_inv, &mut ws.inv)?;
+        ws.s_filled = true;
         ctx.p_pred.mul_into(&ws.ht, &mut ws.pht)?;
         ws.pht.mul_into(&ws.s_inv, k)?;
         Ok(())

@@ -4,7 +4,7 @@
 use kalmmind_linalg::{iterative, Matrix, Scalar};
 use kalmmind_obs as obs;
 
-use crate::inverse::{store_history, CalcMethod, InverseStrategy, SeedPolicy};
+use crate::inverse::{store_history, CalcMethod, InversePath, InverseStrategy, SeedPolicy};
 use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
 
@@ -186,21 +186,37 @@ impl<T: Scalar> InterleavedInverse<T> {
             }
         }
     }
+
+    // Single bookkeeping site per event: each helper feeds both the
+    // per-instance counter and the process-wide obs counter, so the two can
+    // never drift apart between `invert` and `invert_into`.
+    fn note_calc(&mut self) {
+        self.calc_count += 1;
+        OBS_PATH_CALC.inc();
+    }
+
+    fn note_approx(&mut self) {
+        self.approx_count += 1;
+        OBS_PATH_APPROX.inc();
+        OBS_NEWTON_ITERS.add(self.approx as u64);
+    }
+
+    fn note_fallback(&mut self) {
+        self.fallback_count += 1;
+        OBS_FALLBACKS.inc();
+    }
 }
 
 impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
     fn invert(&mut self, s: &Matrix<T>, iteration: usize) -> Result<Matrix<T>> {
         let inv = if Self::is_calc_iteration(self.calc_freq, iteration) {
             let inv = self.calc.invert(s)?;
-            self.calc_count += 1;
-            OBS_PATH_CALC.inc();
+            self.note_calc();
             self.last_calculated = Some(inv.clone());
             inv
         } else {
             let seed = self.seed(s)?;
-            self.approx_count += 1;
-            OBS_PATH_APPROX.inc();
-            OBS_NEWTON_ITERS.add(self.approx as u64);
+            self.note_approx();
             let approx =
                 iterative::newton_schulz(s, &seed, self.approx).map_err(KalmanError::from)?;
             if approx.all_finite() {
@@ -211,8 +227,7 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
                 // PreviousIteration seed, so recompute exactly and refresh
                 // the history with a certified inverse instead.
                 let inv = self.calc.invert(s)?;
-                self.fallback_count += 1;
-                OBS_FALLBACKS.inc();
+                self.note_fallback();
                 self.last_calculated = Some(inv.clone());
                 inv
             }
@@ -233,16 +248,15 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
             // calc_freq-th iteration (or only once for calc_freq = 0), so the
             // steady-state hot path is unaffected.
             let inv = self.calc.invert(s)?;
-            self.calc_count += 1;
-            OBS_PATH_CALC.inc();
+            self.note_calc();
+            ws.last_path = InversePath::Calc;
             store_history(&mut self.last_calculated, &inv);
             out.copy_from(&inv)?;
         } else {
             ws.fit(s.rows());
             self.seed_into(s, &mut ws.seed)?;
-            self.approx_count += 1;
-            OBS_PATH_APPROX.inc();
-            OBS_NEWTON_ITERS.add(self.approx as u64);
+            self.note_approx();
+            ws.last_path = InversePath::Approx;
             iterative::newton_schulz_into(
                 s,
                 &ws.seed,
@@ -256,8 +270,8 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
                 // Same recovery as `invert`: recompute exactly rather than
                 // poisoning the seed history with NaN/∞.
                 let inv = self.calc.invert(s)?;
-                self.fallback_count += 1;
-                OBS_FALLBACKS.inc();
+                self.note_fallback();
+                ws.last_path = InversePath::Fallback;
                 store_history(&mut self.last_calculated, &inv);
                 out.copy_from(&inv)?;
             }

@@ -74,7 +74,7 @@ pub trait InverseStrategy<T: Scalar>: Send {
         out: &mut Matrix<T>,
         ws: &mut InverseWorkspace<T>,
     ) -> Result<()> {
-        let _ = ws;
+        ws.last_path = InversePath::Unknown;
         let inv = self.invert(s, iteration)?;
         out.copy_from(&inv)?;
         Ok(())
@@ -121,6 +121,39 @@ pub(crate) fn store_history<T: Scalar>(slot: &mut Option<Matrix<T>>, value: &Mat
             existing.copy_from(value).expect("shapes were just checked");
         }
         _ => *slot = Some(value.clone()),
+    }
+}
+
+/// Which inversion datapath produced the most recent `S⁻¹`.
+///
+/// Strategies that distinguish their datapaths ([`InterleavedInverse`],
+/// [`NewtonInverse`]) tag each `invert_into` call via
+/// [`InverseWorkspace::last_path`]; health monitoring reads the tag to
+/// decide, e.g., whether a Newton residual is worth computing. Strategies
+/// without distinct paths leave the default [`InversePath::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InversePath {
+    /// The strategy did not report which path it took.
+    #[default]
+    Unknown,
+    /// Path A: exact calculation (Gauss/LU/Cholesky/QR).
+    Calc,
+    /// Path B: Newton–Schulz approximation.
+    Approx,
+    /// An approximation step that failed its finiteness check and was
+    /// recomputed exactly.
+    Fallback,
+}
+
+impl InversePath {
+    /// Lowercase name used in flight-record dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InversePath::Unknown => "unknown",
+            InversePath::Calc => "calc",
+            InversePath::Approx => "approx",
+            InversePath::Fallback => "fallback",
+        }
     }
 }
 

@@ -150,6 +150,7 @@ impl<T: Scalar> InverseStrategy<T> for NewtonInverse<T> {
             self.approx
         };
         OBS_NEWTON_ITERS.add(iters as u64);
+        ws.last_path = crate::inverse::InversePath::Approx;
         iterative::newton_schulz_into(s, &ws.seed, iters, &mut ws.scratch, &mut ws.tmp, out)?;
         store_history(&mut self.prev, out);
         Ok(())

@@ -59,6 +59,7 @@ mod workspace;
 pub mod accuracy;
 pub mod adaptive;
 pub mod gain;
+pub mod health;
 pub mod inverse;
 pub mod sweep;
 pub mod train;
@@ -77,6 +78,9 @@ pub mod metrics {
 pub use config::{KalmMindConfig, KalmMindConfigBuilder, MAX_APPROX, MAX_CALC_FREQ};
 pub use error::KalmanError;
 pub use filter::{reference_filter, KalmanFilter};
+pub use health::{
+    FlightRecorder, HealthConfig, HealthMonitor, HealthStatus, StepDiagnostics, StepSnapshot,
+};
 /// Re-export of the persistent worker-pool execution layer, so downstream
 /// users can size or share the pool the sweep dispatches onto without
 /// depending on `kalmmind-exec` directly.

@@ -14,6 +14,7 @@
 
 use kalmmind_linalg::{Matrix, Scalar, Vector};
 
+use crate::inverse::InversePath;
 use crate::KalmanModel;
 
 /// Scratch buffers for an [`InverseStrategy`](crate::inverse::InverseStrategy)
@@ -26,6 +27,10 @@ pub struct InverseWorkspace<T> {
     pub tmp: Matrix<T>,
     /// The seed `V₀` copied from strategy history.
     pub seed: Matrix<T>,
+    /// Which datapath the most recent `invert_into` call took. Written by
+    /// the inverse strategy, read by health monitoring; never feeds back
+    /// into filter arithmetic.
+    pub last_path: InversePath,
 }
 
 impl<T: Scalar> InverseWorkspace<T> {
@@ -35,6 +40,7 @@ impl<T: Scalar> InverseWorkspace<T> {
             scratch: Matrix::zeros(z_dim, z_dim),
             tmp: Matrix::zeros(z_dim, z_dim),
             seed: Matrix::zeros(z_dim, z_dim),
+            last_path: InversePath::Unknown,
         }
     }
 
@@ -72,6 +78,12 @@ pub struct GainWorkspace<T> {
     pub s_inv: Matrix<T>,
     /// Nested scratch space for the inversion strategy.
     pub inv: InverseWorkspace<T>,
+    /// `true` when the most recent `gain_into` call left live values in
+    /// [`GainWorkspace::s`] and [`GainWorkspace::s_inv`]. Strategies that
+    /// bypass the explicit inversion (Taylor, SSKF) leave these buffers
+    /// stale and set `false`; health monitoring checks the flag before
+    /// reading them.
+    pub s_filled: bool,
 }
 
 impl<T: Scalar> GainWorkspace<T> {
@@ -84,6 +96,7 @@ impl<T: Scalar> GainWorkspace<T> {
             pht: Matrix::zeros(x_dim, z_dim),
             s_inv: Matrix::zeros(z_dim, z_dim),
             inv: InverseWorkspace::new(z_dim),
+            s_filled: false,
         }
     }
 }

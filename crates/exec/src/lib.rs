@@ -36,7 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -82,6 +82,10 @@ static OBS_SPAWNED_THREADS: obs::LazyCounter = obs::LazyCounter::new(
 static OBS_ENV_INVALID: obs::LazyCounter = obs::LazyCounter::new(
     "exec_threads_env_invalid_total",
     "Times KALMMIND_THREADS was set but unusable and sizing fell back to available_parallelism",
+);
+static OBS_SERVICE_THREADS: obs::LazyGauge = obs::LazyGauge::new(
+    "exec_service_threads",
+    "Long-lived service threads (spawn_service) currently running",
 );
 
 /// Process-wide count of OS threads ever spawned by this crate.
@@ -466,6 +470,88 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Handle to a long-lived service thread started with [`spawn_service`].
+///
+/// Dropping the handle requests a stop and joins the thread, so a service
+/// can never outlive the component that started it.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    name: String,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The name the service thread was spawned with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` until the service body has returned.
+    pub fn is_running(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
+    }
+
+    /// Requests a stop (sets the flag the service body polls) without
+    /// waiting for the thread to exit.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Requests a stop and joins the service thread.
+    pub fn stop(&mut self) {
+        self.request_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+            OBS_SERVICE_THREADS.dec();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawns a named long-lived *service* thread — the execution-layer home for
+/// background work that is not batch-shaped (metrics endpoints, watchdogs).
+///
+/// Unlike a [`WorkerPool`] dispatch, the body runs detached from any batch:
+/// it receives the handle's stop flag and must poll it, returning promptly
+/// once the flag reads `true` (services that block forever also block the
+/// handle's drop). The spawn is accounted in [`total_spawned_threads`] and
+/// the obs spawn counter like any pool worker — services are expected to be
+/// started once at setup, before any steady-state zero-spawn window a
+/// benchmark freezes.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_service<F>(name: &str, body: F) -> ServiceHandle
+where
+    F: FnOnce(&AtomicBool) + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+    OBS_SPAWNED_THREADS.inc();
+    OBS_SERVICE_THREADS.inc();
+    let handle = std::thread::Builder::new()
+        .name(format!("kalmmind-svc-{name}"))
+        .spawn(move || {
+            // A panicking service must not abort the process; the handle's
+            // `is_running` flips false and the owner can inspect/restart.
+            let _ = catch_unwind(AssertUnwindSafe(|| body(&flag)));
+        })
+        .expect("spawn service thread");
+    ServiceHandle {
+        name: name.to_string(),
+        stop,
+        handle: Some(handle),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +679,52 @@ mod tests {
             pool.for_each_index(10, |_| {});
         } // Drop: channels close, workers drain and join.
         assert_eq!(total_spawned_threads(), spawned + 2);
+    }
+
+    #[test]
+    fn service_thread_runs_until_stopped() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        let mut svc = spawn_service("ticker", move |stop| {
+            while !stop.load(Ordering::Acquire) {
+                c.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        assert_eq!(svc.name(), "ticker");
+        while counter.load(Ordering::Relaxed) < 3 {
+            std::thread::yield_now();
+        }
+        assert!(svc.is_running());
+        svc.stop();
+        assert!(!svc.is_running());
+        let after = counter.load(Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            after,
+            "service kept running"
+        );
+    }
+
+    #[test]
+    fn service_spawn_is_counted() {
+        let before = total_spawned_threads();
+        let svc = spawn_service("noop", |stop| {
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        assert_eq!(total_spawned_threads(), before + 1);
+        drop(svc); // drop requests stop and joins
+    }
+
+    #[test]
+    fn panicking_service_is_contained() {
+        let mut svc = spawn_service("boom", |_| panic!("service failure"));
+        // Join via stop(); the panic must not propagate or abort.
+        svc.stop();
+        assert!(!svc.is_running());
     }
 
     #[test]

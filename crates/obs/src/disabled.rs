@@ -70,6 +70,17 @@ impl LazyGauge {
         Self
     }
 
+    /// Creates a handle carrying one static `key="value"` label.
+    #[inline(always)]
+    pub const fn labeled(
+        _name: &'static str,
+        _help: &'static str,
+        _key: &'static str,
+        _value: &'static str,
+    ) -> Self {
+        Self
+    }
+
     /// Sets the gauge (no-op).
     #[inline(always)]
     pub fn set(&self, _v: i64) {}
@@ -152,6 +163,13 @@ pub fn take_spans() -> Vec<SpanRecord> {
     Vec::new()
 }
 
+/// Total span records dropped — always 0 with `obs` disabled (nothing is
+/// recorded, so nothing can be dropped).
+#[inline(always)]
+pub fn spans_dropped() -> u64 {
+    0
+}
+
 /// Number of registered time series — always 0 with `obs` disabled.
 #[inline(always)]
 pub fn metric_count() -> usize {
@@ -193,5 +211,17 @@ mod tests {
         assert!(prometheus().is_empty());
         assert_eq!(json_snapshot(), "{\"enabled\":false}");
         assert!(take_spans().is_empty());
+        assert_eq!(spans_dropped(), 0);
+    }
+
+    #[test]
+    fn empty_registry_output_validates() {
+        // The disabled build is the only way to observe a truly empty
+        // registry (the enabled registry is process-global and other tests
+        // populate it); its exporter output must still round-trip.
+        let summary = crate::validate::validate_prometheus(&prometheus()).unwrap();
+        assert_eq!(summary.samples, 0);
+        assert!(summary.families.is_empty());
+        crate::validate::validate_json(&json_snapshot()).unwrap();
     }
 }

@@ -338,6 +338,23 @@ impl LazyGauge {
         }
     }
 
+    /// Creates a handle carrying one static `key="value"` label — used for
+    /// enumerated dimensions such as `status="healthy"` vs
+    /// `status="diverged"`.
+    pub const fn labeled(
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+    ) -> Self {
+        Self {
+            name,
+            help,
+            label: Some((key, value)),
+            cell: OnceLock::new(),
+        }
+    }
+
     #[inline]
     fn metric(&self) -> &'static Gauge {
         self.cell.get_or_init(|| {
@@ -467,6 +484,20 @@ impl Drop for HistogramTimer<'_> {
 // Spans: per-thread ring buffer
 // ---------------------------------------------------------------------------
 
+/// Spans evicted from full ring buffers before anyone drained them. A full
+/// ring means the consumer is not keeping up with [`take_spans`]; silently
+/// losing records would make span-based traces misleading.
+static SPANS_DROPPED: LazyCounter = LazyCounter::new(
+    "obs_spans_dropped_total",
+    "Span records overwritten in a full per-thread ring before being drained",
+);
+
+/// Total span records overwritten (dropped) across all threads because a
+/// ring buffer was full when a new span was recorded.
+pub fn spans_dropped() -> u64 {
+    SPANS_DROPPED.get()
+}
+
 struct SpanRing {
     buf: Vec<SpanRecord>,
     /// Index of the oldest record once the ring has wrapped.
@@ -478,6 +509,7 @@ impl SpanRing {
         if self.buf.len() < SPAN_RING_CAPACITY {
             self.buf.push(rec);
         } else {
+            SPANS_DROPPED.inc();
             self.buf[self.head] = rec;
             self.head = (self.head + 1) % SPAN_RING_CAPACITY;
         }
@@ -542,11 +574,34 @@ pub fn take_spans() -> Vec<SpanRecord> {
 // Exporters
 // ---------------------------------------------------------------------------
 
+/// Escapes a label value for the Prometheus exposition format (`\`, `"`,
+/// and newline). The same escapes are valid inside JSON strings, so
+/// [`json_snapshot`] reuses it for sample keys.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn sample_key(name: &str, label: Option<(&str, &str)>) -> String {
     match label {
-        Some((k, v)) => format!("{name}{{{k}={v}}}"),
+        Some((k, v)) => format!("{name}{{{k}={}}}", escape_label_value(v)),
         None => name.to_string(),
     }
+}
+
+/// Touches metrics that must appear in every exposition even before their
+/// first increment (a scrape that cannot see `obs_spans_dropped_total` at 0
+/// cannot alert on it moving).
+fn ensure_core_metrics() {
+    let _ = SPANS_DROPPED.get();
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -581,6 +636,7 @@ fn sorted_entries() -> Vec<EntryRow> {
 /// sample line per series; histograms expand to cumulative `_bucket`
 /// series plus `_sum` and `_count`.
 pub fn prometheus() -> String {
+    ensure_core_metrics();
     let mut out = String::new();
     let mut last_family: Option<&str> = None;
     for (name, help, label, metric) in sorted_entries() {
@@ -589,19 +645,15 @@ pub fn prometheus() -> String {
             out.push_str(&format!("# TYPE {name} {}\n", kind_name(&metric)));
             last_family = Some(name);
         }
+        let series = match label {
+            Some((k, v)) => format!("{name}{{{k}=\"{}\"}}", escape_label_value(v)),
+            None => name.to_string(),
+        };
         match metric {
             Metric::Counter(c) => {
-                let series = match label {
-                    Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
-                    None => name.to_string(),
-                };
                 out.push_str(&format!("{series} {}\n", c.get()));
             }
             Metric::Gauge(g) => {
-                let series = match label {
-                    Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
-                    None => name.to_string(),
-                };
                 out.push_str(&format!("{series} {}\n", g.get()));
             }
             Metric::Histogram(h) => {
@@ -629,8 +681,9 @@ pub fn prometheus() -> String {
 /// ```
 ///
 /// Hand-rolled (no serde in the offline workspace); metric names are static
-/// identifiers, so no string escaping is required.
+/// identifiers, and label values are escaped.
 pub fn json_snapshot() -> String {
+    ensure_core_metrics();
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
@@ -773,6 +826,93 @@ mod tests {
         let json = json_snapshot();
         assert!(json.starts_with("{\"enabled\":true,"));
         assert!(json.contains("\"t7_json_total\":11"));
+    }
+
+    #[test]
+    fn span_overflow_is_counted_and_exported() {
+        let _ = take_spans(); // empty this thread's ring
+        let before = spans_dropped();
+        let overflow = 17;
+        for _ in 0..crate::SPAN_RING_CAPACITY + overflow {
+            drop(span("t9_span"));
+        }
+        // Other tests overflow rings concurrently (the counter is global),
+        // so assert a lower bound rather than equality.
+        assert!(spans_dropped() >= before + overflow as u64);
+
+        let text = prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE obs_spans_dropped_total counter"));
+        assert!(json_snapshot().contains("\"obs_spans_dropped_total\":"));
+        let _ = take_spans();
+    }
+
+    #[test]
+    fn drop_counter_is_surfaced_even_without_drops() {
+        // Scraping must expose the series at its current value so alerts can
+        // watch it move; the exporter registers it eagerly.
+        let text = prometheus();
+        assert!(text.contains("obs_spans_dropped_total"));
+        assert!(json_snapshot().contains("obs_spans_dropped_total"));
+    }
+
+    #[test]
+    fn labeled_gauges_share_a_family() {
+        static UP: LazyGauge = LazyGauge::labeled("t10_sessions", "sessions", "status", "healthy");
+        static DOWN: LazyGauge =
+            LazyGauge::labeled("t10_sessions", "sessions", "status", "diverged");
+        UP.set(5);
+        DOWN.set(2);
+        let text = prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("t10_sessions{status=\"healthy\"} 5"));
+        assert!(text.contains("t10_sessions{status=\"diverged\"} 2"));
+        assert_eq!(text.matches("# TYPE t10_sessions").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_both_exporters() {
+        static ODD: LazyCounter =
+            LazyCounter::labeled("t11_odd_total", "odd", "why", "say \"hi\"\\now");
+        ODD.inc();
+        let text = prometheus();
+        let summary = validate_prometheus(&text).expect("escaped labels must validate");
+        assert!(summary.samples > 0);
+        assert!(text.contains("t11_odd_total{why=\"say \\\"hi\\\"\\\\now\"} 1"));
+
+        let json = json_snapshot();
+        crate::validate::validate_json(&json).expect("snapshot with escaped labels must parse");
+        assert!(json.contains("t11_odd_total"));
+    }
+
+    #[test]
+    fn histogram_boundary_value_lands_in_its_bucket() {
+        static H: LazyHistogram = LazyHistogram::new("t12_edge_seconds", "edge", &[1.0, 2.0]);
+        H.observe(1.0); // exactly on a bound: le is inclusive
+        H.observe(f64::from_bits(2.0_f64.to_bits() + 1)); // one ULP past the last bound: +Inf bucket
+        let buckets = H.metric().cumulative_buckets();
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (2.0, 1));
+        assert_eq!(buckets[2], (f64::INFINITY, 2));
+        let text = prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("t12_edge_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("t12_edge_seconds_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn json_snapshot_parses_as_json() {
+        static H: LazyHistogram = LazyHistogram::new("t13_json_seconds", "json", &[0.5]);
+        H.observe(0.1);
+        H.observe(9.0);
+        let json = json_snapshot();
+        let doc = crate::validate::parse_json(&json).expect("snapshot must be valid JSON");
+        assert_eq!(doc.get("enabled").and_then(|v| v.as_bool()), Some(true));
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("t13_json_seconds"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(2.0));
     }
 
     #[test]

@@ -296,6 +296,385 @@ pub fn validate_prometheus(text: &str) -> Result<Summary, String> {
     Ok(summary)
 }
 
+// ---------------------------------------------------------------------------
+// JSON: minimal parser + schema checks
+// ---------------------------------------------------------------------------
+//
+// The workspace is vendored-offline with no serde, but two subsystems emit
+// hand-rolled JSON that must stay machine-readable: the exporter's
+// `json_snapshot` and the runtime's flight-recorder dumps. This recursive-
+// descent parser exists so both can be round-trip validated in tests and CI.
+
+/// Schema marker required in every flight-recorder dump (`"schema"` key).
+pub const FLIGHT_RECORD_SCHEMA: &str = "kalmmind.flight_record.v1";
+
+/// A parsed JSON value (objects keep key order; duplicate keys rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source key order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), String> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected literal {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b't') => self.eat_literal("true").map(|_| JsonValue::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|_| JsonValue::Bool(false)),
+            Some(b'n') => self.eat_literal("null").map(|_| JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut members: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for our BMP-only
+                            // emitters; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the sequence
+                    // is valid; copy it through.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        token
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err(&format!("invalid number {token:?}")))
+    }
+}
+
+/// Parses `text` as a single JSON document (no trailing garbage).
+///
+/// # Errors
+///
+/// Returns a human-readable message with a byte offset on malformed input.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = JsonParser::new(text);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Validates that `text` is well-formed JSON (syntax only).
+///
+/// # Errors
+///
+/// Same as [`parse_json`].
+pub fn validate_json(text: &str) -> Result<(), String> {
+    parse_json(text).map(|_| ())
+}
+
+/// Summary of a successfully validated flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSummary {
+    /// Session index the dump belongs to.
+    pub session: usize,
+    /// Health status that triggered the dump (`degraded` / `diverged` /
+    /// `failed`).
+    pub status: String,
+    /// Number of step snapshots in the ring at dump time.
+    pub snapshots: usize,
+}
+
+fn require_number(doc: &JsonValue, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("flight record missing numeric {key:?}"))
+}
+
+fn require_string<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("flight record missing string {key:?}"))
+}
+
+/// Validates a flight-recorder dump emitted by the runtime's `FilterBank`:
+/// well-formed JSON, the [`FLIGHT_RECORD_SCHEMA`] marker, the per-session
+/// header fields, and one well-shaped object per step snapshot (diagnostic
+/// fields are numbers or `null` — never `NaN`, which JSON cannot carry).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first violated invariant.
+pub fn validate_flight_record(text: &str) -> Result<FlightSummary, String> {
+    let doc = parse_json(text)?;
+    let schema = require_string(&doc, "schema")?;
+    if schema != FLIGHT_RECORD_SCHEMA {
+        return Err(format!(
+            "unknown flight record schema {schema:?} (expected {FLIGHT_RECORD_SCHEMA:?})"
+        ));
+    }
+    let session = require_number(&doc, "session")? as usize;
+    require_string(&doc, "strategy")?;
+    let status = require_string(&doc, "status")?.to_string();
+    if !matches!(
+        status.as_str(),
+        "healthy" | "degraded" | "diverged" | "failed"
+    ) {
+        return Err(format!("invalid flight record status {status:?}"));
+    }
+    require_string(&doc, "reason")?;
+    require_number(&doc, "steps_total")?;
+    let snapshots = doc
+        .get("snapshots")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "flight record missing \"snapshots\" array".to_string())?;
+    for (i, snap) in snapshots.iter().enumerate() {
+        let err = |msg: String| format!("snapshot {i}: {msg}");
+        require_number(snap, "iteration").map_err(err)?;
+        require_string(snap, "path").map_err(err)?;
+        require_string(snap, "status").map_err(err)?;
+        for key in [
+            "innovation_norm",
+            "nis",
+            "cond_s",
+            "newton_residual",
+            "min_p_diag",
+        ] {
+            match snap.get(key) {
+                Some(JsonValue::Number(_)) | Some(JsonValue::Null) => {}
+                _ => return Err(err(format!("field {key:?} must be a number or null"))),
+            }
+        }
+    }
+    Ok(FlightSummary {
+        session,
+        status,
+        snapshots: snapshots.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +761,89 @@ h_count 3
         assert!(validate_prometheus("# TYPE x counter\nx -1\n")
             .unwrap_err()
             .contains("negative"));
+    }
+
+    #[test]
+    fn json_parser_round_trips_values() {
+        let doc = parse_json(
+            "{\"a\":1.5e3,\"b\":[true,false,null],\"c\":\"q\\\"\\\\\\n\",\"d\":{\"e\":-0.25}}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").and_then(JsonValue::as_f64), Some(1500.0));
+        let arr = doc.get("b").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[2], JsonValue::Null);
+        assert_eq!(doc.get("c").and_then(JsonValue::as_str), Some("q\"\\\n"));
+        assert_eq!(
+            doc.get("d")
+                .and_then(|d| d.get("e"))
+                .and_then(JsonValue::as_f64),
+            Some(-0.25)
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("{\"a\":1} trailing").is_err());
+        assert!(validate_json("{\"a\":NaN}").is_err());
+        assert!(validate_json("{\"a\":1,\"a\":2}").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn json_unicode_escapes_decode() {
+        let doc = parse_json("\"\\u00e9\\t\\u0041\"").unwrap();
+        assert_eq!(doc.as_str(), Some("é\tA"));
+    }
+
+    fn sample_flight_record() -> String {
+        format!(
+            "{{\"schema\":\"{FLIGHT_RECORD_SCHEMA}\",\"session\":3,\
+             \"strategy\":\"gauss/newton\",\"status\":\"diverged\",\
+             \"reason\":\"nis window mean 512.0 above bound\",\
+             \"steps_total\":128,\"snapshots\":[\
+             {{\"iteration\":126,\"path\":\"approx\",\"status\":\"degraded\",\
+             \"innovation_norm\":4.2,\"nis\":97.5,\"cond_s\":1e6,\
+             \"newton_residual\":null,\"min_p_diag\":0.01}},\
+             {{\"iteration\":127,\"path\":\"calc\",\"status\":\"diverged\",\
+             \"innovation_norm\":9.9,\"nis\":512.0,\"cond_s\":1e9,\
+             \"newton_residual\":2.5,\"min_p_diag\":-0.5}}]}}"
+        )
+    }
+
+    #[test]
+    fn flight_record_validates() {
+        let summary = validate_flight_record(&sample_flight_record()).unwrap();
+        assert_eq!(summary.session, 3);
+        assert_eq!(summary.status, "diverged");
+        assert_eq!(summary.snapshots, 2);
+    }
+
+    #[test]
+    fn flight_record_rejects_schema_and_shape_violations() {
+        let good = sample_flight_record();
+        let bad_schema = good.replace(FLIGHT_RECORD_SCHEMA, "kalmmind.other.v9");
+        assert!(validate_flight_record(&bad_schema)
+            .unwrap_err()
+            .contains("schema"));
+
+        let bad_status = good.replace(
+            "\"status\":\"diverged\",\"reason\"",
+            "\"status\":\"broken\",\"reason\"",
+        );
+        assert!(validate_flight_record(&bad_status)
+            .unwrap_err()
+            .contains("status"));
+
+        let bad_field = good.replace("\"nis\":512.0", "\"nis\":\"big\"");
+        assert!(validate_flight_record(&bad_field)
+            .unwrap_err()
+            .contains("nis"));
+
+        assert!(validate_flight_record("{}").is_err());
     }
 }

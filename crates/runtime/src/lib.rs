@@ -50,14 +50,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod server;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kalmmind::gain::GainStrategy;
+use kalmmind::health::{FlightRecorder, HealthMonitor, HealthStatus, StepDiagnostics};
 use kalmmind::{KalmanError, KalmanFilter, KalmanState, StepWorkspace};
 use kalmmind_exec::WorkerPool;
 use kalmmind_linalg::{Scalar, Vector};
 use kalmmind_obs as obs;
+
+pub use server::{MetricsServer, SessionHealthSnapshot};
 
 // Bank-level observability (no-ops unless `obs` is enabled).
 static OBS_BATCHES: obs::LazyCounter = obs::LazyCounter::new(
@@ -116,52 +121,122 @@ impl SessionStatus {
     }
 }
 
-/// One filter plus its private workspace and status.
+/// One filter plus its private workspace, status, and health telemetry.
 #[derive(Debug)]
 struct Session<T: Scalar, G> {
     filter: KalmanFilter<T, G>,
     ws: StepWorkspace<T>,
     status: SessionStatus,
     steps_ok: usize,
+    /// Rolling numerical-health state machine (live only with `obs` on;
+    /// otherwise never fed and permanently Healthy).
+    monitor: HealthMonitor,
+    /// Ring of recent step snapshots for post-mortem dumps.
+    recorder: FlightRecorder,
+    /// Worst health ever assessed — dumps fire on upward transitions only,
+    /// so an oscillating Degraded session produces one dump, not hundreds.
+    worst_health: HealthStatus,
+    /// The most recent flight-recorder JSON dump, if any transition
+    /// triggered one.
+    flight_dump: Option<String>,
 }
 
 impl<T: Scalar, G: GainStrategy<T>> Session<T, G> {
     fn new(filter: KalmanFilter<T, G>) -> Self {
         let ws = filter.workspace();
+        let monitor = HealthMonitor::new(filter.model().z_dim());
         Self {
             filter,
             ws,
             status: SessionStatus::Active,
             steps_ok: 0,
+            monitor,
+            recorder: FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY),
+            worst_health: HealthStatus::Healthy,
+            flight_dump: None,
+        }
+    }
+
+    /// Renders and stores a flight-record dump for the session's current
+    /// ring contents. `status` is the transition that triggered the dump.
+    fn dump_flight(&mut self, index: usize, status: &str, reason: &str) {
+        self.flight_dump = Some(self.recorder.dump_json(
+            index,
+            self.filter.strategy_name(),
+            status,
+            reason,
+            self.filter.iteration() as u64,
+        ));
+    }
+
+    /// Marks the session's health Diverged after a hard failure and dumps
+    /// the flight recorder (obs builds only; without `obs` there are no
+    /// recorded snapshots worth dumping).
+    fn fail_health(&mut self, index: usize, reason: &str) {
+        if obs::is_enabled() {
+            self.monitor.mark_diverged(reason);
+            self.worst_health = HealthStatus::Diverged;
+            self.dump_flight(index, "failed", reason);
         }
     }
 
     /// Steps once, demoting the session to `Failed` on any error or on a
-    /// non-finite state. A failed session is left untouched.
-    fn step(&mut self, z: &Vector<T>) {
+    /// non-finite state, and feeding the health monitor on obs builds. A
+    /// failed session is left untouched. `index` is the session's position
+    /// in the bank (used to label flight dumps).
+    fn step(&mut self, index: usize, z: &Vector<T>) {
         if !self.status.is_active() {
             return;
         }
         let iteration = self.filter.iteration();
         match self.filter.step_with(z, &mut self.ws) {
             Ok(state) => {
-                if state.x().all_finite() && state.p().all_finite() {
+                let finite = state.x().all_finite() && state.p().all_finite();
+                if obs::is_enabled() {
+                    // Read-only probe of the buffers the step just filled;
+                    // branch is compiled out entirely when `obs` is off.
+                    let diag = StepDiagnostics::from_step(&self.ws, state, iteration);
+                    let health = self.monitor.observe(&diag);
+                    self.recorder.record(&diag, health);
+                    if health > self.worst_health {
+                        self.worst_health = health;
+                        let reason = self.monitor.reason().to_string();
+                        self.dump_flight(index, health.as_str(), &reason);
+                    }
+                }
+                if finite {
                     self.steps_ok += 1;
                 } else {
                     OBS_FAIL_DIVERGED.inc();
-                    self.status = SessionStatus::Failed {
-                        iteration,
-                        reason: "state diverged to a non-finite value".to_string(),
-                    };
+                    let reason = "state diverged to a non-finite value".to_string();
+                    self.fail_health(index, &reason);
+                    self.status = SessionStatus::Failed { iteration, reason };
                 }
             }
             Err(err) => {
                 OBS_FAIL_ERROR.inc();
-                self.status = SessionStatus::Failed {
-                    iteration,
-                    reason: err.to_string(),
-                };
+                let reason = err.to_string();
+                self.fail_health(index, &reason);
+                self.status = SessionStatus::Failed { iteration, reason };
             }
+        }
+    }
+
+    /// Snapshot for the `/healthz` board: a Failed session reports
+    /// `failed`, otherwise the monitor's current status.
+    fn health_snapshot(&self, index: usize) -> SessionHealthSnapshot {
+        let (status, reason) = match &self.status {
+            SessionStatus::Failed { reason, .. } => ("failed".to_string(), reason.clone()),
+            SessionStatus::Active => (
+                self.monitor.status().as_str().to_string(),
+                self.monitor.reason().to_string(),
+            ),
+        };
+        SessionHealthSnapshot {
+            session: index,
+            status,
+            steps_ok: self.steps_ok,
+            reason,
         }
     }
 }
@@ -265,6 +340,9 @@ impl BankReport {
 pub struct FilterBank<T: Scalar, G> {
     sessions: Vec<Session<T, G>>,
     pool: Arc<WorkerPool>,
+    /// Health board shared with a running [`MetricsServer`], if
+    /// [`FilterBank::serve_on`] was called. Republished after every batch.
+    board: Option<Arc<server::HealthBoard>>,
 }
 
 impl<T: Scalar, G: GainStrategy<T>> Default for FilterBank<T, G> {
@@ -288,6 +366,7 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
         Self {
             sessions: Vec::new(),
             pool,
+            board: None,
         }
     }
 
@@ -302,6 +381,7 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
         Self {
             sessions: filters.into_iter().map(Session::new).collect(),
             pool,
+            board: None,
         }
     }
 
@@ -361,6 +441,88 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
         self.sessions[i].steps_ok
     }
 
+    /// Numerical-health status of session `i` as assessed by its
+    /// [`HealthMonitor`]. Always [`HealthStatus::Healthy`] when the `obs`
+    /// feature is disabled (the monitor is never fed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn health(&self, i: usize) -> HealthStatus {
+        self.sessions[i].monitor.status()
+    }
+
+    /// Human-readable reason for session `i`'s current non-healthy status
+    /// (empty while healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn health_reason(&self, i: usize) -> &str {
+        self.sessions[i].monitor.reason()
+    }
+
+    /// The most recent flight-recorder JSON dump for session `i`, emitted
+    /// when it transitioned to Degraded, Diverged, or Failed. `None` while
+    /// the session has stayed healthy (and always `None` without `obs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn flight_record(&self, i: usize) -> Option<&str> {
+        self.sessions[i].flight_dump.as_deref()
+    }
+
+    /// `true` when any session is health-Diverged or parked as Failed —
+    /// the same predicate `/healthz` uses to answer 503.
+    pub fn any_diverged(&self) -> bool {
+        self.sessions
+            .iter()
+            .any(|s| !s.status.is_active() || s.monitor.status() == HealthStatus::Diverged)
+    }
+
+    /// Starts a metrics/health HTTP endpoint on `addr` (use port `0` for an
+    /// ephemeral port; read the bound address from
+    /// [`MetricsServer::addr`]). The server runs on one dedicated
+    /// [`kalmmind_exec::spawn_service`] thread and serves:
+    ///
+    /// * `GET /metrics` — Prometheus text exposition of the process-wide
+    ///   registry,
+    /// * `GET /metrics.json` — the same registry as JSON,
+    /// * `GET /healthz` — per-session health; `503` while any session is
+    ///   diverged or failed.
+    ///
+    /// The bank republishes session health to the endpoint after every
+    /// [`FilterBank::step_all`] / [`FilterBank::run`] batch. Dropping the
+    /// returned server stops the thread and releases the port.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from binding the listener.
+    pub fn serve_on(
+        &mut self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        let board = Arc::new(server::HealthBoard::default());
+        self.board = Some(Arc::clone(&board));
+        self.publish_health();
+        server::serve(addr, board)
+    }
+
+    /// Pushes the current per-session health snapshots to the board read by
+    /// the serving thread, if one is attached.
+    fn publish_health(&self) {
+        if let Some(board) = &self.board {
+            board.publish(
+                self.sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| s.health_snapshot(i))
+                    .collect(),
+            );
+        }
+    }
+
     /// Steps every active session once; `zs[i]` is session `i`'s
     /// measurement. Sessions that fail — or panic — are parked, not
     /// propagated, and the returned report carries the batch wall time and
@@ -379,7 +541,7 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
                 what: "bank measurement batch",
             });
         }
-        Ok(self.dispatch(|session, i| session.step(&zs[i])))
+        Ok(self.dispatch(|session, i| session.step(i, &zs[i])))
     }
 
     /// Runs session `i` over the whole measurement sequence `sequences[i]`,
@@ -405,7 +567,7 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
                 if !session.status.is_active() {
                     break;
                 }
-                session.step(z);
+                session.step(i, z);
             }
         }))
     }
@@ -422,12 +584,15 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
             let session = &mut self.sessions[p.index];
             if session.status.is_active() {
                 OBS_FAIL_PANIC.inc();
+                let reason = format!("panicked: {}", p.message);
+                session.fail_health(p.index, &reason);
                 session.status = SessionStatus::Failed {
                     iteration: session.filter.iteration(),
-                    reason: format!("panicked: {}", p.message),
+                    reason,
                 };
             }
         }
+        self.publish_health();
         let after: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
         OBS_BATCHES.inc();
         OBS_BATCH_SECONDS.observe_duration(elapsed);

@@ -1,0 +1,334 @@
+//! Dependency-free blocking HTTP endpoint for live metrics and health.
+//!
+//! A deployed decoder fleet is scraped, not printed: Prometheus pulls
+//! `GET /metrics`, dashboards poll `GET /metrics.json`, and orchestrators
+//! probe `GET /healthz`. This module serves all three from one
+//! `std::net::TcpListener` on a single [`spawn_service`] thread — no async
+//! runtime, no HTTP crate, because the response surface is three fixed GET
+//! routes with `Connection: close` semantics.
+//!
+//! `/healthz` aggregates the per-session [`HealthStatus`] snapshots the
+//! owning [`FilterBank`](crate::FilterBank) publishes after every batch:
+//! it answers `200` while every session is healthy or merely degraded and
+//! `503 Service Unavailable` as soon as any session is diverged (or failed),
+//! which is the contract a load balancer or supervisor needs to pull a bad
+//! configuration out of rotation.
+//!
+//! [`HealthStatus`]: kalmmind::health::HealthStatus
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use kalmmind_exec::{spawn_service, ServiceHandle};
+use kalmmind_obs as obs;
+
+/// How long the accept loop sleeps when no connection is pending. Bounds
+/// both idle CPU cost and stop latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection I/O timeout: a stalled client cannot wedge the single
+/// serving thread for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Largest request head we bother reading before answering.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// One session's health as published to the endpoint after a batch.
+#[derive(Debug, Clone)]
+pub struct SessionHealthSnapshot {
+    /// Index of the session in its bank.
+    pub session: usize,
+    /// Lowercase health: `healthy`, `degraded`, `diverged`, or `failed`.
+    pub status: String,
+    /// Successful steps so far.
+    pub steps_ok: usize,
+    /// Reason for the current non-healthy status (empty when healthy).
+    pub reason: String,
+}
+
+/// Shared snapshot the bank writes and the serving thread reads.
+#[derive(Debug, Default)]
+pub(crate) struct HealthBoard {
+    sessions: Mutex<Vec<SessionHealthSnapshot>>,
+}
+
+impl HealthBoard {
+    pub(crate) fn publish(&self, snapshots: Vec<SessionHealthSnapshot>) {
+        *self.sessions.lock().unwrap_or_else(|e| e.into_inner()) = snapshots;
+    }
+
+    fn healthz(&self) -> (u16, String) {
+        let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let bad = sessions
+            .iter()
+            .any(|s| s.status == "diverged" || s.status == "failed");
+        let mut body = String::with_capacity(64 + sessions.len() * 96);
+        body.push_str(&format!(
+            "{{\"status\":\"{}\",\"sessions\":[",
+            if bad { "diverged" } else { "ok" }
+        ));
+        for (i, s) in sessions.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"session\":{},\"status\":\"{}\",\"steps_ok\":{},\"reason\":\"{}\"}}",
+                s.session,
+                json_escape(&s.status),
+                s.steps_ok,
+                json_escape(&s.reason),
+            ));
+        }
+        body.push_str("]}");
+        (if bad { 503 } else { 200 }, body)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A running metrics/health endpoint bound to a local address.
+///
+/// Returned by [`FilterBank::serve_on`](crate::FilterBank::serve_on);
+/// dropping it stops the serving thread and releases the port.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    handle: ServiceHandle,
+}
+
+impl MetricsServer {
+    /// The address the listener actually bound (resolves `:0` port
+    /// requests to the assigned ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` until the serving thread has exited.
+    pub fn is_running(&self) -> bool {
+        self.handle.is_running()
+    }
+
+    /// Stops the serving thread and waits for it to exit. Also happens on
+    /// drop; explicit calls are for tests and ordered shutdowns.
+    pub fn stop(&mut self) {
+        self.handle.stop();
+    }
+}
+
+/// Binds `addr` and starts the serving thread reading `board`.
+pub(crate) fn serve(
+    addr: impl ToSocketAddrs,
+    board: Arc<HealthBoard>,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let handle = spawn_service("metrics", move |stop| accept_loop(&listener, &board, stop));
+    Ok(MetricsServer {
+        addr: bound,
+        handle,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, board: &HealthBoard, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One connection at a time: the routes are tiny and the
+                // single service thread is the whole point (no pool starvation,
+                // no unbounded concurrency from a misbehaving scraper).
+                let _ = handle_connection(stream, board);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (or the size cap). The routes
+    // are all bodiless GETs, so the head is all we ever need.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    let request_line = std::str::from_utf8(&buf)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (code, content_type, body) = if method != "GET" {
+        (
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                obs::prometheus(),
+            ),
+            "/metrics.json" => (200, "application/json", obs::json_snapshot()),
+            "/healthz" => {
+                let (code, body) = board.healthz();
+                (code, "application/json", body)
+            }
+            _ => (404, "text/plain; charset=utf-8", "not found\n".into()),
+        }
+    };
+
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let code: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .unwrap();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn routes_respond_with_expected_codes() {
+        let board = Arc::new(HealthBoard::default());
+        board.publish(vec![SessionHealthSnapshot {
+            session: 0,
+            status: "healthy".into(),
+            steps_ok: 3,
+            reason: String::new(),
+        }]);
+        let mut server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let addr = server.addr();
+
+        let (code, _) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        let (code, body) = get(addr, "/metrics.json");
+        assert_eq!(code, 200);
+        obs::validate::validate_json(&body).expect("metrics.json must be valid JSON");
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+        obs::validate::validate_json(&body).expect("healthz must be valid JSON");
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        server.stop();
+        assert!(!server.is_running());
+    }
+
+    #[test]
+    fn healthz_flips_to_503_when_a_session_diverges() {
+        let board = Arc::new(HealthBoard::default());
+        board.publish(vec![
+            SessionHealthSnapshot {
+                session: 0,
+                status: "healthy".into(),
+                steps_ok: 10,
+                reason: String::new(),
+            },
+            SessionHealthSnapshot {
+                session: 1,
+                status: "diverged".into(),
+                steps_ok: 7,
+                reason: "window-mean NIS beyond bound".into(),
+            },
+        ]);
+        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let (code, body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"diverged\""), "body: {body}");
+        assert!(body.contains("NIS"), "body: {body}");
+        obs::validate::validate_json(&body).expect("healthz must stay valid JSON");
+
+        // Recovery is visible too (degraded alone is not an outage).
+        board.publish(vec![SessionHealthSnapshot {
+            session: 0,
+            status: "degraded".into(),
+            steps_ok: 11,
+            reason: "cond(S) above bound".into(),
+        }]);
+        let (code, _) = get(server.addr(), "/healthz");
+        assert_eq!(code, 200);
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = serve("127.0.0.1:0", Arc::new(HealthBoard::default())).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end divergence drill (obs builds only).
+//!
+//! A hostile `calc_freq = 0` / `approx = 1` session — the worst corner of
+//! the paper's accuracy/energy trade space, which inverts `S` exactly once
+//! and then runs a single stale-seeded Newton iteration forever — is fed
+//! measurement jumps until its innovation consistency collapses. The bank
+//! must (1) transition that session's health to Diverged while its healthy
+//! neighbor stays Healthy, (2) emit a flight-recorder dump that round-trips
+//! the structured-output validator, and (3) flip the live `/healthz`
+//! endpoint to 503 while `/metrics` and `/metrics.json` stay scrapeable.
+#![cfg(feature = "obs")]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{HealthStatus, KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_linalg::{Matrix, Vector};
+use kalmmind_obs::validate::{validate_flight_record, validate_json, validate_prometheus};
+use kalmmind_runtime::FilterBank;
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace.
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn measurement(t: usize, speed: f64) -> Vector<f64> {
+    let pos = 0.1 * speed * t as f64;
+    Vector::from_vec(vec![pos, speed, pos + speed])
+}
+
+/// A measurement the model cannot explain: ±1000 jumps flipping sign every
+/// step, so the innovation (and with it the NIS) explodes.
+fn hostile_measurement(t: usize) -> Vector<f64> {
+    let jump = if t.is_multiple_of(2) { 1000.0 } else { -1000.0 };
+    Vector::from_vec(vec![jump, -jump, jump])
+}
+
+fn filter(
+    approx: usize,
+    calc_freq: u32,
+    policy: SeedPolicy,
+) -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, approx, calc_freq, policy);
+    KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .unwrap();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
+
+#[test]
+fn diverging_session_dumps_flight_record_and_flips_healthz() {
+    // Session 0: exact calculation every step (never on the Newton path, so
+    // its health stays spotless even through the startup transient).
+    // Session 1: the hostile corner.
+    let mut bank = FilterBank::from_filters(vec![
+        filter(2, 1, SeedPolicy::LastCalculated),
+        filter(1, 0, SeedPolicy::PreviousIteration),
+    ]);
+    let mut server = bank.serve_on("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Warm up past the NIS window with consistent measurements: both
+    // sessions must be plain Healthy and the endpoint must answer 200.
+    for t in 0..40 {
+        bank.step_all(&[measurement(t, 1.0), measurement(t, 0.5)])
+            .unwrap();
+    }
+    assert_eq!(bank.health(0), HealthStatus::Healthy);
+    assert_eq!(bank.health(1), HealthStatus::Healthy);
+    assert!(!bank.any_diverged());
+    let (code, body) = get(addr, "/healthz");
+    assert_eq!(code, 200, "warm bank must be healthy: {body}");
+
+    // Hammer session 1 with unexplainable jumps. The window-mean NIS blows
+    // through the diverged bound within a handful of steps.
+    for t in 40..46 {
+        bank.step_all(&[measurement(t, 1.0), hostile_measurement(t)])
+            .unwrap();
+    }
+    assert_eq!(bank.health(0), HealthStatus::Healthy, "neighbor unharmed");
+    assert_eq!(
+        bank.health(1),
+        HealthStatus::Diverged,
+        "reason: {}",
+        bank.health_reason(1)
+    );
+    assert!(bank.any_diverged());
+    assert!(
+        bank.health_reason(1).contains("NIS"),
+        "reason: {}",
+        bank.health_reason(1)
+    );
+    // The session itself is still Active (finite state, no error) — health
+    // divergence is a verdict about consistency, not a crash.
+    assert!(bank.status(1).is_active());
+    assert!(bank.state(1).x().all_finite());
+
+    // The flight recorder dumped on the transition and the dump round-trips
+    // the validator.
+    let dump = bank.flight_record(1).expect("divergence must dump");
+    let summary = validate_flight_record(dump).expect("dump must validate");
+    assert_eq!(summary.session, 1);
+    assert_eq!(summary.status, "diverged");
+    assert!(summary.snapshots > 0, "ring must hold snapshots");
+    assert!(
+        bank.flight_record(0).is_none(),
+        "healthy session must not dump"
+    );
+
+    // The endpoint reflects the verdict: /healthz flips to 503 while the
+    // metrics routes stay scrapeable and valid.
+    let (code, body) = get(addr, "/healthz");
+    assert_eq!(code, 503, "body: {body}");
+    assert!(body.contains("\"status\":\"diverged\""), "body: {body}");
+    validate_json(&body).expect("healthz body must stay valid JSON");
+
+    let (code, text) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    let summary = validate_prometheus(&text).expect("exposition must validate");
+    assert!(summary.samples > 0, "registry must not be empty");
+    assert!(
+        text.contains("kf_health_transitions_total"),
+        "transition counters must be exported"
+    );
+
+    let (code, json) = get(addr, "/metrics.json");
+    assert_eq!(code, 200);
+    validate_json(&json).expect("metrics.json must validate");
+
+    server.stop();
+    assert!(!server.is_running());
+}
+
+#[test]
+fn failed_session_reports_failed_status_and_dumps() {
+    let mut bank = FilterBank::from_filters(vec![filter(2, 4, SeedPolicy::LastCalculated)]);
+    for t in 0..5 {
+        bank.step_all(&[measurement(t, 1.0)]).unwrap();
+    }
+    // A NaN measurement kills the session outright: health latches Diverged,
+    // the dump is labeled `failed`, and /healthz (attached late) sees it.
+    bank.step_all(&[Vector::from_vec(vec![f64::NAN, 1.0, 1.0])])
+        .unwrap();
+    assert!(!bank.status(0).is_active());
+    assert_eq!(bank.health(0), HealthStatus::Diverged);
+    let summary = validate_flight_record(bank.flight_record(0).expect("failure must dump"))
+        .expect("dump must validate");
+    assert_eq!(summary.status, "failed");
+
+    let server = bank.serve_on("127.0.0.1:0").expect("bind ephemeral port");
+    let (code, body) = get(server.addr(), "/healthz");
+    assert_eq!(code, 503, "body: {body}");
+    assert!(body.contains("\"status\":\"failed\""), "body: {body}");
+}
