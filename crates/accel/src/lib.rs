@@ -42,6 +42,7 @@ pub mod plm;
 pub mod power;
 pub mod registers;
 pub mod resources;
+pub mod session;
 pub mod sim;
 pub mod soc;
 

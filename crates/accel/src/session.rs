@@ -1,0 +1,291 @@
+//! Accelerator-model sessions for the erased runtime bank.
+//!
+//! [`AccelSim::run`](crate::sim::AccelSim::run) is an *offline* harness: it
+//! consumes a whole measurement sequence and returns one report. A deployed
+//! bank steps sessions one measurement at a time, so this module adapts the
+//! same modeled datapath to the per-step [`SessionBackend`] boundary: an
+//! [`AccelSession`] runs the real filter in the design's element datatype
+//! (exactly like the simulator, via the shared gain builder) while charging
+//! every step its DMA and datapath cycle costs, and reports the accumulated
+//! cycles/latency/energy through [`SessionBackend::telemetry`].
+//!
+//! The cost model is the simulator's in *online* mode: each step streams one
+//! `z_dim`-word measurement in and one state (plus covariance, for designs
+//! that track it) out, i.e. DMA chunking degenerates to `chunks = 1` —
+//! interactive stepping cannot batch ahead. The one-time model load (and
+//! LITE's pre-computed seed) is charged at construction, mirroring
+//! `AccelSim::run`'s load phase.
+
+use kalmmind::session::{SessionBackend, SessionHealth, SessionTelemetry, StepOutcome};
+use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState, Result};
+use kalmmind_fixed::{Q16_16, Q32_32};
+use kalmmind_linalg::Scalar;
+
+use crate::cost::Datatype;
+use crate::design::{Design, DesignKind};
+use crate::dma::{model_load_elements, DmaEngine, DmaStats};
+use crate::registers::AcceleratorConfig;
+use crate::sim::{build_gain, AccelSim, CycleBreakdown};
+use crate::CLOCK_HZ;
+
+/// One accelerator-model session: the design's datapath stepped one
+/// measurement at a time, with cycle, DMA, and energy accounting.
+///
+/// Generic over the element type `T`; use [`AccelSession::erased`] to let
+/// the design's [`Datatype`] pick `T` and get a boxed [`SessionBackend`]
+/// ready for a heterogeneous bank.
+#[derive(Debug)]
+pub struct AccelSession<T: Scalar> {
+    design: Design,
+    config: AcceleratorConfig,
+    inner: FilterSession<T, Box<dyn kalmmind::gain::GainStrategy<T>>>,
+    dma: DmaEngine,
+    /// DMA cycles attributable to loads (the engine's stats do not split
+    /// directionally, so the session diffs around each transaction).
+    load_cycles: u64,
+    store_cycles: u64,
+    compute_cycles: u64,
+    power_w: f64,
+}
+
+impl<T: Scalar> AccelSession<T> {
+    /// Builds a session on `sim`'s design for `model`, charging the model
+    /// (and, for LITE, seed) DMA load up front. Offline gain training runs
+    /// in `f64`, exactly as in [`AccelSim::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`kalmmind::KalmanError::BadConfig`] when the configuration does not
+    /// fit the design (dimension mismatch, PLM overflow, `approx = 0` on a
+    /// design that requires Newton iterations), plus any offline-training
+    /// failure.
+    pub fn new(
+        sim: &AccelSim,
+        model: &KalmanModel<f64>,
+        init: &KalmanState<f64>,
+        config: &AcceleratorConfig,
+    ) -> Result<Self> {
+        let design = *sim.design();
+        sim.check_config(model, config)?;
+        let gain = build_gain::<T>(&design, model, init, config)?;
+        let model_t: KalmanModel<T> = model.cast();
+        let init_t: KalmanState<T> = init.cast();
+        let inner = FilterSession::new(KalmanFilter::new(model_t, init_t, gain));
+
+        let (x, z) = (config.x_dim, config.z_dim);
+        let width = design.datatype.word_width();
+        let mut dma = DmaEngine::new(sim.dma_params());
+        dma.load(model_load_elements(x, z), width);
+        if matches!(design.kind, DesignKind::Lite) {
+            dma.load(z * z, width); // the pre-computed seed
+        }
+        let power_w = design.power_w(x, z, config.chunks);
+        Ok(Self {
+            design,
+            config: *config,
+            inner,
+            dma,
+            load_cycles: dma.stats().cycles,
+            store_cycles: 0,
+            compute_cycles: 0,
+            power_w,
+        })
+    }
+
+    /// The simulated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Cycle breakdown so far (DMA cycles split load/store, datapath cycles
+    /// under `compute`).
+    pub fn cycles(&self) -> CycleBreakdown {
+        CycleBreakdown {
+            load: self.load_cycles,
+            compute: self.compute_cycles,
+            store: self.store_cycles,
+        }
+    }
+
+    /// DMA traffic statistics so far.
+    pub fn dma_stats(&self) -> DmaStats {
+        self.dma.stats()
+    }
+}
+
+impl AccelSession<f64> {
+    /// Builds a boxed session in the element type the design's [`Datatype`]
+    /// selects (f32, Q16.16, or Q32.32), ready for insertion into an erased
+    /// bank next to software sessions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AccelSession::new`].
+    pub fn erased(
+        sim: &AccelSim,
+        model: &KalmanModel<f64>,
+        init: &KalmanState<f64>,
+        config: &AcceleratorConfig,
+    ) -> Result<Box<dyn SessionBackend>> {
+        Ok(match sim.design().datatype {
+            Datatype::Fp32 => Box::new(AccelSession::<f32>::new(sim, model, init, config)?),
+            Datatype::Fx32 => Box::new(AccelSession::<Q16_16>::new(sim, model, init, config)?),
+            Datatype::Fx64 => Box::new(AccelSession::<Q32_32>::new(sim, model, init, config)?),
+        })
+    }
+}
+
+impl<T: Scalar> SessionBackend for AccelSession<T> {
+    fn dims(&self) -> (usize, usize) {
+        (self.config.x_dim, self.config.z_dim)
+    }
+
+    fn scalar_name(&self) -> &'static str {
+        T::NAME
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "accel-sim"
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        self.inner.strategy_name()
+    }
+
+    fn iteration(&self) -> usize {
+        self.inner.iteration()
+    }
+
+    fn step(&mut self, z: &[f64]) -> Result<StepOutcome> {
+        let width = self.design.datatype.word_width();
+        let (x_dim, z_dim) = (self.config.x_dim, self.config.z_dim);
+        // Charge the streaming costs whether or not the datapath step
+        // succeeds numerically: the modeled hardware has already moved the
+        // measurement and burned the iteration by the time a singular `S`
+        // surfaces.
+        let before = self.dma.stats().cycles;
+        self.dma.load(z_dim, width);
+        self.load_cycles += self.dma.stats().cycles - before;
+        self.compute_cycles += self.design.iteration_cycles(
+            x_dim,
+            z_dim,
+            self.inner.iteration(),
+            self.config.approx,
+            self.config.calc_freq,
+        );
+        let per_iter_out = if self.design.tracks_covariance() {
+            x_dim + x_dim * x_dim
+        } else {
+            x_dim
+        };
+        let before = self.dma.stats().cycles;
+        self.dma.store(per_iter_out, width);
+        self.store_cycles += self.dma.stats().cycles - before;
+        self.inner.step(z)
+    }
+
+    fn state(&self) -> KalmanState<f64> {
+        self.inner.state()
+    }
+
+    fn health(&self) -> &SessionHealth {
+        self.inner.health()
+    }
+
+    fn health_mut(&mut self) -> &mut SessionHealth {
+        self.inner.health_mut()
+    }
+
+    fn telemetry(&self) -> SessionTelemetry {
+        let cycles = self.cycles().total();
+        let latency_s = cycles as f64 / CLOCK_HZ;
+        SessionTelemetry {
+            cycles,
+            latency_s,
+            energy_j: self.power_w * latency_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::catalog;
+    use kalmmind_linalg::{Matrix, Vector};
+
+    fn model() -> KalmanModel<f64> {
+        KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::identity(2).scale(1e-3),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::identity(3).scale(0.2),
+        )
+        .unwrap()
+    }
+
+    fn measurements(n: usize) -> Vec<Vector<f64>> {
+        (0..n)
+            .map(|t| {
+                let pos = 0.1 * t as f64;
+                Vector::from_vec(vec![pos, 1.0, pos + 1.0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_outputs_match_the_offline_simulator() {
+        // The per-step session runs the identical datapath as AccelSim::run
+        // (same gain builder, same cast model), so the final state after N
+        // steps must equal the simulator's N-th output exactly.
+        for design in [catalog::gauss_newton(), catalog::gauss_newton_fx32()] {
+            let sim = AccelSim::new(design);
+            let config = AcceleratorConfig::for_iterations(2, 3, 25);
+            let zs = measurements(25);
+            let report = sim
+                .run(&model(), &KalmanState::zeroed(2), &zs, &config)
+                .unwrap();
+
+            let mut session =
+                AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap();
+            for z in &zs {
+                session.step(z.as_slice()).unwrap();
+            }
+            assert_eq!(session.iteration(), 25);
+            let state = session.state();
+            assert_eq!(
+                state.x(),
+                report.outputs.last().unwrap(),
+                "design {}",
+                design.name
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_accumulates_cycles_and_energy() {
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let config = AcceleratorConfig::for_iterations(2, 3, 10);
+        let mut session =
+            AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap();
+        let after_load = session.telemetry();
+        assert!(after_load.cycles > 0, "model load must be charged up front");
+        for z in measurements(10) {
+            session.step(z.as_slice()).unwrap();
+        }
+        let t = session.telemetry();
+        assert!(t.cycles > after_load.cycles);
+        assert!(t.latency_s > 0.0);
+        assert!(t.energy_j > 0.0);
+        assert_eq!(session.backend_name(), "accel-sim");
+        assert_eq!(session.scalar_name(), "f32");
+    }
+
+    #[test]
+    fn config_validation_matches_the_simulator() {
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let config = AcceleratorConfig::for_iterations(4, 6, 10); // wrong dims
+        let err =
+            AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap_err();
+        assert!(matches!(err, kalmmind::KalmanError::BadConfig { .. }));
+    }
+}

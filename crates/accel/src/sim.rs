@@ -104,6 +104,23 @@ impl AccelSim {
         measurements: &[Vector<f64>],
         config: &AcceleratorConfig,
     ) -> Result<RunReport> {
+        self.check_config(model, config)?;
+
+        match self.design.datatype {
+            Datatype::Fp32 => self.run_typed::<f32>(model, init, measurements, config),
+            Datatype::Fx32 => self.run_typed::<Q16_16>(model, init, measurements, config),
+            Datatype::Fx64 => self.run_typed::<Q32_32>(model, init, measurements, config),
+        }
+    }
+
+    /// Validates that the programmed registers fit both the model and the
+    /// design's PLM sizing. Shared between the offline [`AccelSim::run`]
+    /// harness and the per-step [`crate::session::AccelSession`] adapter.
+    pub(crate) fn check_config(
+        &self,
+        model: &KalmanModel<f64>,
+        config: &AcceleratorConfig,
+    ) -> Result<()> {
         if config.x_dim != model.x_dim() || config.z_dim != model.z_dim() {
             return Err(KalmanError::BadConfig {
                 register: "x_dim",
@@ -123,12 +140,12 @@ impl AccelSim {
             plm.check_fits("S", config.z_dim * config.z_dim)?;
         }
         plm.check_fits("z_chunk", config.chunks * config.z_dim)?;
+        Ok(())
+    }
 
-        match self.design.datatype {
-            Datatype::Fp32 => self.run_typed::<f32>(model, init, measurements, config),
-            Datatype::Fx32 => self.run_typed::<Q16_16>(model, init, measurements, config),
-            Datatype::Fx64 => self.run_typed::<Q32_32>(model, init, measurements, config),
-        }
+    /// The simulator's DMA timing parameters.
+    pub(crate) fn dma_params(&self) -> DmaParams {
+        self.dma_params
     }
 
     fn run_typed<T: Scalar>(
@@ -209,7 +226,9 @@ impl AccelSim {
 }
 
 /// Builds the design's gain strategy, running any offline training in `f64`.
-fn build_gain<T: Scalar>(
+/// Shared with [`crate::session`], which erects the same datapath behind the
+/// erased per-step session boundary.
+pub(crate) fn build_gain<T: Scalar>(
     design: &Design,
     model: &KalmanModel<f64>,
     init: &KalmanState<f64>,

@@ -8,7 +8,7 @@ use kalmmind::inverse::{CalcInverse, CalcMethod, InterleavedInverse, NewtonInver
 use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
 use kalmmind_bench::workload;
 use kalmmind_linalg::{Matrix, Vector};
-use kalmmind_runtime::FilterBank;
+use kalmmind_runtime::{FilterBank, SessionId};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -84,28 +84,28 @@ fn bench_filterbank_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("filterbank_2s3c");
     group.sample_size(20);
 
+    let rows: Vec<Vec<f64>> = small_measurements(100)
+        .iter()
+        .map(|z| z.as_slice().to_vec())
+        .collect();
     for sessions in [1usize, 2, 4, 8] {
-        let sequences: Vec<Vec<Vector<f64>>> =
-            (0..sessions).map(|_| small_measurements(100)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("sessions", sessions),
-            &sequences,
-            |b, sequences| {
-                b.iter_batched(
-                    || {
-                        FilterBank::from_filters(
-                            (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
-                        )
-                    },
-                    |mut bank| {
-                        let report = bank.run(black_box(sequences)).expect("run");
-                        assert_eq!(report.failed_sessions, 0);
-                        black_box(report);
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sessions", sessions), &rows, |b, rows| {
+            b.iter_batched(
+                || {
+                    let mut bank = FilterBank::new();
+                    let sequences: Vec<(SessionId, Vec<Vec<f64>>)> = (0..sessions)
+                        .map(|_| (bank.insert_filter(small_filter()), rows.clone()))
+                        .collect();
+                    (bank, sequences)
+                },
+                |(mut bank, sequences)| {
+                    let report = bank.run(black_box(&sequences)).expect("run");
+                    assert_eq!(report.failed_sessions, 0);
+                    black_box(report);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }
@@ -115,8 +115,8 @@ fn bench_filterbank_scaling(c: &mut Criterion) {
 /// Both sides step identical sessions over identical 20-measurement batch
 /// trains; "scoped" spawns one scoped OS thread per session per batch (the
 /// per-batch spawn tax the pool retires — deliberately not the old chunked
-/// loop, which no longer exists), "pooled" dispatches `step_all` onto one
-/// shared persistent `WorkerPool`.
+/// loop, which no longer exists), "pooled" dispatches routed `step_batch`
+/// calls onto one shared persistent `WorkerPool`.
 fn bench_pool_vs_scoped(c: &mut Criterion) {
     const BATCHES: usize = 20;
     let pool = Arc::new(WorkerPool::from_env());
@@ -128,15 +128,17 @@ fn bench_pool_vs_scoped(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pooled", sessions), &zs, |b, zs| {
             b.iter_batched(
                 || {
-                    FilterBank::from_filters_with_pool(
-                        (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
-                        Arc::clone(&pool),
-                    )
+                    let mut bank = FilterBank::with_pool(Arc::clone(&pool));
+                    let ids: Vec<SessionId> = (0..sessions)
+                        .map(|_| bank.insert_filter(small_filter()))
+                        .collect();
+                    (bank, ids)
                 },
-                |mut bank| {
+                |(mut bank, ids)| {
                     for z in zs {
-                        let batch = vec![z.clone(); sessions];
-                        let report = bank.step_all(black_box(&batch)).expect("step_all");
+                        let batch: Vec<(SessionId, &[f64])> =
+                            ids.iter().map(|&id| (id, z.as_slice())).collect();
+                        let report = bank.step_batch(black_box(&batch)).expect("step_batch");
                         assert_eq!(report.failed_sessions, 0);
                     }
                 },

@@ -1,0 +1,205 @@
+//! Heterogeneous-FilterBank throughput measurement.
+//!
+//! Steps one bank holding an equal mix of `f64` software sessions,
+//! `Q16.16` fixed-point software sessions, and cycle-accounted
+//! accelerator-model sessions through routed `step_batch` calls on a
+//! shared persistent [`WorkerPool`], at growing bank sizes. This is the
+//! erased-session dispatch path itself under load: every batch crosses the
+//! `dyn SessionBackend` boundary once per session, so the numbers bound
+//! the cost of the type erasure relative to the homogeneous banks measured
+//! by `bench_filterbank`.
+//!
+//! Writes `BENCH_bank_mixed.json` in the working directory alongside a
+//! human-readable table.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin bench_bank_mixed`.
+//! Set `KALMMIND_BENCH_QUICK=1` for a fast low-fidelity pass (used by the
+//! CI bench guard); the JSON then carries `"quick": true` so quick numbers
+//! are never compared against full-fidelity baselines. With the default
+//! `obs` feature the JSON also embeds the process metrics snapshot.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kalmmind::exec::{total_spawned_threads, WorkerPool};
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_accel::registers::AcceleratorConfig;
+use kalmmind_accel::session::AccelSession;
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_fixed::Q16_16;
+use kalmmind_linalg::{Matrix, Scalar};
+use kalmmind_runtime::{FilterBank, SessionId};
+
+/// Bank sizes, each an equal three-way mix (f64 / Q16.16 / accel-sim).
+const SESSION_COUNTS: [usize; 3] = [3, 6, 12];
+
+/// Environment variable selecting the fast low-fidelity mode.
+const QUICK_ENV: &str = "KALMMIND_BENCH_QUICK";
+
+fn quick_mode() -> bool {
+    std::env::var(QUICK_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn small_model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).expect("F"),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).expect("H"),
+        Matrix::identity(3).scale(0.2),
+    )
+    .expect("model")
+}
+
+fn small_filter<T: Scalar>() -> KalmanFilter<T, InverseGain<InterleavedInverse<T>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        small_model().cast(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+fn measurement(t: usize) -> Vec<f64> {
+    let pos = 0.1 * t as f64;
+    vec![pos, 1.0, pos + 1.0]
+}
+
+/// Builds a mixed bank of `sessions` sessions (one third per backend kind)
+/// on `pool`, returning the bank and its stable session ids.
+fn mixed_bank(
+    pool: &Arc<WorkerPool>,
+    sim: &AccelSim,
+    sessions: usize,
+    steps: usize,
+) -> (FilterBank, Vec<SessionId>) {
+    assert_eq!(sessions % 3, 0, "mixed bank size must be a multiple of 3");
+    let config = AcceleratorConfig::for_iterations(2, 3, steps);
+    let mut bank = FilterBank::with_pool(Arc::clone(pool));
+    let mut ids = Vec::with_capacity(sessions);
+    for _ in 0..sessions / 3 {
+        ids.push(bank.insert_filter(small_filter::<f64>()));
+        ids.push(bank.insert_filter(small_filter::<Q16_16>()));
+        ids.push(
+            bank.insert(
+                AccelSession::erased(sim, &small_model(), &KalmanState::zeroed(2), &config)
+                    .expect("accel session"),
+            ),
+        );
+    }
+    (bank, ids)
+}
+
+/// Best-of-`repeats` (ns/step, bank steps/s) over `steps` routed batches.
+fn timed_mixed_run(
+    pool: &Arc<WorkerPool>,
+    sim: &AccelSim,
+    sessions: usize,
+    steps: usize,
+    repeats: usize,
+) -> (f64, f64) {
+    let mut best_ns = f64::INFINITY;
+    let mut best_throughput = 0.0_f64;
+    for _ in 0..repeats {
+        let (mut bank, ids) = mixed_bank(pool, sim, sessions, steps);
+        let start = Instant::now();
+        let mut total_steps = 0usize;
+        for t in 0..steps {
+            let z = measurement(t);
+            let batch: Vec<(SessionId, &[f64])> =
+                ids.iter().map(|&id| (id, z.as_slice())).collect();
+            let report = bank.step_batch(&batch).expect("step_batch");
+            assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
+            total_steps += report.steps;
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(total_steps, steps * sessions);
+        let ns = elapsed.as_nanos() as f64 / total_steps as f64;
+        let throughput = total_steps as f64 / elapsed.as_secs_f64();
+        best_ns = best_ns.min(ns);
+        best_throughput = best_throughput.max(throughput);
+    }
+    (best_ns, best_throughput)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (steps, repeats) = if quick { (1_000, 2) } else { (10_000, 5) };
+    let pool = Arc::new(WorkerPool::from_env());
+    let sim = AccelSim::new(kalmmind_accel::design::catalog::gauss_newton());
+
+    println!(
+        "mixed-backend FilterBank (f64 + q16.16 + accel-sim), {steps} batches, \
+         best of {repeats} (pool: {} threads, {} spawned workers):",
+        pool.threads(),
+        pool.spawned_threads()
+    );
+    println!(
+        "  {:>8} {:>14} {:>18} {:>14}",
+        "sessions", "ns/step", "steps/s (bank)", "vs smallest"
+    );
+
+    // Warm-up dispatch so lazily touched state is off the timed path, then
+    // freeze the spawn counter: the timed loops must not move it.
+    let (mut warm_bank, warm_ids) = mixed_bank(&pool, &sim, 3, 8);
+    for t in 0..8 {
+        let z = measurement(t);
+        let batch: Vec<(SessionId, &[f64])> =
+            warm_ids.iter().map(|&id| (id, z.as_slice())).collect();
+        warm_bank.step_batch(&batch).expect("warm-up");
+    }
+    assert_eq!(warm_bank.backend_name(warm_ids[2]), Some("accel-sim"));
+    let spawns_before = total_spawned_threads();
+
+    let mut rows = Vec::new();
+    let mut base_throughput = 0.0_f64;
+    for sessions in SESSION_COUNTS {
+        let (ns, throughput) = timed_mixed_run(&pool, &sim, sessions, steps, repeats);
+        if sessions == SESSION_COUNTS[0] {
+            base_throughput = throughput;
+        }
+        let ratio = throughput / base_throughput;
+        println!("  {sessions:>8} {ns:>14.1} {throughput:>18.0} {ratio:>13.2}x");
+        rows.push((sessions, ns, throughput, ratio));
+    }
+
+    let steady_state_spawns = total_spawned_threads() - spawns_before;
+    assert_eq!(
+        steady_state_spawns, 0,
+        "steady-state mixed batches must not spawn threads"
+    );
+    println!();
+    println!("steady-state thread spawns across all timed batches: {steady_state_spawns}");
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"model\": \"2-state/3-channel motor, f64 + q16.16 + accel-sim thirds\","
+    );
+    let _ = writeln!(json, "  \"steps_per_session\": {steps},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"pool_threads\": {},", pool.threads());
+    let _ = writeln!(json, "  \"spawned_workers\": {},", pool.spawned_threads());
+    let _ = writeln!(json, "  \"steady_state_spawns\": {steady_state_spawns},");
+    let _ = writeln!(json, "  \"mixed\": [");
+    for (i, (sessions, ns, throughput, ratio)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"sessions\": {sessions}, \"ns_per_step\": {ns:.1}, \
+             \"throughput_steps_per_s\": {throughput:.0}, \"vs_smallest\": {ratio:.3} }}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_bank_mixed.json", &json).expect("write BENCH_bank_mixed.json");
+    println!();
+    println!("wrote BENCH_bank_mixed.json");
+}

@@ -20,7 +20,7 @@ use kalmmind::gain::InverseGain;
 use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
 use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
 use kalmmind_linalg::{Matrix, Vector};
-use kalmmind_runtime::FilterBank;
+use kalmmind_runtime::{FilterBank, SessionId};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -94,10 +94,22 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
     (code, body)
 }
 
+/// Builds a bank of `sessions` identical f64 filters on `pool`, returning
+/// the bank and its stable session ids.
+fn bank_of(pool: &Arc<WorkerPool>, sessions: usize) -> (FilterBank, Vec<SessionId>) {
+    let mut bank = FilterBank::with_pool(Arc::clone(pool));
+    let ids = (0..sessions)
+        .map(|_| bank.insert_filter(small_filter()))
+        .collect();
+    (bank, ids)
+}
+
 fn main() {
     let quick = quick_mode();
     let (steps, repeats) = if quick { (2_000, 2) } else { (20_000, 5) };
     let zs = measurements(steps);
+    // The bank's routed API takes plain f64 rows.
+    let rows: Vec<Vec<f64>> = zs.iter().map(|z| z.as_slice().to_vec()).collect();
 
     // Part 1: allocating vs workspace single-filter stepping.
     let allocating_ns = time_pass(
@@ -146,22 +158,21 @@ fn main() {
 
     // Warm-up dispatch, then freeze the process-wide spawn counter: the
     // steady-state measurement below must leave it untouched.
-    FilterBank::from_filters_with_pool(vec![small_filter()], Arc::clone(&pool))
-        .run(&[zs[..64].to_vec()])
+    let (mut warm_bank, warm_ids) = bank_of(&pool, 1);
+    warm_bank
+        .run(&[(warm_ids[0], rows[..64].to_vec())])
         .expect("warm-up run");
     let spawns_before = total_spawned_threads();
 
     let mut scaling = Vec::new();
     let mut base_throughput = 0.0_f64;
     for sessions in [1usize, 2, 4, 8] {
-        let sequences: Vec<Vec<Vector<f64>>> = (0..sessions).map(|_| zs.clone()).collect();
         let mut best_throughput = 0.0_f64;
         let mut best_ns = f64::INFINITY;
         for _ in 0..repeats {
-            let mut bank = FilterBank::from_filters_with_pool(
-                (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
-                Arc::clone(&pool),
-            );
+            let (mut bank, ids) = bank_of(&pool, sessions);
+            let sequences: Vec<(SessionId, Vec<Vec<f64>>)> =
+                ids.iter().map(|&id| (id, rows.clone())).collect();
             let report = bank.run(&sequences).expect("bank run");
             assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
             best_throughput = best_throughput.max(report.throughput());
@@ -194,10 +205,9 @@ fn main() {
     // so the CI bench-smoke can assert the endpoint works end to end from
     // the emitted JSON. Runs after the spawn freeze: the one service thread
     // serve_on spawns is deliberate, not steady-state noise.
-    let mut probe_bank =
-        FilterBank::from_filters_with_pool(vec![small_filter()], Arc::clone(&pool));
+    let (mut probe_bank, probe_ids) = bank_of(&pool, 1);
     probe_bank
-        .run(&[zs[..64].to_vec()])
+        .run(&[(probe_ids[0], rows[..64].to_vec())])
         .expect("endpoint probe run");
     let mut server = probe_bank
         .serve_on("127.0.0.1:0")

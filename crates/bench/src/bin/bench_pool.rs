@@ -8,8 +8,9 @@
 //!
 //! * **scoped** — one freshly spawned scoped thread per session per batch
 //!   (the spawn-per-batch baseline the pool retires);
-//! * **pooled** — `FilterBank::step_all` on a shared persistent
-//!   [`WorkerPool`] (zero spawns after warm-up, dynamic session claiming).
+//! * **pooled** — routed `FilterBank::step_batch` calls on a shared
+//!   persistent [`WorkerPool`] (zero spawns after warm-up, dynamic session
+//!   claiming).
 //!
 //! Writes `BENCH_pool.json` in the working directory alongside a
 //! human-readable table.
@@ -29,7 +30,7 @@ use kalmmind::gain::InverseGain;
 use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
 use kalmmind::{KalmanFilter, KalmanModel, KalmanState, StepWorkspace};
 use kalmmind_linalg::{Matrix, Vector};
-use kalmmind_runtime::FilterBank;
+use kalmmind_runtime::{FilterBank, SessionId};
 
 const SESSION_COUNTS: [usize; 3] = [4, 16, 64];
 
@@ -104,18 +105,21 @@ fn scoped_batches(sessions: usize, batches: usize, repeats: usize) -> f64 {
     best
 }
 
-/// Persistent-pool path: `FilterBank::step_all` batches on a shared pool.
+/// Persistent-pool path: routed `FilterBank::step_batch` calls on a shared
+/// pool.
 fn pooled_batches(sessions: usize, pool: &Arc<WorkerPool>, batches: usize, repeats: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..repeats {
-        let mut bank = FilterBank::from_filters_with_pool(
-            (0..sessions).map(|_| small_filter()).collect::<Vec<_>>(),
-            Arc::clone(pool),
-        );
+        let mut bank = FilterBank::with_pool(Arc::clone(pool));
+        let ids: Vec<SessionId> = (0..sessions)
+            .map(|_| bank.insert_filter(small_filter()))
+            .collect();
         let start = Instant::now();
         for t in 0..batches {
-            let zs = vec![measurement(t); sessions];
-            let report = bank.step_all(&zs).expect("step_all");
+            let z = measurement(t);
+            let batch: Vec<(SessionId, &[f64])> =
+                ids.iter().map(|&id| (id, z.as_slice())).collect();
+            let report = bank.step_batch(&batch).expect("step_batch");
             assert_eq!(report.failed_sessions, 0, "bench bank must stay healthy");
         }
         let ns = start.elapsed().as_nanos() as f64 / (batches * sessions) as f64;
@@ -141,8 +145,10 @@ fn main() {
 
     // Warm-up dispatch so lazily touched state is off the timed path, then
     // freeze the spawn counter: the pooled measurements must not move it.
-    FilterBank::from_filters_with_pool(vec![small_filter()], Arc::clone(&pool))
-        .step_all(&[measurement(0)])
+    let mut warm_bank = FilterBank::with_pool(Arc::clone(&pool));
+    let warm_id = warm_bank.insert_filter(small_filter());
+    warm_bank
+        .step_batch(&[(warm_id, measurement(0).as_slice())])
         .expect("warm-up");
     let spawns_before = total_spawned_threads();
 

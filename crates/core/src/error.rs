@@ -54,6 +54,16 @@ pub enum KalmanError {
         /// Name of the strategy.
         strategy: &'static str,
     },
+    /// A bank measurement batch routed a measurement to a session the bank
+    /// does not hold (stale, evicted, or foreign id) or routed two
+    /// measurements to the same session in one batch.
+    BadSession {
+        /// The offending stable session id.
+        id: u64,
+        /// What was wrong (`"unknown session id"`, `"duplicate measurement
+        /// in one batch"`).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for KalmanError {
@@ -75,6 +85,9 @@ impl fmt::Display for KalmanError {
             }
             Self::NotTrained { strategy } => {
                 write!(f, "strategy {strategy} must be trained before use")
+            }
+            Self::BadSession { id, reason } => {
+                write!(f, "bank session {id}: {reason}")
             }
         }
     }

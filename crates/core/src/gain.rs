@@ -29,7 +29,11 @@ pub struct GainContext<'a, T> {
 }
 
 /// A strategy producing the Kalman gain `K` (a `x_dim × z_dim` matrix).
-pub trait GainStrategy<T: Scalar>: Send {
+///
+/// `Debug` is a supertrait so that a boxed strategy — and any session or
+/// bank erasing one behind [`SessionBackend`](crate::SessionBackend) —
+/// stays debuggable; every strategy in the crate derives it.
+pub trait GainStrategy<T: Scalar>: Send + std::fmt::Debug {
     /// Computes the gain for this iteration.
     ///
     /// # Errors

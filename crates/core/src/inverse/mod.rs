@@ -44,7 +44,7 @@ use crate::Result;
 /// The `iteration` argument is the zero-based KF iteration index `n`; the
 /// scheduler inside [`InterleavedInverse`] uses it to decide between
 /// calculation and approximation.
-pub trait InverseStrategy<T: Scalar>: Send {
+pub trait InverseStrategy<T: Scalar>: Send + std::fmt::Debug {
     /// Computes (or approximates) the inverse of `s` for KF iteration
     /// `iteration`.
     ///

@@ -61,19 +61,10 @@ pub mod adaptive;
 pub mod gain;
 pub mod health;
 pub mod inverse;
+pub mod session;
 pub mod sweep;
 pub mod train;
 pub mod tuner;
-
-/// Deprecated alias of [`accuracy`].
-///
-/// The module was renamed to avoid colliding with the *runtime* metrics of
-/// the `kalmmind-obs` observability layer: `metrics` now unambiguously means
-/// counters/histograms, `accuracy` means the paper's MSE/MAE/DIFF scores.
-#[deprecated(since = "0.1.0", note = "renamed to `accuracy`")]
-pub mod metrics {
-    pub use crate::accuracy::*;
-}
 
 pub use config::{KalmMindConfig, KalmMindConfigBuilder, MAX_APPROX, MAX_CALC_FREQ};
 pub use error::KalmanError;
@@ -86,6 +77,7 @@ pub use health::{
 /// depending on `kalmmind-exec` directly.
 pub use kalmmind_exec as exec;
 pub use model::KalmanModel;
+pub use session::{FilterSession, SessionBackend, SessionHealth, SessionTelemetry, StepOutcome};
 pub use state::KalmanState;
 pub use workspace::{GainWorkspace, InverseWorkspace, StepWorkspace};
 

@@ -1,0 +1,114 @@
+//! Full-filter accuracy of the Q-format fixed-point legs.
+//!
+//! The fixed crate's own tests pin the *scalar* arithmetic; these tests pin
+//! the whole KF step: the same model, gain schedule, and measurement
+//! sequence run in `Q16.16` and `Q32.32` must track the `f64` reference
+//! within a tolerance *derived from the format's fractional bits*, not a
+//! hand-waved constant. Each multiply rounds at `2^-FRAC`; with `B` as a
+//! generous bound on the rounding noise amplification through one step and
+//! `N` steps of accumulation, the trajectory error is bounded by
+//! `N · B · 2^-FRAC`. The same bound with the same `B` must hold for both
+//! formats — that is what makes it a scaling law rather than two tuned
+//! numbers: moving FRAC from 16 to 32 tightens the bound by exactly 2^16.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_fixed::{Q16_16, Q32_32};
+use kalmmind_linalg::{Matrix, Scalar, Vector};
+
+const STEPS: usize = 30;
+/// Rounding-noise amplification budget per step (in units of one LSB,
+/// `2^-FRAC`). The 2-state/3-channel step performs a few hundred rounded
+/// operations; the filter's contraction keeps the accumulated error well
+/// under this per-step allowance.
+const AMPLIFICATION: f64 = 256.0;
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace.
+fn model<T: Scalar>() -> KalmanModel<T> {
+    let m = KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap();
+    m.cast()
+}
+
+fn measurement(t: usize) -> Vec<f64> {
+    let pos = 0.1 * t as f64;
+    vec![pos, 1.0, pos + 1.0]
+}
+
+/// Runs the full interleaved filter in `T` and returns the trajectory of
+/// state estimates, converted to `f64` at the boundary.
+fn trajectory<T: Scalar>() -> Vec<Vec<f64>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    let mut kf = KalmanFilter::new(
+        model::<T>(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    );
+    (0..STEPS)
+        .map(|t| {
+            let z: Vector<T> = Vector::from_vec(measurement(t)).cast();
+            let state = kf.step(&z).expect("fixed-point step");
+            (0..2).map(|i| state.x()[i].to_f64()).collect()
+        })
+        .collect()
+}
+
+/// Asserts the whole `T` trajectory stays within the frac-bit-derived
+/// envelope of the f64 reference.
+fn assert_tracks_reference<T: Scalar>(frac_bits: u32) {
+    let reference = trajectory::<f64>();
+    let fixed = trajectory::<T>();
+    let lsb = (frac_bits as f64).exp2().recip();
+    for (t, (r, f)) in reference.iter().zip(&fixed).enumerate() {
+        // Error budget grows linearly with accumulated steps.
+        let tol = (t + 1) as f64 * AMPLIFICATION * lsb;
+        for i in 0..2 {
+            let err = (r[i] - f[i]).abs();
+            assert!(
+                err <= tol,
+                "{}: step {t} x[{i}] err {err:.3e} exceeds {tol:.3e} \
+                 ({r:?} vs {f:?})",
+                T::NAME,
+            );
+        }
+    }
+}
+
+#[test]
+fn q16_16_full_step_tracks_the_f64_reference() {
+    assert_tracks_reference::<Q16_16>(16);
+}
+
+#[test]
+fn q32_32_full_step_tracks_the_f64_reference() {
+    assert_tracks_reference::<Q32_32>(32);
+}
+
+#[test]
+fn q32_32_is_at_least_a_thousandfold_tighter_than_q16_16() {
+    // The scaling-law sanity check: 16 extra fractional bits must buy
+    // orders of magnitude of trajectory accuracy on this fixture (2^16 in
+    // the bound; demand 10^3 of the realized worst-case error to leave
+    // headroom for noise floors).
+    let reference = trajectory::<f64>();
+    let worst = |traj: Vec<Vec<f64>>| -> f64 {
+        traj.iter()
+            .zip(&reference)
+            .flat_map(|(f, r)| (0..2).map(move |i| (f[i] - r[i]).abs()))
+            .fold(0.0, f64::max)
+    };
+    let w16 = worst(trajectory::<Q16_16>());
+    let w32 = worst(trajectory::<Q32_32>());
+    assert!(w16 > 0.0, "Q16.16 cannot be exact");
+    assert!(
+        w32 * 1e3 < w16,
+        "expected ≥1000× improvement: q16.16 worst {w16:.3e}, q32.32 worst {w32:.3e}"
+    );
+}

@@ -176,6 +176,11 @@ impl<const FRAC: u32> fmt::Display for Fx32<FRAC> {
 impl<const FRAC: u32> Scalar for Fx32<FRAC> {
     const ZERO: Self = Self { raw: 0 };
     const ONE: Self = Self { raw: 1 << FRAC };
+    const NAME: &'static str = match FRAC {
+        16 => "q16.16",
+        24 => "q8.24",
+        _ => "fx32",
+    };
 
     fn from_f64(value: f64) -> Self {
         if value.is_nan() {

@@ -171,6 +171,11 @@ impl<const FRAC: u32> fmt::Display for Fx64<FRAC> {
 impl<const FRAC: u32> Scalar for Fx64<FRAC> {
     const ZERO: Self = Self { raw: 0 };
     const ONE: Self = Self { raw: 1 << FRAC };
+    const NAME: &'static str = match FRAC {
+        32 => "q32.32",
+        48 => "q16.48",
+        _ => "fx64",
+    };
 
     fn from_f64(value: f64) -> Self {
         if value.is_nan() {

@@ -45,6 +45,9 @@ pub trait Scalar:
     const ZERO: Self;
     /// Multiplicative identity.
     const ONE: Self;
+    /// Short lowercase label of the representation (`"f64"`, `"q16.16"`, …),
+    /// used wherever a session or metric is tagged with its element type.
+    const NAME: &'static str;
 
     /// Converts from `f64`, rounding/saturating as the representation requires.
     fn from_f64(value: f64) -> Self;
@@ -96,6 +99,7 @@ pub trait Scalar:
 impl Scalar for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
 
     #[inline]
     fn from_f64(value: f64) -> Self {
@@ -131,6 +135,7 @@ impl Scalar for f64 {
 impl Scalar for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
 
     #[inline]
     fn from_f64(value: f64) -> Self {

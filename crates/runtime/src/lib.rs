@@ -1,20 +1,27 @@
-//! Batched multi-session Kalman-filter execution.
+//! Batched multi-session Kalman-filter execution over erased backends.
 //!
-//! A deployed BCI decoder stack rarely runs a single filter: a lab replays
-//! many recorded sessions against one configuration, a closed-loop rig runs
-//! one filter per decoded effector, and a design-space sweep evaluates many
-//! configurations over the same data. [`FilterBank`] packages that pattern:
-//! it owns N independent filter sessions — each with its own
-//! [`StepWorkspace`] so every session steps allocation-free — and steps them
-//! over measurement batches on a persistent [`WorkerPool`].
+//! A deployed BCI decoder stack rarely runs a single filter — and rarely
+//! runs *identical* filters: the paper's accelerator serves differently
+//! configured sessions from one fabric, with datatype and gain schedule as
+//! per-design knobs. [`FilterBank`] packages that pattern: it owns N
+//! independent sessions erased behind
+//! [`SessionBackend`] — `f64`/`f32` software
+//! filters, `Q16.16`/`Q32.32` fixed-point filters, and cycle/energy
+//! accounted accelerator-model sessions from `kalmmind-accel` side by side —
+//! and steps them over measurement batches on a persistent [`WorkerPool`].
+//!
+//! Sessions have a **lifecycle**: [`FilterBank::insert`] returns a stable
+//! [`SessionId`] that keeps identifying the session across
+//! [`FilterBank::remove`]s of its neighbors, measurements are routed per
+//! session via [`FilterBank::step_batch`] (no lockstep positional slices),
+//! and an [`EvictionPolicy`] can automatically remove diverged sessions,
+//! leaving an [`EvictedSession`] record behind.
 //!
 //! The pool is the scaling substrate: workers are spawned once (at pool
-//! construction), so steady-state [`FilterBank::step_all`] and
+//! construction), so steady-state [`FilterBank::step_batch`] and
 //! [`FilterBank::run`] spawn **zero** OS threads, and sessions are claimed
 //! dynamically one at a time, so one slow session delays only itself rather
-//! than a static chunk. Banks share the process-wide
-//! [`WorkerPool::global`] pool by default, or accept a privately sized
-//! handle via [`FilterBank::with_pool`] / [`FilterBank::from_filters_with_pool`].
+//! than a static chunk.
 //!
 //! Error isolation is the load-bearing guarantee: one session hitting a
 //! singular `S`, diverging to a non-finite state, or even *panicking* is
@@ -25,7 +32,7 @@
 //!
 //! ```
 //! use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
-//! use kalmmind_linalg::{Matrix, Vector};
+//! use kalmmind_linalg::Matrix;
 //! use kalmmind_runtime::FilterBank;
 //!
 //! # fn main() -> Result<(), kalmmind::KalmanError> {
@@ -36,11 +43,11 @@
 //!     Matrix::identity(1).scale(0.5),
 //! )?;
 //! let mut bank = FilterBank::new();
-//! for _ in 0..4 {
-//!     bank.push(KalmanFilter::gauss(model.clone(), KalmanState::zeroed(1)));
-//! }
-//! let zs: Vec<Vector<f64>> = (0..4).map(|_| Vector::from_vec(vec![1.0])).collect();
-//! let report = bank.step_all(&zs)?;
+//! let ids: Vec<_> = (0..4)
+//!     .map(|_| bank.insert_filter(KalmanFilter::gauss(model.clone(), KalmanState::zeroed(1))))
+//!     .collect();
+//! let batch: Vec<(_, &[f64])> = ids.iter().map(|&id| (id, [1.0].as_slice())).collect();
+//! let report = bank.step_batch(&batch)?;
 //! assert_eq!(bank.active_count(), 4);
 //! assert_eq!(report.steps, 4);
 //! # Ok(())
@@ -52,14 +59,20 @@
 
 mod server;
 
+use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kalmmind::gain::GainStrategy;
-use kalmmind::health::{FlightRecorder, HealthMonitor, HealthStatus, StepDiagnostics};
-use kalmmind::{KalmanError, KalmanFilter, KalmanState, StepWorkspace};
+use kalmmind::health::HealthStatus;
+use kalmmind::session::NON_FINITE_REASON;
+use kalmmind::{
+    FilterSession, KalmanError, KalmanFilter, KalmanState, SessionBackend, SessionTelemetry,
+    StepOutcome,
+};
 use kalmmind_exec::WorkerPool;
-use kalmmind_linalg::{Scalar, Vector};
+use kalmmind_linalg::Scalar;
 use kalmmind_obs as obs;
 
 pub use server::{MetricsServer, SessionHealthSnapshot};
@@ -67,7 +80,7 @@ pub use server::{MetricsServer, SessionHealthSnapshot};
 // Bank-level observability (no-ops unless `obs` is enabled).
 static OBS_BATCHES: obs::LazyCounter = obs::LazyCounter::new(
     "bank_batches_total",
-    "FilterBank batch dispatches (step_all or run calls)",
+    "FilterBank batch dispatches (step_batch or run calls)",
 );
 static OBS_BATCH_SECONDS: obs::LazyHistogram = obs::LazyHistogram::new(
     "bank_batch_seconds",
@@ -96,6 +109,86 @@ static OBS_FAIL_PANIC: obs::LazyCounter = obs::LazyCounter::labeled(
     "cause",
     "panic",
 );
+static OBS_EVICTED: obs::LazyCounter = obs::LazyCounter::new(
+    "bank_sessions_evicted_total",
+    "Sessions removed by the evict-on-diverge policy",
+);
+// Per-backend / per-scalar step counters. The registry supports one static
+// label pair per handle, so the known backend and scalar labels each get a
+// dedicated counter; unknown scalar names (a custom Scalar impl) are simply
+// not broken out.
+static OBS_STEPS_SOFTWARE: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_backend_steps_total",
+    "Successful steps by executing backend",
+    "backend",
+    "software",
+);
+static OBS_STEPS_ACCEL: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_backend_steps_total",
+    "Successful steps by executing backend",
+    "backend",
+    "accel-sim",
+);
+static OBS_STEPS_F64: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_scalar_steps_total",
+    "Successful steps by session element type",
+    "scalar",
+    "f64",
+);
+static OBS_STEPS_F32: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_scalar_steps_total",
+    "Successful steps by session element type",
+    "scalar",
+    "f32",
+);
+static OBS_STEPS_Q16: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_scalar_steps_total",
+    "Successful steps by session element type",
+    "scalar",
+    "q16.16",
+);
+static OBS_STEPS_Q32: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_scalar_steps_total",
+    "Successful steps by session element type",
+    "scalar",
+    "q32.32",
+);
+
+fn note_step_labels(backend: &'static str, scalar: &'static str) {
+    match backend {
+        "accel-sim" => OBS_STEPS_ACCEL.inc(),
+        _ => OBS_STEPS_SOFTWARE.inc(),
+    }
+    match scalar {
+        "f64" => OBS_STEPS_F64.inc(),
+        "f32" => OBS_STEPS_F32.inc(),
+        "q16.16" => OBS_STEPS_Q16.inc(),
+        "q32.32" => OBS_STEPS_Q32.inc(),
+        _ => {}
+    }
+}
+
+/// Stable identifier of one session inside a [`FilterBank`].
+///
+/// Issued by [`FilterBank::insert`] and never reused by that bank: removing
+/// or evicting other sessions does not invalidate it, and a lookup with the
+/// id of a removed session cleanly reports absence instead of silently
+/// addressing a neighbor (the failure mode of positional indexing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id (as stamped into flight dumps and `/healthz`).
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Lifecycle of one session inside a [`FilterBank`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,123 +214,110 @@ impl SessionStatus {
     }
 }
 
-/// One filter plus its private workspace, status, and health telemetry.
-#[derive(Debug)]
-struct Session<T: Scalar, G> {
-    filter: KalmanFilter<T, G>,
-    ws: StepWorkspace<T>,
-    status: SessionStatus,
-    steps_ok: usize,
-    /// Rolling numerical-health state machine (live only with `obs` on;
-    /// otherwise never fed and permanently Healthy).
-    monitor: HealthMonitor,
-    /// Ring of recent step snapshots for post-mortem dumps.
-    recorder: FlightRecorder,
-    /// Worst health ever assessed — dumps fire on upward transitions only,
-    /// so an oscillating Degraded session produces one dump, not hundreds.
-    worst_health: HealthStatus,
-    /// The most recent flight-recorder JSON dump, if any transition
-    /// triggered one.
-    flight_dump: Option<String>,
+/// What to do with sessions the health layer has condemned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Keep diverged/failed sessions in the bank, parked (the default —
+    /// post-mortem accessors stay addressable).
+    #[default]
+    Keep,
+    /// After each batch, remove every session that is parked Failed or
+    /// whose health monitor has latched Diverged, recording an
+    /// [`EvictedSession`] (reason + final flight dump) in
+    /// [`FilterBank::evictions`]. This is the supervisor loop a deployed
+    /// bank wants: a condemned session stops consuming pool slots at once.
+    EvictOnDiverge,
 }
 
-impl<T: Scalar, G: GainStrategy<T>> Session<T, G> {
-    fn new(filter: KalmanFilter<T, G>) -> Self {
-        let ws = filter.workspace();
-        let monitor = HealthMonitor::new(filter.model().z_dim());
-        Self {
-            filter,
-            ws,
-            status: SessionStatus::Active,
-            steps_ok: 0,
-            monitor,
-            recorder: FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY),
-            worst_health: HealthStatus::Healthy,
-            flight_dump: None,
-        }
-    }
+/// Post-mortem record of a session removed by
+/// [`EvictionPolicy::EvictOnDiverge`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictedSession {
+    /// The evicted session's stable id.
+    pub id: SessionId,
+    /// Why it was condemned (status reason or health-monitor reason).
+    pub reason: String,
+    /// Its last flight-recorder dump, if one was emitted.
+    pub flight_record: Option<String>,
+}
 
-    /// Renders and stores a flight-record dump for the session's current
-    /// ring contents. `status` is the transition that triggered the dump.
-    fn dump_flight(&mut self, index: usize, status: &str, reason: &str) {
-        self.flight_dump = Some(self.recorder.dump_json(
-            index,
-            self.filter.strategy_name(),
-            status,
-            reason,
-            self.filter.iteration() as u64,
-        ));
-    }
+/// One erased backend plus the bank-side bookkeeping around it.
+struct Slot {
+    id: SessionId,
+    backend: Box<dyn SessionBackend>,
+    status: SessionStatus,
+    steps_ok: usize,
+}
 
-    /// Marks the session's health Diverged after a hard failure and dumps
-    /// the flight recorder (obs builds only; without `obs` there are no
-    /// recorded snapshots worth dumping).
-    fn fail_health(&mut self, index: usize, reason: &str) {
-        if obs::is_enabled() {
-            self.monitor.mark_diverged(reason);
-            self.worst_health = HealthStatus::Diverged;
-            self.dump_flight(index, "failed", reason);
-        }
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slot")
+            .field("id", &self.id)
+            .field("backend", &self.backend.backend_name())
+            .field("scalar", &self.backend.scalar_name())
+            .field("status", &self.status)
+            .field("steps_ok", &self.steps_ok)
+            .finish()
     }
+}
 
+impl Slot {
     /// Steps once, demoting the session to `Failed` on any error or on a
-    /// non-finite state, and feeding the health monitor on obs builds. A
-    /// failed session is left untouched. `index` is the session's position
-    /// in the bank (used to label flight dumps).
-    fn step(&mut self, index: usize, z: &Vector<T>) {
+    /// non-finite state. The backend feeds its own health monitor and dumps
+    /// its own flight recorder; the slot only keeps status bookkeeping and
+    /// bank-level counters. A failed session is left untouched.
+    fn step(&mut self, z: &[f64]) {
         if !self.status.is_active() {
             return;
         }
-        let iteration = self.filter.iteration();
-        match self.filter.step_with(z, &mut self.ws) {
-            Ok(state) => {
-                let finite = state.x().all_finite() && state.p().all_finite();
-                if obs::is_enabled() {
-                    // Read-only probe of the buffers the step just filled;
-                    // branch is compiled out entirely when `obs` is off.
-                    let diag = StepDiagnostics::from_step(&self.ws, state, iteration);
-                    let health = self.monitor.observe(&diag);
-                    self.recorder.record(&diag, health);
-                    if health > self.worst_health {
-                        self.worst_health = health;
-                        let reason = self.monitor.reason().to_string();
-                        self.dump_flight(index, health.as_str(), &reason);
-                    }
-                }
-                if finite {
-                    self.steps_ok += 1;
-                } else {
-                    OBS_FAIL_DIVERGED.inc();
-                    let reason = "state diverged to a non-finite value".to_string();
-                    self.fail_health(index, &reason);
-                    self.status = SessionStatus::Failed { iteration, reason };
-                }
+        let iteration = self.backend.iteration();
+        match self.backend.step(z) {
+            Ok(StepOutcome::Ok) => {
+                self.steps_ok += 1;
+                note_step_labels(self.backend.backend_name(), self.backend.scalar_name());
+            }
+            Ok(StepOutcome::NonFinite) => {
+                OBS_FAIL_DIVERGED.inc();
+                self.status = SessionStatus::Failed {
+                    iteration,
+                    reason: NON_FINITE_REASON.to_string(),
+                };
             }
             Err(err) => {
                 OBS_FAIL_ERROR.inc();
-                let reason = err.to_string();
-                self.fail_health(index, &reason);
-                self.status = SessionStatus::Failed { iteration, reason };
+                self.status = SessionStatus::Failed {
+                    iteration,
+                    reason: err.to_string(),
+                };
             }
         }
     }
 
     /// Snapshot for the `/healthz` board: a Failed session reports
-    /// `failed`, otherwise the monitor's current status.
-    fn health_snapshot(&self, index: usize) -> SessionHealthSnapshot {
+    /// `failed`, otherwise the backend monitor's current status.
+    fn health_snapshot(&self) -> SessionHealthSnapshot {
+        let health = self.backend.health();
         let (status, reason) = match &self.status {
             SessionStatus::Failed { reason, .. } => ("failed".to_string(), reason.clone()),
             SessionStatus::Active => (
-                self.monitor.status().as_str().to_string(),
-                self.monitor.reason().to_string(),
+                health.status().as_str().to_string(),
+                health.reason().to_string(),
             ),
         };
         SessionHealthSnapshot {
-            session: index,
+            id: self.id.as_u64(),
             status,
+            backend: self.backend.backend_name().to_string(),
+            scalar: self.backend.scalar_name().to_string(),
             steps_ok: self.steps_ok,
             reason,
         }
+    }
+
+    /// `true` when the slot should be removed under
+    /// [`EvictionPolicy::EvictOnDiverge`].
+    fn condemned(&self) -> bool {
+        !self.status.is_active() || self.backend.health().status() == HealthStatus::Diverged
     }
 }
 
@@ -260,21 +340,25 @@ pub struct PoolUtilization {
     pub inline_sessions: u64,
 }
 
-/// Aggregate outcome of a [`FilterBank::step_all`] or [`FilterBank::run`]
+/// Aggregate outcome of a [`FilterBank::step_batch`] or [`FilterBank::run`]
 /// batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BankReport {
     /// Number of sessions in the bank when the batch ran.
     pub sessions: usize,
-    /// Sessions still active after the batch.
+    /// Sessions still active (and still in the bank) after the batch.
     pub active_sessions: usize,
-    /// Sessions in the failed state after the batch.
+    /// Sessions in the failed state after the batch (evicted ones are in
+    /// `evicted` instead).
     pub failed_sessions: usize,
     /// Successful steps executed across all sessions during this batch.
     pub steps: usize,
-    /// Wall-clock duration of this batch (one `step_all` call or one whole
-    /// `run`).
+    /// Wall-clock duration of this batch (one `step_batch` call or one
+    /// whole `run`).
     pub elapsed: Duration,
+    /// Sessions removed by [`EvictionPolicy::EvictOnDiverge`] at the end of
+    /// this batch (full records in [`FilterBank::evictions`]).
+    pub evicted: Vec<SessionId>,
     /// Pool-side execution counters for this batch.
     pub pool: PoolUtilization,
 }
@@ -284,34 +368,31 @@ impl BankReport {
     ///
     /// This is the multi-session scaling figure of merit: on a machine with
     /// `c` cores it should grow near-linearly with the session count up to
-    /// `c`, and stay flat (not degrade) beyond.
+    /// `c`, and stay flat (not degrade) beyond. A zero-duration batch (a
+    /// timer too coarse to resolve an empty or trivial dispatch) reports
+    /// `0.0`, never infinity.
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             self.steps as f64 / secs
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 }
 
-/// N independent Kalman-filter sessions stepped together over measurement
-/// batches on a persistent worker pool, with per-session error isolation.
+/// N independent, heterogeneous Kalman-filter sessions stepped together on
+/// a persistent worker pool, with stable ids, a session lifecycle, and
+/// per-session error isolation.
 ///
-/// All sessions share the scalar type `T` and gain-strategy type `G`. For a
-/// *homogeneous* bank, `G` can be a concrete strategy type and the whole
-/// bank is monomorphized. For a *heterogeneous* bank — different gain
-/// strategies (or the same strategy differently configured) side by side —
-/// use `G = Box<dyn GainStrategy<T>>`: both
-/// [`KalmanFilter::with_config`] (which always builds a boxed-strategy
-/// filter from a [`KalmMindConfig`](kalmmind::KalmMindConfig)) and a
-/// manually boxed strategy produce compatible filters, so they can share
-/// one bank:
+/// Every session is a boxed [`SessionBackend`], so one bank can mix element
+/// types and executing backends freely — the measurement boundary is always
+/// `f64` slices:
 ///
 /// ```
-/// use kalmmind::gain::{GainStrategy, InverseGain, TaylorGain};
-/// use kalmmind::{KalmMindConfig, KalmanFilter, KalmanModel, KalmanState};
-/// use kalmmind_linalg::{Matrix, Vector};
+/// use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState};
+/// use kalmmind_fixed::Q16_16;
+/// use kalmmind_linalg::Matrix;
 /// use kalmmind_runtime::FilterBank;
 ///
 /// # fn main() -> Result<(), kalmmind::KalmanError> {
@@ -321,37 +402,44 @@ impl BankReport {
 ///     Matrix::identity(1),
 ///     Matrix::identity(1).scale(0.5),
 /// )?;
-/// // One session from the paper's config surface…
-/// let cfg = KalmMindConfig::builder().approx(2).calc_freq(4).build()?;
-/// let configured = KalmanFilter::with_config(model.clone(), KalmanState::zeroed(1), &cfg)?;
-/// // …and one with a hand-boxed strategy, in the same bank.
-/// let taylor: Box<dyn GainStrategy<f64>> = Box::new(TaylorGain::new());
-/// let handmade = KalmanFilter::new(model.clone(), KalmanState::zeroed(1), taylor);
-/// let mut bank = FilterBank::from_filters(vec![configured, handmade]);
-/// bank.step_all(&[Vector::from_vec(vec![1.0]), Vector::from_vec(vec![1.0])])?;
-/// assert_eq!(bank.active_count(), 2);
+/// let mut bank = FilterBank::new();
+/// // An f64 session and a Q16.16 session of the same model, side by side.
+/// let a = bank.insert_filter(KalmanFilter::gauss(model.clone(), KalmanState::zeroed(1)));
+/// let b = bank.insert_filter(KalmanFilter::gauss(
+///     model.cast::<Q16_16>(),
+///     KalmanState::zeroed(1),
+/// ));
+/// bank.step_batch(&[(a, [1.0].as_slice()), (b, [1.0].as_slice())])?;
+/// assert_eq!(bank.scalar_name(a), Some("f64"));
+/// assert_eq!(bank.scalar_name(b), Some("q16.16"));
 /// # Ok(())
 /// # }
 /// ```
 ///
-/// The indirection cost of the boxed call is one dynamic dispatch per gain
-/// computation — negligible next to the matrix work behind it.
+/// The indirection cost is one virtual call per session step — negligible
+/// next to the matrix work behind it (the homogeneous-`f64` path is proved
+/// bit-identical to the concrete filter in this crate's golden-bit tests).
 #[derive(Debug)]
-pub struct FilterBank<T: Scalar, G> {
-    sessions: Vec<Session<T, G>>,
+pub struct FilterBank {
+    slots: Vec<Slot>,
+    /// `SessionId.0 → slot index`; kept consistent across `swap_remove`s.
+    index: HashMap<u64, usize>,
+    next_id: u64,
     pool: Arc<WorkerPool>,
+    policy: EvictionPolicy,
+    evicted: Vec<EvictedSession>,
     /// Health board shared with a running [`MetricsServer`], if
     /// [`FilterBank::serve_on`] was called. Republished after every batch.
     board: Option<Arc<server::HealthBoard>>,
 }
 
-impl<T: Scalar, G: GainStrategy<T>> Default for FilterBank<T, G> {
+impl Default for FilterBank {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
+impl FilterBank {
     /// Creates an empty bank on the process-wide [`WorkerPool::global`]
     /// pool (sized by `KALMMIND_THREADS`, falling back to
     /// `available_parallelism`).
@@ -364,23 +452,12 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
     /// touching the global instance.
     pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
         Self {
-            sessions: Vec::new(),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            next_id: 0,
             pool,
-            board: None,
-        }
-    }
-
-    /// Creates a bank owning `filters`, one session per filter, on the
-    /// process-wide pool.
-    pub fn from_filters(filters: Vec<KalmanFilter<T, G>>) -> Self {
-        Self::from_filters_with_pool(filters, Arc::clone(WorkerPool::global()))
-    }
-
-    /// Creates a bank owning `filters` on an explicit pool handle.
-    pub fn from_filters_with_pool(filters: Vec<KalmanFilter<T, G>>, pool: Arc<WorkerPool>) -> Self {
-        Self {
-            sessions: filters.into_iter().map(Session::new).collect(),
-            pool,
+            policy: EvictionPolicy::Keep,
+            evicted: Vec::new(),
             board: None,
         }
     }
@@ -390,95 +467,175 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
         &self.pool
     }
 
-    /// Adds a session for `filter` (with a freshly sized workspace).
-    pub fn push(&mut self, filter: KalmanFilter<T, G>) {
-        self.sessions.push(Session::new(filter));
+    /// Sets what happens to diverged/failed sessions after each batch.
+    pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Inserts an erased session, returning its stable id. The bank labels
+    /// the session's flight dumps with that id.
+    pub fn insert(&mut self, mut backend: Box<dyn SessionBackend>) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        backend.health_mut().set_label(id.0 as usize);
+        self.index.insert(id.0, self.slots.len());
+        self.slots.push(Slot {
+            id,
+            backend,
+            status: SessionStatus::Active,
+            steps_ok: 0,
+        });
+        id
+    }
+
+    /// Convenience: wraps `filter` in a [`FilterSession`] and inserts it.
+    pub fn insert_filter<T: Scalar, G: GainStrategy<T> + 'static>(
+        &mut self,
+        filter: KalmanFilter<T, G>,
+    ) -> SessionId {
+        self.insert(Box::new(FilterSession::new(filter)))
+    }
+
+    /// Removes the session `id`, returning its backend (with final state,
+    /// health, and telemetry intact). `None` if the bank does not hold
+    /// `id`. Other sessions keep their ids.
+    pub fn remove(&mut self, id: SessionId) -> Option<Box<dyn SessionBackend>> {
+        let i = self.index.get(&id.0).copied()?;
+        Some(self.remove_at(i).backend)
+    }
+
+    /// Removes every session, returning `(id, backend)` pairs in insertion
+    /// order of their slots.
+    pub fn drain(&mut self) -> Vec<(SessionId, Box<dyn SessionBackend>)> {
+        self.index.clear();
+        self.slots
+            .drain(..)
+            .map(|slot| (slot.id, slot.backend))
+            .collect()
+    }
+
+    /// Removes slot `i`, keeping the id index consistent.
+    fn remove_at(&mut self, i: usize) -> Slot {
+        let slot = self.slots.swap_remove(i);
+        self.index.remove(&slot.id.0);
+        if let Some(moved) = self.slots.get(i) {
+            self.index.insert(moved.id.0, i);
+        }
+        slot
+    }
+
+    /// Ids of all sessions currently in the bank, in ascending id order.
+    pub fn ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<_> = self.slots.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `true` while the bank holds session `id`.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.index.contains_key(&id.0)
     }
 
     /// Number of sessions.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.slots.len()
     }
 
     /// `true` when the bank has no sessions.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.slots.is_empty()
     }
 
     /// Number of sessions still active.
     pub fn active_count(&self) -> usize {
-        self.sessions
-            .iter()
-            .filter(|s| s.status.is_active())
-            .count()
+        self.slots.iter().filter(|s| s.status.is_active()).count()
     }
 
-    /// Status of session `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= self.len()`.
-    pub fn status(&self, i: usize) -> &SessionStatus {
-        &self.sessions[i].status
+    fn slot(&self, id: SessionId) -> Option<&Slot> {
+        self.index.get(&id.0).map(|&i| &self.slots[i])
     }
 
-    /// Current state of session `i` (frozen as of the failing step for a
+    /// Erased view of session `id`'s backend (state, dims, telemetry, …).
+    pub fn backend(&self, id: SessionId) -> Option<&dyn SessionBackend> {
+        self.slot(id).map(|s| &*s.backend)
+    }
+
+    /// Status of session `id`, or `None` if the bank does not hold it.
+    pub fn status(&self, id: SessionId) -> Option<&SessionStatus> {
+        self.slot(id).map(|s| &s.status)
+    }
+
+    /// Current state of session `id`, cast to `f64` at the boundary
+    /// (bit-exact for `f64` sessions; frozen as of the failing step for a
     /// failed session).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= self.len()`.
-    pub fn state(&self, i: usize) -> &KalmanState<T> {
-        self.sessions[i].filter.state()
+    pub fn state(&self, id: SessionId) -> Option<KalmanState<f64>> {
+        self.slot(id).map(|s| s.backend.state())
     }
 
-    /// Successful step count of session `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= self.len()`.
-    pub fn steps_ok(&self, i: usize) -> usize {
-        self.sessions[i].steps_ok
+    /// Successful step count of session `id`.
+    pub fn steps_ok(&self, id: SessionId) -> Option<usize> {
+        self.slot(id).map(|s| s.steps_ok)
     }
 
-    /// Numerical-health status of session `i` as assessed by its
-    /// [`HealthMonitor`]. Always [`HealthStatus::Healthy`] when the `obs`
-    /// feature is disabled (the monitor is never fed).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= self.len()`.
-    pub fn health(&self, i: usize) -> HealthStatus {
-        self.sessions[i].monitor.status()
+    /// Numerical-health status of session `id` as assessed by its backend's
+    /// [`HealthMonitor`](kalmmind::health::HealthMonitor). Always
+    /// [`HealthStatus::Healthy`] when the `obs` feature is disabled (the
+    /// monitor is never fed).
+    pub fn health(&self, id: SessionId) -> Option<HealthStatus> {
+        self.slot(id).map(|s| s.backend.health().status())
     }
 
-    /// Human-readable reason for session `i`'s current non-healthy status
+    /// Human-readable reason for session `id`'s current non-healthy status
     /// (empty while healthy).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= self.len()`.
-    pub fn health_reason(&self, i: usize) -> &str {
-        self.sessions[i].monitor.reason()
+    pub fn health_reason(&self, id: SessionId) -> Option<&str> {
+        self.slot(id).map(|s| s.backend.health().reason())
     }
 
-    /// The most recent flight-recorder JSON dump for session `i`, emitted
+    /// The most recent flight-recorder JSON dump for session `id`, emitted
     /// when it transitioned to Degraded, Diverged, or Failed. `None` while
-    /// the session has stayed healthy (and always `None` without `obs`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= self.len()`.
-    pub fn flight_record(&self, i: usize) -> Option<&str> {
-        self.sessions[i].flight_dump.as_deref()
+    /// the session has stayed healthy (and always `None` without `obs`) —
+    /// and `None` when the bank does not hold `id`.
+    pub fn flight_record(&self, id: SessionId) -> Option<&str> {
+        self.slot(id)
+            .and_then(|s| s.backend.health().flight_record())
+    }
+
+    /// The backend label of session `id` (`"software"`, `"accel-sim"`).
+    pub fn backend_name(&self, id: SessionId) -> Option<&'static str> {
+        self.slot(id).map(|s| s.backend.backend_name())
+    }
+
+    /// The element-type label of session `id` (`"f64"`, `"q16.16"`, …).
+    pub fn scalar_name(&self, id: SessionId) -> Option<&'static str> {
+        self.slot(id).map(|s| s.backend.scalar_name())
+    }
+
+    /// Modeled cost totals of session `id` (all zero for software
+    /// sessions).
+    pub fn telemetry(&self, id: SessionId) -> Option<SessionTelemetry> {
+        self.slot(id).map(|s| s.backend.telemetry())
+    }
+
+    /// Records of sessions removed by [`EvictionPolicy::EvictOnDiverge`]
+    /// since the last [`FilterBank::take_evictions`].
+    pub fn evictions(&self) -> &[EvictedSession] {
+        &self.evicted
+    }
+
+    /// Drains and returns the accumulated eviction records.
+    pub fn take_evictions(&mut self) -> Vec<EvictedSession> {
+        std::mem::take(&mut self.evicted)
     }
 
     /// `true` when any session is health-Diverged or parked as Failed —
     /// the same predicate `/healthz` uses to answer 503.
     pub fn any_diverged(&self) -> bool {
-        self.sessions
-            .iter()
-            .any(|s| !s.status.is_active() || s.monitor.status() == HealthStatus::Diverged)
+        self.slots.iter().any(|s| s.condemned())
     }
 
     /// Starts a metrics/health HTTP endpoint on `addr` (use port `0` for an
@@ -487,13 +644,16 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
     /// [`kalmmind_exec::spawn_service`] thread and serves:
     ///
     /// * `GET /metrics` — Prometheus text exposition of the process-wide
-    ///   registry,
+    ///   registry (including the per-backend and per-scalar bank step
+    ///   counters),
     /// * `GET /metrics.json` — the same registry as JSON,
-    /// * `GET /healthz` — per-session health; `503` while any session is
-    ///   diverged or failed.
+    /// * `GET /healthz` — per-session health keyed by stable [`SessionId`],
+    ///   with backend and scalar labels; `503` while any session is
+    ///   diverged or failed, and the body's `diverged` array names the
+    ///   offending ids.
     ///
     /// The bank republishes session health to the endpoint after every
-    /// [`FilterBank::step_all`] / [`FilterBank::run`] batch. Dropping the
+    /// [`FilterBank::step_batch`] / [`FilterBank::run`] batch. Dropping the
     /// returned server stops the thread and releases the port.
     ///
     /// # Errors
@@ -513,97 +673,121 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
     /// the serving thread, if one is attached.
     fn publish_health(&self) {
         if let Some(board) = &self.board {
-            board.publish(
-                self.sessions
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| s.health_snapshot(i))
-                    .collect(),
-            );
+            board.publish(self.slots.iter().map(|s| s.health_snapshot()).collect());
         }
     }
 
-    /// Steps every active session once; `zs[i]` is session `i`'s
-    /// measurement. Sessions that fail — or panic — are parked, not
-    /// propagated, and the returned report carries the batch wall time and
-    /// pool-utilization counters.
+    /// Builds the per-slot measurement assignment for a routed batch,
+    /// rejecting unknown and duplicated session ids.
+    fn route<'z, Z>(&self, batch: &'z [(SessionId, Z)]) -> Result<Vec<Option<&'z Z>>, KalmanError> {
+        let mut assign: Vec<Option<&'z Z>> = Vec::new();
+        assign.resize_with(self.slots.len(), || None);
+        for (id, z) in batch {
+            let i = *self.index.get(&id.0).ok_or(KalmanError::BadSession {
+                id: id.0,
+                reason: "unknown session id",
+            })?;
+            if assign[i].is_some() {
+                return Err(KalmanError::BadSession {
+                    id: id.0,
+                    reason: "duplicate measurement in one batch",
+                });
+            }
+            assign[i] = Some(z);
+        }
+        Ok(assign)
+    }
+
+    /// Steps each routed session once: `batch` pairs a [`SessionId`] with
+    /// its measurement (one `f64` per channel). Sessions not named in the
+    /// batch are not stepped; sessions that fail — or panic — are parked
+    /// (or evicted, per policy), not propagated. The returned report
+    /// carries the batch wall time and pool-utilization counters.
     ///
     /// # Errors
     ///
-    /// Returns [`KalmanError::BadVector`] when `zs.len()` differs from the
-    /// session count (the only whole-batch error; per-session failures are
-    /// recorded in each session's status).
-    pub fn step_all(&mut self, zs: &[Vector<T>]) -> Result<BankReport, KalmanError> {
-        if zs.len() != self.sessions.len() {
-            return Err(KalmanError::BadVector {
-                expected: self.sessions.len(),
-                actual: zs.len(),
-                what: "bank measurement batch",
-            });
-        }
-        Ok(self.dispatch(|session, i| session.step(i, &zs[i])))
+    /// Returns [`KalmanError::BadSession`] when `batch` names an id the
+    /// bank does not hold or routes two measurements to one session (the
+    /// only whole-batch errors; per-session failures are recorded in each
+    /// session's status).
+    pub fn step_batch(&mut self, batch: &[(SessionId, &[f64])]) -> Result<BankReport, KalmanError> {
+        let assign = self.route(batch)?;
+        Ok(self.dispatch(|slot, i| {
+            if let Some(&z) = assign[i] {
+                slot.step(z);
+            }
+        }))
     }
 
-    /// Runs session `i` over the whole measurement sequence `sequences[i]`,
-    /// all sessions in parallel, and reports aggregate throughput.
+    /// Runs each routed session over its whole measurement sequence, all
+    /// sessions in parallel, and reports aggregate throughput.
     ///
     /// Sequences may have different lengths; a session that fails mid-way
     /// skips the rest of its sequence.
     ///
     /// # Errors
     ///
-    /// Returns [`KalmanError::BadVector`] when `sequences.len()` differs
-    /// from the session count.
-    pub fn run(&mut self, sequences: &[Vec<Vector<T>>]) -> Result<BankReport, KalmanError> {
-        if sequences.len() != self.sessions.len() {
-            return Err(KalmanError::BadVector {
-                expected: self.sessions.len(),
-                actual: sequences.len(),
-                what: "bank measurement sequences",
-            });
-        }
-        Ok(self.dispatch(|session, i| {
-            for z in &sequences[i] {
-                if !session.status.is_active() {
-                    break;
+    /// Same contract as [`FilterBank::step_batch`].
+    pub fn run(
+        &mut self,
+        sequences: &[(SessionId, Vec<Vec<f64>>)],
+    ) -> Result<BankReport, KalmanError> {
+        let assign = self.route(sequences)?;
+        Ok(self.dispatch(|slot, i| {
+            if let Some(seq) = assign[i] {
+                for z in seq {
+                    if !slot.status.is_active() {
+                        break;
+                    }
+                    slot.step(z);
                 }
-                session.step(i, z);
             }
         }))
     }
 
-    /// Dispatches `f` over every session on the pool (dynamic one-session
+    /// Dispatches `f` over every slot on the pool (dynamic one-session
     /// claiming, zero thread spawns), converts caught panics into parked
-    /// [`SessionStatus::Failed`] sessions, and assembles the batch report.
-    fn dispatch(&mut self, f: impl Fn(&mut Session<T, G>, usize) + Sync) -> BankReport {
-        let before: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
+    /// [`SessionStatus::Failed`] sessions, applies the eviction policy, and
+    /// assembles the batch report.
+    fn dispatch(&mut self, f: impl Fn(&mut Slot, usize) + Sync) -> BankReport {
+        let sessions = self.slots.len();
+        let before: usize = self.slots.iter().map(|s| s.steps_ok).sum();
         let start = Instant::now();
-        let scope = self.pool.for_each_mut(&mut self.sessions, f);
+        let scope = self.pool.for_each_mut(&mut self.slots, f);
         let elapsed = start.elapsed();
         for p in &scope.panics {
-            let session = &mut self.sessions[p.index];
-            if session.status.is_active() {
+            let slot = &mut self.slots[p.index];
+            if slot.status.is_active() {
                 OBS_FAIL_PANIC.inc();
                 let reason = format!("panicked: {}", p.message);
-                session.fail_health(p.index, &reason);
-                session.status = SessionStatus::Failed {
-                    iteration: session.filter.iteration(),
+                let strategy = slot.backend.strategy_name();
+                let steps_total = slot.backend.iteration() as u64;
+                slot.backend
+                    .health_mut()
+                    .fail(&reason, strategy, steps_total);
+                slot.status = SessionStatus::Failed {
+                    iteration: slot.backend.iteration(),
                     reason,
                 };
             }
         }
+        // Count steps before eviction removes any slot, so a session that
+        // stepped this batch and was then evicted is not undercounted.
+        let after: usize = self.slots.iter().map(|s| s.steps_ok).sum();
+        let steps = after - before;
+        let evicted = self.apply_eviction_policy();
         self.publish_health();
-        let after: usize = self.sessions.iter().map(|s| s.steps_ok).sum();
         OBS_BATCHES.inc();
         OBS_BATCH_SECONDS.observe_duration(elapsed);
-        OBS_BANK_STEPS.add((after - before) as u64);
+        OBS_BANK_STEPS.add(steps as u64);
         let active = self.active_count();
         BankReport {
-            sessions: self.sessions.len(),
+            sessions,
             active_sessions: active,
-            failed_sessions: self.sessions.len() - active,
-            steps: after - before,
+            failed_sessions: self.slots.len() - active,
+            steps,
             elapsed,
+            evicted,
             pool: PoolUtilization {
                 threads: self.pool.threads(),
                 spawned_threads: self.pool.spawned_threads(),
@@ -612,18 +796,47 @@ impl<T: Scalar, G: GainStrategy<T>> FilterBank<T, G> {
             },
         }
     }
+
+    /// Removes condemned sessions when the policy says so, recording them.
+    fn apply_eviction_policy(&mut self) -> Vec<SessionId> {
+        if self.policy != EvictionPolicy::EvictOnDiverge {
+            return Vec::new();
+        }
+        let mut evicted_ids = Vec::new();
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].condemned() {
+                let slot = self.remove_at(i);
+                OBS_EVICTED.inc();
+                let reason = match &slot.status {
+                    SessionStatus::Failed { reason, .. } => reason.clone(),
+                    SessionStatus::Active => slot.backend.health().reason().to_string(),
+                };
+                evicted_ids.push(slot.id);
+                self.evicted.push(EvictedSession {
+                    id: slot.id,
+                    reason,
+                    flight_record: slot.backend.health().flight_record().map(String::from),
+                });
+                // `swap_remove` moved the former tail into slot `i`;
+                // re-examine it before advancing.
+            } else {
+                i += 1;
+            }
+        }
+        evicted_ids.sort_unstable();
+        evicted_ids
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kalmmind::gain::{GainContext, InverseGain};
+    use kalmmind::gain::{GainContext, InverseGain, SskfGain};
     use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
-    use kalmmind::{KalmMindConfig, KalmanModel};
-    use kalmmind_linalg::Matrix;
+    use kalmmind::KalmanModel;
+    use kalmmind_linalg::{Matrix, Vector};
 
-    /// The 2-state / 3-channel constant-velocity fixture used across the
-    /// workspace.
     fn model() -> KalmanModel<f64> {
         KalmanModel::new(
             Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
@@ -634,250 +847,356 @@ mod tests {
         .unwrap()
     }
 
-    fn measurement(t: usize, speed: f64) -> Vector<f64> {
-        let pos = 0.1 * speed * t as f64;
-        Vector::from_vec(vec![pos, speed, pos + speed])
-    }
-
-    fn interleaved_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    fn filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
         let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
         KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
     }
 
+    fn measurement(t: usize) -> Vec<f64> {
+        let pos = 0.1 * t as f64;
+        vec![pos, 1.0, pos + 1.0]
+    }
+
+    fn lockstep(ids: &[SessionId], zs: &[Vec<f64>]) -> Vec<(SessionId, Vec<Vec<f64>>)> {
+        ids.iter().map(|&id| (id, zs.to_vec())).collect()
+    }
+
+    fn batch_of<'z>(ids: &[SessionId], z: &'z [f64]) -> Vec<(SessionId, &'z [f64])> {
+        ids.iter().map(|&id| (id, z)).collect()
+    }
+
     #[test]
     fn bank_sessions_match_standalone_filters() {
-        // Four sessions tracking different speeds must evolve exactly like
-        // four standalone filters stepped serially — the pooled path is
-        // bit-identical to the serial reference.
-        let speeds = [0.5, 1.0, 1.5, 2.0];
-        let mut bank = FilterBank::from_filters(speeds.map(|_| interleaved_filter()).into());
-        let mut solos: Vec<_> = speeds.iter().map(|_| interleaved_filter()).collect();
-        for t in 0..30 {
-            let zs: Vec<_> = speeds.iter().map(|&v| measurement(t, v)).collect();
-            bank.step_all(&zs).unwrap();
-            for (solo, z) in solos.iter_mut().zip(&zs) {
-                solo.step(z).unwrap();
+        let mut bank = FilterBank::new();
+        let ids: Vec<_> = (0..4).map(|_| bank.insert_filter(filter())).collect();
+        let mut solo = filter();
+        for t in 0..5 {
+            let z = measurement(t);
+            let batch: Vec<_> = ids.iter().map(|&id| (id, z.as_slice())).collect();
+            let report = bank.step_batch(&batch).unwrap();
+            assert_eq!(report.sessions, 4);
+            assert_eq!(report.active_sessions, 4);
+            assert_eq!(report.steps, 4);
+            solo.step(&Vector::from_vec(z)).unwrap();
+        }
+        for &id in &ids {
+            let state = bank.state(id).unwrap();
+            // The erased f64 path is bit-identical to the concrete filter.
+            assert_eq!(state.x(), solo.state().x());
+            assert_eq!(state.p(), solo.state().p());
+            assert_eq!(bank.steps_ok(id), Some(5));
+            assert_eq!(bank.backend_name(id), Some("software"));
+            assert_eq!(bank.scalar_name(id), Some("f64"));
+        }
+    }
+
+    #[test]
+    fn session_ids_survive_removal_of_neighbors() {
+        let mut bank = FilterBank::new();
+        let ids: Vec<_> = (0..4).map(|_| bank.insert_filter(filter())).collect();
+        let z = measurement(0);
+        bank.step_batch(&batch_of(&ids, &z)).unwrap();
+
+        // Remove the first session; the others keep their ids and state.
+        let removed = bank.remove(ids[0]).expect("id 0 must be present");
+        assert_eq!(removed.iteration(), 1);
+        assert!(!bank.contains(ids[0]));
+        assert_eq!(bank.len(), 3);
+        for &id in &ids[1..] {
+            assert!(bank.contains(id));
+            assert_eq!(bank.steps_ok(id), Some(1));
+        }
+        // A stale id is absence, not a neighbor's data and not a panic.
+        assert_eq!(bank.state(ids[0]), None);
+        assert_eq!(bank.status(ids[0]), None);
+        assert!(bank.remove(ids[0]).is_none());
+
+        // Routing to a removed session is a whole-batch error.
+        let err = bank.step_batch(&batch_of(&ids, &z)).unwrap_err();
+        assert!(
+            matches!(err, KalmanError::BadSession { id, reason: "unknown session id" } if id == ids[0].as_u64())
+        );
+
+        // Ids are never reused: a new insert continues the sequence.
+        let fresh = bank.insert_filter(filter());
+        assert!(fresh > ids[3]);
+
+        // Drain empties the bank and hands the backends back.
+        let drained = bank.drain();
+        assert_eq!(drained.len(), 4);
+        assert!(bank.is_empty());
+        assert!(drained.iter().any(|(id, _)| *id == fresh));
+    }
+
+    #[test]
+    fn sessions_not_named_in_the_batch_are_not_stepped() {
+        let mut bank = FilterBank::new();
+        let ids: Vec<_> = (0..3).map(|_| bank.insert_filter(filter())).collect();
+        let z = measurement(0);
+        let report = bank.step_batch(&[(ids[1], z.as_slice())]).unwrap();
+        assert_eq!(report.steps, 1);
+        assert_eq!(bank.steps_ok(ids[0]), Some(0));
+        assert_eq!(bank.steps_ok(ids[1]), Some(1));
+        assert_eq!(bank.steps_ok(ids[2]), Some(0));
+    }
+
+    #[test]
+    fn duplicate_measurement_for_one_session_is_rejected() {
+        let mut bank = FilterBank::new();
+        let id = bank.insert_filter(filter());
+        let z = measurement(0);
+        let err = bank
+            .step_batch(&[(id, z.as_slice()), (id, z.as_slice())])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KalmanError::BadSession {
+                reason: "duplicate measurement in one batch",
+                ..
             }
-        }
-        for (i, solo) in solos.iter().enumerate() {
-            assert_eq!(bank.state(i).x(), solo.state().x(), "session {i}");
-            assert_eq!(bank.state(i).p(), solo.state().p(), "session {i}");
-            assert_eq!(bank.steps_ok(i), 30);
-        }
+        ));
+        // The rejected batch stepped nothing.
+        assert_eq!(bank.steps_ok(id), Some(0));
     }
 
     #[test]
     fn diverged_session_does_not_poison_the_batch() {
-        let mut bank = FilterBank::from_filters(vec![
-            interleaved_filter(),
-            interleaved_filter(),
-            interleaved_filter(),
-        ]);
-        // Warm up, then hit session 1 with a NaN measurement.
-        for t in 0..5 {
-            let zs = vec![measurement(t, 1.0); 3];
-            bank.step_all(&zs).unwrap();
+        let mut bank = FilterBank::new();
+        let ids: Vec<_> = (0..4).map(|_| bank.insert_filter(filter())).collect();
+        for t in 0..10 {
+            let good = measurement(t);
+            let poison = vec![f64::NAN, 1.0, 1.0];
+            let batch: Vec<(SessionId, &[f64])> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    if i == 1 && t >= 5 {
+                        (id, poison.as_slice())
+                    } else {
+                        (id, good.as_slice())
+                    }
+                })
+                .collect();
+            bank.step_batch(&batch).unwrap();
         }
-        let poison = Vector::from_vec(vec![f64::NAN, 1.0, 1.0]);
-        bank.step_all(&[measurement(5, 1.0), poison, measurement(5, 1.0)])
-            .unwrap();
-        assert_eq!(bank.active_count(), 2);
-        match bank.status(1) {
+        match bank.status(ids[1]).unwrap() {
             SessionStatus::Failed { iteration, reason } => {
                 assert_eq!(*iteration, 5);
                 assert!(reason.contains("non-finite"), "reason: {reason}");
             }
-            other => panic!("expected failure, got {other:?}"),
+            other => panic!("expected Failed, got {other:?}"),
         }
-        // The survivors keep stepping; the failed session is frozen.
-        for t in 6..10 {
-            let zs = vec![measurement(t, 1.0); 3];
-            bank.step_all(&zs).unwrap();
+        assert_eq!(bank.steps_ok(ids[1]), Some(5));
+        assert_eq!(bank.active_count(), 3);
+        assert!(bank.any_diverged());
+        for (i, &id) in ids.iter().enumerate() {
+            if i != 1 {
+                assert!(bank.status(id).unwrap().is_active());
+                assert_eq!(bank.steps_ok(id), Some(10));
+            }
         }
-        assert_eq!(bank.steps_ok(0), 10);
-        assert_eq!(bank.steps_ok(1), 5);
-        assert_eq!(bank.steps_ok(2), 10);
-        assert!(bank.state(0).x().all_finite());
     }
 
     #[test]
     fn erroring_strategy_is_isolated_too() {
-        // An untrained SSKF gain errors on its first step; the boxed-strategy
-        // bank must park it and keep the healthy sessions running.
-        let healthy = || {
-            let cfg = KalmMindConfig::builder()
-                .approx(2)
-                .calc_freq(4)
-                .build()
-                .unwrap();
-            KalmanFilter::with_config(model(), KalmanState::zeroed(2), &cfg).unwrap()
-        };
-        let broken: KalmanFilter<f64, Box<dyn GainStrategy<f64>>> = KalmanFilter::new(
+        let mut bank = FilterBank::new();
+        let healthy = bank.insert_filter(filter());
+        // An untrained SSKF gain errors on its first use.
+        let broken = bank.insert_filter(KalmanFilter::new(
             model(),
             KalmanState::zeroed(2),
-            Box::new(kalmmind::gain::SskfGain::new()) as Box<dyn GainStrategy<f64>>,
-        );
-        let mut bank = FilterBank::from_filters(vec![healthy(), broken, healthy()]);
-        let zs = vec![measurement(0, 1.0); 3];
-        bank.step_all(&zs).unwrap();
-        assert_eq!(bank.active_count(), 2);
-        match bank.status(1) {
-            SessionStatus::Failed {
-                iteration: 0,
-                reason,
-            } => {
-                assert!(reason.contains("sskf"), "reason: {reason}");
+            SskfGain::<f64>::new(),
+        ));
+        let z = measurement(0);
+        bank.step_batch(&batch_of(&[healthy, broken], &z)).unwrap();
+        assert!(bank.status(healthy).unwrap().is_active());
+        match bank.status(broken).unwrap() {
+            SessionStatus::Failed { reason, .. } => {
+                assert!(reason.contains("sskf"), "reason: {reason}")
             }
-            other => panic!("expected failure at iteration 0, got {other:?}"),
+            other => panic!("expected Failed, got {other:?}"),
         }
     }
 
-    /// A gain strategy that panics after a configurable number of calls —
-    /// the failure mode the pool's per-item `catch_unwind` must contain.
-    #[derive(Debug)]
-    struct PanickingGain {
-        calls_before_panic: usize,
-        calls: usize,
+    #[test]
+    fn wrong_measurement_length_parks_only_that_session() {
+        let mut bank = FilterBank::new();
+        let good = bank.insert_filter(filter());
+        let bad = bank.insert_filter(filter());
+        let z = measurement(0);
+        let short = vec![1.0];
+        bank.step_batch(&[(good, z.as_slice()), (bad, short.as_slice())])
+            .unwrap();
+        assert!(bank.status(good).unwrap().is_active());
+        match bank.status(bad).unwrap() {
+            SessionStatus::Failed { reason, .. } => {
+                assert!(reason.contains("length"), "reason: {reason}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
-    impl GainStrategy<f64> for PanickingGain {
-        fn gain(&mut self, _ctx: GainContext<'_, f64>) -> kalmmind::Result<Matrix<f64>> {
+    /// A gain that works for `calls_before_panic` calls, then panics.
+    #[derive(Debug)]
+    struct PanickingGain {
+        inner: InverseGain<InterleavedInverse<f64>>,
+        calls: usize,
+        calls_before_panic: usize,
+    }
+
+    impl PanickingGain {
+        fn new(calls_before_panic: usize) -> Self {
+            let strat =
+                InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+            Self {
+                inner: InverseGain::new(strat),
+                calls: 0,
+                calls_before_panic,
+            }
+        }
+    }
+
+    impl kalmmind::gain::GainStrategy<f64> for PanickingGain {
+        fn gain(&mut self, ctx: GainContext<'_, f64>) -> kalmmind::Result<Matrix<f64>> {
             self.calls += 1;
             if self.calls > self.calls_before_panic {
-                panic!("synthetic gain panic on call {}", self.calls);
+                panic!("injected gain panic");
             }
-            Ok(Matrix::zeros(2, 3))
+            self.inner.gain(ctx)
         }
 
         fn name(&self) -> &'static str {
-            "panicking-test-gain"
+            "panicking"
         }
 
         fn reset(&mut self) {
-            self.calls = 0;
+            self.inner.reset();
         }
     }
 
     #[test]
     fn panicking_session_is_parked_and_the_rest_stay_active() {
-        let healthy = || {
-            let cfg = KalmMindConfig::builder()
-                .approx(2)
-                .calc_freq(4)
-                .build()
-                .unwrap();
-            KalmanFilter::with_config(model(), KalmanState::zeroed(2), &cfg).unwrap()
-        };
-        let ticking: KalmanFilter<f64, Box<dyn GainStrategy<f64>>> = KalmanFilter::new(
-            model(),
-            KalmanState::zeroed(2),
-            Box::new(PanickingGain {
-                calls_before_panic: 2,
-                calls: 0,
-            }) as Box<dyn GainStrategy<f64>>,
-        );
-        let mut bank = FilterBank::from_filters(vec![healthy(), ticking, healthy(), healthy()]);
-        // Two clean batches, then the panic fires inside the pool.
+        let mut bank = FilterBank::new();
+        let ids = vec![
+            bank.insert_filter(filter()),
+            bank.insert_filter(KalmanFilter::new(
+                model(),
+                KalmanState::zeroed(2),
+                PanickingGain::new(2),
+            )),
+            bank.insert_filter(filter()),
+            bank.insert_filter(filter()),
+        ];
         for t in 0..5 {
-            let zs = vec![measurement(t, 1.0); 4];
-            let report = bank.step_all(&zs).unwrap();
-            assert_eq!(report.sessions, 4);
+            let z = measurement(t);
+            bank.step_batch(&batch_of(&ids, &z)).unwrap();
         }
-        assert_eq!(bank.active_count(), 3, "only the panicking session parks");
-        match bank.status(1) {
+        let steps: Vec<_> = ids.iter().map(|&id| bank.steps_ok(id).unwrap()).collect();
+        assert_eq!(steps, vec![5, 2, 5, 5]);
+        match bank.status(ids[1]).unwrap() {
             SessionStatus::Failed { iteration, reason } => {
                 assert_eq!(*iteration, 2);
                 assert!(reason.contains("panicked"), "reason: {reason}");
-                assert!(reason.contains("synthetic gain panic"), "reason: {reason}");
+                assert!(reason.contains("injected gain panic"), "reason: {reason}");
             }
-            other => panic!("expected parked panic, got {other:?}"),
+            other => panic!("expected Failed, got {other:?}"),
         }
-        for (i, expected) in [(0usize, 5usize), (1, 2), (2, 5), (3, 5)] {
-            assert_eq!(bank.steps_ok(i), expected, "session {i}");
-        }
-        for i in [0usize, 2, 3] {
-            assert!(bank.status(i).is_active(), "session {i} must stay Active");
-        }
+        assert_eq!(bank.active_count(), 3);
+    }
+
+    #[test]
+    fn evict_on_diverge_removes_the_condemned_session() {
+        let mut bank = FilterBank::new();
+        bank.set_eviction_policy(EvictionPolicy::EvictOnDiverge);
+        let ids: Vec<_> = (0..3).map(|_| bank.insert_filter(filter())).collect();
+        let poison = vec![f64::NAN, 1.0, 1.0];
+        let z = measurement(0);
+        let report = bank
+            .step_batch(&[
+                (ids[0], z.as_slice()),
+                (ids[1], poison.as_slice()),
+                (ids[2], z.as_slice()),
+            ])
+            .unwrap();
+        assert_eq!(report.evicted, vec![ids[1]]);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.contains(ids[1]));
+        assert!(bank.contains(ids[0]) && bank.contains(ids[2]));
+        assert!(!bank.any_diverged());
+        // The eviction record preserves the failure reason.
+        let records = bank.take_evictions();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, ids[1]);
+        assert!(records[0].reason.contains("non-finite"));
+        assert!(bank.evictions().is_empty());
+        // The evicted session's step still counted in the batch report.
+        assert_eq!(report.steps, 2);
     }
 
     #[test]
     fn steady_state_stepping_spawns_zero_threads() {
         let pool = Arc::new(WorkerPool::new(4));
-        let mut bank = FilterBank::from_filters_with_pool(
-            (0..8).map(|_| interleaved_filter()).collect::<Vec<_>>(),
-            Arc::clone(&pool),
-        );
-        // Warm-up batch, then measure: the process-wide spawn counter must
-        // not move across 100 steady-state batches.
-        bank.step_all(&vec![measurement(0, 1.0); 8]).unwrap();
-        let spawned = kalmmind_exec::total_spawned_threads();
-        let dispatches = pool.counters().dispatches;
-        for t in 1..=100 {
-            let report = bank.step_all(&vec![measurement(t, 1.0); 8]).unwrap();
+        assert_eq!(pool.spawned_threads(), 3);
+        let mut bank = FilterBank::with_pool(Arc::clone(&pool));
+        let ids: Vec<_> = (0..8).map(|_| bank.insert_filter(filter())).collect();
+        let dispatches_before = pool.counters().dispatches;
+        for t in 0..100 {
+            let z = measurement(t);
+            let report = bank.step_batch(&batch_of(&ids, &z)).unwrap();
             assert_eq!(report.pool.spawned_threads, 3);
             assert_eq!(report.pool.worker_sessions + report.pool.inline_sessions, 8);
         }
-        assert_eq!(
-            kalmmind_exec::total_spawned_threads(),
-            spawned,
-            "steady-state step_all must not spawn threads"
-        );
-        assert_eq!(pool.counters().dispatches, dispatches + 100);
-        assert_eq!(bank.active_count(), 8);
+        assert_eq!(pool.spawned_threads(), 3, "steady state must not spawn");
+        assert_eq!(pool.counters().dispatches, dispatches_before + 100);
     }
 
     #[test]
     fn run_reports_aggregate_throughput() {
-        let mut bank =
-            FilterBank::from_filters((0..4).map(|_| interleaved_filter()).collect::<Vec<_>>());
-        let sequences: Vec<Vec<Vector<f64>>> = (0..4)
-            .map(|_| (0..50).map(|t| measurement(t, 1.0)).collect())
-            .collect();
-        let report = bank.run(&sequences).unwrap();
-        assert_eq!(report.sessions, 4);
-        assert_eq!(report.active_sessions, 4);
-        assert_eq!(report.failed_sessions, 0);
+        let mut bank = FilterBank::new();
+        let ids: Vec<_> = (0..4).map(|_| bank.insert_filter(filter())).collect();
+        let zs: Vec<Vec<f64>> = (0..50).map(measurement).collect();
+        let report = bank.run(&lockstep(&ids, &zs)).unwrap();
         assert_eq!(report.steps, 200);
+        assert_eq!(report.active_sessions, 4);
         assert!(report.throughput() > 0.0);
-        assert!(report.pool.threads >= 1);
-        assert_eq!(
-            report.pool.worker_sessions + report.pool.inline_sessions,
-            4,
-            "each session is one pool item in a run dispatch"
-        );
+        for &id in &ids {
+            assert_eq!(bank.steps_ok(id), Some(50));
+        }
     }
 
     #[test]
-    fn batch_shape_mismatch_is_a_whole_batch_error() {
-        let mut bank = FilterBank::from_filters(vec![interleaved_filter()]);
-        let err = bank.step_all(&[]).unwrap_err();
-        assert!(matches!(
-            err,
-            KalmanError::BadVector {
-                expected: 1,
-                actual: 0,
-                ..
-            }
-        ));
-        let err = bank.run(&[]).unwrap_err();
-        assert!(matches!(
-            err,
-            KalmanError::BadVector {
-                expected: 1,
-                actual: 0,
-                ..
-            }
-        ));
-        assert!(!bank.is_empty());
-        assert_eq!(bank.len(), 1);
+    fn zero_duration_batch_reports_zero_throughput() {
+        // Regression: a timer too coarse to resolve a trivial batch used to
+        // make throughput() return +inf, which poisons JSON serialization
+        // and any downstream averaging.
+        let report = BankReport {
+            sessions: 1,
+            active_sessions: 1,
+            failed_sessions: 0,
+            steps: 5,
+            elapsed: Duration::ZERO,
+            evicted: Vec::new(),
+            pool: PoolUtilization {
+                threads: 1,
+                spawned_threads: 0,
+                worker_sessions: 0,
+                inline_sessions: 1,
+            },
+        };
+        assert_eq!(report.throughput(), 0.0);
+        assert!(report.throughput().is_finite());
     }
 
     #[test]
     fn empty_bank_is_fine() {
-        let mut bank: FilterBank<f64, Box<dyn GainStrategy<f64>>> = FilterBank::new();
+        let mut bank = FilterBank::new();
         assert!(bank.is_empty());
-        bank.step_all(&[]).unwrap();
+        assert_eq!(bank.ids(), Vec::new());
+        let report = bank.step_batch(&[]).unwrap();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.steps, 0);
         let report = bank.run(&[]).unwrap();
         assert_eq!(report.steps, 0);
+        assert!(!bank.any_diverged());
     }
 }

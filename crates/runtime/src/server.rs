@@ -39,10 +39,14 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// One session's health as published to the endpoint after a batch.
 #[derive(Debug, Clone)]
 pub struct SessionHealthSnapshot {
-    /// Index of the session in its bank.
-    pub session: usize,
+    /// Stable [`SessionId`](crate::SessionId) of the session in its bank.
+    pub id: u64,
     /// Lowercase health: `healthy`, `degraded`, `diverged`, or `failed`.
     pub status: String,
+    /// Executing backend label (`software`, `accel-sim`).
+    pub backend: String,
+    /// Element-type label (`f64`, `f32`, `q16.16`, `q32.32`).
+    pub scalar: String,
     /// Successful steps so far.
     pub steps_ok: usize,
     /// Reason for the current non-healthy status (empty when healthy).
@@ -62,28 +66,43 @@ impl HealthBoard {
 
     fn healthz(&self) -> (u16, String) {
         let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        let bad = sessions
+        // A session is an outage when it is diverged or failed; the body's
+        // `diverged` array names the offending stable ids so a supervisor
+        // can evict or restart exactly the right sessions.
+        let bad: Vec<u64> = sessions
             .iter()
-            .any(|s| s.status == "diverged" || s.status == "failed");
-        let mut body = String::with_capacity(64 + sessions.len() * 96);
+            .filter(|s| s.status == "diverged" || s.status == "failed")
+            .map(|s| s.id)
+            .collect();
+        let mut body = String::with_capacity(96 + sessions.len() * 128);
         body.push_str(&format!(
-            "{{\"status\":\"{}\",\"sessions\":[",
-            if bad { "diverged" } else { "ok" }
+            "{{\"status\":\"{}\",\"diverged\":[",
+            if bad.is_empty() { "ok" } else { "diverged" }
         ));
+        for (i, id) in bad.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&id.to_string());
+        }
+        body.push_str("],\"sessions\":[");
         for (i, s) in sessions.iter().enumerate() {
             if i > 0 {
                 body.push(',');
             }
             body.push_str(&format!(
-                "{{\"session\":{},\"status\":\"{}\",\"steps_ok\":{},\"reason\":\"{}\"}}",
-                s.session,
+                "{{\"session\":{},\"status\":\"{}\",\"backend\":\"{}\",\"scalar\":\"{}\",\
+                 \"steps_ok\":{},\"reason\":\"{}\"}}",
+                s.id,
                 json_escape(&s.status),
+                json_escape(&s.backend),
+                json_escape(&s.scalar),
                 s.steps_ok,
                 json_escape(&s.reason),
             ));
         }
         body.push_str("]}");
-        (if bad { 503 } else { 200 }, body)
+        (if bad.is_empty() { 200 } else { 503 }, body)
     }
 }
 
@@ -261,8 +280,10 @@ mod tests {
     fn routes_respond_with_expected_codes() {
         let board = Arc::new(HealthBoard::default());
         board.publish(vec![SessionHealthSnapshot {
-            session: 0,
+            id: 0,
             status: "healthy".into(),
+            backend: "software".into(),
+            scalar: "f64".into(),
             steps_ok: 3,
             reason: String::new(),
         }]);
@@ -277,6 +298,9 @@ mod tests {
         let (code, body) = get(addr, "/healthz");
         assert_eq!(code, 200);
         assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+        assert!(body.contains("\"diverged\":[]"), "body: {body}");
+        assert!(body.contains("\"backend\":\"software\""), "body: {body}");
+        assert!(body.contains("\"scalar\":\"f64\""), "body: {body}");
         obs::validate::validate_json(&body).expect("healthz must be valid JSON");
         let (code, _) = get(addr, "/nope");
         assert_eq!(code, 404);
@@ -290,14 +314,18 @@ mod tests {
         let board = Arc::new(HealthBoard::default());
         board.publish(vec![
             SessionHealthSnapshot {
-                session: 0,
+                id: 0,
                 status: "healthy".into(),
+                backend: "software".into(),
+                scalar: "f64".into(),
                 steps_ok: 10,
                 reason: String::new(),
             },
             SessionHealthSnapshot {
-                session: 1,
+                id: 7,
                 status: "diverged".into(),
+                backend: "accel-sim".into(),
+                scalar: "q16.16".into(),
                 steps_ok: 7,
                 reason: "window-mean NIS beyond bound".into(),
             },
@@ -306,13 +334,18 @@ mod tests {
         let (code, body) = get(server.addr(), "/healthz");
         assert_eq!(code, 503);
         assert!(body.contains("\"status\":\"diverged\""), "body: {body}");
+        // The 503 body names the diverged session by its stable id.
+        assert!(body.contains("\"diverged\":[7]"), "body: {body}");
+        assert!(body.contains("\"scalar\":\"q16.16\""), "body: {body}");
         assert!(body.contains("NIS"), "body: {body}");
         obs::validate::validate_json(&body).expect("healthz must stay valid JSON");
 
         // Recovery is visible too (degraded alone is not an outage).
         board.publish(vec![SessionHealthSnapshot {
-            session: 0,
+            id: 0,
             status: "degraded".into(),
+            backend: "software".into(),
+            scalar: "f64".into(),
             steps_ok: 11,
             reason: "cond(S) above bound".into(),
         }]);

@@ -1,0 +1,98 @@
+//! Golden-bit proof that the erased session layer is free.
+//!
+//! The `SessionBackend` boundary converts measurements with
+//! `Scalar::from_f64` and states with `Scalar::to_f64` — both identities
+//! for `f64` — and dispatches steps through one virtual call. Neither may
+//! perturb the arithmetic: a homogeneous-`f64` bank must land on exactly
+//! the bits the concrete pre-refactor filter produced. The constants below
+//! are the same golden trajectory pinned in
+//! `crates/core/tests/obs_invariance.rs` (recorded from the uninstrumented,
+//! un-erased filter), and CI runs this test under `--no-default-features`,
+//! default, and `--features obs` — every leg must agree.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState, SessionBackend};
+use kalmmind_linalg::Matrix;
+use kalmmind_runtime::FilterBank;
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace.
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn measurement(t: usize) -> Vec<f64> {
+    let pos = 0.1 * t as f64;
+    vec![pos, 1.0, pos + 1.0]
+}
+
+fn filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
+}
+
+// Recorded from the pre-erasure, uninstrumented filter (identical constants
+// to crates/core/tests/obs_invariance.rs). The f64 path uses only +, -, *,
+// / (no libm, no FMA contraction), so these bits are deterministic across
+// optimization levels and IEEE-754 platforms.
+const GOLDEN_INTERLEAVED_X: [u64; 2] = [0x4019332e570fce35, 0x3ff0000baab7c516];
+const GOLDEN_INTERLEAVED_P: [u64; 4] = [
+    0x3f8485ec7efae7d2,
+    0x3f56e985fab9d774,
+    0x3f56e985fab9d774,
+    0x3f816616a51d7e93,
+];
+
+fn assert_golden(state: &KalmanState<f64>) {
+    let x: Vec<u64> = (0..2).map(|i| state.x()[i].to_bits()).collect();
+    let p: Vec<u64> = (0..2)
+        .flat_map(|i| (0..2).map(move |j| (i, j)))
+        .map(|(i, j)| state.p()[(i, j)].to_bits())
+        .collect();
+    assert_eq!(x, GOLDEN_INTERLEAVED_X, "state bits drifted");
+    assert_eq!(p, GOLDEN_INTERLEAVED_P, "covariance bits drifted");
+}
+
+#[test]
+fn erased_session_lands_on_the_concrete_filter_bits() {
+    // One boxed session, stepped directly through the dyn boundary.
+    let mut session: Box<dyn SessionBackend> = Box::new(FilterSession::new(filter()));
+    for t in 0..64 {
+        session.step(&measurement(t)).expect("step");
+    }
+    assert_golden(&session.state());
+}
+
+#[test]
+fn homogeneous_f64_bank_lands_on_the_concrete_filter_bits() {
+    // A whole bank of identical f64 sessions, stepped through the routed
+    // pool path: every session must land on the same pre-refactor bits.
+    let mut bank = FilterBank::new();
+    let ids: Vec<_> = (0..4).map(|_| bank.insert_filter(filter())).collect();
+    for t in 0..64 {
+        let z = measurement(t);
+        let batch: Vec<_> = ids.iter().map(|&id| (id, z.as_slice())).collect();
+        bank.step_batch(&batch).expect("batch");
+    }
+    for &id in &ids {
+        assert_golden(&bank.state(id).expect("session present"));
+        assert_eq!(bank.steps_ok(id), Some(64));
+    }
+}
+
+#[test]
+fn run_path_lands_on_the_same_bits() {
+    // The sequence-at-a-time path shares the golden trajectory too.
+    let mut bank = FilterBank::new();
+    let id = bank.insert_filter(filter());
+    let zs: Vec<Vec<f64>> = (0..64).map(measurement).collect();
+    bank.run(&[(id, zs)]).expect("run");
+    assert_golden(&bank.state(id).expect("session present"));
+}

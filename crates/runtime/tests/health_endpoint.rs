@@ -7,7 +7,8 @@
 //! must (1) transition that session's health to Diverged while its healthy
 //! neighbor stays Healthy, (2) emit a flight-recorder dump that round-trips
 //! the structured-output validator, and (3) flip the live `/healthz`
-//! endpoint to 503 while `/metrics` and `/metrics.json` stay scrapeable.
+//! endpoint to 503 — naming the diverged session's stable id in the body —
+//! while `/metrics` and `/metrics.json` stay scrapeable.
 #![cfg(feature = "obs")]
 
 use std::io::{Read, Write};
@@ -16,9 +17,9 @@ use std::net::{SocketAddr, TcpStream};
 use kalmmind::gain::InverseGain;
 use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
 use kalmmind::{HealthStatus, KalmanFilter, KalmanModel, KalmanState};
-use kalmmind_linalg::{Matrix, Vector};
+use kalmmind_linalg::Matrix;
 use kalmmind_obs::validate::{validate_flight_record, validate_json, validate_prometheus};
-use kalmmind_runtime::FilterBank;
+use kalmmind_runtime::{FilterBank, SessionId};
 
 /// The 2-state / 3-channel constant-velocity fixture used across the
 /// workspace.
@@ -32,16 +33,16 @@ fn model() -> KalmanModel<f64> {
     .unwrap()
 }
 
-fn measurement(t: usize, speed: f64) -> Vector<f64> {
+fn measurement(t: usize, speed: f64) -> Vec<f64> {
     let pos = 0.1 * speed * t as f64;
-    Vector::from_vec(vec![pos, speed, pos + speed])
+    vec![pos, speed, pos + speed]
 }
 
 /// A measurement the model cannot explain: ±1000 jumps flipping sign every
 /// step, so the innovation (and with it the NIS) explodes.
-fn hostile_measurement(t: usize) -> Vector<f64> {
+fn hostile_measurement(t: usize) -> Vec<f64> {
     let jump = if t.is_multiple_of(2) { 1000.0 } else { -1000.0 };
-    Vector::from_vec(vec![jump, -jump, jump])
+    vec![jump, -jump, jump]
 }
 
 fn filter(
@@ -51,6 +52,11 @@ fn filter(
 ) -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
     let strat = InterleavedInverse::new(CalcMethod::Gauss, approx, calc_freq, policy);
     KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
+}
+
+fn step2(bank: &mut FilterBank, ids: &[SessionId; 2], z0: Vec<f64>, z1: Vec<f64>) {
+    bank.step_batch(&[(ids[0], z0.as_slice()), (ids[1], z1.as_slice())])
+        .unwrap();
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -78,21 +84,21 @@ fn diverging_session_dumps_flight_record_and_flips_healthz() {
     // Session 0: exact calculation every step (never on the Newton path, so
     // its health stays spotless even through the startup transient).
     // Session 1: the hostile corner.
-    let mut bank = FilterBank::from_filters(vec![
-        filter(2, 1, SeedPolicy::LastCalculated),
-        filter(1, 0, SeedPolicy::PreviousIteration),
-    ]);
+    let mut bank = FilterBank::new();
+    let ids = [
+        bank.insert_filter(filter(2, 1, SeedPolicy::LastCalculated)),
+        bank.insert_filter(filter(1, 0, SeedPolicy::PreviousIteration)),
+    ];
     let mut server = bank.serve_on("127.0.0.1:0").expect("bind ephemeral port");
     let addr = server.addr();
 
     // Warm up past the NIS window with consistent measurements: both
     // sessions must be plain Healthy and the endpoint must answer 200.
     for t in 0..40 {
-        bank.step_all(&[measurement(t, 1.0), measurement(t, 0.5)])
-            .unwrap();
+        step2(&mut bank, &ids, measurement(t, 1.0), measurement(t, 0.5));
     }
-    assert_eq!(bank.health(0), HealthStatus::Healthy);
-    assert_eq!(bank.health(1), HealthStatus::Healthy);
+    assert_eq!(bank.health(ids[0]), Some(HealthStatus::Healthy));
+    assert_eq!(bank.health(ids[1]), Some(HealthStatus::Healthy));
     assert!(!bank.any_diverged());
     let (code, body) = get(addr, "/healthz");
     assert_eq!(code, 200, "warm bank must be healthy: {body}");
@@ -100,44 +106,52 @@ fn diverging_session_dumps_flight_record_and_flips_healthz() {
     // Hammer session 1 with unexplainable jumps. The window-mean NIS blows
     // through the diverged bound within a handful of steps.
     for t in 40..46 {
-        bank.step_all(&[measurement(t, 1.0), hostile_measurement(t)])
-            .unwrap();
+        step2(&mut bank, &ids, measurement(t, 1.0), hostile_measurement(t));
     }
-    assert_eq!(bank.health(0), HealthStatus::Healthy, "neighbor unharmed");
     assert_eq!(
-        bank.health(1),
-        HealthStatus::Diverged,
+        bank.health(ids[0]),
+        Some(HealthStatus::Healthy),
+        "neighbor unharmed"
+    );
+    assert_eq!(
+        bank.health(ids[1]),
+        Some(HealthStatus::Diverged),
         "reason: {}",
-        bank.health_reason(1)
+        bank.health_reason(ids[1]).unwrap()
     );
     assert!(bank.any_diverged());
     assert!(
-        bank.health_reason(1).contains("NIS"),
+        bank.health_reason(ids[1]).unwrap().contains("NIS"),
         "reason: {}",
-        bank.health_reason(1)
+        bank.health_reason(ids[1]).unwrap()
     );
     // The session itself is still Active (finite state, no error) — health
     // divergence is a verdict about consistency, not a crash.
-    assert!(bank.status(1).is_active());
-    assert!(bank.state(1).x().all_finite());
+    assert!(bank.status(ids[1]).unwrap().is_active());
+    assert!(bank.state(ids[1]).unwrap().x().all_finite());
 
     // The flight recorder dumped on the transition and the dump round-trips
     // the validator.
-    let dump = bank.flight_record(1).expect("divergence must dump");
+    let dump = bank.flight_record(ids[1]).expect("divergence must dump");
     let summary = validate_flight_record(dump).expect("dump must validate");
-    assert_eq!(summary.session, 1);
+    assert_eq!(summary.session, ids[1].as_u64() as usize);
     assert_eq!(summary.status, "diverged");
     assert!(summary.snapshots > 0, "ring must hold snapshots");
     assert!(
-        bank.flight_record(0).is_none(),
+        bank.flight_record(ids[0]).is_none(),
         "healthy session must not dump"
     );
 
-    // The endpoint reflects the verdict: /healthz flips to 503 while the
-    // metrics routes stay scrapeable and valid.
+    // The endpoint reflects the verdict: /healthz flips to 503, names the
+    // diverged session by its stable id, and the metrics routes stay
+    // scrapeable and valid.
     let (code, body) = get(addr, "/healthz");
     assert_eq!(code, 503, "body: {body}");
     assert!(body.contains("\"status\":\"diverged\""), "body: {body}");
+    assert!(
+        body.contains(&format!("\"diverged\":[{}]", ids[1])),
+        "503 body must name the diverged session id: {body}"
+    );
     validate_json(&body).expect("healthz body must stay valid JSON");
 
     let (code, text) = get(addr, "/metrics");
@@ -147,6 +161,10 @@ fn diverging_session_dumps_flight_record_and_flips_healthz() {
     assert!(
         text.contains("kf_health_transitions_total"),
         "transition counters must be exported"
+    );
+    assert!(
+        text.contains("bank_scalar_steps_total"),
+        "per-scalar step counters must be exported"
     );
 
     let (code, json) = get(addr, "/metrics.json");
@@ -159,17 +177,19 @@ fn diverging_session_dumps_flight_record_and_flips_healthz() {
 
 #[test]
 fn failed_session_reports_failed_status_and_dumps() {
-    let mut bank = FilterBank::from_filters(vec![filter(2, 4, SeedPolicy::LastCalculated)]);
+    let mut bank = FilterBank::new();
+    let id = bank.insert_filter(filter(2, 4, SeedPolicy::LastCalculated));
     for t in 0..5 {
-        bank.step_all(&[measurement(t, 1.0)]).unwrap();
+        bank.step_batch(&[(id, measurement(t, 1.0).as_slice())])
+            .unwrap();
     }
     // A NaN measurement kills the session outright: health latches Diverged,
     // the dump is labeled `failed`, and /healthz (attached late) sees it.
-    bank.step_all(&[Vector::from_vec(vec![f64::NAN, 1.0, 1.0])])
+    bank.step_batch(&[(id, [f64::NAN, 1.0, 1.0].as_slice())])
         .unwrap();
-    assert!(!bank.status(0).is_active());
-    assert_eq!(bank.health(0), HealthStatus::Diverged);
-    let summary = validate_flight_record(bank.flight_record(0).expect("failure must dump"))
+    assert!(!bank.status(id).unwrap().is_active());
+    assert_eq!(bank.health(id), Some(HealthStatus::Diverged));
+    let summary = validate_flight_record(bank.flight_record(id).expect("failure must dump"))
         .expect("dump must validate");
     assert_eq!(summary.status, "failed");
 
@@ -177,4 +197,8 @@ fn failed_session_reports_failed_status_and_dumps() {
     let (code, body) = get(server.addr(), "/healthz");
     assert_eq!(code, 503, "body: {body}");
     assert!(body.contains("\"status\":\"failed\""), "body: {body}");
+    assert!(
+        body.contains(&format!("\"diverged\":[{id}]")),
+        "body: {body}"
+    );
 }

@@ -1,0 +1,257 @@
+//! Acceptance drill for the heterogeneous bank: one `FilterBank` holding an
+//! `f64` software session, a `Q16.16` fixed-point session, and an
+//! accelerator-model session side by side, stepped concurrently on the
+//! worker pool; session churn (insert/remove) under load; and — in obs
+//! builds — the evict-on-diverge supervisor firing on the hostile
+//! `calc_freq = 0` / `approx = 1` configuration.
+
+use std::sync::Arc;
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_accel::registers::AcceleratorConfig;
+use kalmmind_accel::session::AccelSession;
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_exec::WorkerPool;
+use kalmmind_fixed::Q16_16;
+use kalmmind_linalg::{Scalar, Vector};
+#[cfg(feature = "obs")]
+use kalmmind_runtime::EvictionPolicy;
+use kalmmind_runtime::{FilterBank, SessionId};
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace.
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        kalmmind_linalg::Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        kalmmind_linalg::Matrix::identity(2).scale(1e-3),
+        kalmmind_linalg::Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        kalmmind_linalg::Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn measurement(t: usize) -> Vec<f64> {
+    let pos = 0.1 * t as f64;
+    vec![pos, 1.0, pos + 1.0]
+}
+
+fn filter<T: Scalar>() -> KalmanFilter<T, InverseGain<InterleavedInverse<T>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        model().cast(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+#[test]
+fn mixed_backends_step_concurrently_and_match_their_references() {
+    const STEPS: usize = 25;
+    let pool = Arc::new(WorkerPool::new(4));
+    let mut bank = FilterBank::with_pool(pool);
+
+    let soft_f64 = bank.insert_filter(filter::<f64>());
+    let soft_q16 = bank.insert_filter(filter::<Q16_16>());
+    // Two accelerator-model sessions: the FP32 flagship and the Q16.16
+    // fixed-point design, both cycle/energy accounted.
+    let sim_fp = AccelSim::new(kalmmind_accel::design::catalog::gauss_newton());
+    let sim_fx = AccelSim::new(kalmmind_accel::design::catalog::gauss_newton_fx32());
+    let config = AcceleratorConfig::for_iterations(2, 3, STEPS);
+    let accel_fp = bank
+        .insert(AccelSession::erased(&sim_fp, &model(), &KalmanState::zeroed(2), &config).unwrap());
+    let accel_fx = bank
+        .insert(AccelSession::erased(&sim_fx, &model(), &KalmanState::zeroed(2), &config).unwrap());
+    let ids = [soft_f64, soft_q16, accel_fp, accel_fx];
+
+    for t in 0..STEPS {
+        let z = measurement(t);
+        let batch: Vec<_> = ids.iter().map(|&id| (id, z.as_slice())).collect();
+        let report = bank.step_batch(&batch).unwrap();
+        assert_eq!(report.steps, 4);
+        assert_eq!(report.active_sessions, 4);
+        assert_eq!(report.pool.spawned_threads, 3, "no spawns under load");
+    }
+
+    // Labels expose the heterogeneity.
+    assert_eq!(bank.backend_name(soft_f64), Some("software"));
+    assert_eq!(bank.scalar_name(soft_f64), Some("f64"));
+    assert_eq!(bank.scalar_name(soft_q16), Some("q16.16"));
+    assert_eq!(bank.backend_name(accel_fp), Some("accel-sim"));
+    assert_eq!(bank.scalar_name(accel_fp), Some("f32"));
+    assert_eq!(bank.scalar_name(accel_fx), Some("q16.16"));
+
+    // The f64 session is bit-identical to the standalone filter.
+    let mut solo = filter::<f64>();
+    for t in 0..STEPS {
+        solo.step(&Vector::from_vec(measurement(t))).unwrap();
+    }
+    let state = bank.state(soft_f64).unwrap();
+    assert_eq!(state.x(), solo.state().x());
+    assert_eq!(state.p(), solo.state().p());
+
+    // The accelerator sessions reproduce the offline simulator exactly.
+    for (id, sim) in [(accel_fp, &sim_fp), (accel_fx, &sim_fx)] {
+        let zs: Vec<Vector<f64>> = (0..STEPS)
+            .map(|t| Vector::from_vec(measurement(t)))
+            .collect();
+        let report = sim
+            .run(&model(), &KalmanState::zeroed(2), &zs, &config)
+            .unwrap();
+        let state = bank.state(id).unwrap();
+        assert_eq!(state.x(), report.outputs.last().unwrap());
+    }
+
+    // The fixed-point session tracks the f64 reference within its
+    // quantization budget.
+    let q16 = bank.state(soft_q16).unwrap();
+    for i in 0..2 {
+        assert!(
+            (q16.x()[i] - state.x()[i]).abs() < 0.05,
+            "q16 drifted: {} vs {}",
+            q16.x()[i],
+            state.x()[i]
+        );
+    }
+
+    // Telemetry: software sessions report zero cost, accelerator sessions
+    // report accumulated cycles, latency, and energy.
+    let soft = bank.telemetry(soft_f64).unwrap();
+    assert_eq!(soft.cycles, 0);
+    for id in [accel_fp, accel_fx] {
+        let t = bank.telemetry(id).unwrap();
+        assert!(t.cycles > 0);
+        assert!(t.latency_s > 0.0);
+        assert!(t.energy_j > 0.0);
+    }
+}
+
+#[test]
+fn sessions_churn_under_load_without_disturbing_neighbors() {
+    let pool = Arc::new(WorkerPool::new(4));
+    let mut bank = FilterBank::with_pool(pool);
+    let keepers: Vec<SessionId> = (0..4)
+        .map(|_| bank.insert_filter(filter::<f64>()))
+        .collect();
+    let mut churn = bank.insert_filter(filter::<f64>());
+
+    let mut t = 0;
+    for round in 0..10 {
+        // Step everything a few times...
+        for _ in 0..5 {
+            let z = measurement(t);
+            t += 1;
+            let mut batch: Vec<_> = keepers.iter().map(|&id| (id, z.as_slice())).collect();
+            batch.push((churn, z.as_slice()));
+            let report = bank.step_batch(&batch).unwrap();
+            assert_eq!(report.steps, 5);
+        }
+        // ...then replace the churn session mid-flight.
+        let gone = churn;
+        let removed = bank.remove(churn).expect("churn session present");
+        assert_eq!(removed.iteration(), 5, "round {round}");
+        assert!(removed.state().x().all_finite());
+        assert!(!bank.contains(gone), "removed id must be absent");
+        churn = bank.insert_filter(filter::<f64>());
+        assert_ne!(churn, gone, "ids are never reused");
+    }
+
+    // The keepers saw every batch; their ids and counts never wavered.
+    for &id in &keepers {
+        assert_eq!(bank.steps_ok(id), Some(50));
+        assert!(bank.status(id).unwrap().is_active());
+    }
+    assert_eq!(bank.len(), 5);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn evict_on_diverge_fires_on_the_hostile_configuration() {
+    use kalmmind::HealthStatus;
+
+    let mut bank = FilterBank::new();
+    bank.set_eviction_policy(EvictionPolicy::EvictOnDiverge);
+    let healthy = bank.insert_filter(filter::<f64>());
+    // The hostile corner of the trade space: one exact inversion ever, then
+    // a single stale-seeded Newton iteration per step forever.
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 1, 0, SeedPolicy::PreviousIteration);
+    let hostile = bank.insert_filter(KalmanFilter::new(
+        model(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    ));
+
+    // Warm up with consistent measurements: nobody is evicted.
+    for t in 0..40 {
+        let z = measurement(t);
+        let report = bank
+            .step_batch(&[(healthy, z.as_slice()), (hostile, z.as_slice())])
+            .unwrap();
+        assert!(report.evicted.is_empty(), "warm-up must not evict");
+    }
+
+    // Feed the hostile session unexplainable ±1000 jumps until its NIS
+    // consistency collapses and the supervisor evicts it.
+    let mut evicted_at = None;
+    for t in 40..60 {
+        let z = measurement(t);
+        let jump = if t % 2 == 0 { 1000.0 } else { -1000.0 };
+        let poison = vec![jump, -jump, jump];
+        let report = bank
+            .step_batch(&[(healthy, z.as_slice()), (hostile, poison.as_slice())])
+            .unwrap();
+        if !report.evicted.is_empty() {
+            assert_eq!(report.evicted, vec![hostile]);
+            evicted_at = Some(t);
+            break;
+        }
+    }
+    assert!(evicted_at.is_some(), "hostile session must be evicted");
+    assert!(!bank.contains(hostile));
+    assert_eq!(bank.len(), 1);
+    assert_eq!(bank.health(healthy), Some(HealthStatus::Healthy));
+    assert!(!bank.any_diverged(), "eviction clears the outage");
+
+    // The post-mortem record survives the eviction: reason and final
+    // flight dump.
+    let records = bank.take_evictions();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].id, hostile);
+    assert!(
+        records[0].reason.contains("NIS"),
+        "reason: {}",
+        records[0].reason
+    );
+    let dump = records[0].flight_record.as_deref().expect("dump retained");
+    let summary = kalmmind_obs::validate::validate_flight_record(dump).expect("dump must validate");
+    assert_eq!(summary.session, hostile.as_u64() as usize);
+
+    // With the diverged session gone, a freshly attached /healthz is green.
+    let server = bank.serve_on("127.0.0.1:0").expect("bind ephemeral port");
+    let (code, body) = http_get(server.addr(), "/healthz");
+    assert_eq!(code, 200, "body: {body}");
+    assert!(body.contains("\"diverged\":[]"), "body: {body}");
+}
+
+#[cfg(feature = "obs")]
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .unwrap();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
