@@ -11,19 +11,21 @@ use crate::{KalmMindConfig, KalmanError, KalmanModel, KalmanState, Result};
 // Phase timers for the reorganized step (no-ops unless `obs` is enabled).
 // Separate histogram families rather than one labeled family because the
 // exporter keys histograms by name; the `kf_` prefix groups them.
-static OBS_STEPS: obs::LazyCounter =
+// `pub(crate)` so the monomorphized step kernel in `small` feeds the same
+// counter and timer families as the dynamic path.
+pub(crate) static OBS_STEPS: obs::LazyCounter =
     obs::LazyCounter::new("kf_steps_total", "Workspace KF iterations completed");
-static OBS_PREDICT: obs::LazyHistogram = obs::LazyHistogram::new(
+pub(crate) static OBS_PREDICT: obs::LazyHistogram = obs::LazyHistogram::new(
     "kf_predict_seconds",
     "Wall time of the measurement-independent predict phase",
     obs::LATENCY_SECONDS_BUCKETS,
 );
-static OBS_GAIN: obs::LazyHistogram = obs::LazyHistogram::new(
+pub(crate) static OBS_GAIN: obs::LazyHistogram = obs::LazyHistogram::new(
     "kf_gain_seconds",
     "Wall time of the gain (compute-K) phase, including the S inversion",
     obs::LATENCY_SECONDS_BUCKETS,
 );
-static OBS_UPDATE: obs::LazyHistogram = obs::LazyHistogram::new(
+pub(crate) static OBS_UPDATE: obs::LazyHistogram = obs::LazyHistogram::new(
     "kf_update_seconds",
     "Wall time of the measurement update phase",
     obs::LATENCY_SECONDS_BUCKETS,
@@ -151,6 +153,12 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
     /// Name of the gain strategy (for reports).
     pub fn strategy_name(&self) -> &'static str {
         self.gain.name()
+    }
+
+    /// Borrow of the gain strategy (the shape dispatch in
+    /// [`small`](crate::small) inspects it for an interleaved schedule).
+    pub fn gain(&self) -> &G {
+        &self.gain
     }
 
     /// Runs one KF iteration on measurement `z` (paper Fig. 2, reorganized).

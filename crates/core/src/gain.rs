@@ -71,6 +71,15 @@ pub trait GainStrategy<T: Scalar>: Send + std::fmt::Debug {
 
     /// Clears all cross-iteration state.
     fn reset(&mut self);
+
+    /// The interleaved-inverse schedule behind this strategy, if it is an
+    /// [`InverseGain`] over a fresh
+    /// [`InterleavedInverse`](crate::inverse::InterleavedInverse). Drives the
+    /// monomorphized-session shape dispatch; every other strategy keeps the
+    /// `None` default and stays on the dynamic path.
+    fn interleaved_spec(&self) -> Option<crate::inverse::InterleavedSpec> {
+        None
+    }
 }
 
 impl<T: Scalar> GainStrategy<T> for Box<dyn GainStrategy<T>> {
@@ -93,6 +102,10 @@ impl<T: Scalar> GainStrategy<T> for Box<dyn GainStrategy<T>> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn interleaved_spec(&self) -> Option<crate::inverse::InterleavedSpec> {
+        (**self).interleaved_spec()
     }
 }
 
@@ -175,6 +188,10 @@ impl<T: Scalar, I: InverseStrategy<T>> GainStrategy<T> for InverseGain<I> {
 
     fn reset(&mut self) {
         self.inverse.reset();
+    }
+
+    fn interleaved_spec(&self) -> Option<crate::inverse::InterleavedSpec> {
+        self.inverse.interleaved_spec()
     }
 }
 

@@ -289,13 +289,14 @@ impl StepDiagnostics {
 #[derive(Debug, Clone)]
 pub struct HealthMonitor {
     config: HealthConfig,
-    /// Chi-square degrees of freedom per step: the measurement dimension.
-    dof: usize,
     /// Ring of the most recent NIS values (length ≤ `config.window`).
     nis_window: Vec<f64>,
     next: usize,
     status: HealthStatus,
     reason: String,
+    /// Cached [`Self::nis_mean_upper_bound`]: `config` and `dof` are fixed
+    /// at construction, so the chi-square quantile never changes.
+    nis_bound: f64,
 }
 
 impl HealthMonitor {
@@ -307,13 +308,17 @@ impl HealthMonitor {
     /// Creates a monitor with explicit bounds.
     pub fn with_config(z_dim: usize, config: HealthConfig) -> Self {
         let window = config.window.max(1);
+        // Chi-square degrees of freedom per step: the measurement dimension.
+        let dof = z_dim.max(1);
+        let w = window as f64;
+        let nis_bound = chi_square_quantile(w * dof as f64, config.nis_confidence_z) / w;
         Self {
             config,
-            dof: z_dim.max(1),
             nis_window: Vec::with_capacity(window),
             next: 0,
             status: HealthStatus::Healthy,
             reason: String::new(),
+            nis_bound,
         }
     }
 
@@ -346,8 +351,7 @@ impl HealthMonitor {
     /// `χ²_p(window·dof)/window` with confidence `p` (see
     /// [`chi_square_quantile`]).
     pub fn nis_mean_upper_bound(&self) -> f64 {
-        let w = self.config.window.max(1) as f64;
-        chi_square_quantile(w * self.dof as f64, self.config.nis_confidence_z) / w
+        self.nis_bound
     }
 
     /// Ingests one step's diagnostics, updates the instruments, and returns
@@ -426,7 +430,10 @@ impl HealthMonitor {
             }
         }
         let bound = self.nis_mean_upper_bound();
-        if let Some(mean) = self.window_mean_nis() {
+        // One window sum per step: the same mean feeds both the diverged
+        // and the degraded comparison below.
+        let window_mean = self.window_mean_nis();
+        if let Some(mean) = window_mean {
             if mean > bound * c.nis_diverged_factor {
                 return (
                     HealthStatus::Diverged,
@@ -457,7 +464,7 @@ impl HealthMonitor {
                 );
             }
         }
-        if let Some(mean) = self.window_mean_nis() {
+        if let Some(mean) = window_mean {
             if mean > bound {
                 return (
                     HealthStatus::Degraded,
@@ -595,9 +602,11 @@ impl FlightRecorder {
     /// (`kalmmind.flight_record.v1`). `status` is the session health that
     /// triggered the dump (`"degraded"`, `"diverged"`, or `"failed"`);
     /// non-finite diagnostics serialize as `null` (JSON has no NaN).
+    /// `session` is a `u64` — the full width of a bank `SessionId` — so the
+    /// dump names the right session even past `u32::MAX` on 32-bit targets.
     pub fn dump_json(
         &self,
-        session: usize,
+        session: u64,
         strategy: &str,
         status: &str,
         reason: &str,
@@ -806,5 +815,20 @@ mod tests {
         assert_eq!(summary.session, 2);
         assert_eq!(summary.status, "diverged");
         assert_eq!(summary.snapshots, 8);
+    }
+
+    #[test]
+    fn flight_dump_keeps_session_labels_above_u32_max() {
+        // The bank's SessionId is a u64; a dump must round-trip the full
+        // width instead of truncating through a 32-bit usize.
+        let mut rec = FlightRecorder::new(4);
+        let mut d = diag(3.0);
+        d.iteration = 1;
+        rec.record(&d, HealthStatus::Diverged);
+        let big = u64::from(u32::MAX) + 7;
+        let json = rec.dump_json(big, "gauss/newton", "failed", "label width", 1);
+        assert!(json.contains(&format!("\"session\":{big}")), "{json}");
+        let summary = validate_flight_record(&json).expect("dump must validate");
+        assert_eq!(summary.session, big);
     }
 }

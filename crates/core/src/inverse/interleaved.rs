@@ -4,7 +4,9 @@
 use kalmmind_linalg::{iterative, Matrix, Scalar};
 use kalmmind_obs as obs;
 
-use crate::inverse::{store_history, CalcMethod, InversePath, InverseStrategy, SeedPolicy};
+use crate::inverse::{
+    store_history, CalcMethod, InterleavedSpec, InversePath, InverseStrategy, SeedPolicy,
+};
 use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
 
@@ -207,6 +209,34 @@ impl<T: Scalar> InterleavedInverse<T> {
     }
 }
 
+/// The report/dump name of an interleaved strategy built on `calc` — shared
+/// with the monomorphized session so both paths stamp identical strategy
+/// names into flight records.
+pub(crate) fn interleaved_name(calc: CalcMethod) -> &'static str {
+    match calc {
+        CalcMethod::Gauss => "gauss/newton",
+        CalcMethod::Lu => "lu/newton",
+        CalcMethod::Cholesky => "cholesky/newton",
+        CalcMethod::Qr => "qr/newton",
+    }
+}
+
+// Process-wide path bookkeeping for the monomorphized session, feeding the
+// exact same obs counters as the dynamic strategy so `kf_inverse_path_total`
+// and friends aggregate both paths.
+pub(crate) fn note_path_calc() {
+    OBS_PATH_CALC.inc();
+}
+
+pub(crate) fn note_path_approx(newton_iters: usize) {
+    OBS_PATH_APPROX.inc();
+    OBS_NEWTON_ITERS.add(newton_iters as u64);
+}
+
+pub(crate) fn note_path_fallback() {
+    OBS_FALLBACKS.inc();
+}
+
 impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
     fn invert(&mut self, s: &Matrix<T>, iteration: usize) -> Result<Matrix<T>> {
         let inv = if Self::is_calc_iteration(self.calc_freq, iteration) {
@@ -281,12 +311,7 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
     }
 
     fn name(&self) -> &'static str {
-        match self.calc {
-            CalcMethod::Gauss => "gauss/newton",
-            CalcMethod::Lu => "lu/newton",
-            CalcMethod::Cholesky => "cholesky/newton",
-            CalcMethod::Qr => "qr/newton",
-        }
+        interleaved_name(self.calc)
     }
 
     fn reset(&mut self) {
@@ -295,6 +320,21 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
         self.calc_count = 0;
         self.approx_count = 0;
         self.fallback_count = 0;
+    }
+
+    fn interleaved_spec(&self) -> Option<InterleavedSpec> {
+        // Only a history-free strategy is safe to rebuild elsewhere: once a
+        // seed matrix exists, a monomorphized restart would diverge from
+        // this instance's trajectory.
+        if self.last_calculated.is_some() || self.previous.is_some() {
+            return None;
+        }
+        Some(InterleavedSpec {
+            calc: self.calc,
+            approx: self.approx,
+            calc_freq: self.calc_freq,
+            policy: self.policy,
+        })
     }
 }
 

@@ -27,6 +27,9 @@ mod sskf_newton;
 pub use calc::{CalcInverse, CalcMethod};
 pub use ifkf::IfkfInverse;
 pub use interleaved::InterleavedInverse;
+pub(crate) use interleaved::{
+    interleaved_name, note_path_approx, note_path_calc, note_path_fallback,
+};
 pub use newton::{InitialSeed, NewtonInverse};
 pub use sskf_newton::SskfNewtonInverse;
 
@@ -86,6 +89,16 @@ pub trait InverseStrategy<T: Scalar>: Send + std::fmt::Debug {
     /// Clears all cross-iteration state, returning the strategy to the state
     /// it had before the first call.
     fn reset(&mut self);
+
+    /// The interleaved schedule this strategy runs, if it is a *fresh*
+    /// [`InterleavedInverse`] (no accumulated seed history). The runtime's
+    /// shape dispatch uses this to decide whether a filter can be rebuilt on
+    /// the monomorphized [`small`](crate::small) path; strategies that are
+    /// not interleaved — or that already carry history a rebuild would lose —
+    /// return `None` and stay on the dynamic path.
+    fn interleaved_spec(&self) -> Option<InterleavedSpec> {
+        None
+    }
 }
 
 impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
@@ -110,6 +123,25 @@ impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
     fn reset(&mut self) {
         (**self).reset()
     }
+
+    fn interleaved_spec(&self) -> Option<InterleavedSpec> {
+        (**self).interleaved_spec()
+    }
+}
+
+/// The four registers that fully determine an [`InterleavedInverse`] before
+/// its first iteration — everything the monomorphized session needs to
+/// replay the same calculation/approximation schedule bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavedSpec {
+    /// Path A calculation method.
+    pub calc: CalcMethod,
+    /// Newton–Schulz internal-iteration count (the `approx` register).
+    pub approx: usize,
+    /// Calculation schedule (the `calc_freq` register).
+    pub calc_freq: u32,
+    /// Seed equation (the `policy` register).
+    pub policy: SeedPolicy,
 }
 
 /// Copies `value` into an optional history slot, reusing the existing buffer

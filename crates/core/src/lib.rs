@@ -62,6 +62,7 @@ pub mod gain;
 pub mod health;
 pub mod inverse;
 pub mod session;
+pub mod small;
 pub mod sweep;
 pub mod train;
 pub mod tuner;

@@ -85,8 +85,10 @@ pub struct SessionHealth {
     worst: HealthStatus,
     dump: Option<String>,
     /// Label stamped into flight dumps (the bank sets this to the stable
-    /// session id on insert; defaults to 0 for standalone use).
-    label: usize,
+    /// session id on insert; defaults to 0 for standalone use). A `u64`
+    /// end-to-end so a `SessionId` above `u32::MAX` names the right session
+    /// in post-mortems on every target width.
+    label: u64,
 }
 
 impl SessionHealth {
@@ -103,7 +105,7 @@ impl SessionHealth {
     }
 
     /// Sets the label stamped into flight-record dumps.
-    pub fn set_label(&mut self, label: usize) {
+    pub fn set_label(&mut self, label: u64) {
         self.label = label;
     }
 
@@ -126,7 +128,14 @@ impl SessionHealth {
 
     /// Feeds one step's diagnostics into the monitor and ring, dumping the
     /// flight recorder when health worsens past its previous worst.
-    fn observe(&mut self, diag: &StepDiagnostics, strategy: &'static str, steps_total: u64) {
+    /// `pub(crate)` so the monomorphized session in [`crate::small`] shares
+    /// the exact dump-on-worsening policy.
+    pub(crate) fn observe(
+        &mut self,
+        diag: &StepDiagnostics,
+        strategy: &'static str,
+        steps_total: u64,
+    ) {
         let health = self.monitor.observe(diag);
         self.recorder.record(diag, health);
         if health > self.worst {
@@ -176,7 +185,8 @@ pub trait SessionBackend: Send + fmt::Debug {
     /// `"q16.16"`, …).
     fn scalar_name(&self) -> &'static str;
 
-    /// Label of the executing backend (`"software"` or `"accel-sim"`).
+    /// Label of the executing backend (`"software"`, `"software-mono"`,
+    /// or `"accel-sim"`).
     fn backend_name(&self) -> &'static str;
 
     /// Name of the wrapped gain strategy (stamped into flight dumps).

@@ -1,0 +1,640 @@
+//! Monomorphized filter sessions on const-generic [`SmallMatrix`] shapes.
+//!
+//! The erased [`FilterSession`](crate::FilterSession) runs every model through
+//! dynamically sized [`Matrix`](kalmmind_linalg::Matrix) kernels — correct for
+//! any shape, but each kernel pays runtime dimension checks and heap
+//! indirection a BCI decoder never needs: the paper's models are *fixed* at
+//! `x = 6` states with `z ∈ {46, 52, 164}` channels. [`SmallFilterSession`]
+//! bakes those dimensions into the type as const generics, so the full step —
+//! predict, gain (including the interleaved `S⁻¹` schedule), and update —
+//! compiles to straight-line code with compile-time trip counts.
+//!
+//! **Bit-identity contract.** The kernel here is the dynamic
+//! [`KalmanFilter::step_with`](crate::KalmanFilter::step_with) +
+//! [`InverseGain::gain_into`](crate::gain::InverseGain) +
+//! [`InterleavedInverse::invert_into`](crate::inverse::InterleavedInverse)
+//! pipeline transcribed operation for operation onto
+//! [`kalmmind_linalg::small`] kernels, which themselves replicate the dynamic
+//! loop orders exactly. An `f64` session stepped through this path therefore
+//! produces the same bits as the erased dynamic session — pinned by the
+//! runtime's golden-bit tests and by `bench_smallmatrix`. Path A (exact
+//! calculation) round-trips through the dynamic [`CalcMethod`] factorizations
+//! unchanged; it runs once per `calc_freq` iterations, so the conversion cost
+//! stays off the hot path, exactly like the allocations the dynamic strategy
+//! makes there.
+//!
+//! [`try_small_session`] is the shape dispatch: it accepts any fresh
+//! `KalmanFilter` whose gain reports an [`InterleavedSpec`] and whose
+//! dimensions match one of [`MONO_SHAPES`], and returns the original filter
+//! otherwise so the caller can fall back to the erased dynamic path. The
+//! runtime's `FilterBank::insert_filter` routes through it automatically.
+
+use kalmmind_linalg::small::{self, SmallMatrix, SmallVector};
+use kalmmind_linalg::Scalar;
+use kalmmind_obs as obs;
+
+use crate::gain::GainStrategy;
+use crate::health::StepDiagnostics;
+use crate::inverse::{
+    interleaved_name, note_path_approx, note_path_calc, note_path_fallback, CalcMethod,
+    InterleavedInverse, InterleavedSpec, InversePath, SeedPolicy,
+};
+use crate::session::{SessionBackend, SessionHealth, StepOutcome, NON_FINITE_REASON};
+use crate::{KalmanError, KalmanFilter, KalmanModel, KalmanState, Result};
+
+/// The `(x_dim, z_dim)` pairs the shape dispatch monomorphizes: the 2-state
+/// bench model and the paper's `x = 6` kinematic state observed through 46,
+/// 52, or 164 neural channels.
+pub const MONO_SHAPES: [(usize, usize); 4] = [(2, 3), (6, 46), (6, 52), (6, 164)];
+
+/// Copies `value` into an optional history slot — the [`SmallMatrix`] twin of
+/// the dynamic strategy's `store_history` (boxed because the `z × z` history
+/// matrices are too large to keep inline).
+fn store_small<T: Scalar, const N: usize>(
+    slot: &mut Option<Box<SmallMatrix<T, N, N>>>,
+    value: &SmallMatrix<T, N, N>,
+) {
+    match slot {
+        Some(existing) => existing.copy_from(value),
+        None => *slot = Some(Box::new(*value)),
+    }
+}
+
+/// A [`SessionBackend`] whose model dimensions are const generics.
+///
+/// Everything the dynamic `FilterSession` splits across `KalmanFilter`,
+/// `StepWorkspace`, and `InterleavedInverse` lives here in one struct: the
+/// model and state in stack arrays (`x × x` and smaller), the `z`-sized
+/// buffers boxed (a `164 × 164` f64 matrix is ~215 KiB), and the interleaved
+/// schedule flattened into its four registers. Built via
+/// [`try_small_session`]; reports `backend_name() == "software-mono"`.
+pub struct SmallFilterSession<T: Scalar, const X: usize, const Z: usize> {
+    // Model (F, Q inline; H, R boxed since they scale with Z).
+    f: SmallMatrix<T, X, X>,
+    q: SmallMatrix<T, X, X>,
+    h: Box<SmallMatrix<T, Z, X>>,
+    r: Box<SmallMatrix<T, Z, Z>>,
+    // State.
+    x: SmallVector<T, X>,
+    p: SmallMatrix<T, X, X>,
+    iteration: usize,
+    // The interleaved schedule registers (an unpacked `InterleavedSpec`).
+    calc: CalcMethod,
+    approx: usize,
+    calc_freq: u32,
+    policy: SeedPolicy,
+    strategy: &'static str,
+    // Seed history and per-step gain bookkeeping.
+    last_calculated: Option<Box<SmallMatrix<T, Z, Z>>>,
+    previous: Option<Box<SmallMatrix<T, Z, Z>>>,
+    last_path: InversePath,
+    s_filled: bool,
+    // Workspace: x-sized buffers inline, z × z scratch boxed.
+    z_buf: SmallVector<T, Z>,
+    x_pred: SmallVector<T, X>,
+    fp: SmallMatrix<T, X, X>,
+    ft: SmallMatrix<T, X, X>,
+    p_pred: SmallMatrix<T, X, X>,
+    hx: SmallVector<T, Z>,
+    y: SmallVector<T, Z>,
+    ky: SmallVector<T, X>,
+    kh: SmallMatrix<T, X, X>,
+    p_new: SmallMatrix<T, X, X>,
+    k: Box<SmallMatrix<T, X, Z>>,
+    ht: Box<SmallMatrix<T, X, Z>>,
+    hp: Box<SmallMatrix<T, Z, X>>,
+    pht: Box<SmallMatrix<T, X, Z>>,
+    s: Box<SmallMatrix<T, Z, Z>>,
+    s_inv: Box<SmallMatrix<T, Z, Z>>,
+    seed: Box<SmallMatrix<T, Z, Z>>,
+    scratch: Box<SmallMatrix<T, Z, Z>>,
+    tmp: Box<SmallMatrix<T, Z, Z>>,
+    health: SessionHealth,
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> std::fmt::Debug for SmallFilterSession<T, X, Z> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmallFilterSession")
+            .field("x_dim", &X)
+            .field("z_dim", &Z)
+            .field("iteration", &self.iteration)
+            .field("strategy", &self.strategy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
+    /// Builds a monomorphized session from a dynamic model, an initial state,
+    /// and an interleaved schedule.
+    ///
+    /// # Errors
+    ///
+    /// Dimension errors when the model or state does not match `X`/`Z`.
+    pub fn from_parts(
+        model: &KalmanModel<T>,
+        state: &KalmanState<T>,
+        spec: InterleavedSpec,
+    ) -> Result<Self> {
+        let mut f = SmallMatrix::zeros();
+        f.copy_from_matrix(model.f())?;
+        let mut q = SmallMatrix::zeros();
+        q.copy_from_matrix(model.q())?;
+        let mut h = SmallMatrix::boxed_zeros();
+        h.copy_from_matrix(model.h())?;
+        let mut r = SmallMatrix::boxed_zeros();
+        r.copy_from_matrix(model.r())?;
+        let mut x = SmallVector::zeros();
+        x.copy_from_vector(state.x())?;
+        let mut p = SmallMatrix::zeros();
+        p.copy_from_matrix(state.p())?;
+        Ok(Self {
+            f,
+            q,
+            h,
+            r,
+            x,
+            p,
+            iteration: 0,
+            calc: spec.calc,
+            approx: spec.approx,
+            calc_freq: spec.calc_freq,
+            policy: spec.policy,
+            strategy: interleaved_name(spec.calc),
+            last_calculated: None,
+            previous: None,
+            last_path: InversePath::Unknown,
+            s_filled: false,
+            z_buf: SmallVector::zeros(),
+            x_pred: SmallVector::zeros(),
+            fp: SmallMatrix::zeros(),
+            ft: SmallMatrix::zeros(),
+            p_pred: SmallMatrix::zeros(),
+            hx: SmallVector::zeros(),
+            y: SmallVector::zeros(),
+            ky: SmallVector::zeros(),
+            kh: SmallMatrix::zeros(),
+            p_new: SmallMatrix::zeros(),
+            k: SmallMatrix::boxed_zeros(),
+            ht: SmallMatrix::boxed_zeros(),
+            hp: SmallMatrix::boxed_zeros(),
+            pht: SmallMatrix::boxed_zeros(),
+            s: SmallMatrix::boxed_zeros(),
+            s_inv: SmallMatrix::boxed_zeros(),
+            seed: SmallMatrix::boxed_zeros(),
+            scratch: SmallMatrix::boxed_zeros(),
+            tmp: SmallMatrix::boxed_zeros(),
+            health: SessionHealth::new(Z),
+        })
+    }
+
+    /// Path A / fallback: exact inversion of `S` through the dynamic
+    /// [`CalcMethod`] factorization. The round trip through a dynamic
+    /// [`Matrix`](kalmmind_linalg::Matrix) is an exact element copy each
+    /// way, so the result is bit-identical to the dynamic strategy's — and
+    /// it only runs on scheduled calc iterations or after a Newton failure,
+    /// never on the approximation hot path.
+    fn invert_calc(&mut self, path: InversePath) -> Result<()> {
+        let inv = self.calc.invert(&self.s.to_matrix())?;
+        match path {
+            InversePath::Fallback => note_path_fallback(),
+            _ => note_path_calc(),
+        }
+        self.last_path = path;
+        self.s_inv
+            .copy_from_matrix(&inv)
+            .map_err(KalmanError::from)?;
+        store_small(&mut self.last_calculated, &self.s_inv);
+        Ok(())
+    }
+
+    /// The interleaved `S⁻¹` schedule — `InterleavedInverse::invert_into`
+    /// transcribed onto const-generic buffers, same paths, same counters,
+    /// same fallback policy.
+    fn invert_interleaved(&mut self) -> Result<()> {
+        if InterleavedInverse::<T>::is_calc_iteration(self.calc_freq, self.iteration) {
+            self.invert_calc(InversePath::Calc)?;
+        } else {
+            let chosen = match self.policy {
+                SeedPolicy::LastCalculated => self.last_calculated.as_deref(),
+                SeedPolicy::PreviousIteration => self.previous.as_deref(),
+            };
+            match chosen {
+                Some(history) => self.seed.copy_from(history),
+                // No usable history (approximation-first schedule): the
+                // certified safe seed, exactly like the dynamic cold start.
+                None => self
+                    .s
+                    .safe_seed_into(&mut self.seed)
+                    .map_err(KalmanError::from)?,
+            }
+            note_path_approx(self.approx);
+            self.last_path = InversePath::Approx;
+            small::newton_schulz_into(
+                &self.s,
+                &self.seed,
+                self.approx,
+                &mut self.scratch,
+                &mut self.tmp,
+                &mut self.s_inv,
+            );
+            if !self.s_inv.all_finite() {
+                // Same recovery as the dynamic strategy: recompute exactly
+                // rather than poisoning the seed history with NaN/∞.
+                self.invert_calc(InversePath::Fallback)?;
+            }
+        }
+        store_small(&mut self.previous, &self.s_inv);
+        Ok(())
+    }
+
+    /// One unmonitored KF iteration: the monomorphized analogue of
+    /// [`KalmanFilter::step_with`](crate::KalmanFilter::step_with) — no
+    /// diagnostics, no health accounting, just the kernel with its phase
+    /// timers. `bench_smallmatrix` uses this for the like-for-like
+    /// comparison against the dynamic workspace step; the monitored
+    /// [`SessionBackend::step`] path is what banks run.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadVector`] when `z.len() != Z`, plus whatever the
+    /// exact-inversion leg can produce (singular `S`).
+    pub fn step_raw(&mut self, z: &[f64]) -> Result<()> {
+        if z.len() != Z {
+            return Err(KalmanError::BadVector {
+                expected: Z,
+                actual: z.len(),
+                what: "session measurement",
+            });
+        }
+        for (dst, &src) in self.z_buf.as_mut_slice().iter_mut().zip(z) {
+            *dst = T::from_f64(src);
+        }
+        self.step_kernel()
+    }
+
+    /// One KF iteration on the measurement already converted into `z_buf` —
+    /// `KalmanFilter::step_with` + `InverseGain::gain_into` transcribed onto
+    /// const-generic buffers, feeding the same phase timers and counters.
+    fn step_kernel(&mut self) -> Result<()> {
+        // --- Predict (measurement-independent) ---
+        {
+            let _t = crate::filter::OBS_PREDICT.start_timer();
+            self.f.mul_vector_into(&self.x, &mut self.x_pred);
+            self.f.mul_into(&self.p, &mut self.fp);
+            self.f.transpose_into(&mut self.ft);
+            self.fp.mul_into(&self.ft, &mut self.p_pred);
+            self.p_pred.add_assign(&self.q);
+            self.p_pred.symmetrize();
+        }
+
+        // --- Compute K (measurement-independent: the reorganized module) ---
+        {
+            let _t = crate::filter::OBS_GAIN.start_timer();
+            self.h.mul_into(&self.p_pred, &mut self.hp);
+            self.h.transpose_into(&mut self.ht);
+            self.hp.mul_into(&self.ht, &mut self.s);
+            self.s.add_assign(&self.r);
+            self.s_filled = false;
+            self.invert_interleaved()?;
+            self.s_filled = true;
+            self.p_pred.mul_into(&self.ht, &mut self.pht);
+            self.pht.mul_into(&self.s_inv, &mut self.k);
+        }
+
+        // --- Update (needs the measurement) ---
+        {
+            let _t = crate::filter::OBS_UPDATE.start_timer();
+            self.h.mul_vector_into(&self.x_pred, &mut self.hx);
+            self.y.copy_from(&self.z_buf);
+            self.y.sub_assign(&self.hx); // innovation
+            self.k.mul_vector_into(&self.y, &mut self.ky);
+            self.x_pred.add_assign(&self.ky); // x_pred now holds x_new
+            self.k.mul_into(&self.h, &mut self.kh);
+            // kh <- I − K·H, the same element order as the dynamic kernel.
+            for i in 0..X {
+                for j in 0..X {
+                    let v = self.kh[(i, j)];
+                    self.kh[(i, j)] = if i == j { T::ONE - v } else { T::ZERO - v };
+                }
+            }
+            self.kh.mul_into(&self.p_pred, &mut self.p_new);
+            self.p_new.symmetrize();
+        }
+
+        // Double-buffer swap, by copy.
+        self.x.copy_from(&self.x_pred);
+        self.p.copy_from(&self.p_new);
+        self.iteration += 1;
+        crate::filter::OBS_STEPS.inc();
+        Ok(())
+    }
+
+    /// Read-only `f64` probe of the buffers the step just filled —
+    /// [`StepDiagnostics::from_step`] transcribed onto const-generic buffers,
+    /// identical formulas and accumulation orders.
+    fn diagnostics(&self, iteration: usize) -> StepDiagnostics {
+        let mut innovation_sq = 0.0f64;
+        for i in 0..Z {
+            let v = self.y[i].to_f64();
+            innovation_sq += v * v;
+        }
+        let innovation_norm = innovation_sq.sqrt();
+
+        let path = self.last_path;
+        let (nis, cond_s, newton_residual) = if self.s_filled {
+            let mut nis = 0.0f64;
+            for i in 0..Z {
+                let yi = self.y[i].to_f64();
+                for j in 0..Z {
+                    nis += yi * self.s_inv[(i, j)].to_f64() * self.y[j].to_f64();
+                }
+            }
+            let cond = self.s.inf_norm() * self.s_inv.inf_norm();
+            let residual = if path == InversePath::Approx {
+                let mut acc = 0.0f64;
+                for i in 0..Z {
+                    for j in 0..Z {
+                        let mut dot = 0.0f64;
+                        for k in 0..Z {
+                            dot += self.s[(i, k)].to_f64() * self.s_inv[(k, j)].to_f64();
+                        }
+                        let d = dot - if i == j { 1.0 } else { 0.0 };
+                        acc += d * d;
+                    }
+                }
+                Some(acc.sqrt())
+            } else {
+                None
+            };
+            (Some(nis), Some(cond), residual)
+        } else {
+            (None, None, None)
+        };
+
+        let mut max_diag = 0.0f64;
+        let mut min_p_diag = f64::INFINITY;
+        let mut asym = 0.0f64;
+        for i in 0..X {
+            let d = self.p[(i, i)].to_f64();
+            min_p_diag = min_p_diag.min(d);
+            max_diag = max_diag.max(d.abs());
+            for j in (i + 1)..X {
+                asym = asym.max((self.p[(i, j)].to_f64() - self.p[(j, i)].to_f64()).abs());
+            }
+        }
+        if X == 0 {
+            min_p_diag = 0.0;
+        }
+        let symmetry_drift = asym / (1.0 + max_diag);
+
+        StepDiagnostics {
+            iteration,
+            path,
+            innovation_norm,
+            nis,
+            cond_s,
+            newton_residual,
+            symmetry_drift,
+            min_p_diag,
+            state_finite: self.x.all_finite() && self.p.all_finite(),
+        }
+    }
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> SessionBackend for SmallFilterSession<T, X, Z> {
+    fn dims(&self) -> (usize, usize) {
+        (X, Z)
+    }
+
+    fn scalar_name(&self) -> &'static str {
+        T::NAME
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "software-mono"
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        self.strategy
+    }
+
+    fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    fn step(&mut self, z: &[f64]) -> Result<StepOutcome> {
+        if z.len() != Z {
+            return Err(KalmanError::BadVector {
+                expected: Z,
+                actual: z.len(),
+                what: "session measurement",
+            });
+        }
+        for (dst, &src) in self.z_buf.as_mut_slice().iter_mut().zip(z) {
+            *dst = T::from_f64(src);
+        }
+        let iteration = self.iteration;
+        match self.step_kernel() {
+            Ok(()) => {
+                let finite = self.x.all_finite() && self.p.all_finite();
+                if obs::is_enabled() {
+                    // Read-only probe, same policy as the dynamic session.
+                    let diag = self.diagnostics(iteration);
+                    let steps_total = self.iteration as u64;
+                    self.health.observe(&diag, self.strategy, steps_total);
+                }
+                if finite {
+                    Ok(StepOutcome::Ok)
+                } else {
+                    let steps_total = self.iteration as u64;
+                    self.health
+                        .fail(NON_FINITE_REASON, self.strategy, steps_total);
+                    Ok(StepOutcome::NonFinite)
+                }
+            }
+            Err(err) => {
+                let steps_total = self.iteration as u64;
+                self.health
+                    .fail(&err.to_string(), self.strategy, steps_total);
+                Err(err)
+            }
+        }
+    }
+
+    fn state(&self) -> KalmanState<f64> {
+        KalmanState::new(self.x.to_vector().cast(), self.p.to_matrix().cast())
+    }
+
+    fn health(&self) -> &SessionHealth {
+        &self.health
+    }
+
+    fn health_mut(&mut self) -> &mut SessionHealth {
+        &mut self.health
+    }
+}
+
+/// Shape dispatch: rebuilds `filter` as a monomorphized
+/// [`SmallFilterSession`] when it qualifies, or hands it back unchanged for
+/// the erased dynamic path.
+///
+/// A filter qualifies when all of the following hold:
+///
+/// * it is *fresh* — `iteration() == 0` and its gain strategy reports an
+///   [`InterleavedSpec`] (which an [`InterleavedInverse`] only does before
+///   accumulating seed history);
+/// * its `(x_dim, z_dim)` is one of [`MONO_SHAPES`].
+///
+/// # Errors
+///
+/// The `Err` variant is not a failure: it returns ownership of the original
+/// filter, untouched, whenever the monomorphized path does not apply.
+#[allow(clippy::result_large_err)]
+pub fn try_small_session<T, G>(
+    filter: KalmanFilter<T, G>,
+) -> std::result::Result<Box<dyn SessionBackend>, KalmanFilter<T, G>>
+where
+    T: Scalar,
+    G: GainStrategy<T> + 'static,
+{
+    if filter.iteration() != 0 {
+        return Err(filter);
+    }
+    let Some(spec) = filter.gain().interleaved_spec() else {
+        return Err(filter);
+    };
+    let dims = (filter.model().x_dim(), filter.model().z_dim());
+    macro_rules! mono {
+        ($x:literal, $z:literal) => {
+            match SmallFilterSession::<T, $x, $z>::from_parts(filter.model(), filter.state(), spec)
+            {
+                Ok(session) => Ok(Box::new(session) as Box<dyn SessionBackend>),
+                Err(_) => Err(filter),
+            }
+        };
+    }
+    match dims {
+        (2, 3) => mono!(2, 3),
+        (6, 46) => mono!(6, 46),
+        (6, 52) => mono!(6, 52),
+        (6, 164) => mono!(6, 164),
+        _ => Err(filter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::InverseGain;
+    use crate::inverse::CalcInverse;
+    use crate::session::FilterSession;
+    use kalmmind_linalg::Matrix;
+
+    fn model() -> KalmanModel<f64> {
+        KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::identity(2).scale(1e-3),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::identity(3).scale(0.2),
+        )
+        .unwrap()
+    }
+
+    fn interleaved_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+        KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
+    }
+
+    fn measurement(t: usize) -> Vec<f64> {
+        let pos = 0.1 * t as f64;
+        vec![pos, 1.0, pos + 1.0]
+    }
+
+    #[test]
+    fn mono_session_is_bit_identical_to_the_dynamic_session() {
+        let mut mono = try_small_session(interleaved_filter()).expect("2x3 must monomorphize");
+        let mut dynamic: Box<dyn SessionBackend> =
+            Box::new(FilterSession::new(interleaved_filter()));
+        assert_eq!(mono.backend_name(), "software-mono");
+        assert_eq!(dynamic.backend_name(), "software");
+        // 64 steps cover both the calc (n % 4 == 0) and approx paths many
+        // times over, plus the seed-history transitions between them.
+        for t in 0..64 {
+            let z = measurement(t);
+            assert_eq!(mono.step(&z).unwrap(), StepOutcome::Ok);
+            assert_eq!(dynamic.step(&z).unwrap(), StepOutcome::Ok);
+        }
+        let (ms, ds) = (mono.state(), dynamic.state());
+        for i in 0..2 {
+            assert_eq!(ms.x()[i].to_bits(), ds.x()[i].to_bits(), "x[{i}]");
+            for j in 0..2 {
+                assert_eq!(
+                    ms.p()[(i, j)].to_bits(),
+                    ds.p()[(i, j)].to_bits(),
+                    "p[({i},{j})]"
+                );
+            }
+        }
+        assert_eq!(mono.iteration(), 64);
+        assert_eq!(mono.dims(), (2, 3));
+        assert_eq!(mono.scalar_name(), "f64");
+        assert_eq!(mono.strategy_name(), "gauss/newton");
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_shapes() {
+        // 1-state model: not in MONO_SHAPES, must come back unchanged.
+        let m = KalmanModel::new(
+            Matrix::<f64>::identity(1),
+            Matrix::identity(1).scale(1e-4),
+            Matrix::identity(1),
+            Matrix::identity(1).scale(0.5),
+        )
+        .unwrap();
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+        let filter = KalmanFilter::new(m, KalmanState::zeroed(1), InverseGain::new(strat));
+        let filter = try_small_session(filter).expect_err("1x1 must stay dynamic");
+        assert_eq!(filter.iteration(), 0);
+    }
+
+    #[test]
+    fn dispatch_rejects_non_interleaved_strategies() {
+        let filter = KalmanFilter::new(
+            model(),
+            KalmanState::zeroed(2),
+            InverseGain::new(CalcInverse::new(CalcMethod::Gauss)),
+        );
+        assert!(try_small_session(filter).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_filters_with_history() {
+        use kalmmind_linalg::Vector;
+        let mut filter = interleaved_filter();
+        filter.step(&Vector::from_vec(measurement(0))).unwrap();
+        // One step accumulated seed history (and iteration > 0): a rebuild
+        // would lose it, so the dispatch must refuse.
+        assert!(try_small_session(filter).is_err());
+    }
+
+    #[test]
+    fn wrong_measurement_length_is_a_bad_vector_error() {
+        let mut mono = try_small_session(interleaved_filter()).unwrap();
+        let err = mono.step(&[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            KalmanError::BadVector {
+                expected: 3,
+                actual: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mono_shapes_cover_the_paper_models() {
+        assert!(MONO_SHAPES.contains(&(6, 46)));
+        assert!(MONO_SHAPES.contains(&(6, 52)));
+        assert!(MONO_SHAPES.contains(&(6, 164)));
+    }
+}

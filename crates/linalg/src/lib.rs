@@ -37,6 +37,7 @@ mod vector;
 pub mod decomp;
 pub mod iterative;
 pub mod norms;
+pub mod small;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;

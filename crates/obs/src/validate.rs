@@ -598,8 +598,10 @@ pub fn validate_json(text: &str) -> Result<(), String> {
 /// Summary of a successfully validated flight-recorder dump.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlightSummary {
-    /// Session index the dump belongs to.
-    pub session: usize,
+    /// Stable session id the dump belongs to — `u64`, the full width of the
+    /// runtime's `SessionId`, so ids above `u32::MAX` survive on every
+    /// target.
+    pub session: u64,
     /// Health status that triggered the dump (`degraded` / `diverged` /
     /// `failed`).
     pub status: String,
@@ -635,7 +637,7 @@ pub fn validate_flight_record(text: &str) -> Result<FlightSummary, String> {
             "unknown flight record schema {schema:?} (expected {FLIGHT_RECORD_SCHEMA:?})"
         ));
     }
-    let session = require_number(&doc, "session")? as usize;
+    let session = require_number(&doc, "session")? as u64;
     require_string(&doc, "strategy")?;
     let status = require_string(&doc, "status")?.to_string();
     if !matches!(
@@ -821,6 +823,14 @@ h_count 3
         assert_eq!(summary.session, 3);
         assert_eq!(summary.status, "diverged");
         assert_eq!(summary.snapshots, 2);
+    }
+
+    #[test]
+    fn flight_record_sessions_above_u32_max_round_trip() {
+        let big = u64::from(u32::MAX) + 42;
+        let doc = sample_flight_record().replace("\"session\":3", &format!("\"session\":{big}"));
+        let summary = validate_flight_record(&doc).unwrap();
+        assert_eq!(summary.session, big);
     }
 
     #[test]

@@ -129,6 +129,12 @@ static OBS_STEPS_ACCEL: obs::LazyCounter = obs::LazyCounter::labeled(
     "backend",
     "accel-sim",
 );
+static OBS_STEPS_MONO: obs::LazyCounter = obs::LazyCounter::labeled(
+    "bank_backend_steps_total",
+    "Successful steps by executing backend",
+    "backend",
+    "software-mono",
+);
 static OBS_STEPS_F64: obs::LazyCounter = obs::LazyCounter::labeled(
     "bank_scalar_steps_total",
     "Successful steps by session element type",
@@ -157,6 +163,7 @@ static OBS_STEPS_Q32: obs::LazyCounter = obs::LazyCounter::labeled(
 fn note_step_labels(backend: &'static str, scalar: &'static str) {
     match backend {
         "accel-sim" => OBS_STEPS_ACCEL.inc(),
+        "software-mono" => OBS_STEPS_MONO.inc(),
         _ => OBS_STEPS_SOFTWARE.inc(),
     }
     match scalar {
@@ -482,7 +489,7 @@ impl FilterBank {
     pub fn insert(&mut self, mut backend: Box<dyn SessionBackend>) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        backend.health_mut().set_label(id.0 as usize);
+        backend.health_mut().set_label(id.0);
         self.index.insert(id.0, self.slots.len());
         self.slots.push(Slot {
             id,
@@ -493,12 +500,22 @@ impl FilterBank {
         id
     }
 
-    /// Convenience: wraps `filter` in a [`FilterSession`] and inserts it.
+    /// Convenience: wraps `filter` in a session backend and inserts it.
+    ///
+    /// A fresh filter with an interleaved gain schedule on one of the known
+    /// model shapes (see [`kalmmind::small::MONO_SHAPES`]) is routed onto
+    /// the monomorphized `"software-mono"` backend — bit-identical for `f64`
+    /// but compiled on const-generic dimensions. Everything else runs as an
+    /// erased [`FilterSession`] (`"software"`). Use [`FilterBank::insert`]
+    /// directly to force a specific backend.
     pub fn insert_filter<T: Scalar, G: GainStrategy<T> + 'static>(
         &mut self,
         filter: KalmanFilter<T, G>,
     ) -> SessionId {
-        self.insert(Box::new(FilterSession::new(filter)))
+        match kalmmind::small::try_small_session(filter) {
+            Ok(backend) => self.insert(backend),
+            Err(filter) => self.insert(Box::new(FilterSession::new(filter))),
+        }
     }
 
     /// Removes the session `id`, returning its backend (with final state,
@@ -605,7 +622,8 @@ impl FilterBank {
             .and_then(|s| s.backend.health().flight_record())
     }
 
-    /// The backend label of session `id` (`"software"`, `"accel-sim"`).
+    /// The backend label of session `id` (`"software"`, `"software-mono"`,
+    /// `"accel-sim"`).
     pub fn backend_name(&self, id: SessionId) -> Option<&'static str> {
         self.slot(id).map(|s| s.backend.backend_name())
     }
@@ -885,7 +903,9 @@ mod tests {
             assert_eq!(state.x(), solo.state().x());
             assert_eq!(state.p(), solo.state().p());
             assert_eq!(bank.steps_ok(id), Some(5));
-            assert_eq!(bank.backend_name(id), Some("software"));
+            // The 2-state interleaved fixture lands on the monomorphized
+            // backend, which stays bit-identical to the concrete filter.
+            assert_eq!(bank.backend_name(id), Some("software-mono"));
             assert_eq!(bank.scalar_name(id), Some("f64"));
         }
     }

@@ -43,7 +43,7 @@ pub struct SessionHealthSnapshot {
     pub id: u64,
     /// Lowercase health: `healthy`, `degraded`, `diverged`, or `failed`.
     pub status: String,
-    /// Executing backend label (`software`, `accel-sim`).
+    /// Executing backend label (`software`, `software-mono`, `accel-sim`).
     pub backend: String,
     /// Element-type label (`f64`, `f32`, `q16.16`, `q32.32`).
     pub scalar: String,
@@ -188,32 +188,48 @@ fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> st
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
 
     // Read until the end of the request head (or the size cap). The routes
-    // are all bodiless GETs, so the head is all we ever need.
+    // are all bodiless GETs, so the head is all we ever need. `searched`
+    // tracks how far the terminator scan has already looked: the `\r\n\r\n`
+    // can straddle a chunk boundary by at most 3 bytes, so each pass only
+    // examines the new bytes plus that overlap — a client trickling the
+    // request byte by byte costs O(n), not O(n²).
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
+    let mut searched = 0usize;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+                let from = searched.saturating_sub(3);
+                if buf[from..].windows(4).any(|w| w == b"\r\n\r\n")
+                    || buf.len() >= MAX_REQUEST_BYTES
+                {
                     break;
                 }
+                searched = buf.len();
             }
             Err(_) => break,
         }
     }
 
-    let request_line = std::str::from_utf8(&buf)
-        .unwrap_or("")
-        .lines()
-        .next()
-        .unwrap_or("");
+    // Parse only the request line — the bytes up to the first CRLF, decoded
+    // lossily. Header values may carry arbitrary octets (RFC 9110 calls them
+    // opaque), so a stray high byte in a header must not invalidate an
+    // otherwise well-formed GET by forcing the whole head through UTF-8.
+    let line_end = buf
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(buf.len());
+    let request_line = String::from_utf8_lossy(&buf[..line_end]);
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
 
-    let (code, content_type, body) = if method != "GET" {
+    // HEAD is answered exactly like GET — same status, same headers
+    // (including the Content-Length of the suppressed body) — minus the body.
+    let head_only = method == "HEAD";
+    let (code, content_type, body) = if method != "GET" && !head_only {
         (
             405,
             "text/plain; charset=utf-8",
@@ -248,7 +264,9 @@ fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> st
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
     stream.flush()
 }
 
@@ -351,6 +369,80 @@ mod tests {
         }]);
         let (code, _) = get(server.addr(), "/healthz");
         assert_eq!(code, 200);
+    }
+
+    #[test]
+    fn non_utf8_header_byte_does_not_reject_the_request() {
+        // Regression: the parser used to require the *entire* head to be
+        // valid UTF-8, so one stray high byte in any header turned a valid
+        // GET into a 405. Only the request line matters.
+        let server = serve("127.0.0.1:0", Arc::new(HealthBoard::default())).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut request = b"GET /metrics HTTP/1.1\r\nHost: t\r\nX-Junk: ".to_vec();
+        request.extend_from_slice(&[0xff, 0xfe, 0x80]);
+        request.extend_from_slice(b"\r\n\r\n");
+        stream.write_all(&request).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    }
+
+    #[test]
+    fn head_is_answered_like_get_without_the_body() {
+        let board = Arc::new(HealthBoard::default());
+        board.publish(vec![SessionHealthSnapshot {
+            id: 1,
+            status: "healthy".into(),
+            backend: "software-mono".into(),
+            scalar: "f64".into(),
+            steps_ok: 5,
+            reason: String::new(),
+        }]);
+        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+
+        let (code, get_body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 200);
+        assert!(!get_body.is_empty());
+
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(body.is_empty(), "HEAD must suppress the body: {body:?}");
+        // The headers advertise the length of the body a GET would carry.
+        assert!(
+            head.contains(&format!("Content-Length: {}", get_body.len())),
+            "{head}"
+        );
+
+        // Unknown paths keep GET's status code too.
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"HEAD /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+
+    #[test]
+    fn trickled_request_is_parsed_without_rescanning() {
+        // Regression drill for the O(n²) head scan: a client dribbling the
+        // request in tiny writes must still get a correct, prompt answer.
+        let server = serve("127.0.0.1:0", Arc::new(HealthBoard::default())).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        let request = b"GET /healthz HTTP/1.1\r\nHost: t\r\nX-Pad: aaaaaaaaaaaaaaaa\r\n\r\n";
+        for byte in request.iter() {
+            stream.write_all(std::slice::from_ref(byte)).unwrap();
+            stream.flush().unwrap();
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
     }
 
     #[test]

@@ -74,6 +74,8 @@ fn erased_session_lands_on_the_concrete_filter_bits() {
 fn homogeneous_f64_bank_lands_on_the_concrete_filter_bits() {
     // A whole bank of identical f64 sessions, stepped through the routed
     // pool path: every session must land on the same pre-refactor bits.
+    // `insert_filter` routes this fixture onto the monomorphized backend,
+    // so this test also pins the const-generic kernel to the golden bits.
     let mut bank = FilterBank::new();
     let ids: Vec<_> = (0..4).map(|_| bank.insert_filter(filter())).collect();
     for t in 0..64 {
@@ -82,8 +84,66 @@ fn homogeneous_f64_bank_lands_on_the_concrete_filter_bits() {
         bank.step_batch(&batch).expect("batch");
     }
     for &id in &ids {
+        assert_eq!(bank.backend_name(id), Some("software-mono"));
         assert_golden(&bank.state(id).expect("session present"));
         assert_eq!(bank.steps_ok(id), Some(64));
+    }
+}
+
+#[test]
+fn paper_shape_mono_session_matches_the_dynamic_session_bit_for_bit() {
+    // The paper's x = 6 kinematic state observed through 46 channels — the
+    // smallest of the monomorphized BCI shapes. The dynamic erased session
+    // and the const-generic session must agree on every bit of the state
+    // after a trajectory that exercises both interleaved paths.
+    const X: usize = 6;
+    const Z: usize = 46;
+    let f = Matrix::from_fn(X, X, |r, c| {
+        if r == c {
+            1.0
+        } else if c == r + 2 {
+            0.02 // position <- velocity, velocity <- acceleration coupling
+        } else {
+            0.0
+        }
+    });
+    let q = Matrix::identity(X).scale(1e-3);
+    let h = Matrix::from_fn(Z, X, |r, c| {
+        // Deterministic dense-ish observation pattern spanning all states.
+        0.05 + 0.9 / (1.0 + ((r * X + c) % 17) as f64)
+    });
+    let r = Matrix::identity(Z).scale(0.5);
+    let model = KalmanModel::new(f, q, h, r).unwrap();
+
+    let build = || {
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+        KalmanFilter::new(
+            model.clone(),
+            KalmanState::zeroed(X),
+            InverseGain::new(strat),
+        )
+    };
+    let mut mono = kalmmind::small::try_small_session(build()).expect("6x46 must monomorphize");
+    let mut dynamic: Box<dyn SessionBackend> = Box::new(FilterSession::new(build()));
+    assert_eq!(mono.backend_name(), "software-mono");
+
+    for t in 0..40 {
+        let z: Vec<f64> = (0..Z)
+            .map(|c| 0.1 * t as f64 + ((c % 7) as f64) * 0.01)
+            .collect();
+        mono.step(&z).expect("mono step");
+        dynamic.step(&z).expect("dynamic step");
+    }
+    let (ms, ds) = (mono.state(), dynamic.state());
+    for i in 0..X {
+        assert_eq!(ms.x()[i].to_bits(), ds.x()[i].to_bits(), "x[{i}]");
+        for j in 0..X {
+            assert_eq!(
+                ms.p()[(i, j)].to_bits(),
+                ds.p()[(i, j)].to_bits(),
+                "p[({i},{j})]"
+            );
+        }
     }
 }
 

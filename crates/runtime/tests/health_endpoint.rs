@@ -134,7 +134,7 @@ fn diverging_session_dumps_flight_record_and_flips_healthz() {
     // the validator.
     let dump = bank.flight_record(ids[1]).expect("divergence must dump");
     let summary = validate_flight_record(dump).expect("dump must validate");
-    assert_eq!(summary.session, ids[1].as_u64() as usize);
+    assert_eq!(summary.session, ids[1].as_u64());
     assert_eq!(summary.status, "diverged");
     assert!(summary.snapshots > 0, "ring must hold snapshots");
     assert!(

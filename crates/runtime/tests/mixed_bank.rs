@@ -74,8 +74,9 @@ fn mixed_backends_step_concurrently_and_match_their_references() {
         assert_eq!(report.pool.spawned_threads, 3, "no spawns under load");
     }
 
-    // Labels expose the heterogeneity.
-    assert_eq!(bank.backend_name(soft_f64), Some("software"));
+    // Labels expose the heterogeneity. The fresh interleaved 2-state f64
+    // and Q16.16 filters land on the monomorphized software backend.
+    assert_eq!(bank.backend_name(soft_f64), Some("software-mono"));
     assert_eq!(bank.scalar_name(soft_f64), Some("f64"));
     assert_eq!(bank.scalar_name(soft_q16), Some("q16.16"));
     assert_eq!(bank.backend_name(accel_fp), Some("accel-sim"));
@@ -225,7 +226,7 @@ fn evict_on_diverge_fires_on_the_hostile_configuration() {
     );
     let dump = records[0].flight_record.as_deref().expect("dump retained");
     let summary = kalmmind_obs::validate::validate_flight_record(dump).expect("dump must validate");
-    assert_eq!(summary.session, hostile.as_u64() as usize);
+    assert_eq!(summary.session, hostile.as_u64());
 
     // With the diverged session gone, a freshly attached /healthz is green.
     let server = bank.serve_on("127.0.0.1:0").expect("bind ephemeral port");
