@@ -59,6 +59,13 @@ impl DmaEngine {
         }
     }
 
+    /// Recreates an engine mid-flight from persisted statistics (session
+    /// snapshot restore): the counters resume exactly where the captured
+    /// engine stopped, without charging any transfer.
+    pub fn with_stats(params: DmaParams, stats: DmaStats) -> Self {
+        Self { params, stats }
+    }
+
     /// Records a load of `elements` datapath words.
     pub fn load(&mut self, elements: usize, width: WordWidth) {
         self.transfer(elements, width, true);

@@ -17,16 +17,32 @@
 //! `AccelSim::run`'s load phase.
 
 use kalmmind::session::{SessionBackend, SessionHealth, SessionTelemetry, StepOutcome};
-use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState, Result};
+use kalmmind::snapshot::{AccelTelemetry, SessionSnapshot};
+use kalmmind::{FilterSession, KalmanError, KalmanFilter, KalmanModel, KalmanState, Result};
 use kalmmind_fixed::{Q16_16, Q32_32};
 use kalmmind_linalg::Scalar;
 
 use crate::cost::Datatype;
-use crate::design::{Design, DesignKind};
-use crate::dma::{model_load_elements, DmaEngine, DmaStats};
+use crate::design::{catalog, Design, DesignKind};
+use crate::dma::{model_load_elements, DmaEngine, DmaParams, DmaStats};
 use crate::registers::AcceleratorConfig;
 use crate::sim::{build_gain, AccelSim, CycleBreakdown};
 use crate::CLOCK_HZ;
+
+fn bad(reason: impl Into<String>) -> KalmanError {
+    KalmanError::BadSnapshot {
+        reason: reason.into(),
+    }
+}
+
+/// Scalar label a datatype's element type reports through `Scalar::NAME`.
+fn scalar_name(datatype: Datatype) -> &'static str {
+    match datatype {
+        Datatype::Fp32 => "f32",
+        Datatype::Fx32 => "q16.16",
+        Datatype::Fx64 => "q32.32",
+    }
+}
 
 /// One accelerator-model session: the design's datapath stepped one
 /// measurement at a time, with cycle, DMA, and energy accounting.
@@ -111,6 +127,141 @@ impl<T: Scalar> AccelSession<T> {
     pub fn dma_stats(&self) -> DmaStats {
         self.dma.stats()
     }
+
+    /// The cycle/DMA accounting in its snapshot encoding.
+    fn telemetry_bits(&self) -> AccelTelemetry {
+        let dma = self.dma.stats();
+        AccelTelemetry {
+            design: self.design.name.to_string(),
+            chunks: self.config.chunks,
+            batches: self.config.batches,
+            load_cycles: self.load_cycles,
+            store_cycles: self.store_cycles,
+            compute_cycles: self.compute_cycles,
+            dma_transactions: dma.transactions,
+            dma_words_in: dma.words_in,
+            dma_words_out: dma.words_out,
+            dma_cycles: dma.cycles,
+        }
+    }
+
+    /// Rebuilds a typed session from an `"accel-sim"` snapshot.
+    ///
+    /// The design is recovered from the catalog by its Table III name; the
+    /// inner filter, seed history, and health bundle restore bit-exactly
+    /// through [`kalmmind::snapshot::restore_filter_session`]; and the
+    /// cycle split and DMA statistics resume where the captured session
+    /// stopped — the one-time model load is **not** charged again, so
+    /// lifetime telemetry stays continuous across a migrate.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSnapshot`] when the snapshot is not `"accel-sim"`,
+    /// names an unknown or non-interleaved design, or its scalar label does
+    /// not match both `T` and the design's datatype;
+    /// [`KalmanError::BadConfig`] when the restored registers no longer fit
+    /// the design's PLM sizing.
+    pub fn restore(snap: &SessionSnapshot) -> Result<Self> {
+        if snap.backend != "accel-sim" {
+            return Err(bad(format!(
+                "accelerator restore handles backend \"accel-sim\", got {:?}",
+                snap.backend
+            )));
+        }
+        let telemetry = snap
+            .accel
+            .as_ref()
+            .ok_or_else(|| bad("accel-sim snapshot carries no accelerator telemetry"))?;
+        let design = catalog::table3()
+            .into_iter()
+            .find(|d| d.name == telemetry.design)
+            .ok_or_else(|| bad(format!("unknown accelerator design {:?}", telemetry.design)))?;
+        if !matches!(design.kind, DesignKind::CalcApprox { .. }) {
+            return Err(bad(format!(
+                "design {} has no interleaved datapath; only calc/approx designs snapshot",
+                design.name
+            )));
+        }
+        let expected = scalar_name(design.datatype);
+        if T::NAME != expected {
+            return Err(bad(format!(
+                "design {} runs in {expected}, restore requested {}",
+                design.name,
+                T::NAME
+            )));
+        }
+        if telemetry.chunks == 0 || telemetry.batches == 0 {
+            return Err(bad("chunks and batches must be positive"));
+        }
+        if snap.gain.approx == 0 {
+            return Err(bad(format!(
+                "{} requires at least one Newton iteration",
+                design.name
+            )));
+        }
+        let config = AcceleratorConfig {
+            x_dim: snap.x_dim,
+            z_dim: snap.z_dim,
+            chunks: telemetry.chunks,
+            batches: telemetry.batches,
+            approx: snap.gain.approx,
+            calc_freq: snap.gain.calc_freq,
+            policy: snap.gain.policy,
+        };
+        // The PLM half of `AccelSim::check_config`; the model-dimension half
+        // holds by construction (the snapshot's model is sized by its own
+        // `x_dim`/`z_dim`).
+        let plm = design.plm(config.x_dim, config.z_dim, config.chunks);
+        if design.tracks_covariance() {
+            plm.check_fits("S", config.z_dim * config.z_dim)?;
+        }
+        plm.check_fits("z_chunk", config.chunks * config.z_dim)?;
+
+        let inner = kalmmind::snapshot::restore_filter_session::<T>(snap)?;
+        let dma = DmaEngine::with_stats(
+            DmaParams::default(),
+            DmaStats {
+                transactions: telemetry.dma_transactions,
+                words_in: telemetry.dma_words_in,
+                words_out: telemetry.dma_words_out,
+                cycles: telemetry.dma_cycles,
+            },
+        );
+        let power_w = design.power_w(config.x_dim, config.z_dim, config.chunks);
+        Ok(Self {
+            design,
+            config,
+            inner,
+            dma,
+            load_cycles: telemetry.load_cycles,
+            store_cycles: telemetry.store_cycles,
+            compute_cycles: telemetry.compute_cycles,
+            power_w,
+        })
+    }
+}
+
+/// Restores a boxed `"accel-sim"` session in the element type the
+/// snapshot's design selects — the counterpart of [`AccelSession::erased`],
+/// shaped for registration as a bank restorer.
+///
+/// # Errors
+///
+/// Same as [`AccelSession::restore`].
+pub fn restore_accel_session(snap: &SessionSnapshot) -> Result<Box<dyn SessionBackend>> {
+    let telemetry = snap
+        .accel
+        .as_ref()
+        .ok_or_else(|| bad("accel-sim snapshot carries no accelerator telemetry"))?;
+    let design = catalog::table3()
+        .into_iter()
+        .find(|d| d.name == telemetry.design)
+        .ok_or_else(|| bad(format!("unknown accelerator design {:?}", telemetry.design)))?;
+    Ok(match design.datatype {
+        Datatype::Fp32 => Box::new(AccelSession::<f32>::restore(snap)?),
+        Datatype::Fx32 => Box::new(AccelSession::<Q16_16>::restore(snap)?),
+        Datatype::Fx64 => Box::new(AccelSession::<Q32_32>::restore(snap)?),
+    })
 }
 
 impl AccelSession<f64> {
@@ -205,6 +356,12 @@ impl<T: Scalar> SessionBackend for AccelSession<T> {
             energy_j: self.power_w * latency_s,
         }
     }
+
+    fn snapshot(&self) -> Result<String> {
+        let telemetry = Some(self.telemetry_bits());
+        kalmmind::snapshot::capture_filter_session(&self.inner, "accel-sim", telemetry)
+            .map(|s| s.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -287,5 +444,108 @@ mod tests {
         let err =
             AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap_err();
         assert!(matches!(err, kalmmind::KalmanError::BadConfig { .. }));
+    }
+
+    #[test]
+    fn restored_session_replays_bit_exactly_with_continuous_telemetry() {
+        // For every calc/approx datatype: run 8 steps live, snapshot, keep
+        // the live session running to 20, then restore the snapshot into a
+        // fresh session and replay steps 8..20 — states, health, cycles,
+        // and DMA counters must all land identically.
+        for design in [
+            catalog::gauss_newton(),
+            catalog::gauss_newton_fx32(),
+            catalog::gauss_newton_fx64(),
+        ] {
+            let sim = AccelSim::new(design);
+            let config = AcceleratorConfig::for_iterations(2, 3, 20);
+            let mut live =
+                AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap();
+            for z in measurements(8) {
+                live.step(z.as_slice()).unwrap();
+            }
+            let json = live.snapshot().unwrap();
+            // `from_json` runs the normative kalmmind-obs validator first,
+            // so parsing succeeding doubles as schema conformance.
+            let snap = SessionSnapshot::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: invalid snapshot: {e}", design.name));
+            let mut restored = restore_accel_session(&snap).unwrap();
+            assert_eq!(restored.iteration(), 8, "{}", design.name);
+            assert_eq!(restored.backend_name(), "accel-sim");
+            assert_eq!(restored.scalar_name(), live.scalar_name());
+            // Telemetry resumes (no second model-load charge).
+            assert_eq!(
+                restored.telemetry().cycles,
+                live.telemetry().cycles,
+                "{}",
+                design.name
+            );
+
+            for z in measurements(20).iter().skip(8) {
+                live.step(z.as_slice()).unwrap();
+                restored.step(z.as_slice()).unwrap();
+            }
+            let (a, b) = (live.state(), restored.state());
+            for i in 0..2 {
+                assert_eq!(
+                    a.x()[i].to_bits(),
+                    b.x()[i].to_bits(),
+                    "{}: state diverged",
+                    design.name
+                );
+            }
+            assert_eq!(live.telemetry().cycles, restored.telemetry().cycles);
+            assert_eq!(
+                live.telemetry().energy_j.to_bits(),
+                restored.telemetry().energy_j.to_bits(),
+                "{}: energy accounting diverged",
+                design.name
+            );
+            assert_eq!(live.health().status(), restored.health().status());
+        }
+    }
+
+    #[test]
+    fn non_interleaved_designs_refuse_to_snapshot() {
+        let sim = AccelSim::new(catalog::sskf());
+        let config = AcceleratorConfig::for_iterations(2, 3, 5);
+        let session =
+            AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap();
+        let err = session.snapshot().unwrap_err();
+        assert!(matches!(err, kalmmind::KalmanError::BadSnapshot { .. }));
+    }
+
+    #[test]
+    fn restore_rejects_unknown_design_and_missing_telemetry() {
+        let sim = AccelSim::new(catalog::gauss_newton());
+        let config = AcceleratorConfig::for_iterations(2, 3, 5);
+        let mut session =
+            AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap();
+        for z in measurements(3) {
+            session.step(z.as_slice()).unwrap();
+        }
+        let snap = SessionSnapshot::from_json(&session.snapshot().unwrap()).unwrap();
+
+        let mut renamed = snap.clone();
+        renamed.accel.as_mut().unwrap().design = "No Such Design".to_string();
+        assert!(matches!(
+            restore_accel_session(&renamed),
+            Err(kalmmind::KalmanError::BadSnapshot { .. })
+        ));
+
+        let mut stripped = snap.clone();
+        stripped.accel = None;
+        assert!(matches!(
+            restore_accel_session(&stripped),
+            Err(kalmmind::KalmanError::BadSnapshot { .. })
+        ));
+
+        // A software snapshot must not restore as an accelerator session.
+        let mut software = snap;
+        software.backend = "software".to_string();
+        assert!(matches!(
+            AccelSession::<f32>::restore(&software),
+            Err(kalmmind::KalmanError::BadSnapshot { .. })
+        ));
     }
 }

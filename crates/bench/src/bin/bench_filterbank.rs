@@ -231,6 +231,42 @@ fn main() {
          /metrics 200 ({metrics_families} families), /metrics.json 200"
     );
 
+    // Part 4: snapshot/restore self-probe. Capture the probed session
+    // mid-trajectory, validate the document against the normative
+    // `kalmmind.session_snapshot.v1` schema, restore it into a fresh bank
+    // on the same pool, run both banks forward through identical
+    // measurements, and require byte-identical final snapshots — so the CI
+    // bench-smoke can assert bit-exact replay from the emitted JSON.
+    let snapshot_doc = probe_bank
+        .snapshot_session(probe_ids[0])
+        .expect("snapshot probe session");
+    let snapshot_summary =
+        kalmmind_obs::validate::validate_snapshot(&snapshot_doc).expect("snapshot must validate");
+    let mut restored_bank = FilterBank::with_pool(Arc::clone(&pool));
+    let restored_id = restored_bank
+        .restore_session(&snapshot_doc)
+        .expect("restore probe snapshot");
+    assert_eq!(restored_id, probe_ids[0], "restore keeps the stable id");
+    probe_bank
+        .run(&[(probe_ids[0], rows[64..128].to_vec())])
+        .expect("live replay leg");
+    restored_bank
+        .run(&[(restored_id, rows[64..128].to_vec())])
+        .expect("restored replay leg");
+    let replay_bit_exact = probe_bank
+        .snapshot_session(probe_ids[0])
+        .expect("live final")
+        == restored_bank
+            .snapshot_session(restored_id)
+            .expect("restored final");
+    assert!(replay_bit_exact, "restored replay diverged from live run");
+    println!(
+        "snapshot self-probe: {} bytes, backend {}, iteration {}, restore+replay bit-exact",
+        snapshot_doc.len(),
+        snapshot_summary.backend,
+        snapshot_summary.iteration
+    );
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -274,6 +310,13 @@ fn main() {
     let _ = writeln!(json, "    \"metrics_code\": {metrics_code},");
     let _ = writeln!(json, "    \"metrics_families\": {metrics_families},");
     let _ = writeln!(json, "    \"metrics_json_code\": {mj_code}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"snapshot\": {{");
+    let _ = writeln!(json, "    \"bytes\": {},", snapshot_doc.len());
+    let _ = writeln!(json, "    \"backend\": \"{}\",", snapshot_summary.backend);
+    let _ = writeln!(json, "    \"scalar\": \"{}\",", snapshot_summary.scalar);
+    let _ = writeln!(json, "    \"iteration\": {},", snapshot_summary.iteration);
+    let _ = writeln!(json, "    \"replay_bit_exact\": {replay_bit_exact}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());

@@ -54,6 +54,13 @@ pub enum KalmanError {
         /// Name of the strategy.
         strategy: &'static str,
     },
+    /// A session snapshot could not be produced or restored: the backend's
+    /// strategy does not support snapshotting, the document is malformed,
+    /// or a bit pattern does not fit the target element type.
+    BadSnapshot {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
     /// A bank measurement batch routed a measurement to a session the bank
     /// does not hold (stale, evicted, or foreign id) or routed two
     /// measurements to the same session in one batch.
@@ -85,6 +92,9 @@ impl fmt::Display for KalmanError {
             }
             Self::NotTrained { strategy } => {
                 write!(f, "strategy {strategy} must be trained before use")
+            }
+            Self::BadSnapshot { reason } => {
+                write!(f, "bad session snapshot: {reason}")
             }
             Self::BadSession { id, reason } => {
                 write!(f, "bank session {id}: {reason}")

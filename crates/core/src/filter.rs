@@ -135,6 +135,29 @@ impl<T: Scalar, G: GainStrategy<T>> KalmanFilter<T, G> {
         }
     }
 
+    /// Rebuilds a filter at a mid-trajectory point (snapshot restore):
+    /// like [`KalmanFilter::new`] but resuming from a non-zero iteration
+    /// counter, so the interleaved calc/approx schedule continues where
+    /// the snapshot was captured instead of restarting at `n = 0`.
+    pub(crate) fn restore(
+        model: KalmanModel<T>,
+        state: KalmanState<T>,
+        gain: G,
+        iteration: usize,
+    ) -> Self {
+        assert_eq!(
+            state.dim(),
+            model.x_dim(),
+            "restored state dimension must match the model"
+        );
+        Self {
+            model,
+            state,
+            gain,
+            iteration,
+        }
+    }
+
     /// Borrow of the model.
     pub fn model(&self) -> &KalmanModel<T> {
         &self.model

@@ -80,6 +80,17 @@ pub trait GainStrategy<T: Scalar>: Send + std::fmt::Debug {
     fn interleaved_spec(&self) -> Option<crate::inverse::InterleavedSpec> {
         None
     }
+
+    /// The complete interleaved-inverse runtime state behind this strategy,
+    /// if it is an [`InverseGain`] over an
+    /// [`InterleavedInverse`](crate::inverse::InterleavedInverse) —
+    /// registers, path counters, and seed history. Session snapshots carry
+    /// this so a restored filter resumes the identical calc/approx
+    /// floating-point sequence; every other strategy keeps the `None`
+    /// default and its sessions refuse to snapshot.
+    fn interleaved_state(&self) -> Option<crate::inverse::InterleavedState<T>> {
+        None
+    }
 }
 
 impl<T: Scalar> GainStrategy<T> for Box<dyn GainStrategy<T>> {
@@ -106,6 +117,10 @@ impl<T: Scalar> GainStrategy<T> for Box<dyn GainStrategy<T>> {
 
     fn interleaved_spec(&self) -> Option<crate::inverse::InterleavedSpec> {
         (**self).interleaved_spec()
+    }
+
+    fn interleaved_state(&self) -> Option<crate::inverse::InterleavedState<T>> {
+        (**self).interleaved_state()
     }
 }
 
@@ -192,6 +207,10 @@ impl<T: Scalar, I: InverseStrategy<T>> GainStrategy<T> for InverseGain<I> {
 
     fn interleaved_spec(&self) -> Option<crate::inverse::InterleavedSpec> {
         self.inverse.interleaved_spec()
+    }
+
+    fn interleaved_state(&self) -> Option<crate::inverse::InterleavedState<T>> {
+        self.inverse.interleaved_state()
     }
 }
 

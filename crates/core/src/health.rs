@@ -101,6 +101,16 @@ impl HealthStatus {
             HealthStatus::Diverged => "diverged",
         }
     }
+
+    /// Inverse of [`Self::as_str`], used when decoding session snapshots.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "healthy" => Some(HealthStatus::Healthy),
+            "degraded" => Some(HealthStatus::Degraded),
+            "diverged" => Some(HealthStatus::Diverged),
+            _ => None,
+        }
+    }
 }
 
 /// Thresholds for the [`HealthMonitor`] state machine.
@@ -303,6 +313,32 @@ impl HealthMonitor {
     /// Creates a monitor for a `z_dim`-channel filter with default bounds.
     pub fn new(z_dim: usize) -> Self {
         Self::with_config(z_dim, HealthConfig::default())
+    }
+
+    /// Rebuilds a monitor mid-trajectory from snapshot state: the ring is
+    /// restored *in storage order* with its write cursor, because the
+    /// window mean is an order-dependent floating-point sum — restoring a
+    /// reordered window would change future health transitions.
+    pub(crate) fn restore(
+        z_dim: usize,
+        config: HealthConfig,
+        window: Vec<f64>,
+        next: usize,
+        status: HealthStatus,
+        reason: String,
+    ) -> Self {
+        let mut mon = Self::with_config(z_dim, config);
+        mon.nis_window = window;
+        mon.next = next;
+        mon.status = status;
+        mon.reason = reason;
+        mon
+    }
+
+    /// The NIS ring in storage order plus the write cursor — the exact
+    /// state a snapshot must carry to reproduce future window means.
+    pub(crate) fn window_raw(&self) -> (&[f64], usize) {
+        (&self.nis_window, self.next)
     }
 
     /// Creates a monitor with explicit bounds.
@@ -590,6 +626,27 @@ impl FlightRecorder {
         self.total
     }
 
+    /// Ring capacity the recorder was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuilds a recorder from snapshot state. `snapshots` is oldest
+    /// first (the [`Self::snapshots`] order); storing it with `head = 0`
+    /// reproduces an equivalent ring — the next `record` overwrites the
+    /// oldest entry exactly as it would have in the live recorder.
+    pub(crate) fn restore(capacity: usize, snapshots: Vec<StepSnapshot>, total: u64) -> Self {
+        let capacity = capacity.max(1);
+        let mut ring = snapshots;
+        ring.truncate(capacity);
+        Self {
+            capacity,
+            ring,
+            head: 0,
+            total,
+        }
+    }
+
     /// Snapshots currently in the ring, oldest first.
     pub fn snapshots(&self) -> Vec<StepSnapshot> {
         let mut out = Vec::with_capacity(self.ring.len());
@@ -653,7 +710,7 @@ fn json_num(v: Option<f64>) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

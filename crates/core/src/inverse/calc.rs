@@ -65,6 +65,11 @@ impl CalcMethod {
         }
     }
 
+    /// Inverse of [`Self::name`], used when decoding session snapshots.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+
     /// All calculation methods, for exhaustive sweeps.
     pub const ALL: [CalcMethod; 4] = [Self::Gauss, Self::Lu, Self::Cholesky, Self::Qr];
 }

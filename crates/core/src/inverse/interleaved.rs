@@ -5,7 +5,8 @@ use kalmmind_linalg::{iterative, Matrix, Scalar};
 use kalmmind_obs as obs;
 
 use crate::inverse::{
-    store_history, CalcMethod, InterleavedSpec, InversePath, InverseStrategy, SeedPolicy,
+    store_history, CalcMethod, InterleavedSpec, InterleavedState, InversePath, InverseStrategy,
+    SeedPolicy,
 };
 use crate::workspace::InverseWorkspace;
 use crate::{KalmanError, Result};
@@ -147,6 +148,25 @@ impl<T: Scalar> InterleavedInverse<T> {
     /// temporal-correlation assumption behind the seed policies.
     pub fn fallback_count(&self) -> usize {
         self.fallback_count
+    }
+
+    /// Rebuilds a strategy from snapshot state, resuming the calc/approx
+    /// schedule exactly where [`InverseStrategy::interleaved_state`]
+    /// captured it: the next approximation step seeds from the restored
+    /// history matrices, so the Newton iteration runs the identical
+    /// floating-point sequence the live strategy would have.
+    pub fn restore(state: InterleavedState<T>) -> Self {
+        Self {
+            calc: state.calc,
+            approx: state.approx,
+            calc_freq: state.calc_freq,
+            policy: state.policy,
+            last_calculated: state.last_calculated,
+            previous: state.previous,
+            calc_count: state.calc_count,
+            approx_count: state.approx_count,
+            fallback_count: state.fallback_count,
+        }
     }
 
     /// `true` when KF iteration `n` runs the calculation path under schedule
@@ -334,6 +354,20 @@ impl<T: Scalar> InverseStrategy<T> for InterleavedInverse<T> {
             approx: self.approx,
             calc_freq: self.calc_freq,
             policy: self.policy,
+        })
+    }
+
+    fn interleaved_state(&self) -> Option<InterleavedState<T>> {
+        Some(InterleavedState {
+            calc: self.calc,
+            approx: self.approx,
+            calc_freq: self.calc_freq,
+            policy: self.policy,
+            calc_count: self.calc_count,
+            approx_count: self.approx_count,
+            fallback_count: self.fallback_count,
+            last_calculated: self.last_calculated.clone(),
+            previous: self.previous.clone(),
         })
     }
 }

@@ -99,6 +99,15 @@ pub trait InverseStrategy<T: Scalar>: Send + std::fmt::Debug {
     fn interleaved_spec(&self) -> Option<InterleavedSpec> {
         None
     }
+
+    /// The complete runtime state of this strategy, if it is an
+    /// [`InterleavedInverse`]: registers, path counters, and the seed
+    /// history matrices. This is what a session snapshot must carry to
+    /// resume the calc/approx schedule bit-exactly mid-trajectory; other
+    /// strategies return `None` and their sessions refuse to snapshot.
+    fn interleaved_state(&self) -> Option<InterleavedState<T>> {
+        None
+    }
 }
 
 impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
@@ -127,6 +136,10 @@ impl<T: Scalar> InverseStrategy<T> for Box<dyn InverseStrategy<T>> {
     fn interleaved_spec(&self) -> Option<InterleavedSpec> {
         (**self).interleaved_spec()
     }
+
+    fn interleaved_state(&self) -> Option<InterleavedState<T>> {
+        (**self).interleaved_state()
+    }
 }
 
 /// The four registers that fully determine an [`InterleavedInverse`] before
@@ -142,6 +155,34 @@ pub struct InterleavedSpec {
     pub calc_freq: u32,
     /// Seed equation (the `policy` register).
     pub policy: SeedPolicy,
+}
+
+/// The complete cross-iteration state of an [`InterleavedInverse`]: the
+/// four configuration registers, the diagnostic path counters, and the
+/// seed history matrices the Newton–Schulz approximation is initialized
+/// from. [`InterleavedInverse::restore`] turns this back into a strategy
+/// that continues the schedule exactly where the snapshot left off.
+#[derive(Debug, Clone)]
+pub struct InterleavedState<T> {
+    /// Path A calculation method.
+    pub calc: CalcMethod,
+    /// Newton–Schulz internal-iteration count (the `approx` register).
+    pub approx: usize,
+    /// Calculation schedule (the `calc_freq` register).
+    pub calc_freq: u32,
+    /// Seed equation (the `policy` register).
+    pub policy: SeedPolicy,
+    /// Calculation-path steps taken (diagnostics only — the schedule
+    /// depends solely on the global iteration index).
+    pub calc_count: usize,
+    /// Approximation-path steps taken (diagnostics only).
+    pub approx_count: usize,
+    /// Non-finite-recovery fallbacks taken (diagnostics only).
+    pub fallback_count: usize,
+    /// The most recently *calculated* inverse (the Eq. 5 seed).
+    pub last_calculated: Option<Matrix<T>>,
+    /// The previous iteration's inverse (the Eq. 4 seed).
+    pub previous: Option<Matrix<T>>,
 }
 
 /// Copies `value` into an optional history slot, reusing the existing buffer
@@ -185,6 +226,17 @@ impl InversePath {
             InversePath::Calc => "calc",
             InversePath::Approx => "approx",
             InversePath::Fallback => "fallback",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`], used when decoding session snapshots.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "unknown" => Some(InversePath::Unknown),
+            "calc" => Some(InversePath::Calc),
+            "approx" => Some(InversePath::Approx),
+            "fallback" => Some(InversePath::Fallback),
+            _ => None,
         }
     }
 }

@@ -63,6 +63,7 @@ pub mod health;
 pub mod inverse;
 pub mod session;
 pub mod small;
+pub mod snapshot;
 pub mod sweep;
 pub mod train;
 pub mod tuner;

@@ -109,6 +109,46 @@ impl SessionHealth {
         self.label = label;
     }
 
+    /// The label stamped into flight-record dumps.
+    pub fn label(&self) -> u64 {
+        self.label
+    }
+
+    /// Rebuilds a bundle from snapshot state (monitor window, recorder
+    /// ring, dump-on-worsening bookkeeping), so a restored session keeps
+    /// producing the same health transitions and post-mortems the live
+    /// session would have.
+    pub(crate) fn restore(
+        monitor: HealthMonitor,
+        recorder: FlightRecorder,
+        worst: HealthStatus,
+        dump: Option<String>,
+        label: u64,
+    ) -> Self {
+        Self {
+            monitor,
+            recorder,
+            worst,
+            dump,
+            label,
+        }
+    }
+
+    /// The rolling monitor (snapshot capture).
+    pub(crate) fn monitor(&self) -> &HealthMonitor {
+        &self.monitor
+    }
+
+    /// The flight-recorder ring (snapshot capture).
+    pub(crate) fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Worst health ever assessed (snapshot capture).
+    pub(crate) fn worst(&self) -> HealthStatus {
+        self.worst
+    }
+
     /// Current health verdict.
     pub fn status(&self) -> HealthStatus {
         self.monitor.status()
@@ -225,6 +265,28 @@ pub trait SessionBackend: Send + fmt::Debug {
     fn telemetry(&self) -> SessionTelemetry {
         SessionTelemetry::default()
     }
+
+    /// Serializes the complete session — model, state, gain registers and
+    /// seed history, iteration count, health window, and flight-recorder
+    /// ring — as a versioned `kalmmind.session_snapshot.v1` JSON document
+    /// (see [`crate::snapshot`]). Restoring the document with
+    /// [`crate::snapshot::restore`] yields a session that continues the
+    /// trajectory bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSnapshot`] when the backend's gain strategy does
+    /// not support snapshotting (the default for backends that have not
+    /// opted in).
+    fn snapshot(&self) -> Result<String> {
+        Err(KalmanError::BadSnapshot {
+            reason: format!(
+                "backend {} with strategy {} does not support snapshots",
+                self.backend_name(),
+                self.strategy_name()
+            ),
+        })
+    }
 }
 
 /// Software [`SessionBackend`]: any [`KalmanFilter`] plus its private
@@ -246,6 +308,21 @@ impl<T: Scalar, G: GainStrategy<T>> FilterSession<T, G> {
         let ws = filter.workspace();
         let z_dim = filter.model().z_dim();
         let health = SessionHealth::new(z_dim);
+        Self {
+            filter,
+            ws,
+            z_buf: Vector::zeros(z_dim),
+            health,
+        }
+    }
+
+    /// Rebuilds a session around a mid-trajectory filter and a restored
+    /// health bundle (snapshot restore). The workspace and measurement
+    /// buffer are freshly sized — every buffer is fully overwritten each
+    /// step, so they carry no trajectory-visible state.
+    pub(crate) fn from_restored(filter: KalmanFilter<T, G>, health: SessionHealth) -> Self {
+        let ws = filter.workspace();
+        let z_dim = filter.model().z_dim();
         Self {
             filter,
             ws,
@@ -337,6 +414,10 @@ impl<T: Scalar, G: GainStrategy<T> + 'static> SessionBackend for FilterSession<T
 
     fn health_mut(&mut self) -> &mut SessionHealth {
         &mut self.health
+    }
+
+    fn snapshot(&self) -> Result<String> {
+        crate::snapshot::capture_filter_session(self, "software", None).map(|s| s.to_json())
     }
 }
 

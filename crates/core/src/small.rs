@@ -40,7 +40,10 @@ use crate::inverse::{
     InterleavedInverse, InterleavedSpec, InversePath, SeedPolicy,
 };
 use crate::session::{SessionBackend, SessionHealth, StepOutcome, NON_FINITE_REASON};
+use crate::snapshot::{GainBits, ModelBits, SessionSnapshot};
 use crate::{KalmanError, KalmanFilter, KalmanModel, KalmanState, Result};
+use kalmmind_fixed::{Q16_16, Q32_32};
+use kalmmind_linalg::bits::{matrix_bits, vector_bits};
 
 /// The `(x_dim, z_dim)` pairs the shape dispatch monomorphizes: the 2-state
 /// bench model and the paper's `x = 6` kinematic state observed through 46,
@@ -185,6 +188,75 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
             tmp: SmallMatrix::boxed_zeros(),
             health: SessionHealth::new(Z),
         })
+    }
+
+    /// Rebuilds a monomorphized session mid-trajectory from a snapshot:
+    /// [`Self::from_parts`] followed by restoring the iteration counter,
+    /// the boxed seed-history matrices, and the health bundle. The dynamic
+    /// restore path keeps the same state in an [`InterleavedInverse`], so
+    /// both paths resume the identical floating-point sequence.
+    pub(crate) fn restore_from_snapshot(snap: &SessionSnapshot) -> Result<Self> {
+        let (model, state, gain) = crate::snapshot::rebuild_parts::<T>(snap)?;
+        let spec = InterleavedSpec {
+            calc: gain.calc,
+            approx: gain.approx,
+            calc_freq: gain.calc_freq,
+            policy: gain.policy,
+        };
+        let mut session = Self::from_parts(&model, &state, spec)?;
+        session.iteration = snap.iteration;
+        if let Some(m) = &gain.last_calculated {
+            let mut hist = SmallMatrix::boxed_zeros();
+            hist.copy_from_matrix(m)?;
+            session.last_calculated = Some(hist);
+        }
+        if let Some(m) = &gain.previous {
+            let mut hist = SmallMatrix::boxed_zeros();
+            hist.copy_from_matrix(m)?;
+            session.previous = Some(hist);
+        }
+        session.health = crate::snapshot::rebuild_health(snap);
+        Ok(session)
+    }
+
+    /// Captures the session as a scalar-erased [`SessionSnapshot`]. The
+    /// mono path keeps no per-path counters (they live in the process-wide
+    /// `obs` instruments instead), so the diagnostic counter fields are
+    /// zero; the schedule itself depends only on the iteration index.
+    fn capture(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            backend: "software-mono".to_string(),
+            scalar: T::NAME.to_string(),
+            strategy: self.strategy.to_string(),
+            label: self.health.label(),
+            x_dim: X,
+            z_dim: Z,
+            iteration: self.iteration,
+            model: ModelBits {
+                f: matrix_bits(&self.f.to_matrix()),
+                q: matrix_bits(&self.q.to_matrix()),
+                h: matrix_bits(&self.h.to_matrix()),
+                r: matrix_bits(&self.r.to_matrix()),
+            },
+            state_x: vector_bits(&self.x.to_vector()),
+            state_p: matrix_bits(&self.p.to_matrix()),
+            gain: GainBits {
+                calc: self.calc,
+                approx: self.approx,
+                calc_freq: self.calc_freq,
+                policy: self.policy,
+                calc_count: 0,
+                approx_count: 0,
+                fallback_count: 0,
+                last_calculated: self
+                    .last_calculated
+                    .as_ref()
+                    .map(|m| matrix_bits(&m.to_matrix())),
+                previous: self.previous.as_ref().map(|m| matrix_bits(&m.to_matrix())),
+            },
+            health: crate::snapshot::capture_health(&self.health),
+            accel: None,
+        }
     }
 
     /// Path A / fallback: exact inversion of `S` through the dynamic
@@ -471,6 +543,47 @@ impl<T: Scalar, const X: usize, const Z: usize> SessionBackend for SmallFilterSe
 
     fn health_mut(&mut self) -> &mut SessionHealth {
         &mut self.health
+    }
+
+    fn snapshot(&self) -> Result<String> {
+        Ok(self.capture().to_json())
+    }
+}
+
+/// Restores a `"software-mono"` snapshot, dispatching over the
+/// [`MONO_SHAPES`] × scalar grid exactly like [`try_small_session`] — but
+/// mid-trajectory, with seed history and a non-zero iteration counter.
+pub(crate) fn restore_mono_session(snap: &SessionSnapshot) -> Result<Box<dyn SessionBackend>> {
+    macro_rules! mono {
+        ($t:ty, $x:literal, $z:literal) => {
+            Ok(
+                Box::new(SmallFilterSession::<$t, $x, $z>::restore_from_snapshot(
+                    snap,
+                )?) as Box<dyn SessionBackend>,
+            )
+        };
+    }
+    macro_rules! shape {
+        ($x:literal, $z:literal) => {
+            match snap.scalar.as_str() {
+                "f64" => mono!(f64, $x, $z),
+                "f32" => mono!(f32, $x, $z),
+                "q16.16" => mono!(Q16_16, $x, $z),
+                "q32.32" => mono!(Q32_32, $x, $z),
+                other => Err(KalmanError::BadSnapshot {
+                    reason: format!("unknown snapshot scalar {other:?}"),
+                }),
+            }
+        };
+    }
+    match (snap.x_dim, snap.z_dim) {
+        (2, 3) => shape!(2, 3),
+        (6, 46) => shape!(6, 46),
+        (6, 52) => shape!(6, 52),
+        (6, 164) => shape!(6, 164),
+        other => Err(KalmanError::BadSnapshot {
+            reason: format!("shape {other:?} is not a monomorphized shape"),
+        }),
     }
 }
 

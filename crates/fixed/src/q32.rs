@@ -45,6 +45,20 @@ impl<const FRAC: u32> Fx32<FRAC> {
         self.raw
     }
 
+    /// The raw word reinterpreted as an unsigned bit pattern.
+    ///
+    /// This is the lossless wire encoding session snapshots use for
+    /// fixed-point elements: `from_bits(x.to_bits())` reproduces `x`
+    /// exactly, including saturated values.
+    pub const fn to_bits(self) -> u32 {
+        self.raw as u32
+    }
+
+    /// Rebuilds a value from a [`Self::to_bits`] pattern.
+    pub const fn from_bits(bits: u32) -> Self {
+        Self { raw: bits as i32 }
+    }
+
     /// Creates a value from an integer, saturating on overflow.
     pub fn from_int(v: i32) -> Self {
         let shifted = (i64::from(v)) << FRAC;
@@ -229,6 +243,14 @@ impl<const FRAC: u32> Scalar for Fx32<FRAC> {
 
     fn epsilon() -> Self {
         Self::DELTA
+    }
+
+    fn to_bits_u64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+
+    fn from_bits_u64(bits: u64) -> Option<Self> {
+        u32::try_from(bits).ok().map(Self::from_bits)
     }
 }
 

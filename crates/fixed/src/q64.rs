@@ -46,6 +46,20 @@ impl<const FRAC: u32> Fx64<FRAC> {
         self.raw
     }
 
+    /// The raw word reinterpreted as an unsigned bit pattern.
+    ///
+    /// This is the lossless wire encoding session snapshots use for
+    /// fixed-point elements: `from_bits(x.to_bits())` reproduces `x`
+    /// exactly, including saturated values.
+    pub const fn to_bits(self) -> u64 {
+        self.raw as u64
+    }
+
+    /// Rebuilds a value from a [`Self::to_bits`] pattern.
+    pub const fn from_bits(bits: u64) -> Self {
+        Self { raw: bits as i64 }
+    }
+
     /// Creates a value from an integer, saturating on overflow.
     pub fn from_int(v: i64) -> Self {
         let shifted = (i128::from(v)) << FRAC;
@@ -222,6 +236,14 @@ impl<const FRAC: u32> Scalar for Fx64<FRAC> {
 
     fn epsilon() -> Self {
         Self::DELTA
+    }
+
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+
+    fn from_bits_u64(bits: u64) -> Option<Self> {
+        Some(Self::from_bits(bits))
     }
 }
 

@@ -100,4 +100,36 @@ proptest! {
     fn abs_is_nonnegative(a in proptest::num::i32::ANY) {
         prop_assert!(Fx32::<16>::from_raw(a).abs() >= Fx32::<16>::ZERO);
     }
+
+    #[test]
+    fn fx32_bits_round_trip_every_raw_word(a in proptest::num::i32::ANY) {
+        // The snapshot wire encoding: raw word <-> unsigned bits, lossless
+        // for every representable value including MIN/MAX saturation rails.
+        let q = Fx32::<16>::from_raw(a);
+        prop_assert_eq!(Fx32::<16>::from_bits(q.to_bits()), q);
+        prop_assert_eq!(Fx32::<16>::from_bits(q.to_bits()).raw(), a);
+    }
+
+    #[test]
+    fn fx64_bits_round_trip_every_raw_word(a in proptest::num::i64::ANY) {
+        let q = Fx64::<32>::from_raw(a);
+        prop_assert_eq!(Fx64::<32>::from_bits(q.to_bits()), q);
+        prop_assert_eq!(Fx64::<32>::from_bits(q.to_bits()).raw(), a);
+    }
+
+    #[test]
+    fn scalar_bits_u64_round_trip_fx32(a in proptest::num::i32::ANY) {
+        // The widened Scalar-level encoding must agree with the inherent
+        // one and reject patterns wider than the 32-bit word.
+        let q = Fx32::<16>::from_raw(a);
+        prop_assert_eq!(q.to_bits_u64(), u64::from(q.to_bits()));
+        prop_assert_eq!(Fx32::<16>::from_bits_u64(q.to_bits_u64()), Some(q));
+        prop_assert_eq!(Fx32::<16>::from_bits_u64(q.to_bits_u64() | (1 << 32)), None);
+    }
+
+    #[test]
+    fn scalar_bits_u64_round_trip_fx64(a in proptest::num::i64::ANY) {
+        let q = Fx64::<32>::from_raw(a);
+        prop_assert_eq!(Fx64::<32>::from_bits_u64(q.to_bits_u64()), Some(q));
+    }
 }

@@ -1,0 +1,83 @@
+//! Lossless bit-level encoding of matrices and vectors.
+//!
+//! Session snapshots (`kalmmind.session_snapshot.v1`) must round-trip
+//! filter state *bit-exactly*: a restored session has to continue the
+//! trajectory on the same IEEE-754 (or fixed-point) words the live
+//! session would have produced. Decimal float formatting cannot promise
+//! that, so every element crosses the wire as its raw bit pattern via
+//! [`Scalar::to_bits_u64`] / [`Scalar::from_bits_u64`] — `f64` bits,
+//! `f32` bits zero-extended, or the raw two's-complement fixed-point
+//! word. The helpers here encode whole containers in row-major order.
+
+use crate::{Matrix, Scalar, Vector};
+
+/// Row-major bit patterns of every matrix element.
+///
+/// # Example
+///
+/// ```
+/// use kalmmind_linalg::{bits, Matrix};
+///
+/// let m = Matrix::from_rows(&[&[1.0_f64, 2.0], &[3.0, 4.0]]).unwrap();
+/// let words = bits::matrix_bits(&m);
+/// assert_eq!(words[0], 1.0_f64.to_bits());
+/// let back = bits::matrix_from_bits::<f64>(2, 2, &words).unwrap();
+/// assert_eq!(back, m);
+/// ```
+pub fn matrix_bits<T: Scalar>(m: &Matrix<T>) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits_u64()).collect()
+}
+
+/// Bit patterns of every vector element, in order.
+pub fn vector_bits<T: Scalar>(v: &Vector<T>) -> Vec<u64> {
+    v.as_slice().iter().map(|x| x.to_bits_u64()).collect()
+}
+
+/// Rebuilds a `rows × cols` matrix from [`matrix_bits`] output.
+///
+/// Returns `None` when the element count does not match the shape or a
+/// pattern does not fit `T` — both mean the snapshot is corrupt, so the
+/// caller reports an error instead of guessing.
+pub fn matrix_from_bits<T: Scalar>(rows: usize, cols: usize, bits: &[u64]) -> Option<Matrix<T>> {
+    if bits.len() != rows * cols {
+        return None;
+    }
+    let data: Option<Vec<T>> = bits.iter().map(|&b| T::from_bits_u64(b)).collect();
+    Matrix::from_row_slice(rows, cols, &data?).ok()
+}
+
+/// Rebuilds a vector from [`vector_bits`] output; `None` on any pattern
+/// that does not fit `T`.
+pub fn vector_from_bits<T: Scalar>(bits: &[u64]) -> Option<Vector<T>> {
+    let data: Option<Vec<T>> = bits.iter().map(|&b| T::from_bits_u64(b)).collect();
+    data.map(Vector::from_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_round_trips_bit_exactly() {
+        let m = Matrix::from_rows(&[&[1.0_f64, -0.0], &[f64::NAN, 1e-300]]).unwrap();
+        let words = matrix_bits(&m);
+        let back = matrix_from_bits::<f64>(2, 2, &words).unwrap();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn vector_round_trips_for_f32() {
+        let v = Vector::from_slice(&[1.5_f32, -2.25, f32::INFINITY]);
+        let back = vector_from_bits::<f32>(&vector_bits(&v)).unwrap();
+        assert_eq!(back.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn shape_and_width_mismatches_are_rejected() {
+        assert!(matrix_from_bits::<f64>(2, 2, &[0, 1, 2]).is_none());
+        // A 64-bit pattern cannot be an f32 element.
+        assert!(vector_from_bits::<f32>(&[u64::MAX]).is_none());
+    }
+}

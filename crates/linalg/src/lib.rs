@@ -34,6 +34,7 @@ mod matrix;
 mod scalar;
 mod vector;
 
+pub mod bits;
 pub mod decomp;
 pub mod iterative;
 pub mod norms;

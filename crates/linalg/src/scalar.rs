@@ -77,6 +77,24 @@ pub trait Scalar:
     /// pivoting code to decide when a pivot is effectively zero.
     fn epsilon() -> Self;
 
+    /// The value's raw bit pattern, zero-extended to `u64`.
+    ///
+    /// This is the lossless wire encoding used by session snapshots
+    /// (`kalmmind.session_snapshot.v1`): `f64` maps through
+    /// [`f64::to_bits`], `f32` through [`f32::to_bits`] widened to 64
+    /// bits, and the Q-format fixed-point types expose their raw
+    /// two's-complement word reinterpreted as unsigned. Round-trips
+    /// exactly through [`Scalar::from_bits_u64`], including NaN payloads
+    /// and saturated fixed-point values.
+    fn to_bits_u64(self) -> u64;
+
+    /// Rebuilds a value from a [`Scalar::to_bits_u64`] pattern.
+    ///
+    /// Returns `None` when `bits` does not fit the representation (for
+    /// example a pattern wider than 32 bits handed to `f32`), which a
+    /// snapshot decoder reports as corruption rather than truncating.
+    fn from_bits_u64(bits: u64) -> Option<Self>;
+
     /// Larger of two values (`self` if equal).
     fn max(self, other: Self) -> Self {
         if other > self {
@@ -130,6 +148,16 @@ impl Scalar for f64 {
     fn epsilon() -> Self {
         f64::EPSILON
     }
+
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Option<Self> {
+        Some(f64::from_bits(bits))
+    }
 }
 
 impl Scalar for f32 {
@@ -166,6 +194,16 @@ impl Scalar for f32 {
     fn epsilon() -> Self {
         f32::EPSILON
     }
+
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Option<Self> {
+        u32::try_from(bits).ok().map(f32::from_bits)
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +235,21 @@ mod tests {
         assert_eq!(Scalar::max(1.0_f64, 1.0), 1.0);
         assert_eq!(Scalar::min(2.0_f64, 3.0), 2.0);
         assert_eq!(Scalar::max(2.0_f64, 3.0), 3.0);
+    }
+
+    #[test]
+    fn bits_round_trip_and_reject_wide_patterns() {
+        for v in [0.0_f64, -1.5, f64::NAN, f64::INFINITY] {
+            let back = <f64 as Scalar>::from_bits_u64(v.to_bits_u64()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "f64 bits must survive");
+        }
+        let x: f32 = -2.25;
+        assert_eq!(<f32 as Scalar>::from_bits_u64(x.to_bits_u64()), Some(x));
+        // Anything wider than 32 bits is corruption for f32, not truncation.
+        assert_eq!(
+            <f32 as Scalar>::from_bits_u64(u64::from(u32::MAX) + 1),
+            None
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! counts — no runtime dimension checks, no heap indirection, and loops the
 //! optimizer can fully unroll and vectorize. They exist for the paper's fixed
 //! model shapes (`x = 6`, `z ∈ {46, 52, 164}` plus the 2-state bench model),
-//! where the dynamic [`Matrix`](crate::Matrix) path pays per-call shape
+//! where the dynamic [`Matrix`] path pays per-call shape
 //! validation and bounds checks it can never fail.
 //!
 //! **Bit-identity contract.** Every kernel here replicates, floating-point

@@ -677,6 +677,253 @@ pub fn validate_flight_record(text: &str) -> Result<FlightSummary, String> {
     })
 }
 
+/// Schema marker required in every session snapshot (`"schema"` key).
+pub const SESSION_SNAPSHOT_SCHEMA: &str = "kalmmind.session_snapshot.v1";
+
+/// Summary of a successfully validated session snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSummary {
+    /// Backend the session ran on (`software`, `software-mono`, `accel-sim`).
+    pub backend: String,
+    /// Element type label (`f64`, `f32`, `q16.16`, `q32.32`).
+    pub scalar: String,
+    /// Inverse-strategy label (e.g. `gauss/newton`).
+    pub strategy: String,
+    /// Stable session label (the bank's `SessionId`), full `u64` width.
+    pub label: u64,
+    /// State dimension.
+    pub x_dim: usize,
+    /// Measurement dimension.
+    pub z_dim: usize,
+    /// Steps the session had taken when the snapshot was captured.
+    pub iteration: u64,
+    /// Step snapshots carried in the flight-recorder ring.
+    pub flight_snapshots: usize,
+}
+
+/// Decodes the snapshot hex encoding: a lowercase hex string naming a
+/// `u64` bit pattern. JSON numbers cannot carry 64-bit patterns (they
+/// parse as `f64`, losing bits above 2^53), so every bit-exact payload in
+/// a snapshot is a string.
+fn hex_u64(v: &JsonValue) -> Option<u64> {
+    let s = v.as_str()?;
+    if s.is_empty() || s.len() > 16 || s.bytes().any(|b| !b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn snap_string<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("snapshot missing string {key:?}"))
+}
+
+fn snap_number(doc: &JsonValue, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("snapshot missing numeric {key:?}"))
+}
+
+fn snap_hex(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(hex_u64)
+        .ok_or_else(|| format!("snapshot missing hex {key:?}"))
+}
+
+/// Requires `doc[key]` to be an array of hex-encoded bit patterns of
+/// length `expected` (when given).
+fn snap_hex_array(doc: &JsonValue, key: &str, expected: Option<usize>) -> Result<usize, String> {
+    let items = doc
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("snapshot missing array {key:?}"))?;
+    if let Some(want) = expected {
+        if items.len() != want {
+            return Err(format!(
+                "snapshot array {key:?} has {} elements, expected {want}",
+                items.len()
+            ));
+        }
+    }
+    for (i, item) in items.iter().enumerate() {
+        if hex_u64(item).is_none() {
+            return Err(format!("snapshot array {key:?} element {i} is not hex"));
+        }
+    }
+    Ok(items.len())
+}
+
+fn valid_status(s: &str) -> bool {
+    matches!(s, "healthy" | "degraded" | "diverged" | "failed")
+}
+
+/// Validates a `kalmmind.session_snapshot.v1` document emitted by a
+/// session backend's `snapshot()`: the schema marker, the identity header,
+/// bit-encoded model/state payloads with shape-consistent element counts,
+/// the interleaved-gain registers and seed history, and the health section
+/// (monitor window, latched statuses, flight-recorder ring). All bit-exact
+/// payloads must be hex strings — JSON numbers lose `u64` patterns above
+/// 2^53 — while small counts stay plain numbers.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first violated invariant.
+pub fn validate_snapshot(text: &str) -> Result<SnapshotSummary, String> {
+    let doc = parse_json(text)?;
+    let schema = snap_string(&doc, "schema")?;
+    if schema != SESSION_SNAPSHOT_SCHEMA {
+        return Err(format!(
+            "unknown snapshot schema {schema:?} (expected {SESSION_SNAPSHOT_SCHEMA:?})"
+        ));
+    }
+    let backend = snap_string(&doc, "backend")?.to_string();
+    let scalar = snap_string(&doc, "scalar")?.to_string();
+    let strategy = snap_string(&doc, "strategy")?.to_string();
+    let label = snap_hex(&doc, "label")?;
+    let x_dim = snap_number(&doc, "x_dim")? as usize;
+    let z_dim = snap_number(&doc, "z_dim")? as usize;
+    let iteration = snap_number(&doc, "iteration")? as u64;
+    if x_dim == 0 || z_dim == 0 {
+        return Err("snapshot dimensions must be non-zero".to_string());
+    }
+
+    let model = doc
+        .get("model")
+        .ok_or_else(|| "snapshot missing \"model\" object".to_string())?;
+    snap_hex_array(model, "f", Some(x_dim * x_dim))?;
+    snap_hex_array(model, "q", Some(x_dim * x_dim))?;
+    snap_hex_array(model, "h", Some(z_dim * x_dim))?;
+    snap_hex_array(model, "r", Some(z_dim * z_dim))?;
+
+    let state = doc
+        .get("state")
+        .ok_or_else(|| "snapshot missing \"state\" object".to_string())?;
+    snap_hex_array(state, "x", Some(x_dim))?;
+    snap_hex_array(state, "p", Some(x_dim * x_dim))?;
+
+    let gain = doc
+        .get("gain")
+        .ok_or_else(|| "snapshot missing \"gain\" object".to_string())?;
+    snap_string(gain, "calc")?;
+    snap_number(gain, "approx")?;
+    snap_number(gain, "calc_freq")?;
+    snap_number(gain, "policy")?;
+    snap_number(gain, "calc_count")?;
+    snap_number(gain, "approx_count")?;
+    snap_number(gain, "fallback_count")?;
+    for key in ["last_calculated", "previous"] {
+        match gain.get(key) {
+            Some(JsonValue::Null) => {}
+            Some(JsonValue::Array(_)) => {
+                snap_hex_array(gain, key, Some(z_dim * z_dim))?;
+            }
+            _ => return Err(format!("snapshot gain {key:?} must be null or hex array")),
+        }
+    }
+
+    let health = doc
+        .get("health")
+        .ok_or_else(|| "snapshot missing \"health\" object".to_string())?;
+    let config = health
+        .get("config")
+        .ok_or_else(|| "snapshot missing health \"config\" object".to_string())?;
+    snap_number(config, "window")?;
+    for key in [
+        "nis_confidence_z",
+        "nis_diverged_factor",
+        "cond_degraded",
+        "cond_diverged",
+        "residual_degraded",
+        "residual_diverged",
+        "symmetry_tol",
+        "psd_tol",
+    ] {
+        snap_hex(config, key)?;
+    }
+    snap_hex_array(health, "window", None)?;
+    snap_number(health, "next")?;
+    for key in ["status", "worst"] {
+        let s = snap_string(health, key)?;
+        if !valid_status(s) {
+            return Err(format!("invalid snapshot health {key} {s:?}"));
+        }
+    }
+    snap_string(health, "reason")?;
+    match health.get("dump") {
+        Some(JsonValue::Null) | Some(JsonValue::String(_)) => {}
+        _ => return Err("snapshot health \"dump\" must be null or string".to_string()),
+    }
+    let flight = health
+        .get("flight")
+        .ok_or_else(|| "snapshot missing health \"flight\" object".to_string())?;
+    snap_number(flight, "capacity")?;
+    snap_hex(flight, "total")?;
+    let entries = flight
+        .get("snapshots")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "snapshot flight missing \"snapshots\" array".to_string())?;
+    for (i, entry) in entries.iter().enumerate() {
+        let err = |msg: String| format!("flight entry {i}: {msg}");
+        snap_number(entry, "iteration").map_err(err)?;
+        snap_string(entry, "path").map_err(err)?;
+        let s = snap_string(entry, "status").map_err(err)?;
+        if !valid_status(s) {
+            return Err(format!("flight entry {i}: invalid status {s:?}"));
+        }
+        for key in [
+            "innovation_norm",
+            "nis",
+            "cond_s",
+            "newton_residual",
+            "min_p_diag",
+        ] {
+            match entry.get(key) {
+                Some(JsonValue::Null) => {}
+                Some(v) if hex_u64(v).is_some() => {}
+                _ => {
+                    return Err(format!(
+                        "flight entry {i}: field {key:?} must be hex or null"
+                    ))
+                }
+            }
+        }
+    }
+
+    match doc.get("accel") {
+        Some(JsonValue::Null) | None => {
+            if backend == "accel-sim" {
+                return Err("accel-sim snapshot missing \"accel\" section".to_string());
+            }
+        }
+        Some(accel) => {
+            snap_string(accel, "design")?;
+            snap_number(accel, "chunks")?;
+            snap_number(accel, "batches")?;
+            for key in ["load_cycles", "store_cycles", "compute_cycles"] {
+                snap_hex(accel, key)?;
+            }
+            let dma = accel
+                .get("dma")
+                .ok_or_else(|| "snapshot accel missing \"dma\" object".to_string())?;
+            for key in ["transactions", "words_in", "words_out", "cycles"] {
+                snap_hex(dma, key)?;
+            }
+        }
+    }
+
+    Ok(SnapshotSummary {
+        backend,
+        scalar,
+        strategy,
+        label,
+        x_dim,
+        z_dim,
+        iteration,
+        flight_snapshots: entries.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +1078,75 @@ h_count 3
         let doc = sample_flight_record().replace("\"session\":3", &format!("\"session\":{big}"));
         let summary = validate_flight_record(&doc).unwrap();
         assert_eq!(summary.session, big);
+    }
+
+    fn sample_snapshot() -> String {
+        let f = "\"3ff0000000000000\",\"0\",\"0\",\"3ff0000000000000\"";
+        format!(
+            "{{\"schema\":\"{SESSION_SNAPSHOT_SCHEMA}\",\"backend\":\"software\",\
+             \"scalar\":\"f64\",\"strategy\":\"gauss/newton\",\"label\":\"2a\",\
+             \"x_dim\":2,\"z_dim\":1,\"iteration\":7,\
+             \"model\":{{\"f\":[{f}],\"q\":[{f}],\"h\":[\"0\",\"0\"],\"r\":[\"1\"]}},\
+             \"state\":{{\"x\":[\"0\",\"0\"],\"p\":[{f}]}},\
+             \"gain\":{{\"calc\":\"gauss\",\"approx\":2,\"calc_freq\":4,\"policy\":0,\
+             \"calc_count\":2,\"approx_count\":5,\"fallback_count\":0,\
+             \"last_calculated\":[\"3ff0000000000000\"],\"previous\":null}},\
+             \"health\":{{\"config\":{{\"window\":32,\
+             \"nis_confidence_z\":\"400a51eb851eb852\",\"nis_diverged_factor\":\"4020000000000000\",\
+             \"cond_degraded\":\"4197d78400000000\",\"cond_diverged\":\"42a309ce53fffc84\",\
+             \"residual_degraded\":\"3fe0000000000000\",\"residual_diverged\":\"3ff0000000000000\",\
+             \"symmetry_tol\":\"3e112e0be826d695\",\"psd_tol\":\"3e112e0be826d695\"}},\
+             \"window\":[\"3ff0000000000000\"],\"next\":1,\
+             \"status\":\"healthy\",\"worst\":\"healthy\",\"reason\":\"\",\"dump\":null,\
+             \"flight\":{{\"capacity\":64,\"total\":\"1\",\"snapshots\":[\
+             {{\"iteration\":6,\"path\":\"approx\",\"status\":\"healthy\",\
+             \"innovation_norm\":\"3ff0000000000000\",\"nis\":null,\"cond_s\":null,\
+             \"newton_residual\":\"3e45798ee2308c3a\",\"min_p_diag\":\"3f847ae147ae147b\"}}]}}}},\
+             \"accel\":null}}"
+        )
+    }
+
+    #[test]
+    fn session_snapshot_validates() {
+        let summary = validate_snapshot(&sample_snapshot()).unwrap();
+        assert_eq!(summary.backend, "software");
+        assert_eq!(summary.scalar, "f64");
+        assert_eq!(summary.label, 0x2a);
+        assert_eq!((summary.x_dim, summary.z_dim), (2, 1));
+        assert_eq!(summary.iteration, 7);
+        assert_eq!(summary.flight_snapshots, 1);
+    }
+
+    #[test]
+    fn session_snapshot_rejects_shape_and_encoding_violations() {
+        let good = sample_snapshot();
+        let bad_schema = good.replace(SESSION_SNAPSHOT_SCHEMA, "kalmmind.other.v9");
+        assert!(validate_snapshot(&bad_schema)
+            .unwrap_err()
+            .contains("schema"));
+
+        // An f-matrix element count that disagrees with x_dim.
+        let bad_shape = good.replace(
+            "\"f\":[\"3ff0000000000000\",\"0\",\"0\",\"3ff0000000000000\"]",
+            "\"f\":[\"3ff0000000000000\"]",
+        );
+        assert!(validate_snapshot(&bad_shape).unwrap_err().contains("\"f\""));
+
+        // Bit patterns must be hex strings, not JSON numbers — numbers
+        // above 2^53 silently lose bits in any f64-based parser.
+        let bad_encoding = good.replace("\"x\":[\"0\",\"0\"]", "\"x\":[0,0]");
+        assert!(validate_snapshot(&bad_encoding)
+            .unwrap_err()
+            .contains("not hex"));
+
+        let bad_status = good.replace("\"worst\":\"healthy\"", "\"worst\":\"broken\"");
+        assert!(validate_snapshot(&bad_status)
+            .unwrap_err()
+            .contains("worst"));
+
+        // accel-sim snapshots must carry the telemetry section.
+        let bad_accel = good.replace("\"backend\":\"software\"", "\"backend\":\"accel-sim\"");
+        assert!(validate_snapshot(&bad_accel).unwrap_err().contains("accel"));
     }
 
     #[test]

@@ -67,6 +67,7 @@ use std::time::{Duration, Instant};
 use kalmmind::gain::GainStrategy;
 use kalmmind::health::HealthStatus;
 use kalmmind::session::NON_FINITE_REASON;
+use kalmmind::snapshot::SessionSnapshot;
 use kalmmind::{
     FilterSession, KalmanError, KalmanFilter, KalmanState, SessionBackend, SessionTelemetry,
     StepOutcome,
@@ -75,7 +76,10 @@ use kalmmind_exec::WorkerPool;
 use kalmmind_linalg::Scalar;
 use kalmmind_obs as obs;
 
+mod tape;
+
 pub use server::{MetricsServer, SessionHealthSnapshot};
+pub use tape::MeasurementTape;
 
 // Bank-level observability (no-ops unless `obs` is enabled).
 static OBS_BATCHES: obs::LazyCounter = obs::LazyCounter::new(
@@ -246,7 +250,19 @@ pub struct EvictedSession {
     pub reason: String,
     /// Its last flight-recorder dump, if one was emitted.
     pub flight_record: Option<String>,
+    /// Final `kalmmind.session_snapshot.v1` document captured at eviction —
+    /// the full post-mortem (and the resurrection path: feed it back through
+    /// [`FilterBank::restore_session`]). `None` when the backend does not
+    /// support snapshots (non-interleaved gain strategies).
+    pub snapshot: Option<String>,
 }
+
+/// A function that rebuilds a boxed session from a parsed snapshot, keyed by
+/// the snapshot's `backend` label. Registered with
+/// [`FilterBank::register_restorer`] for backends the core crate cannot
+/// restore itself (e.g. `kalmmind-accel`'s `"accel-sim"`).
+pub type SessionRestorer =
+    Box<dyn Fn(&SessionSnapshot) -> Result<Box<dyn SessionBackend>, KalmanError> + Send + Sync>;
 
 /// One erased backend plus the bank-side bookkeeping around it.
 struct Slot {
@@ -316,6 +332,7 @@ impl Slot {
             status,
             backend: self.backend.backend_name().to_string(),
             scalar: self.backend.scalar_name().to_string(),
+            strategy: self.backend.strategy_name().to_string(),
             steps_ok: self.steps_ok,
             reason,
         }
@@ -426,7 +443,6 @@ impl BankReport {
 /// The indirection cost is one virtual call per session step — negligible
 /// next to the matrix work behind it (the homogeneous-`f64` path is proved
 /// bit-identical to the concrete filter in this crate's golden-bit tests).
-#[derive(Debug)]
 pub struct FilterBank {
     slots: Vec<Slot>,
     /// `SessionId.0 → slot index`; kept consistent across `swap_remove`s.
@@ -438,6 +454,23 @@ pub struct FilterBank {
     /// Health board shared with a running [`MetricsServer`], if
     /// [`FilterBank::serve_on`] was called. Republished after every batch.
     board: Option<Arc<server::HealthBoard>>,
+    /// Snapshot restorers for backends core cannot rebuild, by backend label.
+    restorers: HashMap<String, SessionRestorer>,
+    /// Measurement tape recording routed batches while armed.
+    tape: Option<MeasurementTape>,
+}
+
+impl fmt::Debug for FilterBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilterBank")
+            .field("slots", &self.slots)
+            .field("next_id", &self.next_id)
+            .field("policy", &self.policy)
+            .field("evicted", &self.evicted.len())
+            .field("restorers", &self.restorers.keys().collect::<Vec<_>>())
+            .field("taping", &self.tape.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for FilterBank {
@@ -466,6 +499,8 @@ impl FilterBank {
             policy: EvictionPolicy::Keep,
             evicted: Vec::new(),
             board: None,
+            restorers: HashMap::new(),
+            tape: None,
         }
     }
 
@@ -650,6 +685,111 @@ impl FilterBank {
         std::mem::take(&mut self.evicted)
     }
 
+    /// Captures session `id` as a versioned `kalmmind.session_snapshot.v1`
+    /// JSON document, `label`ed with the session's stable id so
+    /// [`FilterBank::restore_session`] can re-seat it under the same id.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSession`] when the bank does not hold `id`;
+    /// [`KalmanError::BadSnapshot`] when the backend does not support
+    /// snapshots (non-interleaved gain strategies).
+    pub fn snapshot_session(&self, id: SessionId) -> Result<String, KalmanError> {
+        let slot = self.slot(id).ok_or(KalmanError::BadSession {
+            id: id.0,
+            reason: "unknown session id",
+        })?;
+        slot.backend.snapshot()
+    }
+
+    /// Captures every session, in ascending id order. Sessions whose backend
+    /// cannot snapshot carry the error instead of a document, so a fleet
+    /// checkpoint reports exactly which sessions were left behind.
+    pub fn snapshot_all(&self) -> Vec<(SessionId, Result<String, KalmanError>)> {
+        let mut all: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| (s.id, s.backend.snapshot()))
+            .collect();
+        all.sort_unstable_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Registers a restorer for snapshots whose `backend` label the core
+    /// crate cannot rebuild (e.g.
+    /// `kalmmind_accel::session::restore_accel_session` for `"accel-sim"`).
+    /// A registered restorer takes precedence over the built-in dispatch for
+    /// its label.
+    pub fn register_restorer(
+        &mut self,
+        backend: impl Into<String>,
+        restorer: impl Fn(&SessionSnapshot) -> Result<Box<dyn SessionBackend>, KalmanError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.restorers.insert(backend.into(), Box::new(restorer));
+    }
+
+    /// Restores a snapshot into this bank **under its original stable id**
+    /// (the document's `label`), so measurement routing — including a
+    /// recorded [`MeasurementTape`] — keeps addressing it after a
+    /// remove→restore migration. The id sequence is advanced past the
+    /// restored id, preserving the bank's never-reuse guarantee for future
+    /// inserts.
+    ///
+    /// Dispatch order: a restorer registered for the document's backend
+    /// label wins; otherwise the built-in
+    /// [`kalmmind::snapshot::restore_snapshot`] handles the `"software"`
+    /// and `"software-mono"` backends.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSession`] when the bank already holds a session
+    /// with the snapshot's id; [`KalmanError::BadSnapshot`] for malformed
+    /// documents or backends nobody can restore.
+    pub fn restore_session(&mut self, json: &str) -> Result<SessionId, KalmanError> {
+        let snap = SessionSnapshot::from_json(json)?;
+        if self.index.contains_key(&snap.label) {
+            return Err(KalmanError::BadSession {
+                id: snap.label,
+                reason: "snapshot id is already present in the bank",
+            });
+        }
+        let mut backend = match self.restorers.get(snap.backend.as_str()) {
+            Some(restorer) => restorer(&snap)?,
+            None => kalmmind::snapshot::restore_snapshot(&snap)?,
+        };
+        let id = SessionId(snap.label);
+        backend.health_mut().set_label(id.0);
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.index.insert(id.0, self.slots.len());
+        let steps_ok = backend.iteration();
+        self.slots.push(Slot {
+            id,
+            backend,
+            status: SessionStatus::Active,
+            steps_ok,
+        });
+        Ok(id)
+    }
+
+    /// Starts recording every routed measurement batch to a fresh
+    /// [`MeasurementTape`] (any tape already recording is discarded). The
+    /// tape plus a [`FilterBank::snapshot_all`] checkpoint is a complete
+    /// replayable history: restore the snapshots into a fresh bank and
+    /// [`MeasurementTape::replay_into`] it to reproduce the live states to
+    /// the bit.
+    pub fn start_tape(&mut self) {
+        self.tape = Some(MeasurementTape::new());
+    }
+
+    /// Stops recording and returns the tape (`None` when
+    /// [`FilterBank::start_tape`] was never called).
+    pub fn take_tape(&mut self) -> Option<MeasurementTape> {
+        self.tape.take()
+    }
+
     /// `true` when any session is health-Diverged or parked as Failed —
     /// the same predicate `/healthz` uses to answer 503.
     pub fn any_diverged(&self) -> bool {
@@ -665,6 +805,8 @@ impl FilterBank {
     ///   registry (including the per-backend and per-scalar bank step
     ///   counters),
     /// * `GET /metrics.json` — the same registry as JSON,
+    /// * `GET /sessions` — the session inventory as JSON: stable id,
+    ///   backend, scalar, gain strategy, and current health state,
     /// * `GET /healthz` — per-session health keyed by stable [`SessionId`],
     ///   with backend and scalar labels; `503` while any session is
     ///   diverged or failed, and the body's `diverged` array names the
@@ -730,6 +872,9 @@ impl FilterBank {
     /// session's status).
     pub fn step_batch(&mut self, batch: &[(SessionId, &[f64])]) -> Result<BankReport, KalmanError> {
         let assign = self.route(batch)?;
+        if let Some(tape) = &mut self.tape {
+            tape.record(batch.iter().map(|(id, z)| (id.0, z.to_vec())));
+        }
         Ok(self.dispatch(|slot, i| {
             if let Some(&z) = assign[i] {
                 slot.step(z);
@@ -751,6 +896,19 @@ impl FilterBank {
         sequences: &[(SessionId, Vec<Vec<f64>>)],
     ) -> Result<BankReport, KalmanError> {
         let assign = self.route(sequences)?;
+        if let Some(tape) = &mut self.tape {
+            // Per-session order is what replay must preserve, so the tape
+            // linearizes the sequences positionally: batch `t` carries every
+            // session's `t`-th measurement.
+            let longest = sequences.iter().map(|(_, seq)| seq.len()).max();
+            for t in 0..longest.unwrap_or(0) {
+                tape.record(
+                    sequences
+                        .iter()
+                        .filter_map(|(id, seq)| seq.get(t).map(|z| (id.0, z.clone()))),
+                );
+            }
+        }
         Ok(self.dispatch(|slot, i| {
             if let Some(seq) = assign[i] {
                 for z in seq {
@@ -835,6 +993,9 @@ impl FilterBank {
                     id: slot.id,
                     reason,
                     flight_record: slot.backend.health().flight_record().map(String::from),
+                    // Best-effort final checkpoint: a non-snapshotting
+                    // backend leaves `None`, never blocks the eviction.
+                    snapshot: slot.backend.snapshot().ok(),
                 });
                 // `swap_remove` moved the former tail into slot `i`;
                 // re-examine it before advancing.
@@ -1151,6 +1312,35 @@ mod tests {
         assert!(bank.evictions().is_empty());
         // The evicted session's step still counted in the batch report.
         assert_eq!(report.steps, 2);
+    }
+
+    #[test]
+    fn take_evictions_drains_in_eviction_order_with_snapshots() {
+        let mut bank = FilterBank::new();
+        bank.set_eviction_policy(EvictionPolicy::EvictOnDiverge);
+        let ids: Vec<_> = (0..3).map(|_| bank.insert_filter(filter())).collect();
+        let poison = vec![f64::NAN, 1.0, 1.0];
+        let z = measurement(0);
+        // Two separate batches condemn ids[2] then ids[0]: the records must
+        // come back in eviction order (not insertion or id order), each
+        // carrying the condemned session's final snapshot.
+        bank.step_batch(&[(ids[0], z.as_slice()), (ids[2], poison.as_slice())])
+            .unwrap();
+        bank.step_batch(&[(ids[0], poison.as_slice()), (ids[1], z.as_slice())])
+            .unwrap();
+        let records = bank.take_evictions();
+        let order: Vec<_> = records.iter().map(|r| r.id).collect();
+        assert_eq!(order, vec![ids[2], ids[0]]);
+        for r in &records {
+            let snap = r.snapshot.as_deref().expect("post-mortem snapshot");
+            let parsed = kalmmind::snapshot::SessionSnapshot::from_json(snap).unwrap();
+            assert_eq!(SessionId(parsed.label), r.id);
+        }
+        // Draining clears: a second take returns nothing, and the live
+        // accessor agrees.
+        assert!(bank.take_evictions().is_empty());
+        assert!(bank.evictions().is_empty());
+        assert_eq!(bank.len(), 1);
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub struct SessionHealthSnapshot {
     pub backend: String,
     /// Element-type label (`f64`, `f32`, `q16.16`, `q32.32`).
     pub scalar: String,
+    /// Gain-strategy label (`gauss/newton`, `sskf`, …).
+    pub strategy: String,
     /// Successful steps so far.
     pub steps_ok: usize,
     /// Reason for the current non-healthy status (empty when healthy).
@@ -92,17 +94,44 @@ impl HealthBoard {
             }
             body.push_str(&format!(
                 "{{\"session\":{},\"status\":\"{}\",\"backend\":\"{}\",\"scalar\":\"{}\",\
-                 \"steps_ok\":{},\"reason\":\"{}\"}}",
+                 \"strategy\":\"{}\",\"steps_ok\":{},\"reason\":\"{}\"}}",
                 s.id,
                 json_escape(&s.status),
                 json_escape(&s.backend),
                 json_escape(&s.scalar),
+                json_escape(&s.strategy),
                 s.steps_ok,
                 json_escape(&s.reason),
             ));
         }
         body.push_str("]}");
         (if bad.is_empty() { 200 } else { 503 }, body)
+    }
+
+    /// The `/sessions` inventory: one entry per session with its identity
+    /// labels and current health, always `200` (health judgment is
+    /// `/healthz`'s job; this route answers "what is running here").
+    fn sessions_json(&self) -> String {
+        let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let mut body = String::with_capacity(32 + sessions.len() * 144);
+        body.push_str("{\"sessions\":[");
+        for (i, s) in sessions.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"session\":{},\"backend\":\"{}\",\"scalar\":\"{}\",\"strategy\":\"{}\",\
+                 \"status\":\"{}\",\"steps_ok\":{}}}",
+                s.id,
+                json_escape(&s.backend),
+                json_escape(&s.scalar),
+                json_escape(&s.strategy),
+                json_escape(&s.status),
+                s.steps_ok,
+            ));
+        }
+        body.push_str("]}");
+        body
     }
 }
 
@@ -224,7 +253,11 @@ fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> st
     let request_line = String::from_utf8_lossy(&buf[..line_end]);
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    // Route on the path alone: scrapers and probes routinely append query
+    // strings (`/healthz?verbose=1`), which must not turn a known route
+    // into a 404.
+    let target = parts.next().unwrap_or("");
+    let path = target.split('?').next().unwrap_or("");
 
     // HEAD is answered exactly like GET — same status, same headers
     // (including the Content-Length of the suppressed body) — minus the body.
@@ -243,6 +276,7 @@ fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> st
                 obs::prometheus(),
             ),
             "/metrics.json" => (200, "application/json", obs::json_snapshot()),
+            "/sessions" => (200, "application/json", board.sessions_json()),
             "/healthz" => {
                 let (code, body) = board.healthz();
                 (code, "application/json", body)
@@ -302,6 +336,7 @@ mod tests {
             status: "healthy".into(),
             backend: "software".into(),
             scalar: "f64".into(),
+            strategy: "gauss/newton".into(),
             steps_ok: 3,
             reason: String::new(),
         }]);
@@ -336,6 +371,7 @@ mod tests {
                 status: "healthy".into(),
                 backend: "software".into(),
                 scalar: "f64".into(),
+                strategy: "gauss/newton".into(),
                 steps_ok: 10,
                 reason: String::new(),
             },
@@ -344,6 +380,7 @@ mod tests {
                 status: "diverged".into(),
                 backend: "accel-sim".into(),
                 scalar: "q16.16".into(),
+                strategy: "gauss/newton".into(),
                 steps_ok: 7,
                 reason: "window-mean NIS beyond bound".into(),
             },
@@ -364,6 +401,7 @@ mod tests {
             status: "degraded".into(),
             backend: "software".into(),
             scalar: "f64".into(),
+            strategy: "gauss/newton".into(),
             steps_ok: 11,
             reason: "cond(S) above bound".into(),
         }]);
@@ -395,6 +433,7 @@ mod tests {
             status: "healthy".into(),
             backend: "software-mono".into(),
             scalar: "f64".into(),
+            strategy: "gauss/newton".into(),
             steps_ok: 5,
             reason: String::new(),
         }]);
@@ -443,6 +482,94 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    }
+
+    #[test]
+    fn sessions_route_lists_identity_and_strategy() {
+        let board = Arc::new(HealthBoard::default());
+        board.publish(vec![
+            SessionHealthSnapshot {
+                id: 3,
+                status: "healthy".into(),
+                backend: "software-mono".into(),
+                scalar: "f64".into(),
+                strategy: "gauss/newton".into(),
+                steps_ok: 12,
+                reason: String::new(),
+            },
+            SessionHealthSnapshot {
+                id: 9,
+                status: "degraded".into(),
+                backend: "accel-sim".into(),
+                scalar: "q32.32".into(),
+                strategy: "cholesky/newton".into(),
+                steps_ok: 4,
+                reason: "cond(S) above bound".into(),
+            },
+        ]);
+        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let (code, body) = get(server.addr(), "/sessions");
+        assert_eq!(code, 200);
+        obs::validate::validate_json(&body).expect("sessions must be valid JSON");
+        assert!(body.contains("\"session\":3"), "body: {body}");
+        assert!(
+            body.contains("\"strategy\":\"gauss/newton\""),
+            "body: {body}"
+        );
+        assert!(body.contains("\"backend\":\"accel-sim\""), "body: {body}");
+        assert!(body.contains("\"scalar\":\"q32.32\""), "body: {body}");
+        // /sessions is an inventory, not a health gate: degraded stays 200.
+        assert!(body.contains("\"status\":\"degraded\""), "body: {body}");
+
+        // An empty bank serves an empty inventory, still valid JSON.
+        board.publish(Vec::new());
+        let (code, body) = get(server.addr(), "/sessions");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"sessions\":[]}");
+    }
+
+    #[test]
+    fn query_strings_do_not_break_route_matching() {
+        // Regression: the router used to match the raw request target, so
+        // `GET /healthz?verbose=1` — which probes and dashboards send —
+        // fell through to 404.
+        let board = Arc::new(HealthBoard::default());
+        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let (code, _) = get(server.addr(), "/healthz?verbose=1");
+        assert_eq!(code, 200);
+        let (code, _) = get(server.addr(), "/sessions?format=json");
+        assert_eq!(code, 200);
+        let (code, _) = get(server.addr(), "/metrics?");
+        assert_eq!(code, 200);
+        // The query must not rescue an unknown path.
+        let (code, _) = get(server.addr(), "/nope?x=/metrics");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn degenerate_request_lines_are_answered_not_crashed() {
+        // Regression battery for the request-line parser: each of these
+        // must produce a well-formed HTTP error response (never a hang or
+        // a panic that kills the single serving thread).
+        let server = serve("127.0.0.1:0", Arc::new(HealthBoard::default())).unwrap();
+        for request in [
+            &b"\r\n\r\n"[..],                // empty request line
+            &b"GET\r\n\r\n"[..],             // method but no target
+            &b"  GET /metrics \r\n\r\n"[..], // leading whitespace shifts fields
+            &b"GARBAGE\x00BYTES /metrics HTTP/1.1\r\n\r\n"[..],
+        ] {
+            let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(request).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 4") || response.starts_with("HTTP/1.1 2"),
+                "request {request:?} got: {response}"
+            );
+        }
+        // The server survived the whole battery.
+        let (code, _) = get(server.addr(), "/metrics");
+        assert_eq!(code, 200);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Measurement tape: a bit-exact recording of a bank's routed traffic.
+//!
+//! A session snapshot freezes one moment; the tape is the other half of
+//! deterministic replay — everything the bank was fed after that moment.
+//! [`FilterBank::start_tape`](crate::FilterBank::start_tape) arms recording,
+//! every routed batch is appended verbatim, and
+//! [`MeasurementTape::replay_into`] drives a restored bank through the same
+//! traffic in the same order. Because sessions are deterministic functions
+//! of (state, measurement sequence), snapshot + tape ≡ the live run, to the
+//! bit — the property the `snapshot_replay` integration tests pin down.
+//!
+//! The wire format (`kalmmind.measurement_tape.v1`) encodes every
+//! measurement component as the lowercase-hex bit pattern of its `f64`, for
+//! the same reason the session snapshot does: JSON number round-trips are
+//! not bit-faithful, and replay equivalence is defined in bits.
+
+use kalmmind::KalmanError;
+use kalmmind_obs::validate::{parse_json, JsonValue};
+
+use crate::{BankReport, FilterBank, SessionId};
+
+/// Schema label of the measurement-tape wire format.
+pub const MEASUREMENT_TAPE_SCHEMA: &str = "kalmmind.measurement_tape.v1";
+
+/// Routed measurement batches in arrival order, each pairing a stable
+/// session id with one measurement vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasurementTape {
+    batches: Vec<Vec<(u64, Vec<f64>)>>,
+}
+
+fn bad(reason: impl Into<String>) -> KalmanError {
+    KalmanError::BadSnapshot {
+        reason: reason.into(),
+    }
+}
+
+impl MeasurementTape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one routed batch (called by the bank while recording).
+    pub(crate) fn record(&mut self, batch: impl IntoIterator<Item = (u64, Vec<f64>)>) {
+        self.batches.push(batch.into_iter().collect());
+    }
+
+    /// Number of recorded batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total measurements across all batches.
+    pub fn measurements(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// The recorded batches, in arrival order: `(raw session id,
+    /// measurement)` pairs.
+    pub fn batches(&self) -> &[Vec<(u64, Vec<f64>)>] {
+        &self.batches
+    }
+
+    /// Replays the tape into `bank`, batch by batch, returning the final
+    /// batch reports' total step count.
+    ///
+    /// Pairs addressed to ids the bank does not currently hold are skipped
+    /// rather than erroring: a tape recorded against a full fleet replays
+    /// cleanly into a bank restored from a subset of the snapshots (and
+    /// sessions evicted mid-tape stop consuming their measurements exactly
+    /// as they did live).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KalmanError::BadSession`] for a duplicated id within
+    /// one batch — the one malformation skipping cannot repair.
+    pub fn replay_into(&self, bank: &mut FilterBank) -> Result<usize, KalmanError> {
+        let mut steps = 0;
+        for batch in &self.batches {
+            let routed: Vec<(SessionId, &[f64])> = batch
+                .iter()
+                .filter(|(id, _)| bank.contains(SessionId(*id)))
+                .map(|(id, z)| (SessionId(*id), z.as_slice()))
+                .collect();
+            let report: BankReport = bank.step_batch(&routed)?;
+            steps += report.steps;
+        }
+        Ok(steps)
+    }
+
+    /// Serializes the tape as a `kalmmind.measurement_tape.v1` document
+    /// (session ids and `f64` bit patterns in lowercase hex).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.measurements() * 24);
+        out.push_str("{\"schema\":\"");
+        out.push_str(MEASUREMENT_TAPE_SCHEMA);
+        out.push_str("\",\"batches\":[");
+        for (bi, batch) in self.batches.iter().enumerate() {
+            if bi > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (pi, (id, z)) in batch.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"session\":\"{id:x}\",\"z\":["));
+                for (zi, v) in z.iter().enumerate() {
+                    if zi > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{:x}\"", v.to_bits()));
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a `kalmmind.measurement_tape.v1` document.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSnapshot`] for malformed JSON, a wrong schema
+    /// label, or hex fields that do not decode.
+    pub fn from_json(text: &str) -> Result<Self, KalmanError> {
+        let doc = parse_json(text).map_err(bad)?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("tape document has no schema string"))?;
+        if schema != MEASUREMENT_TAPE_SCHEMA {
+            return Err(bad(format!(
+                "unsupported tape schema {schema:?} (expected {MEASUREMENT_TAPE_SCHEMA:?})"
+            )));
+        }
+        let hex = |v: &JsonValue, what: &str| -> Result<u64, KalmanError> {
+            let s = v
+                .as_str()
+                .ok_or_else(|| bad(format!("tape {what} must be a hex string")))?;
+            if s.is_empty() || s.len() > 16 {
+                return Err(bad(format!("tape {what} {s:?} is not 1-16 hex digits")));
+            }
+            u64::from_str_radix(s, 16).map_err(|_| bad(format!("tape {what} {s:?} is not hex")))
+        };
+        let mut batches = Vec::new();
+        for batch in doc
+            .get("batches")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("tape document has no batches array"))?
+        {
+            let mut pairs = Vec::new();
+            for pair in batch
+                .as_array()
+                .ok_or_else(|| bad("tape batch must be an array"))?
+            {
+                let id = hex(
+                    pair.get("session")
+                        .ok_or_else(|| bad("tape pair has no session"))?,
+                    "session id",
+                )?;
+                let z = pair
+                    .get("z")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| bad("tape pair has no z array"))?
+                    .iter()
+                    .map(|v| hex(v, "measurement").map(f64::from_bits))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                pairs.push((id, z));
+            }
+            batches.push(pairs);
+        }
+        Ok(Self { batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let mut tape = MeasurementTape::new();
+        tape.record([(0, vec![0.1, -1.0e-300]), (7, vec![f64::MAX])]);
+        tape.record([(0, vec![1.0 / 3.0, 2.0])]);
+        tape.record([]);
+        let parsed = MeasurementTape::from_json(&tape.to_json()).unwrap();
+        assert_eq!(parsed, tape);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.measurements(), 3);
+        // Bit-exactness in particular: values JSON numbers would mangle.
+        assert_eq!(parsed.batches()[0][1].1[0].to_bits(), f64::MAX.to_bits());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for text in [
+            "",
+            "{}",
+            "{\"schema\":\"nope\",\"batches\":[]}",
+            "{\"schema\":\"kalmmind.measurement_tape.v1\"}",
+            "{\"schema\":\"kalmmind.measurement_tape.v1\",\"batches\":[[{\"session\":\"zz\",\"z\":[]}]]}",
+            "{\"schema\":\"kalmmind.measurement_tape.v1\",\"batches\":[[{\"session\":\"0\",\"z\":[1.5]}]]}",
+        ] {
+            assert!(
+                matches!(
+                    MeasurementTape::from_json(text),
+                    Err(KalmanError::BadSnapshot { .. })
+                ),
+                "accepted: {text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Chaos/soak: randomized bank churn must never corrupt a neighbor.
+//!
+//! A deterministic xorshift PRNG drives hundreds of rounds of abuse
+//! against one [`FilterBank`]: sessions are inserted and removed at
+//! random, measurement batches drop sessions and spike values, poison
+//! sessions are fed `NaN`, injected gain panics kill workers mid-batch,
+//! the eviction policy flips between `Keep` and `EvictOnDiverge`, and
+//! healthy sessions are snapshot-migrated (snapshot → remove → restore)
+//! in the middle of all of it.
+//!
+//! The oracle is a set of **shadow sessions**: every well-behaved bank
+//! session has a twin stepped outside the bank with exactly the same
+//! measurement sequence. After every round, each survivor's state and
+//! covariance bits must equal its twin's — any cross-session smearing,
+//! restore glitch, or panic fallout would break bit equality immediately.
+//!
+//! Round count is tunable via `KALMMIND_CHAOS_ITERS` (default 200; CI's
+//! quick leg sets a smaller value). The seed is fixed, so a given round
+//! count always replays the same schedule.
+
+use std::collections::HashMap;
+
+use kalmmind::gain::{GainContext, GainStrategy, InverseGain};
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{
+    FilterSession, KalmanFilter, KalmanModel, KalmanState, Result as KalmanResult, SessionBackend,
+};
+use kalmmind_linalg::bits::{matrix_bits, vector_bits};
+use kalmmind_linalg::{Matrix, Scalar};
+use kalmmind_runtime::{EvictionPolicy, FilterBank, SessionId};
+
+/// xorshift64* — deterministic, dependency-free randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// `true` with probability `pct`/100.
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn noise(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+fn chaos_iters() -> usize {
+    std::env::var("KALMMIND_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn typed_filter<T: Scalar>() -> KalmanFilter<T, InverseGain<InterleavedInverse<T>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        model().cast::<T>(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+/// A well-behaved session plus its outside-the-bank twin, in a random
+/// scalar (f64 or f32 — types whose healthy trajectories never fail).
+fn shadowed_pair(rng: &mut Rng, bank: &mut FilterBank) -> (SessionId, Box<dyn SessionBackend>) {
+    if rng.chance(50) {
+        let id = bank.insert_filter(typed_filter::<f64>());
+        (id, Box::new(FilterSession::new(typed_filter::<f64>())))
+    } else {
+        let id = bank.insert_filter(typed_filter::<f32>());
+        (id, Box::new(FilterSession::new(typed_filter::<f32>())))
+    }
+}
+
+/// A gain that panics after a few calls — chaos for the worker pool.
+#[derive(Debug)]
+struct PanickingGain {
+    inner: InverseGain<InterleavedInverse<f64>>,
+    calls: usize,
+    fuse: usize,
+}
+
+impl GainStrategy<f64> for PanickingGain {
+    fn gain(&mut self, ctx: GainContext<'_, f64>) -> KalmanResult<Matrix<f64>> {
+        self.calls += 1;
+        if self.calls > self.fuse {
+            panic!("chaos: injected gain panic");
+        }
+        self.inner.gain(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos-panicking"
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Asserts a bank session's state and covariance are bit-identical to its
+/// shadow twin's.
+fn assert_matches_shadow(bank: &FilterBank, id: SessionId, shadow: &dyn SessionBackend, t: usize) {
+    let live = bank.state(id).expect("shadowed session present");
+    let twin = shadow.state();
+    assert_eq!(
+        vector_bits(live.x()),
+        vector_bits(twin.x()),
+        "round {t}: session {id:?} state bits diverged from its shadow"
+    );
+    assert_eq!(
+        matrix_bits(live.p()),
+        matrix_bits(twin.p()),
+        "round {t}: session {id:?} covariance bits diverged from its shadow"
+    );
+}
+
+#[test]
+fn randomized_churn_never_corrupts_neighbors() {
+    let iters = chaos_iters();
+    let mut rng = Rng(0x5eed_cafe_d00d_f00d);
+    let mut bank = FilterBank::new();
+    let mut shadows: HashMap<SessionId, Box<dyn SessionBackend>> = HashMap::new();
+    // Poison and panicking sessions — pure chaos agents, no shadows.
+    let mut agents: Vec<SessionId> = Vec::new();
+    let mut migrations = 0usize;
+    let mut panics_armed = 0usize;
+
+    // Seed population.
+    for _ in 0..4 {
+        let (id, twin) = shadowed_pair(&mut rng, &mut bank);
+        shadows.insert(id, twin);
+    }
+
+    for t in 0..iters {
+        // -- churn: insert --------------------------------------------------
+        if rng.chance(20) && shadows.len() < 12 {
+            let (id, twin) = shadowed_pair(&mut rng, &mut bank);
+            shadows.insert(id, twin);
+        }
+        if rng.chance(8) {
+            // A panicking worker mid-batch must not take neighbors down.
+            let fuse = 1 + rng.below(3);
+            let strat =
+                InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+            agents.push(bank.insert_filter(KalmanFilter::new(
+                model(),
+                KalmanState::zeroed(2),
+                PanickingGain {
+                    inner: InverseGain::new(strat),
+                    calls: 0,
+                    fuse,
+                },
+            )));
+            panics_armed += 1;
+        } else if rng.chance(8) {
+            agents.push(bank.insert_filter(typed_filter::<f64>()));
+        }
+
+        // -- churn: remove --------------------------------------------------
+        if rng.chance(10) && shadows.len() > 2 {
+            let ids: Vec<_> = shadows.keys().copied().collect();
+            let victim = ids[rng.below(ids.len())];
+            bank.remove(victim).expect("shadowed session present");
+            shadows.remove(&victim);
+        }
+        if rng.chance(15) && !agents.is_empty() {
+            let victim = agents.swap_remove(rng.below(agents.len()));
+            bank.remove(victim); // may already be evicted — both fine
+        }
+
+        // -- policy flip ----------------------------------------------------
+        if rng.chance(10) {
+            bank.set_eviction_policy(if rng.chance(50) {
+                EvictionPolicy::EvictOnDiverge
+            } else {
+                EvictionPolicy::Keep
+            });
+        }
+
+        // -- snapshot-migrate-resume a healthy session mid-flight -----------
+        if rng.chance(15) && !shadows.is_empty() {
+            let ids: Vec<_> = shadows.keys().copied().collect();
+            let id = ids[rng.below(ids.len())];
+            let snap = bank.snapshot_session(id).expect("healthy snapshot");
+            bank.remove(id).expect("present");
+            let back = bank.restore_session(&snap).expect("restore");
+            assert_eq!(back, id, "round {t}: migration must keep the id");
+            migrations += 1;
+        }
+
+        // -- one measurement batch: dropouts, jumps, poison -----------------
+        let pos = 0.1 * t as f64;
+        let jump = if rng.chance(5) { 1e3 } else { 1.0 };
+        let z_good = vec![
+            (pos + 0.05 * rng.noise()) * jump,
+            1.0 + 0.05 * rng.noise(),
+            (pos + 1.0 + 0.05 * rng.noise()) * jump,
+        ];
+        let z_poison = vec![f64::NAN, 1.0, 1.0];
+
+        let mut batch: Vec<(SessionId, &[f64])> = Vec::new();
+        let mut stepped: Vec<SessionId> = Vec::new();
+        for &id in shadows.keys() {
+            if rng.chance(80) {
+                // 20% dropout per session per round.
+                batch.push((id, z_good.as_slice()));
+                stepped.push(id);
+            }
+        }
+        for &id in &agents {
+            if bank.contains(id) && rng.chance(70) {
+                let z = if rng.chance(25) { &z_poison } else { &z_good };
+                batch.push((id, z.as_slice()));
+            }
+        }
+        let report = bank.step_batch(&batch).expect("whole-batch routing ok");
+        assert!(report.steps <= batch.len());
+        agents.retain(|id| bank.contains(*id));
+
+        // Shadows mirror the batch verbatim.
+        for &id in &stepped {
+            let shadow = shadows.get_mut(&id).expect("twin exists");
+            shadow.step(&z_good).expect("shadow step");
+        }
+        // A measurement jump can legitimately latch a shadowed session's
+        // health monitor Diverged, so `EvictOnDiverge` may remove it — a
+        // lawful lifecycle event, not corruption. Each such eviction must
+        // leave a parseable post-mortem snapshot; the twin retires with it.
+        for ev in bank.take_evictions() {
+            if shadows.remove(&ev.id).is_some() {
+                let json = ev.snapshot.unwrap_or_else(|| {
+                    panic!("round {t}: eviction of {:?} lost its snapshot", ev.id)
+                });
+                kalmmind::snapshot::SessionSnapshot::from_json(&json)
+                    .expect("post-mortem snapshot parses");
+            }
+        }
+        // -- oracle: every survivor still equals its twin -------------------
+        for (&id, shadow) in &shadows {
+            assert!(bank.contains(id), "round {t}: shadowed session vanished");
+            assert_matches_shadow(&bank, id, shadow.as_ref(), t);
+        }
+    }
+
+    assert!(
+        migrations > 0 && panics_armed > 0,
+        "schedule must exercise migrations ({migrations}) and panics ({panics_armed})"
+    );
+    // Final sweep: snapshot_all over the survivors round-trips.
+    for (id, snap) in bank.snapshot_all() {
+        if shadows.contains_key(&id) {
+            let json = snap.expect("healthy sessions snapshot");
+            kalmmind::snapshot::SessionSnapshot::from_json(&json).expect("self-describing");
+        }
+    }
+}

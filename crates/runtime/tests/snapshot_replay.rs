@@ -1,0 +1,232 @@
+//! Golden proof of versioned snapshot/restore with bit-exact replay.
+//!
+//! For every backend × scalar combination that supports snapshots —
+//! dynamic `"software"` and monomorphized `"software-mono"` sessions in
+//! `f64`/`f32`/`Q16.16`/`Q32.32`, plus the three `"accel-sim"` datatypes —
+//! this suite snapshots a session mid-trajectory, keeps the live session
+//! running, restores the snapshot into a fresh bank, replays the recorded
+//! measurement tape, and demands the restored run land on **exactly** the
+//! live run's bits. The equality oracle is the strongest one available:
+//! the final `kalmmind.session_snapshot.v1` documents of the live and
+//! migrated sessions must be byte-identical, which covers state and
+//! covariance bits, seed history, path counters, the health monitor's NIS
+//! window and latched statuses, and the flight-recorder ring — so health
+//! transitions are proved identical, not just final states.
+//!
+//! CI runs this in all three feature legs (`--no-default-features`,
+//! default, `--features obs`); the obs legs additionally exercise the
+//! health window and flight ring payloads.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState, SessionBackend};
+use kalmmind_accel::design::catalog;
+use kalmmind_accel::registers::AcceleratorConfig;
+use kalmmind_accel::session::{restore_accel_session, AccelSession};
+use kalmmind_accel::sim::AccelSim;
+use kalmmind_fixed::{Q16_16, Q32_32};
+use kalmmind_linalg::{Matrix, Scalar};
+use kalmmind_runtime::{FilterBank, MeasurementTape, SessionId};
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace.
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn measurement(t: usize) -> Vec<f64> {
+    let pos = 0.1 * t as f64;
+    vec![pos, 1.0, pos + 1.0]
+}
+
+fn typed_filter<T: Scalar>() -> KalmanFilter<T, InverseGain<InterleavedInverse<T>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        model().cast::<T>(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+const SNAP_AT: usize = 10;
+const END_AT: usize = 30;
+
+/// Steps `id` through `range` one batch at a time.
+fn drive(bank: &mut FilterBank, id: SessionId, range: std::ops::Range<usize>) {
+    for t in range {
+        let z = measurement(t);
+        bank.step_batch(&[(id, z.as_slice())]).expect("batch");
+    }
+}
+
+/// The shared scenario: snapshot at `SNAP_AT`, tape the remainder, replay
+/// into a fresh bank (optionally registering the accel restorer), and
+/// require byte-identical final snapshots.
+fn snapshot_replay_round_trip(mut live: FilterBank, id: SessionId, label: &str) {
+    drive(&mut live, id, 0..SNAP_AT);
+    let checkpoint = live
+        .snapshot_session(id)
+        .unwrap_or_else(|e| panic!("{label}: snapshot failed: {e}"));
+
+    // The live session runs on, with every subsequent batch on tape.
+    live.start_tape();
+    drive(&mut live, id, SNAP_AT..END_AT);
+    let tape = live.take_tape().expect("tape armed");
+    assert_eq!(tape.len(), END_AT - SNAP_AT);
+
+    // Restore into a fresh bank and replay the tape — through its JSON wire
+    // format, so the round trip covers serialization too.
+    let mut migrated = FilterBank::new();
+    migrated.register_restorer("accel-sim", restore_accel_session);
+    let restored_id = migrated
+        .restore_session(&checkpoint)
+        .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    assert_eq!(restored_id, id, "{label}: stable id must survive migration");
+    assert_eq!(migrated.steps_ok(id), Some(SNAP_AT));
+    let tape = MeasurementTape::from_json(&tape.to_json()).expect("tape round trip");
+    let replayed = tape.replay_into(&mut migrated).expect("replay");
+    assert_eq!(replayed, END_AT - SNAP_AT, "{label}: replay step count");
+
+    // Byte-identical final snapshots: state, covariance, seed history, path
+    // counters, health window, statuses, and flight ring all agree.
+    let live_final = live.snapshot_session(id).expect("live final snapshot");
+    let migrated_final = migrated.snapshot_session(id).expect("migrated snapshot");
+    assert_eq!(
+        live_final, migrated_final,
+        "{label}: migrated run diverged from the live run"
+    );
+
+    // Belt and braces: the state bits straight off the backends agree too.
+    let (a, b) = (live.state(id).unwrap(), migrated.state(id).unwrap());
+    for i in 0..2 {
+        assert_eq!(a.x()[i].to_bits(), b.x()[i].to_bits(), "{label}: x[{i}]");
+    }
+}
+
+#[test]
+fn dynamic_sessions_replay_bit_exactly_in_all_four_scalars() {
+    // `FilterBank::insert` (not `insert_filter`) pins the dynamic
+    // `"software"` backend even for the monomorphizable 2x3 shape.
+    fn case<T: Scalar>() {
+        let mut bank = FilterBank::new();
+        let id = bank.insert(Box::new(FilterSession::new(typed_filter::<T>())));
+        assert_eq!(bank.backend_name(id), Some("software"));
+        snapshot_replay_round_trip(bank, id, T::NAME);
+    }
+    case::<f64>();
+    case::<f32>();
+    case::<Q16_16>();
+    case::<Q32_32>();
+}
+
+#[test]
+fn mono_sessions_replay_bit_exactly_in_all_four_scalars() {
+    fn case<T: Scalar>() {
+        let mut bank = FilterBank::new();
+        let id = bank.insert_filter(typed_filter::<T>());
+        assert_eq!(
+            bank.backend_name(id),
+            Some("software-mono"),
+            "2x3 interleaved fixture must monomorphize"
+        );
+        snapshot_replay_round_trip(bank, id, T::NAME);
+    }
+    case::<f64>();
+    case::<f32>();
+    case::<Q16_16>();
+    case::<Q32_32>();
+}
+
+#[test]
+fn accel_sessions_replay_bit_exactly_with_continuous_telemetry() {
+    for design in [
+        catalog::gauss_newton(),
+        catalog::gauss_newton_fx32(),
+        catalog::gauss_newton_fx64(),
+    ] {
+        let sim = AccelSim::new(design);
+        let config = AcceleratorConfig::for_iterations(2, 3, END_AT);
+        let session =
+            AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap();
+        let mut bank = FilterBank::new();
+        let id = bank.insert(session);
+        snapshot_replay_round_trip(bank, id, design.name);
+    }
+    // Telemetry continuity across the migrate: the final snapshot equality
+    // above already compares the embedded accel cycle/DMA counters, so a
+    // re-charged model load or dropped cycle would have failed there.
+}
+
+#[test]
+fn restored_and_uninterrupted_sessions_agree_without_a_tape() {
+    // The snapshot alone (no bank, no tape) resumes mid-schedule: the
+    // restored session's calc/approx interleaving picks up at iteration 10,
+    // not at 0 — stepping both to 30 by hand must land on the same bits.
+    let mut live: Box<dyn SessionBackend> = Box::new(FilterSession::new(typed_filter::<f64>()));
+    for t in 0..SNAP_AT {
+        live.step(&measurement(t)).unwrap();
+    }
+    let snap = live.snapshot().expect("snapshot");
+    let mut resumed = kalmmind::snapshot::restore(&snap).expect("restore");
+    assert_eq!(resumed.iteration(), SNAP_AT);
+    for t in SNAP_AT..END_AT {
+        live.step(&measurement(t)).unwrap();
+        resumed.step(&measurement(t)).unwrap();
+    }
+    assert_eq!(live.snapshot().unwrap(), resumed.snapshot().unwrap());
+}
+
+#[test]
+fn restore_into_an_occupied_id_is_rejected_and_ids_never_regress() {
+    let mut bank = FilterBank::new();
+    let id = bank.insert_filter(typed_filter::<f64>());
+    drive(&mut bank, id, 0..5);
+    let snap = bank.snapshot_session(id).unwrap();
+
+    // Same bank still holds the id: restoring is a BadSession error.
+    let err = bank.restore_session(&snap).unwrap_err();
+    assert!(matches!(err, kalmmind::KalmanError::BadSession { .. }));
+
+    // Remove, restore, and the id is re-seated; fresh inserts never collide.
+    bank.remove(id).expect("remove");
+    let back = bank.restore_session(&snap).unwrap();
+    assert_eq!(back, id);
+    let fresh = bank.insert_filter(typed_filter::<f64>());
+    assert!(fresh > id, "id sequence must advance past restored ids");
+
+    // An unknown backend label with no registered restorer is refused.
+    let mangled = snap.replace("\"software-mono\"", "\"exotic-backend\"");
+    assert_ne!(mangled, snap, "fixture must actually rewrite the backend");
+    assert!(matches!(
+        FilterBank::new().restore_session(&mangled),
+        Err(kalmmind::KalmanError::BadSnapshot { .. })
+    ));
+}
+
+#[test]
+fn snapshot_all_reports_supported_and_unsupported_sessions() {
+    let mut bank = FilterBank::new();
+    let good = bank.insert_filter(typed_filter::<f64>());
+    // An SSKF accel session cannot snapshot (no interleaved datapath).
+    let sim = AccelSim::new(catalog::sskf());
+    let config = AcceleratorConfig::for_iterations(2, 3, 4);
+    let rigid = bank
+        .insert(AccelSession::erased(&sim, &model(), &KalmanState::zeroed(2), &config).unwrap());
+    drive(&mut bank, good, 0..3);
+
+    let all = bank.snapshot_all();
+    assert_eq!(all.len(), 2);
+    assert_eq!(all[0].0, good);
+    assert!(all[0].1.is_ok());
+    assert_eq!(all[1].0, rigid);
+    assert!(matches!(
+        all[1].1,
+        Err(kalmmind::KalmanError::BadSnapshot { .. })
+    ));
+}
