@@ -1,0 +1,276 @@
+//! Fleet-scale ingestion benchmark: 100k+ concurrent sessions over the
+//! `kalmmind.ingest.v1` binary protocol.
+//!
+//! Seats at least 100 000 independent 2-state/3-channel sessions on a
+//! sharded [`Fleet`], then drives every session through the wire front-end
+//! in frames of ~250 sessions over a single TCP connection, measuring
+//! per-frame round-trip latency client-side. Exact p50/p99/p999 come from
+//! the sorted sample set (no histogram approximation on the client side).
+//! Writes `BENCH_fleet.json` in the working directory.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --bin bench_fleet`.
+//! Set `KALMMIND_BENCH_QUICK=1` for a fast low-fidelity pass (used by the
+//! CI bench guard); the JSON then carries `"quick": true` so quick numbers
+//! are never compared against full-fidelity baselines. Quick mode still
+//! seats the full 100k sessions — it only trims the number of passes.
+//!
+//! On any entry failure the bench dumps the offending sessions'
+//! flight-recorder rings to `FLIGHT_fleet_session<id>.json` and exits 1,
+//! so the nightly soak can upload them as artifacts.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_linalg::Matrix;
+use kalmmind_runtime::{EntryStatus, Fleet, FleetConfig, IngestClient, IngestServer};
+
+/// Environment variable selecting the fast low-fidelity mode.
+const QUICK_ENV: &str = "KALMMIND_BENCH_QUICK";
+
+/// Concurrent sessions — the acceptance floor is 100k even in quick mode.
+const SESSIONS: usize = 100_000;
+
+/// Sessions per wire frame. 250 entries × (8 id + 4 len + 24 payload)
+/// bytes ≈ 9 KiB per request frame: large enough to amortize syscalls,
+/// small enough to keep per-frame latency a meaningful tail statistic.
+const FRAME_SESSIONS: usize = 250;
+
+fn quick_mode() -> bool {
+    std::env::var(QUICK_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn small_model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).expect("F"),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).expect("H"),
+        Matrix::identity(3).scale(0.2),
+    )
+    .expect("model")
+}
+
+fn small_filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(
+        small_model(),
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    )
+}
+
+fn measurement(t: usize) -> [f64; 3] {
+    let pos = 0.1 * t as f64;
+    [pos, 1.0, pos + 1.0]
+}
+
+/// Exact quantile from an ascending-sorted sample set (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Minimal blocking HTTP GET against the fleet's own endpoint.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
+
+/// Dumps the flight-recorder rings of `failed` sessions (capped at 16) to
+/// `FLIGHT_fleet_session<id>.json` for artifact upload, then exits 1.
+fn bail_with_flight_dumps(fleet: &Fleet, failed: &[(u64, EntryStatus)]) -> ! {
+    eprintln!(
+        "bench_fleet: {} entries failed; dumping flight records",
+        failed.len()
+    );
+    for &(id, status) in failed.iter().take(16) {
+        eprintln!("  session {id}: {status:?}");
+        let shard = fleet.shard_of(id);
+        let dump = fleet.with_bank(shard, |bank| {
+            bank.ids()
+                .into_iter()
+                .find(|sid| sid.as_u64() == id)
+                .and_then(|sid| bank.flight_record(sid).map(String::from))
+        });
+        if let Some(dump) = dump {
+            let path = format!("FLIGHT_fleet_session{id}.json");
+            std::fs::write(&path, &dump).expect("write flight dump");
+            eprintln!("  wrote {path}");
+        }
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let quick = quick_mode();
+    let passes = if quick { 2 } else { 20 };
+    let shards = 4usize;
+
+    let config = FleetConfig {
+        shards,
+        queue_capacity: 256,
+        threads_per_shard: 1,
+    };
+    println!(
+        "seating {SESSIONS} sessions on {shards} shards \
+         (queue capacity {}, {} thread/shard)...",
+        config.queue_capacity, config.threads_per_shard
+    );
+    let seat_start = Instant::now();
+    let fleet = Fleet::start(config);
+    let ids: Vec<u64> = (0..SESSIONS)
+        .map(|_| fleet.add_filter(small_filter()))
+        .collect();
+    let seat_s = seat_start.elapsed().as_secs_f64();
+    assert_eq!(fleet.session_count(), SESSIONS);
+    println!(
+        "seated in {seat_s:.2}s ({:.0} sessions/s)",
+        SESSIONS as f64 / seat_s
+    );
+
+    let server = IngestServer::serve(Arc::clone(&fleet), "127.0.0.1:0").expect("bind ingest");
+    let mut client = IngestClient::connect(server.addr()).expect("connect ingest");
+    client.ping().expect("ping");
+
+    // Warm-up: one frame through the whole stack before timing.
+    let warm = measurement(0);
+    let warm_frame: Vec<(u64, &[f64])> = ids[..FRAME_SESSIONS]
+        .iter()
+        .map(|&id| (id, &warm[..]))
+        .collect();
+    client.push(&warm_frame).expect("warm-up frame");
+
+    // Timed region: `passes` full sweeps over all sessions, one frame of
+    // FRAME_SESSIONS entries per wire round-trip. Every session is
+    // concurrently seated and serving throughout — "concurrent sessions"
+    // here means resident filters multiplexed over one connection, which
+    // is the paper's implant-side deployment shape (one radio link, many
+    // decoders).
+    let frames_per_pass = ids.len().div_ceil(FRAME_SESSIONS);
+    println!("driving {passes} passes x {frames_per_pass} frames x {FRAME_SESSIONS} sessions...");
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(passes * frames_per_pass);
+    let mut ok_steps: u64 = 0;
+    let mut failed: Vec<(u64, EntryStatus)> = Vec::new();
+    let run_start = Instant::now();
+    for pass in 0..passes {
+        // Pass index 1.. keeps warm-up step 0 distinct from the sweep.
+        let z = measurement(pass + 1);
+        for chunk in ids.chunks(FRAME_SESSIONS) {
+            let frame: Vec<(u64, &[f64])> = chunk.iter().map(|&id| (id, &z[..])).collect();
+            let t0 = Instant::now();
+            let outcomes = client.push(&frame).expect("push frame");
+            latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            for outcome in outcomes {
+                if outcome.status == EntryStatus::Ok {
+                    ok_steps += 1;
+                } else {
+                    failed.push((outcome.id, outcome.status));
+                }
+            }
+        }
+    }
+    let elapsed_s = run_start.elapsed().as_secs_f64();
+    if !failed.is_empty() {
+        bail_with_flight_dumps(&fleet, &failed);
+    }
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = quantile(&latencies_us, 0.50);
+    let p99 = quantile(&latencies_us, 0.99);
+    let p999 = quantile(&latencies_us, 0.999);
+    let throughput = ok_steps as f64 / elapsed_s;
+
+    let summaries = fleet.shard_summaries();
+    let admitted: u64 = summaries.iter().map(|s| s.admitted).sum();
+    let shed: u64 = summaries.iter().map(|s| s.shed).sum();
+
+    println!();
+    println!(
+        "fleet ingest, {SESSIONS} sessions, {} frames total:",
+        latencies_us.len()
+    );
+    println!("  frame latency p50:  {p50:>10.1} us");
+    println!("  frame latency p99:  {p99:>10.1} us");
+    println!("  frame latency p999: {p999:>10.1} us");
+    println!("  throughput:         {throughput:>10.0} steps/s");
+    println!("  admitted {admitted} entries, shed {shed}");
+
+    // Endpoint self-probe: the fleet roll-up route must serve valid JSON
+    // while all 100k sessions are resident.
+    let mut rollup = fleet.serve_on("127.0.0.1:0").expect("bind fleet endpoint");
+    let (fleet_code, fleet_body) = http_get(rollup.addr(), "/fleet");
+    assert_eq!(fleet_code, 200, "GET /fleet: {fleet_body}");
+    kalmmind_obs::validate::validate_json(&fleet_body).expect("/fleet must be valid JSON");
+    let (healthz_code, _) = http_get(rollup.addr(), "/healthz");
+    assert_eq!(healthz_code, 200, "GET /healthz");
+    rollup.stop();
+    println!("fleet endpoint self-probe: /fleet 200, /healthz 200");
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"model\": \"2-state/3-channel motor\",");
+    let _ = writeln!(json, "  \"sessions\": {SESSIONS},");
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"frame_sessions\": {FRAME_SESSIONS},");
+    let _ = writeln!(json, "  \"passes\": {passes},");
+    let _ = writeln!(json, "  \"frames\": {},", latencies_us.len());
+    let _ = writeln!(json, "  \"seating_s\": {seat_s:.2},");
+    let _ = writeln!(json, "  \"elapsed_s\": {elapsed_s:.3},");
+    let _ = writeln!(json, "  \"latency\": {{");
+    let _ = writeln!(json, "    \"p50_us\": {p50:.1},");
+    let _ = writeln!(json, "    \"p99_us\": {p99:.1},");
+    let _ = writeln!(json, "    \"p999_us\": {p999:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"throughput_steps_per_s\": {throughput:.0},");
+    let _ = writeln!(json, "  \"ingest\": {{");
+    let _ = writeln!(json, "    \"admitted\": {admitted},");
+    let _ = writeln!(json, "    \"shed\": {shed}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"per_shard\": [");
+    for (i, s) in summaries.iter().enumerate() {
+        let comma = if i + 1 < summaries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"shard\": {}, \"sessions\": {}, \"steps\": {}, \"batches\": {}, \
+             \"latency_p99_s\": {:.6} }}{comma}",
+            s.shard, s.sessions, s.steps, s.batches, s.latency_p99
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"endpoint\": {{");
+    let _ = writeln!(json, "    \"fleet_code\": {fleet_code},");
+    let _ = writeln!(json, "    \"healthz_code\": {healthz_code}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!();
+    println!("wrote BENCH_fleet.json");
+    drop(client);
+    drop(server);
+}

@@ -350,7 +350,10 @@ impl HealthMonitor {
         let nis_bound = chi_square_quantile(w * dof as f64, config.nis_confidence_z) / w;
         Self {
             config,
-            nis_window: Vec::with_capacity(window),
+            // Filled lazily by `observe` (bounded by `config.window`), so
+            // constructing a monitor for a never-stepped session stays
+            // allocation-free.
+            nis_window: Vec::new(),
             next: 0,
             status: HealthStatus::Healthy,
             reason: String::new(),
@@ -594,7 +597,10 @@ impl FlightRecorder {
         let capacity = capacity.max(1);
         Self {
             capacity,
-            ring: Vec::with_capacity(capacity),
+            // Grows lazily toward `capacity` as steps are recorded: a
+            // fleet seats 100k+ sessions, and preallocating every ring up
+            // front costs ~0.5 GB before a single step runs.
+            ring: Vec::new(),
             head: 0,
             total: 0,
         }

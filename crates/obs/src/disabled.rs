@@ -115,6 +115,18 @@ impl LazyHistogram {
         Self
     }
 
+    /// Creates a handle carrying one static `key="value"` label (no-op).
+    #[inline(always)]
+    pub const fn labeled(
+        _name: &'static str,
+        _help: &'static str,
+        _key: &'static str,
+        _value: &'static str,
+        _bounds: &'static [f64],
+    ) -> Self {
+        Self
+    }
+
     /// Records one observation (no-op).
     #[inline(always)]
     pub fn observe(&self, _v: f64) {}

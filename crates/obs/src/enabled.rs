@@ -403,6 +403,7 @@ impl LazyGauge {
 pub struct LazyHistogram {
     name: &'static str,
     help: &'static str,
+    label: Option<(&'static str, &'static str)>,
     bounds: &'static [f64],
     cell: OnceLock<&'static Histogram>,
 }
@@ -414,6 +415,27 @@ impl LazyHistogram {
         Self {
             name,
             help,
+            label: None,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Creates a handle carrying one static `key="value"` label — used for
+    /// enumerated dimensions such as `shard="0"` vs `shard="1"`. Every
+    /// exported series of the family (buckets, `_sum`, `_count`) carries
+    /// the label alongside `le`.
+    pub const fn labeled(
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+        bounds: &'static [f64],
+    ) -> Self {
+        Self {
+            name,
+            help,
+            label: Some((key, value)),
             bounds,
             cell: OnceLock::new(),
         }
@@ -422,7 +444,7 @@ impl LazyHistogram {
     #[inline]
     fn metric(&self) -> &'static Histogram {
         self.cell.get_or_init(|| {
-            match register(self.name, self.help, None, || {
+            match register(self.name, self.help, self.label, || {
                 Metric::Histogram(Box::leak(Box::new(Histogram::new(self.bounds))))
             }) {
                 Metric::Histogram(h) => h,
@@ -657,14 +679,24 @@ pub fn prometheus() -> String {
                 out.push_str(&format!("{series} {}\n", g.get()));
             }
             Metric::Histogram(h) => {
+                // A labeled histogram series carries its label on every
+                // exported line, ahead of `le` on bucket lines, so two
+                // shards' latency histograms stay distinct time series.
+                let (extra, sc_block) = match label {
+                    Some((k, v)) => {
+                        let pair = format!("{k}=\"{}\"", escape_label_value(v));
+                        (format!("{pair},"), format!("{{{pair}}}"))
+                    }
+                    None => (String::new(), String::new()),
+                };
                 for (bound, cum) in h.cumulative_buckets() {
                     out.push_str(&format!(
-                        "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                        "{name}_bucket{{{extra}le=\"{}\"}} {cum}\n",
                         fmt_f64(bound)
                     ));
                 }
-                out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
-                out.push_str(&format!("{name}_count {}\n", h.count()));
+                out.push_str(&format!("{name}_sum{sc_block} {}\n", fmt_f64(h.sum())));
+                out.push_str(&format!("{name}_count{sc_block} {}\n", h.count()));
             }
         }
     }
@@ -706,7 +738,8 @@ pub fn json_snapshot() -> String {
                 let sum = h.sum();
                 let sum = if sum.is_finite() { sum } else { 0.0 };
                 histograms.push(format!(
-                    "\"{name}\":{{\"count\":{},\"sum\":{sum},\"buckets\":[{}]}}",
+                    "\"{}\":{{\"count\":{},\"sum\":{sum},\"buckets\":[{}]}}",
+                    sample_key(name, label),
                     h.count(),
                     buckets.join(",")
                 ));
@@ -898,6 +931,44 @@ mod tests {
         validate_prometheus(&text).unwrap();
         assert!(text.contains("t12_edge_seconds_bucket{le=\"1\"} 1"));
         assert!(text.contains("t12_edge_seconds_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn labeled_histograms_are_distinct_series_of_one_family() {
+        static S0: LazyHistogram = LazyHistogram::labeled(
+            "t14_shard_seconds",
+            "per-shard latency",
+            "shard",
+            "0",
+            &[0.1, 1.0],
+        );
+        static S1: LazyHistogram = LazyHistogram::labeled(
+            "t14_shard_seconds",
+            "per-shard latency",
+            "shard",
+            "1",
+            &[0.1, 1.0],
+        );
+        S0.observe(0.05);
+        S0.observe(0.5);
+        S1.observe(2.0);
+        assert_eq!(S0.count(), 2);
+        assert_eq!(S1.count(), 1);
+
+        let text = prometheus();
+        validate_prometheus(&text).expect("labeled histogram output must validate");
+        assert!(text.contains("t14_shard_seconds_bucket{shard=\"0\",le=\"0.1\"} 1"));
+        assert!(text.contains("t14_shard_seconds_bucket{shard=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("t14_shard_seconds_bucket{shard=\"1\",le=\"+Inf\"} 1"));
+        assert!(text.contains("t14_shard_seconds_count{shard=\"0\"} 2"));
+        assert!(text.contains("t14_shard_seconds_count{shard=\"1\"} 1"));
+
+        let json = json_snapshot();
+        let doc = crate::validate::parse_json(&json).expect("snapshot must be valid JSON");
+        let hists = doc.get("histograms").expect("histograms object");
+        for key in ["t14_shard_seconds{shard=0}", "t14_shard_seconds{shard=1}"] {
+            assert!(hists.get(key).is_some(), "missing histogram series {key}");
+        }
     }
 
     #[test]

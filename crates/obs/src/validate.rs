@@ -193,11 +193,26 @@ fn family_of<'a>(
     })
 }
 
+/// The bookkeeping key of one histogram *series*: the family name plus its
+/// non-`le` labels (sorted). Two shards' `fleet_shard_batch_seconds`
+/// histograms are distinct series of one family, each with its own
+/// cumulative-bucket invariant.
+fn histogram_series_key(family: &str, labels: &[(String, String)]) -> String {
+    let mut pairs: Vec<&(String, String)> = labels.iter().filter(|(k, _)| k != "le").collect();
+    if pairs.is_empty() {
+        return family.to_string();
+    }
+    pairs.sort();
+    let rendered: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{family}{{{}}}", rendered.join(","))
+}
+
 /// Validates `text` as Prometheus exposition output, returning a
 /// [`Summary`] or a human-readable error. Empty input is valid.
 pub fn validate_prometheus(text: &str) -> Result<Summary, String> {
     let mut summary = Summary::default();
-    // Per-histogram bookkeeping: ordered le -> cumulative count, plus _count.
+    // Per-histogram-series bookkeeping: ordered le -> cumulative count,
+    // plus _count, keyed by family + non-le label signature.
     let mut hist_buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     let mut hist_counts: BTreeMap<String, f64> = BTreeMap::new();
 
@@ -256,11 +271,11 @@ pub fn validate_prometheus(text: &str) -> Result<Summary, String> {
                     let bound = parse_value(le)
                         .map_err(|_| format!("{family} bucket has invalid le={le:?}"))?;
                     hist_buckets
-                        .entry(family.clone())
+                        .entry(histogram_series_key(family, &sample.labels))
                         .or_default()
                         .push((bound, sample.value));
                 } else if sample.name.ends_with("_count") {
-                    hist_counts.insert(family.clone(), sample.value);
+                    hist_counts.insert(histogram_series_key(family, &sample.labels), sample.value);
                 }
             }
         }

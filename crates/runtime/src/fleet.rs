@@ -1,0 +1,1153 @@
+//! Sharded fleet of [`FilterBank`]s with admission control.
+//!
+//! One bank scales to one pool; a deployment scales to many. A [`Fleet`]
+//! owns N independent shards — each a [`FilterBank`] behind a bounded job
+//! queue drained by its own [`spawn_service`] worker thread — and routes
+//! every session to a shard by hashing its fleet-global id. The contract
+//! at the front door is **admission control**: a batch pushed at a shard
+//! whose queue is full is *shed* — rejected immediately with an explicit
+//! per-entry [`EntryStatus::Shed`] — instead of queueing without bound or
+//! blocking the caller behind a stalled shard. Other shards keep serving.
+//!
+//! Ids are allocated from a single fleet-wide sequence and seated into the
+//! owning bank via [`FilterBank::insert_with_id`], so they stay unique
+//! across shards. That makes [`Fleet::rebalance`] a pure data move: the
+//! snapshot/restore substrate (DESIGN.md §13) carries the session to its
+//! new shard bit-exactly under the same id, and a routing override pins
+//! all future measurements to the new home.
+//!
+//! Observability is two-layered. [`ShardStats`] atomics (admitted, shed,
+//! batches, steps, queue depth, and a fixed-bucket ingest-to-estimate
+//! latency histogram) are always compiled in — they feed the `/fleet`
+//! roll-up route and the bench — while the `obs` registry additionally
+//! exports fleet totals and per-shard labeled series for the first
+//! [`OBS_SHARDS`] shards when the feature is enabled.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use kalmmind::gain::GainStrategy;
+use kalmmind::{FilterSession, KalmanError, KalmanFilter, SessionBackend};
+use kalmmind_exec::{spawn_service, ServiceHandle, WorkerPool};
+use kalmmind_linalg::Scalar;
+use kalmmind_obs as obs;
+
+use crate::server::{self, StatusSource};
+use crate::{FilterBank, MetricsServer, SessionId};
+
+/// How long a shard worker sleeps on an empty queue before re-checking its
+/// stop flag. Bounds shutdown latency without busy-waiting.
+const WORKER_POLL: Duration = Duration::from_millis(25);
+
+/// Number of leading shards that get their own labeled `obs` series
+/// (`shard="0"` … `shard="7"`). Shards beyond this still have exact
+/// [`ShardStats`] — served by `/fleet` — but share no static label slot;
+/// label values must be `'static`, so the set is fixed at compile time.
+pub(crate) const OBS_SHARDS: usize = 8;
+
+static OBS_ADMITTED: obs::LazyCounter = obs::LazyCounter::new(
+    "kalmmind_fleet_admitted_total",
+    "Measurement entries admitted past fleet admission control",
+);
+static OBS_SHED: obs::LazyCounter = obs::LazyCounter::new(
+    "kalmmind_fleet_shed_total",
+    "Measurement entries shed by fleet admission control (full shard queue)",
+);
+static OBS_REBALANCES: obs::LazyCounter = obs::LazyCounter::new(
+    "kalmmind_fleet_rebalances_total",
+    "Sessions migrated between shards via Fleet::rebalance",
+);
+static OBS_QUEUE_DEPTH: obs::LazyGauge = obs::LazyGauge::new(
+    "kalmmind_fleet_queue_depth",
+    "Jobs currently queued across all shards",
+);
+
+macro_rules! per_shard {
+    ($ctor:path, $name:literal, $help:literal $(, $extra:expr)?) => {
+        [
+            $ctor($name, $help, "shard", "0" $(, $extra)?),
+            $ctor($name, $help, "shard", "1" $(, $extra)?),
+            $ctor($name, $help, "shard", "2" $(, $extra)?),
+            $ctor($name, $help, "shard", "3" $(, $extra)?),
+            $ctor($name, $help, "shard", "4" $(, $extra)?),
+            $ctor($name, $help, "shard", "5" $(, $extra)?),
+            $ctor($name, $help, "shard", "6" $(, $extra)?),
+            $ctor($name, $help, "shard", "7" $(, $extra)?),
+        ]
+    };
+}
+
+static OBS_SHARD_ADMITTED: [obs::LazyCounter; OBS_SHARDS] = per_shard!(
+    obs::LazyCounter::labeled,
+    "kalmmind_shard_admitted_total",
+    "Measurement entries admitted to this shard"
+);
+static OBS_SHARD_SHED: [obs::LazyCounter; OBS_SHARDS] = per_shard!(
+    obs::LazyCounter::labeled,
+    "kalmmind_shard_shed_total",
+    "Measurement entries shed at this shard's queue"
+);
+static OBS_SHARD_LATENCY: [obs::LazyHistogram; OBS_SHARDS] = per_shard!(
+    obs::LazyHistogram::labeled,
+    "kalmmind_shard_batch_latency_seconds",
+    "Ingest-to-estimate latency per shard batch (enqueue to reply)",
+    obs::LATENCY_SECONDS_BUCKETS
+);
+
+/// Per-entry result of pushing a measurement through the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EntryStatus {
+    /// Stepped successfully; the reply carries the new state estimate.
+    Ok = 0,
+    /// Rejected by admission control: the target shard's queue was full
+    /// (or its worker was gone). The session was **not** stepped; retry
+    /// after backing off.
+    Shed = 1,
+    /// No session with this id exists anywhere in the fleet.
+    UnknownSession = 2,
+    /// The id appeared more than once in one batch; only the first
+    /// occurrence was stepped.
+    Duplicate = 3,
+    /// The session exists but is parked failed (or failed on this step).
+    Failed = 4,
+    /// The measurement's length does not match the session's `z` dim; the
+    /// session was not stepped and stays healthy.
+    BadMeasurement = 5,
+}
+
+impl EntryStatus {
+    /// Wire code used by the `kalmmind.ingest.v1` protocol.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code. `None` for codes this build does not know.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Self::Ok,
+            1 => Self::Shed,
+            2 => Self::UnknownSession,
+            3 => Self::Duplicate,
+            4 => Self::Failed,
+            5 => Self::BadMeasurement,
+            _ => return None,
+        })
+    }
+}
+
+/// One entry's outcome from [`Fleet::push_batch`], in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// The session id the entry addressed.
+    pub id: u64,
+    /// What happened to the entry.
+    pub status: EntryStatus,
+    /// The post-step state estimate `x` (empty unless `status` is
+    /// [`EntryStatus::Ok`]).
+    pub state: Vec<f64>,
+}
+
+/// Sizing knobs for [`Fleet::start`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (independent banks + worker threads). Clamped to
+    /// at least 1.
+    pub shards: usize,
+    /// Maximum jobs queued per shard before admission control sheds.
+    /// Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Threads in each shard's private [`WorkerPool`]. `1` runs sessions
+    /// inline on the shard worker (the right call on small hosts).
+    pub threads_per_shard: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 64,
+            threads_per_shard: 1,
+        }
+    }
+}
+
+/// Always-on per-shard counters (compiled with or without `obs`): the
+/// source for the `/fleet` roll-up and [`Fleet::shard_summaries`].
+#[derive(Debug)]
+struct ShardStats {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    steps: AtomicU64,
+    queue_depth: AtomicU64,
+    /// Fixed-bucket ingest-to-estimate latency histogram over
+    /// [`obs::LATENCY_SECONDS_BUCKETS`]: `bucket_counts[i]` counts
+    /// observations `<= bounds[i]`, with one extra overflow slot.
+    bucket_counts: Vec<AtomicU64>,
+    latency_count: AtomicU64,
+    latency_sum_nanos: AtomicU64,
+}
+
+impl ShardStats {
+    fn new() -> Self {
+        let mut bucket_counts = Vec::with_capacity(obs::LATENCY_SECONDS_BUCKETS.len() + 1);
+        bucket_counts.resize_with(obs::LATENCY_SECONDS_BUCKETS.len() + 1, || AtomicU64::new(0));
+        Self {
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            bucket_counts,
+            latency_count: AtomicU64::new(0),
+            latency_sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_latency(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let i = obs::LATENCY_SECONDS_BUCKETS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(obs::LATENCY_SECONDS_BUCKETS.len());
+        self.bucket_counts[i].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (seconds).
+    /// Bucket-resolution only — the bench computes exact quantiles from
+    /// raw samples; this feeds the always-on `/fleet` roll-up.
+    fn latency_quantile(&self, q: f64) -> f64 {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, c) in self.bucket_counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                return obs::LATENCY_SECONDS_BUCKETS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// A point-in-time view of one shard, as served by `/fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Sessions currently seated in the shard's bank.
+    pub sessions: usize,
+    /// Sessions still active (not parked failed).
+    pub active: usize,
+    /// Jobs waiting in the shard's queue right now.
+    pub queue_depth: usize,
+    /// The queue bound admission control enforces.
+    pub queue_capacity: usize,
+    /// Entries admitted into the queue since start.
+    pub admitted: u64,
+    /// Entries shed at the queue since start.
+    pub shed: u64,
+    /// Jobs the worker has completed.
+    pub batches: u64,
+    /// Filter steps executed.
+    pub steps: u64,
+    /// Bucket-resolution latency quantiles in seconds (0 when idle).
+    pub latency_p50: f64,
+    /// See `latency_p50`.
+    pub latency_p99: f64,
+    /// See `latency_p50`.
+    pub latency_p999: f64,
+}
+
+/// One queued unit of work: a sub-batch bound for one shard.
+struct ShardJob {
+    /// `(session id, measurement)` pairs, all routed to this shard.
+    entries: Vec<(u64, Vec<f64>)>,
+    /// Original positions of `entries` in the caller's batch.
+    positions: Vec<usize>,
+    /// When admission control accepted the job (latency epoch).
+    enqueued: Instant,
+    /// Where the worker sends `(positions, outcomes)`.
+    reply: Sender<(Vec<usize>, Vec<BatchOutcome>)>,
+}
+
+struct Shard {
+    index: usize,
+    queue: Mutex<VecDeque<ShardJob>>,
+    available: Condvar,
+    capacity: usize,
+    bank: Mutex<FilterBank>,
+    stats: ShardStats,
+}
+
+impl Shard {
+    /// Admission control: accepts the job unless the queue is full, in
+    /// which case the job is handed back untouched for the caller to shed.
+    fn try_enqueue(&self, job: ShardJob) -> Result<(), ShardJob> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= self.capacity {
+            return Err(job);
+        }
+        let n = job.entries.len() as u64;
+        queue.push_back(job);
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.stats.admitted.fetch_add(n, Ordering::Relaxed);
+        OBS_ADMITTED.add(n);
+        OBS_QUEUE_DEPTH.inc();
+        if let Some(c) = OBS_SHARD_ADMITTED.get(self.index) {
+            c.add(n);
+        }
+        self.available.notify_one();
+        Ok(())
+    }
+
+    fn record_shed(&self, entries: u64) {
+        self.stats.shed.fetch_add(entries, Ordering::Relaxed);
+        OBS_SHED.add(entries);
+        if let Some(c) = OBS_SHARD_SHED.get(self.index) {
+            c.add(entries);
+        }
+    }
+
+    /// The worker loop: drain jobs until the stop flag is raised.
+    fn run(&self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            let job = {
+                let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    let (guard, _timeout) = self
+                        .available
+                        .wait_timeout(queue, WORKER_POLL)
+                        .unwrap_or_else(|e| e.into_inner());
+                    queue = guard;
+                }
+            };
+            let Some(job) = job else { continue };
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            OBS_QUEUE_DEPTH.dec();
+            self.process(job);
+        }
+        // Anything still queued is shed: dropping the jobs disconnects
+        // their reply channels, which waiting pushers observe as Shed.
+        let dropped: Vec<ShardJob> = {
+            let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.drain(..).collect()
+        };
+        for job in &dropped {
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            OBS_QUEUE_DEPTH.dec();
+            self.record_shed(job.entries.len() as u64);
+        }
+    }
+
+    /// Steps one job against the shard's bank and replies per entry.
+    ///
+    /// Unknown ids, duplicates within the job, and wrong-length
+    /// measurements are filtered *before* the bank sees the batch — the
+    /// bank's `step_batch` rejects whole batches on those, but fleet
+    /// semantics are per-entry: one client's bad id must not void its
+    /// neighbors' measurements.
+    fn process(&self, job: ShardJob) {
+        let ShardJob {
+            entries,
+            positions,
+            enqueued,
+            reply,
+        } = job;
+        let mut outcomes: Vec<BatchOutcome> = entries
+            .iter()
+            .map(|(id, _)| BatchOutcome {
+                id: *id,
+                status: EntryStatus::Ok,
+                state: Vec::new(),
+            })
+            .collect();
+
+        {
+            let mut bank = self.bank.lock().unwrap_or_else(|e| e.into_inner());
+            let mut seen: HashMap<u64, ()> = HashMap::with_capacity(entries.len());
+            let mut routed: Vec<(SessionId, &[f64])> = Vec::with_capacity(entries.len());
+            let mut routed_pos: Vec<usize> = Vec::with_capacity(entries.len());
+            for (i, (id, z)) in entries.iter().enumerate() {
+                let sid = SessionId(*id);
+                if !bank.contains(sid) {
+                    outcomes[i].status = EntryStatus::UnknownSession;
+                    continue;
+                }
+                if seen.contains_key(id) {
+                    outcomes[i].status = EntryStatus::Duplicate;
+                    continue;
+                }
+                let z_dim = bank.backend(sid).map(|b| b.dims().1).unwrap_or(0);
+                if z.len() != z_dim {
+                    outcomes[i].status = EntryStatus::BadMeasurement;
+                    continue;
+                }
+                // Reserve the id only once the entry is actually routed — a
+                // filtered entry (bad length) must not mark its healthy
+                // successor a duplicate.
+                seen.insert(*id, ());
+                routed.push((sid, z.as_slice()));
+                routed_pos.push(i);
+            }
+            let stepped = !routed.is_empty() && bank.step_batch(&routed).is_ok();
+            let mut steps_ok = 0u64;
+            for (&(sid, _), &i) in routed.iter().zip(routed_pos.iter()) {
+                let active = bank.status(sid).map(|s| s.is_active()).unwrap_or(false);
+                if stepped && active {
+                    steps_ok += 1;
+                    if let Some(state) = bank.state(sid) {
+                        outcomes[i].state = state.x().as_slice().to_vec();
+                    }
+                } else {
+                    outcomes[i].status = EntryStatus::Failed;
+                }
+            }
+            self.stats.steps.fetch_add(steps_ok, Ordering::Relaxed);
+        }
+
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let elapsed = enqueued.elapsed();
+        self.stats.observe_latency(elapsed);
+        if let Some(h) = OBS_SHARD_LATENCY.get(self.index) {
+            h.observe_duration(elapsed);
+        }
+        // A disconnected receiver means the pusher gave up; nothing to do.
+        let _ = reply.send((positions, outcomes));
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("index", &self.index)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fleet-wide routing state: the global id sequence plus rebalance
+/// overrides (id → shard) that win over the hash.
+#[derive(Debug, Default)]
+struct Router {
+    next_id: u64,
+    overrides: HashMap<u64, usize>,
+}
+
+impl Router {
+    fn shard_of(&self, id: u64, shards: usize) -> usize {
+        match self.overrides.get(&id) {
+            Some(&s) => s,
+            None => (splitmix64(id) % shards as u64) as usize,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: cheap, stateless, and well-mixed even for the
+/// sequential ids the fleet allocates (identity `% N` would put long id
+/// runs on one shard after a mass insert).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A sharded collection of [`FilterBank`]s behind admission control.
+///
+/// See the module docs for the architecture. All methods take `&self`:
+/// the fleet is built to be shared (`Arc<Fleet>`) between the ingest
+/// listener, the metrics server, and application threads.
+#[derive(Debug)]
+pub struct Fleet {
+    shards: Vec<Arc<Shard>>,
+    router: Mutex<Router>,
+    /// Worker handles; joined (newest first) when the fleet drops.
+    handles: Mutex<Vec<ServiceHandle>>,
+    queue_capacity: usize,
+}
+
+impl Fleet {
+    /// Builds the shards and starts one worker thread per shard.
+    pub fn start(config: FleetConfig) -> Arc<Self> {
+        let shard_count = config.shards.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let threads = config.threads_per_shard.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            let pool = Arc::new(WorkerPool::new(threads));
+            let shard = Arc::new(Shard {
+                index,
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                capacity,
+                bank: Mutex::new(FilterBank::with_pool(pool)),
+                stats: ShardStats::new(),
+            });
+            let worker = Arc::clone(&shard);
+            handles.push(spawn_service("fleet-shard", move |stop| worker.run(stop)));
+            shards.push(shard);
+        }
+        Arc::new(Self {
+            shards,
+            router: Mutex::new(Router::default()),
+            handles: Mutex::new(handles),
+            queue_capacity: capacity,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Seats an erased session on its hash-routed shard, returning its
+    /// fleet-global id.
+    pub fn add_session(&self, backend: Box<dyn SessionBackend>) -> u64 {
+        let (id, shard) = {
+            let mut router = self.router.lock().unwrap_or_else(|e| e.into_inner());
+            let id = router.next_id;
+            router.next_id += 1;
+            (id, router.shard_of(id, self.shards.len()))
+        };
+        let mut bank = self.shards[shard]
+            .bank
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        bank.insert_with_id(id, backend)
+            .expect("fleet-allocated ids are unique");
+        id
+    }
+
+    /// Convenience: wraps `filter` like
+    /// [`FilterBank::insert_filter`](crate::FilterBank::insert_filter)
+    /// (including the monomorphized small-shape routing) and seats it.
+    pub fn add_filter<T: Scalar, G: GainStrategy<T> + 'static>(
+        &self,
+        filter: KalmanFilter<T, G>,
+    ) -> u64 {
+        let backend = match kalmmind::small::try_small_session(filter) {
+            Ok(backend) => backend,
+            Err(filter) => Box::new(FilterSession::new(filter)),
+        };
+        self.add_session(backend)
+    }
+
+    /// The shard currently serving `id` (override first, hash otherwise).
+    pub fn shard_of(&self, id: u64) -> usize {
+        self.router
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shard_of(id, self.shards.len())
+    }
+
+    /// Total sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.bank.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Runs `f` with exclusive access to shard `shard`'s bank — for
+    /// per-shard configuration (eviction policy, restorers) and tests.
+    /// Holding the closure long stalls that shard's worker: jobs queue and
+    /// then shed, which is exactly how the backpressure path is exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= shard_count()`.
+    pub fn with_bank<R>(&self, shard: usize, f: impl FnOnce(&mut FilterBank) -> R) -> R {
+        let mut bank = self.shards[shard]
+            .bank
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        f(&mut bank)
+    }
+
+    /// Routes each `(id, measurement)` entry to its shard, waits for every
+    /// admitted sub-batch to be processed, and returns per-entry outcomes
+    /// in input order. Entries bound for a full shard queue come back
+    /// [`EntryStatus::Shed`] immediately without blocking on that shard.
+    pub fn push_batch(&self, batch: Vec<(u64, Vec<f64>)>) -> Vec<BatchOutcome> {
+        let ticket = self.push_batch_async(batch);
+        ticket.wait()
+    }
+
+    /// Like [`Fleet::push_batch`] but returns a [`BatchTicket`] instead of
+    /// blocking, so a caller can keep pushing while shards work — the shape
+    /// of the backpressure test, and of any pipelined client.
+    pub fn push_batch_async(&self, batch: Vec<(u64, Vec<f64>)>) -> BatchTicket {
+        // Per-shard split of the caller's batch: original positions plus
+        // the (id, measurement) entries routed to that shard.
+        type ShardGroup = (Vec<usize>, Vec<(u64, Vec<f64>)>);
+        let ids: Vec<u64> = batch.iter().map(|(id, _)| *id).collect();
+        let mut groups: HashMap<usize, ShardGroup> = HashMap::new();
+        {
+            let router = self.router.lock().unwrap_or_else(|e| e.into_inner());
+            for (pos, (id, z)) in batch.into_iter().enumerate() {
+                let shard = router.shard_of(id, self.shards.len());
+                let group = groups.entry(shard).or_default();
+                group.0.push(pos);
+                group.1.push((id, z));
+            }
+        }
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut outcomes: Vec<Option<BatchOutcome>> = ids.iter().map(|_| None).collect();
+        let mut pending = 0usize;
+        for (shard_index, (positions, entries)) in groups {
+            let shard = &self.shards[shard_index];
+            let job = ShardJob {
+                entries,
+                positions,
+                enqueued: Instant::now(),
+                reply: tx.clone(),
+            };
+            match shard.try_enqueue(job) {
+                Ok(()) => pending += 1,
+                Err(job) => {
+                    shard.record_shed(job.entries.len() as u64);
+                    for (&pos, (id, _)) in job.positions.iter().zip(job.entries.iter()) {
+                        outcomes[pos] = Some(BatchOutcome {
+                            id: *id,
+                            status: EntryStatus::Shed,
+                            state: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+        drop(tx);
+        BatchTicket {
+            ids,
+            outcomes,
+            pending,
+            rx,
+        }
+    }
+
+    /// Migrates session `id` to `target_shard` via snapshot → remove →
+    /// restore, then pins future routing there. The move is bit-exact for
+    /// snapshot-capable backends: the restored session's subsequent
+    /// trajectory matches an unmoved control to the bit (proved in this
+    /// crate's tests). Measurements pushed for `id` *during* the move may
+    /// report [`EntryStatus::UnknownSession`]; quiesce the session's
+    /// stream first for a loss-free migration.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSession`] when the fleet does not hold `id` or
+    /// `target_shard` is out of range; [`KalmanError::BadSnapshot`] when
+    /// the session's backend cannot snapshot (the session stays put).
+    pub fn rebalance(&self, id: u64, target_shard: usize) -> Result<(), KalmanError> {
+        if target_shard >= self.shards.len() {
+            return Err(KalmanError::BadSession {
+                id,
+                reason: "target shard out of range",
+            });
+        }
+        let source = self.shard_of(id);
+        if source == target_shard {
+            return Ok(());
+        }
+        let snapshot = {
+            let mut bank = self.shards[source]
+                .bank
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let snapshot = bank.snapshot_session(SessionId(id))?;
+            bank.remove(SessionId(id));
+            snapshot
+        };
+        {
+            let mut bank = self.shards[target_shard]
+                .bank
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match bank.restore_session(&snapshot) {
+                Ok(_) => {}
+                Err(e) => {
+                    // Put the session back where it was; the source bank
+                    // cannot hold a colliding id (we just removed it).
+                    drop(bank);
+                    let mut source_bank = self.shards[source]
+                        .bank
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    source_bank.restore_session(&snapshot)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.router
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .overrides
+            .insert(id, target_shard);
+        OBS_REBALANCES.inc();
+        Ok(())
+    }
+
+    /// Point-in-time stats for every shard, in shard order.
+    pub fn shard_summaries(&self) -> Vec<ShardSummary> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let (sessions, active) = {
+                    let bank = shard.bank.lock().unwrap_or_else(|e| e.into_inner());
+                    (bank.len(), bank.active_count())
+                };
+                ShardSummary {
+                    shard: shard.index,
+                    sessions,
+                    active,
+                    queue_depth: shard.stats.queue_depth.load(Ordering::Relaxed) as usize,
+                    queue_capacity: shard.capacity,
+                    admitted: shard.stats.admitted.load(Ordering::Relaxed),
+                    shed: shard.stats.shed.load(Ordering::Relaxed),
+                    batches: shard.stats.batches.load(Ordering::Relaxed),
+                    steps: shard.stats.steps.load(Ordering::Relaxed),
+                    latency_p50: shard.stats.latency_quantile(0.50),
+                    latency_p99: shard.stats.latency_quantile(0.99),
+                    latency_p999: shard.stats.latency_quantile(0.999),
+                }
+            })
+            .collect()
+    }
+
+    /// Starts the metrics/health HTTP endpoint for the whole fleet: the
+    /// same routes as [`FilterBank::serve_on`](crate::FilterBank::serve_on)
+    /// plus `GET /fleet`, the per-shard roll-up (sessions, queue depth,
+    /// admitted/shed, latency quantiles) as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from binding the listener.
+    pub fn serve_on(
+        self: &Arc<Self>,
+        addr: impl std::net::ToSocketAddrs + Clone,
+    ) -> std::io::Result<MetricsServer> {
+        server::serve(addr, Arc::clone(self) as Arc<dyn StatusSource>)
+    }
+
+    /// The queue bound each shard enforces.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Current job-queue depth per shard, from atomics only — safe to poll
+    /// while a bank lock is held elsewhere (unlike
+    /// [`Fleet::shard_summaries`], which locks every bank for the session
+    /// counts).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.stats.queue_depth.load(Ordering::Relaxed) as usize)
+            .collect()
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // Raise every stop flag before joining any worker, so shards shut
+        // down concurrently instead of serially waiting out each poll.
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        for handle in handles.iter_mut() {
+            handle.request_stop();
+        }
+        for handle in handles.iter_mut() {
+            handle.stop();
+        }
+    }
+}
+
+impl StatusSource for Fleet {
+    fn healthz(&self) -> (u16, String) {
+        let mut bad_ids: Vec<u64> = Vec::new();
+        let mut shard_lines = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let bank = shard.bank.lock().unwrap_or_else(|e| e.into_inner());
+            let mut shard_bad = 0usize;
+            for id in bank.ids() {
+                let failed = !bank.status(id).map(|s| s.is_active()).unwrap_or(true);
+                let diverged = bank
+                    .health(id)
+                    .map(|h| h == kalmmind::health::HealthStatus::Diverged)
+                    .unwrap_or(false);
+                if failed || diverged {
+                    bad_ids.push(id.as_u64());
+                    shard_bad += 1;
+                }
+            }
+            shard_lines.push(format!(
+                "{{\"shard\":{i},\"sessions\":{},\"diverged\":{shard_bad}}}",
+                bank.len()
+            ));
+        }
+        bad_ids.sort_unstable();
+        let status = if bad_ids.is_empty() { "ok" } else { "diverged" };
+        let ids: Vec<String> = bad_ids.iter().map(u64::to_string).collect();
+        let body = format!(
+            "{{\"status\":\"{status}\",\"diverged\":[{}],\"shards\":[{}]}}",
+            ids.join(","),
+            shard_lines.join(",")
+        );
+        (if bad_ids.is_empty() { 200 } else { 503 }, body)
+    }
+
+    fn sessions_json(&self) -> String {
+        // A fleet inventory lists per-shard counts, not 100k+ session
+        // rows; drill into one shard's bank for the full listing.
+        let mut total = 0usize;
+        let mut lines = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let bank = shard.bank.lock().unwrap_or_else(|e| e.into_inner());
+            total += bank.len();
+            lines.push(format!(
+                "{{\"shard\":{i},\"sessions\":{},\"active\":{}}}",
+                bank.len(),
+                bank.active_count()
+            ));
+        }
+        format!("{{\"total\":{total},\"shards\":[{}]}}", lines.join(","))
+    }
+
+    fn fleet_json(&self) -> Option<String> {
+        let summaries = self.shard_summaries();
+        let mut totals = (0usize, 0u64, 0u64, 0u64, 0u64);
+        let lines: Vec<String> = summaries
+            .iter()
+            .map(|s| {
+                totals.0 += s.sessions;
+                totals.1 += s.admitted;
+                totals.2 += s.shed;
+                totals.3 += s.batches;
+                totals.4 += s.steps;
+                format!(
+                    "{{\"shard\":{},\"sessions\":{},\"active\":{},\"queue_depth\":{},\
+                     \"queue_capacity\":{},\"admitted\":{},\"shed\":{},\"batches\":{},\
+                     \"steps\":{},\"latency_p50_s\":{},\"latency_p99_s\":{},\
+                     \"latency_p999_s\":{}}}",
+                    s.shard,
+                    s.sessions,
+                    s.active,
+                    s.queue_depth,
+                    s.queue_capacity,
+                    s.admitted,
+                    s.shed,
+                    s.batches,
+                    s.steps,
+                    json_f64(s.latency_p50),
+                    json_f64(s.latency_p99),
+                    json_f64(s.latency_p999),
+                )
+            })
+            .collect();
+        Some(format!(
+            "{{\"shards\":[{}],\"totals\":{{\"sessions\":{},\"admitted\":{},\"shed\":{},\
+             \"batches\":{},\"steps\":{}}}}}",
+            lines.join(","),
+            totals.0,
+            totals.1,
+            totals.2,
+            totals.3,
+            totals.4,
+        ))
+    }
+}
+
+/// Renders an `f64` as a JSON number (`Infinity` is not valid JSON; the
+/// overflow bucket renders as a large sentinel instead).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "1e308".to_string()
+    }
+}
+
+/// In-flight handle for a [`Fleet::push_batch_async`] call.
+///
+/// Entries shed at admission are already resolved; [`BatchTicket::wait`]
+/// blocks only for sub-batches a shard actually accepted.
+#[derive(Debug)]
+pub struct BatchTicket {
+    ids: Vec<u64>,
+    outcomes: Vec<Option<BatchOutcome>>,
+    pending: usize,
+    rx: Receiver<(Vec<usize>, Vec<BatchOutcome>)>,
+}
+
+impl BatchTicket {
+    /// `true` when no sub-batch is still queued or being processed.
+    pub fn is_resolved(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Blocks until every admitted sub-batch has been processed and
+    /// returns per-entry outcomes in input order. Entries whose worker
+    /// vanished mid-wait (fleet shutdown) resolve as
+    /// [`EntryStatus::Shed`].
+    pub fn wait(mut self) -> Vec<BatchOutcome> {
+        for _ in 0..self.pending {
+            match self.rx.recv() {
+                Ok((positions, outcomes)) => {
+                    for (pos, outcome) in positions.into_iter().zip(outcomes) {
+                        self.outcomes[pos] = Some(outcome);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        self.outcomes
+            .into_iter()
+            .zip(self.ids)
+            .map(|(outcome, id)| {
+                outcome.unwrap_or(BatchOutcome {
+                    id,
+                    status: EntryStatus::Shed,
+                    state: Vec::new(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalmmind::{KalmanModel, KalmanState};
+    use kalmmind_linalg::Matrix;
+
+    fn small_filter() -> KalmanFilter<f64, impl GainStrategy<f64> + 'static> {
+        use kalmmind::gain::InverseGain;
+        use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+        let model = KalmanModel::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::identity(2).scale(1e-3),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::identity(3).scale(0.2),
+        )
+        .unwrap();
+        // Interleaved gain on a (2,3) MONO_SHAPE: lands on the
+        // monomorphized backend and — load-bearing for the rebalance
+        // tests — supports snapshots.
+        let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+        KalmanFilter::new(model, KalmanState::zeroed(2), InverseGain::new(strat))
+    }
+
+    fn start_small_fleet(shards: usize, capacity: usize) -> Arc<Fleet> {
+        Fleet::start(FleetConfig {
+            shards,
+            queue_capacity: capacity,
+            threads_per_shard: 1,
+        })
+    }
+
+    #[test]
+    fn sessions_route_to_stable_shards_and_step() {
+        let fleet = start_small_fleet(4, 16);
+        let ids: Vec<u64> = (0..32).map(|_| fleet.add_filter(small_filter())).collect();
+        assert_eq!(fleet.session_count(), 32);
+        // Hash routing must spread 32 sessions over 4 shards non-trivially.
+        let used: std::collections::HashSet<usize> =
+            ids.iter().map(|&id| fleet.shard_of(id)).collect();
+        assert!(used.len() >= 2, "all sessions landed on {used:?}");
+
+        let batch: Vec<(u64, Vec<f64>)> = ids.iter().map(|&id| (id, vec![1.0, 2.0, 3.0])).collect();
+        let outcomes = fleet.push_batch(batch);
+        assert_eq!(outcomes.len(), 32);
+        for (outcome, &id) in outcomes.iter().zip(&ids) {
+            assert_eq!(outcome.id, id);
+            assert_eq!(outcome.status, EntryStatus::Ok, "{outcome:?}");
+            assert_eq!(outcome.state.len(), 2);
+            assert!(outcome.state.iter().all(|v| v.is_finite()));
+        }
+        let summaries = fleet.shard_summaries();
+        let steps: u64 = summaries.iter().map(|s| s.steps).sum();
+        assert_eq!(steps, 32);
+        let admitted: u64 = summaries.iter().map(|s| s.admitted).sum();
+        assert_eq!(admitted, 32);
+    }
+
+    #[test]
+    fn per_entry_statuses_do_not_void_neighbors() {
+        let fleet = start_small_fleet(1, 16);
+        let a = fleet.add_filter(small_filter());
+        let b = fleet.add_filter(small_filter());
+        let outcomes = fleet.push_batch(vec![
+            (a, vec![1.0, 1.0, 1.0]),
+            (999, vec![1.0, 1.0, 1.0]), // unknown id
+            (b, vec![1.0]),             // wrong z length
+            (a, vec![2.0, 2.0, 2.0]),   // duplicate in one batch
+        ]);
+        assert_eq!(outcomes[0].status, EntryStatus::Ok);
+        assert_eq!(outcomes[1].status, EntryStatus::UnknownSession);
+        assert_eq!(outcomes[2].status, EntryStatus::BadMeasurement);
+        assert_eq!(outcomes[3].status, EntryStatus::Duplicate);
+        // The bad entries cost their neighbors nothing: `a` stepped once,
+        // and `b` (wrong-length z) was left unstepped but healthy.
+        let again = fleet.push_batch(vec![(b, vec![1.0, 1.0, 1.0])]);
+        assert_eq!(again[0].status, EntryStatus::Ok);
+    }
+
+    #[test]
+    fn full_queue_sheds_while_other_shards_serve() {
+        let fleet = start_small_fleet(2, 2);
+        // Find one session per shard.
+        let mut by_shard: HashMap<usize, u64> = HashMap::new();
+        while by_shard.len() < 2 {
+            let id = fleet.add_filter(small_filter());
+            by_shard.entry(fleet.shard_of(id)).or_insert(id);
+        }
+        let stalled = by_shard[&0];
+        let healthy = by_shard[&1];
+
+        // Stall shard 0 by holding its bank lock; its worker blocks on the
+        // first job, the queue fills, and admission control starts
+        // shedding — all while shard 1 keeps serving.
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(AtomicBool::new(false));
+        let holder = {
+            let fleet = Arc::clone(&fleet);
+            let barrier = Arc::clone(&barrier);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                fleet.with_bank(0, |_bank| {
+                    barrier.wait();
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+            })
+        };
+        barrier.wait();
+
+        // capacity 2 + at most 1 in-flight: the 4th push must shed.
+        let tickets: Vec<BatchTicket> = (0..4)
+            .map(|_| fleet.push_batch_async(vec![(stalled, vec![1.0, 1.0, 1.0])]))
+            .collect();
+        let shed_at_admission = tickets.iter().filter(|t| t.is_resolved()).count();
+        assert!(shed_at_admission >= 1, "no push was shed");
+
+        let outcomes = fleet.push_batch(vec![(healthy, vec![1.0, 1.0, 1.0])]);
+        assert_eq!(
+            outcomes[0].status,
+            EntryStatus::Ok,
+            "healthy shard must keep serving while shard 0 is stalled"
+        );
+
+        release.store(true, Ordering::Release);
+        holder.join().unwrap();
+        let mut shed_total = 0u64;
+        for ticket in tickets {
+            for outcome in ticket.wait() {
+                if outcome.status == EntryStatus::Shed {
+                    shed_total += 1;
+                }
+            }
+        }
+        assert!(shed_total >= 1);
+        let summaries = fleet.shard_summaries();
+        assert!(summaries[0].shed >= 1);
+        assert_eq!(summaries[1].shed, 0);
+    }
+
+    #[test]
+    fn rebalance_moves_the_session_and_repins_routing() {
+        let fleet = start_small_fleet(4, 16);
+        let id = fleet.add_filter(small_filter());
+        let home = fleet.shard_of(id);
+        let target = (home + 1) % 4;
+
+        fleet.push_batch(vec![(id, vec![1.0, 2.0, 3.0])]);
+        fleet.rebalance(id, target).unwrap();
+        assert_eq!(fleet.shard_of(id), target);
+        assert!(fleet.with_bank(target, |b| b.contains(SessionId(id))));
+        assert!(!fleet.with_bank(home, |b| b.contains(SessionId(id))));
+
+        // The migrated session keeps serving under the same id.
+        let outcomes = fleet.push_batch(vec![(id, vec![2.0, 3.0, 4.0])]);
+        assert_eq!(outcomes[0].status, EntryStatus::Ok);
+
+        // Errors: unknown id and out-of-range shard.
+        assert!(fleet.rebalance(424242, 0).is_err());
+        assert!(fleet.rebalance(id, 99).is_err());
+        // Rebalancing onto the current shard is a no-op.
+        fleet.rebalance(id, target).unwrap();
+    }
+
+    #[test]
+    fn fleet_status_routes_serve_rollup_and_health() {
+        let fleet = start_small_fleet(2, 8);
+        for _ in 0..6 {
+            fleet.add_filter(small_filter());
+        }
+        let (code, body) = fleet.healthz();
+        assert_eq!(code, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        obs::validate::validate_json(&body).unwrap();
+
+        let inventory = fleet.sessions_json();
+        obs::validate::validate_json(&inventory).unwrap();
+        assert!(inventory.contains("\"total\":6"), "{inventory}");
+
+        let rollup = fleet.fleet_json().expect("fleet always has a roll-up");
+        obs::validate::validate_json(&rollup).unwrap();
+        assert!(rollup.contains("\"queue_capacity\":8"), "{rollup}");
+        assert!(rollup.contains("\"totals\""), "{rollup}");
+    }
+
+    #[test]
+    fn serve_on_exposes_the_fleet_route_over_http() {
+        use std::io::{Read as _, Write as _};
+        let fleet = start_small_fleet(2, 8);
+        fleet.add_filter(small_filter());
+        let server = fleet.serve_on("127.0.0.1:0").unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"GET /fleet HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split_once("\r\n\r\n").unwrap().1;
+        obs::validate::validate_json(body).unwrap();
+        assert!(body.contains("\"shards\""), "{body}");
+    }
+
+    #[test]
+    fn splitmix_spreads_sequential_ids() {
+        let mut hits = [0usize; 8];
+        for id in 0..4096u64 {
+            hits[(splitmix64(id) % 8) as usize] += 1;
+        }
+        for (shard, &n) in hits.iter().enumerate() {
+            assert!(
+                (256..=768).contains(&n),
+                "shard {shard} got {n} of 4096 sequential ids"
+            );
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! `kalmmind.ingest.v1` — the fleet's binary ingestion protocol.
+//!
+//! Prometheus scrapes text; measurement traffic does not. A decode fleet
+//! ingests thousands of small `f64` vectors per second, so the front door
+//! speaks a dependency-free length-prefixed binary protocol over TCP:
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 4 | payload length `L` (u32 LE, ≤ [`MAX_FRAME_BYTES`]) |
+//! | 1 | protocol version (`1`) |
+//! | 1 | frame type |
+//! | `L-2` | type-specific body |
+//!
+//! Frame types (requests < `0x80`, replies ≥ `0x80`):
+//!
+//! | type | name | body |
+//! |---|---|---|
+//! | `0x01` | BATCH | `u32` count, then per entry: `u64` session id, `u16` z_len, z_len × `u64` f64 bits |
+//! | `0x02` | PING | empty |
+//! | `0x81` | BATCH_REPLY | `u32` count, then per entry: `u64` id, `u8` status, `u16` x_len, x_len × `u64` f64 bits |
+//! | `0x82` | PONG | empty |
+//! | `0x7F` | ERROR | `u16` code, `u16` message length, UTF-8 message |
+//!
+//! All integers are little-endian; every `f64` travels as its IEEE-754
+//! bit pattern (`to_bits`/`from_bits`), so estimates cross the wire
+//! bit-exactly — the same discipline as the snapshot/tape formats.
+//!
+//! Per-entry status codes are [`EntryStatus`]; [`EntryStatus::Shed`] is
+//! the backpressure signal — the shard queue was full, the session was not
+//! stepped, back off and retry. Error codes: `1` malformed frame, `2`
+//! oversize length prefix, `3` unsupported version/type, `4` server busy
+//! (connection limit). A malformed or oversize frame is answered with
+//! ERROR and the connection is closed — after a framing fault there is no
+//! reliable resynchronization point. One connection processes one frame
+//! at a time; concurrency comes from sharding, not interleaving, so one
+//! client's traffic can never corrupt another connection's stream.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kalmmind_exec::{spawn_service, ServiceHandle};
+
+use crate::fleet::{BatchOutcome, EntryStatus, Fleet};
+
+/// Hard cap on one frame's payload: batches beyond this must be split.
+/// 16 MiB holds ~500k three-channel entries — far beyond any sane batch —
+/// while bounding what one connection can make the server buffer.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Protocol version this build speaks.
+const VERSION: u8 = 1;
+
+const TYPE_BATCH: u8 = 0x01;
+const TYPE_PING: u8 = 0x02;
+const TYPE_BATCH_REPLY: u8 = 0x81;
+const TYPE_PONG: u8 = 0x82;
+const TYPE_ERROR: u8 = 0x7F;
+
+/// ERROR frame codes.
+const ERR_MALFORMED: u16 = 1;
+const ERR_OVERSIZE: u16 = 2;
+const ERR_UNSUPPORTED: u16 = 3;
+const ERR_BUSY: u16 = 4;
+
+/// Per-read socket timeout: how often a connection handler re-checks its
+/// stop flag while waiting for bytes.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How long a connection may sit mid-frame without delivering a byte
+/// before the server gives up on it (a stalled or half-dead client must
+/// not pin a handler thread forever).
+const STALL_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Accept-loop poll cadence (mirrors the metrics server).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Most concurrent ingest connections; further clients get ERROR `busy`.
+const MAX_CONNECTIONS: usize = 64;
+
+/// What went wrong while reading one frame.
+enum FrameFault {
+    /// Clean EOF between frames — the client hung up normally.
+    Closed,
+    /// EOF in the middle of a frame.
+    Truncated,
+    /// Length prefix beyond [`MAX_FRAME_BYTES`].
+    Oversize,
+    /// The owning service was asked to stop.
+    Stopped,
+    /// Mid-frame silence beyond [`STALL_DEADLINE`].
+    Stalled,
+    /// Socket error (the connection is unusable; no reply is attempted).
+    Io,
+}
+
+/// Reads exactly `buf.len()` bytes, polling `stop` on every timeout.
+/// `mid_frame` arms the stall deadline (between frames, silence is fine).
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    mid_frame: bool,
+) -> Result<(), FrameFault> {
+    let mut filled = 0usize;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        if stop.load(Ordering::Acquire) {
+            return Err(FrameFault::Stopped);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && !mid_frame {
+                    FrameFault::Closed
+                } else {
+                    FrameFault::Truncated
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if (mid_frame || filled > 0) && last_progress.elapsed() > STALL_DEADLINE {
+                    return Err(FrameFault::Stalled);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(FrameFault::Io),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one length-prefixed payload (version byte and onward).
+fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> Result<Vec<u8>, FrameFault> {
+    let mut header = [0u8; 4];
+    read_exact_polling(stream, &mut header, stop, false)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameFault::Oversize);
+    }
+    if len < 2 {
+        return Err(FrameFault::Truncated);
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_polling(stream, &mut payload, stop, true)?;
+    Ok(payload)
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn error_payload(code: u16, message: &str) -> Vec<u8> {
+    let msg = message.as_bytes();
+    let msg = &msg[..msg.len().min(u16::MAX as usize)];
+    let mut out = Vec::with_capacity(6 + msg.len());
+    out.push(VERSION);
+    out.push(TYPE_ERROR);
+    out.extend_from_slice(&code.to_le_bytes());
+    out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Encodes a BATCH request payload.
+fn encode_batch_request(batch: &[(u64, &[f64])]) -> Vec<u8> {
+    let body: usize = batch.iter().map(|(_, z)| 10 + z.len() * 8).sum();
+    let mut out = Vec::with_capacity(6 + body);
+    out.push(VERSION);
+    out.push(TYPE_BATCH);
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for (id, z) in batch {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(z.len() as u16).to_le_bytes());
+        for v in *z {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// A little cursor over a payload body; every read is bounds-checked so a
+/// lying count or length field becomes a decode error, never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+/// Decodes a BATCH request body (after version/type).
+fn decode_batch_request(body: &[u8]) -> Option<Vec<(u64, Vec<f64>)>> {
+    let mut cur = Cursor { bytes: body, at: 0 };
+    let count = cur.u32()? as usize;
+    // A count that could not possibly fit the remaining bytes is rejected
+    // before any allocation sized by it.
+    if count > body.len() / 10 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = cur.u64()?;
+        let z_len = cur.u16()? as usize;
+        let mut z = Vec::with_capacity(z_len);
+        for _ in 0..z_len {
+            z.push(f64::from_bits(cur.u64()?));
+        }
+        entries.push((id, z));
+    }
+    cur.exhausted().then_some(entries)
+}
+
+/// Encodes a BATCH_REPLY payload from per-entry outcomes.
+fn encode_batch_reply(outcomes: &[BatchOutcome]) -> Vec<u8> {
+    let body: usize = outcomes.iter().map(|o| 11 + o.state.len() * 8).sum();
+    let mut out = Vec::with_capacity(6 + body);
+    out.push(VERSION);
+    out.push(TYPE_BATCH_REPLY);
+    out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+    for o in outcomes {
+        out.extend_from_slice(&o.id.to_le_bytes());
+        out.push(o.status.code());
+        let state = if o.status == EntryStatus::Ok {
+            o.state.as_slice()
+        } else {
+            &[]
+        };
+        out.extend_from_slice(&(state.len() as u16).to_le_bytes());
+        for v in state {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a BATCH_REPLY body into outcomes.
+fn decode_batch_reply(body: &[u8]) -> Option<Vec<BatchOutcome>> {
+    let mut cur = Cursor { bytes: body, at: 0 };
+    let count = cur.u32()? as usize;
+    if count > body.len() / 11 {
+        return None;
+    }
+    let mut outcomes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = cur.u64()?;
+        let status = EntryStatus::from_code(*cur.take(1)?.first()?)?;
+        let x_len = cur.u16()? as usize;
+        let mut state = Vec::with_capacity(x_len);
+        for _ in 0..x_len {
+            state.push(f64::from_bits(cur.u64()?));
+        }
+        outcomes.push(BatchOutcome { id, status, state });
+    }
+    cur.exhausted().then_some(outcomes)
+}
+
+/// A running ingest listener feeding a [`Fleet`].
+///
+/// Dropping it stops the accept loop and every connection handler.
+#[derive(Debug)]
+pub struct IngestServer {
+    addr: SocketAddr,
+    accept: ServiceHandle,
+}
+
+impl IngestServer {
+    /// Binds `addr` (retrying `AddrInUse` via [`crate::net::bind_retry`])
+    /// and starts accepting ingest connections for `fleet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from binding the listener.
+    pub fn serve(fleet: Arc<Fleet>, addr: impl ToSocketAddrs + Clone) -> io::Result<IngestServer> {
+        let listener = crate::net::bind_retry(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let accept = spawn_service("ingest-accept", move |stop| {
+            accept_loop(&listener, &fleet, stop)
+        });
+        Ok(IngestServer {
+            addr: bound,
+            accept,
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` until the accept thread has exited.
+    pub fn is_running(&self) -> bool {
+        self.accept.is_running()
+    }
+
+    /// Stops the accept loop and joins every connection handler.
+    pub fn stop(&mut self) {
+        self.accept.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, fleet: &Arc<Fleet>, stop: &AtomicBool) {
+    // Handles for live connection threads; reaped as they finish. Owned by
+    // the accept thread, joined when it exits, so `IngestServer::stop`
+    // tears down the whole tree.
+    let mut conns: Vec<ServiceHandle> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        conns.retain(|h| h.is_running());
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if conns.len() >= MAX_CONNECTIONS {
+                    let _ = stream.set_write_timeout(Some(READ_POLL));
+                    let _ = write_frame(
+                        &mut stream,
+                        &error_payload(ERR_BUSY, "connection limit reached"),
+                    );
+                    continue;
+                }
+                let fleet = Arc::clone(fleet);
+                conns.push(spawn_service("ingest-conn", move |conn_stop| {
+                    handle_connection(stream, &fleet, conn_stop)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for conn in &conns {
+        conn.request_stop();
+    }
+    for mut conn in conns {
+        conn.stop();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, fleet: &Arc<Fleet>, stop: &AtomicBool) {
+    // Replies must not sit in the Nagle buffer waiting for the client's
+    // delayed ACK — that turns every request/reply round trip into a
+    // ~40ms stall.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err()
+        || stream.set_write_timeout(Some(STALL_DEADLINE)).is_err()
+    {
+        return;
+    }
+    loop {
+        let payload = match read_frame(&mut stream, stop) {
+            Ok(payload) => payload,
+            Err(FrameFault::Closed | FrameFault::Stopped) => return,
+            Err(FrameFault::Truncated | FrameFault::Stalled) => {
+                // Nothing useful to say to a half-gone client; closing our
+                // end is the whole response.
+                return;
+            }
+            Err(FrameFault::Oversize) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &error_payload(ERR_OVERSIZE, "length prefix exceeds MAX_FRAME_BYTES"),
+                );
+                return;
+            }
+            Err(FrameFault::Io) => return,
+        };
+        let (version, frame_type) = (payload[0], payload[1]);
+        if version != VERSION {
+            let _ = write_frame(
+                &mut stream,
+                &error_payload(ERR_UNSUPPORTED, "unsupported protocol version"),
+            );
+            return;
+        }
+        match frame_type {
+            TYPE_PING => {
+                if write_frame(&mut stream, &[VERSION, TYPE_PONG]).is_err() {
+                    return;
+                }
+            }
+            TYPE_BATCH => match decode_batch_request(&payload[2..]) {
+                Some(entries) => {
+                    let outcomes = fleet.push_batch(entries);
+                    if write_frame(&mut stream, &encode_batch_reply(&outcomes)).is_err() {
+                        return;
+                    }
+                }
+                None => {
+                    let _ = write_frame(
+                        &mut stream,
+                        &error_payload(ERR_MALFORMED, "malformed BATCH body"),
+                    );
+                    return;
+                }
+            },
+            _ => {
+                let _ = write_frame(
+                    &mut stream,
+                    &error_payload(ERR_UNSUPPORTED, "unknown frame type"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// What an [`IngestClient`] call can bring back besides I/O errors.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered an ERROR frame: `(code, message)`.
+    Server(u16, String),
+    /// The reply could not be decoded.
+    Malformed,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest transport error: {e}"),
+            IngestError::Server(code, msg) => write!(f, "ingest server error {code}: {msg}"),
+            IngestError::Malformed => write!(f, "malformed ingest reply"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// A blocking `kalmmind.ingest.v1` client over one TCP connection.
+///
+/// One request is in flight at a time: [`IngestClient::push`] writes a
+/// BATCH frame and blocks for its reply. Pipelining comes from batching
+/// (hundreds of sessions per frame), not interleaved requests.
+#[derive(Debug)]
+pub struct IngestClient {
+    stream: TcpStream,
+}
+
+impl IngestClient {
+    /// Connects to an [`IngestServer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/configure I/O error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(STALL_DEADLINE))?;
+        stream.set_write_timeout(Some(STALL_DEADLINE))?;
+        Ok(Self { stream })
+    }
+
+    fn read_reply(&mut self) -> Result<Vec<u8>, IngestError> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header) as usize;
+        if !(2..=MAX_FRAME_BYTES).contains(&len) {
+            return Err(IngestError::Malformed);
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        if payload[0] != VERSION {
+            return Err(IngestError::Malformed);
+        }
+        if payload[1] == TYPE_ERROR {
+            let mut cur = Cursor {
+                bytes: &payload[2..],
+                at: 0,
+            };
+            let code = cur.u16().ok_or(IngestError::Malformed)?;
+            let msg_len = cur.u16().ok_or(IngestError::Malformed)? as usize;
+            let msg = cur.take(msg_len).ok_or(IngestError::Malformed)?;
+            return Err(IngestError::Server(
+                code,
+                String::from_utf8_lossy(msg).into_owned(),
+            ));
+        }
+        Ok(payload)
+    }
+
+    /// Pushes one measurement batch and returns per-entry outcomes in
+    /// input order. [`EntryStatus::Shed`] entries were rejected by
+    /// admission control and should be retried after a backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Server`] when the server answers an ERROR frame
+    /// (malformed/oversize/unsupported/busy); [`IngestError::Io`] on
+    /// transport failure.
+    pub fn push(&mut self, batch: &[(u64, &[f64])]) -> Result<Vec<BatchOutcome>, IngestError> {
+        write_frame(&mut self.stream, &encode_batch_request(batch))?;
+        let payload = self.read_reply()?;
+        if payload[1] != TYPE_BATCH_REPLY {
+            return Err(IngestError::Malformed);
+        }
+        let outcomes = decode_batch_reply(&payload[2..]).ok_or(IngestError::Malformed)?;
+        if outcomes.len() != batch.len() {
+            return Err(IngestError::Malformed);
+        }
+        Ok(outcomes)
+    }
+
+    /// Round-trips a PING frame (liveness / latency probe).
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`IngestClient::push`].
+    pub fn ping(&mut self) -> Result<(), IngestError> {
+        write_frame(&mut self.stream, &[VERSION, TYPE_PING])?;
+        let payload = self.read_reply()?;
+        if payload[1] != TYPE_PONG {
+            return Err(IngestError::Malformed);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_request_roundtrip_is_bit_exact() {
+        let z0 = [0.1, -1.0e-300, f64::MAX];
+        let z1 = [f64::MIN_POSITIVE];
+        let batch: Vec<(u64, &[f64])> = vec![(7, &z0), (u64::MAX, &z1), (0, &[])];
+        let payload = encode_batch_request(&batch);
+        assert_eq!(payload[0], VERSION);
+        assert_eq!(payload[1], TYPE_BATCH);
+        let decoded = decode_batch_request(&payload[2..]).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for ((id, z), (did, dz)) in batch.iter().zip(&decoded) {
+            assert_eq!(id, did);
+            assert_eq!(z.len(), dz.len());
+            for (a, b) in z.iter().zip(dz) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reply_roundtrip_preserves_statuses() {
+        let outcomes = vec![
+            BatchOutcome {
+                id: 1,
+                status: EntryStatus::Ok,
+                state: vec![1.5, -2.5],
+            },
+            BatchOutcome {
+                id: 2,
+                status: EntryStatus::Shed,
+                state: Vec::new(),
+            },
+            BatchOutcome {
+                id: 3,
+                status: EntryStatus::UnknownSession,
+                state: Vec::new(),
+            },
+        ];
+        let payload = encode_batch_reply(&outcomes);
+        let decoded = decode_batch_reply(&payload[2..]).unwrap();
+        assert_eq!(decoded, outcomes);
+    }
+
+    #[test]
+    fn truncated_and_lying_bodies_decode_to_none() {
+        let z = [1.0, 2.0];
+        let batch: Vec<(u64, &[f64])> = vec![(5, &z)];
+        let payload = encode_batch_request(&batch);
+        let body = &payload[2..];
+        // Every proper prefix of a valid body is invalid.
+        for cut in 0..body.len() {
+            assert!(
+                decode_batch_request(&body[..cut]).is_none(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // A count field promising more entries than the bytes can hold.
+        let mut lying = body.to_vec();
+        lying[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch_request(&lying).is_none());
+        // Trailing garbage after a complete body.
+        let mut padded = body.to_vec();
+        padded.push(0);
+        assert!(decode_batch_request(&padded).is_none());
+    }
+
+    #[test]
+    fn entry_status_codes_roundtrip() {
+        for status in [
+            EntryStatus::Ok,
+            EntryStatus::Shed,
+            EntryStatus::UnknownSession,
+            EntryStatus::Duplicate,
+            EntryStatus::Failed,
+            EntryStatus::BadMeasurement,
+        ] {
+            assert_eq!(EntryStatus::from_code(status.code()), Some(status));
+        }
+        assert_eq!(EntryStatus::from_code(200), None);
+    }
+
+    #[test]
+    fn error_payload_caps_message_length() {
+        let long = "x".repeat(100_000);
+        let payload = error_payload(ERR_MALFORMED, &long);
+        assert!(payload.len() <= 6 + u16::MAX as usize);
+    }
+}

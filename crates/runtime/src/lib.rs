@@ -59,6 +59,11 @@
 
 mod server;
 
+pub mod net;
+
+mod fleet;
+mod ingest;
+
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -78,6 +83,8 @@ use kalmmind_obs as obs;
 
 mod tape;
 
+pub use fleet::{BatchOutcome, BatchTicket, EntryStatus, Fleet, FleetConfig, ShardSummary};
+pub use ingest::{IngestClient, IngestError, IngestServer, MAX_FRAME_BYTES};
 pub use server::{MetricsServer, SessionHealthSnapshot};
 pub use tape::MeasurementTape;
 
@@ -535,6 +542,41 @@ impl FilterBank {
         id
     }
 
+    /// Inserts an erased session under a caller-chosen stable id.
+    ///
+    /// This is how a [`Fleet`] keeps ids globally unique across shards:
+    /// the fleet allocates from one id sequence and seats each session in
+    /// its shard's bank under that id, so a session can later migrate
+    /// between banks without collision. The bank's own id sequence is
+    /// advanced past `id`, preserving never-reuse for plain
+    /// [`FilterBank::insert`] calls on the same bank.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadSession`] when the bank already holds `id`.
+    pub fn insert_with_id(
+        &mut self,
+        id: u64,
+        mut backend: Box<dyn SessionBackend>,
+    ) -> Result<SessionId, KalmanError> {
+        if self.index.contains_key(&id) {
+            return Err(KalmanError::BadSession {
+                id,
+                reason: "id is already present in the bank",
+            });
+        }
+        self.next_id = self.next_id.max(id + 1);
+        backend.health_mut().set_label(id);
+        self.index.insert(id, self.slots.len());
+        self.slots.push(Slot {
+            id: SessionId(id),
+            backend,
+            status: SessionStatus::Active,
+            steps_ok: 0,
+        });
+        Ok(SessionId(id))
+    }
+
     /// Convenience: wraps `filter` in a session backend and inserts it.
     ///
     /// A fresh filter with an interleaved gain schedule on one of the known
@@ -821,7 +863,7 @@ impl FilterBank {
     /// Returns the I/O error from binding the listener.
     pub fn serve_on(
         &mut self,
-        addr: impl std::net::ToSocketAddrs,
+        addr: impl std::net::ToSocketAddrs + Clone,
     ) -> std::io::Result<MetricsServer> {
         let board = Arc::new(server::HealthBoard::default());
         self.board = Some(Arc::clone(&board));
@@ -871,15 +913,108 @@ impl FilterBank {
     /// only whole-batch errors; per-session failures are recorded in each
     /// session's status).
     pub fn step_batch(&mut self, batch: &[(SessionId, &[f64])]) -> Result<BankReport, KalmanError> {
-        let assign = self.route(batch)?;
+        let targets = self.route_sparse(batch)?;
         if let Some(tape) = &mut self.tape {
             tape.record(batch.iter().map(|(id, z)| (id.0, z.to_vec())));
         }
-        Ok(self.dispatch(|slot, i| {
-            if let Some(&z) = assign[i] {
-                slot.step(z);
+        Ok(self.dispatch_sparse(&targets))
+    }
+
+    /// Sparse sibling of [`FilterBank::route`]: resolves each entry to its
+    /// slot index in O(batch) work, independent of bank size — the hot
+    /// path for a [`Fleet`] shard serving a small frame out of a bank
+    /// holding tens of thousands of sessions.
+    fn route_sparse<'z>(
+        &self,
+        batch: &'z [(SessionId, &[f64])],
+    ) -> Result<Vec<(usize, &'z [f64])>, KalmanError> {
+        let mut targets: Vec<(usize, &'z [f64])> = Vec::with_capacity(batch.len());
+        let mut seen: std::collections::HashSet<usize> =
+            std::collections::HashSet::with_capacity(batch.len());
+        for (id, z) in batch {
+            let i = *self.index.get(&id.0).ok_or(KalmanError::BadSession {
+                id: id.0,
+                reason: "unknown session id",
+            })?;
+            if !seen.insert(i) {
+                return Err(KalmanError::BadSession {
+                    id: id.0,
+                    reason: "duplicate measurement in one batch",
+                });
             }
-        }))
+            targets.push((i, z));
+        }
+        Ok(targets)
+    }
+
+    /// Sparse sibling of [`FilterBank::dispatch`]: steps only the slots
+    /// named in `targets`, so a small batch against a huge bank costs
+    /// O(batch), not O(bank). The eviction-policy scan (O(bank)) runs only
+    /// when a touched session became condemnable this batch; the
+    /// health board, when attached, is republished unconditionally so
+    /// `/healthz` freshness matches the dense path.
+    fn dispatch_sparse(&mut self, targets: &[(usize, &[f64])]) -> BankReport {
+        let sessions = self.slots.len();
+        let before: usize = targets.iter().map(|&(i, _)| self.slots[i].steps_ok).sum();
+        let start = Instant::now();
+        let base = self.slots.as_mut_ptr() as usize;
+        let scope = self.pool.for_each_index(targets.len(), |k| {
+            let (i, z) = targets[k];
+            // SAFETY: `route_sparse` rejects duplicate slot indices, so
+            // each claimed `k` addresses a distinct slot, and
+            // `for_each_index` blocks until every index is done, so the
+            // borrow of `self.slots` outlives all worker access.
+            let slot = unsafe { &mut *(base as *mut Slot).add(i) };
+            slot.step(z);
+        });
+        let elapsed = start.elapsed();
+        for p in &scope.panics {
+            let slot = &mut self.slots[targets[p.index].0];
+            if slot.status.is_active() {
+                OBS_FAIL_PANIC.inc();
+                let reason = format!("panicked: {}", p.message);
+                let strategy = slot.backend.strategy_name();
+                let steps_total = slot.backend.iteration() as u64;
+                slot.backend
+                    .health_mut()
+                    .fail(&reason, strategy, steps_total);
+                slot.status = SessionStatus::Failed {
+                    iteration: slot.backend.iteration(),
+                    reason,
+                };
+            }
+        }
+        let after: usize = targets.iter().map(|&(i, _)| self.slots[i].steps_ok).sum();
+        let steps = after - before;
+        // Only a slot touched this batch can have newly become condemned —
+        // parked failed *or* health-diverged, the same predicate the policy
+        // scan applies (previous dispatches already evicted their own
+        // casualties) — so the full O(bank) scan is skipped while everyone
+        // stays healthy.
+        let evicted = if targets.iter().any(|&(i, _)| self.slots[i].condemned()) {
+            self.apply_eviction_policy()
+        } else {
+            Vec::new()
+        };
+        self.publish_health();
+        OBS_BATCHES.inc();
+        OBS_BATCH_SECONDS.observe_duration(elapsed);
+        OBS_BANK_STEPS.add(steps as u64);
+        let active = self.active_count();
+        BankReport {
+            sessions,
+            active_sessions: active,
+            failed_sessions: self.slots.len() - active,
+            steps,
+            elapsed,
+            evicted,
+            pool: PoolUtilization {
+                threads: self.pool.threads(),
+                spawned_threads: self.pool.spawned_threads(),
+                worker_sessions: scope.worker_items,
+                inline_sessions: scope.inline_items,
+            },
+        }
     }
 
     /// Runs each routed session over its whole measurement sequence, all

@@ -1,0 +1,87 @@
+//! Socket helpers shared by the metrics and ingest listeners.
+//!
+//! CI runners recycle ports aggressively: a test that binds, drops, and
+//! rebinds can race the kernel's TIME_WAIT bookkeeping and see a spurious
+//! `AddrInUse` even for fresh ephemeral requests. Every listener in this
+//! crate binds through [`bind_retry`] so that whole flake class is absorbed
+//! in one place instead of being papered over test by test.
+
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::time::Duration;
+
+/// How many times a bind is retried after `AddrInUse` before giving up.
+const BIND_RETRIES: u32 = 20;
+
+/// Base backoff between bind attempts; attempt `n` sleeps `n * BIND_BACKOFF`,
+/// so the full budget is ~5 s — far beyond any real TIME_WAIT race, small
+/// enough that a genuinely occupied port still fails a test promptly.
+const BIND_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Binds a TCP listener, retrying on `AddrInUse` with linear backoff.
+///
+/// Any error other than `AddrInUse` is returned immediately — retrying a
+/// permission failure or an unroutable address only delays the real
+/// diagnostic. The returned listener is left in blocking mode; callers that
+/// poll (the metrics accept loop) set non-blocking themselves.
+pub fn bind_retry(addr: impl ToSocketAddrs + Clone) -> io::Result<TcpListener> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpListener::bind(addr.clone()) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse && attempt < BIND_RETRIES => {
+                attempt += 1;
+                std::thread::sleep(BIND_BACKOFF * attempt);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Binds a loopback listener on an OS-assigned ephemeral port.
+///
+/// The one helper every server test should use: `127.0.0.1:0` with the
+/// [`bind_retry`] shield, so no test hard-codes a port and no test flakes
+/// when a runner is slow to release one.
+pub fn ephemeral_listener() -> io::Result<TcpListener> {
+    bind_retry("127.0.0.1:0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_listener_binds_loopback() {
+        let listener = ephemeral_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(addr.ip().is_loopback());
+        assert_ne!(addr.port(), 0, "the OS must have assigned a real port");
+    }
+
+    #[test]
+    fn bind_retry_reports_non_addr_in_use_errors_immediately() {
+        // Port 1 on loopback needs privileges a test runner does not have;
+        // whatever the exact errno, it must not be swallowed by the retry
+        // loop (a 5 s silent stall would be worse than the error).
+        let start = std::time::Instant::now();
+        let result = bind_retry("127.0.0.1:1");
+        if let Err(e) = result {
+            assert_ne!(e.kind(), io::ErrorKind::AddrInUse);
+            assert!(start.elapsed() < Duration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn bind_retry_eventually_gets_a_contended_port() {
+        // Occupy a concrete port, ask bind_retry for the same one from
+        // another thread, then free it: the retry loop must win the race.
+        let held = ephemeral_listener().unwrap();
+        let addr = held.local_addr().unwrap();
+        let waiter = std::thread::spawn(move || bind_retry(addr));
+        std::thread::sleep(Duration::from_millis(60));
+        drop(held);
+        let rebound = waiter.join().unwrap().expect("retry must succeed");
+        assert_eq!(rebound.local_addr().unwrap(), addr);
+    }
+}

@@ -55,6 +55,24 @@ pub struct SessionHealthSnapshot {
     pub reason: String,
 }
 
+/// What the serving thread asks of whoever owns the sessions.
+///
+/// A single [`FilterBank`](crate::FilterBank) publishes through
+/// [`HealthBoard`]; a [`Fleet`](crate::Fleet) implements this directly so
+/// the same listener, router, and connection handling serve both — the
+/// fleet merely answers one extra route (`/fleet`, the per-shard roll-up)
+/// that a lone bank 404s.
+pub(crate) trait StatusSource: Send + Sync + 'static {
+    /// `/healthz`: status code (200 or 503) plus JSON body.
+    fn healthz(&self) -> (u16, String);
+    /// `/sessions`: inventory JSON, always 200.
+    fn sessions_json(&self) -> String;
+    /// `/fleet`: per-shard roll-up JSON, or `None` when not fleet-backed.
+    fn fleet_json(&self) -> Option<String> {
+        None
+    }
+}
+
 /// Shared snapshot the bank writes and the serving thread reads.
 #[derive(Debug, Default)]
 pub(crate) struct HealthBoard {
@@ -135,7 +153,17 @@ impl HealthBoard {
     }
 }
 
-fn json_escape(s: &str) -> String {
+impl StatusSource for HealthBoard {
+    fn healthz(&self) -> (u16, String) {
+        HealthBoard::healthz(self)
+    }
+
+    fn sessions_json(&self) -> String {
+        HealthBoard::sessions_json(self)
+    }
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -180,22 +208,25 @@ impl MetricsServer {
     }
 }
 
-/// Binds `addr` and starts the serving thread reading `board`.
+/// Binds `addr` (retrying `AddrInUse`) and starts the serving thread
+/// reading `source`.
 pub(crate) fn serve(
-    addr: impl ToSocketAddrs,
-    board: Arc<HealthBoard>,
+    addr: impl ToSocketAddrs + Clone,
+    source: Arc<dyn StatusSource>,
 ) -> std::io::Result<MetricsServer> {
-    let listener = TcpListener::bind(addr)?;
+    let listener = crate::net::bind_retry(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
-    let handle = spawn_service("metrics", move |stop| accept_loop(&listener, &board, stop));
+    let handle = spawn_service("metrics", move |stop| {
+        accept_loop(&listener, &*source, stop)
+    });
     Ok(MetricsServer {
         addr: bound,
         handle,
     })
 }
 
-fn accept_loop(listener: &TcpListener, board: &HealthBoard, stop: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, board: &dyn StatusSource, stop: &AtomicBool) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -212,7 +243,10 @@ fn accept_loop(listener: &TcpListener, board: &HealthBoard, stop: &AtomicBool) {
     }
 }
 
-fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> std::io::Result<()> {
+fn handle_connection(
+    mut stream: std::net::TcpStream,
+    board: &dyn StatusSource,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
 
@@ -277,6 +311,10 @@ fn handle_connection(mut stream: std::net::TcpStream, board: &HealthBoard) -> st
             ),
             "/metrics.json" => (200, "application/json", obs::json_snapshot()),
             "/sessions" => (200, "application/json", board.sessions_json()),
+            "/fleet" => match board.fleet_json() {
+                Some(body) => (200, "application/json", body),
+                None => (404, "text/plain; charset=utf-8", "not found\n".into()),
+            },
             "/healthz" => {
                 let (code, body) = board.healthz();
                 (code, "application/json", body)
@@ -340,7 +378,7 @@ mod tests {
             steps_ok: 3,
             reason: String::new(),
         }]);
-        let mut server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let mut server = serve("127.0.0.1:0", Arc::clone(&board) as Arc<dyn StatusSource>).unwrap();
         let addr = server.addr();
 
         let (code, _) = get(addr, "/metrics");
@@ -385,7 +423,7 @@ mod tests {
                 reason: "window-mean NIS beyond bound".into(),
             },
         ]);
-        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let server = serve("127.0.0.1:0", Arc::clone(&board) as Arc<dyn StatusSource>).unwrap();
         let (code, body) = get(server.addr(), "/healthz");
         assert_eq!(code, 503);
         assert!(body.contains("\"status\":\"diverged\""), "body: {body}");
@@ -437,7 +475,7 @@ mod tests {
             steps_ok: 5,
             reason: String::new(),
         }]);
-        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let server = serve("127.0.0.1:0", Arc::clone(&board) as Arc<dyn StatusSource>).unwrap();
 
         let (code, get_body) = get(server.addr(), "/healthz");
         assert_eq!(code, 200);
@@ -507,7 +545,7 @@ mod tests {
                 reason: "cond(S) above bound".into(),
             },
         ]);
-        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let server = serve("127.0.0.1:0", Arc::clone(&board) as Arc<dyn StatusSource>).unwrap();
         let (code, body) = get(server.addr(), "/sessions");
         assert_eq!(code, 200);
         obs::validate::validate_json(&body).expect("sessions must be valid JSON");
@@ -534,7 +572,7 @@ mod tests {
         // `GET /healthz?verbose=1` — which probes and dashboards send —
         // fell through to 404.
         let board = Arc::new(HealthBoard::default());
-        let server = serve("127.0.0.1:0", Arc::clone(&board)).unwrap();
+        let server = serve("127.0.0.1:0", Arc::clone(&board) as Arc<dyn StatusSource>).unwrap();
         let (code, _) = get(server.addr(), "/healthz?verbose=1");
         assert_eq!(code, 200);
         let (code, _) = get(server.addr(), "/sessions?format=json");

@@ -1,0 +1,98 @@
+//! Fleet quickstart: shard thousands of decoding sessions, stream
+//! measurements over the binary ingest protocol, and watch the roll-up.
+//!
+//! Run with `cargo run --release -p kalmmind-bench --example fleet_ingest`.
+//!
+//! A deployed decoder farm serves many implants from one process: sessions
+//! are hash-routed across shards (each an independent `FilterBank` on its
+//! own worker), clients push measurement frames over a dependency-free
+//! length-prefixed TCP protocol (`kalmmind.ingest.v1`), and a stalled
+//! shard sheds load with an explicit per-entry status instead of stalling
+//! its neighbors.
+
+use std::sync::Arc;
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind_linalg::Matrix;
+use kalmmind_runtime::{EntryStatus, Fleet, FleetConfig, IngestClient, IngestServer};
+
+type MotorFilter = KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>>;
+
+fn motor_filter() -> Result<MotorFilter, Box<dyn std::error::Error>> {
+    let model = KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?,
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?,
+        Matrix::identity(3).scale(0.2),
+    )?;
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    Ok(KalmanFilter::new(
+        model,
+        KalmanState::zeroed(2),
+        InverseGain::new(strat),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Start a 4-shard fleet and seat 2000 sessions. Ids are
+    //    fleet-global; the splitmix64 router spreads them over shards.
+    let fleet = Fleet::start(FleetConfig::default());
+    let ids: Vec<u64> = (0..2000)
+        .map(|_| -> Result<u64, Box<dyn std::error::Error>> {
+            Ok(fleet.add_filter(motor_filter()?))
+        })
+        .collect::<Result<_, _>>()?;
+    println!(
+        "fleet up: {} sessions over {} shards (session 0 on shard {})",
+        fleet.session_count(),
+        fleet.shard_count(),
+        fleet.shard_of(ids[0]),
+    );
+
+    // 2. Serve the binary ingest protocol and the HTTP roll-up.
+    let ingest = IngestServer::serve(Arc::clone(&fleet), "127.0.0.1:0")?;
+    let mut rollup = fleet.serve_on("127.0.0.1:0")?;
+    println!(
+        "ingest on {}, roll-up on http://{}/fleet",
+        ingest.addr(),
+        rollup.addr()
+    );
+
+    // 3. A client pushes measurement frames — here 10 timesteps for every
+    //    session, 500 sessions per frame, all over one connection.
+    let mut client = IngestClient::connect(ingest.addr())?;
+    for t in 0..10usize {
+        let pos = 0.1 * t as f64;
+        let z = [pos, 1.0, pos + 1.0];
+        for chunk in ids.chunks(500) {
+            let frame: Vec<(u64, &[f64])> = chunk.iter().map(|&id| (id, &z[..])).collect();
+            for outcome in client.push(&frame)? {
+                assert_eq!(outcome.status, EntryStatus::Ok, "{outcome:?}");
+            }
+        }
+    }
+    let estimate = &client.push(&[(ids[0], &[1.0, 1.0, 2.0])])?[0];
+    println!("session 0 estimate after 11 steps: {:?}", estimate.state);
+
+    // 4. Rebalance a session to another shard — snapshot/restore under the
+    //    hood, bit-exact, and the router pins the new home.
+    let target = (fleet.shard_of(ids[0]) + 1) % fleet.shard_count();
+    fleet.rebalance(ids[0], target)?;
+    println!("session 0 rebalanced to shard {}", fleet.shard_of(ids[0]));
+
+    // 5. The per-shard summaries back the /fleet roll-up route.
+    for s in fleet.shard_summaries() {
+        println!(
+            "  shard {}: {} sessions, {} steps, {} shed, p99 {:.1} ms",
+            s.shard,
+            s.sessions,
+            s.steps,
+            s.shed,
+            s.latency_p99 * 1e3,
+        );
+    }
+    rollup.stop();
+    Ok(())
+}
