@@ -166,6 +166,11 @@ unsafe impl Sync for ErasedFn {}
 struct Task {
     func: ErasedFn,
     len: usize,
+    /// Trace context of the submitting frame, re-installed on every thread
+    /// that claims items so spans recorded inside pooled closures attribute
+    /// to the right request across the dispatch hop. Zero-sized with `obs`
+    /// off.
+    ctx: obs::TraceCtx,
     /// Next unclaimed index — the dynamic-distribution counter.
     next: AtomicUsize,
     /// Indices claimed but not yet finished, initialized to `len`.
@@ -181,10 +186,14 @@ impl Task {
     /// wrapped in `catch_unwind`, so a panic is recorded and the loop (and
     /// the worker thread running it) continues.
     fn execute(&self, on_worker: bool) {
+        // Adopt the submitter's trace context for the life of the claim
+        // loop and restore the thread's own afterwards, so long-lived
+        // workers never leak one dispatch's context into the next.
+        let prev = obs::set_current_trace(self.ctx);
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.len {
-                return;
+                break;
             }
             // SAFETY: see `ErasedFn` — the submitter blocks until
             // `pending == 0`, which cannot happen before this call returns.
@@ -205,6 +214,7 @@ impl Task {
                 self.done_cv.notify_all();
             }
         }
+        obs::set_current_trace(prev);
     }
 
     fn wait(&self) {
@@ -421,6 +431,7 @@ impl WorkerPool {
         let task = Arc::new(Task {
             func: ErasedFn(func),
             len,
+            ctx: obs::current_trace(),
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(len),
             worker_items: AtomicU64::new(0),
@@ -725,6 +736,45 @@ mod tests {
         // Join via stop(); the panic must not propagate or abort.
         svc.stop();
         assert!(!svc.is_running());
+    }
+
+    #[test]
+    fn dispatch_propagates_trace_context_to_workers() {
+        // With `obs` off the context types are inert ZSTs; nothing to check.
+        if !obs::is_enabled() {
+            return;
+        }
+        let ctx = obs::trace_begin();
+        let prev = obs::set_current_trace(ctx);
+        let want = ctx.trace_id();
+        assert_ne!(want, 0);
+
+        let pool = WorkerPool::new(4);
+        let seen = Mutex::new(Vec::new());
+        let report = pool.for_each_index(64, |_| {
+            seen.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(obs::current_trace().trace_id());
+            // Slow the items enough that spawned workers claim some, so the
+            // cross-thread handoff is actually exercised.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert!(
+            report.worker_items > 0,
+            "workers must participate: {report:?}"
+        );
+        let seen = seen.into_inner().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(seen.len(), 64);
+        assert!(
+            seen.iter().all(|&t| t == want),
+            "every pooled item must see the submitting frame's trace id"
+        );
+
+        // The caller's own context survives the dispatch, and restoring the
+        // previous context leaves the thread clean.
+        assert_eq!(obs::current_trace().trace_id(), want);
+        obs::set_current_trace(prev);
+        assert_eq!(obs::current_trace().trace_id(), prev.trace_id());
     }
 
     #[test]

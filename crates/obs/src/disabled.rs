@@ -6,9 +6,9 @@
 //! mirrors `enabled.rs` exactly; a call site that compiles with `obs` on
 //! must compile with it off.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::SpanRecord;
+use crate::{SpanRecord, TraceEvent};
 
 /// A monotonically increasing counter (no-op: `obs` feature disabled).
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +135,20 @@ impl LazyHistogram {
     #[inline(always)]
     pub fn observe_duration(&self, _d: Duration) {}
 
+    /// Records one observation with a trace-id exemplar (no-op).
+    #[inline(always)]
+    pub fn observe_exemplar(&self, _v: f64, _trace: u64) {}
+
+    /// Records a duration in seconds with a trace-id exemplar (no-op).
+    #[inline(always)]
+    pub fn observe_duration_exemplar(&self, _d: Duration, _trace: u64) {}
+
+    /// Per-bucket exemplars — always empty with `obs` disabled.
+    #[inline(always)]
+    pub fn bucket_exemplars(&self) -> Vec<Option<(f64, u64)>> {
+        Vec::new()
+    }
+
     /// Number of observations (always 0).
     #[inline(always)]
     pub fn count(&self) -> u64 {
@@ -201,6 +215,104 @@ pub fn json_snapshot() -> String {
     "{\"enabled\":false}".to_string()
 }
 
+/// Per-frame trace context (no-op: `obs` feature disabled). Zero-sized, so
+/// carrying it in queue jobs and pool tasks costs nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx;
+
+impl TraceCtx {
+    /// The empty context (the only value with `obs` disabled).
+    #[inline(always)]
+    pub const fn none() -> Self {
+        Self
+    }
+
+    /// Always `false` with `obs` disabled.
+    #[inline(always)]
+    pub fn is_sampled(&self) -> bool {
+        false
+    }
+
+    /// Always 0 with `obs` disabled.
+    #[inline(always)]
+    pub fn trace_id(&self) -> u64 {
+        0
+    }
+
+    /// Always 0 with `obs` disabled.
+    #[inline(always)]
+    pub fn span_id(&self) -> u64 {
+        0
+    }
+}
+
+/// Allocates a trace context for a new ingest frame — always
+/// [`TraceCtx::none`] with `obs` disabled.
+#[inline(always)]
+pub fn trace_begin() -> TraceCtx {
+    TraceCtx
+}
+
+/// Records the frame's root span (no-op).
+#[inline(always)]
+pub fn trace_root(_ctx: &TraceCtx, _label: &'static str, _start: Instant, _dur: Duration) {}
+
+/// Records a child phase span (no-op; always returns 0).
+#[inline(always)]
+pub fn trace_child(_ctx: &TraceCtx, _label: &'static str, _start: Instant, _dur: Duration) -> u64 {
+    0
+}
+
+/// Records an instantaneous terminal event (no-op).
+#[inline(always)]
+pub fn trace_instant(_ctx: &TraceCtx, _label: &'static str) {}
+
+/// This thread's ambient trace context — always [`TraceCtx::none`].
+#[inline(always)]
+pub fn current_trace() -> TraceCtx {
+    TraceCtx
+}
+
+/// Installs an ambient trace context (no-op; returns [`TraceCtx::none`]).
+#[inline(always)]
+pub fn set_current_trace(_ctx: TraceCtx) -> TraceCtx {
+    TraceCtx
+}
+
+/// Overrides the head-sampling interval (no-op).
+#[inline(always)]
+pub fn set_trace_sampling(_every: u64) {}
+
+/// Effective head-sampling interval — always 0 with `obs` disabled.
+#[inline(always)]
+pub fn trace_sample_interval() -> u64 {
+    0
+}
+
+/// Snapshot of the global trace sink — always empty with `obs` disabled.
+#[inline(always)]
+pub fn trace_events() -> Vec<TraceEvent> {
+    Vec::new()
+}
+
+/// Chrome trace-event JSON export — an empty (still Perfetto-loadable)
+/// document with `obs` disabled.
+#[inline(always)]
+pub fn trace_json() -> String {
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}".to_string()
+}
+
+/// Total trace events overwritten in the sink — always 0 with `obs`
+/// disabled (nothing is recorded, so nothing can be dropped).
+#[inline(always)]
+pub fn trace_events_dropped() -> u64 {
+    0
+}
+
+/// Clears the trace sink (no-op).
+#[inline(always)]
+pub fn trace_reset() {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +324,41 @@ mod tests {
         assert_eq!(std::mem::size_of::<LazyHistogram>(), 0);
         assert_eq!(std::mem::size_of::<Span>(), 0);
         assert_eq!(std::mem::size_of::<HistogramTimer<'_>>(), 0);
+        assert_eq!(std::mem::size_of::<TraceCtx>(), 0);
+    }
+
+    #[test]
+    fn trace_api_is_inert() {
+        let ctx = trace_begin();
+        assert_eq!(ctx, TraceCtx::none());
+        assert!(!ctx.is_sampled());
+        assert_eq!(ctx.trace_id(), 0);
+        assert_eq!(ctx.span_id(), 0);
+        set_trace_sampling(1);
+        assert_eq!(trace_sample_interval(), 0);
+        let now = Instant::now();
+        trace_root(&ctx, "root", now, Duration::ZERO);
+        assert_eq!(trace_child(&ctx, "child", now, Duration::ZERO), 0);
+        trace_instant(&ctx, "shed");
+        let prev = set_current_trace(ctx);
+        assert_eq!(prev, TraceCtx::none());
+        assert_eq!(current_trace(), TraceCtx::none());
+        assert!(trace_events().is_empty());
+        assert_eq!(trace_events_dropped(), 0);
+        trace_reset();
+        // The empty export still validates as a Perfetto-loadable document.
+        let summary = crate::validate::validate_trace(&trace_json()).unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.traces, 0);
+    }
+
+    #[test]
+    fn exemplar_api_is_inert() {
+        static H: LazyHistogram = LazyHistogram::new("x_seconds", "x", &[0.5]);
+        H.observe_exemplar(0.1, 42);
+        H.observe_duration_exemplar(Duration::from_millis(1), 42);
+        assert_eq!(H.count(), 0);
+        assert!(H.bucket_exemplars().is_empty());
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Live implementation of the observability layer (`obs` feature on).
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::{SpanRecord, SPAN_RING_CAPACITY};
@@ -98,6 +97,11 @@ pub struct Histogram {
     /// Per-bucket (non-cumulative) counts; the last slot is the overflow
     /// (`+Inf`) bucket.
     buckets: Vec<AtomicU64>,
+    /// Per-bucket packed exemplar: high 32 bits are the `f32` bit pattern
+    /// of the worst observation that landed in the bucket, low 32 bits the
+    /// trace id that produced it (0 = no exemplar yet). One word per bucket
+    /// keeps the update a single CAS and the pair untearable.
+    exemplars: Vec<AtomicU64>,
     sum_bits: AtomicU64,
     count: AtomicU64,
 }
@@ -115,14 +119,15 @@ impl Histogram {
         Self {
             bounds,
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0.0_f64.to_bits()),
             count: AtomicU64::new(0),
         }
     }
 
-    /// Records one observation.
+    /// Records one observation and returns the bucket index it landed in.
     #[inline]
-    pub fn observe(&self, v: f64) {
+    fn observe_at(&self, v: f64) -> usize {
         let idx = self
             .bounds
             .iter()
@@ -143,6 +148,65 @@ impl Histogram {
                 Err(actual) => cur = actual,
             }
         }
+        idx
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let _ = self.observe_at(v);
+    }
+
+    /// Records one observation and — when `trace` is non-zero — offers it
+    /// as the bucket's exemplar. Each bucket keeps the trace id of the
+    /// *worst* (largest) observation seen, so a bad p999 bucket links
+    /// straight to the span tree that produced it.
+    ///
+    /// The exemplar value is kept at `f32` precision; positive `f32` bit
+    /// patterns order like the floats themselves, so "worse" is a CAS-max
+    /// on the packed word's high half.
+    #[inline]
+    pub fn observe_exemplar(&self, v: f64, trace: u64) {
+        let idx = self.observe_at(v);
+        let v32 = v.max(0.0) as f32;
+        if trace == 0 || !v32.is_finite() {
+            return;
+        }
+        let packed = ((v32.to_bits() as u64) << 32) | (trace & 0xFFFF_FFFF);
+        let slot = &self.exemplars[idx];
+        let mut cur = slot.load(Ordering::Relaxed);
+        while cur == 0 || (packed >> 32) > (cur >> 32) {
+            match slot.compare_exchange_weak(cur, packed, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration in seconds with a trace-id exemplar.
+    #[inline]
+    pub fn observe_duration_exemplar(&self, d: Duration, trace: u64) {
+        self.observe_exemplar(d.as_secs_f64(), trace);
+    }
+
+    /// Per-bucket exemplars as `(worst_value, trace_id)` pairs, `None` for
+    /// buckets that never received a traced observation; index-aligned with
+    /// [`Histogram::cumulative_buckets`].
+    pub fn bucket_exemplars(&self) -> Vec<Option<(f64, u64)>> {
+        self.exemplars
+            .iter()
+            .map(|e| {
+                let packed = e.load(Ordering::Relaxed);
+                if packed == 0 {
+                    None
+                } else {
+                    Some((
+                        f32::from_bits((packed >> 32) as u32) as f64,
+                        packed & 0xFFFF_FFFF,
+                    ))
+                }
+            })
+            .collect()
     }
 
     /// Records a duration in seconds.
@@ -465,6 +529,25 @@ impl LazyHistogram {
         self.metric().observe_duration(d);
     }
 
+    /// Records one observation with a trace-id exemplar (see
+    /// [`Histogram::observe_exemplar`]).
+    #[inline]
+    pub fn observe_exemplar(&self, v: f64, trace: u64) {
+        self.metric().observe_exemplar(v, trace);
+    }
+
+    /// Records a duration in seconds with a trace-id exemplar.
+    #[inline]
+    pub fn observe_duration_exemplar(&self, d: Duration, trace: u64) {
+        self.metric().observe_duration_exemplar(d, trace);
+    }
+
+    /// Per-bucket `(worst_value, trace_id)` exemplars (see
+    /// [`Histogram::bucket_exemplars`]).
+    pub fn bucket_exemplars(&self) -> Vec<Option<(f64, u64)>> {
+        self.metric().bucket_exemplars()
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.metric().count()
@@ -546,19 +629,40 @@ impl SpanRing {
     }
 }
 
+/// Every thread's ring, registered on the thread's first span. Draining
+/// used to be per-thread only, which stranded spans recorded on
+/// `spawn_service` workers and pool threads in rings nobody could reach
+/// (visible as `obs_spans_dropped_total` climbing under fleet load); with
+/// the registry, [`take_spans`] reaches them all. Rings of exited threads
+/// are pruned once drained.
+static SPAN_RINGS: Mutex<Vec<Arc<Mutex<SpanRing>>>> = Mutex::new(Vec::new());
+
 thread_local! {
-    static SPANS: RefCell<SpanRing> = RefCell::new(SpanRing {
-        // One up-front allocation per thread; steady-state pushes are
-        // in-place writes.
-        buf: Vec::with_capacity(SPAN_RING_CAPACITY),
-        head: 0,
-    });
+    static SPANS: Arc<Mutex<SpanRing>> = {
+        let ring = Arc::new(Mutex::new(SpanRing {
+            // One up-front allocation per thread; steady-state pushes are
+            // in-place writes.
+            buf: Vec::with_capacity(SPAN_RING_CAPACITY),
+            head: 0,
+        }));
+        SPAN_RINGS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&ring));
+        ring
+    };
 }
 
 #[inline]
 fn record_span(label: &'static str, nanos: u64) {
-    // Ignore recording during thread teardown rather than panicking.
-    let _ = SPANS.try_with(|s| s.borrow_mut().push(SpanRecord { label, nanos }));
+    // Ignore recording during thread teardown rather than panicking. The
+    // per-thread mutex is uncontended except while a drain is in flight,
+    // so the steady-state cost stays one atomic exchange.
+    let _ = SPANS.try_with(|s| {
+        s.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SpanRecord { label, nanos })
+    });
 }
 
 /// Starts a named RAII span; its duration is recorded into the calling
@@ -584,12 +688,24 @@ impl Drop for Span {
     }
 }
 
-/// Drains and returns the calling thread's recorded spans, oldest first.
-/// Spans recorded on other threads stay in their own rings.
+/// Drains and returns the recorded spans of *every* thread: oldest first
+/// within each thread's ring, interleaving across threads unspecified.
+/// Rings belonging to threads that have since exited are drained one last
+/// time and then dropped from the registry.
 pub fn take_spans() -> Vec<SpanRecord> {
-    SPANS
-        .try_with(|s| s.borrow_mut().drain())
-        .unwrap_or_default()
+    let rings: Vec<Arc<Mutex<SpanRing>>> = {
+        let mut reg = SPAN_RINGS.lock().unwrap_or_else(|e| e.into_inner());
+        let all = reg.clone();
+        // A live thread holds its own Arc (count ≥ 3 here: registry + its
+        // TLS + our `all` clone); an exited thread's ring shows exactly 2.
+        reg.retain(|r| Arc::strong_count(r) > 2);
+        all
+    };
+    let mut out = Vec::new();
+    for ring in rings {
+        out.extend(ring.lock().unwrap_or_else(|e| e.into_inner()).drain());
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -624,6 +740,7 @@ fn sample_key(name: &str, label: Option<(&str, &str)>) -> String {
 /// cannot alert on it moving).
 fn ensure_core_metrics() {
     let _ = SPANS_DROPPED.get();
+    let _ = crate::trace_events_dropped();
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -709,7 +826,9 @@ pub fn prometheus() -> String {
 /// {"enabled":true,
 ///  "counters":{"name{label=value}":1},
 ///  "gauges":{"name":0},
-///  "histograms":{"name":{"count":2,"sum":0.5,"buckets":[{"le":"0.1","count":1}]}}}
+///  "histograms":{"name":{"count":2,"sum":0.5,
+///    "buckets":[{"le":"0.1","count":1}],
+///    "exemplars":[{"le":"0.1","value":0.05,"trace":"2a"}]}}}
 /// ```
 ///
 /// Hand-rolled (no serde in the offline workspace); metric names are static
@@ -728,20 +847,38 @@ pub fn json_snapshot() -> String {
                 gauges.push(format!("\"{}\":{}", sample_key(name, label), g.get()));
             }
             Metric::Histogram(h) => {
-                let buckets: Vec<String> = h
-                    .cumulative_buckets()
+                let bounds_and_counts = h.cumulative_buckets();
+                let buckets: Vec<String> = bounds_and_counts
                     .iter()
                     .map(|(bound, cum)| {
                         format!("{{\"le\":\"{}\",\"count\":{cum}}}", fmt_f64(*bound))
                     })
                     .collect();
+                // Exemplars: only buckets that received a traced
+                // observation, carrying the worst value seen and its trace
+                // id (hex, matching the `/trace` export's args).
+                let exemplars: Vec<String> = h
+                    .bucket_exemplars()
+                    .iter()
+                    .zip(bounds_and_counts.iter())
+                    .filter_map(|(ex, (bound, _))| {
+                        ex.map(|(value, trace)| {
+                            let value = if value.is_finite() { value } else { 0.0 };
+                            format!(
+                                "{{\"le\":\"{}\",\"value\":{value},\"trace\":\"{trace:x}\"}}",
+                                fmt_f64(*bound)
+                            )
+                        })
+                    })
+                    .collect();
                 let sum = h.sum();
                 let sum = if sum.is_finite() { sum } else { 0.0 };
                 histograms.push(format!(
-                    "\"{}\":{{\"count\":{},\"sum\":{sum},\"buckets\":[{}]}}",
+                    "\"{}\":{{\"count\":{},\"sum\":{sum},\"buckets\":[{}],\"exemplars\":[{}]}}",
                     sample_key(name, label),
                     h.count(),
-                    buckets.join(",")
+                    buckets.join(","),
+                    exemplars.join(",")
                 ));
             }
         }
@@ -761,6 +898,15 @@ mod tests {
 
     // The registry is process-global and tests share one process, so every
     // test uses metric names unique to it.
+
+    /// `take_spans` now drains every thread's ring, so tests that record
+    /// and drain spans would steal each other's records; they serialise on
+    /// this lock and filter drained spans by their own labels.
+    static SPAN_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn span_lock() -> std::sync::MutexGuard<'static, ()> {
+        SPAN_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn counter_and_gauge_roundtrip() {
@@ -828,6 +974,7 @@ mod tests {
 
     #[test]
     fn timer_records_into_histogram_and_span_ring() {
+        let _g = span_lock();
         static H: LazyHistogram =
             LazyHistogram::new("t5_timed_seconds", "timed", crate::LATENCY_SECONDS_BUCKETS);
         let before = H.count();
@@ -839,17 +986,43 @@ mod tests {
 
     #[test]
     fn span_ring_overwrites_oldest() {
-        let _ = take_spans(); // empty this thread's ring
+        let _g = span_lock();
+        let _ = take_spans(); // empty all rings
         for _ in 0..crate::SPAN_RING_CAPACITY + 10 {
             drop(span("t6_span"));
         }
         let spans = take_spans();
-        assert_eq!(spans.len(), crate::SPAN_RING_CAPACITY);
+        let own = spans.iter().filter(|s| s.label == "t6_span").count();
+        assert_eq!(own, crate::SPAN_RING_CAPACITY);
         // Drained ring starts over.
         drop(span("t6_span_b"));
         let spans = take_spans();
-        assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0].label, "t6_span_b");
+        assert_eq!(spans.iter().filter(|s| s.label == "t6_span_b").count(), 1);
+        assert!(!spans.iter().any(|s| s.label == "t6_span"));
+    }
+
+    #[test]
+    fn take_spans_drains_other_threads_rings() {
+        let _g = span_lock();
+        let _ = take_spans(); // empty all rings
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| drop(span("t15_worker_span")));
+            }
+        });
+        // The workers have exited without ever draining; their spans must
+        // still be reachable from this (never-recording) thread.
+        let spans = take_spans();
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.label == "t15_worker_span")
+                .count(),
+            3,
+            "worker-thread spans must not be stranded"
+        );
+        // And a second drain finds them gone (dead rings were pruned).
+        assert!(!take_spans().iter().any(|s| s.label == "t15_worker_span"));
     }
 
     #[test]
@@ -863,7 +1036,8 @@ mod tests {
 
     #[test]
     fn span_overflow_is_counted_and_exported() {
-        let _ = take_spans(); // empty this thread's ring
+        let _g = span_lock();
+        let _ = take_spans(); // empty all rings
         let before = spans_dropped();
         let overflow = 17;
         for _ in 0..crate::SPAN_RING_CAPACITY + overflow {
@@ -984,6 +1158,37 @@ mod tests {
             .and_then(|h| h.get("t13_json_seconds"))
             .expect("histogram present");
         assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn exemplars_keep_the_worst_trace_per_bucket() {
+        static H: LazyHistogram =
+            LazyHistogram::new("t16_exemplar_seconds", "exemplar", &[0.001, 0.01, 0.1]);
+        H.observe_exemplar(0.0002, 7);
+        H.observe_exemplar(0.0008, 9); // worse in the same bucket: wins
+        H.observe_exemplar(0.0004, 11); // better: must not displace 9
+        H.observe_exemplar(0.05, 21);
+        H.observe(5.0); // untraced overflow observation: no exemplar
+        assert_eq!(H.count(), 5);
+
+        let ex = H.bucket_exemplars();
+        let (v0, t0) = ex[0].expect("first bucket has an exemplar");
+        assert_eq!(t0, 9, "bucket keeps the trace of its worst observation");
+        assert!((v0 - 0.0008).abs() < 1e-6);
+        assert_eq!(ex[1], None);
+        let (_, t2) = ex[2].expect("third bucket has an exemplar");
+        assert_eq!(t2, 21);
+        assert_eq!(ex[3], None, "untraced observations leave no exemplar");
+
+        // The JSON snapshot carries them (additively — counts and buckets
+        // keep their shape) and stays valid JSON; the text exposition is
+        // untouched (0.0.4 has no exemplar syntax) and still validates.
+        let json = json_snapshot();
+        crate::validate::validate_json(&json).unwrap();
+        assert!(json.contains("\"t16_exemplar_seconds\":{"));
+        assert!(json.contains("\"trace\":\"9\""));
+        assert!(json.contains("\"trace\":\"15\""), "trace 21 exports as hex");
+        validate_prometheus(&prometheus()).unwrap();
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   RAII-scoped durations into a per-thread ring buffer
 //!   ([`take_spans`]), bounded at [`SPAN_RING_CAPACITY`] entries so steady
 //!   state never allocates.
+//! * **Request tracing** — a [`TraceCtx`] allocated per ingest frame from
+//!   deterministic counters propagates across threads (ambient
+//!   [`current_trace`]/[`set_current_trace`]), and sampled spans land in a
+//!   lock-free global sink ([`trace_events`]) exported as Chrome trace-event
+//!   JSON ([`trace_json`], loadable in Perfetto).
 //! * **Exporters** — [`prometheus`] (text exposition format, checked by the
 //!   [`validate`] parser) and [`json_snapshot`] (hand-rolled JSON, since the
 //!   vendored-offline workspace has no serde).
@@ -61,6 +66,11 @@ mod enabled;
 #[cfg(feature = "obs")]
 pub use enabled::*;
 
+#[cfg(feature = "obs")]
+mod trace;
+#[cfg(feature = "obs")]
+pub use trace::*;
+
 #[cfg(not(feature = "obs"))]
 mod disabled;
 #[cfg(not(feature = "obs"))]
@@ -88,6 +98,54 @@ pub struct SpanRecord {
     pub label: &'static str,
     /// Wall-clock duration of the span in nanoseconds.
     pub nanos: u64,
+}
+
+/// Environment variable naming the trace head-sampling interval: sample
+/// one ingest frame in every `N`. `0`, unset, or unparsable disables span
+/// sampling (terminal instant events still record). Ignored — like every
+/// other part of the trace API — when the `obs` feature is off.
+pub const TRACE_SAMPLE_ENV: &str = "KALMMIND_TRACE_SAMPLE";
+
+/// Capacity of the global trace sink, in events. Once full, the oldest
+/// events are overwritten generation by generation — recording never blocks
+/// and never allocates after the sink's one-time initialisation.
+pub const TRACE_SINK_CAPACITY: usize = 4096;
+
+/// Phase of one exported trace event, mirroring the Chrome trace-event
+/// `ph` field the [`trace_json`] exporter emits.
+///
+/// [`trace_json`]: crate::trace_json
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete span with a start timestamp and a duration (`"ph":"X"`).
+    Complete,
+    /// An instantaneous point event such as a shed or error (`"ph":"i"`).
+    Instant,
+}
+
+/// One event captured by the global trace sink.
+///
+/// Ids are deterministic process-local counters (no wall clock, no
+/// randomness); timestamps are monotonic nanoseconds since the first trace
+/// event of the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Trace (request) id shared by every span of one ingest frame.
+    pub trace: u64,
+    /// Unique id of this span within the process.
+    pub span: u64,
+    /// Span id of the parent, or 0 for a root span.
+    pub parent: u64,
+    /// Static label (`"queue_wait"`, `"step"`, `"shed"`, …).
+    pub label: &'static str,
+    /// Whether this is a timed span or a point event.
+    pub phase: TracePhase,
+    /// Start of the span in nanoseconds on the process trace clock.
+    pub ts_nanos: u64,
+    /// Duration in nanoseconds (0 for [`TracePhase::Instant`]).
+    pub dur_nanos: u64,
+    /// Deterministic ordinal of the recording thread (first-use order).
+    pub tid: u64,
 }
 
 /// `true` when the crate was built with the `obs` feature (the metrics

@@ -1,0 +1,696 @@
+//! Per-request tracing: deterministic ids, head-sampling, and a lock-free
+//! global event sink exported as Chrome trace-event JSON.
+//!
+//! # Model
+//!
+//! Every ingest frame calls [`trace_begin`], which allocates a
+//! [`TraceCtx`] from process-local atomic counters — no wall clock and no
+//! randomness touch the id path, so two runs that admit the same frames in
+//! the same order assign the same ids. The context travels *ambiently*: the
+//! ingest thread installs it with [`set_current_trace`], downstream stages
+//! ([`Fleet::push_batch`], the shard worker, the exec pool) pick it up with
+//! [`current_trace`] and re-install it on whichever thread does the work.
+//! Timed phases are recorded with [`trace_child`] against the frame's root
+//! span; terminal conditions (shed, protocol error, failed session) are
+//! recorded with [`trace_instant`].
+//!
+//! # Sampling
+//!
+//! Recording every frame at fleet rate would swamp any sink, so spans are
+//! head-sampled: frame `n` is sampled when `n % interval == 0`, with the
+//! interval read once from `KALMMIND_TRACE_SAMPLE` (0 or unset disables
+//! sampling) or set programmatically via [`set_trace_sampling`]. Instant
+//! events are the exception: a shed or error event is recorded whenever its
+//! frame carries a trace id, *regardless* of the sampling decision, so the
+//! rare bad frame is always attributable.
+//!
+//! # The sink
+//!
+//! The sink is a fixed ring of [`TRACE_SINK_CAPACITY`] seqlock slots built
+//! entirely from atomics: writers claim a position with one `fetch_add`,
+//! mark the slot odd while storing fields, then even when published;
+//! readers reject any slot whose sequence changed mid-read. Recording never
+//! blocks and never allocates. The label is packed into a *single* atomic
+//! word (pointer | length), so a torn read can never fabricate an invalid
+//! `&'static str` — the worst a lost seqlock race can produce is a skipped
+//! slot.
+//!
+//! [`Fleet::push_batch`]: ../kalmmind_runtime/struct.Fleet.html#method.push_batch
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::{TraceEvent, TracePhase, TRACE_SAMPLE_ENV, TRACE_SINK_CAPACITY};
+
+// ---------------------------------------------------------------------------
+// Deterministic ids and the trace clock
+// ---------------------------------------------------------------------------
+
+/// Next trace id; 0 is reserved for "no trace".
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+/// Next span id; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Frames begun so far — the head-sampling counter.
+static FRAME_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic origin of the trace clock, pinned on first use so exported
+/// timestamps are small non-negative offsets rather than raw `Instant`s.
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn trace_clock_nanos(t: Instant) -> u64 {
+    let epoch = *TRACE_EPOCH.get_or_init(|| t);
+    t.saturating_duration_since(epoch).as_nanos() as u64
+}
+
+/// Deterministic per-thread ordinal (assigned in first-use order) used as
+/// the `tid` of exported events; thread names are not stable across runs,
+/// ordinals under a deterministic workload are.
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.try_with(|t| *t).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Sampling control
+// ---------------------------------------------------------------------------
+
+/// Sentinel meaning "not yet initialised from the environment".
+const SAMPLE_UNSET: u64 = u64::MAX;
+
+static SAMPLE_INTERVAL: AtomicU64 = AtomicU64::new(SAMPLE_UNSET);
+
+fn sample_interval() -> u64 {
+    let v = SAMPLE_INTERVAL.load(Ordering::Relaxed);
+    if v != SAMPLE_UNSET {
+        return v;
+    }
+    let parsed = std::env::var(TRACE_SAMPLE_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(SAMPLE_UNSET - 1);
+    // Keep an explicit set_trace_sampling that raced this init.
+    let _ = SAMPLE_INTERVAL.compare_exchange(
+        SAMPLE_UNSET,
+        parsed,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    SAMPLE_INTERVAL.load(Ordering::Relaxed)
+}
+
+/// Overrides the head-sampling interval: sample one frame in every `every`
+/// (0 disables span sampling). Takes precedence over `KALMMIND_TRACE_SAMPLE`
+/// and is the race-free way for tests and benches to toggle tracing.
+pub fn set_trace_sampling(every: u64) {
+    SAMPLE_INTERVAL.store(every.min(SAMPLE_UNSET - 1), Ordering::Relaxed);
+}
+
+/// The effective head-sampling interval (0 when span sampling is off).
+pub fn trace_sample_interval() -> u64 {
+    sample_interval()
+}
+
+// ---------------------------------------------------------------------------
+// TraceCtx and ambient propagation
+// ---------------------------------------------------------------------------
+
+/// Per-frame trace context: the trace id, the root span id, and the
+/// head-sampling decision, all fixed at [`trace_begin`].
+///
+/// `Copy` and two words wide, so it rides along queue jobs and pool tasks
+/// by value. [`TraceCtx::none`] is the identity: no trace, nothing records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    trace: u64,
+    span: u64,
+    sampled: bool,
+}
+
+impl TraceCtx {
+    /// The empty context: carries no trace id and records nothing.
+    pub const fn none() -> Self {
+        Self {
+            trace: 0,
+            span: 0,
+            sampled: false,
+        }
+    }
+
+    /// `true` when this frame won the head-sampling draw (timed phase spans
+    /// will be recorded).
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.sampled
+    }
+
+    /// The frame's trace id (0 when this is [`TraceCtx::none`]).
+    #[inline]
+    pub fn trace_id(&self) -> u64 {
+        self.trace
+    }
+
+    /// The frame's root span id (0 when this is [`TraceCtx::none`]).
+    #[inline]
+    pub fn span_id(&self) -> u64 {
+        self.span
+    }
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<TraceCtx> = const { Cell::new(TraceCtx::none()) };
+}
+
+/// The context most recently installed on this thread with
+/// [`set_current_trace`] ([`TraceCtx::none`] when unset).
+#[inline]
+pub fn current_trace() -> TraceCtx {
+    CURRENT_TRACE
+        .try_with(|c| c.get())
+        .unwrap_or(TraceCtx::none())
+}
+
+/// Installs `ctx` as this thread's ambient context and returns the previous
+/// one; callers restore it when their scope ends so nesting composes.
+#[inline]
+pub fn set_current_trace(ctx: TraceCtx) -> TraceCtx {
+    CURRENT_TRACE
+        .try_with(|c| c.replace(ctx))
+        .unwrap_or(TraceCtx::none())
+}
+
+/// Allocates the trace context for a new ingest frame: fresh trace and root
+/// span ids from deterministic counters, plus this frame's head-sampling
+/// decision.
+pub fn trace_begin() -> TraceCtx {
+    let trace = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed);
+    let span = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let interval = sample_interval();
+    let frame = FRAME_COUNTER.fetch_add(1, Ordering::Relaxed);
+    TraceCtx {
+        trace,
+        span,
+        sampled: interval > 0 && frame.is_multiple_of(interval),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+/// Records the frame's root span (`parent` 0) covering `start..start+dur`.
+/// No-op unless `ctx` is sampled.
+pub fn trace_root(ctx: &TraceCtx, label: &'static str, start: Instant, dur: Duration) {
+    if !ctx.sampled || ctx.trace == 0 {
+        return;
+    }
+    sink_push(TraceEvent {
+        trace: ctx.trace,
+        span: ctx.span,
+        parent: 0,
+        label,
+        phase: TracePhase::Complete,
+        ts_nanos: trace_clock_nanos(start),
+        dur_nanos: dur.as_nanos() as u64,
+        tid: thread_ordinal(),
+    });
+}
+
+/// Records a child phase span under `ctx`'s root covering
+/// `start..start+dur`, returning the new span id (0 when not sampled).
+pub fn trace_child(ctx: &TraceCtx, label: &'static str, start: Instant, dur: Duration) -> u64 {
+    if !ctx.sampled || ctx.trace == 0 {
+        return 0;
+    }
+    let span = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    sink_push(TraceEvent {
+        trace: ctx.trace,
+        span,
+        parent: ctx.span,
+        label,
+        phase: TracePhase::Complete,
+        ts_nanos: trace_clock_nanos(start),
+        dur_nanos: dur.as_nanos() as u64,
+        tid: thread_ordinal(),
+    });
+    span
+}
+
+/// Records an instantaneous terminal event (shed, protocol error, failed
+/// session) for `ctx`'s frame. Recorded whenever the frame has a trace id,
+/// even when the frame lost the sampling draw — the rare bad frame must
+/// always be attributable.
+pub fn trace_instant(ctx: &TraceCtx, label: &'static str) {
+    if ctx.trace == 0 {
+        return;
+    }
+    let span = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    sink_push(TraceEvent {
+        trace: ctx.trace,
+        span,
+        parent: ctx.span,
+        label,
+        phase: TracePhase::Instant,
+        ts_nanos: trace_clock_nanos(Instant::now()),
+        dur_nanos: 0,
+        tid: thread_ordinal(),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The lock-free sink
+// ---------------------------------------------------------------------------
+
+/// Label fallback for the (practically impossible on mainstream targets)
+/// case of a static string whose address or length does not fit the packed
+/// word.
+const LABEL_FALLBACK: &str = "label_out_of_range";
+
+/// Packs a `&'static str` into one word: low 48 bits pointer, high 16 bits
+/// length. One atomic word means a reader can never observe a pointer from
+/// one label paired with the length of another.
+fn pack_label(label: &'static str) -> u64 {
+    let ptr = label.as_ptr() as u64;
+    let len = label.len() as u64;
+    if ptr < (1 << 48) && len <= 0xFFFF {
+        (len << 48) | ptr
+    } else {
+        pack_label(LABEL_FALLBACK)
+    }
+}
+
+fn unpack_label(packed: u64) -> &'static str {
+    if packed == 0 {
+        return "";
+    }
+    let ptr = (packed & ((1u64 << 48) - 1)) as *const u8;
+    let len = (packed >> 48) as usize;
+    // SAFETY: `packed` is only ever a value produced by `pack_label` from a
+    // live `&'static str` and is stored/loaded as a single atomic word, so
+    // the (pointer, length) pair always describes one valid static UTF-8
+    // string for the life of the process.
+    unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) }
+}
+
+/// One seqlock slot. `seq` is 0 when never written, odd while a writer is
+/// storing fields, and `2 * generation` once published (generation =
+/// `position / capacity + 1`, so a reader can reconstruct global push order
+/// from `(seq, index)` alone).
+struct Slot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    label: AtomicU64,
+    phase: AtomicU64,
+    ts_nanos: AtomicU64,
+    dur_nanos: AtomicU64,
+    tid: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
+            label: AtomicU64::new(0),
+            phase: AtomicU64::new(0),
+            ts_nanos: AtomicU64::new(0),
+            dur_nanos: AtomicU64::new(0),
+            tid: AtomicU64::new(0),
+        }
+    }
+}
+
+static SINK: [Slot; TRACE_SINK_CAPACITY] = [const { Slot::empty() }; TRACE_SINK_CAPACITY];
+
+/// Total events ever pushed; `HEAD % capacity` is the next slot.
+static HEAD: AtomicU64 = AtomicU64::new(0);
+
+/// Events skipped by readers because a writer raced the slot mid-read, and
+/// events overwritten before any `/trace` scrape saw them, are both bounded
+/// by the ring capacity; this counter tracks only write-side overwrites so
+/// sink pressure is visible.
+static TRACE_EVENTS_DROPPED: super::LazyCounter = super::LazyCounter::new(
+    "obs_trace_events_dropped_total",
+    "Trace events overwritten in the full global sink before a scrape",
+);
+
+/// Total trace events overwritten in the full sink before any scrape
+/// exported them (the write side never blocks; pressure shows up here).
+pub fn trace_events_dropped() -> u64 {
+    TRACE_EVENTS_DROPPED.get()
+}
+
+fn sink_push(ev: TraceEvent) {
+    let pos = HEAD.fetch_add(1, Ordering::Relaxed);
+    if pos >= TRACE_SINK_CAPACITY as u64 {
+        TRACE_EVENTS_DROPPED.inc();
+    }
+    let idx = (pos % TRACE_SINK_CAPACITY as u64) as usize;
+    let generation = pos / TRACE_SINK_CAPACITY as u64 + 1;
+    let slot = &SINK[idx];
+    slot.seq.store(generation * 2 - 1, Ordering::Release);
+    slot.trace.store(ev.trace, Ordering::Relaxed);
+    slot.span.store(ev.span, Ordering::Relaxed);
+    slot.parent.store(ev.parent, Ordering::Relaxed);
+    slot.label.store(pack_label(ev.label), Ordering::Relaxed);
+    slot.phase.store(
+        match ev.phase {
+            TracePhase::Complete => 0,
+            TracePhase::Instant => 1,
+        },
+        Ordering::Relaxed,
+    );
+    slot.ts_nanos.store(ev.ts_nanos, Ordering::Relaxed);
+    slot.dur_nanos.store(ev.dur_nanos, Ordering::Relaxed);
+    slot.tid.store(ev.tid, Ordering::Relaxed);
+    slot.seq.store(generation * 2, Ordering::Release);
+}
+
+/// Non-draining snapshot of the sink in push order (oldest surviving event
+/// first). Slots a writer is racing are skipped, never misread.
+pub fn trace_events() -> Vec<TraceEvent> {
+    let mut out: Vec<(u64, TraceEvent)> = Vec::with_capacity(TRACE_SINK_CAPACITY);
+    for (idx, slot) in SINK.iter().enumerate() {
+        let seq_before = slot.seq.load(Ordering::Acquire);
+        if seq_before == 0 || seq_before % 2 == 1 {
+            continue;
+        }
+        let ev = TraceEvent {
+            trace: slot.trace.load(Ordering::Relaxed),
+            span: slot.span.load(Ordering::Relaxed),
+            parent: slot.parent.load(Ordering::Relaxed),
+            label: unpack_label(slot.label.load(Ordering::Relaxed)),
+            phase: if slot.phase.load(Ordering::Relaxed) == 0 {
+                TracePhase::Complete
+            } else {
+                TracePhase::Instant
+            },
+            ts_nanos: slot.ts_nanos.load(Ordering::Relaxed),
+            dur_nanos: slot.dur_nanos.load(Ordering::Relaxed),
+            tid: slot.tid.load(Ordering::Relaxed),
+        };
+        let seq_after = slot.seq.load(Ordering::Acquire);
+        if seq_after != seq_before {
+            continue;
+        }
+        let position = (seq_before / 2 - 1) * TRACE_SINK_CAPACITY as u64 + idx as u64;
+        out.push((position, ev));
+    }
+    out.sort_by_key(|(pos, _)| *pos);
+    out.into_iter().map(|(_, ev)| ev).collect()
+}
+
+/// Clears the sink (marks every slot empty). For tests and bench setup
+/// only: callers must quiesce concurrent writers themselves, since a write
+/// racing the reset may survive it.
+pub fn trace_reset() {
+    for slot in SINK.iter() {
+        slot.seq.store(0, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+/// Escapes a label for inclusion in a JSON string literal.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as fractional microseconds (Chrome trace-event's
+/// time unit) with nanosecond resolution preserved.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// Renders the current sink snapshot as a Chrome trace-event JSON document
+/// loadable in Perfetto / `chrome://tracing`:
+///
+/// ```json
+/// {"displayTimeUnit":"ms","traceEvents":[
+///   {"name":"ingest_frame","cat":"kalmmind","ph":"X","ts":1.5,"dur":820.0,
+///    "pid":1,"tid":3,"args":{"trace":"2a","span":"41","parent":"0"}}]}
+/// ```
+///
+/// `ts`/`dur` are microseconds on the process trace clock; ids are hex
+/// strings under `args` so 64-bit values survive JSON number parsing.
+pub fn trace_json() -> String {
+    let events = trace_events();
+    let mut out = String::with_capacity(64 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"kalmmind\",\"ts\":{},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"trace\":\"{:x}\",\"span\":\"{:x}\",\"parent\":\"{:x}\"}}",
+            escape_json(ev.label),
+            micros(ev.ts_nanos),
+            ev.tid,
+            ev.trace,
+            ev.span,
+            ev.parent,
+        );
+        match ev.phase {
+            TracePhase::Complete => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"dur\":{},{common}}}",
+                    micros(ev.dur_nanos)
+                ));
+            }
+            TracePhase::Instant => {
+                out.push_str(&format!("{{\"ph\":\"i\",\"s\":\"t\",{common}}}"));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The sink, the sampling interval, and the ambient thread context are
+    /// process-global; every test that touches them serialises here.
+    static TRACE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TRACE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn ids_are_deterministic_counters_and_sampling_gates_spans() {
+        let _g = locked();
+        trace_reset();
+        set_trace_sampling(1);
+        let a = trace_begin();
+        let b = trace_begin();
+        assert!(b.trace_id() > a.trace_id(), "trace ids must increase");
+        assert!(a.is_sampled() && b.is_sampled());
+
+        set_trace_sampling(0);
+        let c = trace_begin();
+        assert!(!c.is_sampled(), "interval 0 must disable span sampling");
+        assert!(
+            c.trace_id() > b.trace_id(),
+            "unsampled frames still get ids"
+        );
+
+        let t0 = Instant::now();
+        trace_root(&c, "unsampled_root", t0, Duration::from_micros(5));
+        assert!(
+            trace_events().iter().all(|e| e.trace != c.trace_id()),
+            "unsampled roots must not be recorded"
+        );
+        // Instant events ignore the sampling draw: terminal shed/error
+        // events must always be attributable.
+        trace_instant(&c, "shed");
+        let evs = trace_events();
+        let shed = evs
+            .iter()
+            .find(|e| e.trace == c.trace_id())
+            .expect("instant recorded despite sampling off");
+        assert_eq!(shed.label, "shed");
+        assert_eq!(shed.phase, TracePhase::Instant);
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn span_tree_links_children_to_the_root() {
+        let _g = locked();
+        trace_reset();
+        set_trace_sampling(1);
+        let ctx = trace_begin();
+        let t0 = Instant::now();
+        let child = trace_child(&ctx, "queue_wait", t0, Duration::from_micros(10));
+        trace_root(&ctx, "ingest_frame", t0, Duration::from_micros(50));
+        assert_ne!(child, 0);
+
+        let evs: Vec<_> = trace_events()
+            .into_iter()
+            .filter(|e| e.trace == ctx.trace_id())
+            .collect();
+        assert_eq!(evs.len(), 2);
+        let root = evs.iter().find(|e| e.label == "ingest_frame").unwrap();
+        let leaf = evs.iter().find(|e| e.label == "queue_wait").unwrap();
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.span, ctx.span_id());
+        assert_eq!(leaf.parent, root.span);
+        assert_eq!(leaf.span, child);
+        assert_eq!(leaf.dur_nanos, 10_000);
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn ambient_context_installs_and_restores() {
+        let _g = locked();
+        set_trace_sampling(1);
+        assert_eq!(current_trace(), TraceCtx::none());
+        let ctx = trace_begin();
+        let prev = set_current_trace(ctx);
+        assert_eq!(prev, TraceCtx::none());
+        assert_eq!(current_trace(), ctx);
+        // A fresh thread starts from none — contexts do not leak across.
+        std::thread::spawn(|| assert_eq!(current_trace(), TraceCtx::none()))
+            .join()
+            .unwrap();
+        set_current_trace(prev);
+        assert_eq!(current_trace(), TraceCtx::none());
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn sink_overwrites_oldest_and_keeps_push_order() {
+        let _g = locked();
+        trace_reset();
+        set_trace_sampling(1);
+        let ctx = trace_begin();
+        let t0 = Instant::now();
+        let extra = 16;
+        for _ in 0..TRACE_SINK_CAPACITY + extra {
+            trace_child(&ctx, "flood", t0, Duration::from_nanos(1));
+        }
+        let evs: Vec<_> = trace_events()
+            .into_iter()
+            .filter(|e| e.trace == ctx.trace_id())
+            .collect();
+        assert_eq!(evs.len(), TRACE_SINK_CAPACITY, "ring is bounded");
+        assert!(
+            evs.windows(2).all(|w| w[0].span < w[1].span),
+            "snapshot must preserve push order"
+        );
+        assert!(super::TRACE_EVENTS_DROPPED.get() >= extra as u64);
+        trace_reset();
+        assert!(trace_events().is_empty(), "reset empties the snapshot");
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn trace_json_is_perfetto_shaped_and_validates() {
+        let _g = locked();
+        trace_reset();
+        // Empty sink still exports a loadable document.
+        let empty = trace_json();
+        assert_eq!(empty, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        let summary = crate::validate::validate_trace(&empty).unwrap();
+        assert_eq!(summary.events, 0);
+
+        set_trace_sampling(1);
+        let ctx = trace_begin();
+        let t0 = Instant::now();
+        trace_child(&ctx, "step", t0, Duration::from_micros(42));
+        trace_instant(&ctx, "shed");
+        trace_root(&ctx, "ingest_frame", t0, Duration::from_micros(99));
+        let json = trace_json();
+        let summary = crate::validate::validate_trace(&json).unwrap();
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.complete, 2);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.traces, 1);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains(&format!("\"trace\":\"{:x}\"", ctx.trace_id())));
+        trace_reset();
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn sampling_interval_thins_frames() {
+        let _g = locked();
+        set_trace_sampling(3);
+        let sampled = (0..9).filter(|_| trace_begin().is_sampled()).count();
+        assert_eq!(
+            sampled, 3,
+            "one in three frames must win the head-sampling draw"
+        );
+        assert_eq!(trace_sample_interval(), 3);
+        set_trace_sampling(0);
+        assert_eq!(trace_sample_interval(), 0);
+    }
+
+    #[test]
+    fn labels_with_json_metacharacters_export_escaped() {
+        let _g = locked();
+        trace_reset();
+        set_trace_sampling(1);
+        let ctx = trace_begin();
+        trace_instant(&ctx, "odd \"label\"\\with\nnoise");
+        let json = trace_json();
+        crate::validate::validate_trace(&json).expect("escaped labels must stay valid JSON");
+        assert!(json.contains("odd \\\"label\\\"\\\\with\\nnoise"));
+        trace_reset();
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_snapshot() {
+        let _g = locked();
+        trace_reset();
+        set_trace_sampling(1);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let ctx = trace_begin();
+                    for _ in 0..2 * TRACE_SINK_CAPACITY {
+                        trace_child(&ctx, "race", t0, Duration::from_nanos(7));
+                    }
+                });
+            }
+        });
+        for ev in trace_events() {
+            assert!(ev.label == "race" || ev.label.is_empty(), "{:?}", ev.label);
+            assert!(ev.dur_nanos == 7);
+        }
+        crate::validate::validate_trace(&trace_json()).unwrap();
+        trace_reset();
+        set_trace_sampling(0);
+    }
+}

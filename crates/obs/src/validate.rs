@@ -939,6 +939,104 @@ pub fn validate_snapshot(text: &str) -> Result<SnapshotSummary, String> {
     })
 }
 
+/// Summary of a successfully validated Chrome trace-event document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Distinct trace ids seen in event `args`.
+    pub traces: usize,
+    /// Complete (`"ph":"X"`) span events.
+    pub complete: usize,
+    /// Instant (`"ph":"i"` / `"ph":"I"`) events.
+    pub instants: usize,
+}
+
+/// Validates a Chrome trace-event JSON document as exported by the obs
+/// trace sink (`trace_json` / the `/trace` route): the `traceEvents` array
+/// is present, every event carries a string `name`, a known `ph`, numeric
+/// non-negative `ts`, numeric `pid`/`tid`, complete events carry a numeric
+/// non-negative `dur`, and any `trace`/`span`/`parent` ids under `args` are
+/// hex strings (JSON numbers cannot carry 64-bit ids). These are exactly
+/// the fields Perfetto's importer keys on, so a document that passes loads.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first violated invariant.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse_json(text)?;
+    if let Some(unit) = doc.get("displayTimeUnit") {
+        match unit.as_str() {
+            Some("ms") | Some("ns") => {}
+            _ => return Err("trace \"displayTimeUnit\" must be \"ms\" or \"ns\"".to_string()),
+        }
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "trace missing \"traceEvents\" array".to_string())?;
+    let mut traces: Vec<u64> = Vec::new();
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let err = |msg: String| format!("trace event {i}: {msg}");
+        if ev.get("name").and_then(JsonValue::as_str).is_none() {
+            return Err(err("missing string \"name\"".to_string()));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err("missing string \"ph\"".to_string()))?;
+        match ph {
+            "X" => {
+                complete += 1;
+                match ev.get("dur").and_then(JsonValue::as_f64) {
+                    Some(d) if d >= 0.0 => {}
+                    _ => {
+                        return Err(err(
+                            "complete event needs numeric non-negative \"dur\"".to_string()
+                        ))
+                    }
+                }
+            }
+            "i" | "I" => instants += 1,
+            other => return Err(err(format!("unknown phase {other:?}"))),
+        }
+        match ev.get("ts").and_then(JsonValue::as_f64) {
+            Some(ts) if ts >= 0.0 => {}
+            _ => return Err(err("missing numeric non-negative \"ts\"".to_string())),
+        }
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(JsonValue::as_f64).is_none() {
+                return Err(err(format!("missing numeric {key:?}")));
+            }
+        }
+        if let Some(args) = ev.get("args") {
+            if !matches!(args, JsonValue::Object(_)) {
+                return Err(err("\"args\" must be an object".to_string()));
+            }
+            for key in ["trace", "span", "parent"] {
+                if let Some(v) = args.get(key) {
+                    match hex_u64(v) {
+                        Some(id) => {
+                            if key == "trace" && !traces.contains(&id) {
+                                traces.push(id);
+                            }
+                        }
+                        None => return Err(err(format!("args {key:?} must be a hex id string"))),
+                    }
+                }
+            }
+        }
+    }
+    Ok(TraceSummary {
+        events: events.len(),
+        traces: traces.len(),
+        complete,
+        instants,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1186,5 +1284,93 @@ h_count 3
             .contains("nis"));
 
         assert!(validate_flight_record("{}").is_err());
+    }
+
+    fn sample_trace() -> String {
+        concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+            "{\"ph\":\"X\",\"dur\":820.500,\"name\":\"ingest_frame\",\"cat\":\"kalmmind\",",
+            "\"ts\":1.250,\"pid\":1,\"tid\":3,",
+            "\"args\":{\"trace\":\"2a\",\"span\":\"41\",\"parent\":\"0\"}},",
+            "{\"ph\":\"X\",\"dur\":10.000,\"name\":\"queue_wait\",\"cat\":\"kalmmind\",",
+            "\"ts\":2.000,\"pid\":1,\"tid\":4,",
+            "\"args\":{\"trace\":\"2a\",\"span\":\"42\",\"parent\":\"41\"}},",
+            "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"shed\",\"cat\":\"kalmmind\",",
+            "\"ts\":9.000,\"pid\":1,\"tid\":4,",
+            "\"args\":{\"trace\":\"2b\",\"span\":\"43\",\"parent\":\"0\"}}",
+            "]}"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn trace_accepts_well_formed_documents() {
+        let summary = validate_trace(&sample_trace()).expect("sample trace must validate");
+        assert_eq!(
+            summary,
+            TraceSummary {
+                events: 3,
+                traces: 2,
+                complete: 2,
+                instants: 1,
+            }
+        );
+
+        // An empty sink still exports a loadable document.
+        let empty = validate_trace("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}").unwrap();
+        assert_eq!(empty.events, 0);
+        assert_eq!(empty.traces, 0);
+
+        // `args` is optional, and events without ids count no traces.
+        let bare = validate_trace(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":1}]}",
+        )
+        .unwrap();
+        assert_eq!(bare.events, 1);
+        assert_eq!(bare.traces, 0);
+
+        // Escaped metacharacters in names survive the round trip.
+        let escaped = sample_trace().replace("ingest_frame", "odd \\\"name\\\"\\\\x");
+        assert_eq!(validate_trace(&escaped).unwrap().events, 3);
+    }
+
+    #[test]
+    fn trace_rejects_shape_violations() {
+        let good = sample_trace();
+
+        assert!(validate_trace("{\"displayTimeUnit\":\"ms\"}")
+            .unwrap_err()
+            .contains("traceEvents"));
+
+        // Truncated document (cut mid-event) is a parse error, not a panic.
+        let truncated = &good[..good.len() - 20];
+        assert!(validate_trace(truncated).is_err());
+
+        let bad_ph = good.replace("\"ph\":\"i\"", "\"ph\":\"Q\"");
+        assert!(validate_trace(&bad_ph).unwrap_err().contains("phase"));
+
+        let no_dur = good.replace("\"dur\":820.500,", "");
+        assert!(validate_trace(&no_dur).unwrap_err().contains("dur"));
+
+        let neg_ts = good.replace("\"ts\":1.250", "\"ts\":-1.0");
+        assert!(validate_trace(&neg_ts).unwrap_err().contains("ts"));
+
+        let bad_name = good.replace("\"name\":\"shed\"", "\"name\":7");
+        assert!(validate_trace(&bad_name).unwrap_err().contains("name"));
+
+        let no_tid = good.replace(",\"tid\":3", "");
+        assert!(validate_trace(&no_tid).unwrap_err().contains("tid"));
+
+        // 64-bit ids must be hex strings — JSON numbers lose bits past 2^53.
+        let numeric_id = good.replace(
+            "\"trace\":\"2a\",\"span\":\"41\"",
+            "\"trace\":42,\"span\":\"41\"",
+        );
+        assert!(validate_trace(&numeric_id).unwrap_err().contains("hex"));
+
+        let bad_unit = good.replace("\"displayTimeUnit\":\"ms\"", "\"displayTimeUnit\":\"s\"");
+        assert!(validate_trace(&bad_unit)
+            .unwrap_err()
+            .contains("displayTimeUnit"));
     }
 }

@@ -96,6 +96,16 @@ static OBS_SHARD_LATENCY: [obs::LazyHistogram; OBS_SHARDS] = per_shard!(
     "Ingest-to-estimate latency per shard batch (enqueue to reply)",
     obs::LATENCY_SECONDS_BUCKETS
 );
+static OBS_SHARD_QUEUE_DEPTH: [obs::LazyGauge; OBS_SHARDS] = per_shard!(
+    obs::LazyGauge::labeled,
+    "kalmmind_shard_queue_depth",
+    "Jobs currently waiting in this shard's queue"
+);
+static OBS_QUEUE_WAIT: obs::LazyHistogram = obs::LazyHistogram::new(
+    "fleet_queue_wait_seconds",
+    "Time jobs spent waiting in a shard queue before a worker picked them up",
+    obs::LATENCY_SECONDS_BUCKETS,
+);
 
 /// Per-entry result of pushing a measurement through the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,12 +200,19 @@ struct ShardStats {
     bucket_counts: Vec<AtomicU64>,
     latency_count: AtomicU64,
     latency_sum_nanos: AtomicU64,
+    /// Same fixed-bucket layout as `bucket_counts`, but over the
+    /// enqueue-to-pop wait only — the queue-wait share of batch latency.
+    qw_bucket_counts: Vec<AtomicU64>,
+    qw_count: AtomicU64,
+    qw_sum_nanos: AtomicU64,
 }
 
 impl ShardStats {
     fn new() -> Self {
         let mut bucket_counts = Vec::with_capacity(obs::LATENCY_SECONDS_BUCKETS.len() + 1);
         bucket_counts.resize_with(obs::LATENCY_SECONDS_BUCKETS.len() + 1, || AtomicU64::new(0));
+        let mut qw_bucket_counts = Vec::with_capacity(obs::LATENCY_SECONDS_BUCKETS.len() + 1);
+        qw_bucket_counts.resize_with(obs::LATENCY_SECONDS_BUCKETS.len() + 1, || AtomicU64::new(0));
         Self {
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -205,6 +222,9 @@ impl ShardStats {
             bucket_counts,
             latency_count: AtomicU64::new(0),
             latency_sum_nanos: AtomicU64::new(0),
+            qw_bucket_counts,
+            qw_count: AtomicU64::new(0),
+            qw_sum_nanos: AtomicU64::new(0),
         }
     }
 
@@ -220,27 +240,49 @@ impl ShardStats {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    fn observe_queue_wait(&self, wait: Duration) {
+        let secs = wait.as_secs_f64();
+        let i = obs::LATENCY_SECONDS_BUCKETS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(obs::LATENCY_SECONDS_BUCKETS.len());
+        self.qw_bucket_counts[i].fetch_add(1, Ordering::Relaxed);
+        self.qw_count.fetch_add(1, Ordering::Relaxed);
+        self.qw_sum_nanos
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Upper bound of the bucket containing quantile `q` (seconds).
     /// Bucket-resolution only — the bench computes exact quantiles from
     /// raw samples; this feeds the always-on `/fleet` roll-up.
     fn latency_quantile(&self, q: f64) -> f64 {
-        let total = self.latency_count.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut cum = 0u64;
-        for (i, c) in self.bucket_counts.iter().enumerate() {
-            cum += c.load(Ordering::Relaxed);
-            if cum >= rank {
-                return obs::LATENCY_SECONDS_BUCKETS
-                    .get(i)
-                    .copied()
-                    .unwrap_or(f64::INFINITY);
-            }
-        }
-        f64::INFINITY
+        bucket_quantile(&self.bucket_counts, &self.latency_count, q)
     }
+
+    /// See [`ShardStats::latency_quantile`], over the queue-wait histogram.
+    fn queue_wait_quantile(&self, q: f64) -> f64 {
+        bucket_quantile(&self.qw_bucket_counts, &self.qw_count, q)
+    }
+}
+
+/// Shared quantile walk over one fixed-bucket histogram (seconds).
+fn bucket_quantile(buckets: &[AtomicU64], count: &AtomicU64, q: f64) -> f64 {
+    let total = count.load(Ordering::Relaxed);
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, c) in buckets.iter().enumerate() {
+        cum += c.load(Ordering::Relaxed);
+        if cum >= rank {
+            return obs::LATENCY_SECONDS_BUCKETS
+                .get(i)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+        }
+    }
+    f64::INFINITY
 }
 
 /// A point-in-time view of one shard, as served by `/fleet`.
@@ -270,6 +312,10 @@ pub struct ShardSummary {
     pub latency_p99: f64,
     /// See `latency_p50`.
     pub latency_p999: f64,
+    /// Bucket-resolution enqueue-to-pop wait quantiles in seconds.
+    pub queue_wait_p50: f64,
+    /// See `queue_wait_p50`.
+    pub queue_wait_p99: f64,
 }
 
 /// One queued unit of work: a sub-batch bound for one shard.
@@ -282,6 +328,10 @@ struct ShardJob {
     enqueued: Instant,
     /// Where the worker sends `(positions, outcomes)`.
     reply: Sender<(Vec<usize>, Vec<BatchOutcome>)>,
+    /// Trace context of the frame this sub-batch came from; re-installed
+    /// on the shard worker so phase spans and terminal events share the
+    /// frame's trace id. Zero-sized with `obs` off.
+    ctx: obs::TraceCtx,
 }
 
 struct Shard {
@@ -309,6 +359,9 @@ impl Shard {
         OBS_QUEUE_DEPTH.inc();
         if let Some(c) = OBS_SHARD_ADMITTED.get(self.index) {
             c.add(n);
+        }
+        if let Some(g) = OBS_SHARD_QUEUE_DEPTH.get(self.index) {
+            g.inc();
         }
         self.available.notify_one();
         Ok(())
@@ -344,6 +397,9 @@ impl Shard {
             let Some(job) = job else { continue };
             self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
             OBS_QUEUE_DEPTH.dec();
+            if let Some(g) = OBS_SHARD_QUEUE_DEPTH.get(self.index) {
+                g.dec();
+            }
             self.process(job);
         }
         // Anything still queued is shed: dropping the jobs disconnects
@@ -355,7 +411,11 @@ impl Shard {
         for job in &dropped {
             self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
             OBS_QUEUE_DEPTH.dec();
+            if let Some(g) = OBS_SHARD_QUEUE_DEPTH.get(self.index) {
+                g.dec();
+            }
             self.record_shed(job.entries.len() as u64);
+            obs::trace_instant(&job.ctx, "shed");
         }
     }
 
@@ -372,7 +432,16 @@ impl Shard {
             positions,
             enqueued,
             reply,
+            ctx,
         } = job;
+        // Queue-wait attribution: the gap between admission and the worker
+        // claiming the job, as a trace span and a fleet-wide histogram.
+        let wait = enqueued.elapsed();
+        self.stats.observe_queue_wait(wait);
+        OBS_QUEUE_WAIT.observe_duration(wait);
+        obs::trace_child(&ctx, "queue_wait", enqueued, wait);
+        let _job_span = obs::span("fleet_shard_process");
+        let prev = obs::set_current_trace(ctx);
         let mut outcomes: Vec<BatchOutcome> = entries
             .iter()
             .map(|(id, _)| BatchOutcome {
@@ -383,6 +452,7 @@ impl Shard {
             .collect();
 
         {
+            let dispatch_start = Instant::now();
             let mut bank = self.bank.lock().unwrap_or_else(|e| e.into_inner());
             let mut seen: HashMap<u64, ()> = HashMap::with_capacity(entries.len());
             let mut routed: Vec<(SessionId, &[f64])> = Vec::with_capacity(entries.len());
@@ -409,6 +479,10 @@ impl Shard {
                 routed.push((sid, z.as_slice()));
                 routed_pos.push(i);
             }
+            // `dispatch` covers bank-lock acquisition plus per-entry routing;
+            // `step` covers the batch step and outcome collection.
+            obs::trace_child(&ctx, "dispatch", dispatch_start, dispatch_start.elapsed());
+            let step_start = Instant::now();
             let stepped = !routed.is_empty() && bank.step_batch(&routed).is_ok();
             let mut steps_ok = 0u64;
             for (&(sid, _), &i) in routed.iter().zip(routed_pos.iter()) {
@@ -420,16 +494,21 @@ impl Shard {
                     }
                 } else {
                     outcomes[i].status = EntryStatus::Failed;
+                    obs::trace_instant(&ctx, "session_failed");
                 }
             }
+            obs::trace_child(&ctx, "step", step_start, step_start.elapsed());
             self.stats.steps.fetch_add(steps_ok, Ordering::Relaxed);
         }
+        obs::set_current_trace(prev);
 
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         let elapsed = enqueued.elapsed();
         self.stats.observe_latency(elapsed);
         if let Some(h) = OBS_SHARD_LATENCY.get(self.index) {
-            h.observe_duration(elapsed);
+            // The worst-latency batch in each bucket keeps its trace id as
+            // an exemplar, so a histogram tail links straight to a trace.
+            h.observe_duration_exemplar(elapsed, ctx.trace_id());
         }
         // A disconnected receiver means the pusher gave up; nothing to do.
         let _ = reply.send((positions, outcomes));
@@ -598,6 +677,12 @@ impl Fleet {
     /// blocking, so a caller can keep pushing while shards work — the shape
     /// of the backpressure test, and of any pipelined client.
     pub fn push_batch_async(&self, batch: Vec<(u64, Vec<f64>)>) -> BatchTicket {
+        // The pushing thread's ambient context (installed by the ingest
+        // loop) rides along on every sub-batch, so spans recorded on shard
+        // workers share the frame's trace id.
+        let ctx = obs::current_trace();
+        let split_start = Instant::now();
+
         // Per-shard split of the caller's batch: original positions plus
         // the (id, measurement) entries routed to that shard.
         type ShardGroup = (Vec<usize>, Vec<(u64, Vec<f64>)>);
@@ -612,6 +697,10 @@ impl Fleet {
                 group.1.push((id, z));
             }
         }
+        // Caller-side dispatch segment: routing the frame into per-shard
+        // sub-batches. Ends before any job's `enqueued` stamp, so it never
+        // overlaps the queue_wait segments that follow.
+        obs::trace_child(&ctx, "dispatch", split_start, split_start.elapsed());
 
         let (tx, rx) = std::sync::mpsc::channel();
         let mut outcomes: Vec<Option<BatchOutcome>> = ids.iter().map(|_| None).collect();
@@ -623,11 +712,15 @@ impl Fleet {
                 positions,
                 enqueued: Instant::now(),
                 reply: tx.clone(),
+                ctx,
             };
             match shard.try_enqueue(job) {
                 Ok(()) => pending += 1,
                 Err(job) => {
                     shard.record_shed(job.entries.len() as u64);
+                    // Terminal event: records whenever the frame has a trace
+                    // id, sampled or not, so every shed is attributable.
+                    obs::trace_instant(&job.ctx, "shed");
                     for (&pos, (id, _)) in job.positions.iter().zip(job.entries.iter()) {
                         outcomes[pos] = Some(BatchOutcome {
                             id: *id,
@@ -731,6 +824,8 @@ impl Fleet {
                     latency_p50: shard.stats.latency_quantile(0.50),
                     latency_p99: shard.stats.latency_quantile(0.99),
                     latency_p999: shard.stats.latency_quantile(0.999),
+                    queue_wait_p50: shard.stats.queue_wait_quantile(0.50),
+                    queue_wait_p99: shard.stats.queue_wait_quantile(0.99),
                 }
             })
             .collect()
@@ -848,7 +943,8 @@ impl StatusSource for Fleet {
                     "{{\"shard\":{},\"sessions\":{},\"active\":{},\"queue_depth\":{},\
                      \"queue_capacity\":{},\"admitted\":{},\"shed\":{},\"batches\":{},\
                      \"steps\":{},\"latency_p50_s\":{},\"latency_p99_s\":{},\
-                     \"latency_p999_s\":{}}}",
+                     \"latency_p999_s\":{},\"queue_wait_p50_s\":{},\
+                     \"queue_wait_p99_s\":{}}}",
                     s.shard,
                     s.sessions,
                     s.active,
@@ -861,6 +957,8 @@ impl StatusSource for Fleet {
                     json_f64(s.latency_p50),
                     json_f64(s.latency_p99),
                     json_f64(s.latency_p999),
+                    json_f64(s.queue_wait_p50),
+                    json_f64(s.queue_wait_p99),
                 )
             })
             .collect();
@@ -1117,6 +1215,8 @@ mod tests {
         obs::validate::validate_json(&rollup).unwrap();
         assert!(rollup.contains("\"queue_capacity\":8"), "{rollup}");
         assert!(rollup.contains("\"totals\""), "{rollup}");
+        assert!(rollup.contains("\"queue_wait_p50_s\""), "{rollup}");
+        assert!(rollup.contains("\"queue_wait_p99_s\""), "{rollup}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kalmmind_exec::{spawn_service, ServiceHandle};
+use kalmmind_obs as obs;
 
 use crate::fleet::{BatchOutcome, EntryStatus, Fleet};
 
@@ -79,6 +80,39 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Most concurrent ingest connections; further clients get ERROR `busy`.
 const MAX_CONNECTIONS: usize = 64;
+
+/// One labeled counter per rejection kind, so a dashboard can tell
+/// protocol abuse (malformed/oversize/unsupported) from capacity pressure
+/// (busy) and client health (truncated/stalled) at a glance.
+const INGEST_ERRORS_HELP: &str = "Ingest frames rejected or abandoned, by failure kind";
+static OBS_ERR_MALFORMED: obs::LazyCounter = obs::LazyCounter::labeled(
+    "ingest_errors_total",
+    INGEST_ERRORS_HELP,
+    "kind",
+    "malformed",
+);
+static OBS_ERR_OVERSIZE: obs::LazyCounter = obs::LazyCounter::labeled(
+    "ingest_errors_total",
+    INGEST_ERRORS_HELP,
+    "kind",
+    "oversize",
+);
+static OBS_ERR_UNSUPPORTED: obs::LazyCounter = obs::LazyCounter::labeled(
+    "ingest_errors_total",
+    INGEST_ERRORS_HELP,
+    "kind",
+    "unsupported",
+);
+static OBS_ERR_BUSY: obs::LazyCounter =
+    obs::LazyCounter::labeled("ingest_errors_total", INGEST_ERRORS_HELP, "kind", "busy");
+static OBS_ERR_TRUNCATED: obs::LazyCounter = obs::LazyCounter::labeled(
+    "ingest_errors_total",
+    INGEST_ERRORS_HELP,
+    "kind",
+    "truncated",
+);
+static OBS_ERR_STALLED: obs::LazyCounter =
+    obs::LazyCounter::labeled("ingest_errors_total", INGEST_ERRORS_HELP, "kind", "stalled");
 
 /// What went wrong while reading one frame.
 enum FrameFault {
@@ -341,6 +375,7 @@ fn accept_loop(listener: &TcpListener, fleet: &Arc<Fleet>, stop: &AtomicBool) {
         match listener.accept() {
             Ok((mut stream, _peer)) => {
                 if conns.len() >= MAX_CONNECTIONS {
+                    OBS_ERR_BUSY.inc();
                     let _ = stream.set_write_timeout(Some(READ_POLL));
                     let _ = write_frame(
                         &mut stream,
@@ -381,12 +416,18 @@ fn handle_connection(mut stream: TcpStream, fleet: &Arc<Fleet>, stop: &AtomicBoo
         let payload = match read_frame(&mut stream, stop) {
             Ok(payload) => payload,
             Err(FrameFault::Closed | FrameFault::Stopped) => return,
-            Err(FrameFault::Truncated | FrameFault::Stalled) => {
+            Err(FrameFault::Truncated) => {
                 // Nothing useful to say to a half-gone client; closing our
                 // end is the whole response.
+                OBS_ERR_TRUNCATED.inc();
+                return;
+            }
+            Err(FrameFault::Stalled) => {
+                OBS_ERR_STALLED.inc();
                 return;
             }
             Err(FrameFault::Oversize) => {
+                OBS_ERR_OVERSIZE.inc();
                 let _ = write_frame(
                     &mut stream,
                     &error_payload(ERR_OVERSIZE, "length prefix exceeds MAX_FRAME_BYTES"),
@@ -397,6 +438,7 @@ fn handle_connection(mut stream: TcpStream, fleet: &Arc<Fleet>, stop: &AtomicBoo
         };
         let (version, frame_type) = (payload[0], payload[1]);
         if version != VERSION {
+            OBS_ERR_UNSUPPORTED.inc();
             let _ = write_frame(
                 &mut stream,
                 &error_payload(ERR_UNSUPPORTED, "unsupported protocol version"),
@@ -409,22 +451,46 @@ fn handle_connection(mut stream: TcpStream, fleet: &Arc<Fleet>, stop: &AtomicBoo
                     return;
                 }
             }
-            TYPE_BATCH => match decode_batch_request(&payload[2..]) {
-                Some(entries) => {
-                    let outcomes = fleet.push_batch(entries);
-                    if write_frame(&mut stream, &encode_batch_reply(&outcomes)).is_err() {
+            TYPE_BATCH => {
+                // Every BATCH frame gets a trace context (ids are cheap
+                // deterministic counters); the sampling decision made here
+                // gates whether phase spans record downstream.
+                let ctx = obs::trace_begin();
+                let frame_start = Instant::now();
+                match decode_batch_request(&payload[2..]) {
+                    Some(entries) => {
+                        // Decoding the wire frame is part of routing it to
+                        // the shards — attribute it to the dispatch phase
+                        // (the fleet records further dispatch segments for
+                        // the per-shard split and the bank routing).
+                        obs::trace_child(&ctx, "dispatch", frame_start, frame_start.elapsed());
+                        // Install the frame's context so `push_batch` (and
+                        // everything under it, down to the step kernel's
+                        // worker threads) attributes work to this frame.
+                        let prev = obs::set_current_trace(ctx);
+                        let outcomes = fleet.push_batch(entries);
+                        obs::set_current_trace(prev);
+                        let reply_start = Instant::now();
+                        let ok = write_frame(&mut stream, &encode_batch_reply(&outcomes)).is_ok();
+                        obs::trace_child(&ctx, "reply_write", reply_start, reply_start.elapsed());
+                        obs::trace_root(&ctx, "ingest_frame", frame_start, frame_start.elapsed());
+                        if !ok {
+                            return;
+                        }
+                    }
+                    None => {
+                        OBS_ERR_MALFORMED.inc();
+                        obs::trace_instant(&ctx, "malformed_frame");
+                        let _ = write_frame(
+                            &mut stream,
+                            &error_payload(ERR_MALFORMED, "malformed BATCH body"),
+                        );
                         return;
                     }
                 }
-                None => {
-                    let _ = write_frame(
-                        &mut stream,
-                        &error_payload(ERR_MALFORMED, "malformed BATCH body"),
-                    );
-                    return;
-                }
-            },
+            }
             _ => {
+                OBS_ERR_UNSUPPORTED.inc();
                 let _ = write_frame(
                     &mut stream,
                     &error_payload(ERR_UNSUPPORTED, "unknown frame type"),

@@ -968,6 +968,9 @@ impl FilterBank {
             slot.step(z);
         });
         let elapsed = start.elapsed();
+        // Reuses the timing already taken for the batch histogram; with
+        // sampling off (or `obs` off) this is a no-op.
+        obs::trace_child(&obs::current_trace(), "bank_step", start, elapsed);
         for p in &scope.panics {
             let slot = &mut self.slots[targets[p.index].0];
             if slot.status.is_active() {

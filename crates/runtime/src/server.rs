@@ -310,6 +310,7 @@ fn handle_connection(
                 obs::prometheus(),
             ),
             "/metrics.json" => (200, "application/json", obs::json_snapshot()),
+            "/trace" => (200, "application/json", obs::trace_json()),
             "/sessions" => (200, "application/json", board.sessions_json()),
             "/fleet" => match board.fleet_json() {
                 Some(body) => (200, "application/json", body),
@@ -386,6 +387,11 @@ mod tests {
         let (code, body) = get(addr, "/metrics.json");
         assert_eq!(code, 200);
         obs::validate::validate_json(&body).expect("metrics.json must be valid JSON");
+        // /trace serves a Perfetto-loadable document in every build: empty
+        // but well-formed with `obs` off or nothing sampled yet.
+        let (code, body) = get(addr, "/trace");
+        assert_eq!(code, 200);
+        obs::validate::validate_trace(&body).expect("/trace must serve a loadable trace");
         let (code, body) = get(addr, "/healthz");
         assert_eq!(code, 200);
         assert!(body.contains("\"status\":\"ok\""), "body: {body}");

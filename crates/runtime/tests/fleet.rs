@@ -246,9 +246,41 @@ fn shed_is_an_explicit_wire_status_while_other_shards_serve() {
     assert_eq!(fleet.queue_depths()[0], 1);
 
     let mut client = IngestClient::connect(server.addr()).unwrap();
+    // Sample every frame so the shed frame's root span records alongside
+    // its terminal shed instant (instants record regardless of sampling).
+    if kalmmind_obs::is_enabled() {
+        kalmmind_obs::set_trace_sampling(1);
+    }
     let outcomes = client
         .push(&[(stalled, z.as_slice()), (healthy, z.as_slice())])
         .unwrap();
+    if kalmmind_obs::is_enabled() {
+        kalmmind_obs::set_trace_sampling(0);
+        // The shed is attributable end to end: the terminal shed instant
+        // carries the same trace id as the frame's root span, recorded on
+        // a different thread than the healthy shard's phase spans.
+        let events = kalmmind_obs::trace_events();
+        let shed = events
+            .iter()
+            .find(|e| e.label == "shed")
+            .expect("shed frame must leave a terminal shed event");
+        assert_ne!(shed.trace, 0);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.label == "ingest_frame" && e.parent == 0 && e.trace == shed.trace),
+            "no root span shares the shed event's trace id: {events:?}"
+        );
+        // The healthy entry's phases attribute to the same frame.
+        for phase in ["queue_wait", "dispatch", "step", "reply_write"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.label == phase && e.trace == shed.trace),
+                "missing {phase} span for the shed frame's trace: {events:?}"
+            );
+        }
+    }
     assert_eq!(
         outcomes[0].status,
         EntryStatus::Shed,

@@ -65,9 +65,35 @@ fn assert_still_serving(rig: &Rig) {
     assert!(rig.server.is_running());
 }
 
+/// Current value of `ingest_errors_total{kind="<kind>"}`, read back through
+/// the Prometheus exporter (the counters are private to the listener).
+/// Always 0 with `obs` off — gate assertions on `kalmmind_obs::is_enabled()`.
+fn err_kind_count(kind: &str) -> u64 {
+    let needle = format!("ingest_errors_total{{kind=\"{kind}\"}} ");
+    kalmmind_obs::prometheus()
+        .lines()
+        .find_map(|l| l.strip_prefix(needle.as_str()))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Polls until `err_kind_count(kind)` reaches `at_least` (the handler
+/// threads observe faults asynchronously), panicking after 5 s.
+fn await_err_kind(kind: &str, at_least: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while err_kind_count(kind) < at_least {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ingest_errors_total{{kind=\"{kind}\"}} never reached {at_least}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 #[test]
 fn oversize_length_prefix_gets_error_and_close() {
     let rig = rig(1);
+    let before = err_kind_count("oversize");
     let mut stream = TcpStream::connect(rig.server.addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -84,12 +110,16 @@ fn oversize_length_prefix_gets_error_and_close() {
     let mut rest = Vec::new();
     stream.read_to_end(&mut rest).unwrap();
     assert!(rest.is_empty());
+    if kalmmind_obs::is_enabled() {
+        await_err_kind("oversize", before + 1);
+    }
     assert_still_serving(&rig);
 }
 
 #[test]
 fn malformed_batch_body_gets_error_code_1() {
     let rig = rig(1);
+    let before = err_kind_count("malformed");
     let mut stream = TcpStream::connect(rig.server.addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -105,12 +135,16 @@ fn malformed_batch_body_gets_error_code_1() {
     let reply = read_reply(&mut stream).expect("an ERROR frame");
     assert_eq!(reply[1], 0x7F);
     assert_eq!(u16::from_le_bytes([reply[2], reply[3]]), 1);
+    if kalmmind_obs::is_enabled() {
+        await_err_kind("malformed", before + 1);
+    }
     assert_still_serving(&rig);
 }
 
 #[test]
 fn unknown_type_and_version_get_error_code_3() {
     let rig = rig(1);
+    let before = err_kind_count("unsupported");
     for payload in [vec![1u8, 0x55], vec![9u8, 0x01]] {
         let mut stream = TcpStream::connect(rig.server.addr()).unwrap();
         stream
@@ -124,12 +158,17 @@ fn unknown_type_and_version_get_error_code_3() {
         assert_eq!(reply[1], 0x7F, "payload {payload:?}");
         assert_eq!(u16::from_le_bytes([reply[2], reply[3]]), 3);
     }
+    // One unknown-type and one bad-version rejection, both kind=unsupported.
+    if kalmmind_obs::is_enabled() {
+        await_err_kind("unsupported", before + 2);
+    }
     assert_still_serving(&rig);
 }
 
 #[test]
 fn mid_frame_disconnect_does_not_kill_the_service() {
     let rig = rig(1);
+    let before = err_kind_count("truncated");
     for cut in [1usize, 3, 4, 5, 9] {
         // A frame announcing 100 payload bytes, cut off after `cut` bytes
         // of the whole exchange, then an abrupt close.
@@ -143,6 +182,11 @@ fn mid_frame_disconnect_does_not_kill_the_service() {
     }
     // Give handlers a beat to observe the disconnects.
     std::thread::sleep(Duration::from_millis(50));
+    // Every cut lands mid-frame (after at least the first header byte), so
+    // each connection is counted as kind=truncated.
+    if kalmmind_obs::is_enabled() {
+        await_err_kind("truncated", before + 5);
+    }
     assert_still_serving(&rig);
 }
 
@@ -221,6 +265,50 @@ fn client_surfaces_server_errors_as_typed_results() {
     // here we at least prove the error type formats usefully.
     let err = IngestError::Server(2, "length prefix exceeds MAX_FRAME_BYTES".into());
     assert!(format!("{err}").contains("error 2"));
+}
+
+#[test]
+fn connection_limit_answers_busy() {
+    let rig = rig(1);
+    let before = err_kind_count("busy");
+    // Saturate the handler pool: 64 live connections, each proven attached
+    // to a handler thread by a PING round trip.
+    let mut held: Vec<IngestClient> = (0..64)
+        .map(|_| IngestClient::connect(rig.server.addr()).unwrap())
+        .collect();
+    for client in &mut held {
+        client.ping().unwrap();
+    }
+    // The 65th connection is rejected at accept time with ERROR code 4.
+    let mut extra = TcpStream::connect(rig.server.addr()).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let reply = read_reply(&mut extra).expect("an ERROR frame");
+    assert_eq!(reply[1], 0x7F, "{reply:?}");
+    assert_eq!(u16::from_le_bytes([reply[2], reply[3]]), 4);
+    if kalmmind_obs::is_enabled() {
+        await_err_kind("busy", before + 1);
+    }
+    drop(held);
+    // The accept loop reaps finished handlers lazily, so retry until a
+    // slot frees up rather than racing the reap.
+    let z = [0.1, 1.0, 1.1];
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut client = IngestClient::connect(rig.server.addr()).unwrap();
+        match client.push(&[(rig.ids[0], &z)]) {
+            Ok(outcomes) => {
+                assert_eq!(outcomes[0].status, EntryStatus::Ok, "{outcomes:?}");
+                break;
+            }
+            Err(IngestError::Server(4, _)) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("server did not recover after the held connections closed: {e}"),
+        }
+    }
+    assert!(rig.server.is_running());
 }
 
 #[test]
