@@ -267,6 +267,15 @@ fn main() {
         snapshot_summary.iteration
     );
 
+    // The 2-state/3-channel bench model is in `MONO_SHAPES`: every probe
+    // session must seat inline in the typed pool, never the boxed overflow
+    // tier. Exported so bench-smoke can assert the slab fast path from JSON.
+    let census = probe_bank.store_census();
+    assert_eq!(
+        census.overflow, 0,
+        "bench sessions must seat in the typed mono pools"
+    );
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
@@ -317,6 +326,11 @@ fn main() {
     let _ = writeln!(json, "    \"scalar\": \"{}\",", snapshot_summary.scalar);
     let _ = writeln!(json, "    \"iteration\": {},", snapshot_summary.iteration);
     let _ = writeln!(json, "    \"replay_bit_exact\": {replay_bit_exact}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"store\": {{");
+    let _ = writeln!(json, "    \"mono\": {},", census.mono());
+    let _ = writeln!(json, "    \"overflow\": {},", census.overflow);
+    let _ = writeln!(json, "    \"slots\": {}", census.slots);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"metrics\": {}", kalmmind_obs::json_snapshot());

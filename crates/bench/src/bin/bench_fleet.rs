@@ -13,26 +13,104 @@
 //! CI bench guard); the JSON then carries `"quick": true` so quick numbers
 //! are never compared against full-fidelity baselines. Quick mode still
 //! seats the full 100k sessions — it only trims the number of passes.
+//! `KALMMIND_BENCH_SESSIONS` overrides the fleet size: the nightly soak
+//! sets it to 1_000_000 for the million-session profile (sweep passes
+//! scale down so total work stays roughly constant).
+//!
+//! Beyond latency/throughput, the bench measures **storage**: a
+//! byte-tracking global allocator yields heap bytes per seated session
+//! (and the same figure for a boxed-dyn control group, the pre-slab
+//! layout), `/proc/self/status` yields peak RSS, and the per-shard store
+//! census proves the homogeneous fleet seated in the typed mono pools.
+//! All of it lands in the JSON's `memory` and `store` blocks, baselined
+//! under `ci/bench-baselines/` and gated by `scripts/bench_guard`.
 //!
 //! On any entry failure the bench dumps the offending sessions'
 //! flight-recorder rings to `FLIGHT_fleet_session<id>.json` and exits 1,
 //! so the nightly soak can upload them as artifacts.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use kalmmind::gain::InverseGain;
 use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
-use kalmmind::{KalmanFilter, KalmanModel, KalmanState};
+use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState, SessionBackend};
 use kalmmind_linalg::Matrix;
-use kalmmind_runtime::{EntryStatus, Fleet, FleetConfig, IngestClient, IngestServer};
+use kalmmind_runtime::{EntryStatus, Fleet, FleetConfig, IngestClient, IngestServer, StoreCensus};
 
 /// Environment variable selecting the fast low-fidelity mode.
 const QUICK_ENV: &str = "KALMMIND_BENCH_QUICK";
 
-/// Concurrent sessions — the acceptance floor is 100k even in quick mode.
-const SESSIONS: usize = 100_000;
+/// Environment variable overriding the session count (the nightly soak
+/// sets it to 1_000_000 for the million-session profile).
+const SESSIONS_ENV: &str = "KALMMIND_BENCH_SESSIONS";
+
+/// Default concurrent sessions — the acceptance floor even in quick mode.
+const DEFAULT_SESSIONS: usize = 100_000;
+
+/// Byte-tracking allocator: the storage-cost instrument. `LIVE` follows
+/// every alloc/dealloc/realloc (requested sizes, all threads), so the
+/// delta across the seating loop divided by the session count is the true
+/// heap bytes each resident session costs — arenas, index pages, boxes,
+/// slack and all. Relaxed ordering: the measurement points are
+/// single-threaded quiesce points; per-op counting only needs atomicity.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn track_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= layout.size() {
+            track_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak resident set (VmHWM) from `/proc/self/status`, in bytes. `None`
+/// off Linux or when the file is unreadable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn session_count() -> usize {
+    std::env::var(SESSIONS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SESSIONS)
+}
 
 /// Sessions per wire frame. 250 entries × (8 id + 4 len + 24 payload)
 /// bytes ≈ 9 KiB per request frame: large enough to amortize syscalls,
@@ -125,8 +203,29 @@ fn bail_with_flight_dumps(fleet: &Fleet, failed: &[(u64, EntryStatus)]) -> ! {
 
 fn main() {
     let quick = quick_mode();
-    let passes = if quick { 2 } else { 20 };
+    let sessions = session_count();
+    // Scale work to the fleet size so the million-session profile sweeps
+    // fewer times instead of 10x longer: ~4M total steps either way.
+    let passes = if quick {
+        2
+    } else {
+        (4_000_000 / sessions.max(1)).clamp(2, 20)
+    };
     let shards = 4usize;
+
+    // Boxed-baseline control: what each session cost under the
+    // pre-slab storage, where every session — monomorphized or not — was
+    // a `Box<dyn SessionBackend>` in a slot vector. Measured live, on a
+    // sample, so the comparison tracks the current session layout instead
+    // of a stale hardcoded constant.
+    let control_n = 10_000.min(sessions);
+    let control_before = live_bytes();
+    let control: Vec<Box<dyn SessionBackend>> = (0..control_n)
+        .map(|_| Box::new(FilterSession::new(small_filter())) as Box<dyn SessionBackend>)
+        .collect();
+    let boxed_bytes_per_session =
+        live_bytes().saturating_sub(control_before) as f64 / control_n as f64;
+    drop(control);
 
     let config = FleetConfig {
         shards,
@@ -134,20 +233,51 @@ fn main() {
         threads_per_shard: 1,
     };
     println!(
-        "seating {SESSIONS} sessions on {shards} shards \
+        "seating {sessions} sessions on {shards} shards \
          (queue capacity {}, {} thread/shard)...",
         config.queue_capacity, config.threads_per_shard
     );
-    let seat_start = Instant::now();
     let fleet = Fleet::start(config);
-    let ids: Vec<u64> = (0..SESSIONS)
+    let seat_start = Instant::now();
+    let live_before_seating = live_bytes();
+    let ids: Vec<u64> = (0..sessions)
         .map(|_| fleet.add_filter(small_filter()))
         .collect();
     let seat_s = seat_start.elapsed().as_secs_f64();
-    assert_eq!(fleet.session_count(), SESSIONS);
+    let bytes_per_session =
+        live_bytes().saturating_sub(live_before_seating) as f64 / sessions as f64;
+    assert_eq!(fleet.session_count(), sessions);
     println!(
         "seated in {seat_s:.2}s ({:.0} sessions/s)",
-        SESSIONS as f64 / seat_s
+        sessions as f64 / seat_s
+    );
+
+    // Where did everyone land? A homogeneous 2x3 fleet must seat entirely
+    // in the typed mono pools; sessions leaking into the boxed overflow
+    // pool is exactly the storage regression this bench exists to catch.
+    let mut census = StoreCensus::default();
+    for shard in 0..shards {
+        let c = fleet.with_bank(shard, |bank| bank.store_census());
+        census.mono_2x3 += c.mono_2x3;
+        census.mono_6x46 += c.mono_6x46;
+        census.mono_6x52 += c.mono_6x52;
+        census.mono_6x164 += c.mono_6x164;
+        census.overflow += c.overflow;
+        census.slots += c.slots;
+    }
+    assert_eq!(
+        census.mono(),
+        sessions,
+        "homogeneous mono fleet must seat inline (overflow: {})",
+        census.overflow
+    );
+    let reduction = boxed_bytes_per_session / bytes_per_session.max(1.0);
+    println!(
+        "storage: {bytes_per_session:.0} B/session pooled vs {boxed_bytes_per_session:.0} \
+         B/session boxed ({reduction:.2}x reduction); {} mono / {} overflow / {} slots",
+        census.mono(),
+        census.overflow,
+        census.slots
     );
 
     let server = IngestServer::serve(Arc::clone(&fleet), "127.0.0.1:0").expect("bind ingest");
@@ -217,7 +347,7 @@ fn main() {
 
     println!();
     println!(
-        "fleet ingest, {SESSIONS} sessions, {} frames total:",
+        "fleet ingest, {sessions} sessions, {} frames total:",
         latencies_us.len()
     );
     println!("  frame latency p50:  {p50:>10.1} us");
@@ -270,8 +400,21 @@ fn main() {
             let _ = kalmmind_obs::take_spans();
 
             // Trace ids are allocated from a monotone counter, so the
-            // probe just pushed owns the highest-id root in the sink.
-            let events = kalmmind_obs::trace_events();
+            // probe just pushed owns the highest-id root in the sink. The
+            // server records that root *after* writing the reply the
+            // client just read, so give the ingest thread a bounded
+            // moment to land it before declaring it missing.
+            let deadline = Instant::now() + std::time::Duration::from_millis(500);
+            let events = loop {
+                let events = kalmmind_obs::trace_events();
+                let rooted = events
+                    .iter()
+                    .any(|e| e.label == "ingest_frame" && e.parent == 0);
+                if rooted || Instant::now() >= deadline {
+                    break events;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            };
             let root = events
                 .iter()
                 .filter(|e| e.label == "ingest_frame" && e.parent == 0)
@@ -326,7 +469,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"model\": \"2-state/3-channel motor\",");
-    let _ = writeln!(json, "  \"sessions\": {SESSIONS},");
+    let _ = writeln!(json, "  \"sessions\": {sessions},");
     let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"frame_sessions\": {FRAME_SESSIONS},");
     let _ = writeln!(json, "  \"passes\": {passes},");
@@ -342,6 +485,30 @@ fn main() {
     let _ = writeln!(json, "  \"ingest\": {{");
     let _ = writeln!(json, "    \"admitted\": {admitted},");
     let _ = writeln!(json, "    \"shed\": {shed}");
+    let _ = writeln!(json, "  }},");
+    let peak_tracked = PEAK.load(Ordering::Relaxed);
+    let _ = writeln!(json, "  \"memory\": {{");
+    let _ = writeln!(json, "    \"bytes_per_session\": {bytes_per_session:.1},");
+    let _ = writeln!(
+        json,
+        "    \"boxed_bytes_per_session\": {boxed_bytes_per_session:.1},"
+    );
+    let _ = writeln!(json, "    \"reduction\": {reduction:.3},");
+    let _ = writeln!(json, "    \"peak_tracked_bytes\": {peak_tracked},");
+    match peak_rss_bytes() {
+        Some(rss) => {
+            let _ = writeln!(json, "    \"peak_rss_bytes\": {rss}");
+        }
+        None => {
+            let _ = writeln!(json, "    \"peak_rss_bytes\": null");
+        }
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"store\": {{");
+    let _ = writeln!(json, "    \"mono\": {},", census.mono());
+    let _ = writeln!(json, "    \"mono_2x3\": {},", census.mono_2x3);
+    let _ = writeln!(json, "    \"overflow\": {},", census.overflow);
+    let _ = writeln!(json, "    \"slots\": {}", census.slots);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"per_shard\": [");
     for (i, s) in summaries.iter().enumerate() {

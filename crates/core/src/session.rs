@@ -211,13 +211,19 @@ impl SessionHealth {
 ///
 /// Object safe by construction: every method is callable on
 /// `Box<dyn SessionBackend>`, and the `Send` supertrait lets a bank of
-/// boxed sessions dispatch onto the worker pool. Implementations:
+/// boxed sessions dispatch onto the worker pool. The `Any` supertrait is
+/// the storage hook: the runtime's session store upcasts a boxed backend
+/// to `dyn Any` and downcasts the known monomorphized `f64` sessions into
+/// typed arena pools, so inline storage needs no new trait method and
+/// every other implementation keeps working boxed. (`Any`'s `'static`
+/// bound is vacuous here — erased sessions are always owned.)
+/// Implementations:
 ///
 /// * [`FilterSession`] — any `KalmanFilter<T, G>` (software datapath, any
 ///   [`Scalar`] including the Q-format fixed-point types);
 /// * `AccelSession` in `kalmmind-accel` — wraps the accelerator simulator
 ///   so a cycle/energy-accounted session banks alongside software ones.
-pub trait SessionBackend: Send + fmt::Debug {
+pub trait SessionBackend: Send + fmt::Debug + std::any::Any {
     /// `(x_dim, z_dim)` of the wrapped model.
     fn dims(&self) -> (usize, usize);
 

@@ -23,11 +23,27 @@
 //! stays off the hot path, exactly like the allocations the dynamic strategy
 //! makes there.
 //!
+//! **Core/scratch split.** A session is two parts: [`SmallSessionCore`], the
+//! state that must persist between steps (model, state, schedule registers,
+//! seed history, health), and [`SmallStepScratch`], the workspace a step
+//! writes before it reads. The split is what makes arena storage pay: a
+//! fleet seating 10⁵–10⁶ homogeneous sessions stores one compact core per
+//! session inline and shares a handful of scratches (one per worker thread),
+//! instead of carrying ~9 boxed `z × z` work matrices per session. Because
+//! every scratch field is (re)written by the step before any read, which
+//! scratch instance a step uses cannot affect the result — the bits depend
+//! only on the core. [`SmallFilterSession`] packages a core with its own
+//! private scratch for standalone use; the four `f64` × [`MONO_SHAPES`]
+//! cores also implement [`SessionBackend`] directly, stepping through a
+//! per-thread shared scratch.
+//!
 //! [`try_small_session`] is the shape dispatch: it accepts any fresh
 //! `KalmanFilter` whose gain reports an [`InterleavedSpec`] and whose
 //! dimensions match one of [`MONO_SHAPES`], and returns the original filter
 //! otherwise so the caller can fall back to the erased dynamic path. The
 //! runtime's `FilterBank::insert_filter` routes through it automatically.
+
+use std::cell::RefCell;
 
 use kalmmind_linalg::small::{self, SmallMatrix, SmallVector};
 use kalmmind_linalg::Scalar;
@@ -63,15 +79,16 @@ fn store_small<T: Scalar, const N: usize>(
     }
 }
 
-/// A [`SessionBackend`] whose model dimensions are const generics.
+/// The persistent half of a monomorphized session: everything whose value
+/// must survive from one step to the next.
 ///
-/// Everything the dynamic `FilterSession` splits across `KalmanFilter`,
-/// `StepWorkspace`, and `InterleavedInverse` lives here in one struct: the
-/// model and state in stack arrays (`x × x` and smaller), the `z`-sized
-/// buffers boxed (a `164 × 164` f64 matrix is ~215 KiB), and the interleaved
-/// schedule flattened into its four registers. Built via
-/// [`try_small_session`]; reports `backend_name() == "software-mono"`.
-pub struct SmallFilterSession<T: Scalar, const X: usize, const Z: usize> {
+/// Model (`F`, `Q` inline; `H`, `R` boxed since they scale with `Z`), state,
+/// iteration counter, the interleaved schedule registers, the boxed seed
+/// history, and the session's health bundle. This is the *whole* per-session
+/// working set — for the `(2, 3)` `f64` bench shape it is a few hundred
+/// bytes — which is why the runtime's typed pools store cores inline and
+/// amortize one [`SmallStepScratch`] per worker thread across the fleet.
+pub struct SmallSessionCore<T: Scalar, const X: usize, const Z: usize> {
     // Model (F, Q inline; H, R boxed since they scale with Z).
     f: SmallMatrix<T, X, X>,
     q: SmallMatrix<T, X, X>,
@@ -91,8 +108,30 @@ pub struct SmallFilterSession<T: Scalar, const X: usize, const Z: usize> {
     last_calculated: Option<Box<SmallMatrix<T, Z, Z>>>,
     previous: Option<Box<SmallMatrix<T, Z, Z>>>,
     last_path: InversePath,
-    s_filled: bool,
-    // Workspace: x-sized buffers inline, z × z scratch boxed.
+    health: SessionHealth,
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> std::fmt::Debug for SmallSessionCore<T, X, Z> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmallSessionCore")
+            .field("x_dim", &X)
+            .field("z_dim", &Z)
+            .field("iteration", &self.iteration)
+            .field("strategy", &self.strategy)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The transient half of a monomorphized step: every buffer the kernel
+/// writes before it reads.
+///
+/// `x`-sized buffers live inline; the `z × z` work matrices are boxed (a
+/// `164 × 164` f64 matrix is ~215 KiB). A scratch carries **no information
+/// across steps** — each [`SmallSessionCore::step_with`] call overwrites
+/// every field it reads — so one scratch may be shared sequentially between
+/// any number of sessions of the same shape without affecting a single bit
+/// of any trajectory.
+pub struct SmallStepScratch<T: Scalar, const X: usize, const Z: usize> {
     z_buf: SmallVector<T, Z>,
     x_pred: SmallVector<T, X>,
     fp: SmallMatrix<T, X, X>,
@@ -112,23 +151,57 @@ pub struct SmallFilterSession<T: Scalar, const X: usize, const Z: usize> {
     seed: Box<SmallMatrix<T, Z, Z>>,
     scratch: Box<SmallMatrix<T, Z, Z>>,
     tmp: Box<SmallMatrix<T, Z, Z>>,
-    health: SessionHealth,
+    /// `true` once the step's gain phase has filled `s`/`s_inv` — read by
+    /// the diagnostics probe of the same step, never across steps.
+    s_filled: bool,
 }
 
-impl<T: Scalar, const X: usize, const Z: usize> std::fmt::Debug for SmallFilterSession<T, X, Z> {
+impl<T: Scalar, const X: usize, const Z: usize> SmallStepScratch<T, X, Z> {
+    /// A zeroed scratch, ready for any session of this shape.
+    pub fn new() -> Self {
+        Self {
+            z_buf: SmallVector::zeros(),
+            x_pred: SmallVector::zeros(),
+            fp: SmallMatrix::zeros(),
+            ft: SmallMatrix::zeros(),
+            p_pred: SmallMatrix::zeros(),
+            hx: SmallVector::zeros(),
+            y: SmallVector::zeros(),
+            ky: SmallVector::zeros(),
+            kh: SmallMatrix::zeros(),
+            p_new: SmallMatrix::zeros(),
+            k: SmallMatrix::boxed_zeros(),
+            ht: SmallMatrix::boxed_zeros(),
+            hp: SmallMatrix::boxed_zeros(),
+            pht: SmallMatrix::boxed_zeros(),
+            s: SmallMatrix::boxed_zeros(),
+            s_inv: SmallMatrix::boxed_zeros(),
+            seed: SmallMatrix::boxed_zeros(),
+            scratch: SmallMatrix::boxed_zeros(),
+            tmp: SmallMatrix::boxed_zeros(),
+            s_filled: false,
+        }
+    }
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> Default for SmallStepScratch<T, X, Z> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> std::fmt::Debug for SmallStepScratch<T, X, Z> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SmallFilterSession")
+        f.debug_struct("SmallStepScratch")
             .field("x_dim", &X)
             .field("z_dim", &Z)
-            .field("iteration", &self.iteration)
-            .field("strategy", &self.strategy)
             .finish_non_exhaustive()
     }
 }
 
-impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
-    /// Builds a monomorphized session from a dynamic model, an initial state,
-    /// and an interleaved schedule.
+impl<T: Scalar, const X: usize, const Z: usize> SmallSessionCore<T, X, Z> {
+    /// Builds a monomorphized session core from a dynamic model, an initial
+    /// state, and an interleaved schedule.
     ///
     /// # Errors
     ///
@@ -166,31 +239,11 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
             last_calculated: None,
             previous: None,
             last_path: InversePath::Unknown,
-            s_filled: false,
-            z_buf: SmallVector::zeros(),
-            x_pred: SmallVector::zeros(),
-            fp: SmallMatrix::zeros(),
-            ft: SmallMatrix::zeros(),
-            p_pred: SmallMatrix::zeros(),
-            hx: SmallVector::zeros(),
-            y: SmallVector::zeros(),
-            ky: SmallVector::zeros(),
-            kh: SmallMatrix::zeros(),
-            p_new: SmallMatrix::zeros(),
-            k: SmallMatrix::boxed_zeros(),
-            ht: SmallMatrix::boxed_zeros(),
-            hp: SmallMatrix::boxed_zeros(),
-            pht: SmallMatrix::boxed_zeros(),
-            s: SmallMatrix::boxed_zeros(),
-            s_inv: SmallMatrix::boxed_zeros(),
-            seed: SmallMatrix::boxed_zeros(),
-            scratch: SmallMatrix::boxed_zeros(),
-            tmp: SmallMatrix::boxed_zeros(),
             health: SessionHealth::new(Z),
         })
     }
 
-    /// Rebuilds a monomorphized session mid-trajectory from a snapshot:
+    /// Rebuilds a monomorphized core mid-trajectory from a snapshot:
     /// [`Self::from_parts`] followed by restoring the iteration counter,
     /// the boxed seed-history matrices, and the health bundle. The dynamic
     /// restore path keeps the same state in an [`InterleavedInverse`], so
@@ -203,20 +256,20 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
             calc_freq: gain.calc_freq,
             policy: gain.policy,
         };
-        let mut session = Self::from_parts(&model, &state, spec)?;
-        session.iteration = snap.iteration;
+        let mut core = Self::from_parts(&model, &state, spec)?;
+        core.iteration = snap.iteration;
         if let Some(m) = &gain.last_calculated {
             let mut hist = SmallMatrix::boxed_zeros();
             hist.copy_from_matrix(m)?;
-            session.last_calculated = Some(hist);
+            core.last_calculated = Some(hist);
         }
         if let Some(m) = &gain.previous {
             let mut hist = SmallMatrix::boxed_zeros();
             hist.copy_from_matrix(m)?;
-            session.previous = Some(hist);
+            core.previous = Some(hist);
         }
-        session.health = crate::snapshot::rebuild_health(snap);
-        Ok(session)
+        core.health = crate::snapshot::rebuild_health(snap);
+        Ok(core)
     }
 
     /// Captures the session as a scalar-erased [`SessionSnapshot`]. The
@@ -265,57 +318,55 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
     /// way, so the result is bit-identical to the dynamic strategy's — and
     /// it only runs on scheduled calc iterations or after a Newton failure,
     /// never on the approximation hot path.
-    fn invert_calc(&mut self, path: InversePath) -> Result<()> {
-        let inv = self.calc.invert(&self.s.to_matrix())?;
+    fn invert_calc(&mut self, ws: &mut SmallStepScratch<T, X, Z>, path: InversePath) -> Result<()> {
+        let inv = self.calc.invert(&ws.s.to_matrix())?;
         match path {
             InversePath::Fallback => note_path_fallback(),
             _ => note_path_calc(),
         }
         self.last_path = path;
-        self.s_inv
-            .copy_from_matrix(&inv)
-            .map_err(KalmanError::from)?;
-        store_small(&mut self.last_calculated, &self.s_inv);
+        ws.s_inv.copy_from_matrix(&inv).map_err(KalmanError::from)?;
+        store_small(&mut self.last_calculated, &ws.s_inv);
         Ok(())
     }
 
     /// The interleaved `S⁻¹` schedule — `InterleavedInverse::invert_into`
     /// transcribed onto const-generic buffers, same paths, same counters,
     /// same fallback policy.
-    fn invert_interleaved(&mut self) -> Result<()> {
+    fn invert_interleaved(&mut self, ws: &mut SmallStepScratch<T, X, Z>) -> Result<()> {
         if InterleavedInverse::<T>::is_calc_iteration(self.calc_freq, self.iteration) {
-            self.invert_calc(InversePath::Calc)?;
+            self.invert_calc(ws, InversePath::Calc)?;
         } else {
             let chosen = match self.policy {
                 SeedPolicy::LastCalculated => self.last_calculated.as_deref(),
                 SeedPolicy::PreviousIteration => self.previous.as_deref(),
             };
             match chosen {
-                Some(history) => self.seed.copy_from(history),
+                Some(history) => ws.seed.copy_from(history),
                 // No usable history (approximation-first schedule): the
                 // certified safe seed, exactly like the dynamic cold start.
-                None => self
-                    .s
-                    .safe_seed_into(&mut self.seed)
-                    .map_err(KalmanError::from)?,
+                None => {
+                    let seed = &mut ws.seed;
+                    ws.s.safe_seed_into(seed).map_err(KalmanError::from)?;
+                }
             }
             note_path_approx(self.approx);
             self.last_path = InversePath::Approx;
             small::newton_schulz_into(
-                &self.s,
-                &self.seed,
+                &ws.s,
+                &ws.seed,
                 self.approx,
-                &mut self.scratch,
-                &mut self.tmp,
-                &mut self.s_inv,
+                &mut ws.scratch,
+                &mut ws.tmp,
+                &mut ws.s_inv,
             );
-            if !self.s_inv.all_finite() {
+            if !ws.s_inv.all_finite() {
                 // Same recovery as the dynamic strategy: recompute exactly
                 // rather than poisoning the seed history with NaN/∞.
-                self.invert_calc(InversePath::Fallback)?;
+                self.invert_calc(ws, InversePath::Fallback)?;
             }
         }
-        store_small(&mut self.previous, &self.s_inv);
+        store_small(&mut self.previous, &ws.s_inv);
         Ok(())
     }
 
@@ -324,13 +375,13 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
     /// diagnostics, no health accounting, just the kernel with its phase
     /// timers. `bench_smallmatrix` uses this for the like-for-like
     /// comparison against the dynamic workspace step; the monitored
-    /// [`SessionBackend::step`] path is what banks run.
+    /// [`SmallSessionCore::step_with`] path is what banks run.
     ///
     /// # Errors
     ///
     /// [`KalmanError::BadVector`] when `z.len() != Z`, plus whatever the
     /// exact-inversion leg can produce (singular `S`).
-    pub fn step_raw(&mut self, z: &[f64]) -> Result<()> {
+    pub fn step_raw(&mut self, z: &[f64], ws: &mut SmallStepScratch<T, X, Z>) -> Result<()> {
         if z.len() != Z {
             return Err(KalmanError::BadVector {
                 expected: Z,
@@ -338,64 +389,65 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
                 what: "session measurement",
             });
         }
-        for (dst, &src) in self.z_buf.as_mut_slice().iter_mut().zip(z) {
+        for (dst, &src) in ws.z_buf.as_mut_slice().iter_mut().zip(z) {
             *dst = T::from_f64(src);
         }
-        self.step_kernel()
+        self.step_kernel(ws)
     }
 
-    /// One KF iteration on the measurement already converted into `z_buf` —
-    /// `KalmanFilter::step_with` + `InverseGain::gain_into` transcribed onto
-    /// const-generic buffers, feeding the same phase timers and counters.
-    fn step_kernel(&mut self) -> Result<()> {
+    /// One KF iteration on the measurement already converted into
+    /// `ws.z_buf` — `KalmanFilter::step_with` + `InverseGain::gain_into`
+    /// transcribed onto const-generic buffers, feeding the same phase
+    /// timers and counters.
+    fn step_kernel(&mut self, ws: &mut SmallStepScratch<T, X, Z>) -> Result<()> {
         // --- Predict (measurement-independent) ---
         {
             let _t = crate::filter::OBS_PREDICT.start_timer();
-            self.f.mul_vector_into(&self.x, &mut self.x_pred);
-            self.f.mul_into(&self.p, &mut self.fp);
-            self.f.transpose_into(&mut self.ft);
-            self.fp.mul_into(&self.ft, &mut self.p_pred);
-            self.p_pred.add_assign(&self.q);
-            self.p_pred.symmetrize();
+            self.f.mul_vector_into(&self.x, &mut ws.x_pred);
+            self.f.mul_into(&self.p, &mut ws.fp);
+            self.f.transpose_into(&mut ws.ft);
+            ws.fp.mul_into(&ws.ft, &mut ws.p_pred);
+            ws.p_pred.add_assign(&self.q);
+            ws.p_pred.symmetrize();
         }
 
         // --- Compute K (measurement-independent: the reorganized module) ---
         {
             let _t = crate::filter::OBS_GAIN.start_timer();
-            self.h.mul_into(&self.p_pred, &mut self.hp);
-            self.h.transpose_into(&mut self.ht);
-            self.hp.mul_into(&self.ht, &mut self.s);
-            self.s.add_assign(&self.r);
-            self.s_filled = false;
-            self.invert_interleaved()?;
-            self.s_filled = true;
-            self.p_pred.mul_into(&self.ht, &mut self.pht);
-            self.pht.mul_into(&self.s_inv, &mut self.k);
+            self.h.mul_into(&ws.p_pred, &mut ws.hp);
+            self.h.transpose_into(&mut ws.ht);
+            ws.hp.mul_into(&ws.ht, &mut ws.s);
+            ws.s.add_assign(&self.r);
+            ws.s_filled = false;
+            self.invert_interleaved(ws)?;
+            ws.s_filled = true;
+            ws.p_pred.mul_into(&ws.ht, &mut ws.pht);
+            ws.pht.mul_into(&ws.s_inv, &mut ws.k);
         }
 
         // --- Update (needs the measurement) ---
         {
             let _t = crate::filter::OBS_UPDATE.start_timer();
-            self.h.mul_vector_into(&self.x_pred, &mut self.hx);
-            self.y.copy_from(&self.z_buf);
-            self.y.sub_assign(&self.hx); // innovation
-            self.k.mul_vector_into(&self.y, &mut self.ky);
-            self.x_pred.add_assign(&self.ky); // x_pred now holds x_new
-            self.k.mul_into(&self.h, &mut self.kh);
+            self.h.mul_vector_into(&ws.x_pred, &mut ws.hx);
+            ws.y.copy_from(&ws.z_buf);
+            ws.y.sub_assign(&ws.hx); // innovation
+            ws.k.mul_vector_into(&ws.y, &mut ws.ky);
+            ws.x_pred.add_assign(&ws.ky); // x_pred now holds x_new
+            ws.k.mul_into(&self.h, &mut ws.kh);
             // kh <- I − K·H, the same element order as the dynamic kernel.
             for i in 0..X {
                 for j in 0..X {
-                    let v = self.kh[(i, j)];
-                    self.kh[(i, j)] = if i == j { T::ONE - v } else { T::ZERO - v };
+                    let v = ws.kh[(i, j)];
+                    ws.kh[(i, j)] = if i == j { T::ONE - v } else { T::ZERO - v };
                 }
             }
-            self.kh.mul_into(&self.p_pred, &mut self.p_new);
-            self.p_new.symmetrize();
+            ws.kh.mul_into(&ws.p_pred, &mut ws.p_new);
+            ws.p_new.symmetrize();
         }
 
         // Double-buffer swap, by copy.
-        self.x.copy_from(&self.x_pred);
-        self.p.copy_from(&self.p_new);
+        self.x.copy_from(&ws.x_pred);
+        self.p.copy_from(&ws.p_new);
         self.iteration += 1;
         crate::filter::OBS_STEPS.inc();
         Ok(())
@@ -403,32 +455,34 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
 
     /// Read-only `f64` probe of the buffers the step just filled —
     /// [`StepDiagnostics::from_step`] transcribed onto const-generic buffers,
-    /// identical formulas and accumulation orders.
-    fn diagnostics(&self, iteration: usize) -> StepDiagnostics {
+    /// identical formulas and accumulation orders. Reads only same-step data
+    /// (`ws.y`, `ws.s`, `ws.s_inv`, and the freshly copied state), so a
+    /// shared scratch probes exactly like a private one.
+    fn diagnostics(&self, ws: &SmallStepScratch<T, X, Z>, iteration: usize) -> StepDiagnostics {
         let mut innovation_sq = 0.0f64;
         for i in 0..Z {
-            let v = self.y[i].to_f64();
+            let v = ws.y[i].to_f64();
             innovation_sq += v * v;
         }
         let innovation_norm = innovation_sq.sqrt();
 
         let path = self.last_path;
-        let (nis, cond_s, newton_residual) = if self.s_filled {
+        let (nis, cond_s, newton_residual) = if ws.s_filled {
             let mut nis = 0.0f64;
             for i in 0..Z {
-                let yi = self.y[i].to_f64();
+                let yi = ws.y[i].to_f64();
                 for j in 0..Z {
-                    nis += yi * self.s_inv[(i, j)].to_f64() * self.y[j].to_f64();
+                    nis += yi * ws.s_inv[(i, j)].to_f64() * ws.y[j].to_f64();
                 }
             }
-            let cond = self.s.inf_norm() * self.s_inv.inf_norm();
+            let cond = ws.s.inf_norm() * ws.s_inv.inf_norm();
             let residual = if path == InversePath::Approx {
                 let mut acc = 0.0f64;
                 for i in 0..Z {
                     for j in 0..Z {
                         let mut dot = 0.0f64;
                         for k in 0..Z {
-                            dot += self.s[(i, k)].to_f64() * self.s_inv[(k, j)].to_f64();
+                            dot += ws.s[(i, k)].to_f64() * ws.s_inv[(k, j)].to_f64();
                         }
                         let d = dot - if i == j { 1.0 } else { 0.0 };
                         acc += d * d;
@@ -471,30 +525,20 @@ impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
             state_finite: self.x.all_finite() && self.p.all_finite(),
         }
     }
-}
 
-impl<T: Scalar, const X: usize, const Z: usize> SessionBackend for SmallFilterSession<T, X, Z> {
-    fn dims(&self) -> (usize, usize) {
-        (X, Z)
-    }
-
-    fn scalar_name(&self) -> &'static str {
-        T::NAME
-    }
-
-    fn backend_name(&self) -> &'static str {
-        "software-mono"
-    }
-
-    fn strategy_name(&self) -> &'static str {
-        self.strategy
-    }
-
-    fn iteration(&self) -> usize {
-        self.iteration
-    }
-
-    fn step(&mut self, z: &[f64]) -> Result<StepOutcome> {
+    /// One monitored KF iteration through a caller-supplied scratch — the
+    /// [`SessionBackend::step`] contract (measurement conversion, health
+    /// feeding, Diverged latching) factored out so a bank-owned core and a
+    /// standalone [`SmallFilterSession`] run the identical code path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionBackend::step`].
+    pub fn step_with(
+        &mut self,
+        z: &[f64],
+        ws: &mut SmallStepScratch<T, X, Z>,
+    ) -> Result<StepOutcome> {
         if z.len() != Z {
             return Err(KalmanError::BadVector {
                 expected: Z,
@@ -502,16 +546,16 @@ impl<T: Scalar, const X: usize, const Z: usize> SessionBackend for SmallFilterSe
                 what: "session measurement",
             });
         }
-        for (dst, &src) in self.z_buf.as_mut_slice().iter_mut().zip(z) {
+        for (dst, &src) in ws.z_buf.as_mut_slice().iter_mut().zip(z) {
             *dst = T::from_f64(src);
         }
         let iteration = self.iteration;
-        match self.step_kernel() {
+        match self.step_kernel(ws) {
             Ok(()) => {
                 let finite = self.x.all_finite() && self.p.all_finite();
                 if obs::is_enabled() {
                     // Read-only probe, same policy as the dynamic session.
-                    let diag = self.diagnostics(iteration);
+                    let diag = self.diagnostics(ws, iteration);
                     let steps_total = self.iteration as u64;
                     self.health.observe(&diag, self.strategy, steps_total);
                 }
@@ -533,20 +577,215 @@ impl<T: Scalar, const X: usize, const Z: usize> SessionBackend for SmallFilterSe
         }
     }
 
-    fn state(&self) -> KalmanState<f64> {
+    /// Current state estimate, cast to `f64` at the boundary.
+    pub fn state_f64(&self) -> KalmanState<f64> {
         KalmanState::new(self.x.to_vector().cast(), self.p.to_matrix().cast())
     }
 
-    fn health(&self) -> &SessionHealth {
+    /// Completed KF iterations.
+    pub fn iterations(&self) -> usize {
+        self.iteration
+    }
+
+    /// Name of the interleaved gain schedule (stamped into flight dumps).
+    pub fn strategy_label(&self) -> &'static str {
+        self.strategy
+    }
+
+    /// The session's health bundle.
+    pub fn health_ref(&self) -> &SessionHealth {
         &self.health
     }
 
-    fn health_mut(&mut self) -> &mut SessionHealth {
+    /// Mutable health bundle (the bank labels flight dumps through this).
+    pub fn health_ref_mut(&mut self) -> &mut SessionHealth {
         &mut self.health
     }
 
+    /// Serializes the session as a `kalmmind.session_snapshot.v1` document.
+    pub fn snapshot_json(&self) -> String {
+        self.capture().to_json()
+    }
+}
+
+/// Per-thread shared scratches for the `f64` × [`MONO_SHAPES`] cores that
+/// implement [`SessionBackend`] directly. A `thread_local!` inside a generic
+/// function would be one static shared across *all* instantiations, so each
+/// shape gets its own named static; allocation happens once per (thread,
+/// shape) and the steady-state step path stays allocation-free.
+macro_rules! mono_core_backend {
+    ($x:literal, $z:literal, $tl:ident) => {
+        thread_local! {
+            static $tl: RefCell<Option<Box<SmallStepScratch<f64, $x, $z>>>> =
+                const { RefCell::new(None) };
+        }
+
+        impl SessionBackend for SmallSessionCore<f64, $x, $z> {
+            fn dims(&self) -> (usize, usize) {
+                ($x, $z)
+            }
+
+            fn scalar_name(&self) -> &'static str {
+                f64::NAME
+            }
+
+            fn backend_name(&self) -> &'static str {
+                "software-mono"
+            }
+
+            fn strategy_name(&self) -> &'static str {
+                self.strategy
+            }
+
+            fn iteration(&self) -> usize {
+                self.iteration
+            }
+
+            fn step(&mut self, z: &[f64]) -> Result<StepOutcome> {
+                $tl.with(|slot| {
+                    let mut slot = slot.borrow_mut();
+                    let ws = slot.get_or_insert_with(|| Box::new(SmallStepScratch::new()));
+                    self.step_with(z, ws)
+                })
+            }
+
+            fn state(&self) -> KalmanState<f64> {
+                self.state_f64()
+            }
+
+            fn health(&self) -> &SessionHealth {
+                &self.health
+            }
+
+            fn health_mut(&mut self) -> &mut SessionHealth {
+                &mut self.health
+            }
+
+            fn snapshot(&self) -> Result<String> {
+                Ok(self.capture().to_json())
+            }
+        }
+    };
+}
+
+mono_core_backend!(2, 3, SCRATCH_F64_2X3);
+mono_core_backend!(6, 46, SCRATCH_F64_6X46);
+mono_core_backend!(6, 52, SCRATCH_F64_6X52);
+mono_core_backend!(6, 164, SCRATCH_F64_6X164);
+
+/// A [`SessionBackend`] whose model dimensions are const generics: a
+/// [`SmallSessionCore`] bundled with its own private [`SmallStepScratch`].
+///
+/// Built via [`try_small_session`]; reports
+/// `backend_name() == "software-mono"`. The runtime's typed pools unbundle
+/// it — [`SmallFilterSession::into_core`] on seating,
+/// [`SmallFilterSession::from_core`] on removal — which changes where the
+/// scratch lives but not one bit of the trajectory.
+pub struct SmallFilterSession<T: Scalar, const X: usize, const Z: usize> {
+    core: SmallSessionCore<T, X, Z>,
+    ws: SmallStepScratch<T, X, Z>,
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> std::fmt::Debug for SmallFilterSession<T, X, Z> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmallFilterSession")
+            .field("x_dim", &X)
+            .field("z_dim", &Z)
+            .field("iteration", &self.core.iteration)
+            .field("strategy", &self.core.strategy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> SmallFilterSession<T, X, Z> {
+    /// Builds a monomorphized session from a dynamic model, an initial state,
+    /// and an interleaved schedule.
+    ///
+    /// # Errors
+    ///
+    /// Dimension errors when the model or state does not match `X`/`Z`.
+    pub fn from_parts(
+        model: &KalmanModel<T>,
+        state: &KalmanState<T>,
+        spec: InterleavedSpec,
+    ) -> Result<Self> {
+        Ok(Self::from_core(SmallSessionCore::from_parts(
+            model, state, spec,
+        )?))
+    }
+
+    /// Rebuilds a monomorphized session mid-trajectory from a snapshot.
+    pub(crate) fn restore_from_snapshot(snap: &SessionSnapshot) -> Result<Self> {
+        Ok(Self::from_core(SmallSessionCore::restore_from_snapshot(
+            snap,
+        )?))
+    }
+
+    /// Wraps a bare core with a fresh private scratch (the removal path out
+    /// of a typed pool).
+    pub fn from_core(core: SmallSessionCore<T, X, Z>) -> Self {
+        Self {
+            core,
+            ws: SmallStepScratch::new(),
+        }
+    }
+
+    /// Unbundles the persistent core, discarding the private scratch (the
+    /// seating path into a typed pool).
+    pub fn into_core(self) -> SmallSessionCore<T, X, Z> {
+        self.core
+    }
+
+    /// One unmonitored KF iteration (see [`SmallSessionCore::step_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::BadVector`] when `z.len() != Z`, plus whatever the
+    /// exact-inversion leg can produce (singular `S`).
+    pub fn step_raw(&mut self, z: &[f64]) -> Result<()> {
+        self.core.step_raw(z, &mut self.ws)
+    }
+}
+
+impl<T: Scalar, const X: usize, const Z: usize> SessionBackend for SmallFilterSession<T, X, Z> {
+    fn dims(&self) -> (usize, usize) {
+        (X, Z)
+    }
+
+    fn scalar_name(&self) -> &'static str {
+        T::NAME
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "software-mono"
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        self.core.strategy
+    }
+
+    fn iteration(&self) -> usize {
+        self.core.iteration
+    }
+
+    fn step(&mut self, z: &[f64]) -> Result<StepOutcome> {
+        self.core.step_with(z, &mut self.ws)
+    }
+
+    fn state(&self) -> KalmanState<f64> {
+        self.core.state_f64()
+    }
+
+    fn health(&self) -> &SessionHealth {
+        &self.core.health
+    }
+
+    fn health_mut(&mut self) -> &mut SessionHealth {
+        &mut self.core.health
+    }
+
     fn snapshot(&self) -> Result<String> {
-        Ok(self.capture().to_json())
+        Ok(self.core.capture().to_json())
     }
 }
 
@@ -692,6 +931,83 @@ mod tests {
         assert_eq!(mono.dims(), (2, 3));
         assert_eq!(mono.scalar_name(), "f64");
         assert_eq!(mono.strategy_name(), "gauss/newton");
+    }
+
+    #[test]
+    fn cores_sharing_one_scratch_match_private_scratch_sessions() {
+        // Two cores stepped through ONE shared scratch must produce exactly
+        // the bits two self-contained sessions produce — the property that
+        // makes the runtime's per-thread shared scratches safe.
+        let spec = InterleavedSpec {
+            calc: CalcMethod::Gauss,
+            approx: 2,
+            calc_freq: 4,
+            policy: SeedPolicy::LastCalculated,
+        };
+        let m = model();
+        let s0 = KalmanState::zeroed(2);
+        let mut core_a = SmallSessionCore::<f64, 2, 3>::from_parts(&m, &s0, spec).unwrap();
+        let mut core_b = SmallSessionCore::<f64, 2, 3>::from_parts(&m, &s0, spec).unwrap();
+        let mut sess_a = SmallFilterSession::<f64, 2, 3>::from_parts(&m, &s0, spec).unwrap();
+        let mut sess_b = SmallFilterSession::<f64, 2, 3>::from_parts(&m, &s0, spec).unwrap();
+        let mut shared = SmallStepScratch::new();
+        for t in 0..32 {
+            // Diverging inputs so a cross-session scratch leak would show.
+            let za = measurement(t);
+            let zb = measurement(t + 7);
+            core_a.step_with(&za, &mut shared).unwrap();
+            core_b.step_with(&zb, &mut shared).unwrap();
+            sess_a.step(&za).unwrap();
+            sess_b.step(&zb).unwrap();
+        }
+        let pairs = [
+            (core_a.state_f64(), sess_a.state()),
+            (core_b.state_f64(), sess_b.state()),
+        ];
+        for (cs, ss) in &pairs {
+            for i in 0..2 {
+                assert_eq!(cs.x()[i].to_bits(), ss.x()[i].to_bits());
+                for j in 0..2 {
+                    assert_eq!(cs.p()[(i, j)].to_bits(), ss.p()[(i, j)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_round_trip_through_session_preserves_trajectory() {
+        // into_core / from_core (the pool seat/remove path) must not touch
+        // the trajectory: step, unbundle, rebundle, keep stepping — same
+        // bits as a session never taken apart.
+        let mut whole = try_small_session(interleaved_filter()).unwrap();
+        let mut parted = SmallFilterSession::<f64, 2, 3>::from_parts(
+            &model(),
+            &KalmanState::zeroed(2),
+            InterleavedSpec {
+                calc: CalcMethod::Gauss,
+                approx: 2,
+                calc_freq: 4,
+                policy: SeedPolicy::LastCalculated,
+            },
+        )
+        .unwrap();
+        for t in 0..10 {
+            whole.step(&measurement(t)).unwrap();
+            parted.step(&measurement(t)).unwrap();
+        }
+        let mut parted = SmallFilterSession::from_core(parted.into_core());
+        for t in 10..20 {
+            whole.step(&measurement(t)).unwrap();
+            parted.step(&measurement(t)).unwrap();
+        }
+        let (ws, ps) = (whole.state(), parted.state());
+        for i in 0..2 {
+            assert_eq!(ws.x()[i].to_bits(), ps.x()[i].to_bits());
+            for j in 0..2 {
+                assert_eq!(ws.p()[(i, j)].to_bits(), ps.p()[(i, j)].to_bits());
+            }
+        }
+        assert_eq!(parted.iteration(), 20);
     }
 
     #[test]

@@ -421,6 +421,35 @@ impl WorkerPool {
         if len == 0 {
             return ScopeReport::empty();
         }
+        if self.senders.is_empty() {
+            // Single-threaded pool: no workers to fan out to, so skip the
+            // shared-task machinery entirely. Same per-item panic isolation
+            // and the same counters as the fan-out path, but allocation-free
+            // in the no-panic case — which lets a `WorkerPool::new(1)` bank
+            // run fully alloc-free batches.
+            OBS_ACTIVE_DISPATCHES.inc();
+            let mut panics = Vec::new();
+            for i in 0..len {
+                if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    panics.push(TaskPanic {
+                        index: i,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+            self.dispatches.fetch_add(1, Ordering::Relaxed);
+            self.items.fetch_add(len as u64, Ordering::Relaxed);
+            OBS_ACTIVE_DISPATCHES.dec();
+            OBS_DISPATCHES.inc();
+            OBS_ITEMS_INLINE.add(len as u64);
+            OBS_ITEM_PANICS.add(panics.len() as u64);
+            return ScopeReport {
+                items: len,
+                worker_items: 0,
+                inline_items: len as u64,
+                panics,
+            };
+        }
         OBS_ACTIVE_DISPATCHES.inc();
         // SAFETY: lifetime erasure only — layout is unchanged. The erased
         // reference is never dereferenced after this function returns (see

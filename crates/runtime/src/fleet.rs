@@ -911,21 +911,31 @@ impl StatusSource for Fleet {
         (if bad_ids.is_empty() { 200 } else { 503 }, body)
     }
 
-    fn sessions_json(&self) -> String {
+    fn sessions_json(&self, page: crate::server::SessionsPage) -> String {
         // A fleet inventory lists per-shard counts, not 100k+ session
-        // rows; drill into one shard's bank for the full listing.
+        // rows; drill into one shard's bank for the full listing. The
+        // page window applies to the shard rows (a fleet can legitimately
+        // run thousands of shards), while `total` stays the fleet-wide
+        // session count.
         let mut total = 0usize;
-        let mut lines = Vec::with_capacity(self.shards.len());
+        let mut lines = Vec::with_capacity(self.shards.len().min(page.limit));
         for (i, shard) in self.shards.iter().enumerate() {
             let bank = shard.bank.lock().unwrap_or_else(|e| e.into_inner());
             total += bank.len();
-            lines.push(format!(
-                "{{\"shard\":{i},\"sessions\":{},\"active\":{}}}",
-                bank.len(),
-                bank.active_count()
-            ));
+            if i >= page.offset && lines.len() < page.limit {
+                lines.push(format!(
+                    "{{\"shard\":{i},\"sessions\":{},\"active\":{}}}",
+                    bank.len(),
+                    bank.active_count()
+                ));
+            }
         }
-        format!("{{\"total\":{total},\"shards\":[{}]}}", lines.join(","))
+        format!(
+            "{{\"total\":{total},\"shards\":[{}],\"offset\":{},\"limit\":{}}}",
+            lines.join(","),
+            page.offset,
+            page.limit
+        )
     }
 
     fn fleet_json(&self) -> Option<String> {
@@ -1207,9 +1217,20 @@ mod tests {
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         obs::validate::validate_json(&body).unwrap();
 
-        let inventory = fleet.sessions_json();
+        let inventory = fleet.sessions_json(crate::server::SessionsPage::default());
         obs::validate::validate_json(&inventory).unwrap();
         assert!(inventory.contains("\"total\":6"), "{inventory}");
+        assert!(inventory.contains("\"offset\":0"), "{inventory}");
+
+        // Shard-row pagination: a one-row window starting at shard 1.
+        let second = fleet.sessions_json(crate::server::SessionsPage {
+            offset: 1,
+            limit: 1,
+        });
+        obs::validate::validate_json(&second).unwrap();
+        assert!(second.contains("\"shard\":1"), "{second}");
+        assert!(!second.contains("\"shard\":0"), "{second}");
+        assert!(second.contains("\"total\":6"), "{second}");
 
         let rollup = fleet.fleet_json().expect("fleet always has a roll-up");
         obs::validate::validate_json(&rollup).unwrap();

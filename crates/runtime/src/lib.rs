@@ -63,6 +63,7 @@ pub mod net;
 
 mod fleet;
 mod ingest;
+mod store;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -86,7 +87,10 @@ mod tape;
 pub use fleet::{BatchOutcome, BatchTicket, EntryStatus, Fleet, FleetConfig, ShardSummary};
 pub use ingest::{IngestClient, IngestError, IngestServer, MAX_FRAME_BYTES};
 pub use server::{MetricsServer, SessionHealthSnapshot};
+pub use store::StoreCensus;
 pub use tape::MeasurementTape;
+
+use store::{Handle, SessionStore, SlotMeta};
 
 // Bank-level observability (no-ops unless `obs` is enabled).
 static OBS_BATCHES: obs::LazyCounter = obs::LazyCounter::new(
@@ -271,84 +275,78 @@ pub struct EvictedSession {
 pub type SessionRestorer =
     Box<dyn Fn(&SessionSnapshot) -> Result<Box<dyn SessionBackend>, KalmanError> + Send + Sync>;
 
-/// One erased backend plus the bank-side bookkeeping around it.
-struct Slot {
-    id: SessionId,
-    backend: Box<dyn SessionBackend>,
-    status: SessionStatus,
-    steps_ok: usize,
+/// Steps one seated session once, demoting it to `Failed` on any error or
+/// on a non-finite state. The backend feeds its own health monitor and
+/// dumps its own flight recorder; the slot meta only keeps status
+/// bookkeeping and bank-level counters. A failed session is left untouched.
+fn step_slot(meta: &mut SlotMeta, backend: &mut dyn SessionBackend, z: &[f64]) {
+    if !meta.status.is_active() {
+        return;
+    }
+    let iteration = backend.iteration();
+    match backend.step(z) {
+        Ok(StepOutcome::Ok) => {
+            meta.steps_ok += 1;
+            note_step_labels(backend.backend_name(), backend.scalar_name());
+        }
+        Ok(StepOutcome::NonFinite) => {
+            OBS_FAIL_DIVERGED.inc();
+            meta.status = SessionStatus::Failed {
+                iteration,
+                reason: NON_FINITE_REASON.to_string(),
+            };
+        }
+        Err(err) => {
+            OBS_FAIL_ERROR.inc();
+            meta.status = SessionStatus::Failed {
+                iteration,
+                reason: err.to_string(),
+            };
+        }
+    }
 }
 
-impl fmt::Debug for Slot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Slot")
-            .field("id", &self.id)
-            .field("backend", &self.backend.backend_name())
-            .field("scalar", &self.backend.scalar_name())
-            .field("status", &self.status)
-            .field("steps_ok", &self.steps_ok)
-            .finish()
+/// Snapshot for the `/healthz` board: a Failed session reports `failed`,
+/// otherwise the backend monitor's current status.
+fn slot_health_snapshot(meta: &SlotMeta, backend: &dyn SessionBackend) -> SessionHealthSnapshot {
+    let health = backend.health();
+    let (status, reason) = match &meta.status {
+        SessionStatus::Failed { reason, .. } => ("failed".to_string(), reason.clone()),
+        SessionStatus::Active => (
+            health.status().as_str().to_string(),
+            health.reason().to_string(),
+        ),
+    };
+    SessionHealthSnapshot {
+        id: meta.id,
+        status,
+        backend: backend.backend_name().to_string(),
+        scalar: backend.scalar_name().to_string(),
+        strategy: backend.strategy_name().to_string(),
+        steps_ok: meta.steps_ok,
+        reason,
     }
 }
 
-impl Slot {
-    /// Steps once, demoting the session to `Failed` on any error or on a
-    /// non-finite state. The backend feeds its own health monitor and dumps
-    /// its own flight recorder; the slot only keeps status bookkeeping and
-    /// bank-level counters. A failed session is left untouched.
-    fn step(&mut self, z: &[f64]) {
-        if !self.status.is_active() {
-            return;
-        }
-        let iteration = self.backend.iteration();
-        match self.backend.step(z) {
-            Ok(StepOutcome::Ok) => {
-                self.steps_ok += 1;
-                note_step_labels(self.backend.backend_name(), self.backend.scalar_name());
-            }
-            Ok(StepOutcome::NonFinite) => {
-                OBS_FAIL_DIVERGED.inc();
-                self.status = SessionStatus::Failed {
-                    iteration,
-                    reason: NON_FINITE_REASON.to_string(),
-                };
-            }
-            Err(err) => {
-                OBS_FAIL_ERROR.inc();
-                self.status = SessionStatus::Failed {
-                    iteration,
-                    reason: err.to_string(),
-                };
-            }
-        }
-    }
+/// `true` when the session should be removed under
+/// [`EvictionPolicy::EvictOnDiverge`].
+fn slot_condemned(meta: &SlotMeta, backend: &dyn SessionBackend) -> bool {
+    !meta.status.is_active() || backend.health().status() == HealthStatus::Diverged
+}
 
-    /// Snapshot for the `/healthz` board: a Failed session reports
-    /// `failed`, otherwise the backend monitor's current status.
-    fn health_snapshot(&self) -> SessionHealthSnapshot {
-        let health = self.backend.health();
-        let (status, reason) = match &self.status {
-            SessionStatus::Failed { reason, .. } => ("failed".to_string(), reason.clone()),
-            SessionStatus::Active => (
-                health.status().as_str().to_string(),
-                health.reason().to_string(),
-            ),
-        };
-        SessionHealthSnapshot {
-            id: self.id.as_u64(),
-            status,
-            backend: self.backend.backend_name().to_string(),
-            scalar: self.backend.scalar_name().to_string(),
-            strategy: self.backend.strategy_name().to_string(),
-            steps_ok: self.steps_ok,
+/// Marks a panicking session Failed after the dispatch (panics are caught
+/// per item by the pool and reported, never propagated).
+fn park_panicked(meta: &mut SlotMeta, backend: &mut dyn SessionBackend, message: &str) {
+    if meta.status.is_active() {
+        OBS_FAIL_PANIC.inc();
+        let reason = format!("panicked: {message}");
+        let strategy = backend.strategy_name();
+        let steps_total = backend.iteration() as u64;
+        backend.health_mut().fail(&reason, strategy, steps_total);
+        meta.status = SessionStatus::Failed {
+            iteration: backend.iteration(),
             reason,
-        }
-    }
-
-    /// `true` when the slot should be removed under
-    /// [`EvictionPolicy::EvictOnDiverge`].
-    fn condemned(&self) -> bool {
-        !self.status.is_active() || self.backend.health().status() == HealthStatus::Diverged
+        };
     }
 }
 
@@ -450,14 +448,27 @@ impl BankReport {
 /// The indirection cost is one virtual call per session step — negligible
 /// next to the matrix work behind it (the homogeneous-`f64` path is proved
 /// bit-identical to the concrete filter in this crate's golden-bit tests).
+///
+/// **Storage.** Sessions live in a generational-slab [`store::SessionStore`]:
+/// monomorphized `f64` sessions are stored *inline* in typed arena pools
+/// (one per [`kalmmind::small::MONO_SHAPES`] shape, stepping through
+/// per-thread shared scratch buffers), every other backend stays boxed in
+/// an overflow pool, and ids resolve through an O(1) paged direct-map
+/// index — no side `HashMap`, no index rebuild on removal. See
+/// [`FilterBank::store_census`] for where the current population sits.
 pub struct FilterBank {
-    slots: Vec<Slot>,
-    /// `SessionId.0 → slot index`; kept consistent across `swap_remove`s.
-    index: HashMap<u64, usize>,
+    store: SessionStore,
     next_id: u64,
     pool: Arc<WorkerPool>,
     policy: EvictionPolicy,
     evicted: Vec<EvictedSession>,
+    /// Routing epoch: pre-incremented per routed batch; a slot whose mark
+    /// equals the current epoch is already claimed by this batch
+    /// (duplicate detection without a per-batch set).
+    epoch: u64,
+    /// Reused routing work list (handles in batch order) — persistent so
+    /// steady-state `step_batch` allocates nothing.
+    route_buf: Vec<Handle>,
     /// Health board shared with a running [`MetricsServer`], if
     /// [`FilterBank::serve_on`] was called. Republished after every batch.
     board: Option<Arc<server::HealthBoard>>,
@@ -470,7 +481,7 @@ pub struct FilterBank {
 impl fmt::Debug for FilterBank {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FilterBank")
-            .field("slots", &self.slots)
+            .field("store", &self.store)
             .field("next_id", &self.next_id)
             .field("policy", &self.policy)
             .field("evicted", &self.evicted.len())
@@ -499,12 +510,13 @@ impl FilterBank {
     /// touching the global instance.
     pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
         Self {
-            slots: Vec::new(),
-            index: HashMap::new(),
+            store: SessionStore::new(),
             next_id: 0,
             pool,
             policy: EvictionPolicy::Keep,
             evicted: Vec::new(),
+            epoch: 0,
+            route_buf: Vec::new(),
             board: None,
             restorers: HashMap::new(),
             tape: None,
@@ -527,18 +539,14 @@ impl FilterBank {
     }
 
     /// Inserts an erased session, returning its stable id. The bank labels
-    /// the session's flight dumps with that id.
+    /// the session's flight dumps with that id. Monomorphized `f64`
+    /// sessions are seated inline in their typed pool; everything else
+    /// stays boxed in the overflow pool.
     pub fn insert(&mut self, mut backend: Box<dyn SessionBackend>) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += 1;
         backend.health_mut().set_label(id.0);
-        self.index.insert(id.0, self.slots.len());
-        self.slots.push(Slot {
-            id,
-            backend,
-            status: SessionStatus::Active,
-            steps_ok: 0,
-        });
+        self.store.seat(id.0, backend);
         id
     }
 
@@ -559,21 +567,15 @@ impl FilterBank {
         id: u64,
         mut backend: Box<dyn SessionBackend>,
     ) -> Result<SessionId, KalmanError> {
-        if self.index.contains_key(&id) {
+        if self.store.lookup(id).is_some() {
             return Err(KalmanError::BadSession {
                 id,
                 reason: "id is already present in the bank",
             });
         }
-        self.next_id = self.next_id.max(id + 1);
+        self.next_id = self.next_id.max(id.saturating_add(1));
         backend.health_mut().set_label(id);
-        self.index.insert(id, self.slots.len());
-        self.slots.push(Slot {
-            id: SessionId(id),
-            backend,
-            status: SessionStatus::Active,
-            steps_ok: 0,
-        });
+        self.store.seat(id, backend);
         Ok(SessionId(id))
     }
 
@@ -596,84 +598,93 @@ impl FilterBank {
     }
 
     /// Removes the session `id`, returning its backend (with final state,
-    /// health, and telemetry intact). `None` if the bank does not hold
-    /// `id`. Other sessions keep their ids.
+    /// health, and telemetry intact — an inline mono session is re-boxed
+    /// on the way out). `None` if the bank does not hold `id`. Other
+    /// sessions keep their ids; the vacated slot is recycled with a new
+    /// generation, so nothing is moved and no index is rebuilt.
     pub fn remove(&mut self, id: SessionId) -> Option<Box<dyn SessionBackend>> {
-        let i = self.index.get(&id.0).copied()?;
-        Some(self.remove_at(i).backend)
+        self.store.remove(id.0)
     }
 
-    /// Removes every session, returning `(id, backend)` pairs in insertion
-    /// order of their slots.
+    /// Removes every session, returning `(id, backend)` pairs in pool-scan
+    /// order (typed pools first, then overflow, each in slot order).
     pub fn drain(&mut self) -> Vec<(SessionId, Box<dyn SessionBackend>)> {
-        self.index.clear();
-        self.slots
-            .drain(..)
-            .map(|slot| (slot.id, slot.backend))
+        self.store
+            .drain()
+            .into_iter()
+            .map(|(id, backend)| (SessionId(id), backend))
             .collect()
-    }
-
-    /// Removes slot `i`, keeping the id index consistent.
-    fn remove_at(&mut self, i: usize) -> Slot {
-        let slot = self.slots.swap_remove(i);
-        self.index.remove(&slot.id.0);
-        if let Some(moved) = self.slots.get(i) {
-            self.index.insert(moved.id.0, i);
-        }
-        slot
     }
 
     /// Ids of all sessions currently in the bank, in ascending id order.
     pub fn ids(&self) -> Vec<SessionId> {
-        let mut ids: Vec<_> = self.slots.iter().map(|s| s.id).collect();
+        let mut ids = Vec::with_capacity(self.store.len());
+        self.store.for_each(|meta, _| ids.push(SessionId(meta.id)));
         ids.sort_unstable();
         ids
     }
 
     /// `true` while the bank holds session `id`.
     pub fn contains(&self, id: SessionId) -> bool {
-        self.index.contains_key(&id.0)
+        self.store.lookup(id.0).is_some()
     }
 
     /// Number of sessions.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.store.len()
     }
 
     /// `true` when the bank has no sessions.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.store.len() == 0
     }
 
     /// Number of sessions still active.
     pub fn active_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.status.is_active()).count()
+        let mut active = 0;
+        self.store.for_each(|meta, _| {
+            if meta.status.is_active() {
+                active += 1;
+            }
+        });
+        active
     }
 
-    fn slot(&self, id: SessionId) -> Option<&Slot> {
-        self.index.get(&id.0).map(|&i| &self.slots[i])
+    /// Where the bank's sessions are stored, by pool: inline typed mono
+    /// arenas vs the boxed overflow pool. Benches and CI assert through
+    /// this that homogeneous mono fleets actually take the inline path.
+    pub fn store_census(&self) -> StoreCensus {
+        self.store.census()
+    }
+
+    fn seat_ref(&self, id: SessionId) -> Option<(&SlotMeta, &dyn SessionBackend)> {
+        let handle = self.store.lookup(id.0)?;
+        let meta = self.store.meta(handle)?;
+        let backend = self.store.backend(handle)?;
+        Some((meta, backend))
     }
 
     /// Erased view of session `id`'s backend (state, dims, telemetry, …).
     pub fn backend(&self, id: SessionId) -> Option<&dyn SessionBackend> {
-        self.slot(id).map(|s| &*s.backend)
+        let handle = self.store.lookup(id.0)?;
+        self.store.backend(handle)
     }
 
     /// Status of session `id`, or `None` if the bank does not hold it.
     pub fn status(&self, id: SessionId) -> Option<&SessionStatus> {
-        self.slot(id).map(|s| &s.status)
+        self.seat_ref(id).map(|(meta, _)| &meta.status)
     }
 
     /// Current state of session `id`, cast to `f64` at the boundary
     /// (bit-exact for `f64` sessions; frozen as of the failing step for a
     /// failed session).
     pub fn state(&self, id: SessionId) -> Option<KalmanState<f64>> {
-        self.slot(id).map(|s| s.backend.state())
+        self.seat_ref(id).map(|(_, backend)| backend.state())
     }
 
     /// Successful step count of session `id`.
     pub fn steps_ok(&self, id: SessionId) -> Option<usize> {
-        self.slot(id).map(|s| s.steps_ok)
+        self.seat_ref(id).map(|(meta, _)| meta.steps_ok)
     }
 
     /// Numerical-health status of session `id` as assessed by its backend's
@@ -681,13 +692,15 @@ impl FilterBank {
     /// [`HealthStatus::Healthy`] when the `obs` feature is disabled (the
     /// monitor is never fed).
     pub fn health(&self, id: SessionId) -> Option<HealthStatus> {
-        self.slot(id).map(|s| s.backend.health().status())
+        self.seat_ref(id)
+            .map(|(_, backend)| backend.health().status())
     }
 
     /// Human-readable reason for session `id`'s current non-healthy status
     /// (empty while healthy).
     pub fn health_reason(&self, id: SessionId) -> Option<&str> {
-        self.slot(id).map(|s| s.backend.health().reason())
+        self.seat_ref(id)
+            .map(|(_, backend)| backend.health().reason())
     }
 
     /// The most recent flight-recorder JSON dump for session `id`, emitted
@@ -695,25 +708,25 @@ impl FilterBank {
     /// the session has stayed healthy (and always `None` without `obs`) —
     /// and `None` when the bank does not hold `id`.
     pub fn flight_record(&self, id: SessionId) -> Option<&str> {
-        self.slot(id)
-            .and_then(|s| s.backend.health().flight_record())
+        self.seat_ref(id)
+            .and_then(|(_, backend)| backend.health().flight_record())
     }
 
     /// The backend label of session `id` (`"software"`, `"software-mono"`,
     /// `"accel-sim"`).
     pub fn backend_name(&self, id: SessionId) -> Option<&'static str> {
-        self.slot(id).map(|s| s.backend.backend_name())
+        self.seat_ref(id).map(|(_, backend)| backend.backend_name())
     }
 
     /// The element-type label of session `id` (`"f64"`, `"q16.16"`, …).
     pub fn scalar_name(&self, id: SessionId) -> Option<&'static str> {
-        self.slot(id).map(|s| s.backend.scalar_name())
+        self.seat_ref(id).map(|(_, backend)| backend.scalar_name())
     }
 
     /// Modeled cost totals of session `id` (all zero for software
     /// sessions).
     pub fn telemetry(&self, id: SessionId) -> Option<SessionTelemetry> {
-        self.slot(id).map(|s| s.backend.telemetry())
+        self.seat_ref(id).map(|(_, backend)| backend.telemetry())
     }
 
     /// Records of sessions removed by [`EvictionPolicy::EvictOnDiverge`]
@@ -737,22 +750,20 @@ impl FilterBank {
     /// [`KalmanError::BadSnapshot`] when the backend does not support
     /// snapshots (non-interleaved gain strategies).
     pub fn snapshot_session(&self, id: SessionId) -> Result<String, KalmanError> {
-        let slot = self.slot(id).ok_or(KalmanError::BadSession {
+        let (_, backend) = self.seat_ref(id).ok_or(KalmanError::BadSession {
             id: id.0,
             reason: "unknown session id",
         })?;
-        slot.backend.snapshot()
+        backend.snapshot()
     }
 
     /// Captures every session, in ascending id order. Sessions whose backend
     /// cannot snapshot carry the error instead of a document, so a fleet
     /// checkpoint reports exactly which sessions were left behind.
     pub fn snapshot_all(&self) -> Vec<(SessionId, Result<String, KalmanError>)> {
-        let mut all: Vec<_> = self
-            .slots
-            .iter()
-            .map(|s| (s.id, s.backend.snapshot()))
-            .collect();
+        let mut all = Vec::with_capacity(self.store.len());
+        self.store
+            .for_each(|meta, backend| all.push((SessionId(meta.id), backend.snapshot())));
         all.sort_unstable_by_key(|(id, _)| *id);
         all
     }
@@ -792,7 +803,7 @@ impl FilterBank {
     /// documents or backends nobody can restore.
     pub fn restore_session(&mut self, json: &str) -> Result<SessionId, KalmanError> {
         let snap = SessionSnapshot::from_json(json)?;
-        if self.index.contains_key(&snap.label) {
+        if self.store.lookup(snap.label).is_some() {
             return Err(KalmanError::BadSession {
                 id: snap.label,
                 reason: "snapshot id is already present in the bank",
@@ -804,15 +815,12 @@ impl FilterBank {
         };
         let id = SessionId(snap.label);
         backend.health_mut().set_label(id.0);
-        self.next_id = self.next_id.max(id.0 + 1);
-        self.index.insert(id.0, self.slots.len());
+        self.next_id = self.next_id.max(id.0.saturating_add(1));
         let steps_ok = backend.iteration();
-        self.slots.push(Slot {
-            id,
-            backend,
-            status: SessionStatus::Active,
-            steps_ok,
-        });
+        let handle = self.store.seat(id.0, backend);
+        if let Some(meta) = self.store.meta_mut(handle) {
+            meta.steps_ok = steps_ok;
+        }
         Ok(id)
     }
 
@@ -835,7 +843,11 @@ impl FilterBank {
     /// `true` when any session is health-Diverged or parked as Failed —
     /// the same predicate `/healthz` uses to answer 503.
     pub fn any_diverged(&self) -> bool {
-        self.slots.iter().any(|s| s.condemned())
+        let mut any = false;
+        self.store.for_each(|meta, backend| {
+            any = any || slot_condemned(meta, backend);
+        });
+        any
     }
 
     /// Starts a metrics/health HTTP endpoint on `addr` (use port `0` for an
@@ -875,29 +887,11 @@ impl FilterBank {
     /// the serving thread, if one is attached.
     fn publish_health(&self) {
         if let Some(board) = &self.board {
-            board.publish(self.slots.iter().map(|s| s.health_snapshot()).collect());
+            let mut snapshots = Vec::with_capacity(self.store.len());
+            self.store
+                .for_each(|meta, backend| snapshots.push(slot_health_snapshot(meta, backend)));
+            board.publish(snapshots);
         }
-    }
-
-    /// Builds the per-slot measurement assignment for a routed batch,
-    /// rejecting unknown and duplicated session ids.
-    fn route<'z, Z>(&self, batch: &'z [(SessionId, Z)]) -> Result<Vec<Option<&'z Z>>, KalmanError> {
-        let mut assign: Vec<Option<&'z Z>> = Vec::new();
-        assign.resize_with(self.slots.len(), || None);
-        for (id, z) in batch {
-            let i = *self.index.get(&id.0).ok_or(KalmanError::BadSession {
-                id: id.0,
-                reason: "unknown session id",
-            })?;
-            if assign[i].is_some() {
-                return Err(KalmanError::BadSession {
-                    id: id.0,
-                    reason: "duplicate measurement in one batch",
-                });
-            }
-            assign[i] = Some(z);
-        }
-        Ok(assign)
     }
 
     /// Steps each routed session once: `batch` pairs a [`SessionId`] with
@@ -906,6 +900,10 @@ impl FilterBank {
     /// (or evicted, per policy), not propagated. The returned report
     /// carries the batch wall time and pool-utilization counters.
     ///
+    /// Routing and dispatch reuse the bank's persistent work buffers, so a
+    /// steady-state batch on a single-threaded pool allocates nothing (see
+    /// the `alloc_free_bank` integration test).
+    ///
     /// # Errors
     ///
     /// Returns [`KalmanError::BadSession`] when `batch` names an id the
@@ -913,92 +911,124 @@ impl FilterBank {
     /// only whole-batch errors; per-session failures are recorded in each
     /// session's status).
     pub fn step_batch(&mut self, batch: &[(SessionId, &[f64])]) -> Result<BankReport, KalmanError> {
-        let targets = self.route_sparse(batch)?;
+        self.route_sparse(batch)?;
         if let Some(tape) = &mut self.tape {
             tape.record(batch.iter().map(|(id, z)| (id.0, z.to_vec())));
         }
-        Ok(self.dispatch_sparse(&targets))
+        Ok(self.dispatch_sparse(batch))
     }
 
-    /// Sparse sibling of [`FilterBank::route`]: resolves each entry to its
-    /// slot index in O(batch) work, independent of bank size — the hot
-    /// path for a [`Fleet`] shard serving a small frame out of a bank
-    /// holding tens of thousands of sessions.
-    fn route_sparse<'z>(
-        &self,
-        batch: &'z [(SessionId, &[f64])],
-    ) -> Result<Vec<(usize, &'z [f64])>, KalmanError> {
-        let mut targets: Vec<(usize, &'z [f64])> = Vec::with_capacity(batch.len());
-        let mut seen: std::collections::HashSet<usize> =
-            std::collections::HashSet::with_capacity(batch.len());
-        for (id, z) in batch {
-            let i = *self.index.get(&id.0).ok_or(KalmanError::BadSession {
+    /// Claims the sessions named in `batch` for a fresh routing epoch,
+    /// filling `route_buf` with one handle per batch position — O(batch)
+    /// work independent of bank size, the hot path for a [`Fleet`] shard
+    /// serving a small frame out of a bank holding tens of thousands of
+    /// sessions. Duplicates are detected by the epoch mark on each slot
+    /// (`mark == epoch` means "already claimed this batch"), replacing the
+    /// per-call `HashSet` with a branch; unknown ids and duplicates leave
+    /// stale marks behind, which the next epoch increment invalidates
+    /// wholesale.
+    fn route_sparse(&mut self, batch: &[(SessionId, &[f64])]) -> Result<(), KalmanError> {
+        self.epoch += 1;
+        self.route_buf.clear();
+        self.route_buf.reserve(batch.len());
+        for (k, (id, _)) in batch.iter().enumerate() {
+            let handle = self.store.lookup(id.0).ok_or(KalmanError::BadSession {
                 id: id.0,
                 reason: "unknown session id",
             })?;
-            if !seen.insert(i) {
+            let meta = self
+                .store
+                .meta_mut(handle)
+                .expect("index handles are current");
+            if meta.mark == self.epoch {
                 return Err(KalmanError::BadSession {
                     id: id.0,
                     reason: "duplicate measurement in one batch",
                 });
             }
-            targets.push((i, z));
+            meta.mark = self.epoch;
+            meta.arg = k as u32;
+            self.route_buf.push(handle);
         }
-        Ok(targets)
+        Ok(())
     }
 
-    /// Sparse sibling of [`FilterBank::dispatch`]: steps only the slots
-    /// named in `targets`, so a small batch against a huge bank costs
-    /// O(batch), not O(bank). The eviction-policy scan (O(bank)) runs only
-    /// when a touched session became condemnable this batch; the
-    /// health board, when attached, is republished unconditionally so
-    /// `/healthz` freshness matches the dense path.
-    fn dispatch_sparse(&mut self, targets: &[(usize, &[f64])]) -> BankReport {
-        let sessions = self.slots.len();
-        let before: usize = targets.iter().map(|&(i, _)| self.slots[i].steps_ok).sum();
+    /// Steps the slots routed into `route_buf` (which is in `batch`
+    /// order), so a small batch against a huge bank costs O(batch), not
+    /// O(bank). The eviction-policy scan (O(bank)) runs only when a
+    /// touched session became condemnable this batch; the health board,
+    /// when attached, is republished unconditionally so `/healthz`
+    /// freshness matches the dense path.
+    fn dispatch_sparse(&mut self, batch: &[(SessionId, &[f64])]) -> BankReport {
+        let sessions = self.store.len();
+        let before = self.routed_steps_ok();
         let start = Instant::now();
-        let base = self.slots.as_mut_ptr() as usize;
-        let scope = self.pool.for_each_index(targets.len(), |k| {
-            let (i, z) = targets[k];
-            // SAFETY: `route_sparse` rejects duplicate slot indices, so
-            // each claimed `k` addresses a distinct slot, and
-            // `for_each_index` blocks until every index is done, so the
-            // borrow of `self.slots` outlives all worker access.
-            let slot = unsafe { &mut *(base as *mut Slot).add(i) };
-            slot.step(z);
+        let bases = self.store.pool_bases_mut();
+        let route_buf = &self.route_buf;
+        let scope = self.pool.for_each_index(route_buf.len(), |k| {
+            let handle = route_buf[k];
+            let z = batch[k].1;
+            // SAFETY: routing rejected duplicate ids, so each claimed `k`
+            // addresses a distinct slot; `for_each_index` blocks until
+            // every index is done, and the store receives no structural
+            // mutation while the dispatch is in flight.
+            unsafe {
+                store::with_slot_raw(&bases, handle.pool, handle.index, |meta, backend| {
+                    if let Some(backend) = backend {
+                        step_slot(meta, backend, z);
+                    }
+                });
+            }
         });
         let elapsed = start.elapsed();
         // Reuses the timing already taken for the batch histogram; with
         // sampling off (or `obs` off) this is a no-op.
         obs::trace_child(&obs::current_trace(), "bank_step", start, elapsed);
         for p in &scope.panics {
-            let slot = &mut self.slots[targets[p.index].0];
-            if slot.status.is_active() {
-                OBS_FAIL_PANIC.inc();
-                let reason = format!("panicked: {}", p.message);
-                let strategy = slot.backend.strategy_name();
-                let steps_total = slot.backend.iteration() as u64;
-                slot.backend
-                    .health_mut()
-                    .fail(&reason, strategy, steps_total);
-                slot.status = SessionStatus::Failed {
-                    iteration: slot.backend.iteration(),
-                    reason,
-                };
+            let handle = self.route_buf[p.index];
+            if let Some((meta, backend)) = self.store.slot_mut(handle) {
+                park_panicked(meta, backend, &p.message);
             }
         }
-        let after: usize = targets.iter().map(|&(i, _)| self.slots[i].steps_ok).sum();
-        let steps = after - before;
+        let steps = self.routed_steps_ok() - before;
         // Only a slot touched this batch can have newly become condemned —
         // parked failed *or* health-diverged, the same predicate the policy
         // scan applies (previous dispatches already evicted their own
         // casualties) — so the full O(bank) scan is skipped while everyone
         // stays healthy.
-        let evicted = if targets.iter().any(|&(i, _)| self.slots[i].condemned()) {
+        let any_condemned = self.route_buf.iter().any(|&handle| {
+            matches!(
+                (self.store.meta(handle), self.store.backend(handle)),
+                (Some(meta), Some(backend)) if slot_condemned(meta, backend)
+            )
+        });
+        let evicted = if any_condemned {
             self.apply_eviction_policy()
         } else {
             Vec::new()
         };
+        self.finish_batch(sessions, steps, elapsed, evicted, &scope)
+    }
+
+    /// Sum of `steps_ok` over the currently routed handles (the
+    /// before/after pair around a dispatch yields the batch's step count).
+    fn routed_steps_ok(&self) -> usize {
+        self.route_buf
+            .iter()
+            .map(|&handle| self.store.meta(handle).map_or(0, |meta| meta.steps_ok))
+            .sum()
+    }
+
+    /// Shared tail of both dispatch paths: batch-level obs instruments,
+    /// health republish, and report assembly.
+    fn finish_batch(
+        &mut self,
+        sessions: usize,
+        steps: usize,
+        elapsed: Duration,
+        evicted: Vec<SessionId>,
+        scope: &kalmmind_exec::ScopeReport,
+    ) -> BankReport {
         self.publish_health();
         OBS_BATCHES.inc();
         OBS_BATCH_SECONDS.observe_duration(elapsed);
@@ -1007,7 +1037,7 @@ impl FilterBank {
         BankReport {
             sessions,
             active_sessions: active,
-            failed_sessions: self.slots.len() - active,
+            failed_sessions: self.store.len() - active,
             steps,
             elapsed,
             evicted,
@@ -1033,7 +1063,7 @@ impl FilterBank {
         &mut self,
         sequences: &[(SessionId, Vec<Vec<f64>>)],
     ) -> Result<BankReport, KalmanError> {
-        let assign = self.route(sequences)?;
+        self.route_run(sequences)?;
         if let Some(tape) = &mut self.tape {
             // Per-session order is what replay must preserve, so the tape
             // linearizes the sequences positionally: batch `t` carries every
@@ -1047,99 +1077,135 @@ impl FilterBank {
                 );
             }
         }
-        Ok(self.dispatch(|slot, i| {
-            if let Some(seq) = assign[i] {
-                for z in seq {
-                    if !slot.status.is_active() {
-                        break;
-                    }
-                    slot.step(z);
-                }
-            }
-        }))
+        Ok(self.dispatch_run(sequences))
     }
 
-    /// Dispatches `f` over every slot on the pool (dynamic one-session
-    /// claiming, zero thread spawns), converts caught panics into parked
-    /// [`SessionStatus::Failed`] sessions, applies the eviction policy, and
-    /// assembles the batch report.
-    fn dispatch(&mut self, f: impl Fn(&mut Slot, usize) + Sync) -> BankReport {
-        let sessions = self.slots.len();
-        let before: usize = self.slots.iter().map(|s| s.steps_ok).sum();
+    /// Dense routing for [`FilterBank::run`]: marks each named session
+    /// with the sequence position feeding it, then collects every seated
+    /// session into the work list (the dense dispatch claims the whole
+    /// bank; unmarked sessions are visited but not stepped, matching the
+    /// historical dense semantics).
+    fn route_run(&mut self, sequences: &[(SessionId, Vec<Vec<f64>>)]) -> Result<(), KalmanError> {
+        self.epoch += 1;
+        for (k, (id, _)) in sequences.iter().enumerate() {
+            let handle = self.store.lookup(id.0).ok_or(KalmanError::BadSession {
+                id: id.0,
+                reason: "unknown session id",
+            })?;
+            let meta = self
+                .store
+                .meta_mut(handle)
+                .expect("index handles are current");
+            if meta.mark == self.epoch {
+                return Err(KalmanError::BadSession {
+                    id: id.0,
+                    reason: "duplicate measurement in one batch",
+                });
+            }
+            meta.mark = self.epoch;
+            meta.arg = k as u32;
+        }
+        self.route_buf.clear();
+        self.store.collect_handles(&mut self.route_buf);
+        Ok(())
+    }
+
+    /// Dense dispatch for [`FilterBank::run`]: every seated session is
+    /// claimed once (dynamic one-session claiming, zero thread spawns);
+    /// sessions marked by [`FilterBank::route_run`] step over their whole
+    /// sequence. Caught panics become parked [`SessionStatus::Failed`]
+    /// sessions, the eviction policy runs unconditionally, and the batch
+    /// report is assembled as usual.
+    fn dispatch_run(&mut self, sequences: &[(SessionId, Vec<Vec<f64>>)]) -> BankReport {
+        let sessions = self.store.len();
+        let before = self.routed_steps_ok();
         let start = Instant::now();
-        let scope = self.pool.for_each_mut(&mut self.slots, f);
+        let epoch = self.epoch;
+        let bases = self.store.pool_bases_mut();
+        let route_buf = &self.route_buf;
+        let scope = self.pool.for_each_index(route_buf.len(), |k| {
+            let handle = route_buf[k];
+            // SAFETY: `route_buf` holds every seated session exactly once
+            // (collected under `&self`), `for_each_index` blocks until all
+            // indices are done, and the store receives no structural
+            // mutation while the dispatch is in flight.
+            unsafe {
+                store::with_slot_raw(&bases, handle.pool, handle.index, |meta, backend| {
+                    let Some(backend) = backend else { return };
+                    if meta.mark != epoch {
+                        return;
+                    }
+                    let (_, seq) = &sequences[meta.arg as usize];
+                    for z in seq {
+                        if !meta.status.is_active() {
+                            break;
+                        }
+                        step_slot(meta, backend, z);
+                    }
+                });
+            }
+        });
         let elapsed = start.elapsed();
         for p in &scope.panics {
-            let slot = &mut self.slots[p.index];
-            if slot.status.is_active() {
-                OBS_FAIL_PANIC.inc();
-                let reason = format!("panicked: {}", p.message);
-                let strategy = slot.backend.strategy_name();
-                let steps_total = slot.backend.iteration() as u64;
-                slot.backend
-                    .health_mut()
-                    .fail(&reason, strategy, steps_total);
-                slot.status = SessionStatus::Failed {
-                    iteration: slot.backend.iteration(),
-                    reason,
-                };
+            let handle = self.route_buf[p.index];
+            if let Some((meta, backend)) = self.store.slot_mut(handle) {
+                park_panicked(meta, backend, &p.message);
             }
         }
         // Count steps before eviction removes any slot, so a session that
         // stepped this batch and was then evicted is not undercounted.
-        let after: usize = self.slots.iter().map(|s| s.steps_ok).sum();
-        let steps = after - before;
+        let steps = self.routed_steps_ok() - before;
         let evicted = self.apply_eviction_policy();
-        self.publish_health();
-        OBS_BATCHES.inc();
-        OBS_BATCH_SECONDS.observe_duration(elapsed);
-        OBS_BANK_STEPS.add(steps as u64);
-        let active = self.active_count();
-        BankReport {
-            sessions,
-            active_sessions: active,
-            failed_sessions: self.slots.len() - active,
-            steps,
-            elapsed,
-            evicted,
-            pool: PoolUtilization {
-                threads: self.pool.threads(),
-                spawned_threads: self.pool.spawned_threads(),
-                worker_sessions: scope.worker_items,
-                inline_sessions: scope.inline_items,
-            },
-        }
+        self.finish_batch(sessions, steps, elapsed, evicted, &scope)
     }
 
     /// Removes condemned sessions when the policy says so, recording them.
+    /// Condemned handles are collected first and removed after the scan —
+    /// removal never moves another session (free-list recycling, no
+    /// `swap_remove`), so the collected handles stay valid throughout.
     fn apply_eviction_policy(&mut self) -> Vec<SessionId> {
         if self.policy != EvictionPolicy::EvictOnDiverge {
             return Vec::new();
         }
-        let mut evicted_ids = Vec::new();
-        let mut i = 0;
-        while i < self.slots.len() {
-            if self.slots[i].condemned() {
-                let slot = self.remove_at(i);
-                OBS_EVICTED.inc();
-                let reason = match &slot.status {
-                    SessionStatus::Failed { reason, .. } => reason.clone(),
-                    SessionStatus::Active => slot.backend.health().reason().to_string(),
-                };
-                evicted_ids.push(slot.id);
-                self.evicted.push(EvictedSession {
-                    id: slot.id,
-                    reason,
-                    flight_record: slot.backend.health().flight_record().map(String::from),
-                    // Best-effort final checkpoint: a non-snapshotting
-                    // backend leaves `None`, never blocks the eviction.
-                    snapshot: slot.backend.snapshot().ok(),
-                });
-                // `swap_remove` moved the former tail into slot `i`;
-                // re-examine it before advancing.
-            } else {
-                i += 1;
+        let mut condemned: Vec<(Handle, u64)> = Vec::new();
+        self.store.for_each_handle(|handle, meta, backend| {
+            if slot_condemned(meta, backend) {
+                condemned.push((handle, meta.id));
             }
+        });
+        let mut evicted_ids = Vec::with_capacity(condemned.len());
+        for (handle, id) in condemned {
+            let Some(meta) = self.store.meta(handle) else {
+                continue;
+            };
+            let reason = match &meta.status {
+                SessionStatus::Failed { reason, .. } => reason.clone(),
+                SessionStatus::Active => self
+                    .store
+                    .backend(handle)
+                    .map(|b| b.health().reason().to_string())
+                    .unwrap_or_default(),
+            };
+            let (flight_record, snapshot) = match self.store.backend(handle) {
+                // Best-effort final checkpoint: a non-snapshotting backend
+                // leaves `None`, never blocks the eviction.
+                Some(b) => (
+                    b.health().flight_record().map(String::from),
+                    b.snapshot().ok(),
+                ),
+                None => (None, None),
+            };
+            if self.store.remove(id).is_none() {
+                continue;
+            }
+            OBS_EVICTED.inc();
+            evicted_ids.push(SessionId(id));
+            self.evicted.push(EvictedSession {
+                id: SessionId(id),
+                reason,
+                flight_record,
+                snapshot,
+            });
         }
         evicted_ids.sort_unstable();
         evicted_ids

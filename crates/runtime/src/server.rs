@@ -65,11 +65,80 @@ pub struct SessionHealthSnapshot {
 pub(crate) trait StatusSource: Send + Sync + 'static {
     /// `/healthz`: status code (200 or 503) plus JSON body.
     fn healthz(&self) -> (u16, String);
-    /// `/sessions`: inventory JSON, always 200.
-    fn sessions_json(&self) -> String;
+    /// `/sessions`: one inventory page, always 200.
+    fn sessions_json(&self, page: SessionsPage) -> String;
     /// `/fleet`: per-shard roll-up JSON, or `None` when not fleet-backed.
     fn fleet_json(&self) -> Option<String> {
         None
+    }
+}
+
+/// One `/sessions` page, parsed from `?offset=`/`?limit=`.
+///
+/// The inventory route must stay O(page) however many sessions the owner
+/// holds — a million-session fleet cannot render a million rows into one
+/// response body — so the window is always bounded: the limit defaults to
+/// [`SessionsPage::DEFAULT_LIMIT`] and is clamped into
+/// `1..=`[`SessionsPage::MAX_LIMIT`]. Unparseable or missing values fall
+/// back to the defaults rather than erroring (probes and scrapers send
+/// junk; the route answers with a sane first page). The response envelope
+/// echoes `total`, `offset`, and `limit` so a client can walk pages
+/// without a separate count call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SessionsPage {
+    /// Rows to skip before the first rendered row.
+    pub(crate) offset: usize,
+    /// Maximum rows in this page (`1..=MAX_LIMIT`).
+    pub(crate) limit: usize,
+}
+
+impl Default for SessionsPage {
+    fn default() -> Self {
+        Self {
+            offset: 0,
+            limit: Self::DEFAULT_LIMIT,
+        }
+    }
+}
+
+impl SessionsPage {
+    /// Page size when the query names none.
+    pub(crate) const DEFAULT_LIMIT: usize = 1000;
+    /// Hard ceiling on the page size, whatever the query asks for.
+    pub(crate) const MAX_LIMIT: usize = 10_000;
+
+    /// Parses the request target's query string (the part after `?`).
+    pub(crate) fn from_query(query: Option<&str>) -> Self {
+        let mut page = Self::default();
+        for pair in query.unwrap_or("").split('&') {
+            let (key, value) = match pair.split_once('=') {
+                Some(kv) => kv,
+                None => continue,
+            };
+            match key {
+                "offset" => {
+                    if let Ok(v) = value.parse::<usize>() {
+                        page.offset = v;
+                    }
+                }
+                "limit" => {
+                    if let Ok(v) = value.parse::<usize>() {
+                        page.limit = v.clamp(1, Self::MAX_LIMIT);
+                    }
+                }
+                _ => {}
+            }
+        }
+        page
+    }
+
+    /// Renders the standard envelope around pre-paged `rows` (already
+    /// comma-joined): `{"sessions":[…],"total":…,"offset":…,"limit":…}`.
+    pub(crate) fn envelope(&self, rows: &str, total: usize) -> String {
+        format!(
+            "{{\"sessions\":[{rows}],\"total\":{total},\"offset\":{},\"limit\":{}}}",
+            self.offset, self.limit
+        )
     }
 }
 
@@ -126,14 +195,16 @@ impl HealthBoard {
         (if bad.is_empty() { 200 } else { 503 }, body)
     }
 
-    /// The `/sessions` inventory: one entry per session with its identity
-    /// labels and current health, always `200` (health judgment is
-    /// `/healthz`'s job; this route answers "what is running here").
-    fn sessions_json(&self) -> String {
+    /// One `/sessions` inventory page: one entry per session with its
+    /// identity labels and current health, always `200` (health judgment
+    /// is `/healthz`'s job; this route answers "what is running here").
+    /// Renders `page.limit` rows starting at `page.offset` — O(page), not
+    /// O(bank).
+    fn sessions_json(&self, page: SessionsPage) -> String {
         let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        let mut body = String::with_capacity(32 + sessions.len() * 144);
-        body.push_str("{\"sessions\":[");
-        for (i, s) in sessions.iter().enumerate() {
+        let rows = sessions.iter().skip(page.offset).take(page.limit);
+        let mut body = String::with_capacity(64 + page.limit.min(sessions.len()) * 144);
+        for (i, s) in rows.enumerate() {
             if i > 0 {
                 body.push(',');
             }
@@ -148,8 +219,7 @@ impl HealthBoard {
                 s.steps_ok,
             ));
         }
-        body.push_str("]}");
-        body
+        page.envelope(&body, sessions.len())
     }
 }
 
@@ -158,8 +228,8 @@ impl StatusSource for HealthBoard {
         HealthBoard::healthz(self)
     }
 
-    fn sessions_json(&self) -> String {
-        HealthBoard::sessions_json(self)
+    fn sessions_json(&self, page: SessionsPage) -> String {
+        HealthBoard::sessions_json(self, page)
     }
 }
 
@@ -291,7 +361,10 @@ fn handle_connection(
     // strings (`/healthz?verbose=1`), which must not turn a known route
     // into a 404.
     let target = parts.next().unwrap_or("");
-    let path = target.split('?').next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    };
 
     // HEAD is answered exactly like GET — same status, same headers
     // (including the Content-Length of the suppressed body) — minus the body.
@@ -311,7 +384,11 @@ fn handle_connection(
             ),
             "/metrics.json" => (200, "application/json", obs::json_snapshot()),
             "/trace" => (200, "application/json", obs::trace_json()),
-            "/sessions" => (200, "application/json", board.sessions_json()),
+            "/sessions" => (
+                200,
+                "application/json",
+                board.sessions_json(SessionsPage::from_query(query)),
+            ),
             "/fleet" => match board.fleet_json() {
                 Some(body) => (200, "application/json", body),
                 None => (404, "text/plain; charset=utf-8", "not found\n".into()),
@@ -565,11 +642,89 @@ mod tests {
         // /sessions is an inventory, not a health gate: degraded stays 200.
         assert!(body.contains("\"status\":\"degraded\""), "body: {body}");
 
-        // An empty bank serves an empty inventory, still valid JSON.
+        // An empty bank serves an empty inventory, still valid JSON, with
+        // the pagination envelope echoing the default window.
         board.publish(Vec::new());
         let (code, body) = get(server.addr(), "/sessions");
         assert_eq!(code, 200);
-        assert_eq!(body, "{\"sessions\":[]}");
+        assert_eq!(
+            body,
+            "{\"sessions\":[],\"total\":0,\"offset\":0,\"limit\":1000}"
+        );
+    }
+
+    /// A board with `n` minimal snapshots whose ids are `0..n`.
+    fn board_of(n: u64) -> Arc<HealthBoard> {
+        let board = Arc::new(HealthBoard::default());
+        board.publish(
+            (0..n)
+                .map(|id| SessionHealthSnapshot {
+                    id,
+                    status: "healthy".into(),
+                    backend: "software-mono".into(),
+                    scalar: "f64".into(),
+                    strategy: "gauss/newton".into(),
+                    steps_ok: 1,
+                    reason: String::new(),
+                })
+                .collect(),
+        );
+        board
+    }
+
+    fn ids_in(body: &str) -> Vec<u64> {
+        body.match_indices("\"session\":")
+            .map(|(i, key)| {
+                body[i + key.len()..]
+                    .split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sessions_pages_are_bounded_windows_over_the_inventory() {
+        let board = board_of(7);
+        let server = serve("127.0.0.1:0", Arc::clone(&board) as Arc<dyn StatusSource>).unwrap();
+
+        // Interior page: exactly the requested window, total unchanged.
+        let (code, body) = get(server.addr(), "/sessions?offset=2&limit=3");
+        assert_eq!(code, 200);
+        obs::validate::validate_json(&body).unwrap();
+        assert_eq!(ids_in(&body), vec![2, 3, 4]);
+        assert!(body.contains("\"total\":7"), "{body}");
+        assert!(body.contains("\"offset\":2"), "{body}");
+        assert!(body.contains("\"limit\":3"), "{body}");
+
+        // Final partial page.
+        let (_, body) = get(server.addr(), "/sessions?offset=5&limit=3");
+        assert_eq!(ids_in(&body), vec![5, 6]);
+
+        // Offset past the end: empty page, total still reported so the
+        // client knows it walked too far.
+        let (code, body) = get(server.addr(), "/sessions?offset=100&limit=3");
+        assert_eq!(code, 200);
+        assert_eq!(ids_in(&body), Vec::<u64>::new());
+        assert!(body.contains("\"total\":7"), "{body}");
+
+        // limit=0 is clamped up to 1 (a page can never be un-walkable) and
+        // an oversized limit is clamped down to the ceiling.
+        let (_, body) = get(server.addr(), "/sessions?limit=0");
+        assert_eq!(ids_in(&body), vec![0]);
+        assert!(body.contains("\"limit\":1"), "{body}");
+        let (_, body) = get(server.addr(), "/sessions?limit=999999999");
+        assert!(body.contains("\"limit\":10000"), "{body}");
+        assert_eq!(ids_in(&body).len(), 7);
+
+        // Garbage values fall back to the defaults instead of erroring.
+        let (code, body) = get(server.addr(), "/sessions?offset=beef&limit=&x");
+        assert_eq!(code, 200);
+        assert_eq!(ids_in(&body).len(), 7);
+        assert!(body.contains("\"offset\":0"), "{body}");
+        assert!(body.contains("\"limit\":1000"), "{body}");
     }
 
     #[test]

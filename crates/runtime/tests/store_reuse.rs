@@ -1,0 +1,190 @@
+//! ABA / id-reuse regression: slab slots are recycled, session ids never.
+//!
+//! The generational slab under [`FilterBank`] recycles a removed session's
+//! slot for the next insert of the same shape. These tests remove a
+//! session, prove (via the store census) that its arena slot was actually
+//! reused by a new tenant, and then hammer the *stale* [`SessionId`]
+//! against every keyed accessor, `step_batch`, and the snapshot/restore
+//! paths: the old id must be rejected everywhere and must never alias the
+//! slot's new occupant. The handle-level generation checks live in
+//! `store.rs` unit tests; this file pins the id-level contract observable
+//! through the public API.
+
+use kalmmind::gain::InverseGain;
+use kalmmind::inverse::{CalcMethod, InterleavedInverse, SeedPolicy};
+use kalmmind::{FilterSession, KalmanFilter, KalmanModel, KalmanState, SessionBackend};
+use kalmmind_linalg::Matrix;
+use kalmmind_runtime::{FilterBank, SessionId};
+
+/// The 2-state / 3-channel constant-velocity fixture used across the
+/// workspace; its shape is in `MONO_SHAPES`, so a `LastCalculated` session
+/// over it seats inline in the typed 2×3 pool.
+fn model() -> KalmanModel<f64> {
+    KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+        Matrix::identity(2).scale(1e-3),
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        Matrix::identity(3).scale(0.2),
+    )
+    .unwrap()
+}
+
+fn filter() -> KalmanFilter<f64, InverseGain<InterleavedInverse<f64>>> {
+    let strat = InterleavedInverse::new(CalcMethod::Gauss, 2, 4, SeedPolicy::LastCalculated);
+    KalmanFilter::new(model(), KalmanState::zeroed(2), InverseGain::new(strat))
+}
+
+fn session() -> Box<FilterSession<f64, InverseGain<InterleavedInverse<f64>>>> {
+    Box::new(FilterSession::new(filter()))
+}
+
+fn measurement(t: usize) -> Vec<f64> {
+    let pos = 0.1 * t as f64;
+    vec![pos, 1.0, pos + 1.0]
+}
+
+/// Seats two mono sessions, removes the first, inserts a third, and proves
+/// the third reused the removed session's arena slot under a fresh id.
+/// Returns `(bank, stale_id, survivor_id, tenant_id)`.
+fn bank_with_recycled_slot() -> (FilterBank, SessionId, SessionId, SessionId) {
+    let mut bank = FilterBank::new();
+    let stale = bank.insert_filter(filter());
+    let survivor = bank.insert_filter(filter());
+    let grown = bank.store_census();
+    assert_eq!(grown.mono_2x3, 2, "fixture sessions must seat inline");
+    assert!(bank.remove(stale).is_some());
+    let tenant = bank.insert_filter(filter());
+    let recycled = bank.store_census();
+    assert_eq!(recycled.mono_2x3, 2);
+    assert_eq!(
+        recycled.slots, grown.slots,
+        "the new tenant must recycle the removed session's slot, not grow the arena"
+    );
+    assert!(tenant.as_u64() > survivor.as_u64(), "ids only move forward");
+    (bank, stale, survivor, tenant)
+}
+
+#[test]
+fn stale_id_is_rejected_by_every_keyed_accessor() {
+    let (mut bank, stale, _, tenant) = bank_with_recycled_slot();
+    assert!(!bank.contains(stale));
+    assert!(bank.backend(stale).is_none());
+    assert!(bank.status(stale).is_none());
+    assert!(bank.state(stale).is_none());
+    assert!(bank.steps_ok(stale).is_none());
+    assert!(bank.health(stale).is_none());
+    assert!(bank.health_reason(stale).is_none());
+    assert!(bank.flight_record(stale).is_none());
+    assert!(bank.backend_name(stale).is_none());
+    assert!(bank.scalar_name(stale).is_none());
+    assert!(bank.telemetry(stale).is_none());
+    assert!(bank.snapshot_session(stale).is_err());
+    assert!(bank.remove(stale).is_none());
+    assert!(!bank.ids().contains(&stale));
+    // The slot's new tenant answers under its own id only.
+    assert!(bank.contains(tenant));
+    assert_eq!(bank.steps_ok(tenant), Some(0));
+}
+
+#[test]
+fn stale_id_is_rejected_by_step_batch_without_stepping_anyone() {
+    let (mut bank, stale, survivor, tenant) = bank_with_recycled_slot();
+    let z = measurement(0);
+    let err = bank
+        .step_batch(&[(survivor, z.as_slice()), (stale, z.as_slice())])
+        .unwrap_err();
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("unknown session id"),
+        "unexpected error: {rendered}"
+    );
+    // Routing failed before dispatch: nobody stepped, including the slot's
+    // new tenant that physically occupies the stale id's old arena slot.
+    assert_eq!(bank.steps_ok(survivor), Some(0));
+    assert_eq!(bank.steps_ok(tenant), Some(0));
+}
+
+#[test]
+fn duplicate_ids_in_one_batch_are_still_rejected() {
+    let (mut bank, _, survivor, _) = bank_with_recycled_slot();
+    let z = measurement(0);
+    let err = bank
+        .step_batch(&[(survivor, z.as_slice()), (survivor, z.as_slice())])
+        .unwrap_err();
+    assert!(err
+        .to_string()
+        .contains("duplicate measurement in one batch"));
+    assert_eq!(bank.steps_ok(survivor), Some(0));
+}
+
+#[test]
+fn restored_snapshot_reclaims_its_id_without_aliasing_the_new_tenant() {
+    let (mut bank, _, survivor, tenant) = bank_with_recycled_slot();
+    // Step the future migrant so the snapshot carries real trajectory.
+    let migrant = bank.insert_filter(filter());
+    for t in 0..5 {
+        let z = measurement(t);
+        bank.step_batch(&[(migrant, z.as_slice())]).unwrap();
+    }
+    let snapshot = bank.snapshot_session(migrant).unwrap();
+
+    // While the migrant is still seated, its snapshot must be rejected —
+    // restoring over a live session would fork the id.
+    let err = bank.restore_session(&snapshot).unwrap_err();
+    assert!(err
+        .to_string()
+        .contains("snapshot id is already present in the bank"));
+
+    // Migrate: remove, let a new insert recycle the slot, then restore.
+    let before = bank.store_census();
+    assert!(bank.remove(migrant).is_some());
+    let interloper = bank.insert_filter(filter());
+    assert_eq!(bank.store_census().slots, before.slots, "slot recycled");
+    let restored = bank.restore_session(&snapshot).unwrap();
+    assert_eq!(restored, migrant, "migration keeps the stable id");
+    assert_eq!(bank.steps_ok(migrant), Some(5));
+    assert_eq!(bank.steps_ok(interloper), Some(0), "no aliasing");
+    assert_eq!(bank.steps_ok(survivor), Some(0));
+    assert_eq!(bank.steps_ok(tenant), Some(0));
+
+    // The restored id stays reserved: fresh inserts never collide with it.
+    let next = bank.insert_filter(filter());
+    assert!(next.as_u64() > migrant.as_u64());
+
+    // And the restored session's trajectory continues bit-identically to
+    // an uninterrupted control session fed the same measurements.
+    let mut control = session();
+    for t in 0..8 {
+        control.step(&measurement(t)).unwrap();
+    }
+    for t in 5..8 {
+        let z = measurement(t);
+        bank.step_batch(&[(migrant, z.as_slice())]).unwrap();
+    }
+    let live = bank.state(migrant).unwrap();
+    let golden = control.state();
+    for i in 0..2 {
+        assert_eq!(live.x()[i].to_bits(), golden.x()[i].to_bits());
+        for j in 0..2 {
+            assert_eq!(live.p()[(i, j)].to_bits(), golden.p()[(i, j)].to_bits());
+        }
+    }
+}
+
+#[test]
+fn insert_with_id_rejects_a_live_id_but_accepts_a_retired_slot() {
+    let (mut bank, stale, survivor, _) = bank_with_recycled_slot();
+    let err = bank
+        .insert_with_id(survivor.as_u64(), session())
+        .unwrap_err();
+    assert!(err
+        .to_string()
+        .contains("id is already present in the bank"));
+    // Re-inserting under the *stale* id is the fleet-migration path: the
+    // id is absent, so it seats (into a fresh or recycled slot) and the id
+    // sequence stays ahead of it.
+    bank.insert_with_id(stale.as_u64(), session()).unwrap();
+    assert!(bank.contains(stale));
+    let next = bank.insert(session());
+    assert!(next.as_u64() > stale.as_u64());
+}
